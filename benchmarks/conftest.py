@@ -1,0 +1,33 @@
+"""Benchmark fixtures.
+
+Each benchmark regenerates one of the paper's tables or figures and records
+the headline numbers in ``benchmark.extra_info`` (paper value vs. measured).
+A single session-scoped lab shares traces and simulations across benchmarks,
+so the suite's cost is dominated by the distinct simulations, not repeats.
+
+Set ``REPRO_TIER=full`` for the full-size runs (more inputs, more slices).
+"""
+
+import os
+
+import pytest
+
+os.environ.setdefault("REPRO_TIER", "quick")
+
+from repro.experiments.config import active_tier  # noqa: E402
+from repro.experiments.lab import Lab  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def lab():
+    return Lab(tier=active_tier())
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment driver exactly once under pytest-benchmark.
+
+    Experiment results are cached inside the lab, so repeated timing rounds
+    would only measure cache hits; a single round reports the true
+    regeneration cost.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

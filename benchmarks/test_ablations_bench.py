@@ -1,0 +1,330 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+These quantify component contributions and cross-validate the two IPC
+models — the kind of evidence a reviewer would ask for when judging the
+substitutions the reproduction makes.
+"""
+
+import numpy as np
+import pytest
+from conftest import run_once
+
+from repro.pipeline.model import EventFrontEndModel, IntervalIpcModel
+from repro.pipeline.config import SKYLAKE_LIKE
+from repro.pipeline.simulator import simulate_trace
+from repro.predictors.simple import Bimodal, GShare
+from repro.predictors.perceptron import Perceptron
+from repro.predictors.ppm import PPM
+from repro.predictors.gehl import OGehl
+from repro.predictors.tournament import Tournament
+from repro.predictors.tage import Tage, TageConfig
+from repro.predictors.tagescl import make_tage_sc_l
+from repro.workloads import WORKLOADS_BY_NAME, trace_workload
+
+_BENCH = "605.mcf_s"
+_INSTR = 300_000
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return trace_workload(WORKLOADS_BY_NAME[_BENCH], 0, instructions=_INSTR).trace
+
+
+def test_predictor_family_ladder(benchmark, trace):
+    """Accuracy ladder across predictor families (Sec. II's taxonomy).
+
+    The TAGE family should dominate: bimodal < gshare < perceptron/PPM <
+    TAGE < TAGE-SC-L on the H2P-heavy workload.
+    """
+
+    def run_ladder():
+        predictors = {
+            "bimodal": Bimodal(),
+            "gshare": GShare(),
+            "perceptron": Perceptron(),
+            "tournament": Tournament(),
+            "o-gehl": OGehl(),
+            "ppm": PPM(),
+            "tage": Tage(TageConfig()),
+            "tage-sc-l-8kb": make_tage_sc_l(8),
+        }
+        return {
+            name: simulate_trace(trace, p).accuracy
+            for name, p in predictors.items()
+        }
+
+    accs = run_once(benchmark, run_ladder)
+    print()
+    for name, acc in sorted(accs.items(), key=lambda kv: kv[1]):
+        print(f"  {name:16s} {acc:.4f}")
+    for name, acc in accs.items():
+        benchmark.extra_info[name] = round(acc, 4)
+    assert accs["tage-sc-l-8kb"] >= accs["bimodal"]
+    assert accs["tage"] >= accs["gshare"]
+
+
+def test_sc_and_loop_component_ablation(benchmark, trace):
+    """TAGE-SC-L component ablation: contribution of the SC and L parts."""
+
+    def run_ablation():
+        variants = {
+            "full": make_tage_sc_l(8),
+            "no-sc": make_tage_sc_l(8, enable_sc=False),
+            "no-loop": make_tage_sc_l(8, enable_loop=False),
+            "tage-only": make_tage_sc_l(8, enable_sc=False, enable_loop=False),
+        }
+        return {
+            name: simulate_trace(trace, p).mispredictions
+            for name, p in variants.items()
+        }
+
+    mis = run_once(benchmark, run_ablation)
+    print()
+    for name, m in mis.items():
+        print(f"  {name:10s} {m} mispredictions")
+        benchmark.extra_info[name] = m
+    # Components never hurt by much on this workload.
+    assert mis["full"] <= mis["tage-only"] * 1.1
+
+
+def test_history_length_ablation(benchmark, trace):
+    """Geometric-series reach: longer max history helps H2P workloads."""
+
+    def run_sweep():
+        out = {}
+        for max_hist in (64, 256, 1000):
+            cfg = TageConfig.uniform(
+                num_tables=10, log_entries=8, min_history=5, max_history=max_hist
+            )
+            out[max_hist] = simulate_trace(trace, Tage(cfg)).accuracy
+        return out
+
+    accs = run_once(benchmark, run_sweep)
+    print()
+    for h, acc in accs.items():
+        print(f"  max_history={h:5d}: {acc:.4f}")
+        benchmark.extra_info[f"max_hist_{h}"] = round(acc, 4)
+    assert accs[1000] >= accs[64] - 0.01
+
+
+def test_interval_vs_event_ipc_model(benchmark, trace):
+    """Cross-validation of the two IPC models on real misprediction
+    positions: they must agree on ordering and stay within ~25%."""
+
+    def run_models():
+        result = simulate_trace(
+            trace, make_tage_sc_l(8), record_mispredict_positions=True
+        )
+        interval = IntervalIpcModel(SKYLAKE_LIKE).cycles(
+            result.instr_count, result.mispredictions
+        )
+        event = EventFrontEndModel(SKYLAKE_LIKE).cycles(
+            result.instr_count, result.mispredict_positions
+        )
+        return interval, event
+
+    interval, event = run_once(benchmark, run_models)
+    ratio = event / interval
+    print(f"\n  interval={interval:.0f} cycles, event={event:.0f}, ratio={ratio:.3f}")
+    benchmark.extra_info["event_over_interval"] = round(ratio, 3)
+    assert 1.0 <= ratio < 1.6
+
+
+def test_quantization_ablation(benchmark):
+    """CNN helper quantization: float vs 2-bit (with and without QAT)."""
+    from repro.experiments.cnn_study import STUDY_CONFIG
+    from repro.predictors.cnn_helper import CnnHelperPredictor, extract_branch_dataset
+    from repro.workloads.helper_study import HELPER_STUDY_WORKLOAD, h2p_branch_ip
+
+    def run_quant():
+        wt0 = trace_workload(HELPER_STUDY_WORKLOAD, 0)
+        wt1 = trace_workload(HELPER_STUDY_WORKLOAD, 1)
+        ip = h2p_branch_ip(wt0.metadata["program"])
+        X0, y0 = extract_branch_dataset(wt0.trace, ip, STUDY_CONFIG.history_length)
+        X1, y1 = extract_branch_dataset(wt1.trace, ip, STUDY_CONFIG.history_length)
+        out = {}
+        helper = CnnHelperPredictor(ip, STUDY_CONFIG)
+        helper.train(X0, y0)
+        out["float"] = helper.accuracy(X1, y1)
+        naive = CnnHelperPredictor(ip, STUDY_CONFIG)
+        naive.train(X0, y0)
+        naive.quantize(2)
+        out["2bit-naive"] = naive.accuracy(X1, y1)
+        qat = CnnHelperPredictor(ip, STUDY_CONFIG)
+        qat.train(X0, y0)
+        qat.quantize(2, finetune_histories=X0, finetune_outcomes=y0)
+        out["2bit-qat"] = qat.accuracy(X1, y1)
+        return out
+
+    accs = run_once(benchmark, run_quant)
+    print()
+    for name, acc in accs.items():
+        print(f"  {name:12s} {acc:.4f}")
+        benchmark.extra_info[name] = round(acc, 4)
+    assert accs["2bit-qat"] >= accs["2bit-naive"] - 0.02
+    assert accs["float"] >= accs["2bit-qat"] - 0.02
+
+
+def test_tage_reallocation_policy_ablation(benchmark, trace):
+    """TAGE usefulness/reallocation policy: how fast the `useful` bits age
+    determines how aggressively entries are recycled.  H2P-heavy streams
+    prefer faster aging (thrashing entries are reclaimed sooner)."""
+
+    def run_sweep():
+        out = {}
+        for period in (1 << 12, 1 << 16, 1 << 20):
+            cfg = TageConfig.uniform(
+                num_tables=10, log_entries=8, min_history=5, max_history=1000,
+                useful_reset_period=period,
+            )
+            out[period] = simulate_trace(trace, Tage(cfg)).accuracy
+        return out
+
+    accs = run_once(benchmark, run_sweep)
+    print()
+    for period, acc in accs.items():
+        print(f"  reset period {period:>8d}: {acc:.4f}")
+        benchmark.extra_info[f"reset_{period}"] = round(acc, 4)
+    spread = max(accs.values()) - min(accs.values())
+    benchmark.extra_info["policy_spread"] = round(spread, 4)
+    assert spread < 0.05  # policy matters, but is second-order
+
+
+def test_predictor_throughput(benchmark):
+    """Raw predictor throughput (predict+update pairs per second) — the
+    simulation-cost model behind the tier sizing."""
+    predictor = make_tage_sc_l(8)
+    ips = [0x1000 + 16 * (i % 300) for i in range(2000)]
+    takens = [(i * 7) % 3 == 0 for i in range(2000)]
+
+    def run_block():
+        for ip, taken in zip(ips, takens):
+            predictor.predict(ip)
+            predictor.update(ip, taken)
+
+    benchmark.pedantic(run_block, rounds=5, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["branches_per_call"] = len(ips)
+
+
+def test_wormhole_on_multidimensional_branch(benchmark):
+    """Domain-specific model ablation: the wormhole predictor vs TAGE-SC-L
+    8KB on a multidimensional loop branch (a 200-bit row re-scanned every
+    outer iteration amid history-polluting noise branches)."""
+    import random
+
+    from repro.predictors.wormhole import Wormhole
+
+    rng = random.Random(1)
+    row = [rng.random() < 0.5 for _ in range(200)]
+    events = []
+    for _ in range(30):
+        for bit in row:
+            events.append((0x40, bool(bit)))
+            for _ in range(3):
+                events.append((0x1000 + rng.randrange(40) * 16,
+                               rng.random() < 0.5))
+
+    def run_pair():
+        def drive(p, with_rows):
+            correct = total = seen = 0
+            for ip, taken in events:
+                pred = p.predict(ip)
+                if ip == 0x40:
+                    seen += 1
+                    if seen > 1200:
+                        total += 1
+                        correct += pred == taken
+                p.update(ip, taken)
+                if with_rows and ip == 0x40 and seen % 200 == 0:
+                    p.note_row_boundary(0x40)
+            return correct / total
+
+        return {
+            "wormhole": drive(Wormhole(), True),
+            "tage-sc-l-8kb": drive(make_tage_sc_l(8), False),
+        }
+
+    accs = run_once(benchmark, run_pair)
+    print()
+    for name, acc in accs.items():
+        print(f"  {name:14s} {acc:.4f}")
+        benchmark.extra_info[name] = round(acc, 4)
+    assert accs["wormhole"] > accs["tage-sc-l-8kb"]
+
+
+def test_three_ipc_models_cross_validation(benchmark, trace):
+    """All three IPC models (interval, event, fetch-break) on the same
+    simulation: orderings must agree and estimates stay within a small
+    factor — evidence the substitution for ChampSim is not model-fragile."""
+    from repro.pipeline.model import FetchBreakModel
+
+    def run_models():
+        result = simulate_trace(
+            trace, make_tage_sc_l(8), record_mispredict_positions=True
+        )
+        interval = IntervalIpcModel(SKYLAKE_LIKE).evaluate(
+            result.instr_count, result.mispredictions
+        )
+        event = EventFrontEndModel(SKYLAKE_LIKE).evaluate(
+            result.instr_count, result.mispredict_positions
+        )
+        fetch = FetchBreakModel(SKYLAKE_LIKE).evaluate(trace, result.mispredictions)
+        return interval.ipc, event.ipc, fetch.ipc
+
+    interval, event, fetch = run_once(benchmark, run_models)
+    print(f"\n  interval={interval:.3f}  event={event:.3f}  fetch-break={fetch:.3f}")
+    benchmark.extra_info["interval_ipc"] = round(interval, 3)
+    benchmark.extra_info["event_ipc"] = round(event, 3)
+    benchmark.extra_info["fetch_break_ipc"] = round(fetch, 3)
+    assert 0.3 < fetch / interval < 3.0
+    assert event <= interval + 1e-9
+
+
+def test_indirect_target_prediction(benchmark):
+    """Front-end substrate ablation: last-target (BTB-style) vs ITTAGE on an
+    interpreter-like indirect branch whose target follows the recent opcode
+    history, plus the uniform-dispatch worst case."""
+    import random
+
+    from repro.predictors.targets import Ittage
+
+    rng = random.Random(5)
+    # Interpreter-like: 12 "opcodes" emitted by cycling through 4 short
+    # basic-block sequences (so the next target correlates with history).
+    sequences = [
+        [0x3000 + 64 * o for o in seq]
+        for seq in ([0, 1, 2], [3, 4, 0, 5], [6, 7], [8, 9, 10, 11, 2])
+    ]
+    stream = []
+    for _ in range(600):
+        stream.extend(sequences[rng.randrange(4)])
+
+    def run_comparison():
+        def drive(predictor_kind):
+            last = None
+            p = Ittage()
+            correct = total = 0
+            for i, t in enumerate(stream):
+                if predictor_kind == "last-target":
+                    pred = last
+                else:
+                    pred = p.predict(0x80)
+                if i > len(stream) // 2:
+                    total += 1
+                    correct += pred == t
+                if predictor_kind == "ittage":
+                    p.update(0x80, t, pred)
+                last = t
+            return correct / total
+
+        return {
+            "last-target": drive("last-target"),
+            "ittage": drive("ittage"),
+        }
+
+    accs = run_once(benchmark, run_comparison)
+    print()
+    for name, acc in accs.items():
+        print(f"  {name:12s} {acc:.4f}")
+        benchmark.extra_info[name] = round(acc, 4)
+    assert accs["ittage"] > accs["last-target"] + 0.2

@@ -1,0 +1,136 @@
+"""Benchmarks regenerating the paper's Figures 1-10."""
+
+from conftest import run_once
+
+from repro.experiments.fig1 import compute_fig1
+from repro.experiments.fig2 import compute_fig2
+from repro.experiments.fig3 import compute_fig3, compute_fig4
+from repro.experiments.fig5 import compute_fig5
+from repro.experiments.fig7 import compute_fig7
+from repro.experiments.fig8 import compute_fig8
+from repro.experiments.fig9 import compute_fig9
+from repro.experiments.fig10 import compute_fig10
+
+
+def test_fig1_pipeline_scaling_specint(benchmark, lab):
+    """Fig. 1: relative IPC vs pipeline capacity scaling (SPECint-like)."""
+    study = run_once(benchmark, compute_fig1, lab)
+    print()
+    print(study.render())
+    benchmark.extra_info["paper_opportunity_1x"] = 0.185
+    benchmark.extra_info["measured_opportunity_1x"] = round(study.opportunity_at(1), 3)
+    benchmark.extra_info["paper_opportunity_4x"] = 0.553
+    benchmark.extra_info["measured_opportunity_4x"] = round(study.opportunity_at(4), 3)
+    benchmark.extra_info["paper_h2p_share_1x"] = 0.757
+    benchmark.extra_info["measured_h2p_share_1x"] = round(study.h2p_share_at(1), 3)
+    big_gain = study.curve("tage-sc-l-64kb").at(1) / study.curve("tage-sc-l-8kb").at(1) - 1
+    benchmark.extra_info["paper_64kb_gain_1x"] = 0.027
+    benchmark.extra_info["measured_64kb_gain_1x"] = round(big_gain, 3)
+
+
+def test_fig2_heavy_hitters(benchmark, lab):
+    """Fig. 2: cumulative misprediction fraction of ranked heavy hitters."""
+    fig = run_once(benchmark, compute_fig2, lab)
+    print()
+    print(fig.render())
+    benchmark.extra_info["paper_top5_coverage"] = 0.37
+    benchmark.extra_info["measured_top5_coverage"] = round(fig.mean_coverage_top(5), 3)
+
+
+def test_fig3_rare_branch_distributions(benchmark, lab):
+    """Fig. 3: per-branch misprediction/execution/accuracy histograms (LCF)."""
+    fig = run_once(benchmark, compute_fig3, lab)
+    print()
+    print(fig.render())
+    d = fig.distributions
+    benchmark.extra_info["paper_frac_below_100_execs"] = 0.85
+    benchmark.extra_info["measured_frac_below_100_execs_scaled"] = round(
+        d.executions.fractions[0], 3
+    )
+    benchmark.extra_info["paper_frac_acc_above_099"] = 0.55
+    benchmark.extra_info["measured_frac_acc_above_099"] = round(
+        d.accuracy.fractions[-1], 3
+    )
+
+
+def test_fig4_accuracy_spread(benchmark, lab):
+    """Fig. 4: accuracy spread of rare branches."""
+    fig = run_once(benchmark, compute_fig4, lab)
+    print()
+    print(fig.render())
+    benchmark.extra_info["paper_first_bin_std"] = 0.35
+    benchmark.extra_info["measured_first_bin_std"] = round(fig.spread.bin_std[0], 3)
+
+
+def test_fig5_pipeline_scaling_lcf(benchmark, lab):
+    """Fig. 5: relative IPC vs pipeline capacity scaling (LCF)."""
+    study = run_once(benchmark, compute_fig5, lab)
+    print()
+    print(study.render())
+    benchmark.extra_info["paper_h2p_share_1x"] = 0.378
+    benchmark.extra_info["measured_h2p_share_1x"] = round(study.h2p_share_at(1), 3)
+    benchmark.extra_info["paper_h2p_share_32x"] = 0.337
+    benchmark.extra_info["measured_h2p_share_32x"] = round(study.h2p_share_at(32), 3)
+
+
+def test_fig6_dependency_positions(benchmark, lab):
+    """Fig. 6: history-position distributions of dependency branches.
+
+    Shares its computation with Table III; the series here are the
+    per-panel scatter points.
+    """
+    from repro.experiments.table3 import compute_table3
+
+    table = run_once(benchmark, compute_table3, lab)
+    series = table.fig6_series()
+    print()
+    for name, points in series.items():
+        print(f"{name}: {points[:8]}")
+    spreads = [e.spread.max_positions_per_dependency for e in table.entries]
+    benchmark.extra_info["measured_max_positions_per_dependency"] = max(spreads)
+    assert all(points for points in series.values())
+
+
+def test_fig7_storage_sweep(benchmark, lab):
+    """Fig. 7: fraction of the TAGE8->perfect IPC gap closed vs storage."""
+    fig = run_once(benchmark, compute_fig7, lab)
+    print()
+    print(fig.render())
+    benchmark.extra_info["paper_max_fraction_1x"] = 0.5  # "less than half"
+    benchmark.extra_info["measured_best_fraction_1x"] = round(
+        fig.best_mean_fraction_at(1), 3
+    )
+    benchmark.extra_info["measured_best_fraction_32x"] = round(
+        fig.best_mean_fraction_at(32), 3
+    )
+
+
+def test_fig8_rare_branch_limit_study(benchmark, lab):
+    """Fig. 8: IPC opportunity remaining after idealizing frequent branches."""
+    fig = run_once(benchmark, compute_fig8, lab)
+    print()
+    print(fig.render())
+    hi, lo = fig.thresholds
+    benchmark.extra_info["paper_remaining_gt1000"] = 0.343
+    benchmark.extra_info["measured_remaining_hi"] = round(fig.mean_remaining(hi), 3)
+    benchmark.extra_info["paper_remaining_gt100"] = 0.274
+    benchmark.extra_info["measured_remaining_lo"] = round(fig.mean_remaining(lo), 3)
+
+
+def test_fig9_recurrence_intervals(benchmark, lab):
+    """Fig. 9: median recurrence interval distribution (LCF)."""
+    fig = run_once(benchmark, compute_fig9, lab)
+    print()
+    print(fig.render())
+    benchmark.extra_info["measured_peak_bin"] = fig.histogram.peak_bin()
+
+
+def test_fig10_register_values(benchmark, lab):
+    """Fig. 10: register-value distributions at top heavy hitters."""
+    fig = run_once(benchmark, compute_fig10, lab)
+    print()
+    print(fig.render())
+    benchmark.extra_info["measured_profiles"] = len(fig.profiles)
+    benchmark.extra_info["measured_distinct_pairs_fraction"] = round(
+        fig.distinct_pairs_fraction(), 3
+    )

@@ -1,0 +1,57 @@
+"""Benchmarks for the in-text studies: TAGE allocation thrash (Sec. IV-A)
+and the CNN helper-predictor direction (Sec. V-C)."""
+
+from conftest import run_once
+
+from repro.experiments.allocation_study import compute_allocation_study
+from repro.experiments.cnn_study import compute_cnn_study
+
+
+def test_allocation_study(benchmark, lab):
+    """Sec. IV-A: H2P vs non-H2P TAGE table allocation behaviour."""
+    result = run_once(benchmark, compute_allocation_study, lab)
+    print()
+    print(result.render())
+    import numpy as np
+
+    h2p_medians = [s.h2p.median_allocations for s in result.studies.values()]
+    non_medians = [s.non_h2p.median_allocations for s in result.studies.values()]
+    benchmark.extra_info["paper_h2p_median_allocations"] = 13_093
+    benchmark.extra_info["measured_h2p_median_allocations"] = float(
+        np.median(h2p_medians)
+    )
+    benchmark.extra_info["paper_non_h2p_median_allocations"] = 4
+    benchmark.extra_info["measured_non_h2p_median_allocations"] = float(
+        np.median(non_medians)
+    )
+    assert all(s.h2p_dominates for s in result.studies.values())
+
+
+def test_cnn_helper_study(benchmark, lab):
+    """Sec. V-C: offline-trained CNN helper vs TAGE-SC-L 8KB on an H2P."""
+    result = run_once(benchmark, compute_cnn_study, lab)
+    print()
+    print(result.render())
+    benchmark.extra_info["measured_tage_acc"] = round(result.tage_accuracy_on_h2p, 3)
+    benchmark.extra_info["measured_helper_2bit_acc"] = round(
+        result.helper_quantized_cross_input_accuracy, 3
+    )
+    benchmark.extra_info["measured_uplift"] = round(result.improvement, 3)
+    assert result.improvement > 0
+
+
+def test_phase_study(benchmark, lab):
+    """Sec. V-B (extension): phase-aware long-term statistics for rare
+    branches on the LCF suite."""
+    from repro.experiments.phase_study import compute_phase_study
+
+    result = run_once(benchmark, compute_phase_study, lab)
+    print()
+    print(result.render())
+    benchmark.extra_info["mean_accuracy_delta"] = round(
+        result.mean_accuracy_delta, 4
+    )
+    benchmark.extra_info["mean_rare_accuracy_delta"] = round(
+        result.mean_rare_accuracy_delta, 4
+    )
+    assert result.mean_rare_accuracy_delta > 0

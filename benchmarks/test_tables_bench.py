@@ -1,0 +1,57 @@
+"""Benchmarks regenerating the paper's Tables I, II, and III."""
+
+from conftest import run_once
+
+from repro.experiments.table1 import compute_table1
+from repro.experiments.table2 import compute_table2
+from repro.experiments.table3 import compute_table3
+
+
+def test_table1(benchmark, lab):
+    """Table I: SPECint summary statistics under TAGE-SC-L 8KB."""
+    table = run_once(benchmark, compute_table1, lab)
+    print()
+    print(table.render())
+    benchmark.extra_info["paper_mean_accuracy"] = 0.952
+    benchmark.extra_info["measured_mean_accuracy"] = round(table.mean_accuracy, 4)
+    benchmark.extra_info["paper_mean_h2ps_per_slice"] = 10
+    benchmark.extra_info["measured_mean_h2ps_per_slice"] = round(
+        table.mean_h2ps_per_slice, 2
+    )
+    benchmark.extra_info["paper_mean_mispred_share"] = 0.553
+    benchmark.extra_info["measured_mean_mispred_share"] = round(
+        table.mean_mispred_share, 3
+    )
+    assert len(table.rows) == 9
+
+
+def test_table2(benchmark, lab):
+    """Table II: LCF application summary under TAGE-SC-L 8KB."""
+    table = run_once(benchmark, compute_table2, lab)
+    print()
+    print(table.render())
+    benchmark.extra_info["paper_mean_static_ips"] = 14_072 / 10  # scaled
+    benchmark.extra_info["measured_mean_static_ips"] = round(
+        table.mean_static_branches, 1
+    )
+    benchmark.extra_info["paper_mean_acc_per_branch"] = 0.85
+    benchmark.extra_info["measured_mean_acc_per_branch"] = round(
+        table.mean_accuracy, 3
+    )
+    assert len(table.rows) == 6
+
+
+def test_table3(benchmark, lab):
+    """Table III: dependency-branch statistics for top heavy hitters."""
+    table = run_once(benchmark, compute_table3, lab)
+    print()
+    print(table.render())
+    spreads = [e.spread.mean_positions_per_dependency for e in table.entries]
+    benchmark.extra_info["measured_mean_positions_per_dependency"] = round(
+        sum(spreads) / len(spreads), 2
+    )
+    benchmark.extra_info["paper_max_hist_within"] = 3000
+    benchmark.extra_info["measured_max_hist_pos"] = max(
+        e.row.max_history_position for e in table.entries
+    )
+    assert all(e.row.num_dependency_branches >= 1 for e in table.entries)

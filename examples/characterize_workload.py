@@ -1,0 +1,44 @@
+"""Characterize any workload with one call.
+
+Runs the paper's full measurement pipeline (accuracy, H2P screening, heavy
+hitters, rare branches, recurrence, IPC opportunity) over each suite's
+representative workloads and prints a compact diagnosis: is the workload's
+misprediction problem H2P-dominated (the SPECint regime) or
+rare-branch-dominated (the LCF regime)?
+
+Usage::
+
+    python examples/characterize_workload.py [benchmark ...]
+"""
+
+import sys
+
+from repro.analysis import characterize_workload
+from repro.workloads import WORKLOADS_BY_NAME, trace_workload
+
+
+def main() -> None:
+    names = sys.argv[1:] or ["605.mcf_s", "623.xalancbmk_s", "game"]
+    for name in names:
+        spec = WORKLOADS_BY_NAME.get(name)
+        if spec is None:
+            raise SystemExit(
+                f"unknown workload {name!r}; choose from "
+                f"{sorted(WORKLOADS_BY_NAME)}"
+            )
+        traced = trace_workload(spec, 0, instructions=300_000)
+        report = characterize_workload(traced.trace)
+        print(f"\n=== {name} ===")
+        print(report.render())
+        regime = (
+            "H2P-dominated: specialize predictors for the heavy hitters "
+            "(Sec. V-C helpers)"
+            if report.h2p_dominated
+            else "rare-branch-dominated: long-term/phase statistics needed "
+            "(Sec. V-B)"
+        )
+        print(f"  diagnosis                  {regime}")
+
+
+if __name__ == "__main__":
+    main()

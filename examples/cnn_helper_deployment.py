@@ -1,0 +1,80 @@
+"""Offline-trained CNN helper predictors, end to end (paper Sec. V).
+
+Demonstrates the deployment scenario the paper proposes for data-center
+applications:
+
+1. collect traces of the application over multiple inputs (the offline
+   trace library);
+2. train a per-branch CNN helper on the H2P that TAGE-SC-L mispredicts;
+3. quantize it to 2-bit weights (the on-BPU format);
+4. "load" it alongside TAGE-SC-L and evaluate on an *unseen* input.
+
+Usage::
+
+    python examples/cnn_helper_deployment.py
+"""
+
+import numpy as np
+
+from repro.pipeline import simulate_trace
+from repro.predictors import make_tage_sc_l
+from repro.predictors.cnn_helper import (
+    CnnHelperConfig,
+    CnnHelperPredictor,
+    HelperAugmentedPredictor,
+    extract_branch_dataset,
+)
+from repro.workloads import trace_workload
+from repro.workloads.helper_study import HELPER_STUDY_WORKLOAD, h2p_branch_ip
+
+
+def main() -> None:
+    config = CnnHelperConfig(
+        history_length=20, conv_width=10, num_filters=24, epochs=10
+    )
+
+    print("1. Building the offline trace library (inputs 0 and 1)...")
+    train_traces = [trace_workload(HELPER_STUDY_WORKLOAD, i) for i in (0, 1)]
+    test_trace = trace_workload(HELPER_STUDY_WORKLOAD, 2)
+    ip = h2p_branch_ip(test_trace.metadata["program"])
+
+    baseline = simulate_trace(test_trace.trace, make_tage_sc_l(8))
+    tage_acc = baseline.stats.get(ip).accuracy
+    print(f"   target H2P @ {hex(ip)}: TAGE-SC-L 8KB accuracy "
+          f"{tage_acc:.3f} on the unseen input")
+
+    print("2. Training the helper offline on the pooled library...")
+    parts = [
+        extract_branch_dataset(t.trace, ip, config.history_length)
+        for t in train_traces
+    ]
+    X = np.concatenate([p[0] for p in parts])
+    y = np.concatenate([p[1] for p in parts])
+    helper = CnnHelperPredictor(ip, config)
+    helper.train(X, y)
+    X_test, y_test = extract_branch_dataset(
+        test_trace.trace, ip, config.history_length
+    )
+    print(f"   float accuracy on unseen input: "
+          f"{helper.accuracy(X_test, y_test):.3f}")
+
+    print("3. Quantizing to 2-bit weights (quantization-aware)...")
+    helper.quantize(2, finetune_histories=X, finetune_outcomes=y)
+    print(f"   2-bit accuracy on unseen input: "
+          f"{helper.accuracy(X_test, y_test):.3f}")
+    print(f"   deployed helper footprint: {helper.storage_bits(2) / 8192:.2f} KiB")
+
+    print("4. Deploying alongside TAGE-SC-L 8KB...")
+    augmented = HelperAugmentedPredictor(make_tage_sc_l(8), [helper])
+    deployed = simulate_trace(test_trace.trace, augmented)
+    print(
+        f"   H2P accuracy: {tage_acc:.3f} (TAGE alone) -> "
+        f"{deployed.stats.get(ip).accuracy:.3f} (TAGE + helper)"
+    )
+    print(
+        f"   overall accuracy: {baseline.accuracy:.4f} -> {deployed.accuracy:.4f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""H2P characterization: screening, heavy hitters, and dependency branches.
+
+Walks the paper's Sec. III/IV-A measurement pipeline on one benchmark:
+
+1. simulate TAGE-SC-L 8KB per 300K-instruction slice and screen H2Ps;
+2. rank the heavy hitters and show the cumulative misprediction curve;
+3. re-execute with dataflow taint tracking and profile the history
+   positions at which the top hitter's dependency branches appear.
+
+Usage::
+
+    python examples/h2p_characterization.py [benchmark]
+"""
+
+import sys
+
+from repro.analysis import (
+    dependency_row,
+    position_spread,
+    rank_heavy_hitters,
+    screen_workload,
+)
+from repro.config import DEPENDENCY_WINDOW_INSTRUCTIONS, SLICE_INSTRUCTIONS
+from repro.pipeline import simulate_trace
+from repro.predictors import make_tage_sc_l
+from repro.workloads import WORKLOADS_BY_NAME, execute_workload, trace_workload
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "641.leela_s"
+    workload = WORKLOADS_BY_NAME[name]
+
+    print(f"Tracing {name} (3 slices)...")
+    traced = trace_workload(workload, 0, instructions=3 * SLICE_INSTRUCTIONS)
+    result = simulate_trace(
+        traced.trace, make_tage_sc_l(8), slice_instructions=SLICE_INSTRUCTIONS
+    )
+    print(f"  aggregate accuracy: {result.accuracy:.4f}")
+
+    report = screen_workload(name, "input0", result.slice_stats)
+    print(
+        f"  H2Ps per slice: {report.mean_h2ps_per_slice:.1f}, causing "
+        f"{100 * report.mean_misprediction_share:.1f}% of mispredictions"
+    )
+
+    hitters = rank_heavy_hitters(result.stats, report.union_h2p_ips)
+    print("\nHeavy hitters (ranked by dynamic executions):")
+    print(f"  {'rank':>4s} {'ip':>8s} {'execs':>8s} {'mispred':>8s} {'cum.frac':>9s}")
+    for h in hitters[:8]:
+        print(
+            f"  {h.rank:>4d} {hex(h.ip):>8s} {h.executions:>8d} "
+            f"{h.mispredictions:>8d} {h.cumulative_misprediction_fraction:>9.3f}"
+        )
+
+    print("\nDependency-branch analysis (taint-tracked re-execution)...")
+    exec_result = execute_workload(
+        workload, 0, instructions=SLICE_INSTRUCTIONS, track_dataflow=True
+    )
+    for hitter in hitters:
+        row, profile = dependency_row(
+            name, exec_result.cond_branch_events, hitter.ip,
+            DEPENDENCY_WINDOW_INSTRUCTIONS,
+        )
+        if profile.num_dependency_branches == 0:
+            continue
+        spread = position_spread(profile)
+        print(f"  top data-dependent hitter: {hex(hitter.ip)}")
+        print(f"    dependency branches: {row.num_dependency_branches}")
+        print(
+            f"    history positions: {row.min_history_position}.."
+            f"{row.max_history_position}"
+        )
+        print(
+            f"    mean distinct positions per dependency branch: "
+            f"{spread.mean_positions_per_dependency:.1f}"
+        )
+        print(
+            "    -> the same predictive branch appears all over the history,"
+            "\n       which is why exact pattern matching struggles (Sec. IV-A)."
+        )
+        break
+
+
+if __name__ == "__main__":
+    main()

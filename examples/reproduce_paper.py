@@ -1,0 +1,20 @@
+"""Regenerate every table and figure of the paper in one run.
+
+Thin wrapper over :mod:`repro.experiments.runner` (also available as
+``python -m repro``).  Executes each experiment at the active tier
+(``REPRO_TIER=quick`` by default; set ``full`` for the complete runs) and
+prints the same rows/series the paper reports.
+
+Usage::
+
+    python examples/reproduce_paper.py               # everything
+    python examples/reproduce_paper.py fig1 table2   # a subset
+    REPRO_TIER=full python examples/reproduce_paper.py
+"""
+
+import sys
+
+from repro.experiments.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

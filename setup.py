@@ -1,0 +1,22 @@
+"""Setup shim: this environment has no `wheel` package and no network, so
+PEP-517 editable installs cannot build; the legacy `setup.py develop` path
+is used instead (`pip install -e . --no-build-isolation --no-use-pep517`)."""
+from setuptools import setup, find_packages
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Branch Prediction Is Not A Solved Problem' "
+        "(Lin & Tarsa, IISWC 2019)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "repro-experiments=repro.experiments.runner:main",
+        ]
+    },
+)

@@ -1,0 +1,23 @@
+"""repro — reproduction of "Branch Prediction Is Not A Solved Problem"
+(Lin & Tarsa, IISWC 2019).
+
+The library provides:
+
+* :mod:`repro.core` — branch traces, histories, metrics, storage accounting;
+* :mod:`repro.isa` — a synthetic mini-ISA with a trace-producing executor
+  (the substrate standing in for proprietary SPEC/LCF traces);
+* :mod:`repro.workloads` — SPECint-2017-like and large-code-footprint
+  synthetic benchmarks;
+* :mod:`repro.predictors` — from-scratch branch predictors, including
+  TAGE-SC-L at 8KB-1024KB budgets, perceptrons, PPM, loop/IMLI, oracles, and
+  an offline-trained CNN helper predictor;
+* :mod:`repro.pipeline` — a Skylake-like pipeline IPC model with 1x-32x
+  capacity scaling;
+* :mod:`repro.analysis` — H2P screening, heavy hitters, rare-branch
+  distributions, dependency branches, TAGE allocation stats, recurrence
+  intervals, register-value features;
+* :mod:`repro.phases` — SimPoint-style phase clustering;
+* :mod:`repro.experiments` — drivers reproducing every table and figure.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,130 @@
+"""One-call workload characterization.
+
+``characterize_workload(trace)`` runs the paper's entire measurement
+pipeline over a single trace — prediction accuracy under TAGE-SC-L 8KB,
+MPKI, per-slice H2P screening, heavy-hitter concentration, the rare-branch
+population, recurrence structure, and modeled IPC opportunity — and returns
+a single report object with a ``render()`` for humans.  This is the
+"characterize my workload" entry point for downstream users who don't need
+the per-figure experiment drivers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.h2p import H2pCriteria, DEFAULT_CRITERIA, screen_workload
+from repro.analysis.heavy_hitters import cumulative_curve
+from repro.analysis.opportunity import ipc_opportunity
+from repro.analysis.recurrence import median_recurrence_intervals
+from repro.config import RARE_EXECUTION_THRESHOLDS, SLICE_INSTRUCTIONS
+from repro.core.types import BranchTrace
+from repro.pipeline.config import SKYLAKE_LIKE, PipelineConfig
+from repro.pipeline.simulator import simulate_trace
+from repro.predictors.base import BranchPredictor
+from repro.predictors.tagescl import make_tage_sc_l
+
+
+@dataclass(frozen=True)
+class CharacterizationReport:
+    """The paper's headline metrics for one workload trace."""
+
+    predictor_name: str
+    instructions: int
+    conditional_branches: int
+    static_branches: int
+    accuracy: float
+    mpki: float
+    h2ps_per_slice: float
+    h2p_misprediction_share: float
+    top5_heavy_hitter_coverage: float
+    rare_branch_fraction: float  # static branches below the rare threshold
+    rare_branch_accuracy: float
+    median_recurrence_interval: float  # median over static branches
+    ipc_opportunity_1x: float
+    ipc_opportunity_8x: float
+
+    def render(self) -> str:
+        lines = [
+            f"Workload characterization under {self.predictor_name}",
+            f"  instructions               {self.instructions:,}",
+            f"  conditional branches       {self.conditional_branches:,} "
+            f"({self.static_branches:,} static)",
+            f"  accuracy / MPKI            {self.accuracy:.4f} / {self.mpki:.2f}",
+            f"  H2Ps per slice             {self.h2ps_per_slice:.1f} "
+            f"(cause {100 * self.h2p_misprediction_share:.1f}% of mispredictions)",
+            f"  top-5 heavy hitters cover  "
+            f"{100 * self.top5_heavy_hitter_coverage:.1f}% of mispredictions",
+            f"  rare static branches       {100 * self.rare_branch_fraction:.1f}% "
+            f"(accuracy {self.rare_branch_accuracy:.3f})",
+            f"  median recurrence interval {self.median_recurrence_interval:,.0f} "
+            f"instructions",
+            f"  IPC opportunity            {100 * self.ipc_opportunity_1x:.1f}% at 1x, "
+            f"{100 * self.ipc_opportunity_8x:.1f}% at 8x pipeline scale",
+        ]
+        return "\n".join(lines)
+
+    @property
+    def h2p_dominated(self) -> bool:
+        """True when fixing H2Ps alone would address most mispredictions
+        (the SPECint-like regime); False suggests a rare-branch-dominated
+        LCF-like workload."""
+        return self.h2p_misprediction_share > 0.5
+
+
+def characterize_workload(
+    trace: BranchTrace,
+    predictor: Optional[BranchPredictor] = None,
+    slice_instructions: int = SLICE_INSTRUCTIONS,
+    criteria: H2pCriteria = DEFAULT_CRITERIA,
+    pipeline: PipelineConfig = SKYLAKE_LIKE,
+    rare_threshold: Optional[int] = None,
+) -> CharacterizationReport:
+    """Run the full characterization pipeline over one trace."""
+    predictor = predictor or make_tage_sc_l(8)
+    rare_threshold = (
+        rare_threshold if rare_threshold is not None else RARE_EXECUTION_THRESHOLDS[0]
+    )
+
+    result = simulate_trace(trace, predictor, slice_instructions=slice_instructions)
+    report = screen_workload("workload", "trace", result.slice_stats, criteria)
+
+    curve = cumulative_curve(result.stats, report.union_h2p_ips, max_rank=5)
+    top5 = float(curve[-1]) if len(curve) else 0.0
+
+    rare_execs = rare_mispreds = rare_count = 0
+    for _, counts in result.stats.items():
+        if counts.executions <= rare_threshold:
+            rare_count += 1
+            rare_execs += counts.executions
+            rare_mispreds += counts.mispredictions
+    num_static = len(result.stats)
+    rare_fraction = rare_count / num_static if num_static else 0.0
+    rare_accuracy = 1.0 - rare_mispreds / rare_execs if rare_execs else 1.0
+
+    mris = list(median_recurrence_intervals(trace).values())
+    median_mri = float(np.median(mris)) if mris else 0.0
+
+    return CharacterizationReport(
+        predictor_name=predictor.name,
+        instructions=result.instr_count,
+        conditional_branches=result.stats.total_executions,
+        static_branches=num_static,
+        accuracy=result.accuracy,
+        mpki=result.mpki,
+        h2ps_per_slice=report.mean_h2ps_per_slice,
+        h2p_misprediction_share=report.mean_misprediction_share,
+        top5_heavy_hitter_coverage=top5,
+        rare_branch_fraction=rare_fraction,
+        rare_branch_accuracy=rare_accuracy,
+        median_recurrence_interval=median_mri,
+        ipc_opportunity_1x=ipc_opportunity(
+            result.instr_count, result.mispredictions, pipeline, 1.0
+        ),
+        ipc_opportunity_8x=ipc_opportunity(
+            result.instr_count, result.mispredictions, pipeline, 8.0
+        ),
+    )

@@ -1,0 +1,155 @@
+"""Rare-branch distribution analyses (paper Figs. 3 and 4).
+
+Fig. 3 histograms the per-static-branch dynamic mispredictions, dynamic
+executions, and prediction accuracy over the LCF dataset.  Fig. 4 plots
+accuracy against execution count per branch (a) and the standard deviation
+of accuracy within execution-count bins (b), quantifying that rare branches
+have low-confidence, high-spread statistics.
+
+Bin edges are the paper's divided by the execution-count scale (see
+:mod:`repro.experiments.config`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.metrics import BranchStats
+from repro.config import EXEC_SCALE
+
+
+def _scale_edges(edges: Sequence[float], scale: int) -> List[float]:
+    return [e / scale if e > 0 else e for e in edges]
+
+
+#: Paper Fig. 3 (left): dynamic misprediction bins, scaled.
+MISPREDICTION_BIN_EDGES = _scale_edges(
+    [0, 1, 10, 50, 100, 500, 1000, 5000], EXEC_SCALE
+)
+
+#: Paper Fig. 3 (middle): dynamic execution bins, scaled.
+EXECUTION_BIN_EDGES = _scale_edges([0, 100, 1000, 10_000, 100_000, 1_000_000], EXEC_SCALE)
+
+#: Paper Fig. 3 (right): accuracy bins (scale-free).
+ACCURACY_BIN_EDGES = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.99, 1.0]
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """A normalized histogram over static branches."""
+
+    edges: Tuple[float, ...]
+    fractions: Tuple[float, ...]  # one per bin, sums to ~1
+    counts: Tuple[int, ...]
+
+    @property
+    def num_branches(self) -> int:
+        return int(sum(self.counts))
+
+    def fraction_at_or_below(self, value: float) -> float:
+        """Total fraction of branches in bins entirely at/below ``value``."""
+        total = 0.0
+        for i in range(len(self.fractions)):
+            if self.edges[i + 1] <= value + 1e-12:
+                total += self.fractions[i]
+        return total
+
+
+def _histogram(values: np.ndarray, edges: Sequence[float]) -> Histogram:
+    counts, _ = np.histogram(values, bins=np.asarray(edges, dtype=float))
+    # np.histogram's final bin is closed; values above the last edge are
+    # clamped into it so no branch is silently dropped.
+    above = int((values > edges[-1]).sum())
+    counts = counts.copy()
+    counts[-1] += above
+    total = counts.sum()
+    fractions = counts / total if total else counts.astype(float)
+    return Histogram(
+        edges=tuple(float(e) for e in edges),
+        fractions=tuple(float(f) for f in fractions),
+        counts=tuple(int(c) for c in counts),
+    )
+
+
+@dataclass(frozen=True)
+class BranchDistributions:
+    """The three Fig. 3 panels for one dataset."""
+
+    mispredictions: Histogram
+    executions: Histogram
+    accuracy: Histogram
+
+
+def branch_distributions(
+    stats_list: Sequence[BranchStats],
+    misprediction_edges: Optional[Sequence[float]] = None,
+    execution_edges: Optional[Sequence[float]] = None,
+    accuracy_edges: Optional[Sequence[float]] = None,
+) -> BranchDistributions:
+    """Pool per-branch statistics from several applications and histogram
+    them (the paper pools all six LCF applications)."""
+    mis, execs, accs = [], [], []
+    for stats in stats_list:
+        for _, counts in stats.items():
+            mis.append(counts.mispredictions)
+            execs.append(counts.executions)
+            accs.append(counts.accuracy)
+    mis_a = np.asarray(mis, dtype=float)
+    exec_a = np.asarray(execs, dtype=float)
+    acc_a = np.asarray(accs, dtype=float)
+    return BranchDistributions(
+        mispredictions=_histogram(mis_a, misprediction_edges or MISPREDICTION_BIN_EDGES),
+        executions=_histogram(exec_a, execution_edges or EXECUTION_BIN_EDGES),
+        accuracy=_histogram(acc_a, accuracy_edges or ACCURACY_BIN_EDGES),
+    )
+
+
+@dataclass(frozen=True)
+class AccuracySpread:
+    """Fig. 4 data: accuracy vs. execution count."""
+
+    executions: np.ndarray  # per branch
+    accuracies: np.ndarray  # per branch
+    bin_edges: np.ndarray
+    bin_std: np.ndarray  # std of accuracy within each bin
+    bin_counts: np.ndarray
+
+
+def accuracy_spread(
+    stats_list: Sequence[BranchStats],
+    bin_width: Optional[int] = None,
+    max_executions: Optional[int] = None,
+) -> AccuracySpread:
+    """Per-branch accuracy vs. executions plus binned accuracy spread.
+
+    ``bin_width`` defaults to the paper's 100 executions, scaled.
+    """
+    if bin_width is None:
+        bin_width = max(1, 100 // EXEC_SCALE)
+    execs, accs = [], []
+    for stats in stats_list:
+        for _, counts in stats.items():
+            execs.append(counts.executions)
+            accs.append(counts.accuracy)
+    exec_a = np.asarray(execs, dtype=float)
+    acc_a = np.asarray(accs, dtype=float)
+    if max_executions is None:
+        max_executions = int(exec_a.max()) + bin_width if len(exec_a) else bin_width
+    edges = np.arange(0, max_executions + bin_width, bin_width, dtype=float)
+    stds = np.zeros(len(edges) - 1)
+    counts = np.zeros(len(edges) - 1, dtype=int)
+    which = np.digitize(exec_a, edges) - 1
+    for b in range(len(edges) - 1):
+        sel = acc_a[which == b]
+        counts[b] = len(sel)
+        stds[b] = float(sel.std()) if len(sel) > 1 else 0.0
+    return AccuracySpread(
+        executions=exec_a,
+        accuracies=acc_a,
+        bin_edges=edges,
+        bin_std=stds,
+        bin_counts=counts,
+    )

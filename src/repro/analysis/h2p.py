@@ -1,0 +1,163 @@
+"""Hard-to-predict (H2P) branch screening.
+
+Implements the paper's Sec. III-A criteria: within each slice of a workload,
+a branch is H2P if it (1) has prediction accuracy below 99% under the
+screening predictor (TAGE-SC-L 8KB), (2) executes at least 15,000 times
+(scaled), and (3) generates at least 1,000 mispredictions (scaled).  The
+module also aggregates H2P sets across slices and across application inputs,
+producing the Table I statistics (H2Ps per slice / per input, recurrence in
+3+ inputs, % of mispredictions due to H2Ps).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Set
+
+import numpy as np
+
+from repro.core.metrics import BranchStats, misprediction_fraction
+from repro.config import (
+    H2P_ACCURACY_THRESHOLD,
+    H2P_MIN_EXECUTIONS,
+    H2P_MIN_MISPREDICTIONS,
+)
+
+
+@dataclass(frozen=True)
+class H2pCriteria:
+    """Screening thresholds (defaults: the paper's, scaled)."""
+
+    accuracy_below: float = H2P_ACCURACY_THRESHOLD
+    min_executions: int = H2P_MIN_EXECUTIONS
+    min_mispredictions: int = H2P_MIN_MISPREDICTIONS
+
+    def __post_init__(self) -> None:
+        if not 0 < self.accuracy_below <= 1:
+            raise ValueError("accuracy_below must be in (0, 1]")
+        if self.min_executions < 1 or self.min_mispredictions < 0:
+            raise ValueError("invalid thresholds")
+
+
+DEFAULT_CRITERIA = H2pCriteria()
+
+
+def screen_h2ps(
+    slice_stats: BranchStats, criteria: H2pCriteria = DEFAULT_CRITERIA
+) -> List[int]:
+    """H2P branch IPs in one slice's statistics, sorted by IP."""
+    out = []
+    for ip, counts in slice_stats.items():
+        if (
+            counts.executions >= criteria.min_executions
+            and counts.mispredictions >= criteria.min_mispredictions
+            and counts.accuracy < criteria.accuracy_below
+        ):
+            out.append(ip)
+    return sorted(out)
+
+
+@dataclass
+class SliceH2pReport:
+    """Per-slice screening result."""
+
+    slice_index: int
+    h2p_ips: List[int]
+    misprediction_share: float  # fraction of slice mispredictions from H2Ps
+    total_executions: int
+    total_mispredictions: int
+    mean_h2p_executions: float
+
+
+@dataclass
+class WorkloadH2pReport:
+    """H2P screening over all slices of one (benchmark, input) trace."""
+
+    benchmark: str
+    input_name: str
+    slices: List[SliceH2pReport]
+    union_h2p_ips: FrozenSet[int]
+
+    @property
+    def mean_h2ps_per_slice(self) -> float:
+        if not self.slices:
+            return 0.0
+        return float(np.mean([len(s.h2p_ips) for s in self.slices]))
+
+    @property
+    def mean_misprediction_share(self) -> float:
+        if not self.slices:
+            return 0.0
+        return float(np.mean([s.misprediction_share for s in self.slices]))
+
+    @property
+    def mean_h2p_executions_per_slice(self) -> float:
+        vals = [s.mean_h2p_executions for s in self.slices if s.h2p_ips]
+        return float(np.mean(vals)) if vals else 0.0
+
+
+def screen_workload(
+    benchmark: str,
+    input_name: str,
+    slice_stats: Sequence[BranchStats],
+    criteria: H2pCriteria = DEFAULT_CRITERIA,
+) -> WorkloadH2pReport:
+    """Screen every slice of one workload trace."""
+    reports: List[SliceH2pReport] = []
+    union: Set[int] = set()
+    for k, stats in enumerate(slice_stats):
+        ips = screen_h2ps(stats, criteria)
+        union.update(ips)
+        mean_exec = (
+            float(np.mean([stats.get(ip).executions for ip in ips])) if ips else 0.0
+        )
+        reports.append(
+            SliceH2pReport(
+                slice_index=k,
+                h2p_ips=ips,
+                misprediction_share=misprediction_fraction(stats, ips),
+                total_executions=stats.total_executions,
+                total_mispredictions=stats.total_mispredictions,
+                mean_h2p_executions=mean_exec,
+            )
+        )
+    return WorkloadH2pReport(
+        benchmark=benchmark,
+        input_name=input_name,
+        slices=reports,
+        union_h2p_ips=frozenset(union),
+    )
+
+
+@dataclass
+class CrossInputH2pSummary:
+    """H2P recurrence across application inputs (Table I's middle columns)."""
+
+    benchmark: str
+    total_h2ps: int  # union over all inputs
+    recurring_3plus: int  # H2Ps appearing in >= 3 inputs
+    mean_per_input: float
+    mean_per_slice: float
+    appearance_counts: Dict[int, int] = field(default_factory=dict)
+
+
+def summarize_across_inputs(
+    benchmark: str, reports: Sequence[WorkloadH2pReport]
+) -> CrossInputH2pSummary:
+    """Aggregate per-input screening reports for one benchmark."""
+    if not reports:
+        raise ValueError("need at least one input report")
+    appearance: Counter = Counter()
+    for rep in reports:
+        for ip in rep.union_h2p_ips:
+            appearance[ip] += 1
+    recurring = sum(1 for ip, n in appearance.items() if n >= 3)
+    return CrossInputH2pSummary(
+        benchmark=benchmark,
+        total_h2ps=len(appearance),
+        recurring_3plus=recurring,
+        mean_per_input=float(np.mean([len(r.union_h2p_ips) for r in reports])),
+        mean_per_slice=float(np.mean([r.mean_h2ps_per_slice for r in reports])),
+        appearance_counts=dict(appearance),
+    )

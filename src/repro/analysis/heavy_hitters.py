@@ -1,0 +1,90 @@
+"""Heavy-hitter analysis (paper Fig. 2).
+
+Ranks a benchmark's H2P branches by total dynamic executions and computes
+the cumulative fraction of all dynamic mispredictions they account for.  The
+paper's headline: the top five heavy hitters cover 37% of mispredictions on
+average; ten H2Ps cover 55.3% per slice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.core.metrics import BranchStats
+
+
+@dataclass(frozen=True)
+class HeavyHitter:
+    """One ranked H2P branch."""
+
+    rank: int  # 1-based, by dynamic executions
+    ip: int
+    executions: int
+    mispredictions: int
+    cumulative_misprediction_fraction: float
+
+
+def rank_heavy_hitters(
+    stats: BranchStats, h2p_ips: Iterable[int]
+) -> List[HeavyHitter]:
+    """Rank H2Ps by dynamic executions; cumulative fractions are of *all*
+    mispredictions in ``stats`` (H2P and non-H2P alike), as in Fig. 2."""
+    total_mispred = stats.total_mispredictions
+    entries = sorted(
+        ((ip, stats.get(ip)) for ip in set(h2p_ips)),
+        key=lambda kv: (-kv[1].executions, -kv[1].mispredictions, kv[0]),
+    )
+    out: List[HeavyHitter] = []
+    cum = 0
+    for rank, (ip, counts) in enumerate(entries, start=1):
+        cum += counts.mispredictions
+        out.append(
+            HeavyHitter(
+                rank=rank,
+                ip=ip,
+                executions=counts.executions,
+                mispredictions=counts.mispredictions,
+                cumulative_misprediction_fraction=(
+                    cum / total_mispred if total_mispred else 0.0
+                ),
+            )
+        )
+    return out
+
+
+def cumulative_curve(
+    stats: BranchStats, h2p_ips: Iterable[int], max_rank: int = 50
+) -> np.ndarray:
+    """The Fig. 2 series: cumulative misprediction fraction vs. rank.
+
+    Entry ``i`` is the fraction covered by the top ``i+1`` heavy hitters;
+    the curve is padded with its final value out to ``max_rank``.
+    """
+    hitters = rank_heavy_hitters(stats, h2p_ips)
+    curve = np.zeros(max_rank, dtype=float)
+    last = 0.0
+    for i in range(max_rank):
+        if i < len(hitters):
+            last = hitters[i].cumulative_misprediction_fraction
+        curve[i] = last
+    return curve
+
+
+def top_heavy_hitter(stats: BranchStats, h2p_ips: Iterable[int]) -> HeavyHitter:
+    """The single heaviest hitter (the subject of Table III / Figs. 6, 10)."""
+    hitters = rank_heavy_hitters(stats, h2p_ips)
+    if not hitters:
+        raise ValueError("no H2P branches to rank")
+    return hitters[0]
+
+
+def coverage_at(curve: Sequence[float], n: int) -> float:
+    """Cumulative misprediction fraction of the top ``n`` heavy hitters."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if len(curve) == 0:
+        return 0.0
+    return float(curve[min(n, len(curve)) - 1])

@@ -1,0 +1,177 @@
+"""IPC-opportunity computations (paper Figs. 1, 5, 7, 8).
+
+These helpers combine simulation statistics with the pipeline IPC model to
+produce the paper's performance-opportunity metrics:
+
+* relative-IPC curves under pipeline scaling for a set of predictor
+  variants (Figs. 1 and 5), including the "Perfect H2Ps" idealization;
+* the fraction of the TAGE8→perfect IPC gap closed by larger storage
+  (Fig. 7);
+* the fraction of the IPC opportunity remaining after perfectly predicting
+  all branches above an execution-count threshold (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Mapping, Sequence, Tuple
+
+
+from repro.core.metrics import BranchStats
+from repro.pipeline.config import SCALING_FACTORS, SKYLAKE_LIKE, PipelineConfig
+from repro.pipeline.model import IntervalIpcModel
+
+
+def mispredictions_excluding(
+    stats: BranchStats, perfect_ips: Iterable[int]
+) -> int:
+    """Misprediction count if the given branches were predicted perfectly.
+
+    This is how the "Perfect H2Ps" (Figs. 1/5) and ">N executions perfect"
+    (Fig. 8) idealizations are realized: only the emitted prediction changes,
+    so the misprediction count simply loses those branches' contributions.
+    """
+    excluded = set(perfect_ips)
+    removed = sum(stats.get(ip).mispredictions for ip in excluded)
+    return stats.total_mispredictions - removed
+
+
+def mispredictions_excluding_above(
+    stats: BranchStats, min_executions: int
+) -> int:
+    """Mispredictions left after perfectly predicting every branch with more
+    than ``min_executions`` dynamic executions (Fig. 8's idealization)."""
+    remaining = 0
+    for _, counts in stats.items():
+        if counts.executions <= min_executions:
+            remaining += counts.mispredictions
+    return remaining
+
+
+@dataclass(frozen=True)
+class ScalingCurve:
+    """One line of Fig. 1/5: relative IPC per pipeline scaling factor."""
+
+    label: str
+    scales: Tuple[float, ...]
+    relative_ipc: Tuple[float, ...]
+
+    def at(self, scale: float) -> float:
+        for s, v in zip(self.scales, self.relative_ipc):
+            if s == scale:
+                return v
+        raise KeyError(f"scale {scale} not in curve")
+
+
+def scaling_curves(
+    instructions: int,
+    variant_mispredictions: Mapping[str, int],
+    baseline_label: str,
+    config: PipelineConfig = SKYLAKE_LIKE,
+    scales: Sequence[float] = SCALING_FACTORS,
+) -> List[ScalingCurve]:
+    """Relative-IPC-vs-scale curves for several predictor variants.
+
+    All curves are normalized to the *baseline variant at 1x* (the paper's
+    "IPC relative to baseline Skylake config" axis).
+    """
+    if baseline_label not in variant_mispredictions:
+        raise ValueError(f"baseline {baseline_label!r} missing from variants")
+    base_ipc = IntervalIpcModel(config.scaled(1.0)).ipc(
+        instructions, variant_mispredictions[baseline_label]
+    )
+    curves = []
+    for label, mispred in variant_mispredictions.items():
+        rel = []
+        for s in scales:
+            ipc = IntervalIpcModel(config.scaled(s)).ipc(instructions, mispred)
+            rel.append(ipc / base_ipc)
+        curves.append(
+            ScalingCurve(label=label, scales=tuple(scales), relative_ipc=tuple(rel))
+        )
+    return curves
+
+
+def ipc_opportunity(
+    instructions: int,
+    baseline_mispredictions: int,
+    config: PipelineConfig = SKYLAKE_LIKE,
+    scale: float = 1.0,
+) -> float:
+    """Fractional IPC gain of perfect prediction over the baseline at one
+    scale (the paper's "18.5% IPC opportunity at baseline")."""
+    model = IntervalIpcModel(config.scaled(scale))
+    base = model.ipc(instructions, baseline_mispredictions)
+    perfect = model.ipc(instructions, 0)
+    return perfect / base - 1.0
+
+
+def h2p_share_of_opportunity(
+    instructions: int,
+    baseline_mispredictions: int,
+    h2p_mispredictions_removed: int,
+    config: PipelineConfig = SKYLAKE_LIKE,
+    scale: float = 1.0,
+) -> float:
+    """Fraction of the perfect-BP IPC gain captured by fixing only H2Ps.
+
+    ``h2p_mispredictions_removed`` is the baseline misprediction count minus
+    the H2P contribution.  This is the paper's "H2Ps account for 75.7% of
+    the potential IPC gain" style metric.
+    """
+    model = IntervalIpcModel(config.scaled(scale))
+    base = model.ipc(instructions, baseline_mispredictions)
+    perfect = model.ipc(instructions, 0)
+    h2p_fixed = model.ipc(instructions, h2p_mispredictions_removed)
+    if perfect <= base:
+        return 0.0
+    return (h2p_fixed - base) / (perfect - base)
+
+
+@dataclass(frozen=True)
+class GapClosure:
+    """Fig. 7 cell: fraction of the TAGE8→perfect gap closed by one
+    configuration at one pipeline scale."""
+
+    label: str
+    scale: float
+    fraction_closed: float
+
+
+def storage_gap_closure(
+    instructions: int,
+    baseline_mispredictions: int,
+    config_mispredictions: Mapping[str, int],
+    config: PipelineConfig = SKYLAKE_LIKE,
+    scales: Sequence[float] = SCALING_FACTORS,
+) -> List[GapClosure]:
+    """Fig. 7: per (storage configuration, pipeline scale), the fraction of
+    the baseline→perfect IPC gap the configuration closes."""
+    out: List[GapClosure] = []
+    for s in scales:
+        model = IntervalIpcModel(config.scaled(s))
+        base = model.ipc(instructions, baseline_mispredictions)
+        perfect = model.ipc(instructions, 0)
+        for label, mispred in config_mispredictions.items():
+            improved = model.ipc(instructions, mispred)
+            frac = (improved - base) / (perfect - base) if perfect > base else 0.0
+            out.append(GapClosure(label=label, scale=s, fraction_closed=frac))
+    return out
+
+
+def opportunity_remaining(
+    instructions: int,
+    baseline_mispredictions: int,
+    remaining_mispredictions: int,
+    config: PipelineConfig = SKYLAKE_LIKE,
+    scale: float = 1.0,
+) -> float:
+    """Fig. 8: fraction of the baseline→perfect IPC opportunity that remains
+    after an idealization leaves ``remaining_mispredictions`` in place."""
+    model = IntervalIpcModel(config.scaled(scale))
+    base = model.ipc(instructions, baseline_mispredictions)
+    perfect = model.ipc(instructions, 0)
+    improved = model.ipc(instructions, remaining_mispredictions)
+    if perfect <= base:
+        return 0.0
+    return (perfect - improved) / (perfect - base)

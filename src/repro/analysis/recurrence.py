@@ -1,0 +1,94 @@
+"""Recurrence-interval analysis (paper Fig. 9).
+
+The *recurrence interval* of a static branch is the number of instructions
+between two consecutive dynamic executions of that branch.  The distribution
+of per-branch *median* recurrence intervals reveals phase-like behaviour:
+branches re-executed only every ~100K-1M instructions belong to macro-level
+phases that an on-chip phase recognizer could exploit (Sec. V-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.types import BranchTrace
+from repro.config import EXEC_SCALE
+
+
+def _scaled(edges: Sequence[float], scale: int) -> List[float]:
+    return [e / scale if e > 0 else e for e in edges]
+
+
+#: Paper Fig. 9 bins (instructions), scaled by the slice scale (recurrence
+#: intervals are instruction distances, which shrink with the trace).
+RECURRENCE_BIN_EDGES = _scaled(
+    [0, 1, 100, 1_000, 10_000, 100_000, 1_000_000, 2_000_000, 4_000_000,
+     8_000_000, 16_000_000, 32_000_000],
+    EXEC_SCALE,
+)
+
+
+def median_recurrence_intervals(
+    trace: BranchTrace, conditional_only: bool = True
+) -> Dict[int, float]:
+    """Per-static-branch median recurrence interval (in instructions).
+
+    Branches executing exactly once get interval 0 (the paper's singleton
+    bin).
+    """
+    positions: Dict[int, List[int]] = {}
+    mask = trace.conditional_mask if conditional_only else np.ones(len(trace.ips), bool)
+    ips = trace.ips[mask]
+    instr = trace.instr_indices[mask]
+    order = np.argsort(instr, kind="stable")
+    for i in order:
+        positions.setdefault(int(ips[i]), []).append(int(instr[i]))
+    out: Dict[int, float] = {}
+    for ip, pos in positions.items():
+        if len(pos) < 2:
+            out[ip] = 0.0
+        else:
+            diffs = np.diff(np.asarray(pos))
+            out[ip] = float(np.median(diffs))
+    return out
+
+
+@dataclass(frozen=True)
+class RecurrenceHistogram:
+    """Fraction of static branch IPs per median-recurrence-interval bin."""
+
+    edges: Tuple[float, ...]
+    fractions: Tuple[float, ...]
+    counts: Tuple[int, ...]
+
+    def peak_bin(self, skip_singletons: bool = True) -> int:
+        """Index of the most populated bin (optionally ignoring the 0-1 bin
+        of single-execution branches, as the paper does)."""
+        start = 1 if skip_singletons else 0
+        fracs = self.fractions[start:]
+        return start + int(np.argmax(fracs))
+
+
+def recurrence_histogram(
+    traces: Sequence[BranchTrace],
+    edges: Optional[Sequence[float]] = None,
+) -> RecurrenceHistogram:
+    """Pooled histogram of median recurrence intervals (Fig. 9)."""
+    edges = list(edges) if edges is not None else list(RECURRENCE_BIN_EDGES)
+    values: List[float] = []
+    for trace in traces:
+        values.extend(median_recurrence_intervals(trace).values())
+    arr = np.asarray(values, dtype=float)
+    counts, _ = np.histogram(arr, bins=np.asarray(edges))
+    counts = counts.copy()
+    counts[-1] += int((arr > edges[-1]).sum())
+    total = counts.sum()
+    fractions = counts / total if total else counts.astype(float)
+    return RecurrenceHistogram(
+        edges=tuple(float(e) for e in edges),
+        fractions=tuple(float(f) for f in fractions),
+        counts=tuple(int(c) for c in counts),
+    )

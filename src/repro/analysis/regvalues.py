@@ -1,0 +1,130 @@
+"""Register-value feature analysis (paper Fig. 10).
+
+For data-dependent branches, the architectural register values immediately
+preceding each dynamic execution are a candidate off-BPU input signal
+(Sec. V-B).  The paper plots, for the top H2P heavy hitter of each SPECint
+benchmark, the distribution of the (lower 32 bits of) values in 18 tracked
+registers.  The executor's snapshot instrumentation supplies exactly that
+data; this module reduces it to per-register value histograms and simple
+structure metrics (how concentrated / heavy-tailed the distributions are).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RegisterValueProfile:
+    """Value statistics for one tracked register at one branch."""
+
+    register: int
+    num_samples: int
+    num_distinct: int
+    entropy_bits: float  # Shannon entropy of the value distribution
+    top_values: Tuple[Tuple[int, int], ...]  # (value, count), most common first
+
+    @property
+    def concentration(self) -> float:
+        """Fraction of samples covered by the single most common value."""
+        if not self.num_samples or not self.top_values:
+            return 0.0
+        return self.top_values[0][1] / self.num_samples
+
+
+@dataclass(frozen=True)
+class BranchRegisterProfile:
+    """Fig. 10 panel data: per-register value profiles at one branch."""
+
+    ip: int
+    registers: Tuple[RegisterValueProfile, ...]
+
+    def profile_for(self, register: int) -> RegisterValueProfile:
+        for p in self.registers:
+            if p.register == register:
+                return p
+        raise KeyError(f"register {register} not tracked")
+
+    @property
+    def mean_entropy_bits(self) -> float:
+        if not self.registers:
+            return 0.0
+        return float(np.mean([p.entropy_bits for p in self.registers]))
+
+    def scatter_points(self) -> List[Tuple[int, int, int]]:
+        """(register, value, count) triples — the raw Fig. 10 scatter."""
+        out = []
+        for p in self.registers:
+            for value, count in p.top_values:
+                out.append((p.register, value, count))
+        return out
+
+
+def _entropy_bits(counts: Sequence[int]) -> float:
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    h = 0.0
+    for c in counts:
+        if c:
+            p = c / total
+            h -= p * math.log2(p)
+    return h
+
+
+def profile_register_values(
+    ip: int,
+    snapshots: Sequence[Tuple[int, ...]],
+    tracked_registers: Sequence[int],
+    top_n: int = 64,
+) -> BranchRegisterProfile:
+    """Reduce raw executor snapshots for one branch to per-register profiles.
+
+    Args:
+        ip: the branch the snapshots belong to.
+        snapshots: one tuple of register values per dynamic execution
+            (as produced by ``Executor(snapshot_ips=...)``).
+        tracked_registers: the register indices corresponding to the tuple
+            positions.
+        top_n: how many most-common values to retain per register.
+    """
+    profiles: List[RegisterValueProfile] = []
+    for pos, reg in enumerate(tracked_registers):
+        counter: Counter = Counter()
+        for snap in snapshots:
+            counter[snap[pos] & 0xFFFFFFFF] += 1
+        top = tuple(counter.most_common(top_n))
+        profiles.append(
+            RegisterValueProfile(
+                register=reg,
+                num_samples=len(snapshots),
+                num_distinct=len(counter),
+                entropy_bits=_entropy_bits(list(counter.values())),
+                top_values=top,
+            )
+        )
+    return BranchRegisterProfile(ip=ip, registers=tuple(profiles))
+
+
+def profiles_differ(
+    a: BranchRegisterProfile, b: BranchRegisterProfile, min_ratio: float = 1.5
+) -> bool:
+    """Heuristic for the paper's observation (1): distributions at different
+    branches are drastically different.  True when the mean per-register
+    entropies differ by ``min_ratio`` or the dominant values disagree on a
+    majority of registers."""
+    ea, eb = a.mean_entropy_bits, b.mean_entropy_bits
+    if max(ea, eb) >= min_ratio * max(min(ea, eb), 1e-9):
+        return True
+    disagree = 0
+    for pa, pb in zip(a.registers, b.registers):
+        va = pa.top_values[0][0] if pa.top_values else None
+        vb = pb.top_values[0][0] if pb.top_values else None
+        if va != vb:
+            disagree += 1
+    return disagree > len(a.registers) // 2

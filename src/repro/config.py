@@ -1,0 +1,88 @@
+"""Scaled experiment constants.
+
+The paper operates on 10B-instruction traces post-processed into
+30M-instruction slices, and screens H2Ps at >=15,000 executions / >=1,000
+mispredictions per slice.  A pure-Python interpreter cannot execute 10B
+instructions, so every instruction-count constant is scaled down by
+``SLICE_SCALE`` and every per-branch execution-count constant by
+``EXEC_SCALE`` (the synthetic static branch populations are themselves
+``STATIC_SCALE`` times smaller than the paper's, so per-branch execution
+counts shrink by ``SLICE_SCALE / STATIC_SCALE``).  The accuracy criterion
+(<99%) is scale-free and unchanged.
+
+Every analysis and experiment driver reads these constants, so the whole
+reproduction can be re-run at a different scale by editing this module (or
+passing explicit values to the drivers).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+#: Instruction-count scale relative to the paper (30M-instruction slices
+#: become 300K).
+SLICE_SCALE = 100
+
+#: Static-branch-population scale relative to the paper.
+STATIC_SCALE = 10
+
+#: Per-branch execution-count scale = SLICE_SCALE / STATIC_SCALE.
+EXEC_SCALE = SLICE_SCALE // STATIC_SCALE
+
+#: Scaled slice length (paper: 30,000,000).
+SLICE_INSTRUCTIONS = 30_000_000 // SLICE_SCALE
+
+#: H2P screening criteria (paper: accuracy < 0.99, >= 15,000 executions,
+#: >= 1,000 mispredictions per slice).  These are *per-slice totals*, so
+#: they scale with the slice length (SLICE_SCALE), keeping the criteria
+#: mutually consistent: a slice with the paper's aggregate accuracy can
+#: still contain the paper's number of qualifying H2Ps.
+H2P_ACCURACY_THRESHOLD = 0.99
+H2P_MIN_EXECUTIONS = 15_000 // SLICE_SCALE
+H2P_MIN_MISPREDICTIONS = 1_000 // SLICE_SCALE
+
+#: Dependency-branch analysis window (paper: 5,000 instructions), scaled
+#: mildly — kernels are tighter than real code, so 2,500 instructions spans
+#: proportionally more branches than the paper's window.
+DEPENDENCY_WINDOW_INSTRUCTIONS = 2_500
+
+#: Rare-branch thresholds for the Fig. 8 limit study (paper: 1,000 / 100
+#: dynamic executions per 30M-instruction trace).
+RARE_EXECUTION_THRESHOLDS = (1_000 // EXEC_SCALE, 100 // EXEC_SCALE)
+
+#: Registers tracked for the Fig. 10 register-value study.
+NUM_TRACKED_REGISTERS = 18
+
+
+@dataclass(frozen=True)
+class ExperimentTier:
+    """How much data an experiment run consumes.
+
+    ``quick`` keeps unit-test latency tolerable; ``full`` is the benchmark
+    default.  Both use the same slice length so per-slice statistics are
+    comparable — the tiers differ in how many inputs and slices they cover.
+    """
+
+    name: str
+    spec_inputs: int  # inputs per SPECint benchmark
+    spec_slices: int  # slices per (benchmark, input) trace
+    lcf_slices: int  # slices per LCF application trace
+
+    @property
+    def spec_instructions(self) -> int:
+        return self.spec_slices * SLICE_INSTRUCTIONS
+
+    @property
+    def lcf_instructions(self) -> int:
+        return self.lcf_slices * SLICE_INSTRUCTIONS
+
+
+QUICK_TIER = ExperimentTier(name="quick", spec_inputs=2, spec_slices=3, lcf_slices=1)
+FULL_TIER = ExperimentTier(name="full", spec_inputs=4, spec_slices=10, lcf_slices=1)
+
+
+def active_tier() -> ExperimentTier:
+    """The tier selected by the ``REPRO_TIER`` environment variable
+    (``quick`` unless set to ``full``)."""
+    return FULL_TIER if os.environ.get("REPRO_TIER", "").lower() == "full" else QUICK_TIER

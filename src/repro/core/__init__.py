@@ -1,0 +1,35 @@
+"""Core datatypes, histories, metrics, and storage accounting."""
+
+from repro.core.history import (
+    GlobalHistory,
+    HistoryState,
+    LocalHistoryTable,
+    PathHistory,
+)
+from repro.core.metrics import BranchCounts, BranchStats, misprediction_fraction
+from repro.core.storage import StorageBudget, bits_to_kib, kib_to_bits
+from repro.core.types import (
+    BranchKind,
+    BranchRecord,
+    BranchTrace,
+    TraceSlice,
+    WorkloadTrace,
+)
+
+__all__ = [
+    "BranchCounts",
+    "BranchKind",
+    "BranchRecord",
+    "BranchStats",
+    "BranchTrace",
+    "GlobalHistory",
+    "HistoryState",
+    "LocalHistoryTable",
+    "PathHistory",
+    "StorageBudget",
+    "TraceSlice",
+    "WorkloadTrace",
+    "bits_to_kib",
+    "kib_to_bits",
+    "misprediction_fraction",
+]

@@ -1,0 +1,158 @@
+"""Branch history registers.
+
+The paper (Sec. II) describes the three data modalities BPUs organize raw
+data into: the *global history* (ordered directions of recently executed
+branches), each branch's *local history*, and the *path history* (recent
+branch IPs).  These classes are the shared substrate for every predictor in
+:mod:`repro.predictors`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List
+
+
+class GlobalHistory:
+    """Fixed-capacity global direction history.
+
+    Maintains both a packed integer view (cheap hashing for table-indexed
+    predictors) and a positional view (``bit(i)`` = direction of the i-th most
+    recent branch) for perceptron- and CNN-style predictors.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._mask = (1 << capacity) - 1
+        self._bits = 0
+        self._length = 0
+
+    def push(self, taken: bool) -> None:
+        self._bits = ((self._bits << 1) | int(taken)) & self._mask
+        if self._length < self.capacity:
+            self._length += 1
+
+    def __len__(self) -> int:
+        return self._length
+
+    def bit(self, position: int) -> int:
+        """Direction of the branch at ``position`` (0 = most recent)."""
+        if position < 0 or position >= self.capacity:
+            raise IndexError(f"history position {position} out of range")
+        return (self._bits >> position) & 1
+
+    def low_bits(self, n: int) -> int:
+        """The ``n`` most recent directions packed into an int (newest = LSB)."""
+        if n < 0 or n > self.capacity:
+            raise ValueError(f"cannot take {n} bits from capacity {self.capacity}")
+        return self._bits & ((1 << n) - 1)
+
+    def to_list(self, n: int) -> List[int]:
+        """The ``n`` most recent directions, newest first."""
+        return [(self._bits >> i) & 1 for i in range(min(n, self.capacity))]
+
+    def fold(self, n: int, width: int) -> int:
+        """Fold the ``n`` most recent directions into ``width`` bits by XOR.
+
+        This is the classic folded-history trick TAGE uses to index tables
+        with long histories.
+        """
+        if width <= 0:
+            raise ValueError("width must be positive")
+        bits = self.low_bits(n)
+        folded = 0
+        while bits:
+            folded ^= bits & ((1 << width) - 1)
+            bits >>= width
+        return folded
+
+
+class PathHistory:
+    """Recent branch IP values (the path modality)."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._ips: Deque[int] = deque(maxlen=capacity)
+        self._hash = 0
+
+    def push(self, ip: int) -> None:
+        self._ips.appendleft(ip)
+        # Rolling path hash mixing low IP bits, as hardware path histories do.
+        self._hash = ((self._hash << 3) ^ (ip & 0xFFFF)) & 0xFFFFFFFF
+
+    def __len__(self) -> int:
+        return len(self._ips)
+
+    def recent(self, n: int) -> List[int]:
+        """The ``n`` most recent branch IPs, newest first."""
+        return list(self._ips)[:n]
+
+    def hash_value(self, width: int) -> int:
+        """A ``width``-bit digest of the path history."""
+        if width <= 0 or width > 32:
+            raise ValueError("width must be in 1..32")
+        h, digest = self._hash, 0
+        while h:
+            digest ^= h & ((1 << width) - 1)
+            h >>= width
+        return digest
+
+
+class LocalHistoryTable:
+    """Per-branch direction histories, keyed by hashed IP.
+
+    Models the local-history modality (Yeh & Patt two-level prediction): a
+    table of shift registers indexed by low IP bits.
+    """
+
+    def __init__(self, num_entries: int, history_bits: int) -> None:
+        if num_entries <= 0 or num_entries & (num_entries - 1):
+            raise ValueError("num_entries must be a positive power of two")
+        if history_bits <= 0:
+            raise ValueError("history_bits must be positive")
+        self.num_entries = num_entries
+        self.history_bits = history_bits
+        self._mask = (1 << history_bits) - 1
+        self._table = [0] * num_entries
+
+    def _index(self, ip: int) -> int:
+        return ip & (self.num_entries - 1)
+
+    def get(self, ip: int) -> int:
+        """Packed local history for ``ip`` (newest direction = LSB)."""
+        return self._table[self._index(ip)]
+
+    def push(self, ip: int, taken: bool) -> None:
+        i = self._index(ip)
+        self._table[i] = ((self._table[i] << 1) | int(taken)) & self._mask
+
+    def storage_bits(self) -> int:
+        return self.num_entries * self.history_bits
+
+
+class HistoryState:
+    """Bundle of all three history modalities, updated in lockstep.
+
+    Predictors that need several modalities (TAGE-SC-L, statistical
+    corrector) share one ``HistoryState`` so that the views stay consistent.
+    """
+
+    def __init__(
+        self,
+        global_capacity: int = 4096,
+        path_capacity: int = 32,
+        local_entries: int = 1024,
+        local_bits: int = 16,
+    ) -> None:
+        self.global_history = GlobalHistory(global_capacity)
+        self.path_history = PathHistory(path_capacity)
+        self.local_histories = LocalHistoryTable(local_entries, local_bits)
+
+    def update(self, ip: int, taken: bool) -> None:
+        self.global_history.push(taken)
+        self.path_history.push(ip)
+        self.local_histories.push(ip, taken)

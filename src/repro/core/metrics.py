@@ -1,0 +1,148 @@
+"""Prediction-quality metrics.
+
+Everything in the paper's Tables I/II and Figures 2-8 reduces to per-branch
+and aggregate counts of dynamic executions and mispredictions.  The
+:class:`BranchStats` accumulator is the single source of those counts for the
+whole analysis pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+
+@dataclass
+class BranchCounts:
+    """Dynamic execution / misprediction counts for one static branch."""
+
+    executions: int = 0
+    mispredictions: int = 0
+
+    @property
+    def correct(self) -> int:
+        return self.executions - self.mispredictions
+
+    @property
+    def accuracy(self) -> float:
+        """Prediction accuracy; 1.0 for branches that never executed."""
+        if self.executions == 0:
+            return 1.0
+        return self.correct / self.executions
+
+    def merge(self, other: "BranchCounts") -> None:
+        self.executions += other.executions
+        self.mispredictions += other.mispredictions
+
+
+class BranchStats:
+    """Accumulates per-static-branch prediction statistics over a run."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[int, BranchCounts] = {}
+        self.total_executions = 0
+        self.total_mispredictions = 0
+
+    def record(self, ip: int, correct: bool) -> None:
+        entry = self._counts.get(ip)
+        if entry is None:
+            entry = BranchCounts()
+            self._counts[ip] = entry
+        entry.executions += 1
+        self.total_executions += 1
+        if not correct:
+            entry.mispredictions += 1
+            self.total_mispredictions += 1
+
+    def record_bulk(self, ip: int, executions: int, mispredictions: int) -> None:
+        """Add pre-aggregated counts (used by vectorized simulation paths)."""
+        if mispredictions > executions:
+            raise ValueError("mispredictions cannot exceed executions")
+        entry = self._counts.get(ip)
+        if entry is None:
+            entry = BranchCounts()
+            self._counts[ip] = entry
+        entry.executions += executions
+        entry.mispredictions += mispredictions
+        self.total_executions += executions
+        self.total_mispredictions += mispredictions
+
+    def __contains__(self, ip: int) -> bool:
+        return ip in self._counts
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def get(self, ip: int) -> BranchCounts:
+        return self._counts.get(ip, BranchCounts())
+
+    def items(self) -> Iterable[Tuple[int, BranchCounts]]:
+        return self._counts.items()
+
+    def ips(self) -> List[int]:
+        return list(self._counts.keys())
+
+    @property
+    def accuracy(self) -> float:
+        """Aggregate accuracy over all recorded dynamic branches."""
+        if self.total_executions == 0:
+            return 1.0
+        return 1.0 - self.total_mispredictions / self.total_executions
+
+    def accuracy_excluding(self, excluded_ips: Iterable[int]) -> float:
+        """Aggregate accuracy with the given static branches removed.
+
+        Implements the paper's "Avg. Acc. excl. H2Ps" column of Table I.
+        """
+        excluded = set(excluded_ips)
+        execs = self.total_executions
+        mispreds = self.total_mispredictions
+        for ip in excluded:
+            entry = self._counts.get(ip)
+            if entry is not None:
+                execs -= entry.executions
+                mispreds -= entry.mispredictions
+        if execs == 0:
+            return 1.0
+        return 1.0 - mispreds / execs
+
+    def mean_accuracy_per_branch(self) -> float:
+        """Unweighted mean of per-static-branch accuracy (Table II metric)."""
+        if not self._counts:
+            return 1.0
+        return float(np.mean([c.accuracy for c in self._counts.values()]))
+
+    def mean_executions_per_branch(self) -> float:
+        if not self._counts:
+            return 0.0
+        return self.total_executions / len(self._counts)
+
+    def mpki(self, instr_count: int) -> float:
+        """Mispredictions per kilo-instruction."""
+        if instr_count <= 0:
+            raise ValueError("instr_count must be positive")
+        return 1000.0 * self.total_mispredictions / instr_count
+
+    def merge(self, other: "BranchStats") -> None:
+        for ip, counts in other.items():
+            self.record_bulk(ip, counts.executions, counts.mispredictions)
+
+    def copy(self) -> "BranchStats":
+        out = BranchStats()
+        out.merge(self)
+        return out
+
+
+def misprediction_fraction(
+    stats: BranchStats, ips: Iterable[int]
+) -> float:
+    """Fraction of all dynamic mispredictions caused by the given branches.
+
+    This is the paper's "% Mispreds due to H2Ps per Slice" metric.
+    """
+    if stats.total_mispredictions == 0:
+        return 0.0
+    subset = sum(stats.get(ip).mispredictions for ip in set(ips))
+    return subset / stats.total_mispredictions

@@ -1,0 +1,64 @@
+"""BPU storage accounting.
+
+CBP2016 (and the paper's limit studies) compare predictors at fixed storage
+budgets: 8KB and 64KB in the contest, up to 1024KB in the paper's Fig. 7
+sweep.  Every predictor in :mod:`repro.predictors` reports its footprint via
+``storage_bits()``; this module provides the budget arithmetic and a helper
+to verify a predictor fits its advertised budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+
+KIB = 1024
+BITS_PER_BYTE = 8
+
+
+def kib_to_bits(kib: float) -> int:
+    """Convert a storage budget in KiB to bits."""
+    if kib <= 0:
+        raise ValueError("storage budget must be positive")
+    return int(kib * KIB * BITS_PER_BYTE)
+
+
+def bits_to_kib(bits: int) -> float:
+    if bits < 0:
+        raise ValueError("bits must be non-negative")
+    return bits / (KIB * BITS_PER_BYTE)
+
+
+class HasStorage(Protocol):
+    def storage_bits(self) -> int: ...
+
+
+@dataclass(frozen=True)
+class StorageBudget:
+    """A storage envelope with a tolerance, e.g. "8KB-class predictor".
+
+    CBP rules allow small overheads (logic registers, a few counters), so we
+    accept footprints up to ``slack`` above the nominal budget.
+    """
+
+    kib: float
+    slack: float = 0.10
+
+    @property
+    def bits(self) -> int:
+        return kib_to_bits(self.kib)
+
+    def fits(self, component: HasStorage) -> bool:
+        return component.storage_bits() <= self.bits * (1.0 + self.slack)
+
+    def utilization(self, component: HasStorage) -> float:
+        """Fraction of the budget the component consumes."""
+        return component.storage_bits() / self.bits
+
+
+def saturating_counter_bits(num_counters: int, width: int) -> int:
+    """Bits consumed by a table of saturating counters."""
+    if num_counters < 0 or width <= 0:
+        raise ValueError("invalid counter table shape")
+    return num_counters * width

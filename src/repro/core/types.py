@@ -1,0 +1,231 @@
+"""Core datatypes shared across the library.
+
+The whole measurement pipeline in the paper operates on a *dynamic branch
+stream*: the ordered sequence of (instruction pointer, branch kind, taken
+direction, target) tuples produced as a program retires instructions.  These
+types model that stream plus the slicing discipline the paper uses
+(30M-instruction slices, scaled down here; see
+:mod:`repro.experiments.config`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+
+class BranchKind(enum.IntEnum):
+    """Kinds of control-flow instructions the BPU observes.
+
+    Only :attr:`CONDITIONAL` branches are predicted for direction; the other
+    kinds participate in the path history and instruction accounting.
+    """
+
+    CONDITIONAL = 0
+    UNCONDITIONAL = 1
+    CALL = 2
+    RETURN = 3
+    INDIRECT = 4
+
+
+@dataclass(frozen=True)
+class BranchRecord:
+    """A single dynamic branch execution as seen by the BPU.
+
+    Attributes:
+        ip: instruction pointer (virtual address) of the branch.
+        taken: observed direction (always True for unconditional kinds).
+        target: branch target address.
+        kind: the :class:`BranchKind`.
+        instr_index: index of this branch in the retired instruction stream
+            (used for recurrence-interval and slicing analyses).
+    """
+
+    ip: int
+    taken: bool
+    target: int
+    kind: BranchKind = BranchKind.CONDITIONAL
+    instr_index: int = 0
+
+    @property
+    def is_conditional(self) -> bool:
+        return self.kind == BranchKind.CONDITIONAL
+
+
+class BranchTrace:
+    """A columnar dynamic branch trace.
+
+    Stores the branch stream as parallel numpy arrays for speed, while still
+    exposing a record-oriented iteration interface.  ``instr_count`` is the
+    total number of retired instructions the trace spans (branches plus
+    non-branch instructions), which the IPC model and slicing logic need.
+    """
+
+    __slots__ = ("ips", "taken", "targets", "kinds", "instr_indices", "instr_count")
+
+    def __init__(
+        self,
+        ips: Sequence[int],
+        taken: Sequence[bool],
+        targets: Optional[Sequence[int]] = None,
+        kinds: Optional[Sequence[int]] = None,
+        instr_indices: Optional[Sequence[int]] = None,
+        instr_count: Optional[int] = None,
+    ) -> None:
+        self.ips = np.asarray(ips, dtype=np.int64)
+        self.taken = np.asarray(taken, dtype=np.uint8)
+        n = len(self.ips)
+        if len(self.taken) != n:
+            raise ValueError("ips and taken must have equal length")
+        self.targets = (
+            np.asarray(targets, dtype=np.int64)
+            if targets is not None
+            else np.zeros(n, dtype=np.int64)
+        )
+        self.kinds = (
+            np.asarray(kinds, dtype=np.int8)
+            if kinds is not None
+            else np.full(n, int(BranchKind.CONDITIONAL), dtype=np.int8)
+        )
+        self.instr_indices = (
+            np.asarray(instr_indices, dtype=np.int64)
+            if instr_indices is not None
+            else np.arange(n, dtype=np.int64)
+        )
+        if len(self.targets) != n or len(self.kinds) != n or len(self.instr_indices) != n:
+            raise ValueError("all trace columns must have equal length")
+        if instr_count is None:
+            instr_count = int(self.instr_indices[-1]) + 1 if n else 0
+        if n and instr_count <= int(self.instr_indices[-1]):
+            raise ValueError("instr_count must exceed the last instruction index")
+        self.instr_count = int(instr_count)
+
+    def __len__(self) -> int:
+        return len(self.ips)
+
+    def __iter__(self) -> Iterator[BranchRecord]:
+        for i in range(len(self.ips)):
+            yield BranchRecord(
+                ip=int(self.ips[i]),
+                taken=bool(self.taken[i]),
+                target=int(self.targets[i]),
+                kind=BranchKind(int(self.kinds[i])),
+                instr_index=int(self.instr_indices[i]),
+            )
+
+    @classmethod
+    def from_records(
+        cls, records: Iterable[BranchRecord], instr_count: Optional[int] = None
+    ) -> "BranchTrace":
+        recs = list(records)
+        return cls(
+            ips=[r.ip for r in recs],
+            taken=[r.taken for r in recs],
+            targets=[r.target for r in recs],
+            kinds=[int(r.kind) for r in recs],
+            instr_indices=[r.instr_index for r in recs],
+            instr_count=instr_count,
+        )
+
+    @property
+    def conditional_mask(self) -> np.ndarray:
+        return self.kinds == int(BranchKind.CONDITIONAL)
+
+    def num_conditional(self) -> int:
+        return int(self.conditional_mask.sum())
+
+    def static_branch_ips(self, conditional_only: bool = True) -> np.ndarray:
+        """Unique static branch IPs appearing in the trace."""
+        ips = self.ips[self.conditional_mask] if conditional_only else self.ips
+        return np.unique(ips)
+
+    def slices(self, slice_instructions: int) -> List["TraceSlice"]:
+        """Cut the trace into fixed-instruction-length slices.
+
+        Mirrors the paper's post-processing of 10B-instruction traces into
+        30M-instruction slices.  The final partial slice is kept only if it
+        covers at least half a slice, so short tails do not distort per-slice
+        statistics.
+        """
+        if slice_instructions <= 0:
+            raise ValueError("slice_instructions must be positive")
+        out: List[TraceSlice] = []
+        n_slices = self.instr_count // slice_instructions
+        remainder = self.instr_count - n_slices * slice_instructions
+        if remainder >= slice_instructions // 2:
+            n_slices += 1
+        boundaries = np.searchsorted(
+            self.instr_indices,
+            [(k + 1) * slice_instructions for k in range(n_slices)],
+        )
+        start = 0
+        for k in range(n_slices):
+            stop = int(boundaries[k])
+            out.append(
+                TraceSlice(
+                    trace=self,
+                    index=k,
+                    start=start,
+                    stop=stop,
+                    instr_start=k * slice_instructions,
+                    instr_stop=min((k + 1) * slice_instructions, self.instr_count),
+                )
+            )
+            start = stop
+        return out
+
+
+@dataclass(frozen=True)
+class TraceSlice:
+    """A contiguous window of a :class:`BranchTrace` covering a fixed number
+    of retired instructions (the paper's 30M-instruction slice, scaled)."""
+
+    trace: BranchTrace
+    index: int
+    start: int  # first branch index in the parent trace (inclusive)
+    stop: int  # last branch index (exclusive)
+    instr_start: int
+    instr_stop: int
+
+    @property
+    def instr_count(self) -> int:
+        return self.instr_stop - self.instr_start
+
+    @property
+    def ips(self) -> np.ndarray:
+        return self.trace.ips[self.start : self.stop]
+
+    @property
+    def taken(self) -> np.ndarray:
+        return self.trace.taken[self.start : self.stop]
+
+    @property
+    def kinds(self) -> np.ndarray:
+        return self.trace.kinds[self.start : self.stop]
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+
+@dataclass
+class WorkloadTrace:
+    """A traced (benchmark, input) pair: the paper's unit of data collection.
+
+    Attributes:
+        benchmark: benchmark name (e.g. ``"641.leela_s"``).
+        input_name: application-input identifier (the paper expands each
+            benchmark with multiple inputs, after Amaral et al.).
+        trace: the dynamic branch trace.
+    """
+
+    benchmark: str
+    input_name: str
+    trace: BranchTrace
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        return f"{self.benchmark}/{self.input_name}"

@@ -1,0 +1,96 @@
+"""Experiment drivers: one per table/figure of the paper."""
+
+from repro.experiments.allocation_study import (
+    AllocationStudyResult,
+    compute_allocation_study,
+)
+from repro.experiments.cnn_study import CnnStudyResult, compute_cnn_study
+from repro.experiments.config import (
+    DEPENDENCY_WINDOW_INSTRUCTIONS,
+    EXEC_SCALE,
+    FULL_TIER,
+    H2P_ACCURACY_THRESHOLD,
+    H2P_MIN_EXECUTIONS,
+    H2P_MIN_MISPREDICTIONS,
+    NUM_TRACKED_REGISTERS,
+    QUICK_TIER,
+    RARE_EXECUTION_THRESHOLDS,
+    SLICE_INSTRUCTIONS,
+    SLICE_SCALE,
+    STATIC_SCALE,
+    ExperimentTier,
+    active_tier,
+)
+from repro.experiments.fig1 import ScalingStudy, compute_fig1, compute_scaling_study
+from repro.experiments.fig2 import Fig2, compute_fig2
+from repro.experiments.fig3 import Fig3, Fig4, compute_fig3, compute_fig4
+from repro.experiments.fig5 import compute_fig5
+from repro.experiments.fig7 import Fig7, compute_fig7
+from repro.experiments.fig8 import Fig8, compute_fig8
+from repro.experiments.fig9 import Fig9, compute_fig9
+from repro.experiments.fig10 import Fig10, compute_fig10
+from repro.experiments.lab import Lab, PREDICTOR_FACTORIES, default_lab
+from repro.experiments.phase_study import (
+    PhaseStudyResult,
+    PhaseStudyRow,
+    compute_phase_study,
+    rare_branch_accuracy,
+)
+from repro.experiments.table1 import Table1, Table1Row, compute_table1
+from repro.experiments.table2 import Table2, Table2Row, compute_table2
+from repro.experiments.table3 import Table3, Table3Entry, compute_table3
+
+__all__ = [
+    "AllocationStudyResult",
+    "CnnStudyResult",
+    "DEPENDENCY_WINDOW_INSTRUCTIONS",
+    "EXEC_SCALE",
+    "ExperimentTier",
+    "FULL_TIER",
+    "Fig10",
+    "Fig2",
+    "Fig3",
+    "Fig4",
+    "Fig7",
+    "Fig8",
+    "Fig9",
+    "H2P_ACCURACY_THRESHOLD",
+    "H2P_MIN_EXECUTIONS",
+    "H2P_MIN_MISPREDICTIONS",
+    "Lab",
+    "NUM_TRACKED_REGISTERS",
+    "PREDICTOR_FACTORIES",
+    "PhaseStudyResult",
+    "PhaseStudyRow",
+    "QUICK_TIER",
+    "RARE_EXECUTION_THRESHOLDS",
+    "SLICE_INSTRUCTIONS",
+    "SLICE_SCALE",
+    "STATIC_SCALE",
+    "ScalingStudy",
+    "Table1",
+    "Table1Row",
+    "Table2",
+    "Table2Row",
+    "Table3",
+    "Table3Entry",
+    "active_tier",
+    "compute_allocation_study",
+    "compute_cnn_study",
+    "compute_fig1",
+    "compute_phase_study",
+    "rare_branch_accuracy",
+    "compute_fig10",
+    "compute_fig2",
+    "compute_fig3",
+    "compute_fig4",
+    "compute_fig5",
+    "compute_fig7",
+    "compute_fig8",
+    "compute_fig9",
+    "compute_scaling_study",
+    "compute_table1",
+    "compute_table2",
+    "compute_table3",
+    "default_lab",
+]

@@ -1,0 +1,121 @@
+"""Sec. V-C study: offline-trained CNN helper predictors on an H2P.
+
+Implements the paper's proposed direction end to end:
+
+1. trace the helper-study workload over multiple application inputs;
+2. train a per-branch CNN helper offline on some inputs;
+3. evaluate it on *unseen* inputs (the companion paper's generalization
+   claim) in float and 2-bit quantized form;
+4. compare against TAGE-SC-L 8KB's accuracy on the same branch, and deploy
+   the helper alongside TAGE via :class:`HelperAugmentedPredictor` to
+   measure the end-to-end accuracy improvement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.experiments.lab import Lab, default_lab
+from repro.experiments.reporting import format_table
+from repro.pipeline.simulator import simulate_trace
+from repro.predictors.cnn_helper import (
+    CnnHelperConfig,
+    CnnHelperPredictor,
+    HelperAugmentedPredictor,
+    extract_branch_dataset,
+)
+from repro.predictors.tagescl import make_tage_sc_l
+from repro.workloads.helper_study import HELPER_STUDY_WORKLOAD, h2p_branch_ip
+
+#: Default helper hyperparameters for the study: the convolution window must
+#: span the dependency pair through the random-length noise gap.
+STUDY_CONFIG = CnnHelperConfig(
+    history_length=20, conv_width=10, num_filters=24, epochs=10
+)
+
+
+@dataclass(frozen=True)
+class CnnStudyResult:
+    h2p_ip: int
+    tage_accuracy_on_h2p: float
+    helper_train_accuracy: float
+    helper_cross_input_accuracy: float
+    helper_quantized_cross_input_accuracy: float
+    augmented_accuracy_on_h2p: float
+    helper_storage_kib_2bit: float
+
+    @property
+    def improvement(self) -> float:
+        """Cross-input accuracy uplift of the 2-bit helper over TAGE."""
+        return self.helper_quantized_cross_input_accuracy - self.tage_accuracy_on_h2p
+
+    def render(self) -> str:
+        rows = [
+            ("TAGE-SC-L 8KB on H2P", self.tage_accuracy_on_h2p),
+            ("CNN helper (train input)", self.helper_train_accuracy),
+            ("CNN helper (unseen input, float)", self.helper_cross_input_accuracy),
+            ("CNN helper (unseen input, 2-bit)", self.helper_quantized_cross_input_accuracy),
+            ("TAGE + deployed helper on H2P", self.augmented_accuracy_on_h2p),
+        ]
+        return format_table(
+            ["configuration", "accuracy"],
+            rows,
+            title=(
+                f"Sec. V-C: CNN helper study (H2P @ {hex(self.h2p_ip)}, "
+                f"helper {self.helper_storage_kib_2bit:.2f} KiB at 2-bit)"
+            ),
+        )
+
+
+def compute_cnn_study(
+    lab: Optional[Lab] = None,
+    config: CnnHelperConfig = STUDY_CONFIG,
+    train_inputs: Tuple[int, ...] = (0, 1),
+    test_input: int = 2,
+) -> CnnStudyResult:
+    lab = lab or default_lab()
+    name = HELPER_STUDY_WORKLOAD.name
+
+    test_trace = lab.trace(name, test_input)
+    ip = h2p_branch_ip(test_trace.metadata["program"])
+
+    # TAGE baseline on the unseen input.
+    tage_result = simulate_trace(test_trace.trace, make_tage_sc_l(8))
+    tage_acc = tage_result.stats.get(ip).accuracy
+
+    # Offline training set: multiple inputs pooled (the paper's multi-input
+    # trace library).
+    X_parts, y_parts = [], []
+    for ti in train_inputs:
+        trace = lab.trace(name, ti)
+        X, y = extract_branch_dataset(trace.trace, ip, config.history_length)
+        X_parts.append(X)
+        y_parts.append(y)
+    X_train = np.concatenate(X_parts)
+    y_train = np.concatenate(y_parts)
+    X_test, y_test = extract_branch_dataset(test_trace.trace, ip, config.history_length)
+
+    helper = CnnHelperPredictor(ip, config)
+    helper.train(X_train, y_train)
+    train_acc = helper.accuracy(X_train, y_train)
+    float_acc = helper.accuracy(X_test, y_test)
+    helper.quantize(2, finetune_histories=X_train, finetune_outcomes=y_train)
+    quant_acc = helper.accuracy(X_test, y_test)
+
+    # Deploy alongside TAGE on the unseen input.
+    augmented = HelperAugmentedPredictor(make_tage_sc_l(8), [helper])
+    aug_result = simulate_trace(test_trace.trace, augmented)
+    aug_acc = aug_result.stats.get(ip).accuracy
+
+    return CnnStudyResult(
+        h2p_ip=ip,
+        tage_accuracy_on_h2p=tage_acc,
+        helper_train_accuracy=train_acc,
+        helper_cross_input_accuracy=float_acc,
+        helper_quantized_cross_input_accuracy=quant_acc,
+        augmented_accuracy_on_h2p=aug_acc,
+        helper_storage_kib_2bit=helper.storage_bits(2) / 8192.0,
+    )

@@ -1,0 +1,22 @@
+"""Re-export of :mod:`repro.config` (kept for the experiments namespace).
+
+The scaled constants live at top level so that analysis modules can import
+them without touching the experiment drivers.
+"""
+
+from repro.config import (  # noqa: F401
+    DEPENDENCY_WINDOW_INSTRUCTIONS,
+    EXEC_SCALE,
+    FULL_TIER,
+    H2P_ACCURACY_THRESHOLD,
+    H2P_MIN_EXECUTIONS,
+    H2P_MIN_MISPREDICTIONS,
+    NUM_TRACKED_REGISTERS,
+    QUICK_TIER,
+    RARE_EXECUTION_THRESHOLDS,
+    SLICE_INSTRUCTIONS,
+    SLICE_SCALE,
+    STATIC_SCALE,
+    ExperimentTier,
+    active_tier,
+)

@@ -1,0 +1,106 @@
+"""Fig. 1 (and Fig. 5): relative IPC vs. pipeline capacity scaling.
+
+Four variants over a workload suite: TAGE-SC-L 8KB (the baseline), TAGE-SC-L
+64KB, "Perfect H2Ps" (the baseline with every H2P branch predicted
+perfectly), and perfect branch prediction.  All IPCs are relative to the
+baseline predictor at 1x scale.  Fig. 1 runs the SPECint suite; Fig. 5 the
+LCF suite (see :mod:`repro.experiments.fig5`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.analysis.h2p import screen_workload
+from repro.analysis.opportunity import ScalingCurve, scaling_curves
+from repro.experiments.lab import Lab, default_lab
+from repro.experiments.reporting import format_series
+from repro.pipeline.config import SCALING_FACTORS
+from repro.workloads import SPECINT_WORKLOADS
+
+VARIANTS = ("tage-sc-l-8kb", "tage-sc-l-64kb", "perfect-h2ps", "perfect")
+
+
+@dataclass(frozen=True)
+class ScalingStudy:
+    """Fig. 1/5 data: one relative-IPC curve per predictor variant."""
+
+    suite: str
+    instructions: int
+    mispredictions: Dict[str, int]
+    curves: Tuple[ScalingCurve, ...]
+
+    def curve(self, label: str) -> ScalingCurve:
+        for c in self.curves:
+            if c.label == label:
+                return c
+        raise KeyError(label)
+
+    def opportunity_at(self, scale: float) -> float:
+        """Fractional IPC gain of perfect BP over the baseline at a scale."""
+        perfect = self.curve("perfect").at(scale)
+        base = self.curve("tage-sc-l-8kb").at(scale)
+        return perfect / base - 1.0
+
+    def h2p_share_at(self, scale: float) -> float:
+        """Fraction of the perfect-BP gain captured by fixing only H2Ps."""
+        perfect = self.curve("perfect").at(scale)
+        base = self.curve("tage-sc-l-8kb").at(scale)
+        h2p = self.curve("perfect-h2ps").at(scale)
+        if perfect <= base:
+            return 0.0
+        return (h2p - base) / (perfect - base)
+
+    def render(self) -> str:
+        lines = [f"Relative IPC vs pipeline scale ({self.suite})"]
+        for c in self.curves:
+            lines.append(format_series(c.label, c.scales, c.relative_ipc))
+        return "\n".join(lines)
+
+
+def compute_scaling_study(
+    suite_names: Sequence[str],
+    suite_label: str,
+    lab: Optional[Lab] = None,
+    scales: Sequence[float] = SCALING_FACTORS,
+) -> ScalingStudy:
+    """Aggregate misprediction counts over a suite, then model IPC."""
+    lab = lab or default_lab()
+    instructions = 0
+    mis: Dict[str, int] = {v: 0 for v in VARIANTS}
+    for name in suite_names:
+        for input_index in lab.inputs_for(name):
+            base = lab.simulate(name, input_index, "tage-sc-l-8kb")
+            big = lab.simulate(name, input_index, "tage-sc-l-64kb")
+            report = screen_workload(name, str(input_index), base.slice_stats)
+            # "Perfect H2Ps" removes, per slice, the mispredictions of the
+            # branches that qualify as H2P *in that slice* — the same
+            # granularity at which the paper screens.
+            h2p_mis = 0
+            for slice_report, slice_stats in zip(report.slices, base.slice_stats):
+                h2p_mis += sum(
+                    slice_stats.get(ip).mispredictions
+                    for ip in slice_report.h2p_ips
+                )
+            instructions += base.instr_count
+            mis["tage-sc-l-8kb"] += base.mispredictions
+            mis["tage-sc-l-64kb"] += big.mispredictions
+            mis["perfect-h2ps"] += base.mispredictions - h2p_mis
+            mis["perfect"] += 0
+    curves = scaling_curves(
+        instructions, mis, baseline_label="tage-sc-l-8kb", scales=scales
+    )
+    return ScalingStudy(
+        suite=suite_label,
+        instructions=instructions,
+        mispredictions=mis,
+        curves=tuple(curves),
+    )
+
+
+def compute_fig1(lab: Optional[Lab] = None) -> ScalingStudy:
+    """Fig. 1: the SPECint suite."""
+    return compute_scaling_study(
+        [w.name for w in SPECINT_WORKLOADS], "SPECint-like", lab
+    )

@@ -1,0 +1,89 @@
+"""Fig. 10: register-value distributions preceding top heavy hitters.
+
+For each SPECint benchmark, snapshot the 18 tracked registers at every
+dynamic execution of the top H2P heavy hitter and profile the value
+distributions.  The paper's two observations are checked downstream: the
+distributions differ drastically across benchmarks (so helpers should be
+branch-specific), and they carry recognizable structure (finite entropy,
+dominant values) that a model could exploit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.analysis.h2p import screen_workload
+from repro.analysis.heavy_hitters import rank_heavy_hitters
+from repro.analysis.regvalues import (
+    BranchRegisterProfile,
+    profile_register_values,
+    profiles_differ,
+)
+from repro.experiments.config import NUM_TRACKED_REGISTERS
+from repro.experiments.lab import Lab, default_lab
+from repro.experiments.reporting import format_table
+from repro.workloads import SPECINT_WORKLOADS, WORKLOADS_BY_NAME, execute_workload
+
+SNAPSHOT_INSTRUCTIONS = 300_000
+
+
+@dataclass(frozen=True)
+class Fig10:
+    profiles: Dict[str, BranchRegisterProfile]
+
+    def distinct_pairs_fraction(self) -> float:
+        """Fraction of benchmark pairs whose register-value distributions
+        differ (paper observation 1: essentially all of them)."""
+        names = list(self.profiles)
+        if len(names) < 2:
+            return 1.0
+        total, differ = 0, 0
+        for i in range(len(names)):
+            for j in range(i + 1, len(names)):
+                total += 1
+                if profiles_differ(self.profiles[names[i]], self.profiles[names[j]]):
+                    differ += 1
+        return differ / total
+
+    def render(self) -> str:
+        headers = ["benchmark", "h2p ip", "samples", "mean entropy (bits)", "max distinct"]
+        rows = []
+        for name, prof in self.profiles.items():
+            rows.append(
+                (
+                    name, hex(prof.ip),
+                    prof.registers[0].num_samples if prof.registers else 0,
+                    round(prof.mean_entropy_bits, 2),
+                    max(p.num_distinct for p in prof.registers) if prof.registers else 0,
+                )
+            )
+        return format_table(
+            headers, rows,
+            title="Fig. 10: register-value structure at top heavy hitters",
+        )
+
+
+def compute_fig10(
+    lab: Optional[Lab] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> Fig10:
+    lab = lab or default_lab()
+    names = list(benchmarks) if benchmarks else [w.name for w in SPECINT_WORKLOADS]
+    tracked = tuple(range(NUM_TRACKED_REGISTERS))
+    profiles: Dict[str, BranchRegisterProfile] = {}
+    for name in names:
+        result = lab.simulate(name, 0, "tage-sc-l-8kb")
+        report = screen_workload(name, "input0", result.slice_stats)
+        if not report.union_h2p_ips:
+            continue
+        top_ip = rank_heavy_hitters(result.stats, report.union_h2p_ips)[0].ip
+        exec_result = execute_workload(
+            WORKLOADS_BY_NAME[name], 0,
+            instructions=SNAPSHOT_INSTRUCTIONS,
+            snapshot_ips=[top_ip],
+            tracked_registers=tracked,
+        )
+        snaps = exec_result.register_snapshots.get(top_ip, [])
+        profiles[name] = profile_register_values(top_ip, snaps, tracked)
+    return Fig10(profiles=profiles)

@@ -1,0 +1,49 @@
+"""Fig. 2: cumulative misprediction fraction of ranked H2P heavy hitters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.analysis.h2p import screen_workload
+from repro.analysis.heavy_hitters import coverage_at, cumulative_curve
+from repro.experiments.lab import Lab, default_lab
+from repro.experiments.reporting import format_series
+from repro.workloads import SPECINT_WORKLOADS
+
+
+@dataclass(frozen=True)
+class Fig2:
+    """One cumulative curve per benchmark (input 0, full trace stats)."""
+
+    curves: Dict[str, np.ndarray]
+    max_rank: int
+
+    def mean_coverage_top(self, n: int) -> float:
+        """Mean cumulative fraction of mispredictions from the top-n heavy
+        hitters (the paper: top 5 cover 37% on average)."""
+        return float(
+            np.mean([coverage_at(curve, n) for curve in self.curves.values()])
+        )
+
+    def render(self) -> str:
+        lines = ["Fig. 2: cumulative misprediction fraction vs heavy-hitter rank"]
+        ranks = list(range(1, self.max_rank + 1))
+        for name, curve in self.curves.items():
+            lines.append(format_series(name, ranks[:10], curve[:10]))
+        lines.append(f"mean top-5 coverage: {self.mean_coverage_top(5):.3f}")
+        return "\n".join(lines)
+
+
+def compute_fig2(lab: Optional[Lab] = None, max_rank: int = 50) -> Fig2:
+    lab = lab or default_lab()
+    curves: Dict[str, np.ndarray] = {}
+    for spec in SPECINT_WORKLOADS:
+        result = lab.simulate(spec.name, 0, "tage-sc-l-8kb")
+        report = screen_workload(spec.name, "input0", result.slice_stats)
+        curves[spec.name] = cumulative_curve(
+            result.stats, report.union_h2p_ips, max_rank=max_rank
+        )
+    return Fig2(curves=curves, max_rank=max_rank)

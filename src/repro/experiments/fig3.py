@@ -1,0 +1,66 @@
+"""Figs. 3 & 4: rare-branch distributions over the LCF dataset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analysis.distributions import (
+    AccuracySpread,
+    BranchDistributions,
+    accuracy_spread,
+    branch_distributions,
+)
+from repro.experiments.lab import Lab, default_lab
+from repro.experiments.reporting import format_histogram
+from repro.workloads import LCF_WORKLOADS
+
+
+@dataclass(frozen=True)
+class Fig3:
+    distributions: BranchDistributions
+
+    def render(self) -> str:
+        d = self.distributions
+        return "\n".join(
+            [
+                "Fig. 3 (LCF dataset, TAGE-SC-L 8KB)",
+                "dynamic mispredictions per static branch:",
+                format_histogram(d.mispredictions.edges, d.mispredictions.fractions),
+                "dynamic executions per static branch:",
+                format_histogram(d.executions.edges, d.executions.fractions),
+                "prediction accuracy per static branch:",
+                format_histogram(d.accuracy.edges, d.accuracy.fractions),
+            ]
+        )
+
+
+@dataclass(frozen=True)
+class Fig4:
+    spread: AccuracySpread
+
+    def render(self) -> str:
+        lines = ["Fig. 4b: stddev of accuracy by execution-count bin"]
+        for i in range(min(len(self.spread.bin_std), 15)):
+            lo, hi = self.spread.bin_edges[i], self.spread.bin_edges[i + 1]
+            lines.append(
+                f"  [{lo:.0f}, {hi:.0f}): std={self.spread.bin_std[i]:.3f} "
+                f"(n={self.spread.bin_counts[i]})"
+            )
+        return "\n".join(lines)
+
+
+def _lcf_stats(lab: Lab) -> List:
+    return [
+        lab.simulate(spec.name, 0, "tage-sc-l-8kb").stats for spec in LCF_WORKLOADS
+    ]
+
+
+def compute_fig3(lab: Optional[Lab] = None) -> Fig3:
+    lab = lab or default_lab()
+    return Fig3(distributions=branch_distributions(_lcf_stats(lab)))
+
+
+def compute_fig4(lab: Optional[Lab] = None) -> Fig4:
+    lab = lab or default_lab()
+    return Fig4(spread=accuracy_spread(_lcf_stats(lab)))

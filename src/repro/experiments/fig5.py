@@ -1,0 +1,19 @@
+"""Fig. 5: relative IPC vs. pipeline scaling for the LCF suite.
+
+Same methodology as Fig. 1; the paper's headline difference is that the
+"Perfect H2Ps" idealization captures a much smaller share of the perfect-BP
+opportunity on LCF applications (~38% at 1x vs ~76% for SPECint), because
+rare branches — not H2Ps — dominate their mispredictions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.fig1 import ScalingStudy, compute_scaling_study
+from repro.experiments.lab import Lab
+from repro.workloads import LCF_WORKLOADS
+
+
+def compute_fig5(lab: Optional[Lab] = None) -> ScalingStudy:
+    return compute_scaling_study([w.name for w in LCF_WORKLOADS], "LCF", lab)

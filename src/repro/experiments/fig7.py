@@ -1,0 +1,81 @@
+"""Fig. 7: TAGE-SC-L storage sweep (8KB→1024KB) across pipeline scales.
+
+For each LCF application and each storage preset, measure how much of the
+TAGE8→perfect IPC gap the larger predictor closes, at each pipeline scale.
+The paper's findings: even 1024KB closes less than half the gap at 1x; the
+biggest step is 8KB→64KB; and the capturable fraction *shrinks* as the
+pipeline scales up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.opportunity import storage_gap_closure
+from repro.experiments.lab import Lab, default_lab
+from repro.experiments.reporting import format_table
+from repro.pipeline.config import SCALING_FACTORS
+from repro.predictors.tagescl import STORAGE_PRESETS_KIB
+from repro.workloads import LCF_WORKLOADS
+
+
+@dataclass(frozen=True)
+class Fig7:
+    """fractions[app][(storage_kib, scale)] = gap fraction closed."""
+
+    fractions: Dict[str, Dict[Tuple[int, float], float]]
+    storages: Tuple[int, ...]
+    scales: Tuple[float, ...]
+
+    def mean_fraction(self, storage_kib: int, scale: float) -> float:
+        return float(
+            np.mean([per_app[(storage_kib, scale)] for per_app in self.fractions.values()])
+        )
+
+    def best_mean_fraction_at(self, scale: float) -> float:
+        return max(self.mean_fraction(kib, scale) for kib in self.storages)
+
+    def render(self) -> str:
+        headers = ["scale"] + [f"{kib}KB" for kib in self.storages]
+        rows = []
+        for s in self.scales:
+            rows.append(
+                [f"{s:g}x"] + [round(self.mean_fraction(kib, s), 3) for kib in self.storages]
+            )
+        return format_table(
+            headers, rows,
+            title="Fig. 7: mean fraction of TAGE8->perfect IPC gap closed (LCF)",
+        )
+
+
+def compute_fig7(
+    lab: Optional[Lab] = None,
+    storages: Sequence[int] = STORAGE_PRESETS_KIB,
+    scales: Sequence[float] = SCALING_FACTORS,
+) -> Fig7:
+    lab = lab or default_lab()
+    fractions: Dict[str, Dict[Tuple[int, float], float]] = {}
+    for spec in LCF_WORKLOADS:
+        base = lab.simulate(spec.name, 0, "tage-sc-l-8kb")
+        config_mis = {}
+        for kib in storages:
+            result = lab.simulate(spec.name, 0, f"tage-sc-l-{kib}kb")
+            config_mis[kib] = result.mispredictions
+        closures = storage_gap_closure(
+            base.instr_count,
+            base.mispredictions,
+            {str(k): v for k, v in config_mis.items()},
+            scales=scales,
+        )
+        per_app: Dict[Tuple[int, float], float] = {}
+        for c in closures:
+            per_app[(int(c.label), c.scale)] = c.fraction_closed
+        fractions[spec.name] = per_app
+    return Fig7(
+        fractions=fractions,
+        storages=tuple(storages),
+        scales=tuple(scales),
+    )

@@ -1,0 +1,70 @@
+"""Fig. 8: IPC opportunity remaining after idealizing frequent branches.
+
+Using the largest (1024KB) TAGE-SC-L configuration at 1x pipeline scale,
+perfectly predict every branch with more than N dynamic executions (paper:
+N = 1000 and N = 100, scaled here) and measure the fraction of the
+TAGE→perfect IPC opportunity that *remains* — i.e. the share owed to rare
+branches.  Paper: 34.3% remains at N=1000 and 27.4% at N=100 on average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.opportunity import (
+    mispredictions_excluding_above,
+    opportunity_remaining,
+)
+from repro.experiments.config import RARE_EXECUTION_THRESHOLDS
+from repro.experiments.lab import Lab, default_lab
+from repro.experiments.reporting import format_table
+from repro.workloads import LCF_WORKLOADS
+
+
+@dataclass(frozen=True)
+class Fig8:
+    """remaining[app][threshold] = fraction of IPC opportunity remaining."""
+
+    remaining: Dict[str, Dict[int, float]]
+    thresholds: Tuple[int, ...]
+
+    def mean_remaining(self, threshold: int) -> float:
+        return float(
+            np.mean([per_app[threshold] for per_app in self.remaining.values()])
+        )
+
+    def render(self) -> str:
+        headers = ["application"] + [f">{t} perfect" for t in self.thresholds]
+        rows = [
+            [app] + [round(vals[t], 3) for t in self.thresholds]
+            for app, vals in self.remaining.items()
+        ]
+        rows.append(
+            ["MEAN"] + [round(self.mean_remaining(t), 3) for t in self.thresholds]
+        )
+        return format_table(
+            headers, rows,
+            title="Fig. 8: fraction of IPC opportunity remaining (TAGE-SC-L 1024KB, 1x)",
+        )
+
+
+def compute_fig8(
+    lab: Optional[Lab] = None,
+    thresholds: Tuple[int, ...] = RARE_EXECUTION_THRESHOLDS,
+    predictor: str = "tage-sc-l-1024kb",
+) -> Fig8:
+    lab = lab or default_lab()
+    remaining: Dict[str, Dict[int, float]] = {}
+    for spec in LCF_WORKLOADS:
+        result = lab.simulate(spec.name, 0, predictor)
+        per_app: Dict[int, float] = {}
+        for t in thresholds:
+            left = mispredictions_excluding_above(result.stats, t)
+            per_app[t] = opportunity_remaining(
+                result.instr_count, result.mispredictions, left
+            )
+        remaining[spec.name] = per_app
+    return Fig8(remaining=remaining, thresholds=tuple(thresholds))

@@ -1,0 +1,31 @@
+"""Fig. 9: distribution of median recurrence intervals over the LCF dataset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.recurrence import RecurrenceHistogram, recurrence_histogram
+from repro.experiments.lab import Lab, default_lab
+from repro.experiments.reporting import format_histogram
+from repro.workloads import LCF_WORKLOADS
+
+
+@dataclass(frozen=True)
+class Fig9:
+    histogram: RecurrenceHistogram
+
+    def render(self) -> str:
+        return "\n".join(
+            [
+                "Fig. 9: median recurrence interval distribution (LCF)",
+                format_histogram(self.histogram.edges, self.histogram.fractions),
+                f"peak bin (excl. singletons): {self.histogram.peak_bin()}",
+            ]
+        )
+
+
+def compute_fig9(lab: Optional[Lab] = None) -> Fig9:
+    lab = lab or default_lab()
+    traces = [lab.trace(spec.name, 0).trace for spec in LCF_WORKLOADS]
+    return Fig9(histogram=recurrence_histogram(traces))

@@ -1,0 +1,176 @@
+"""The measurement lab: shared trace generation and cached simulation.
+
+Every table/figure driver pulls its data through a :class:`Lab`, which
+memoizes (and optionally disk-caches) the expensive steps — executing
+synthetic workloads and driving predictors over their traces — so that
+experiments sharing a (workload, input, predictor) combination pay for it
+once.  Results are keyed by workload name, input index, trace length, and
+predictor label; bump :data:`CACHE_VERSION` after changing anything that
+affects simulation outcomes.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.metrics import BranchStats
+from repro.core.types import WorkloadTrace
+from repro.experiments.config import (
+    SLICE_INSTRUCTIONS,
+    ExperimentTier,
+    active_tier,
+)
+from repro.pipeline.simulator import SimulationResult, simulate_trace
+from repro.predictors.base import BranchPredictor
+from repro.predictors.tagescl import STORAGE_PRESETS_KIB, make_tage_sc_l
+from repro.workloads import WORKLOADS_BY_NAME, WorkloadSpec, trace_workload
+from repro.workloads.helper_study import HELPER_STUDY_WORKLOAD
+
+#: Bump to invalidate on-disk caches after behavioural changes.
+CACHE_VERSION = 3
+
+#: Predictor registry: label -> factory.
+PREDICTOR_FACTORIES: Dict[str, Callable[[], BranchPredictor]] = {
+    f"tage-sc-l-{kib}kb": (lambda kib=kib: make_tage_sc_l(kib))
+    for kib in STORAGE_PRESETS_KIB
+}
+
+
+def _workload(name: str) -> WorkloadSpec:
+    if name == HELPER_STUDY_WORKLOAD.name:
+        return HELPER_STUDY_WORKLOAD
+    try:
+        return WORKLOADS_BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}") from None
+
+
+class Lab:
+    """Caching façade over workload execution and predictor simulation."""
+
+    def __init__(
+        self,
+        tier: Optional[ExperimentTier] = None,
+        cache_dir: Optional[str] = None,
+    ) -> None:
+        self.tier = tier or active_tier()
+        env_dir = os.environ.get("REPRO_CACHE_DIR")
+        if cache_dir is None and env_dir:
+            cache_dir = env_dir
+        self.cache_dir = Path(cache_dir) if cache_dir else None
+        if self.cache_dir:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self._traces: Dict[Tuple[str, int, int], WorkloadTrace] = {}
+        self._sims: Dict[Tuple, SimulationResult] = {}
+
+    # -- trace access ------------------------------------------------------
+
+    def instructions_for(self, name: str) -> int:
+        """Trace length for a workload under the active tier."""
+        spec = _workload(name)
+        if spec.category == "specint":
+            return self.tier.spec_instructions
+        if spec.category == "lcf":
+            return self.tier.lcf_instructions
+        return spec.default_instructions
+
+    def inputs_for(self, name: str) -> List[int]:
+        """Input indices to use under the active tier."""
+        spec = _workload(name)
+        if spec.category == "specint":
+            return list(range(min(self.tier.spec_inputs, spec.num_inputs)))
+        return list(range(spec.num_inputs))
+
+    def trace(
+        self, name: str, input_index: int, instructions: Optional[int] = None
+    ) -> WorkloadTrace:
+        n = instructions if instructions is not None else self.instructions_for(name)
+        key = (name, input_index, n)
+        cached = self._traces.get(key)
+        if cached is None:
+            cached = trace_workload(_workload(name), input_index, instructions=n)
+            self._traces[key] = cached
+        return cached
+
+    # -- simulation --------------------------------------------------------
+
+    def simulate(
+        self,
+        name: str,
+        input_index: int,
+        predictor: str = "tage-sc-l-8kb",
+        instructions: Optional[int] = None,
+        slice_instructions: int = SLICE_INSTRUCTIONS,
+    ) -> SimulationResult:
+        """Simulate one predictor over one workload input, cached."""
+        if predictor not in PREDICTOR_FACTORIES:
+            raise KeyError(
+                f"unknown predictor {predictor!r}; register a factory in "
+                "PREDICTOR_FACTORIES"
+            )
+        n = instructions if instructions is not None else self.instructions_for(name)
+        key = (name, input_index, n, predictor, slice_instructions)
+        cached = self._sims.get(key)
+        if cached is not None:
+            return cached
+
+        disk = self._disk_path(key)
+        if disk is not None and disk.exists():
+            with open(disk, "rb") as f:
+                cached = pickle.load(f)
+            self._sims[key] = cached
+            return cached
+
+        trace = self.trace(name, input_index, n)
+        result = simulate_trace(
+            trace.trace,
+            PREDICTOR_FACTORIES[predictor](),
+            slice_instructions=slice_instructions,
+        )
+        self._sims[key] = result
+        if disk is not None:
+            with open(disk, "wb") as f:
+                pickle.dump(result, f)
+        return result
+
+    def _disk_path(self, key: Tuple) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        name, input_index, n, predictor, slice_n = key
+        fname = f"v{CACHE_VERSION}_{name}_{input_index}_{n}_{predictor}_{slice_n}.pkl"
+        return self.cache_dir / fname.replace("/", "_")
+
+    # -- aggregates --------------------------------------------------------
+
+    def aggregate_stats(
+        self, names: List[str], predictor: str = "tage-sc-l-8kb"
+    ) -> Tuple[BranchStats, int]:
+        """Pooled per-branch stats and total instructions over workloads
+        (all inputs under the tier).  Branch IPs collide across programs, so
+        IPs are offset per (workload, input) before pooling."""
+        pooled = BranchStats()
+        instructions = 0
+        for w, name in enumerate(names):
+            for input_index in self.inputs_for(name):
+                result = self.simulate(name, input_index, predictor)
+                offset = (w * 64 + input_index + 1) << 40
+                for ip, counts in result.stats.items():
+                    pooled.record_bulk(
+                        ip + offset, counts.executions, counts.mispredictions
+                    )
+                instructions += result.instr_count
+        return pooled, instructions
+
+
+_DEFAULT_LAB: Optional[Lab] = None
+
+
+def default_lab() -> Lab:
+    """Process-wide shared lab (so tests/benchmarks reuse simulations)."""
+    global _DEFAULT_LAB
+    if _DEFAULT_LAB is None:
+        _DEFAULT_LAB = Lab()
+    return _DEFAULT_LAB

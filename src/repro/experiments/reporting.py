@@ -1,0 +1,70 @@
+"""Plain-text rendering of experiment results.
+
+Each experiment driver returns structured data; these helpers render the
+same rows/series the paper's tables and figures report, for terminal output
+and for the EXPERIMENTS.md record.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def format_cell(value: Cell, precision: int = 3) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    precision: int = 3,
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[format_cell(c, precision) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    label: str, xs: Sequence[Cell], ys: Sequence[float], precision: int = 3
+) -> str:
+    """Render one figure series as ``label: x=y`` pairs."""
+    pairs = "  ".join(
+        f"{format_cell(x, 0)}={format_cell(y, precision)}" for x, y in zip(xs, ys)
+    )
+    return f"{label}: {pairs}"
+
+
+def format_histogram(
+    edges: Sequence[float], fractions: Sequence[float], precision: int = 4
+) -> str:
+    """Render histogram bins as ``[lo, hi): fraction`` lines."""
+    lines = []
+    for i, frac in enumerate(fractions):
+        lines.append(
+            f"  [{format_cell(edges[i], 1)}, {format_cell(edges[i + 1], 1)}): "
+            f"{frac:.{precision}f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,118 @@
+"""Command-line experiment runner.
+
+``python -m repro [names...]`` regenerates the paper's tables and figures
+(all of them by default) at the active tier and prints the rendered results.
+The ``examples/reproduce_paper.py`` script is a thin wrapper over this
+module.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments.allocation_study import compute_allocation_study
+from repro.experiments.cnn_study import compute_cnn_study
+from repro.experiments.fig1 import compute_fig1
+from repro.experiments.fig2 import compute_fig2
+from repro.experiments.fig3 import compute_fig3, compute_fig4
+from repro.experiments.fig5 import compute_fig5
+from repro.experiments.fig7 import compute_fig7
+from repro.experiments.fig8 import compute_fig8
+from repro.experiments.fig9 import compute_fig9
+from repro.experiments.fig10 import compute_fig10
+from repro.experiments.lab import Lab
+from repro.experiments.phase_study import compute_phase_study
+from repro.experiments.table1 import compute_table1
+from repro.experiments.table2 import compute_table2
+from repro.experiments.table3 import compute_table3
+
+
+def _fig6(lab: Lab) -> str:
+    return "\n".join(
+        f"{name}: {points[:6]}"
+        for name, points in compute_table3(lab).fig6_series().items()
+    )
+
+
+#: Experiment name -> callable(lab) -> printable text.
+EXPERIMENTS: Dict[str, Callable[[Lab], str]] = {
+    "table1": lambda lab: compute_table1(lab).render(),
+    "table2": lambda lab: compute_table2(lab).render(),
+    "table3": lambda lab: compute_table3(lab).render(),
+    "fig1": lambda lab: compute_fig1(lab).render(),
+    "fig2": lambda lab: compute_fig2(lab).render(),
+    "fig3": lambda lab: compute_fig3(lab).render(),
+    "fig4": lambda lab: compute_fig4(lab).render(),
+    "fig5": lambda lab: compute_fig5(lab).render(),
+    "fig6": _fig6,
+    "fig7": lambda lab: compute_fig7(lab).render(),
+    "fig8": lambda lab: compute_fig8(lab).render(),
+    "fig9": lambda lab: compute_fig9(lab).render(),
+    "fig10": lambda lab: compute_fig10(lab).render(),
+    "allocation": lambda lab: compute_allocation_study(lab).render(),
+    "cnn": lambda lab: compute_cnn_study(lab).render(),
+    "phase": lambda lab: compute_phase_study(lab).render(),
+}
+
+
+def run_experiments(
+    names: Optional[Sequence[str]] = None,
+    lab: Optional[Lab] = None,
+    echo: Callable[[str], None] = print,
+) -> List[str]:
+    """Run experiments by name; returns the rendered outputs in order."""
+    selected = list(names) if names else list(EXPERIMENTS)
+    unknown = [n for n in selected if n not in EXPERIMENTS]
+    if unknown:
+        raise ValueError(
+            f"unknown experiments: {unknown}; choose from {sorted(EXPERIMENTS)}"
+        )
+    lab = lab or Lab()
+    outputs: List[str] = []
+    echo(f"Running {len(selected)} experiment(s) at tier '{lab.tier.name}'\n")
+    for name in selected:
+        start = time.time()
+        output = EXPERIMENTS[name](lab)
+        elapsed = time.time() - start
+        echo(f"{'=' * 72}\n{name} ({elapsed:.0f}s)\n{'=' * 72}")
+        echo(output)
+        echo("")
+        outputs.append(output)
+    return outputs
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Regenerate the tables and figures of 'Branch Prediction Is Not "
+            "A Solved Problem' (Lin & Tarsa, IISWC 2019)."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="NAME",
+        help=f"experiments to run (default: all). Choices: {', '.join(EXPERIMENTS)}",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for the on-disk simulation cache",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment names and exit"
+    )
+    args = parser.parse_args(argv)
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    lab = Lab(cache_dir=args.cache_dir)
+    try:
+        run_experiments(args.experiments or None, lab)
+    except ValueError as exc:
+        parser.error(str(exc))
+    return 0

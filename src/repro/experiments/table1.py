@@ -1,0 +1,158 @@
+"""Table I: SPECint summary statistics under TAGE-SC-L 8KB.
+
+Per benchmark: average SimPoint phase count, static branch counts (total and
+median per slice), aggregate accuracy with and without H2Ps, input count,
+H2P recurrence across inputs, per-input and per-slice H2P counts, average
+dynamic executions per H2P per slice, and the share of mispredictions due
+to H2Ps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.h2p import (
+    CrossInputH2pSummary,
+    screen_workload,
+    summarize_across_inputs,
+)
+from repro.experiments.config import SLICE_INSTRUCTIONS
+from repro.experiments.lab import Lab, default_lab
+from repro.experiments.reporting import format_table
+from repro.phases import cluster_phases, prepare_bbvs
+from repro.workloads import SPECINT_WORKLOADS, execute_workload
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    benchmark: str
+    avg_phases: float
+    total_static_branches: int
+    median_static_per_slice: float
+    avg_accuracy: float
+    avg_accuracy_excl_h2ps: float
+    num_inputs: int
+    h2ps_total: int
+    h2ps_in_3plus_inputs: int
+    h2ps_per_input: float
+    h2ps_per_slice: float
+    avg_dyn_execs_per_h2p_per_slice: float
+    mispred_share_from_h2ps: float
+
+
+@dataclass(frozen=True)
+class Table1:
+    rows: Tuple[Table1Row, ...]
+
+    @property
+    def mean_accuracy(self) -> float:
+        return float(np.mean([r.avg_accuracy for r in self.rows]))
+
+    @property
+    def mean_mispred_share(self) -> float:
+        return float(np.mean([r.mispred_share_from_h2ps for r in self.rows]))
+
+    @property
+    def mean_h2ps_per_slice(self) -> float:
+        return float(np.mean([r.h2ps_per_slice for r in self.rows]))
+
+    def row(self, benchmark: str) -> Table1Row:
+        for r in self.rows:
+            if r.benchmark == benchmark:
+                return r
+        raise KeyError(benchmark)
+
+    def render(self) -> str:
+        headers = [
+            "benchmark", "phases", "static", "med/slice", "acc", "acc-excl",
+            "inputs", "H2Ps", "3+in", "per-input", "per-slice", "execs/H2P",
+            "%mis-H2P",
+        ]
+        rows = [
+            (
+                r.benchmark, round(r.avg_phases, 1), r.total_static_branches,
+                round(r.median_static_per_slice, 1), r.avg_accuracy,
+                r.avg_accuracy_excl_h2ps, r.num_inputs, r.h2ps_total,
+                r.h2ps_in_3plus_inputs, round(r.h2ps_per_input, 1),
+                round(r.h2ps_per_slice, 1),
+                int(r.avg_dyn_execs_per_h2p_per_slice),
+                round(100 * r.mispred_share_from_h2ps, 1),
+            )
+            for r in self.rows
+        ]
+        return format_table(headers, rows, title="Table I (TAGE-SC-L 8KB, scaled)")
+
+
+def _phase_count(name: str, input_index: int, instructions: int) -> int:
+    result = execute_workload(
+        name_to_spec(name), input_index,
+        instructions=instructions,
+        bbv_interval=SLICE_INSTRUCTIONS,
+    )
+    if result.bbvs is None or len(result.bbvs) < 2:
+        return 1
+    vectors = prepare_bbvs(result.bbvs)
+    return cluster_phases(vectors, max_k=min(10, len(vectors))).num_phases
+
+
+def name_to_spec(name: str):
+    from repro.workloads import WORKLOADS_BY_NAME
+
+    return WORKLOADS_BY_NAME[name]
+
+
+def compute_table1(
+    lab: Optional[Lab] = None, with_phases: bool = True
+) -> Table1:
+    """Build Table I from the SPECint workloads under the active tier."""
+    lab = lab or default_lab()
+    rows: List[Table1Row] = []
+    for spec in SPECINT_WORKLOADS:
+        inputs = lab.inputs_for(spec.name)
+        reports = []
+        accs, accs_excl = [], []
+        static_total: set = set()
+        static_per_slice: List[int] = []
+        phase_counts: List[float] = []
+        for input_index in inputs:
+            result = lab.simulate(spec.name, input_index, "tage-sc-l-8kb")
+            report = screen_workload(
+                spec.name, spec.input_name(input_index), result.slice_stats
+            )
+            reports.append(report)
+            accs.append(result.stats.accuracy)
+            accs_excl.append(
+                result.stats.accuracy_excluding(report.union_h2p_ips)
+            )
+            static_total.update(result.stats.ips())
+            static_per_slice.extend(len(s) for s in result.slice_stats)
+            if with_phases:
+                phase_counts.append(
+                    _phase_count(spec.name, input_index, lab.instructions_for(spec.name))
+                )
+        summary: CrossInputH2pSummary = summarize_across_inputs(spec.name, reports)
+        rows.append(
+            Table1Row(
+                benchmark=spec.name,
+                avg_phases=float(np.mean(phase_counts)) if phase_counts else 1.0,
+                total_static_branches=len(static_total),
+                median_static_per_slice=float(np.median(static_per_slice)),
+                avg_accuracy=float(np.mean(accs)),
+                avg_accuracy_excl_h2ps=float(np.mean(accs_excl)),
+                num_inputs=len(inputs),
+                h2ps_total=summary.total_h2ps,
+                h2ps_in_3plus_inputs=summary.recurring_3plus,
+                h2ps_per_input=summary.mean_per_input,
+                h2ps_per_slice=summary.mean_per_slice,
+                avg_dyn_execs_per_h2p_per_slice=float(
+                    np.mean([r.mean_h2p_executions_per_slice for r in reports])
+                ),
+                mispred_share_from_h2ps=float(
+                    np.mean([r.mean_misprediction_share for r in reports])
+                ),
+            )
+        )
+    return Table1(rows=tuple(rows))

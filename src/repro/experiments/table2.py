@@ -1,0 +1,87 @@
+"""Table II: large-code-footprint application summary under TAGE-SC-L 8KB.
+
+Per application: static branch IPs, average dynamic executions per static
+branch, average per-branch accuracy (unweighted mean over static branches,
+as in the paper), and the H2P count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.h2p import screen_workload
+from repro.experiments.lab import Lab, default_lab
+from repro.experiments.reporting import format_table
+from repro.workloads import LCF_WORKLOADS
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    application: str
+    static_branch_ips: int
+    avg_dyn_execs_per_branch: float
+    avg_accuracy_per_branch: float
+    aggregate_accuracy: float
+    num_h2ps: float
+
+
+@dataclass(frozen=True)
+class Table2:
+    rows: Tuple[Table2Row, ...]
+
+    @property
+    def mean_static_branches(self) -> float:
+        return float(np.mean([r.static_branch_ips for r in self.rows]))
+
+    @property
+    def mean_accuracy(self) -> float:
+        return float(np.mean([r.avg_accuracy_per_branch for r in self.rows]))
+
+    @property
+    def mean_execs_per_branch(self) -> float:
+        return float(np.mean([r.avg_dyn_execs_per_branch for r in self.rows]))
+
+    def row(self, application: str) -> Table2Row:
+        for r in self.rows:
+            if r.application == application:
+                return r
+        raise KeyError(application)
+
+    def render(self) -> str:
+        headers = [
+            "application", "static IPs", "execs/branch", "acc/branch",
+            "agg acc", "H2Ps",
+        ]
+        rows = [
+            (
+                r.application, r.static_branch_ips,
+                round(r.avg_dyn_execs_per_branch, 1),
+                r.avg_accuracy_per_branch, r.aggregate_accuracy,
+                round(r.num_h2ps, 1),
+            )
+            for r in self.rows
+        ]
+        return format_table(headers, rows, title="Table II (TAGE-SC-L 8KB, scaled)")
+
+
+def compute_table2(lab: Optional[Lab] = None) -> Table2:
+    lab = lab or default_lab()
+    rows: List[Table2Row] = []
+    for spec in LCF_WORKLOADS:
+        result = lab.simulate(spec.name, 0, "tage-sc-l-8kb")
+        report = screen_workload(spec.name, "input0", result.slice_stats)
+        stats = result.stats
+        rows.append(
+            Table2Row(
+                application=spec.name,
+                static_branch_ips=len(stats),
+                avg_dyn_execs_per_branch=stats.mean_executions_per_branch(),
+                avg_accuracy_per_branch=stats.mean_accuracy_per_branch(),
+                aggregate_accuracy=stats.accuracy,
+                num_h2ps=report.mean_h2ps_per_slice,
+            )
+        )
+    return Table2(rows=tuple(rows))

@@ -1,0 +1,443 @@
+"""Trace-producing interpreter for the mini-ISA.
+
+The executor runs a :class:`~repro.isa.program.Program` for a fixed number of
+retired instructions and records the dynamic branch stream.  Optional
+instrumentation (each off by default because it costs time):
+
+* **dataflow taints** — per-value origin sets enabling the paper's
+  dependency-branch analysis (Sec. IV-A);
+* **register snapshots** — architectural register values at each dynamic
+  execution of chosen branch IPs (Fig. 10);
+* **basic-block vectors** — per-interval block execution counts for
+  SimPoint-style phase clustering (Table I).
+
+Programs are compiled to tuple bytecode once per run; the hot loop is a
+plain ``while`` with integer dispatch, which keeps pure-Python execution
+around a million instructions per second.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.types import BranchTrace
+from repro.isa.instructions import (
+    Alu,
+    AluImm,
+    ArrayBase,
+    Br,
+    Call,
+    Halt,
+    Imm,
+    Jmp,
+    Load,
+    Nop,
+    Rand,
+    Ret,
+    Store,
+    Switch,
+    WORD_MASK,
+    NUM_REGISTERS,
+)
+from repro.isa.program import Program
+
+# Compiled opcodes (straight-line instructions).
+_OP_IMM = 0
+_OP_ALU = 1
+_OP_ALUI = 2
+_OP_LOAD = 3
+_OP_STORE = 4
+_OP_RAND = 5
+_OP_NOP = 6
+
+# Compiled terminator opcodes.
+_T_BR = 10
+_T_JMP = 11
+_T_CALL = 12
+_T_RET = 13
+_T_SWITCH = 14
+_T_HALT = 15
+
+_MAX_TAINT = 16
+_MAX_CALL_DEPTH = 256
+
+_EMPTY_TAINT: FrozenSet[int] = frozenset()
+
+
+@dataclass
+class ConditionBranchEvent:
+    """Dataflow record for one dynamic conditional branch (tracking mode)."""
+
+    seq: int  # index among conditional branches
+    instr_index: int
+    ip: int
+    taken: bool
+    taint: FrozenSet[int]
+
+
+@dataclass
+class ExecutionResult:
+    """Everything a single execution run produced."""
+
+    trace: BranchTrace
+    instr_count: int
+    cond_branch_events: Optional[List[ConditionBranchEvent]] = None
+    register_snapshots: Optional[Dict[int, List[Tuple[int, ...]]]] = None
+    bbvs: Optional[np.ndarray] = None  # shape (intervals, num_blocks)
+
+
+class Executor:
+    """Interprets a program, producing a :class:`BranchTrace`.
+
+    Args:
+        program: finalized program to run.
+        seed: seed for the input-data (:class:`Rand`) stream; different seeds
+            model different application inputs.
+        track_dataflow: record per-branch condition taints.
+        snapshot_ips: conditional-branch IPs whose register context to
+            snapshot at each dynamic execution.
+        tracked_registers: registers captured in snapshots (default: first
+            18, matching the paper's Fig. 10 methodology).
+        bbv_interval: if set, collect one basic-block vector per this many
+            retired instructions.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        seed: int = 0,
+        track_dataflow: bool = False,
+        snapshot_ips: Optional[Sequence[int]] = None,
+        tracked_registers: Optional[Sequence[int]] = None,
+        bbv_interval: Optional[int] = None,
+    ) -> None:
+        self.program = program
+        self.seed = seed
+        self.track_dataflow = track_dataflow
+        self.snapshot_ips = frozenset(snapshot_ips or ())
+        self.tracked_registers = tuple(tracked_registers or range(18))
+        if bbv_interval is not None and bbv_interval <= 0:
+            raise ValueError("bbv_interval must be positive")
+        self.bbv_interval = bbv_interval
+        self._compiled = _compile(program)
+
+    def run(self, max_instructions: int) -> ExecutionResult:
+        """Execute until ``max_instructions`` have retired.
+
+        The program restarts from its entry block whenever it halts, so any
+        instruction budget can be filled (modelling repeated invocations of
+        the same binary, which the paper's offline-training discussion makes
+        an explicit part of the deployment scenario).
+        """
+        if max_instructions <= 0:
+            raise ValueError("max_instructions must be positive")
+
+        prog = self.program
+        compiled = self._compiled
+        entry_idx = prog.block_index[prog.entry]
+
+        regs = [0] * NUM_REGISTERS
+        mem = list(prog.initial_memory)
+        mem_extra: Dict[int, int] = {}
+        mem_size = len(mem)
+        rng = random.Random(self.seed)
+        call_stack: List[int] = []
+
+        tracking = self.track_dataflow
+        reg_taint: List[FrozenSet[int]] = [_EMPTY_TAINT] * NUM_REGISTERS
+        mem_taint: Dict[int, FrozenSet[int]] = {}
+        rand_origin = -1
+        cond_events: Optional[List[ConditionBranchEvent]] = [] if tracking else None
+        cond_seq = 0
+
+        snap_ips = self.snapshot_ips
+        snapshots: Optional[Dict[int, List[Tuple[int, ...]]]] = (
+            {ip: [] for ip in snap_ips} if snap_ips else None
+        )
+        tracked = self.tracked_registers
+
+        bbv_interval = self.bbv_interval
+        bbvs: Optional[List[np.ndarray]] = [] if bbv_interval else None
+        bbv_counts = np.zeros(len(prog.blocks), dtype=np.int64) if bbv_interval else None
+        next_bbv_boundary = bbv_interval if bbv_interval else None
+
+        out_ips: List[int] = []
+        out_taken: List[int] = []
+        out_targets: List[int] = []
+        out_kinds: List[int] = []
+        out_instr: List[int] = []
+
+        icount = 0
+        block_idx = entry_idx
+
+        while icount < max_instructions:
+            code, term, block_id = compiled[block_idx]
+
+            if bbv_counts is not None:
+                bbv_counts[block_id] += 1
+
+            for ins in code:
+                op = ins[0]
+                if op == _OP_ALUI:
+                    _, aop, dst, src, imm = ins
+                    a = regs[src]
+                    if aop == 0:
+                        regs[dst] = (a + imm) & WORD_MASK
+                    elif aop == 1:
+                        regs[dst] = (a - imm) & WORD_MASK
+                    elif aop == 2:
+                        regs[dst] = a ^ imm
+                    elif aop == 3:
+                        regs[dst] = a & imm
+                    elif aop == 4:
+                        regs[dst] = a | imm
+                    elif aop == 5:
+                        regs[dst] = (a * imm) & WORD_MASK
+                    elif aop == 6:
+                        regs[dst] = (a << imm) & WORD_MASK
+                    elif aop == 7:
+                        regs[dst] = a >> imm
+                    elif aop == 8:
+                        regs[dst] = a % imm if imm else 0
+                    elif aop == 9:
+                        regs[dst] = a if a < imm else imm
+                    else:
+                        regs[dst] = a if a > imm else imm
+                    if tracking:
+                        reg_taint[dst] = reg_taint[src]
+                elif op == _OP_ALU:
+                    _, aop, dst, s1, s2 = ins
+                    a = regs[s1]
+                    b = regs[s2]
+                    if aop == 0:
+                        regs[dst] = (a + b) & WORD_MASK
+                    elif aop == 1:
+                        regs[dst] = (a - b) & WORD_MASK
+                    elif aop == 2:
+                        regs[dst] = a ^ b
+                    elif aop == 3:
+                        regs[dst] = a & b
+                    elif aop == 4:
+                        regs[dst] = a | b
+                    elif aop == 5:
+                        regs[dst] = (a * b) & WORD_MASK
+                    elif aop == 6:
+                        regs[dst] = (a << (b & 31)) & WORD_MASK
+                    elif aop == 7:
+                        regs[dst] = a >> (b & 31)
+                    elif aop == 8:
+                        regs[dst] = a % b if b else 0
+                    elif aop == 9:
+                        regs[dst] = a if a < b else b
+                    else:
+                        regs[dst] = a if a > b else b
+                    if tracking:
+                        t = reg_taint[s1] | reg_taint[s2]
+                        if len(t) > _MAX_TAINT:
+                            t = frozenset(sorted(t)[:_MAX_TAINT])
+                        reg_taint[dst] = t
+                elif op == _OP_LOAD:
+                    _, dst, base, offset = ins
+                    addr = (regs[base] + offset) & WORD_MASK
+                    if addr < mem_size:
+                        regs[dst] = mem[addr]
+                    else:
+                        regs[dst] = mem_extra.get(addr, 0)
+                    if tracking:
+                        t = mem_taint.get(addr)
+                        reg_taint[dst] = t if t is not None else frozenset((addr,))
+                elif op == _OP_STORE:
+                    _, src, base, offset = ins
+                    addr = (regs[base] + offset) & WORD_MASK
+                    if addr < mem_size:
+                        mem[addr] = regs[src]
+                    else:
+                        mem_extra[addr] = regs[src]
+                    if tracking:
+                        mem_taint[addr] = reg_taint[src]
+                elif op == _OP_IMM:
+                    _, dst, value = ins
+                    regs[dst] = value
+                    if tracking:
+                        reg_taint[dst] = _EMPTY_TAINT
+                elif op == _OP_RAND:
+                    _, dst, lo, hi = ins
+                    regs[dst] = rng.randrange(lo, hi)
+                    if tracking:
+                        rand_origin -= 1
+                        reg_taint[dst] = frozenset((rand_origin,))
+                # _OP_NOP: nothing to do
+
+            icount += len(code) + 1
+            term_op = term[0]
+
+            if term_op == _T_BR:
+                _, cond, s1, s2, t_idx, nt_idx, ip, t_ip, nt_ip = term
+                a = regs[s1]
+                b = regs[s2]
+                if cond == 0:
+                    taken = a == b
+                elif cond == 1:
+                    taken = a != b
+                elif cond == 2:
+                    taken = a < b
+                elif cond == 3:
+                    taken = a >= b
+                elif cond == 4:
+                    taken = a <= b
+                else:
+                    taken = a > b
+                out_ips.append(ip)
+                out_taken.append(1 if taken else 0)
+                out_targets.append(t_ip if taken else nt_ip)
+                out_kinds.append(0)  # BranchKind.CONDITIONAL
+                out_instr.append(icount - 1)
+                if tracking:
+                    t = reg_taint[s1] | reg_taint[s2]
+                    if len(t) > _MAX_TAINT:
+                        t = frozenset(sorted(t)[:_MAX_TAINT])
+                    cond_events.append(
+                        ConditionBranchEvent(cond_seq, icount - 1, ip, taken, t)
+                    )
+                    cond_seq += 1
+                if snapshots is not None and ip in snap_ips:
+                    snapshots[ip].append(tuple(regs[r] for r in tracked))
+                block_idx = t_idx if taken else nt_idx
+            elif term_op == _T_JMP:
+                _, t_idx, ip, t_ip = term
+                out_ips.append(ip)
+                out_taken.append(1)
+                out_targets.append(t_ip)
+                out_kinds.append(1)  # UNCONDITIONAL
+                out_instr.append(icount - 1)
+                block_idx = t_idx
+            elif term_op == _T_CALL:
+                _, t_idx, ret_idx, ip, t_ip = term
+                out_ips.append(ip)
+                out_taken.append(1)
+                out_targets.append(t_ip)
+                out_kinds.append(2)  # CALL
+                out_instr.append(icount - 1)
+                if len(call_stack) < _MAX_CALL_DEPTH:
+                    call_stack.append(ret_idx)
+                block_idx = t_idx
+            elif term_op == _T_RET:
+                _, ip = term
+                out_ips.append(ip)
+                out_taken.append(1)
+                ret_idx = call_stack.pop() if call_stack else entry_idx
+                out_targets.append(
+                    self.program.block_base_ip[self.program.blocks[ret_idx].label]
+                )
+                out_kinds.append(3)  # RETURN
+                out_instr.append(icount - 1)
+                block_idx = ret_idx
+            elif term_op == _T_SWITCH:
+                _, idx_reg, target_idxs, ip = term
+                sel = regs[idx_reg] % len(target_idxs)
+                block_idx = target_idxs[sel]
+                out_ips.append(ip)
+                out_taken.append(1)
+                out_targets.append(self.program.block_base_ip[self.program.blocks[block_idx].label])
+                out_kinds.append(4)  # INDIRECT
+                out_instr.append(icount - 1)
+            else:  # _T_HALT: restart (next invocation of the binary)
+                block_idx = entry_idx
+                call_stack.clear()
+
+            if next_bbv_boundary is not None and icount >= next_bbv_boundary:
+                bbvs.append(bbv_counts.copy())
+                bbv_counts[:] = 0
+                next_bbv_boundary += bbv_interval
+
+        trace = BranchTrace(
+            ips=out_ips,
+            taken=out_taken,
+            targets=out_targets,
+            kinds=out_kinds,
+            instr_indices=out_instr,
+            instr_count=icount,
+        )
+        bbv_array = None
+        if bbvs is not None:
+            if bbv_counts is not None and bbv_counts.any():
+                bbvs.append(bbv_counts.copy())
+            bbv_array = (
+                np.stack(bbvs) if bbvs else np.zeros((0, len(prog.blocks)), dtype=np.int64)
+            )
+        return ExecutionResult(
+            trace=trace,
+            instr_count=icount,
+            cond_branch_events=cond_events,
+            register_snapshots=snapshots,
+            bbvs=bbv_array,
+        )
+
+
+def _compile(program: Program):
+    """Lower a program to tuple bytecode with direct block indices."""
+    index = program.block_index
+    compiled = []
+    for block in program.blocks:
+        code = []
+        for ins in block.instructions:
+            if isinstance(ins, Imm):
+                code.append((_OP_IMM, ins.dst, ins.value & WORD_MASK))
+            elif isinstance(ins, Alu):
+                code.append((_OP_ALU, int(ins.op), ins.dst, ins.src1, ins.src2))
+            elif isinstance(ins, AluImm):
+                code.append((_OP_ALUI, int(ins.op), ins.dst, ins.src, ins.imm & WORD_MASK))
+            elif isinstance(ins, Load):
+                code.append((_OP_LOAD, ins.dst, ins.base, ins.offset))
+            elif isinstance(ins, Store):
+                code.append((_OP_STORE, ins.src, ins.base, ins.offset))
+            elif isinstance(ins, Rand):
+                code.append((_OP_RAND, ins.dst, ins.lo, ins.hi))
+            elif isinstance(ins, ArrayBase):
+                arr = program.arrays.get(ins.name)
+                if arr is None:
+                    raise ValueError(f"unknown data array {ins.name!r}")
+                code.append((_OP_IMM, ins.dst, (arr.base + ins.offset) & WORD_MASK))
+            elif isinstance(ins, Nop):
+                code.append((_OP_NOP,))
+            else:
+                raise TypeError(f"unknown instruction {ins!r}")
+
+        term = block.terminator
+        ip = program.terminator_ip(block.label)
+        if isinstance(term, Br):
+            ct = (
+                _T_BR,
+                int(term.cond),
+                term.src1,
+                term.src2,
+                index[term.taken],
+                index[term.not_taken],
+                ip,
+                program.block_base_ip[term.taken],
+                program.block_base_ip[term.not_taken],
+            )
+        elif isinstance(term, Jmp):
+            ct = (_T_JMP, index[term.target], ip, program.block_base_ip[term.target])
+        elif isinstance(term, Call):
+            ct = (
+                _T_CALL,
+                index[term.target],
+                index[term.ret_to],
+                ip,
+                program.block_base_ip[term.target],
+            )
+        elif isinstance(term, Ret):
+            ct = (_T_RET, ip)
+        elif isinstance(term, Switch):
+            ct = (_T_SWITCH, term.index, tuple(index[t] for t in term.targets), ip)
+        elif isinstance(term, Halt):
+            ct = (_T_HALT, ip)
+        else:
+            raise TypeError(f"unknown terminator {term!r}")
+        compiled.append((tuple(code), ct, index[block.label]))
+    return compiled

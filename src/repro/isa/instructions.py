@@ -1,0 +1,229 @@
+"""The synthetic mini-ISA.
+
+The paper's analyses need more than an (IP, direction) stream: the
+dependency-branch study (Sec. IV-A, Table III, Fig. 6) requires operand
+dependency graphs between instructions, and the register-value study
+(Fig. 10) requires architectural register state at branch time.  Real SPEC
+traces carrying that information are proprietary, so we define a small
+register machine whose executor produces all of those signals with ground
+truth.
+
+The ISA is deliberately minimal: 32-bit unsigned integer registers, a flat
+word-addressed memory, ALU ops, loads/stores, an input-data source
+(:class:`Rand`, modelling program input entering registers), and block
+terminators (conditional branch, jump, call, return, indirect switch, halt).
+Programs are control-flow graphs of :class:`~repro.isa.program.BasicBlock`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+
+WORD_MASK = 0xFFFFFFFF
+NUM_REGISTERS = 64
+
+
+class AluOp(enum.IntEnum):
+    """Arithmetic/logic operations (all 32-bit unsigned)."""
+
+    ADD = 0
+    SUB = 1
+    XOR = 2
+    AND = 3
+    OR = 4
+    MUL = 5
+    SHL = 6
+    SHR = 7
+    MOD = 8
+    MIN = 9
+    MAX = 10
+
+
+class Cond(enum.IntEnum):
+    """Branch comparison conditions (unsigned)."""
+
+    EQ = 0
+    NE = 1
+    LT = 2
+    GE = 3
+    LE = 4
+    GT = 5
+
+
+def _check_reg(reg: int, what: str) -> None:
+    if not 0 <= reg < NUM_REGISTERS:
+        raise ValueError(f"{what} register {reg} out of range 0..{NUM_REGISTERS - 1}")
+
+
+@dataclass(frozen=True)
+class Imm:
+    """``dst <- value`` (a compile-time constant; carries no data taint)."""
+
+    dst: int
+    value: int
+
+    def __post_init__(self) -> None:
+        _check_reg(self.dst, "destination")
+
+
+@dataclass(frozen=True)
+class Alu:
+    """``dst <- op(src1, src2)``."""
+
+    op: AluOp
+    dst: int
+    src1: int
+    src2: int
+
+    def __post_init__(self) -> None:
+        _check_reg(self.dst, "destination")
+        _check_reg(self.src1, "source")
+        _check_reg(self.src2, "source")
+
+
+@dataclass(frozen=True)
+class AluImm:
+    """``dst <- op(src, imm)``."""
+
+    op: AluOp
+    dst: int
+    src: int
+    imm: int
+
+    def __post_init__(self) -> None:
+        _check_reg(self.dst, "destination")
+        _check_reg(self.src, "source")
+
+
+@dataclass(frozen=True)
+class Load:
+    """``dst <- mem[reg[base] + offset]``."""
+
+    dst: int
+    base: int
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        _check_reg(self.dst, "destination")
+        _check_reg(self.base, "base")
+
+
+@dataclass(frozen=True)
+class Store:
+    """``mem[reg[base] + offset] <- reg[src]``."""
+
+    src: int
+    base: int
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        _check_reg(self.src, "source")
+        _check_reg(self.base, "base")
+
+
+@dataclass(frozen=True)
+class Rand:
+    """``dst <- uniform integer in [lo, hi)`` drawn from the input stream.
+
+    Models fresh program input (file contents, network data, user input)
+    entering a register.  Each draw is an independent dataflow origin, so
+    branches conditioned on the same draw are ground-truth dependent.
+    """
+
+    dst: int
+    lo: int = 0
+    hi: int = 2
+
+    def __post_init__(self) -> None:
+        _check_reg(self.dst, "destination")
+        if self.hi <= self.lo:
+            raise ValueError("Rand range must be non-empty")
+
+
+@dataclass(frozen=True)
+class Nop:
+    """Consumes one instruction slot (models non-branch filler work)."""
+
+
+@dataclass(frozen=True)
+class ArrayBase:
+    """``dst <- base address of the named data array (+ offset)``.
+
+    Resolved when the executor compiles the program, after data layout.
+    """
+
+    dst: int
+    name: str
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        _check_reg(self.dst, "destination")
+
+
+Instruction = Union[Imm, Alu, AluImm, Load, Store, Rand, Nop, ArrayBase]
+
+
+@dataclass(frozen=True)
+class Br:
+    """Conditional two-way terminator: ``if cond(src1, src2) goto taken``."""
+
+    cond: Cond
+    src1: int
+    src2: int
+    taken: str
+    not_taken: str
+
+    def __post_init__(self) -> None:
+        _check_reg(self.src1, "source")
+        _check_reg(self.src2, "source")
+
+
+@dataclass(frozen=True)
+class Jmp:
+    """Unconditional jump."""
+
+    target: str
+
+
+@dataclass(frozen=True)
+class Call:
+    """Direct call; the return address (the successor block) is pushed."""
+
+    target: str
+    ret_to: str
+
+
+@dataclass(frozen=True)
+class Ret:
+    """Return to the most recent call site."""
+
+
+@dataclass(frozen=True)
+class Switch:
+    """Indirect multi-way branch: ``goto targets[reg[index] % len(targets)]``.
+
+    Models indirect jumps through dispatch tables; the BPU sees these as
+    indirect branches (no direction prediction) but they spread execution
+    over many cold blocks, which is how the LCF workloads realize their
+    rare-branch populations.
+    """
+
+    index: int
+    targets: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        _check_reg(self.index, "index")
+        if not self.targets:
+            raise ValueError("Switch needs at least one target")
+
+
+@dataclass(frozen=True)
+class Halt:
+    """Ends the program (the executor restarts from the entry block if more
+    instructions are requested, modelling repeated invocations)."""
+
+
+Terminator = Union[Br, Jmp, Call, Ret, Switch, Halt]

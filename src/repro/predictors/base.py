@@ -1,0 +1,73 @@
+"""Predictor interface and shared primitives.
+
+All predictors follow the CBP2016 deployment contract the paper describes
+(Sec. II): the simulator feeds them the IP, instruction type, target, and the
+resolved direction of conditional branches.  For each *conditional* branch
+the driver calls :meth:`BranchPredictor.predict` then
+:meth:`BranchPredictor.update` with the outcome; other control-flow
+instructions arrive via :meth:`BranchPredictor.note_branch` so predictors can
+keep path history consistent.  ``storage_bits()`` reports the hardware
+budget the configuration would occupy, which the paper's limit studies vary
+from 8KB to 1024KB.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.types import BranchKind
+
+
+def saturate(value: int, lo: int, hi: int) -> int:
+    """Clamp ``value`` into [lo, hi]."""
+    if value < lo:
+        return lo
+    if value > hi:
+        return hi
+    return value
+
+
+def counter_update(value: int, taken: bool, lo: int, hi: int) -> int:
+    """Move a saturating counter one step toward the outcome."""
+    return saturate(value + (1 if taken else -1), lo, hi)
+
+
+class BranchPredictor(abc.ABC):
+    """Abstract direction predictor."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def predict(self, ip: int) -> bool:
+        """Predict the direction of the conditional branch at ``ip``.
+
+        Implementations may stash per-prediction state; the driver guarantees
+        that :meth:`update` for the same branch is the next call.
+        """
+
+    @abc.abstractmethod
+    def update(self, ip: int, taken: bool) -> None:
+        """Train on the resolved direction and advance speculative state."""
+
+    def note_branch(
+        self, ip: int, target: int, kind: BranchKind, taken: bool = True
+    ) -> None:
+        """Observe a non-conditional control-flow instruction.
+
+        Default: ignored.  Predictors with path histories override this.
+        """
+
+    @abc.abstractmethod
+    def storage_bits(self) -> int:
+        """Hardware storage footprint of this configuration, in bits."""
+
+    def storage_kib(self) -> float:
+        return self.storage_bits() / 8192.0
+
+    def reset(self) -> None:
+        """Restore the predictor to its power-on state.
+
+        Default implementation re-runs ``__init__`` state via subclass
+        override; subclasses with cheap state should override.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not support reset")

@@ -1,0 +1,342 @@
+"""Offline-trained CNN helper predictors (paper Sec. V-C).
+
+The paper proposes training powerful per-branch "helper" predictors offline
+on multi-input trace libraries and deploying them alongside TAGE-SC-L; its
+companion paper (Tarsa et al., "Improving Branch Prediction By Modeling
+Global History with Convolutional Neural Networks") uses low-precision CNNs
+over an encoded global history.  This module implements that design in
+numpy:
+
+* each history record is a token ``(ip low bits, direction)``;
+* tokens are embedded, a width-``w`` 1-D convolution with ReLU extracts
+  position-robust patterns, sum-pooling aggregates them, and a linear layer
+  emits the logit;
+* after training, weights can be quantized to 2 bits (four levels), the
+  deployment format the companion paper argues fits BPU constraints;
+* :class:`HelperAugmentedPredictor` deploys trained helpers on top of a base
+  predictor, overriding it only for their target branches — the paper's
+  deployment model.
+
+Helpers are trained per static branch (the paper's observation from Fig. 10:
+value structure is branch-specific, so "we should focus on training
+branch-specific predictors").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.types import BranchKind, BranchTrace
+from repro.predictors.base import BranchPredictor
+
+_TOKEN_BITS = 8  # 7 IP bits + 1 direction bit
+_NUM_TOKENS = 1 << _TOKEN_BITS
+
+
+def encode_token(ip: int, taken: bool) -> int:
+    """Encode one history record as an 8-bit token."""
+    return (((ip >> 2) & 0x7F) << 1) | int(taken)
+
+
+def extract_branch_dataset(
+    trace: BranchTrace, target_ip: int, history_length: int = 42
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(histories, outcomes) for every dynamic execution of ``target_ip``.
+
+    Histories are token arrays over the preceding ``history_length``
+    conditional branches (newest last); executions with insufficient history
+    are skipped.
+    """
+    if history_length < 1:
+        raise ValueError("history_length must be >= 1")
+    cond = trace.conditional_mask
+    ips = trace.ips[cond]
+    taken = trace.taken[cond]
+    tokens = (((ips >> 2) & 0x7F) << 1 | taken).astype(np.uint8)
+    idx = np.where(ips == target_ip)[0]
+    idx = idx[idx >= history_length]
+    n = len(idx)
+    histories = np.zeros((n, history_length), dtype=np.uint8)
+    for row, i in enumerate(idx):
+        histories[row] = tokens[i - history_length : i]
+    outcomes = taken[idx].astype(np.int8)
+    return histories, outcomes
+
+
+@dataclass(frozen=True)
+class CnnHelperConfig:
+    """Hyperparameters of a helper CNN."""
+
+    history_length: int = 42
+    embed_dim: int = 8
+    conv_width: int = 3
+    num_filters: int = 16
+    epochs: int = 12
+    batch_size: int = 64
+    learning_rate: float = 0.05
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.history_length < self.conv_width:
+            raise ValueError("history shorter than the convolution width")
+        if min(self.embed_dim, self.conv_width, self.num_filters) < 1:
+            raise ValueError("invalid network shape")
+
+
+class CnnHelperPredictor:
+    """A per-branch helper CNN, trained offline."""
+
+    def __init__(self, target_ip: int, config: Optional[CnnHelperConfig] = None) -> None:
+        self.target_ip = target_ip
+        self.config = config or CnnHelperConfig()
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        scale = 0.2
+        self.embedding = rng.normal(0, scale, (_NUM_TOKENS, cfg.embed_dim))
+        self.conv_w = rng.normal(
+            0, scale, (cfg.conv_width * cfg.embed_dim, cfg.num_filters)
+        )
+        self.conv_b = np.zeros(cfg.num_filters)
+        self.out_w = rng.normal(0, scale, cfg.num_filters)
+        self.out_b = 0.0
+        self.quantized = False
+
+    # -- forward ---------------------------------------------------------
+
+    def _windows(self, histories: np.ndarray) -> np.ndarray:
+        """Stack sliding windows: (N, H-w+1, w*E)."""
+        cfg = self.config
+        emb = self.embedding[histories]  # (N, H, E)
+        pieces = [
+            emb[:, j : histories.shape[1] - cfg.conv_width + 1 + j, :]
+            for j in range(cfg.conv_width)
+        ]
+        return np.concatenate(pieces, axis=2)
+
+    def _forward(self, histories: np.ndarray):
+        windows = self._windows(histories)  # (N, P, wE)
+        pre = windows @ self.conv_w + self.conv_b  # (N, P, F)
+        act = np.maximum(pre, 0.0)
+        pooled = act.sum(axis=1)  # (N, F)
+        logits = pooled @ self.out_w + self.out_b
+        return windows, pre, act, pooled, logits
+
+    def predict_proba(self, histories: np.ndarray) -> np.ndarray:
+        """Taken-probability per history."""
+        _, _, _, _, logits = self._forward(np.asarray(histories, dtype=np.uint8))
+        return 1.0 / (1.0 + np.exp(-np.clip(logits, -30, 30)))
+
+    def predict_batch(self, histories: np.ndarray) -> np.ndarray:
+        return self.predict_proba(histories) >= 0.5
+
+    def accuracy(self, histories: np.ndarray, outcomes: np.ndarray) -> float:
+        preds = self.predict_batch(histories)
+        return float((preds == np.asarray(outcomes, dtype=bool)).mean())
+
+    # -- training --------------------------------------------------------
+
+    def train(
+        self,
+        histories: np.ndarray,
+        outcomes: np.ndarray,
+        verbose: bool = False,
+        epochs: Optional[int] = None,
+        train_embedding: bool = True,
+        train_conv: bool = True,
+    ) -> List[float]:
+        """SGD on binary cross-entropy; returns per-epoch training loss.
+
+        ``train_embedding`` / ``train_conv`` freeze stages during the
+        quantization-aware fine-tuning passes of :meth:`quantize`.
+        """
+        cfg = self.config
+        num_epochs = epochs if epochs is not None else cfg.epochs
+        histories = np.asarray(histories, dtype=np.uint8)
+        y = np.asarray(outcomes, dtype=float)
+        if len(histories) != len(y) or len(y) == 0:
+            raise ValueError("empty or mismatched training data")
+        rng = np.random.default_rng(cfg.seed + 1)
+        n = len(y)
+        losses: List[float] = []
+        for epoch in range(num_epochs):
+            order = rng.permutation(n)
+            lr = cfg.learning_rate / (1.0 + 0.3 * epoch)
+            epoch_loss = 0.0
+            for start in range(0, n, cfg.batch_size):
+                batch = order[start : start + cfg.batch_size]
+                hb, yb = histories[batch], y[batch]
+                windows, pre, act, pooled, logits = self._forward(hb)
+                probs = 1.0 / (1.0 + np.exp(-np.clip(logits, -30, 30)))
+                eps = 1e-9
+                epoch_loss += float(
+                    -(yb * np.log(probs + eps) + (1 - yb) * np.log(1 - probs + eps)).sum()
+                )
+                dlogit = (probs - yb) / len(batch)  # (B,)
+                # Output layer.
+                grad_out_w = pooled.T @ dlogit
+                grad_out_b = dlogit.sum()
+                # Through pooling into conv activations.
+                dact = dlogit[:, None, None] * self.out_w[None, None, :]
+                dpre = dact * (pre > 0)
+                grad_conv_w = np.einsum("npw,npf->wf", windows, dpre)
+                grad_conv_b = dpre.sum(axis=(0, 1))
+                # Into the embeddings.
+                dwindows = dpre @ self.conv_w.T  # (B, P, wE)
+                E, W = cfg.embed_dim, cfg.conv_width
+                demb = np.zeros((len(batch), hb.shape[1], E))
+                P = dwindows.shape[1]
+                for j in range(W):
+                    demb[:, j : j + P, :] += dwindows[:, :, j * E : (j + 1) * E]
+                self.out_w -= lr * grad_out_w
+                self.out_b -= lr * grad_out_b
+                if train_conv:
+                    self.conv_w -= lr * grad_conv_w
+                    self.conv_b -= lr * grad_conv_b
+                if train_embedding:
+                    np.subtract.at(
+                        self.embedding,
+                        hb.reshape(-1),
+                        lr * demb.reshape(-1, E),
+                    )
+            losses.append(epoch_loss / n)
+            if verbose:
+                print(f"epoch {epoch}: loss {losses[-1]:.4f}")
+        return losses
+
+    # -- quantization ----------------------------------------------------
+
+    @staticmethod
+    def _quantize_tensor(w: np.ndarray, bits: int, axis: int) -> np.ndarray:
+        levels = (1 << bits) - 1
+        scale = np.abs(w).max(axis=axis, keepdims=True)
+        scale = np.where(scale == 0, 1.0, scale)
+        step = 2 * scale / levels
+        return np.round((w + scale) / step) * step - scale
+
+    def quantize(
+        self,
+        bits: int = 2,
+        finetune_histories: Optional[np.ndarray] = None,
+        finetune_outcomes: Optional[np.ndarray] = None,
+        finetune_epochs: int = 4,
+    ) -> None:
+        """Quantize the weight matrices to ``bits`` per weight.
+
+        2-bit quantization (four levels) is the companion paper's deployment
+        format; inference then needs only narrow adds.  Scales are
+        per-channel (one per embedding dimension / conv filter), which the
+        hardware realizes as a handful of shared shift-add constants; the
+        few biases and the final layer keep 8-bit precision.
+
+        When fine-tuning data is supplied, quantization is staged the way
+        quantization-aware training does it: quantize the embeddings, retrain
+        the float stages, quantize the convolution, retrain the output layer.
+        """
+        if bits < 1 or bits > 8:
+            raise ValueError("bits must be in 1..8")
+        can_finetune = finetune_histories is not None and finetune_outcomes is not None
+
+        self.embedding = self._quantize_tensor(self.embedding, bits, axis=0)
+        if can_finetune:
+            self.train(
+                finetune_histories,
+                finetune_outcomes,
+                epochs=finetune_epochs,
+                train_embedding=False,
+                train_conv=True,
+            )
+        self.conv_w = self._quantize_tensor(self.conv_w, bits, axis=0)
+        self.conv_b = self._quantize_tensor(self.conv_b[None, :], bits, axis=1)[0]
+        if can_finetune:
+            self.train(
+                finetune_histories,
+                finetune_outcomes,
+                epochs=finetune_epochs,
+                train_embedding=False,
+                train_conv=False,
+            )
+        self.out_w = self._quantize_tensor(self.out_w[None, :], 8, axis=1)[0]
+        self.quantized = True
+
+    def storage_bits(self, weight_bits: int = 2) -> int:
+        """Deployment footprint at the given weight precision."""
+        n_weights = (
+            self.embedding.size + self.conv_w.size + self.conv_b.size
+            + self.out_w.size + 1
+        )
+        return n_weights * weight_bits
+
+
+def train_helper(
+    trace: BranchTrace,
+    target_ip: int,
+    config: Optional[CnnHelperConfig] = None,
+) -> CnnHelperPredictor:
+    """Convenience: extract the dataset from a trace and train a helper."""
+    cfg = config or CnnHelperConfig()
+    histories, outcomes = extract_branch_dataset(trace, target_ip, cfg.history_length)
+    helper = CnnHelperPredictor(target_ip, cfg)
+    helper.train(histories, outcomes)
+    return helper
+
+
+class HelperAugmentedPredictor(BranchPredictor):
+    """A base predictor plus deployed per-branch helpers (Sec. V-D).
+
+    Helpers own their target branches; every other branch goes to the base
+    predictor.  The base still trains on all branches (it must stay warm in
+    case a helper is unloaded).  The online global-history window the
+    helpers consume is maintained here, mirroring what the OS-loaded helper
+    hardware would see.
+    """
+
+    def __init__(
+        self,
+        base: BranchPredictor,
+        helpers: Iterable[CnnHelperPredictor],
+        label: Optional[str] = None,
+    ) -> None:
+        self.base = base
+        self.helpers: Dict[int, CnnHelperPredictor] = {
+            h.target_ip: h for h in helpers
+        }
+        if not self.helpers:
+            raise ValueError("need at least one helper")
+        self._hist_len = max(h.config.history_length for h in self.helpers.values())
+        self._tokens = np.zeros(self._hist_len, dtype=np.uint8)
+        self._filled = 0
+        self.name = label or f"{base.name}+cnn-helpers"
+
+    def predict(self, ip: int) -> bool:
+        base_pred = self.base.predict(ip)
+        helper = self.helpers.get(ip)
+        if helper is None or self._filled < helper.config.history_length:
+            return base_pred
+        h = helper.config.history_length
+        window = self._tokens[self._hist_len - h :][None, :]
+        return bool(helper.predict_batch(window)[0])
+
+    def update(self, ip: int, taken: bool) -> None:
+        self.base.update(ip, taken)
+        self._tokens[:-1] = self._tokens[1:]
+        self._tokens[-1] = encode_token(ip, taken)
+        if self._filled < self._hist_len:
+            self._filled += 1
+
+    def note_branch(
+        self, ip: int, target: int, kind: BranchKind, taken: bool = True
+    ) -> None:
+        self.base.note_branch(ip, target, kind, taken)
+
+    def storage_bits(self) -> int:
+        return self.base.storage_bits() + sum(
+            h.storage_bits() for h in self.helpers.values()
+        )
+
+    def reset(self) -> None:
+        self.base.reset()
+        self._tokens[:] = 0
+        self._filled = 0

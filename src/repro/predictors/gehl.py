@@ -1,0 +1,119 @@
+"""O-GEHL: Optimized GEometric History Length predictor (Seznec 2005).
+
+The bridge between perceptrons and TAGE in the lineage the paper sketches:
+several tables of signed counters, each indexed by the IP hashed with a
+*geometrically growing* slice of global history; the prediction is the sign
+of the summed counter votes, trained perceptron-style against an adaptive
+threshold.  Unlike TAGE there are no tags — aliasing is fought statistically
+rather than by exact matching — which makes it an informative ablation
+partner for TAGE's tagged tables.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.types import BranchKind
+from repro.predictors.base import BranchPredictor, saturate
+from repro.predictors.tage import geometric_history_lengths
+
+
+class OGehl(BranchPredictor):
+    """O-GEHL with adaptive threshold (simplified)."""
+
+    name = "o-gehl"
+
+    def __init__(
+        self,
+        num_tables: int = 8,
+        log_entries: int = 10,
+        min_history: int = 3,
+        max_history: int = 200,
+        counter_bits: int = 5,
+    ) -> None:
+        if num_tables < 2 or log_entries <= 0 or counter_bits < 2:
+            raise ValueError("invalid O-GEHL shape")
+        self.num_tables = num_tables
+        self.log_entries = log_entries
+        self.counter_bits = counter_bits
+        # Table 0 is indexed by IP alone (bias); the rest use history.
+        self.history_lengths = [0] + geometric_history_lengths(
+            min_history, max_history, num_tables - 1
+        )
+        self._mask = (1 << log_entries) - 1
+        self._lo = -(1 << (counter_bits - 1))
+        self._hi = (1 << (counter_bits - 1)) - 1
+        self._tables: List[List[int]] = [
+            [0] * (1 << log_entries) for _ in range(num_tables)
+        ]
+        self._history = 0  # packed global history, newest bit = LSB
+        self._max_history = max_history
+        self.threshold = num_tables
+        self._tc = 0  # threshold-training counter
+        self._last_indices: List[int] = [0] * num_tables
+        self._last_sum = 0
+
+    def _fold(self, length: int) -> int:
+        bits = self._history & ((1 << length) - 1)
+        folded = 0
+        while bits:
+            folded ^= bits & self._mask
+            bits >>= self.log_entries
+        return folded
+
+    def predict(self, ip: int) -> bool:
+        s = 0
+        for t in range(self.num_tables):
+            h = self.history_lengths[t]
+            idx = (ip ^ (ip >> (t + 1)) ^ self._fold(h)) & self._mask if h else (
+                ip ^ (ip >> self.log_entries)
+            ) & self._mask
+            self._last_indices[t] = idx
+            s += 2 * self._tables[t][idx] + 1
+        self._last_sum = s
+        return s >= 0
+
+    def update(self, ip: int, taken: bool) -> None:
+        s = self._last_sum
+        pred = s >= 0
+        if pred != taken or abs(s) < self.threshold:
+            for t in range(self.num_tables):
+                idx = self._last_indices[t]
+                self._tables[t][idx] = saturate(
+                    self._tables[t][idx] + (1 if taken else -1),
+                    self._lo, self._hi,
+                )
+        # Adaptive threshold (Seznec's TC scheme).
+        if pred != taken:
+            self._tc += 1
+            if self._tc >= 64:
+                self._tc = 0
+                self.threshold = min(self.threshold + 1, 4 * self.num_tables)
+        elif abs(s) < self.threshold:
+            self._tc -= 1
+            if self._tc <= -64:
+                self._tc = 0
+                self.threshold = max(self.threshold - 1, 1)
+        self._history = ((self._history << 1) | int(taken)) & (
+            (1 << self._max_history) - 1
+        )
+
+    def note_branch(
+        self, ip: int, target: int, kind: BranchKind, taken: bool = True
+    ) -> None:
+        self._history = ((self._history << 1) | 1) & ((1 << self._max_history) - 1)
+
+    def storage_bits(self) -> int:
+        return (
+            self.num_tables * (1 << self.log_entries) * self.counter_bits
+            + self._max_history
+            + 16
+        )
+
+    def reset(self) -> None:
+        for table in self._tables:
+            for i in range(len(table)):
+                table[i] = 0
+        self._history = 0
+        self._tc = 0
+        self.threshold = self.num_tables

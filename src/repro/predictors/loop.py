@@ -1,0 +1,181 @@
+"""Loop termination predictor and the IMLI counter.
+
+Domain-specific models from the paper's Sec. II: the loop predictor (the
+"L" of TAGE-SC-L) learns iteration counts of regular loops and predicts the
+exit with high confidence; the Inner-Most Loop Iteration (IMLI) counter
+(Seznec et al., MICRO 2015) exposes the current iteration number of the
+innermost loop as a feature for the statistical corrector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.predictors.base import BranchPredictor, saturate
+
+
+@dataclass
+class _LoopEntry:
+    tag: int = -1
+    past_iter: int = 0  # learned trip count
+    current_iter: int = 0
+    confidence: int = 0  # saturates at _CONF_MAX
+    age: int = 0
+    direction: bool = True  # the "looping" direction
+
+
+_CONF_MAX = 3
+_AGE_MAX = 7
+_ITER_BITS = 14
+
+
+class LoopPredictor(BranchPredictor):
+    """Predicts loop-exit branches after a stable trip count is observed.
+
+    An entry becomes confident after the same iteration count is seen
+    ``_CONF_MAX`` consecutive times; it then predicts the looping direction
+    until ``current_iter == past_iter``, at which point it predicts the exit.
+    ``is_confident`` after a :meth:`predict` tells the composite predictor
+    whether to override the main prediction.
+    """
+
+    name = "loop"
+
+    def __init__(self, log_entries: int = 6, tag_bits: int = 14) -> None:
+        if log_entries <= 0 or tag_bits <= 0:
+            raise ValueError("invalid loop table shape")
+        self.log_entries = log_entries
+        self.tag_bits = tag_bits
+        self._mask = (1 << log_entries) - 1
+        self._tag_mask = (1 << tag_bits) - 1
+        self._table: List[_LoopEntry] = [
+            _LoopEntry() for _ in range(1 << log_entries)
+        ]
+        self.is_confident = False
+        self._last_entry: Optional[_LoopEntry] = None
+        self._last_pred = True
+        self._rand_state = 0x2F73C159
+
+    def _lookup(self, ip: int) -> Optional[_LoopEntry]:
+        entry = self._table[(ip ^ (ip >> self.log_entries)) & self._mask]
+        if entry.tag == ((ip >> 2) & self._tag_mask):
+            return entry
+        return None
+
+    def predict(self, ip: int) -> bool:
+        entry = self._lookup(ip)
+        self._last_entry = entry
+        # past_iter < 2 is degenerate: such an "entry" just predicts a
+        # constant direction, adds nothing over the main predictor, and can
+        # be fabricated by a single cold misprediction — never override.
+        if entry is None or entry.confidence < _CONF_MAX or entry.past_iter < 2:
+            self.is_confident = False
+            self._last_pred = True
+            return True
+        if entry.current_iter + 1 >= entry.past_iter:
+            pred = not entry.direction  # the exit
+        else:
+            pred = entry.direction
+        self.is_confident = True
+        self._last_pred = pred
+        return pred
+
+    def update(self, ip: int, taken: bool, mispredicted: bool = False) -> None:
+        """Train on the outcome.  ``mispredicted`` gates allocation: new loop
+        entries are only worth creating for branches the composite predictor
+        got wrong (otherwise every easy branch thrashes the small table)."""
+        entry = self._last_entry
+        if entry is None:
+            # Rate-limit allocations (1 in 8 mispredictions, as the CBP
+            # implementations do): the small table would otherwise be
+            # thrashed by every hard branch in the stream.
+            if mispredicted and self._rand() & 7 == 0:
+                self._maybe_allocate(ip, taken)
+            return
+        if taken == entry.direction:
+            entry.current_iter = saturate(
+                entry.current_iter + 1, 0, (1 << _ITER_BITS) - 1
+            )
+            if entry.current_iter > entry.past_iter and entry.confidence == _CONF_MAX:
+                # Trip count changed; restart learning.
+                entry.confidence = 0
+                entry.past_iter = 0
+        else:
+            # Exit observed: compare against the learned trip count.
+            observed = entry.current_iter + 1
+            if observed == entry.past_iter:
+                entry.confidence = saturate(entry.confidence + 1, 0, _CONF_MAX)
+                entry.age = saturate(entry.age + 1, 0, _AGE_MAX)
+            else:
+                entry.past_iter = observed
+                entry.confidence = 0
+            entry.current_iter = 0
+
+    def _rand(self) -> int:
+        x = self._rand_state
+        x ^= (x << 13) & 0xFFFFFFFF
+        x ^= x >> 17
+        x ^= (x << 5) & 0xFFFFFFFF
+        self._rand_state = x
+        return x
+
+    def _maybe_allocate(self, ip: int, taken: bool) -> None:
+        slot = (ip ^ (ip >> self.log_entries)) & self._mask
+        entry = self._table[slot]
+        if entry.tag == -1 or entry.age == 0:
+            # Allocation happens on a misprediction, which for a regular
+            # loop is the *exit*: the looping direction is the opposite of
+            # the direction just observed.
+            self._table[slot] = _LoopEntry(
+                tag=(ip >> 2) & self._tag_mask,
+                direction=not taken,
+                age=_AGE_MAX // 2,
+            )
+        else:
+            entry.age -= 1
+
+    def storage_bits(self) -> int:
+        per_entry = self.tag_bits + 2 * _ITER_BITS + 2 + 3 + 1
+        return len(self._table) * per_entry
+
+    def reset(self) -> None:
+        self._table = [_LoopEntry() for _ in range(len(self._table))]
+        self.is_confident = False
+        self._last_entry = None
+
+
+class ImliCounter:
+    """Inner-Most Loop Iteration counter (Seznec/San Miguel/Albericio).
+
+    Counts consecutive taken executions of the same backward branch — a
+    cheap proxy for the innermost loop's iteration number, used as an input
+    modality by the statistical corrector.
+    """
+
+    def __init__(self, max_count: int = 1 << 10) -> None:
+        if max_count <= 0:
+            raise ValueError("max_count must be positive")
+        self.max_count = max_count
+        self.count = 0
+        self._last_backward_ip: Optional[int] = None
+
+    def observe(self, ip: int, target: int, taken: bool) -> None:
+        """Feed a resolved conditional branch."""
+        if taken and target < ip:  # backward taken: loop iteration
+            if ip == self._last_backward_ip:
+                if self.count < self.max_count - 1:
+                    self.count += 1
+            else:
+                self._last_backward_ip = ip
+                self.count = 1
+        elif not taken and ip == self._last_backward_ip:
+            # The loop exited.
+            self.count = 0
+
+    def reset(self) -> None:
+        self.count = 0
+        self._last_backward_ip = None
+
+    def storage_bits(self) -> int:
+        return 10 + 64  # counter + last backward IP register

@@ -1,0 +1,107 @@
+"""Oracle predictors for the paper's limit studies.
+
+* :class:`Perfect` — never mispredicts: the "Perfect BP" ceiling of Figs 1/5.
+* :class:`PerfectFilter` — wraps a real predictor but forces correct
+  predictions for a chosen set of static branches ("Perfect H2Ps" in Figs
+  1/5) or for branches selected by a dynamic-execution-count rule (the
+  ">1000 / >100 execs" study of Fig. 8).
+
+The filter variants run the underlying predictor normally (including its
+training), so its tables see the same stream; only the *emitted* prediction
+is overridden, which mirrors how the paper idealizes a subset of branches
+inside ChampSim.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Iterable, Optional
+
+from repro.core.types import BranchKind
+from repro.predictors.base import BranchPredictor
+
+
+class Perfect(BranchPredictor):
+    """Always predicts correctly (needs the outcome; trace-driven only)."""
+
+    name = "perfect"
+
+    def __init__(self) -> None:
+        self._next_outcome: Optional[bool] = None
+
+    def set_outcome(self, taken: bool) -> None:
+        """The simulator supplies the resolved direction before predict()."""
+        self._next_outcome = taken
+
+    def predict(self, ip: int) -> bool:
+        if self._next_outcome is None:
+            raise RuntimeError("Perfect.predict() requires set_outcome() first")
+        return self._next_outcome
+
+    def update(self, ip: int, taken: bool) -> None:
+        self._next_outcome = None
+
+    def storage_bits(self) -> int:
+        return 0
+
+    def reset(self) -> None:
+        self._next_outcome = None
+
+
+class PerfectFilter(BranchPredictor):
+    """Idealizes a subset of branches on top of a real predictor.
+
+    Args:
+        inner: the real predictor (trained on every branch as usual).
+        perfect_ips: static branch IPs predicted perfectly.
+        predicate: alternative to ``perfect_ips`` — called with the IP and
+            returns True if the branch should be idealized.
+    """
+
+    def __init__(
+        self,
+        inner: BranchPredictor,
+        perfect_ips: Optional[Iterable[int]] = None,
+        predicate: Optional[Callable[[int], bool]] = None,
+        label: Optional[str] = None,
+    ) -> None:
+        if (perfect_ips is None) == (predicate is None):
+            raise ValueError("provide exactly one of perfect_ips / predicate")
+        self.inner = inner
+        self._perfect: FrozenSet[int] = frozenset(perfect_ips or ())
+        self._predicate = predicate
+        self._next_outcome: Optional[bool] = None
+        self.name = label or f"perfect-filter({inner.name})"
+
+    def set_outcome(self, taken: bool) -> None:
+        self._next_outcome = taken
+
+    def _is_perfect(self, ip: int) -> bool:
+        if self._predicate is not None:
+            return self._predicate(ip)
+        return ip in self._perfect
+
+    def predict(self, ip: int) -> bool:
+        inner_pred = self.inner.predict(ip)
+        if self._is_perfect(ip):
+            if self._next_outcome is None:
+                raise RuntimeError(
+                    "PerfectFilter.predict() on an idealized branch requires set_outcome()"
+                )
+            return self._next_outcome
+        return inner_pred
+
+    def update(self, ip: int, taken: bool) -> None:
+        self.inner.update(ip, taken)
+        self._next_outcome = None
+
+    def note_branch(
+        self, ip: int, target: int, kind: BranchKind, taken: bool = True
+    ) -> None:
+        self.inner.note_branch(ip, target, kind, taken)
+
+    def storage_bits(self) -> int:
+        return self.inner.storage_bits()
+
+    def reset(self) -> None:
+        self.inner.reset()
+        self._next_outcome = None

@@ -1,0 +1,184 @@
+"""Perceptron branch predictors (Jiménez & Lin, HPCA 2001; MICRO 2003).
+
+The paper's Sec. II singles perceptrons out as the family that "mitigates a
+shortcoming of PPM's exact pattern matching by learning weights on different
+history positions".  Two variants are provided: the classic global-history
+perceptron and a path-based variant that hashes recent branch IPs into the
+feature vector.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.types import BranchKind
+from repro.predictors.base import BranchPredictor, saturate
+
+
+class Perceptron(BranchPredictor):
+    """Global-history perceptron predictor.
+
+    One weight vector per (hashed) IP; features are the signed recent global
+    directions.  Training uses the classic threshold rule
+    ``theta = 1.93 * h + 14``.
+    """
+
+    name = "perceptron"
+
+    def __init__(
+        self,
+        log_entries: int = 9,
+        history_length: int = 32,
+        weight_bits: int = 8,
+    ) -> None:
+        if log_entries <= 0 or history_length <= 0 or weight_bits <= 1:
+            raise ValueError("invalid perceptron shape")
+        self.log_entries = log_entries
+        self.history_length = history_length
+        self.weight_bits = weight_bits
+        self._mask = (1 << log_entries) - 1
+        self._wlo = -(1 << (weight_bits - 1))
+        self._whi = (1 << (weight_bits - 1)) - 1
+        self.theta = int(1.93 * history_length + 14)
+        # weights[i] is [bias, w_1..w_h]
+        self._weights: List[List[int]] = [
+            [0] * (history_length + 1) for _ in range(1 << log_entries)
+        ]
+        self._history: List[int] = [0] * history_length  # +/-1 signed, newest first
+        self._last_sum = 0
+        self._last_index = 0
+
+    def _index(self, ip: int) -> int:
+        return (ip ^ (ip >> self.log_entries)) & self._mask
+
+    def predict(self, ip: int) -> bool:
+        i = self._index(ip)
+        w = self._weights[i]
+        s = w[0]
+        hist = self._history
+        for j in range(self.history_length):
+            if hist[j] > 0:
+                s += w[j + 1]
+            else:
+                s -= w[j + 1]
+        self._last_sum = s
+        self._last_index = i
+        return s >= 0
+
+    def update(self, ip: int, taken: bool) -> None:
+        s = self._last_sum
+        correct = (s >= 0) == taken
+        if not correct or abs(s) <= self.theta:
+            w = self._weights[self._last_index]
+            t = 1 if taken else -1
+            w[0] = saturate(w[0] + t, self._wlo, self._whi)
+            hist = self._history
+            for j in range(self.history_length):
+                delta = t if hist[j] > 0 else -t
+                w[j + 1] = saturate(w[j + 1] + delta, self._wlo, self._whi)
+        self._push_history(taken)
+
+    def _push_history(self, taken: bool) -> None:
+        self._history.insert(0, 1 if taken else -1)
+        self._history.pop()
+
+    def storage_bits(self) -> int:
+        return (
+            len(self._weights) * (self.history_length + 1) * self.weight_bits
+            + self.history_length
+        )
+
+    def reset(self) -> None:
+        for w in self._weights:
+            for j in range(len(w)):
+                w[j] = 0
+        self._history = [0] * self.history_length
+
+
+class PathPerceptron(BranchPredictor):
+    """Path-based neural predictor (Jiménez, MICRO 2003), simplified.
+
+    Instead of indexing one weight vector by the current IP, each history
+    position's weight is selected by the IP of the branch that occupied that
+    position, capturing path information.
+    """
+
+    name = "path-perceptron"
+
+    def __init__(
+        self,
+        log_entries: int = 10,
+        history_length: int = 24,
+        weight_bits: int = 8,
+    ) -> None:
+        if log_entries <= 0 or history_length <= 0 or weight_bits <= 1:
+            raise ValueError("invalid predictor shape")
+        self.log_entries = log_entries
+        self.history_length = history_length
+        self.weight_bits = weight_bits
+        self._mask = (1 << log_entries) - 1
+        self._wlo = -(1 << (weight_bits - 1))
+        self._whi = (1 << (weight_bits - 1)) - 1
+        self.theta = int(2.14 * (history_length + 1) + 20.58)
+        # One weight column per history position; rows indexed by hashed IP.
+        self._weights: List[List[int]] = [
+            [0] * (history_length + 1) for _ in range(1 << log_entries)
+        ]
+        self._dir_history: List[int] = [0] * history_length  # +/-1, newest first
+        self._path: List[int] = [0] * history_length  # hashed IPs, newest first
+        self._last_sum = 0
+        self._last_rows: List[int] = []
+
+    def _hash(self, ip: int, position: int) -> int:
+        return (ip ^ (ip >> 4) ^ (position * 0x9E37)) & self._mask
+
+    def predict(self, ip: int) -> bool:
+        rows = [self._hash(ip, 0)]
+        s = self._weights[rows[0]][0]
+        for j in range(self.history_length):
+            row = self._hash(self._path[j], j + 1)
+            rows.append(row)
+            w = self._weights[row][j + 1]
+            s += w if self._dir_history[j] > 0 else -w
+        self._last_sum = s
+        self._last_rows = rows
+        return s >= 0
+
+    def update(self, ip: int, taken: bool) -> None:
+        s = self._last_sum
+        if ((s >= 0) != taken) or abs(s) <= self.theta:
+            t = 1 if taken else -1
+            rows = self._last_rows
+            w0 = self._weights[rows[0]]
+            w0[0] = saturate(w0[0] + t, self._wlo, self._whi)
+            for j in range(self.history_length):
+                row_w = self._weights[rows[j + 1]]
+                delta = t if self._dir_history[j] > 0 else -t
+                row_w[j + 1] = saturate(row_w[j + 1] + delta, self._wlo, self._whi)
+        self._dir_history.insert(0, 1 if taken else -1)
+        self._dir_history.pop()
+        self._path.insert(0, ip)
+        self._path.pop()
+
+    def note_branch(
+        self, ip: int, target: int, kind: BranchKind, taken: bool = True
+    ) -> None:
+        # Calls/returns/jumps contribute to the path but not the direction
+        # history (they are always taken).
+        self._path.insert(0, ip)
+        self._path.pop()
+        self._dir_history.insert(0, 1)
+        self._dir_history.pop()
+
+    def storage_bits(self) -> int:
+        return (
+            len(self._weights) * (self.history_length + 1) * self.weight_bits
+            + self.history_length * 17  # direction bit + 16-bit path hash
+        )
+
+    def reset(self) -> None:
+        for w in self._weights:
+            for j in range(len(w)):
+                w[j] = 0
+        self._dir_history = [0] * self.history_length
+        self._path = [0] * self.history_length

@@ -1,0 +1,210 @@
+"""On-chip phase learning for rare branches (paper Sec. V-B direction).
+
+The paper observes that rare branches recur on phase-like timescales
+(Fig. 9) and proposes exploiting phase information to "track long-term
+statistics for rare branches" that the BPU's short-term structures keep
+forgetting.  This module implements that direction:
+
+* :class:`PhaseRecognizer` — lightweight online phase detection from branch
+  IP footprints: every window of branches is summarized as a Bloom-filter
+  signature and matched (by Jaccard similarity) against stored phase
+  signatures, echoing the counter-based phase recognition of the works the
+  paper cites.
+* :class:`PhaseBiasHelper` — a wrapper predictor that keeps per-(phase,
+  branch) direction statistics with confidence, and overrides the base
+  predictor only for branches whose within-phase behaviour it has seen
+  consistently.  When a phase recurs, the statistics learned during its last
+  occurrence are immediately live again — exactly the long-term reuse an
+  online-only predictor cannot provide.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.types import BranchKind
+from repro.predictors.base import BranchPredictor, saturate
+
+_SIGNATURE_BITS = 1024
+
+
+class PhaseRecognizer:
+    """Online phase detection from branch-footprint signatures."""
+
+    def __init__(
+        self,
+        window: int = 512,
+        similarity_threshold: float = 0.5,
+        max_phases: int = 32,
+    ) -> None:
+        if window < 16:
+            raise ValueError("window too small")
+        if not 0 < similarity_threshold < 1:
+            raise ValueError("similarity_threshold must be in (0, 1)")
+        self.window = window
+        self.similarity_threshold = similarity_threshold
+        self.max_phases = max_phases
+        self._signatures: List[int] = []
+        self._current_sig = 0
+        self._count = 0
+        self.current_phase = 0
+        self.transitions = 0
+
+    @staticmethod
+    def _bit(ip: int) -> int:
+        # Knuth multiplicative hashing: take the *top* bits of the product
+        # so that high IP bits (the code-region bits that distinguish
+        # phases) influence the signature.
+        h = ((ip * 0x9E3779B1) & 0xFFFFFFFF) >> 22
+        return 1 << (h % _SIGNATURE_BITS)
+
+    @staticmethod
+    def _jaccard(a: int, b: int) -> float:
+        union = bin(a | b).count("1")
+        if union == 0:
+            return 1.0
+        return bin(a & b).count("1") / union
+
+    def observe(self, ip: int) -> None:
+        """Feed one executed branch; phase decisions happen per window."""
+        self._current_sig |= self._bit(ip)
+        self._count += 1
+        if self._count < self.window:
+            return
+        self._classify()
+        self._current_sig = 0
+        self._count = 0
+
+    def _classify(self) -> None:
+        sig = self._current_sig
+        best, best_sim = -1, 0.0
+        for phase, stored in enumerate(self._signatures):
+            sim = self._jaccard(sig, stored)
+            if sim > best_sim:
+                best, best_sim = phase, sim
+        if best >= 0 and best_sim >= self.similarity_threshold:
+            # Refresh the stored signature (exponential union decay).
+            self._signatures[best] = (self._signatures[best] & sig) | sig
+            if best != self.current_phase:
+                self.transitions += 1
+            self.current_phase = best
+            return
+        if len(self._signatures) < self.max_phases:
+            self._signatures.append(sig)
+            new_phase = len(self._signatures) - 1
+        else:
+            new_phase = self.current_phase  # table full: stay put
+        if new_phase != self.current_phase:
+            self.transitions += 1
+        self.current_phase = new_phase
+
+    @property
+    def num_phases(self) -> int:
+        return max(1, len(self._signatures))
+
+    def storage_bits(self) -> int:
+        return self.max_phases * _SIGNATURE_BITS + _SIGNATURE_BITS + 16
+
+
+class PhaseBiasHelper(BranchPredictor):
+    """Base predictor + per-phase long-term direction statistics.
+
+    A table of (direction counter, confidence) pairs indexed by
+    ``hash(phase, ip)``.  The helper overrides the base only when its entry
+    is confident; confidence builds when the entry's direction repeatedly
+    matches the outcome and collapses on a contradiction.  Entries persist
+    across phase transitions, so statistics learned in a phase's previous
+    occurrence apply instantly when it returns — the reuse opportunity the
+    paper says online-trained predictors leave on the table.
+    """
+
+    def __init__(
+        self,
+        base: BranchPredictor,
+        recognizer: Optional[PhaseRecognizer] = None,
+        log_entries: int = 14,
+        confidence_max: int = 3,
+        label: Optional[str] = None,
+    ) -> None:
+        if log_entries <= 0:
+            raise ValueError("log_entries must be positive")
+        self.base = base
+        self.recognizer = recognizer or PhaseRecognizer()
+        self.log_entries = log_entries
+        self.confidence_max = confidence_max
+        self._mask = (1 << log_entries) - 1
+        self._dir: List[int] = [0] * (1 << log_entries)  # 3-bit signed
+        self._conf: List[int] = [0] * (1 << log_entries)
+        # Utility: how often overriding here beat the base.  Overrides are
+        # enabled per entry only after the base has been caught wrong where
+        # the phase statistics were right (mirrors SC usefulness filtering).
+        self._util: List[int] = [0] * (1 << log_entries)
+        self.overrides = 0
+        self.override_correct = 0
+        self._last_index = 0
+        self._last_used_helper = False
+        self._last_pred = False
+        self._last_base_pred = False
+        self.name = label or f"{base.name}+phase-bias"
+
+    def _index(self, ip: int) -> int:
+        phase = self.recognizer.current_phase
+        return (ip ^ (ip >> 9) ^ (phase * 0x85EBCA6B)) & self._mask
+
+    def predict(self, ip: int) -> bool:
+        base_pred = self.base.predict(ip)
+        i = self._index(ip)
+        self._last_index = i
+        self._last_base_pred = base_pred
+        if self._conf[i] >= self.confidence_max and self._util[i] >= 2:
+            pred = self._dir[i] >= 0
+            self._last_used_helper = pred != base_pred
+            if self._last_used_helper:
+                self.overrides += 1
+                self._last_pred = pred
+                return pred
+        self._last_used_helper = False
+        self._last_pred = base_pred
+        return base_pred
+
+    def update(self, ip: int, taken: bool) -> None:
+        self.base.update(ip, taken)
+        i = self._last_index
+        entry_dir = self._dir[i] >= 0
+        if entry_dir == taken:
+            self._conf[i] = saturate(self._conf[i] + 1, 0, self.confidence_max)
+        else:
+            self._conf[i] = 0
+        if entry_dir == taken and self._last_base_pred != taken:
+            self._util[i] = saturate(self._util[i] + 1, 0, 7)
+        elif entry_dir != taken:
+            self._util[i] = saturate(self._util[i] - 2, 0, 7)
+        self._dir[i] = saturate(self._dir[i] + (1 if taken else -1), -4, 3)
+        if self._last_used_helper and self._last_pred == taken:
+            self.override_correct += 1
+        self.recognizer.observe(ip)
+
+    def note_branch(
+        self, ip: int, target: int, kind: BranchKind, taken: bool = True
+    ) -> None:
+        self.base.note_branch(ip, target, kind, taken)
+
+    def storage_bits(self) -> int:
+        return (
+            self.base.storage_bits()
+            + len(self._dir) * (3 + 2 + 3)
+            + self.recognizer.storage_bits()
+        )
+
+    def reset(self) -> None:
+        self.base.reset()
+        self._dir = [0] * len(self._dir)
+        self._conf = [0] * len(self._conf)
+        self._util = [0] * len(self._util)
+        self.recognizer = PhaseRecognizer(
+            window=self.recognizer.window,
+            similarity_threshold=self.recognizer.similarity_threshold,
+            max_phases=self.recognizer.max_phases,
+        )
+        self.overrides = 0
+        self.override_correct = 0

@@ -1,0 +1,135 @@
+"""Partial Pattern Matching (PPM) predictor.
+
+The paper (Sec. II) describes PPM as the root of the TAGE family: hash the
+global history over several lookback windows into tagged tables and return
+the longest exact match.  This implementation keeps the structure explicit
+(one tagged table per history length, longest-match-wins) and serves both as
+a baseline and as the pedagogical stepping stone to :mod:`repro.predictors.tage`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.predictors.base import BranchPredictor, counter_update
+
+
+class _PpmTable:
+    """One tagged table tracking a fixed history length."""
+
+    __slots__ = ("history_length", "log_entries", "tag_bits", "_mask", "_tag_mask",
+                 "tags", "ctrs")
+
+    def __init__(self, history_length: int, log_entries: int, tag_bits: int) -> None:
+        self.history_length = history_length
+        self.log_entries = log_entries
+        self.tag_bits = tag_bits
+        self._mask = (1 << log_entries) - 1
+        self._tag_mask = (1 << tag_bits) - 1
+        self.tags: List[int] = [-1] * (1 << log_entries)
+        self.ctrs: List[int] = [0] * (1 << log_entries)
+
+    def index_and_tag(self, ip: int, history: int) -> Tuple[int, int]:
+        h = history & ((1 << self.history_length) - 1)
+        # Fold the history window into index/tag widths.
+        folded_idx, folded_tag, bits = 0, 0, h
+        while bits:
+            folded_idx ^= bits & self._mask
+            folded_tag ^= bits & self._tag_mask
+            bits >>= self.log_entries
+        idx = (ip ^ (ip >> self.log_entries) ^ folded_idx) & self._mask
+        tag = (ip ^ (folded_tag << 1) ^ (ip >> 7)) & self._tag_mask
+        return idx, tag
+
+    def storage_bits(self) -> int:
+        return (1 << self.log_entries) * (self.tag_bits + 3)
+
+
+class PPM(BranchPredictor):
+    """Longest-match PPM predictor over geometric history lengths."""
+
+    name = "ppm"
+
+    def __init__(
+        self,
+        history_lengths: Sequence[int] = (2, 4, 8, 16, 32, 64),
+        log_entries: int = 9,
+        tag_bits: int = 9,
+        log_base_entries: int = 12,
+    ) -> None:
+        if not history_lengths:
+            raise ValueError("need at least one history length")
+        if list(history_lengths) != sorted(set(history_lengths)):
+            raise ValueError("history_lengths must be strictly increasing")
+        self.tables = [
+            _PpmTable(h, log_entries, tag_bits) for h in history_lengths
+        ]
+        self.log_base_entries = log_base_entries
+        self._base_mask = (1 << log_base_entries) - 1
+        self._base: List[int] = [0] * (1 << log_base_entries)
+        self._history = 0
+        self._max_hist = max(history_lengths)
+        self._last: Optional[Tuple[Optional[int], int, int]] = None
+
+    def _base_index(self, ip: int) -> int:
+        return (ip ^ (ip >> self.log_base_entries)) & self._base_mask
+
+    def predict(self, ip: int) -> bool:
+        provider: Optional[int] = None
+        idx = tag = 0
+        for t in range(len(self.tables) - 1, -1, -1):
+            table = self.tables[t]
+            i, g = table.index_and_tag(ip, self._history)
+            if table.tags[i] == g:
+                provider, idx, tag = t, i, g
+                break
+        if provider is None:
+            pred = self._base[self._base_index(ip)] >= 0
+        else:
+            pred = self.tables[provider].ctrs[idx] >= 0
+        self._last = (provider, idx, tag)
+        return pred
+
+    def update(self, ip: int, taken: bool) -> None:
+        if self._last is None:
+            raise RuntimeError("update() called before predict()")
+        provider, idx, _ = self._last
+        mispredicted: bool
+        if provider is None:
+            bi = self._base_index(ip)
+            mispredicted = (self._base[bi] >= 0) != taken
+            self._base[bi] = counter_update(self._base[bi], taken, -2, 1)
+        else:
+            table = self.tables[provider]
+            mispredicted = (table.ctrs[idx] >= 0) != taken
+            table.ctrs[idx] = counter_update(table.ctrs[idx], taken, -4, 3)
+        if mispredicted:
+            self._allocate(ip, taken, provider)
+        self._history = ((self._history << 1) | int(taken)) & (
+            (1 << self._max_hist) - 1
+        )
+        self._last = None
+
+    def _allocate(self, ip: int, taken: bool, provider: Optional[int]) -> None:
+        start = 0 if provider is None else provider + 1
+        for t in range(start, len(self.tables)):
+            table = self.tables[t]
+            i, g = table.index_and_tag(ip, self._history)
+            # PPM (unlike TAGE) allocates unconditionally in the next length.
+            table.tags[i] = g
+            table.ctrs[i] = 0 if taken else -1
+            break
+
+    def storage_bits(self) -> int:
+        bits = (1 << self.log_base_entries) * 2 + self._max_hist
+        for table in self.tables:
+            bits += table.storage_bits()
+        return bits
+
+    def reset(self) -> None:
+        for table in self.tables:
+            table.tags = [-1] * len(table.tags)
+            table.ctrs = [0] * len(table.ctrs)
+        self._base = [0] * len(self._base)
+        self._history = 0
+        self._last = None

@@ -1,0 +1,156 @@
+"""Static and single-table baseline predictors.
+
+These are the historical baselines the richer predictors are measured
+against: static heuristics, the bimodal table, and gshare (global history
+XOR-indexed counters, McFarling 1993).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.predictors.base import BranchPredictor, counter_update
+
+
+class AlwaysTaken(BranchPredictor):
+    """Predicts every conditional branch taken (zero storage)."""
+
+    name = "always-taken"
+
+    def predict(self, ip: int) -> bool:
+        return True
+
+    def update(self, ip: int, taken: bool) -> None:
+        pass
+
+    def storage_bits(self) -> int:
+        return 0
+
+    def reset(self) -> None:
+        pass
+
+
+class NeverTaken(BranchPredictor):
+    """Predicts every conditional branch not taken (zero storage)."""
+
+    name = "never-taken"
+
+    def predict(self, ip: int) -> bool:
+        return False
+
+    def update(self, ip: int, taken: bool) -> None:
+        pass
+
+    def storage_bits(self) -> int:
+        return 0
+
+    def reset(self) -> None:
+        pass
+
+
+class Bimodal(BranchPredictor):
+    """Per-IP 2-bit saturating counters (Smith predictor)."""
+
+    name = "bimodal"
+
+    def __init__(self, log_entries: int = 12, counter_bits: int = 2) -> None:
+        if log_entries <= 0 or counter_bits <= 0:
+            raise ValueError("log_entries and counter_bits must be positive")
+        self.log_entries = log_entries
+        self.counter_bits = counter_bits
+        self._mask = (1 << log_entries) - 1
+        self._lo = -(1 << (counter_bits - 1))
+        self._hi = (1 << (counter_bits - 1)) - 1
+        self._table: List[int] = [0] * (1 << log_entries)
+
+    def _index(self, ip: int) -> int:
+        return (ip ^ (ip >> self.log_entries)) & self._mask
+
+    def predict(self, ip: int) -> bool:
+        return self._table[self._index(ip)] >= 0
+
+    def update(self, ip: int, taken: bool) -> None:
+        i = self._index(ip)
+        self._table[i] = counter_update(self._table[i], taken, self._lo, self._hi)
+
+    def storage_bits(self) -> int:
+        return len(self._table) * self.counter_bits
+
+    def reset(self) -> None:
+        self._table = [0] * len(self._table)
+
+
+class GShare(BranchPredictor):
+    """Global-history XOR-indexed 2-bit counters (McFarling)."""
+
+    name = "gshare"
+
+    def __init__(self, log_entries: int = 13, history_bits: int = 13) -> None:
+        if log_entries <= 0:
+            raise ValueError("log_entries must be positive")
+        if history_bits <= 0 or history_bits > log_entries:
+            raise ValueError("history_bits must be in 1..log_entries")
+        self.log_entries = log_entries
+        self.history_bits = history_bits
+        self._mask = (1 << log_entries) - 1
+        self._hist_mask = (1 << history_bits) - 1
+        self._table: List[int] = [0] * (1 << log_entries)
+        self._history = 0
+
+    def _index(self, ip: int) -> int:
+        return ((ip ^ (ip >> self.log_entries)) ^ (self._history & self._hist_mask)) & self._mask
+
+    def predict(self, ip: int) -> bool:
+        return self._table[self._index(ip)] >= 0
+
+    def update(self, ip: int, taken: bool) -> None:
+        i = self._index(ip)
+        self._table[i] = counter_update(self._table[i], taken, -2, 1)
+        self._history = ((self._history << 1) | int(taken)) & self._hist_mask
+
+    def storage_bits(self) -> int:
+        return len(self._table) * 2 + self.history_bits
+
+    def reset(self) -> None:
+        self._table = [0] * len(self._table)
+        self._history = 0
+
+
+class TwoLevelLocal(BranchPredictor):
+    """Yeh-Patt two-level adaptive predictor with per-branch local history.
+
+    A first-level table of per-IP history registers selects into a
+    second-level pattern table of 2-bit counters.
+    """
+
+    name = "two-level-local"
+
+    def __init__(self, log_l1_entries: int = 10, local_bits: int = 10) -> None:
+        if log_l1_entries <= 0 or local_bits <= 0:
+            raise ValueError("table shapes must be positive")
+        self.log_l1_entries = log_l1_entries
+        self.local_bits = local_bits
+        self._l1_mask = (1 << log_l1_entries) - 1
+        self._hist_mask = (1 << local_bits) - 1
+        self._l1: List[int] = [0] * (1 << log_l1_entries)
+        self._l2: List[int] = [0] * (1 << local_bits)
+
+    def _l1_index(self, ip: int) -> int:
+        return (ip ^ (ip >> self.log_l1_entries)) & self._l1_mask
+
+    def predict(self, ip: int) -> bool:
+        hist = self._l1[self._l1_index(ip)]
+        return self._l2[hist] >= 0
+
+    def update(self, ip: int, taken: bool) -> None:
+        i1 = self._l1_index(ip)
+        hist = self._l1[i1]
+        self._l2[hist] = counter_update(self._l2[hist], taken, -2, 1)
+        self._l1[i1] = ((hist << 1) | int(taken)) & self._hist_mask
+
+    def storage_bits(self) -> int:
+        return len(self._l1) * self.local_bits + len(self._l2) * 2
+
+    def reset(self) -> None:
+        self._l1 = [0] * len(self._l1)
+        self._l2 = [0] * len(self._l2)

@@ -1,0 +1,155 @@
+"""Statistical Corrector (the "SC" of TAGE-SC-L).
+
+A GEHL-style perceptron ensemble that decides whether to *invert* TAGE's
+prediction.  Components index small tables of signed counters with hashes of
+the IP combined with different data modalities (short global-history folds,
+the local history, the IMLI count, and a per-IP bias conditioned on the TAGE
+prediction).  The weighted vote is compared against an adaptively-trained
+threshold; only a confident disagreement overrides TAGE.  This implements
+the ensemble/boosting role the paper ascribes to the SC in Sec. II.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.predictors.base import saturate
+
+
+class _ScComponent:
+    """One GEHL table: signed counters indexed by hash(ip, feature)."""
+
+    __slots__ = ("log_entries", "counter_bits", "_mask", "_lo", "_hi", "table")
+
+    def __init__(self, log_entries: int, counter_bits: int = 6) -> None:
+        self.log_entries = log_entries
+        self.counter_bits = counter_bits
+        self._mask = (1 << log_entries) - 1
+        self._lo = -(1 << (counter_bits - 1))
+        self._hi = (1 << (counter_bits - 1)) - 1
+        self.table: List[int] = [0] * (1 << log_entries)
+
+    def index(self, ip: int, feature: int) -> int:
+        return (ip ^ (ip >> self.log_entries) ^ feature ^ (feature >> 5)) & self._mask
+
+    def vote(self, idx: int) -> int:
+        return 2 * self.table[idx] + 1
+
+    def train(self, idx: int, taken: bool) -> None:
+        self.table[idx] = saturate(
+            self.table[idx] + (1 if taken else -1), self._lo, self._hi
+        )
+
+    def storage_bits(self) -> int:
+        return len(self.table) * self.counter_bits
+
+
+class StatisticalCorrector:
+    """Perceptron-style corrector over multiple feature modalities.
+
+    Used by :class:`repro.predictors.tagescl.TageScL`; can also be studied
+    standalone.  The caller supplies the feature values each prediction (the
+    composite owns the histories).
+    """
+
+    def __init__(
+        self,
+        log_entries: int = 9,
+        history_folds: Sequence[int] = (4, 10, 16),
+        counter_bits: int = 6,
+        initial_threshold: int = 6,
+    ) -> None:
+        if initial_threshold <= 0:
+            raise ValueError("initial_threshold must be positive")
+        self.history_folds = tuple(history_folds)
+        # Components: bias, one per history fold, local history, IMLI.
+        self._bias = _ScComponent(log_entries, counter_bits)
+        self._ghist_components = [
+            _ScComponent(log_entries, counter_bits) for _ in self.history_folds
+        ]
+        self._local = _ScComponent(log_entries, counter_bits)
+        self._imli = _ScComponent(log_entries, counter_bits)
+        self.threshold = initial_threshold
+        self._threshold_counter = 0  # adaptive threshold training (O-GEHL)
+        self._tage_weight = 8
+
+        self._last_sum = 0
+        self._last_indices: List[Tuple[_ScComponent, int]] = []
+        self._last_tage_pred = False
+
+    def classify(
+        self,
+        ip: int,
+        tage_pred: bool,
+        tage_confident: bool,
+        ghist_bits: int,
+        local_hist: int,
+        imli_count: int,
+    ) -> bool:
+        """Return the final direction after statistical correction."""
+        indices: List[Tuple[_ScComponent, int]] = []
+        s = 0
+
+        idx = self._bias.index(ip, int(tage_pred))
+        indices.append((self._bias, idx))
+        s += self._bias.vote(idx)
+
+        for comp, fold in zip(self._ghist_components, self.history_folds):
+            feature = ghist_bits & ((1 << fold) - 1)
+            idx = comp.index(ip, feature)
+            indices.append((comp, idx))
+            s += comp.vote(idx)
+
+        idx = self._local.index(ip, local_hist)
+        indices.append((self._local, idx))
+        s += self._local.vote(idx)
+
+        idx = self._imli.index(ip, imli_count)
+        indices.append((self._imli, idx))
+        s += self._imli.vote(idx)
+
+        s += self._tage_weight if tage_pred else -self._tage_weight
+        if tage_confident:
+            s += self._tage_weight if tage_pred else -self._tage_weight
+
+        self._last_sum = s
+        self._last_indices = indices
+        self._last_tage_pred = tage_pred
+
+        sc_pred = s >= 0
+        if sc_pred != tage_pred and abs(s) >= self.threshold:
+            return sc_pred
+        return tage_pred
+
+    def train(self, taken: bool) -> None:
+        """Train after the branch resolves (call once per classify)."""
+        s = self._last_sum
+        sc_pred = s >= 0
+        if sc_pred != taken or abs(s) < self.threshold * 4:
+            for comp, idx in self._last_indices:
+                comp.train(idx, taken)
+        # Adaptive threshold: grow when confident-but-wrong, shrink when
+        # weakly correct (Seznec's TC counter).
+        if sc_pred != taken and abs(s) >= self.threshold:
+            self._threshold_counter += 1
+            if self._threshold_counter >= 32:
+                self._threshold_counter = 0
+                self.threshold = min(self.threshold + 1, 128)
+        elif sc_pred == taken and abs(s) < self.threshold:
+            self._threshold_counter -= 1
+            if self._threshold_counter <= -32:
+                self._threshold_counter = 0
+                self.threshold = max(self.threshold - 1, 4)
+
+    def storage_bits(self) -> int:
+        bits = self._bias.storage_bits() + self._local.storage_bits()
+        bits += self._imli.storage_bits()
+        for comp in self._ghist_components:
+            bits += comp.storage_bits()
+        bits += 8 + 8  # threshold + TC registers
+        return bits
+
+    def reset(self) -> None:
+        for comp in [self._bias, self._local, self._imli, *self._ghist_components]:
+            comp.table = [0] * len(comp.table)
+        self._threshold_counter = 0

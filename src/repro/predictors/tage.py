@@ -1,0 +1,394 @@
+"""TAGE: TAgged GEometric-history-length predictor (Seznec & Michaud).
+
+This is a from-scratch implementation of the PPM-like tagged predictor that
+wins CBP2016 as part of TAGE-SC-L.  Structure:
+
+* a bimodal base table;
+* ``num_tables`` tagged tables, table *i* indexed by a hash of the IP with
+  the most recent ``L_i`` global-history bits (folded) and the path history,
+  where the ``L_i`` follow a geometric series;
+* longest-match provider selection with an alternate prediction and the
+  ``use_alt_on_newly_allocated`` policy;
+* usefulness counters steering entry reallocation, with periodic aging.
+
+Because the paper's Sec. IV-A measurement is about *how TAGE's storage is
+spent* (allocations vs. unique entries per branch), the implementation can
+record, per static branch, every allocation event and the set of distinct
+table entries ever allocated — enable with ``track_allocations=True``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.types import BranchKind
+from repro.predictors.base import BranchPredictor, counter_update, saturate
+
+
+def geometric_history_lengths(
+    min_history: int, max_history: int, num_tables: int
+) -> List[int]:
+    """The geometric series of history lengths L_1..L_n (shortest first)."""
+    if num_tables < 1:
+        raise ValueError("need at least one tagged table")
+    if min_history < 1 or max_history < min_history:
+        raise ValueError("invalid history range")
+    if num_tables == 1:
+        return [min_history]
+    ratio = (max_history / min_history) ** (1.0 / (num_tables - 1))
+    lengths = []
+    for i in range(num_tables):
+        l = int(round(min_history * ratio**i))
+        if lengths and l <= lengths[-1]:
+            l = lengths[-1] + 1
+        lengths.append(l)
+    return lengths
+
+
+@dataclass(frozen=True)
+class TageConfig:
+    """Shape of a TAGE predictor.
+
+    ``log_entries``/``tag_bits`` may be a single int applied to every tagged
+    table or one value per table.
+    """
+
+    num_tables: int = 10
+    log_entries: Tuple[int, ...] = (8,) * 10
+    tag_bits: Tuple[int, ...] = (8, 8, 9, 9, 10, 10, 11, 11, 12, 12)
+    min_history: int = 5
+    max_history: int = 1000
+    counter_bits: int = 3
+    useful_bits: int = 2
+    log_base_entries: int = 12
+    useful_reset_period: int = 1 << 18
+    seed: int = 12345
+
+    def __post_init__(self) -> None:
+        if len(self.log_entries) != self.num_tables:
+            raise ValueError("log_entries must have one value per table")
+        if len(self.tag_bits) != self.num_tables:
+            raise ValueError("tag_bits must have one value per table")
+
+    @staticmethod
+    def uniform(
+        num_tables: int,
+        log_entries: int,
+        min_history: int,
+        max_history: int,
+        tag_bits_lo: int = 8,
+        tag_bits_hi: int = 12,
+        **kwargs,
+    ) -> "TageConfig":
+        """Config with equal-size tables and tags widening toward long
+        histories (longer histories alias more and need wider tags)."""
+        tags = tuple(
+            min(tag_bits_hi, tag_bits_lo + (i * (tag_bits_hi - tag_bits_lo + 1)) // num_tables)
+            for i in range(num_tables)
+        )
+        return TageConfig(
+            num_tables=num_tables,
+            log_entries=(log_entries,) * num_tables,
+            tag_bits=tags,
+            min_history=min_history,
+            max_history=max_history,
+            **kwargs,
+        )
+
+
+class _Folded:
+    """Incrementally folded history register (Michaud's trick)."""
+
+    __slots__ = ("orig_length", "comp_length", "comp", "_outpoint", "_mask")
+
+    def __init__(self, orig_length: int, comp_length: int) -> None:
+        self.orig_length = orig_length
+        self.comp_length = comp_length
+        self.comp = 0
+        self._outpoint = orig_length % comp_length
+        self._mask = (1 << comp_length) - 1
+
+    def update(self, inbit: int, outbit: int) -> None:
+        comp = ((self.comp << 1) | inbit) ^ (outbit << self._outpoint)
+        comp ^= comp >> self.comp_length
+        self.comp = comp & self._mask
+
+
+@dataclass
+class AllocationStats:
+    """Per-branch table-allocation bookkeeping (Sec. IV-A instrumentation)."""
+
+    allocations: Dict[int, int] = field(default_factory=dict)
+    unique_entries: Dict[int, Set[Tuple[int, int]]] = field(default_factory=dict)
+
+    def record(self, ip: int, table: int, index: int) -> None:
+        self.allocations[ip] = self.allocations.get(ip, 0) + 1
+        self.unique_entries.setdefault(ip, set()).add((table, index))
+
+    def allocations_for(self, ip: int) -> int:
+        return self.allocations.get(ip, 0)
+
+    def unique_entries_for(self, ip: int) -> int:
+        return len(self.unique_entries.get(ip, ()))
+
+    @property
+    def total_allocations(self) -> int:
+        return sum(self.allocations.values())
+
+
+class Tage(BranchPredictor):
+    """The TAGE predictor proper (no SC, no loop predictor)."""
+
+    name = "tage"
+
+    def __init__(
+        self, config: Optional[TageConfig] = None, track_allocations: bool = False
+    ) -> None:
+        self.config = config or TageConfig()
+        cfg = self.config
+        self.history_lengths = geometric_history_lengths(
+            cfg.min_history, cfg.max_history, cfg.num_tables
+        )
+        n = cfg.num_tables
+
+        self._tags: List[List[int]] = [[-1] * (1 << cfg.log_entries[t]) for t in range(n)]
+        self._ctrs: List[List[int]] = [[0] * (1 << cfg.log_entries[t]) for t in range(n)]
+        self._useful: List[List[int]] = [[0] * (1 << cfg.log_entries[t]) for t in range(n)]
+        self._idx_masks = [(1 << cfg.log_entries[t]) - 1 for t in range(n)]
+        self._tag_masks = [(1 << cfg.tag_bits[t]) - 1 for t in range(n)]
+        self._idx_shifts = [max(1, cfg.log_entries[t] - (t & 3)) for t in range(n)]
+
+        self._ctr_lo = -(1 << (cfg.counter_bits - 1))
+        self._ctr_hi = (1 << (cfg.counter_bits - 1)) - 1
+        self._u_hi = (1 << cfg.useful_bits) - 1
+
+        # Cold branches are predicted not-taken (init -1): matches real
+        # front-ends and matters for rare never-taken checks (Fig. 3).
+        self._base: List[int] = [-1] * (1 << cfg.log_base_entries)
+        self._base_mask = (1 << cfg.log_base_entries) - 1
+
+        # Circular global history buffer feeding the folded registers.
+        self._hist_size = cfg.max_history + 8
+        self._hist = [0] * self._hist_size
+        self._head = 0
+
+        self._folded_idx = [
+            _Folded(self.history_lengths[t], cfg.log_entries[t]) for t in range(n)
+        ]
+        self._folded_tag0 = [
+            _Folded(self.history_lengths[t], cfg.tag_bits[t]) for t in range(n)
+        ]
+        self._folded_tag1 = [
+            _Folded(self.history_lengths[t], cfg.tag_bits[t] - 1) for t in range(n)
+        ]
+        # Hot-path mirrors of the folded registers as flat lists (one set
+        # per register type): avoids ~3n bound-method calls per retired
+        # branch in _push_history and attribute chains in the hash path.
+        def _mirror(regs):
+            return (
+                [f.comp for f in regs],
+                [f._outpoint for f in regs],
+                [f.comp_length for f in regs],
+                [f._mask for f in regs],
+            )
+
+        self._ci, self._oi, self._li, self._mi = _mirror(self._folded_idx)
+        self._c0, self._o0, self._l0, self._m0 = _mirror(self._folded_tag0)
+        self._c1, self._o1, self._l1, self._m1 = _mirror(self._folded_tag1)
+
+
+        self._path = 0
+        self._use_alt_on_na = 0  # [-8, 7]
+        self._rand_state = cfg.seed | 1
+        self._tick = 0
+
+        self.allocation_stats = AllocationStats() if track_allocations else None
+
+        # Per-prediction scratch (valid between predict() and update()).
+        self._p_provider = -1
+        self._p_idx = 0
+        self._p_alt_pred = False
+        self._p_pred = False
+        self._p_provider_pred = False
+        self._p_weak = False
+        self._p_indices: List[int] = [0] * n
+        self._p_tags: List[int] = [0] * n
+
+    # -- hashing ---------------------------------------------------------
+
+    def _compute_indices_tags(self, ip: int) -> None:
+        path = self._path
+        shifts = self._idx_shifts
+        ci, c0, c1 = self._ci, self._c0, self._c1
+        p_indices, p_tags = self._p_indices, self._p_tags
+        idx_masks, tag_masks = self._idx_masks, self._tag_masks
+        ip11 = ip ^ (ip >> 11)
+        for t in range(len(shifts)):
+            p_indices[t] = (
+                ip ^ (ip >> shifts[t]) ^ ci[t] ^ (path >> (t & 3))
+            ) & idx_masks[t]
+            p_tags[t] = (ip11 ^ c0[t] ^ (c1[t] << 1)) & tag_masks[t]
+
+    def _base_index(self, ip: int) -> int:
+        return (ip ^ (ip >> self.config.log_base_entries)) & self._base_mask
+
+    def _rand(self) -> int:
+        # xorshift32; cheap deterministic randomness for allocation policy.
+        x = self._rand_state
+        x ^= (x << 13) & 0xFFFFFFFF
+        x ^= x >> 17
+        x ^= (x << 5) & 0xFFFFFFFF
+        self._rand_state = x
+        return x
+
+    # -- prediction ------------------------------------------------------
+
+    def predict(self, ip: int) -> bool:
+        self._compute_indices_tags(ip)
+        provider = -1
+        alt = -1
+        tags = self._tags
+        for t in range(self.config.num_tables - 1, -1, -1):
+            if tags[t][self._p_indices[t]] == self._p_tags[t]:
+                if provider < 0:
+                    provider = t
+                else:
+                    alt = t
+                    break
+
+        base_pred = self._base[self._base_index(ip)] >= 0
+        if provider < 0:
+            self._p_provider = -1
+            self._p_pred = base_pred
+            self._p_alt_pred = base_pred
+            self._p_weak = False
+            return base_pred
+
+        idx = self._p_indices[provider]
+        ctr = self._ctrs[provider][idx]
+        provider_pred = ctr >= 0
+        alt_pred = self._ctrs[alt][self._p_indices[alt]] >= 0 if alt >= 0 else base_pred
+        weak = ctr in (-1, 0) and self._useful[provider][idx] == 0
+        pred = alt_pred if (weak and self._use_alt_on_na >= 0) else provider_pred
+
+        self._p_provider = provider
+        self._p_idx = idx
+        self._p_pred = pred
+        self._p_provider_pred = provider_pred
+        self._p_alt_pred = alt_pred
+        self._p_weak = weak
+        return pred
+
+    # -- update ----------------------------------------------------------
+
+    def update(self, ip: int, taken: bool) -> None:
+        cfg = self.config
+        provider = self._p_provider
+        mispredicted = self._p_pred != taken
+
+        if provider >= 0:
+            idx = self._p_idx
+            ctrs = self._ctrs[provider]
+            useful = self._useful[provider]
+            if self._p_weak:
+                # Track whether the alternate beats newly-allocated entries.
+                if self._p_provider_pred != self._p_alt_pred:
+                    if self._p_alt_pred == taken:
+                        self._use_alt_on_na = saturate(self._use_alt_on_na + 1, -8, 7)
+                    else:
+                        self._use_alt_on_na = saturate(self._use_alt_on_na - 1, -8, 7)
+            if self._p_provider_pred != self._p_alt_pred:
+                if self._p_provider_pred == taken:
+                    useful[idx] = saturate(useful[idx] + 1, 0, self._u_hi)
+                else:
+                    useful[idx] = saturate(useful[idx] - 1, 0, self._u_hi)
+            ctrs[idx] = counter_update(ctrs[idx], taken, self._ctr_lo, self._ctr_hi)
+            # Keep the base predictor warm when the provider is fresh.
+            if self._useful[provider][idx] == 0 and abs(2 * ctrs[idx] + 1) <= 1:
+                bi = self._base_index(ip)
+                self._base[bi] = counter_update(self._base[bi], taken, -2, 1)
+        else:
+            bi = self._base_index(ip)
+            self._base[bi] = counter_update(self._base[bi], taken, -2, 1)
+
+        if mispredicted and provider < cfg.num_tables - 1:
+            self._allocate(ip, taken, provider)
+
+        self._push_history(ip, int(taken))
+
+    def _allocate(self, ip: int, taken: bool, provider: int) -> None:
+        cfg = self.config
+        # Random skip: start 1 or 2 tables above the provider (Seznec).
+        start = provider + 1
+        if (self._rand() & 3) == 0 and start + 1 < cfg.num_tables:
+            start += 1
+        allocated = False
+        for t in range(start, cfg.num_tables):
+            idx = self._p_indices[t]
+            if self._useful[t][idx] == 0:
+                self._tags[t][idx] = self._p_tags[t]
+                self._ctrs[t][idx] = 0 if taken else -1
+                self._useful[t][idx] = 0
+                if self.allocation_stats is not None:
+                    self.allocation_stats.record(ip, t, idx)
+                allocated = True
+                break
+        if not allocated:
+            # No victim: age the candidates so a future allocation succeeds.
+            for t in range(start, cfg.num_tables):
+                idx = self._p_indices[t]
+                u = self._useful[t][idx]
+                if u > 0:
+                    self._useful[t][idx] = u - 1
+
+        self._tick += 1
+        if self._tick >= cfg.useful_reset_period:
+            self._tick = 0
+            for t in range(cfg.num_tables):
+                useful = self._useful[t]
+                for i in range(len(useful)):
+                    useful[i] >>= 1
+
+    # -- history ---------------------------------------------------------
+
+    def _push_history(self, ip: int, bit: int) -> None:
+        head = (self._head - 1) % self._hist_size
+        self._head = head
+        hist = self._hist
+        hist[head] = bit
+        size = self._hist_size
+        lengths = self.history_lengths
+        ci, oi, li, mi = self._ci, self._oi, self._li, self._mi
+        c0, o0, l0, m0 = self._c0, self._o0, self._l0, self._m0
+        c1, o1, l1, m1 = self._c1, self._o1, self._l1, self._m1
+        for t in range(len(lengths)):
+            outbit = hist[(head + lengths[t]) % size]
+            c = ((ci[t] << 1) | bit) ^ (outbit << oi[t])
+            ci[t] = (c ^ (c >> li[t])) & mi[t]
+            c = ((c0[t] << 1) | bit) ^ (outbit << o0[t])
+            c0[t] = (c ^ (c >> l0[t])) & m0[t]
+            c = ((c1[t] << 1) | bit) ^ (outbit << o1[t])
+            c1[t] = (c ^ (c >> l1[t])) & m1[t]
+        self._path = ((self._path << 2) ^ (ip & 0xFFF)) & 0xFFFF
+
+    def note_branch(
+        self, ip: int, target: int, kind: BranchKind, taken: bool = True
+    ) -> None:
+        # Non-conditional control flow contributes a taken bit + path update.
+        self._push_history(ip, 1)
+
+    # -- accounting ------------------------------------------------------
+
+    def storage_bits(self) -> int:
+        cfg = self.config
+        bits = (1 << cfg.log_base_entries) * 2
+        for t in range(cfg.num_tables):
+            per_entry = cfg.tag_bits[t] + cfg.counter_bits + cfg.useful_bits
+            bits += (1 << cfg.log_entries[t]) * per_entry
+        bits += cfg.max_history  # global history buffer
+        bits += 16 + 4 + 32  # path, use_alt, tick/random registers
+        return bits
+
+    def reset(self) -> None:
+        self.__init__(self.config, track_allocations=self.allocation_stats is not None)

@@ -1,0 +1,206 @@
+"""TAGE-SC-L: the CBP2016-winning ensemble (Seznec 2016), from scratch.
+
+Combines:
+
+* **TAGE** — PPM-style longest match over geometric history lengths;
+* **SC** — statistical corrector arbitrating/boosting TAGE's output;
+* **L** — loop predictor overriding on high-confidence regular loops.
+
+Size presets follow the paper's limit studies: 8KB and 64KB (the CBP2016
+budgets used throughout Figs. 1/5) and the extended 128/256/512/1024KB sweep
+of Fig. 7.  ``storage_bits()`` accounts for every table so the presets can
+be verified against their budgets (see ``tests/predictors/test_storage.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.types import BranchKind
+from repro.predictors.base import BranchPredictor
+from repro.predictors.loop import ImliCounter, LoopPredictor
+from repro.predictors.statistical_corrector import StatisticalCorrector
+from repro.predictors.tage import AllocationStats, Tage, TageConfig
+
+
+class TageScL(BranchPredictor):
+    """The full TAGE-SC-L composite predictor."""
+
+    name = "tage-sc-l"
+
+    def __init__(
+        self,
+        tage_config: Optional[TageConfig] = None,
+        sc_log_entries: int = 9,
+        loop_log_entries: int = 6,
+        local_history_entries_log: int = 10,
+        local_history_bits: int = 11,
+        enable_sc: bool = True,
+        enable_loop: bool = True,
+        track_allocations: bool = False,
+        label: Optional[str] = None,
+    ) -> None:
+        self.tage = Tage(tage_config, track_allocations=track_allocations)
+        self.sc = StatisticalCorrector(log_entries=sc_log_entries) if enable_sc else None
+        self.loop = LoopPredictor(log_entries=loop_log_entries) if enable_loop else None
+        self.imli = ImliCounter()
+        self.enable_sc = enable_sc
+        self.enable_loop = enable_loop
+
+        self._local_mask_entries = (1 << local_history_entries_log) - 1
+        self._local_bits_mask = (1 << local_history_bits) - 1
+        self._local_entries_log = local_history_entries_log
+        self._local_bits = local_history_bits
+        self._local: Dict[int, int] = {}
+
+        self._ghist_bits = 0  # short global history mirror for the SC
+        self._last_loop_used = False
+        self._last_pred = False
+        self._last_target: Optional[int] = None
+        if label:
+            self.name = label
+
+    @property
+    def allocation_stats(self) -> Optional[AllocationStats]:
+        return self.tage.allocation_stats
+
+    def _local_hist(self, ip: int) -> int:
+        return self._local.get(ip & self._local_mask_entries, 0)
+
+    def predict(self, ip: int) -> bool:
+        tage_pred = self.tage.predict(ip)
+        # TAGE confidence: provider counter away from the weak region.
+        provider = self.tage._p_provider
+        confident = provider >= 0 and not self.tage._p_weak
+
+        pred = tage_pred
+        if self.sc is not None:
+            pred = self.sc.classify(
+                ip,
+                tage_pred,
+                confident,
+                self._ghist_bits,
+                self._local_hist(ip),
+                self.imli.count,
+            )
+
+        self._last_loop_used = False
+        if self.loop is not None:
+            loop_pred = self.loop.predict(ip)
+            if self.loop.is_confident:
+                pred = loop_pred
+                self._last_loop_used = True
+
+        self._last_pred = pred
+        return pred
+
+    def predict_with_target(self, ip: int, target: int) -> bool:
+        """Variant that supplies the branch target (lets IMLI see backward
+        branches).  The plain :meth:`predict` works without it."""
+        self._last_target = target
+        return self.predict(ip)
+
+    def update(self, ip: int, taken: bool) -> None:
+        if self.sc is not None:
+            self.sc.train(taken)
+        if self.loop is not None:
+            self.loop.update(ip, taken, mispredicted=self._last_pred != taken)
+        self.tage.update(ip, taken)
+
+        if self._last_target is not None:
+            self.imli.observe(ip, self._last_target, taken)
+            self._last_target = None
+        elif taken:
+            # Without target information, treat every taken conditional as a
+            # potential loop-back of the same branch.
+            self.imli.observe(ip, ip - 4, taken)
+
+        key = ip & self._local_mask_entries
+        self._local[key] = ((self._local.get(key, 0) << 1) | int(taken)) & self._local_bits_mask
+        self._ghist_bits = ((self._ghist_bits << 1) | int(taken)) & 0xFFFFFFFF
+
+    def note_branch(
+        self, ip: int, target: int, kind: BranchKind, taken: bool = True
+    ) -> None:
+        self.tage.note_branch(ip, target, kind, taken)
+
+    def storage_bits(self) -> int:
+        bits = self.tage.storage_bits()
+        if self.sc is not None:
+            bits += self.sc.storage_bits()
+        if self.loop is not None:
+            bits += self.loop.storage_bits()
+        bits += self.imli.storage_bits()
+        bits += (1 << self._local_entries_log) * self._local_bits
+        bits += 32  # short global-history mirror
+        return bits
+
+    def reset(self) -> None:
+        self.tage.reset()
+        if self.sc is not None:
+            self.sc.reset()
+        if self.loop is not None:
+            self.loop.reset()
+        self.imli.reset()
+        self._local.clear()
+        self._ghist_bits = 0
+
+
+# -- Size presets ---------------------------------------------------------
+
+#: Storage budgets (KiB) used across the paper's experiments.
+STORAGE_PRESETS_KIB = (8, 64, 128, 256, 512, 1024)
+
+
+# (num_tables, log_entries, max_history, log_base, sc_log, loop_log, local_log)
+# calibrated so storage_bits() stays within each budget (see the storage
+# tests); 8KB histories reach 1000, larger budgets 3000, matching the paper.
+_PRESETS = {
+    8: (10, 8, 1000, 12, 8, 6, 8),
+    64: (12, 11, 3000, 13, 10, 7, 11),
+    128: (12, 12, 3000, 14, 11, 7, 12),
+    256: (12, 13, 3000, 15, 12, 8, 13),
+    512: (12, 14, 3000, 16, 13, 8, 14),
+    1024: (12, 15, 3000, 17, 14, 9, 15),
+}
+
+
+def _preset_params(budget_kib: int):
+    """Table shapes per budget; nearest preset at/below the budget."""
+    if budget_kib < 8:
+        raise ValueError("smallest supported preset is 8KB")
+    if budget_kib in _PRESETS:
+        return _PRESETS[budget_kib]
+    best = max(k for k in _PRESETS if k <= budget_kib)
+    return _PRESETS[best]
+
+
+def make_tage_sc_l(
+    budget_kib: int, track_allocations: bool = False, **overrides
+) -> TageScL:
+    """Build a TAGE-SC-L sized for the given storage budget.
+
+    ``budget_kib`` must be one of :data:`STORAGE_PRESETS_KIB` (other values
+    work but are unvalidated).  The returned predictor's ``name`` embeds the
+    budget (e.g. ``"tage-sc-l-8kb"``) for reporting.
+    """
+    num_tables, log_entries, max_history, log_base, sc_log, loop_log, local_log = (
+        _preset_params(budget_kib)
+    )
+    cfg = TageConfig.uniform(
+        num_tables=num_tables,
+        log_entries=log_entries,
+        min_history=5,
+        max_history=max_history,
+        log_base_entries=log_base,
+    )
+    params = dict(
+        tage_config=cfg,
+        sc_log_entries=sc_log,
+        loop_log_entries=loop_log,
+        local_history_entries_log=local_log,
+        track_allocations=track_allocations,
+        label=f"tage-sc-l-{budget_kib}kb",
+    )
+    params.update(overrides)
+    return TageScL(**params)

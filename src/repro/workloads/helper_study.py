@@ -1,0 +1,74 @@
+"""Dedicated workload for the CNN-helper study (paper Sec. V-C).
+
+A compact program dominated by one *noisy-xor* H2P: its direction is the
+XOR of the two dependency branches' data bits, but a genuinely random-length
+noise loop separates the dependency branches from the H2P.  Exact-pattern
+predictors (TAGE) must learn every (gap-combination, outcome) history
+pattern separately and mispredict heavily at 8KB; a position-robust CNN
+whose convolution window spans the dependency pair recovers the XOR rule
+and approaches oracle accuracy.  Multiple inputs allow the cross-input
+generalization measurement that the companion paper emphasizes (train on
+some inputs, deploy on unseen ones).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.isa.program import Program, ProgramBuilder
+from repro.workloads.base import WorkloadSpec, build_driver, make_input_data
+from repro.workloads.kernels import (
+    build_h2p_kernel,
+    build_loop_nest_kernel,
+    build_scan_kernel,
+)
+
+_DATA_LEN = 4093
+
+#: Trace length for the helper study (enough H2P executions to train on).
+HELPER_STUDY_INSTRUCTIONS = 400_000
+
+
+def build_helper_study_program(input_index: int) -> Program:
+    """One noisy-xor H2P kernel plus light easy filler."""
+    import numpy as np
+
+    b = ProgramBuilder("cnn_helper_study")
+    b.data("input_data", make_input_data(900, input_index, _DATA_LEN, "uniform"))
+    b.data(
+        "scan_data",
+        np.sort(make_input_data(902, input_index, _DATA_LEN, "uniform")),
+    )
+
+    h2p = build_h2p_kernel(
+        b,
+        "noisyxor",
+        "input_data",
+        _DATA_LEN,
+        xor_correlated=True,
+        noise_random=True,
+    )
+    loops = build_loop_nest_kernel(b, "loops", inner_trips=8)
+    scan = build_scan_kernel(b, "scan", "scan_data", _DATA_LEN, bias_threshold=52000)
+
+    segments: List[List[Tuple[str, int]]] = [
+        [(h2p.entry, 400), (loops.entry, 60), (scan.entry, 150)],
+        [(h2p.entry, 300), (loops.entry, 90), (scan.entry, 220)],
+    ]
+    build_driver(b, segments, rounds_per_segment=4)
+    return b.build()
+
+
+HELPER_STUDY_WORKLOAD = WorkloadSpec(
+    name="cnn_helper_study",
+    category="study",
+    build=build_helper_study_program,
+    num_inputs=4,
+    default_instructions=HELPER_STUDY_INSTRUCTIONS,
+    description="Noisy-xor H2P workload for the CNN helper-predictor study",
+)
+
+
+def h2p_branch_ip(program: Program) -> int:
+    """The study H2P's branch IP (the ``noisyxor`` kernel's H2P block)."""
+    return program.terminator_ip("noisyxor_h2p_pre")

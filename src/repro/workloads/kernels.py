@@ -1,0 +1,575 @@
+"""Reusable branch-behaviour kernels.
+
+Synthetic benchmarks are composed from these kernels, each of which realizes
+one of the branch populations the paper characterizes:
+
+* :func:`build_loop_nest_kernel` — regular nested loops: highly predictable,
+  exercises the loop predictor and IMLI.
+* :func:`build_scan_kernel` — mostly-biased data scans: the easy bulk that
+  keeps aggregate accuracy high, as in SPECint.
+* :func:`build_h2p_kernel` — a *hard-to-predict* branch: its condition mixes
+  two values loaded from input data; earlier branches test parts of the same
+  values (ground-truth **dependency branches**), and a variable-trip noise
+  loop between them smears the dependency branches across history positions
+  — the paper's Sec. IV-A mechanism for why TAGE's exact pattern matching
+  struggles.
+* :func:`build_pointer_chase_kernel` — an mcf-like pointer chase with a
+  data-dependent branch.
+* :func:`build_rare_dispatch_kernel` — input-driven dispatch into a large
+  population of cold handlers full of low-execution-count branches: the
+  rare-branch population of the LCF applications.
+* :func:`build_cold_check_kernel` — almost-never-taken error checks.
+
+Every kernel is a subroutine: the caller places the iteration count in
+register ``R_ARG0`` and ``Call``s the kernel's entry block; the kernel
+``Ret``s when done.  All kernels keep their locals in registers r1-r30, so
+they may be freely sequenced.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.isa.instructions import (
+    Alu,
+    AluImm,
+    AluOp,
+    ArrayBase,
+    Br,
+    Cond,
+    Imm,
+    Jmp,
+    Load,
+    Nop,
+    Rand,
+    Ret,
+    Store,
+    Switch,
+)
+from repro.isa.program import ProgramBuilder
+
+#: Calling convention: iteration count / kernel arguments.
+R_ARG0 = 50
+R_ARG1 = 51
+R_ARG2 = 52
+
+#: Registers holding the most recent data values in the H2P kernels; these
+#: are inside the default 18 registers the Fig. 10 snapshotting tracks.
+R_VALUE_A = 5
+R_VALUE_B = 6
+
+
+@dataclass
+class KernelHandles:
+    """What a kernel builder returns.
+
+    Attributes:
+        entry: label of the kernel's entry block (the ``Call`` target).
+        h2p_labels: labels of blocks whose terminator is the kernel's
+            hard-to-predict branch(es) (empty for easy kernels).
+        dependency_labels: labels of blocks ending in ground-truth
+            dependency branches of the H2P(s).
+    """
+
+    entry: str
+    h2p_labels: List[str]
+    dependency_labels: List[str]
+
+
+def build_loop_nest_kernel(
+    b: ProgramBuilder, name: str, inner_trips: int = 12, body_nops: int = 2
+) -> KernelHandles:
+    """``R_ARG0`` outer iterations, each running a fixed-trip inner loop."""
+    if inner_trips < 1:
+        raise ValueError("inner_trips must be >= 1")
+    entry = b.block(f"{name}_entry")
+    outer = b.block(f"{name}_outer")
+    inner = b.block(f"{name}_inner")
+    outer_tail = b.block(f"{name}_outer_tail")
+    done = b.block(f"{name}_done")
+
+    entry.instructions = [Imm(1, 0)]  # r1 = outer index
+    entry.terminator = Jmp(outer.label)
+
+    outer.instructions = [Imm(2, 0)]  # r2 = inner index
+    outer.terminator = Jmp(inner.label)
+
+    inner.instructions = [Nop()] * body_nops + [AluImm(AluOp.ADD, 2, 2, 1)]
+    inner.terminator = Br(Cond.LT, 2, 3, inner.label, outer_tail.label)
+    # r3 holds inner_trips; set in entry so the compare has a register.
+    entry.instructions.append(Imm(3, inner_trips))
+
+    outer_tail.instructions = [AluImm(AluOp.ADD, 1, 1, 1)]
+    outer_tail.terminator = Br(Cond.LT, 1, R_ARG0, outer.label, done.label)
+
+    done.terminator = Ret()
+    return KernelHandles(entry=entry.label, h2p_labels=[], dependency_labels=[])
+
+
+def build_scan_kernel(
+    b: ProgramBuilder,
+    name: str,
+    data_name: str,
+    data_len: int,
+    bias_threshold: int,
+    stride: int = 1,
+) -> KernelHandles:
+    """Scans a data array, branching on ``value < bias_threshold``.
+
+    With a skewed array this is a biased, highly-predictable branch — the
+    bulk population that keeps SPECint aggregate accuracy near 0.95+.
+    """
+    entry = b.block(f"{name}_entry")
+    loop = b.block(f"{name}_loop")
+    hit = b.block(f"{name}_hit")
+    miss = b.block(f"{name}_miss")
+    tail = b.block(f"{name}_tail")
+    done = b.block(f"{name}_done")
+
+    entry.instructions = [
+        ArrayBase(1, data_name),
+        Imm(2, 0),  # element index
+        Imm(3, 0),  # iteration counter
+        Imm(4, bias_threshold),
+    ]
+    entry.terminator = Jmp(loop.label)
+
+    loop.instructions = [
+        Alu(AluOp.ADD, 7, 1, 2),
+        Load(R_VALUE_A, 7),
+        AluImm(AluOp.ADD, 2, 2, stride),
+        AluImm(AluOp.MOD, 2, 2, data_len),
+    ]
+    loop.terminator = Br(Cond.LT, R_VALUE_A, 4, hit.label, miss.label)
+
+    hit.instructions = [AluImm(AluOp.ADD, 8, 8, 1)]
+    hit.terminator = Jmp(tail.label)
+    miss.instructions = [Nop()]
+    miss.terminator = Jmp(tail.label)
+
+    tail.instructions = [AluImm(AluOp.ADD, 3, 3, 1)]
+    tail.terminator = Br(Cond.LT, 3, R_ARG0, loop.label, done.label)
+    done.terminator = Ret()
+    return KernelHandles(entry=entry.label, h2p_labels=[], dependency_labels=[])
+
+
+def build_h2p_kernel(
+    b: ProgramBuilder,
+    name: str,
+    data_name: str,
+    data_len: int,
+    h2p_threshold: int = 128,
+    dep_a_threshold: int = 4,
+    dep_b_threshold: int = 4,
+    xor_correlated: bool = False,
+    noise_random: bool = False,
+    stride_a: int = 1,
+    stride_b: int = 7,
+) -> KernelHandles:
+    """The H2P generator (see module docstring).
+
+    Per iteration it loads ``v`` and ``w`` from two strided streams over the
+    input array, executes two *dependency branches* testing parts of ``v``
+    and ``w`` (biased by ``dep_?_threshold`` of 16, so they are hard but not
+    coin flips), runs a noise loop whose trip count ``2 + depA + 2*depB`` is
+    a function of the dependency-branch outcomes just recorded in the
+    history (so its branches are learnable, while the varying trip count
+    still shifts the dependency branches' history positions — or, with
+    ``noise_random``, a genuinely random count), then executes the H2P
+    branch:
+
+    * default: taken iff ``(v ^ w) & 0xFF < h2p_threshold`` — pseudo-random
+      at rate ``h2p_threshold/256``, weakly correlated with the dependency
+      branches;
+    * ``xor_correlated=True``: taken iff ``(v & 1) ^ (w & 1)`` — *fully
+      determined* by the two dependency branches' data, but the varying gap
+      defeats exact-position pattern matching (the helper-predictor
+      opportunity of Sec. V).
+    """
+    if data_len < 8:
+        raise ValueError("data_len too small")
+    if not 1 <= dep_a_threshold <= 15 or not 1 <= dep_b_threshold <= 15:
+        raise ValueError("dependency thresholds must be in 1..15")
+    entry = b.block(f"{name}_entry")
+    loop = b.block(f"{name}_loop")
+    dep_a_t = b.block(f"{name}_depa_t")
+    dep_a_f = b.block(f"{name}_depa_f")
+    dep_b_pre = b.block(f"{name}_depb_pre")
+    dep_b_t = b.block(f"{name}_depb_t")
+    dep_b_f = b.block(f"{name}_depb_f")
+    noise_head = b.block(f"{name}_noise_head")
+    noise_body = b.block(f"{name}_noise_body")
+    h2p_pre = b.block(f"{name}_h2p_pre")
+    h2p_t = b.block(f"{name}_h2p_t")
+    h2p_f = b.block(f"{name}_h2p_f")
+    tail = b.block(f"{name}_tail")
+    done = b.block(f"{name}_done")
+
+    # Stream indices persist across kernel invocations (in memory cells);
+    # otherwise every call would replay the same data prefix and an
+    # exact-pattern matcher could simply memorize it.
+    state = b.data(f"{name}_state", [0, data_len // 2])
+    entry.instructions = [
+        ArrayBase(1, data_name),
+        ArrayBase(24, state),
+        Load(2, 24, 0),  # stream A index
+        Load(3, 24, 1),  # stream B index
+        Imm(4, 0),  # iteration counter
+    ]
+    entry.terminator = Jmp(loop.label)
+
+    loop.instructions = [
+        Alu(AluOp.ADD, 7, 1, 2),
+        Load(R_VALUE_A, 7),  # v
+        Alu(AluOp.ADD, 8, 1, 3),
+        Load(R_VALUE_B, 8),  # w
+        AluImm(AluOp.ADD, 2, 2, stride_a),
+        AluImm(AluOp.MOD, 2, 2, data_len),
+        AluImm(AluOp.ADD, 3, 3, stride_b),
+        AluImm(AluOp.MOD, 3, 3, data_len),
+        AluImm(AluOp.AND, 18, R_VALUE_A, 1),  # v & 1 (feeds noise/xor)
+        AluImm(AluOp.AND, 19, R_VALUE_B, 1),  # w & 1
+        AluImm(AluOp.AND, 9, R_VALUE_A, 0xF),
+        Imm(17, 0),
+        Imm(10, dep_a_threshold),
+    ]
+    # Dependency branch A: tests low bits of v (bias = dep_a_threshold/16;
+    # in xor mode it tests exactly v & 1 so it reveals the H2P's operand).
+    if xor_correlated:
+        loop.terminator = Br(Cond.NE, 18, 17, dep_a_t.label, dep_a_f.label)
+    else:
+        loop.terminator = Br(Cond.LT, 9, 10, dep_a_t.label, dep_a_f.label)
+
+    dep_a_t.instructions = [Imm(25, 1)]  # r25 = depA outcome
+    dep_a_t.terminator = Jmp(dep_b_pre.label)
+    dep_a_f.instructions = [Imm(25, 0)]
+    dep_a_f.terminator = Jmp(dep_b_pre.label)
+
+    dep_b_pre.instructions = [
+        AluImm(AluOp.AND, 11, R_VALUE_B, 0xF),
+        Imm(12, dep_b_threshold),
+        Imm(17, 0),
+    ]
+    # Dependency branch B: tests low bits of w.
+    if xor_correlated:
+        dep_b_pre.terminator = Br(Cond.NE, 19, 17, dep_b_t.label, dep_b_f.label)
+    else:
+        dep_b_pre.terminator = Br(Cond.LT, 11, 12, dep_b_t.label, dep_b_f.label)
+
+    dep_b_t.instructions = [Imm(26, 1)]  # r26 = depB outcome
+    dep_b_t.terminator = Jmp(noise_head.label)
+    dep_b_f.instructions = [Imm(26, 0)]
+    dep_b_f.terminator = Jmp(noise_head.label)
+
+    # Noise loop: a variable number of branches between the dependency
+    # branches and the H2P.  Default mode: trip count 2 + depA + 2*depB — a
+    # function of the two branch outcomes just recorded in the global
+    # history, so these branches are fully learnable; their purpose is
+    # purely to smear the dependency branches over history positions as
+    # seen from the H2P.  ``noise_random``: the trip count comes from an
+    # independent input value, so the dependency-to-H2P gap is genuinely
+    # random — exact-pattern matchers must learn every (gap, outcome)
+    # combination separately, while position-robust models need not (the
+    # CNN-helper opportunity).
+    if noise_random:
+        noise_head.instructions = [
+            Rand(13, 0, 8),
+            AluImm(AluOp.ADD, 13, 13, 2),
+            Imm(14, 0),
+        ]
+    else:
+        noise_head.instructions = [
+            AluImm(AluOp.MUL, 13, 26, 2),
+            Alu(AluOp.ADD, 13, 13, 25),
+            AluImm(AluOp.ADD, 13, 13, 2),
+            Imm(14, 0),
+        ]
+    noise_head.terminator = Br(Cond.LT, 14, 13, noise_body.label, h2p_pre.label)
+    noise_body.instructions = [Nop(), AluImm(AluOp.ADD, 14, 14, 1)]
+    noise_body.terminator = Br(Cond.LT, 14, 13, noise_body.label, h2p_pre.label)
+
+    if xor_correlated:
+        h2p_pre.instructions = [
+            Alu(AluOp.XOR, 15, 18, 19),  # (v & 1) ^ (w & 1)
+            Imm(16, 0),
+        ]
+        h2p_pre.terminator = Br(Cond.NE, 15, 16, h2p_t.label, h2p_f.label)
+    else:
+        h2p_pre.instructions = [
+            Alu(AluOp.XOR, 15, R_VALUE_A, R_VALUE_B),
+            AluImm(AluOp.AND, 15, 15, 0xFF),
+            Imm(16, h2p_threshold),
+        ]
+        h2p_pre.terminator = Br(Cond.LT, 15, 16, h2p_t.label, h2p_f.label)
+
+    h2p_t.instructions = [AluImm(AluOp.ADD, 17, 17, 1)]
+    h2p_t.terminator = Jmp(tail.label)
+    h2p_f.instructions = [Nop()]
+    h2p_f.terminator = Jmp(tail.label)
+
+    tail.instructions = [AluImm(AluOp.ADD, 4, 4, 1)]
+    tail.terminator = Br(Cond.LT, 4, R_ARG0, loop.label, done.label)
+    done.instructions = [Store(2, 24, 0), Store(3, 24, 1)]
+    done.terminator = Ret()
+
+    return KernelHandles(
+        entry=entry.label,
+        h2p_labels=[h2p_pre.label],
+        dependency_labels=[loop.label, dep_b_pre.label],
+    )
+
+
+def build_pointer_chase_kernel(
+    b: ProgramBuilder,
+    name: str,
+    perm_name: str,
+    vals_name: str,
+    data_len: int,
+    threshold: int = 128,
+) -> KernelHandles:
+    """mcf-like pointer chase: follow a permutation, branch on loaded data."""
+    entry = b.block(f"{name}_entry")
+    loop = b.block(f"{name}_loop")
+    taken = b.block(f"{name}_taken")
+    fall = b.block(f"{name}_fall")
+    tail = b.block(f"{name}_tail")
+    done = b.block(f"{name}_done")
+
+    state = b.data(f"{name}_state", [0])
+    entry.instructions = [
+        ArrayBase(1, perm_name),
+        ArrayBase(2, vals_name),
+        ArrayBase(12, state),
+        Load(3, 12),  # cursor persists across invocations
+        Imm(4, 0),  # counter
+        Imm(9, threshold),
+    ]
+    entry.terminator = Jmp(loop.label)
+
+    loop.instructions = [
+        Alu(AluOp.ADD, 7, 1, 3),
+        Load(3, 7),  # cursor = perm[cursor]
+        Alu(AluOp.ADD, 8, 2, 3),
+        Load(R_VALUE_A, 8),  # value at the new node
+        AluImm(AluOp.AND, 10, R_VALUE_A, 0xFF),
+    ]
+    loop.terminator = Br(Cond.LT, 10, 9, taken.label, fall.label)
+
+    taken.instructions = [AluImm(AluOp.ADD, 11, 11, 1)]
+    taken.terminator = Jmp(tail.label)
+    fall.instructions = [Nop()]
+    fall.terminator = Jmp(tail.label)
+
+    tail.instructions = [AluImm(AluOp.ADD, 4, 4, 1)]
+    tail.terminator = Br(Cond.LT, 4, R_ARG0, loop.label, done.label)
+    done.instructions = [Store(3, 12)]
+    done.terminator = Ret()
+    return KernelHandles(
+        entry=entry.label, h2p_labels=[loop.label], dependency_labels=[]
+    )
+
+
+def build_rare_dispatch_kernel(
+    b: ProgramBuilder,
+    name: str,
+    num_handlers: int,
+    branches_per_handler: int,
+    rng: random.Random,
+    handlers_per_segment: Optional[int] = None,
+    segment_reg: Optional[int] = None,
+    hard_fraction: float = 0.3,
+    patterned_fraction: float = 0.25,
+) -> KernelHandles:
+    """Input-driven dispatch into a large cold-handler population.
+
+    Each iteration selects a handler (uniformly within the current
+    *segment's* handler range when ``segment_reg`` is given, modelling code
+    regions touched only in some program phases) through an indirect switch.
+    Handlers contain ``branches_per_handler`` conditional branches in three
+    classes:
+
+    * **hard** (``hard_fraction``): fresh Bernoulli draws near 50/50 —
+      irreducibly unpredictable;
+    * **patterned** (``patterned_fraction``): a deterministic periodic
+      direction driven by a per-branch visit counter — fully learnable, but
+      only if the predictor can *keep* the entry between the branch's widely
+      spaced executions.  These realize the paper's capacity-limited
+      behaviour: accuracy improves when TAGE storage grows (Fig. 7);
+    * **easy** (the rest): heavily biased, most fully deterministic — real
+      rare branches are dominated by always/never-taken checks (Fig. 3's
+      mass at >=0.99 accuracy).
+
+    With many handlers each branch executes only a handful of times per
+    slice — the rare-branch population of Tables II / Figs. 3-4.
+    """
+    if num_handlers < 1 or branches_per_handler < 1:
+        raise ValueError("invalid dispatch shape")
+    if hard_fraction + patterned_fraction > 1.0:
+        raise ValueError("hard_fraction + patterned_fraction must be <= 1")
+    entry = b.block(f"{name}_entry")
+    loop = b.block(f"{name}_loop")
+    tail = b.block(f"{name}_tail")
+    done = b.block(f"{name}_done")
+
+    # One visit counter per (handler, branch) for the patterned class.
+    counters = b.data(
+        f"{name}_counters", [0] * (num_handlers * branches_per_handler)
+    )
+
+    handler_labels: List[str] = []
+    for h in range(num_handlers):
+        prev = None
+        first_label = None
+        for j in range(branches_per_handler):
+            blk = b.block(f"{name}_h{h}_b{j}")
+            roll = rng.random()
+            if roll < hard_fraction:
+                bias = rng.randint(35, 65)  # hard: near-50/50
+                blk.instructions = [Rand(20, 0, 100), Imm(21, bias)]
+                blk_cond = (Cond.LT, 20, 21)
+            elif roll < hard_fraction + patterned_fraction:
+                period = rng.choice([3, 4, 6, 8])
+                # Biased periodic: one exceptional direction per period.  A
+                # plain counter learns the bias quickly; perfecting the
+                # exception takes a retained (capacity-sensitive) entry.
+                split = rng.choice([1, period - 1])
+                cell = h * branches_per_handler + j
+                blk.instructions = [
+                    ArrayBase(27, counters, offset=cell),
+                    Load(20, 27),
+                    AluImm(AluOp.ADD, 28, 20, 1),
+                    Store(28, 27),
+                    AluImm(AluOp.MOD, 20, 20, period),
+                    Imm(21, split),
+                ]
+                blk_cond = (Cond.LT, 20, 21)
+            else:
+                # Easy: heavily biased, most fully deterministic.
+                bias = rng.choice([0, 0, 1, 2, 98, 99, 100, 100])
+                blk.instructions = [Rand(20, 0, 100), Imm(21, bias)]
+                blk_cond = (Cond.LT, 20, 21)
+            t_blk = b.block(f"{name}_h{h}_b{j}_t")
+            t_blk.instructions = [AluImm(AluOp.ADD, 22, 22, 1)]
+            f_blk = b.block(f"{name}_h{h}_b{j}_f")
+            f_blk.instructions = [Nop()]
+            blk.terminator = Br(blk_cond[0], blk_cond[1], blk_cond[2], t_blk.label, f_blk.label)
+            if first_label is None:
+                first_label = blk.label
+            if prev is not None:
+                prev[0].terminator = Jmp(blk.label)
+                prev[1].terminator = Jmp(blk.label)
+            prev = (t_blk, f_blk)
+        prev[0].terminator = Jmp(tail.label)
+        prev[1].terminator = Jmp(tail.label)
+        handler_labels.append(first_label)
+
+    entry.instructions = [Imm(2, 0)]  # counter
+    entry.terminator = Jmp(loop.label)
+
+    if handlers_per_segment and segment_reg is not None:
+        # handler = segment * handlers_per_segment + rand % handlers_per_segment
+        loop.instructions = [
+            Rand(23, 0, handlers_per_segment),
+            AluImm(AluOp.MUL, 24, segment_reg, handlers_per_segment),
+            Alu(AluOp.ADD, 23, 23, 24),
+            AluImm(AluOp.MOD, 23, 23, num_handlers),
+        ]
+    else:
+        loop.instructions = [Rand(23, 0, num_handlers)]
+    loop.terminator = Switch(23, tuple(handler_labels))
+
+    tail.instructions = [AluImm(AluOp.ADD, 2, 2, 1)]
+    tail.terminator = Br(Cond.LT, 2, R_ARG0, loop.label, done.label)
+    done.terminator = Ret()
+    return KernelHandles(entry=entry.label, h2p_labels=[], dependency_labels=[])
+
+
+def build_periodic_workingset_kernel(
+    b: ProgramBuilder,
+    name: str,
+    num_branches: int,
+    rng: random.Random,
+) -> KernelHandles:
+    """A large working set of individually-predictable branches.
+
+    ``R_ARG0`` sweeps; each sweep visits ``num_branches`` chained branches,
+    every one a deterministic periodic function of the sweep counter (with a
+    per-branch period and phase).  Each branch is perfectly predictable
+    *given a retained table entry per (branch, period-phase)* — but the
+    combined working set exceeds a small predictor's storage, so an 8KB
+    TAGE must keep "forgetting predictive patterns to make room for new
+    ones" (Sec. IV-B) while 64KB+ retains them.  This realizes the
+    capacity-limited population behind the paper's Fig. 7 storage sweep.
+    """
+    if num_branches < 1:
+        raise ValueError("num_branches must be >= 1")
+    entry = b.block(f"{name}_entry")
+    tail = b.block(f"{name}_tail")
+    done = b.block(f"{name}_done")
+
+    entry.instructions = [Imm(2, 0)]  # sweep counter
+    entry.terminator = Jmp(f"{name}_b0")
+
+    for j in range(num_branches):
+        blk = b.block(f"{name}_b{j}")
+        period = rng.choice([3, 4, 5, 6, 7, 8])
+        phase = rng.randrange(period)
+        split = rng.randint(1, period - 1)
+        blk.instructions = [
+            AluImm(AluOp.ADD, 20, 2, phase),
+            AluImm(AluOp.MOD, 20, 20, period),
+            Imm(21, split),
+        ]
+        t_blk = b.block(f"{name}_b{j}_t")
+        t_blk.instructions = [AluImm(AluOp.ADD, 22, 22, 1)]
+        f_blk = b.block(f"{name}_b{j}_f")
+        f_blk.instructions = [Nop()]
+        blk.terminator = Br(Cond.LT, 20, 21, t_blk.label, f_blk.label)
+        nxt = f"{name}_b{j + 1}" if j + 1 < num_branches else tail.label
+        t_blk.terminator = Jmp(nxt)
+        f_blk.terminator = Jmp(nxt)
+
+    tail.instructions = [AluImm(AluOp.ADD, 2, 2, 1)]
+    tail.terminator = Br(Cond.LT, 2, R_ARG0, f"{name}_b0", done.label)
+    done.terminator = Ret()
+    return KernelHandles(entry=entry.label, h2p_labels=[], dependency_labels=[])
+
+
+def build_cold_check_kernel(
+    b: ProgramBuilder, name: str, num_checks: int = 8, take_one_in: int = 512
+) -> KernelHandles:
+    """A chain of almost-never-taken error checks (very predictable, but
+    adds static branch population with extreme bias)."""
+    if num_checks < 1 or take_one_in < 2:
+        raise ValueError("invalid cold-check shape")
+    entry = b.block(f"{name}_entry")
+    loop_head = b.block(f"{name}_loop")
+    entry.instructions = [Imm(2, 0)]
+    entry.terminator = Jmp(loop_head.label)
+
+    prev_join = loop_head
+    prev_join.instructions = [Nop()]
+    chain_start: Optional[str] = None
+    for j in range(num_checks):
+        check = b.block(f"{name}_chk{j}")
+        check.instructions = [Rand(20, 0, take_one_in), Imm(21, 1)]
+        handler = b.block(f"{name}_chk{j}_err")
+        handler.instructions = [Nop(), Nop()]
+        joined = b.block(f"{name}_chk{j}_join")
+        joined.instructions = [Nop()]
+        check.terminator = Br(Cond.LT, 20, 21, handler.label, joined.label)
+        handler.terminator = Jmp(joined.label)
+        prev_join.terminator = Jmp(check.label)
+        prev_join = joined
+        if chain_start is None:
+            chain_start = check.label
+
+    tail = b.block(f"{name}_tail")
+    done = b.block(f"{name}_done")
+    prev_join.terminator = Jmp(tail.label)
+    tail.instructions = [AluImm(AluOp.ADD, 2, 2, 1)]
+    tail.terminator = Br(Cond.LT, 2, R_ARG0, loop_head.label, done.label)
+    done.terminator = Ret()
+    return KernelHandles(entry=entry.label, h2p_labels=[], dependency_labels=[])

@@ -1,0 +1,256 @@
+"""Large-code-footprint (LCF) synthetic applications.
+
+The paper's Table II applications (602.gcc_s plus five traced from live
+deployments: a game, an RDBMS, a NoSQL database, a real-time analytics
+engine, and a streaming server) share one defining property: thousands of
+static branches, most executing only a handful of times per 30M-instruction
+trace.  These synthetics realize that with large dispatch-handler
+populations (segment-gated, so different phases touch different code), a
+small number of H2P kernels (Table II reports 1-8 H2Ps each), and varying
+amounts of hot easy work which sets the execs-per-static-branch ordering:
+the streaming server re-runs a small code footprint constantly (highest
+execs/branch), while the game spreads execution across the largest
+population (lowest).
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.isa.program import Program, ProgramBuilder
+from repro.workloads.base import (
+    R_SEGMENT,
+    WorkloadSpec,
+    build_driver,
+    make_input_data,
+)
+from repro.workloads.kernels import (
+    build_cold_check_kernel,
+    build_h2p_kernel,
+    build_loop_nest_kernel,
+    build_periodic_workingset_kernel,
+    build_rare_dispatch_kernel,
+    build_scan_kernel,
+)
+
+_DATA_LEN = 4093
+
+
+@dataclass(frozen=True)
+class LcfAppParams:
+    """Composition knobs for one LCF application."""
+
+    name: str
+    seed: int
+    data_style: str = "uniform"
+    num_inputs: int = 1
+    dispatch_handlers: int = 600
+    dispatch_branches_per_handler: int = 3
+    dispatch_iters: int = 300
+    dispatch_hard_fraction: float = 0.4
+    dispatch_patterned_fraction: float = 0.20
+    workingset_branches: int = 400
+    workingset_sweeps: int = 2
+    handlers_per_segment: int = 120
+    # H2P kernels: (threshold, xor_correlated, iterations-per-round)
+    h2p_kernels: Tuple[Tuple[int, bool, int], ...] = ()
+    loop_nest_iters: int = 60
+    scan_iters: int = 200
+    scan_bias: int = 52000
+    cold_checks: int = 10
+    num_segments: int = 6
+    rounds_per_segment: int = 4
+
+
+def build_lcf_app(params: LcfAppParams, input_index: int) -> Program:
+    """Construct the program for one input of an LCF application."""
+    b = ProgramBuilder(params.name)
+    structure_rng = random.Random(params.seed)
+
+    b.data("input_data", make_input_data(params.seed, input_index, _DATA_LEN, params.data_style))
+    # The scan kernel sweeps a *sorted* copy: its branch direction changes
+    # only at the threshold crossing once per sweep, so it is easy work.
+    b.data(
+        "scan_data",
+        np.sort(make_input_data(params.seed + 2, input_index, _DATA_LEN, "uniform")),
+    )
+
+    kernels: List[Tuple[str, int]] = []
+    loops = build_loop_nest_kernel(b, "loops", inner_trips=10)
+    kernels.append((loops.entry, params.loop_nest_iters))
+    scan = build_scan_kernel(
+        b, "scan", "scan_data", _DATA_LEN, bias_threshold=params.scan_bias
+    )
+    kernels.append((scan.entry, params.scan_iters))
+
+    h2p_entries: List[Tuple[str, int]] = []
+    for k, (threshold, xor_corr, iters) in enumerate(params.h2p_kernels):
+        h = build_h2p_kernel(
+            b,
+            f"h2p{k}",
+            "input_data",
+            _DATA_LEN,
+            h2p_threshold=threshold,
+            xor_correlated=xor_corr,
+            stride_a=1 + 2 * k,
+            stride_b=7 + 4 * k,
+        )
+        h2p_entries.append((h.entry, iters))
+
+    d = build_rare_dispatch_kernel(
+        b,
+        "dispatch",
+        num_handlers=params.dispatch_handlers,
+        branches_per_handler=params.dispatch_branches_per_handler,
+        rng=structure_rng,
+        handlers_per_segment=params.handlers_per_segment or None,
+        segment_reg=R_SEGMENT if params.handlers_per_segment else None,
+        hard_fraction=params.dispatch_hard_fraction,
+        patterned_fraction=params.dispatch_patterned_fraction,
+    )
+    dispatch_entry = (d.entry, params.dispatch_iters)
+
+    cold = build_cold_check_kernel(b, "cold", num_checks=params.cold_checks)
+    workingset = None
+    if params.workingset_branches > 0:
+        workingset = build_periodic_workingset_kernel(
+            b, "wset", params.workingset_branches, structure_rng
+        )
+
+    segments: List[List[Tuple[str, int]]] = []
+    for s in range(params.num_segments):
+        plan: List[Tuple[str, int]] = []
+        hot = s % 2 == 0
+        for entry, iters in kernels:
+            plan.append((entry, max(1, int(iters * (0.7 if hot else 1.2)))))
+        for entry, iters in h2p_entries:
+            plan.append((entry, max(1, int(iters * (1.2 if hot else 0.6)))))
+        plan.append((dispatch_entry[0], max(1, int(dispatch_entry[1] * (1.3 if hot else 0.8)))))
+        if workingset is not None:
+            plan.append((workingset.entry, params.workingset_sweeps))
+        plan.append((cold.entry, 30))
+        segments.append(plan)
+
+    build_driver(b, segments, rounds_per_segment=params.rounds_per_segment)
+    return b.build()
+
+
+#: Default LCF trace length: one scaled 30M-instruction trace (Table II
+#: analyzes "a single 30M-instruction trace for each application").
+LCF_TRACE_INSTRUCTIONS = 300_000
+
+_LCF_PARAMS: Tuple[LcfAppParams, ...] = (
+    LcfAppParams(
+        name="602.gcc_s",
+        seed=602,
+        data_style="uniform",
+        dispatch_handlers=190,
+        dispatch_branches_per_handler=3,
+        dispatch_iters=220,
+        dispatch_hard_fraction=0.30,
+        handlers_per_segment=180,
+        h2p_kernels=((120, False, 160), (96, False, 120)),
+        loop_nest_iters=70,
+        scan_iters=320,
+        workingset_branches=550,
+        num_segments=6,
+    ),
+    LcfAppParams(
+        name="game",
+        seed=701,
+        data_style="bimodal",
+        dispatch_handlers=1400,
+        dispatch_branches_per_handler=3,
+        dispatch_iters=420,
+        dispatch_hard_fraction=0.45,
+        handlers_per_segment=350,
+        h2p_kernels=((128, False, 60),),
+        loop_nest_iters=25,
+        scan_iters=60,
+        workingset_branches=300,
+        num_segments=8,
+    ),
+    LcfAppParams(
+        name="rdbms",
+        seed=702,
+        data_style="zipf",
+        dispatch_handlers=520,
+        dispatch_branches_per_handler=3,
+        dispatch_iters=280,
+        dispatch_hard_fraction=0.22,
+        handlers_per_segment=230,
+        h2p_kernels=((96, False, 140), (112, True, 110), (80, False, 90)),
+        loop_nest_iters=70,
+        scan_iters=260,
+        workingset_branches=500,
+        num_segments=6,
+    ),
+    LcfAppParams(
+        name="nosql",
+        seed=703,
+        data_style="lowcard",
+        dispatch_handlers=240,
+        dispatch_branches_per_handler=3,
+        dispatch_iters=240,
+        dispatch_hard_fraction=0.20,
+        handlers_per_segment=190,
+        h2p_kernels=((88, False, 120),),
+        loop_nest_iters=80,
+        scan_iters=300,
+        workingset_branches=350,
+        num_segments=6,
+    ),
+    LcfAppParams(
+        name="rt_analytics",
+        seed=704,
+        data_style="uniform",
+        dispatch_handlers=180,
+        dispatch_branches_per_handler=3,
+        dispatch_iters=200,
+        dispatch_hard_fraction=0.40,
+        handlers_per_segment=160,
+        h2p_kernels=((128, False, 180), (120, True, 140)),
+        loop_nest_iters=60,
+        scan_iters=220,
+        workingset_branches=420,
+        num_segments=6,
+    ),
+    LcfAppParams(
+        name="streaming_server",
+        seed=705,
+        data_style="bimodal",
+        dispatch_handlers=95,
+        dispatch_branches_per_handler=3,
+        dispatch_iters=240,
+        dispatch_hard_fraction=0.45,
+        handlers_per_segment=24,
+        h2p_kernels=((136, False, 220), (112, False, 180)),
+        loop_nest_iters=70,
+        scan_iters=240,
+        workingset_branches=160,
+        num_segments=4,
+    ),
+)
+
+
+def _make_lcf(params: LcfAppParams) -> WorkloadSpec:
+    return WorkloadSpec(
+        name=params.name,
+        category="lcf",
+        build=lambda input_index, p=params: build_lcf_app(p, input_index),
+        num_inputs=params.num_inputs,
+        default_instructions=LCF_TRACE_INSTRUCTIONS,
+        description=f"Large-code-footprint synthetic application ({params.name})",
+    )
+
+
+#: The six LCF applications (Table II's rows).
+LCF_WORKLOADS: Tuple[WorkloadSpec, ...] = tuple(_make_lcf(p) for p in _LCF_PARAMS)
+
+LCF_BY_NAME: Dict[str, WorkloadSpec] = {w.name: w for w in LCF_WORKLOADS}
+
+LCF_PARAMS_BY_NAME: Dict[str, LcfAppParams] = {p.name: p for p in _LCF_PARAMS}

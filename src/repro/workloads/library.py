@@ -1,0 +1,164 @@
+"""On-disk trace library (the offline-training substrate of Sec. V).
+
+The paper's proposed deployment rests on "collecting multiple long-duration
+traces of an application, executing over multiple distinct application
+inputs".  This module provides that artifact: branch traces serialize to
+compressed ``.npz`` files, and a :class:`TraceLibrary` manages a directory
+of them keyed by (benchmark, input), generating on demand and re-loading
+thereafter — so helper-predictor training pipelines can run against a
+stable corpus instead of re-executing workloads.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.types import BranchTrace, WorkloadTrace
+from repro.workloads.base import WorkloadSpec, trace_workload
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(trace: BranchTrace, path: Union[str, Path]) -> Path:
+    """Serialize a branch trace to a compressed ``.npz`` file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        version=np.int64(_FORMAT_VERSION),
+        ips=trace.ips,
+        taken=trace.taken,
+        targets=trace.targets,
+        kinds=trace.kinds,
+        instr_indices=trace.instr_indices,
+        instr_count=np.int64(trace.instr_count),
+    )
+    # numpy appends ".npz" when the suffix is missing; report the real file.
+    return path if path.suffix == ".npz" else Path(str(path) + ".npz")
+
+
+def load_trace(path: Union[str, Path]) -> BranchTrace:
+    """Load a branch trace written by :func:`save_trace`."""
+    with np.load(Path(path)) as data:
+        version = int(data["version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format version {version} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        return BranchTrace(
+            ips=data["ips"],
+            taken=data["taken"],
+            targets=data["targets"],
+            kinds=data["kinds"],
+            instr_indices=data["instr_indices"],
+            instr_count=int(data["instr_count"]),
+        )
+
+
+def _slug(name: str) -> str:
+    return re.sub(r"[^A-Za-z0-9_.-]", "_", name)
+
+
+class TraceLibrary:
+    """A directory of serialized workload traces.
+
+    Layout: ``<root>/<benchmark>/<input>_<instructions>.npz`` plus a
+    ``manifest.json`` recording what exists.  ``get()`` loads a trace if
+    present, otherwise generates, stores, and returns it.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._manifest_path = self.root / "manifest.json"
+        self._manifest: Dict[str, dict] = {}
+        if self._manifest_path.exists():
+            with open(self._manifest_path) as f:
+                self._manifest = json.load(f)
+
+    def _key(self, benchmark: str, input_index: int, instructions: int) -> str:
+        return f"{benchmark}/{input_index}/{instructions}"
+
+    def _path(self, benchmark: str, input_index: int, instructions: int) -> Path:
+        return (
+            self.root
+            / _slug(benchmark)
+            / f"input{input_index}_{instructions}.npz"
+        )
+
+    def _save_manifest(self) -> None:
+        with open(self._manifest_path, "w") as f:
+            json.dump(self._manifest, f, indent=2, sort_keys=True)
+
+    def contains(self, benchmark: str, input_index: int, instructions: int) -> bool:
+        key = self._key(benchmark, input_index, instructions)
+        return key in self._manifest and self._path(
+            benchmark, input_index, instructions
+        ).exists()
+
+    def put(self, workload_trace: WorkloadTrace) -> Path:
+        """Store an already-generated trace."""
+        benchmark = workload_trace.benchmark
+        input_index = int(workload_trace.input_name.replace("input", "") or 0)
+        instructions = workload_trace.trace.instr_count
+        path = self._path(benchmark, input_index, instructions)
+        save_trace(workload_trace.trace, path)
+        self._manifest[self._key(benchmark, input_index, instructions)] = {
+            "benchmark": benchmark,
+            "input_index": input_index,
+            "instructions": instructions,
+            "branches": len(workload_trace.trace),
+            "file": str(path.relative_to(self.root)),
+        }
+        self._save_manifest()
+        return path
+
+    def get(
+        self,
+        benchmark: str,
+        input_index: int,
+        instructions: Optional[int] = None,
+        spec: Optional[WorkloadSpec] = None,
+    ) -> WorkloadTrace:
+        """Load a trace, generating and storing it on first access."""
+        if spec is None:
+            # Imported lazily: the registry lives in the package __init__,
+            # which itself imports this module.
+            from repro.workloads import WORKLOADS_BY_NAME
+
+            spec = WORKLOADS_BY_NAME.get(benchmark)
+        if spec is None:
+            raise KeyError(f"unknown benchmark {benchmark!r} and no spec given")
+        n = instructions if instructions is not None else spec.default_instructions
+        if self.contains(benchmark, input_index, n):
+            trace = load_trace(self._path(benchmark, input_index, n))
+            return WorkloadTrace(
+                benchmark=benchmark,
+                input_name=f"input{input_index}",
+                trace=trace,
+                metadata={"from_library": True, "instructions": n},
+            )
+        workload_trace = trace_workload(spec, input_index, instructions=n)
+        self.put(workload_trace)
+        return workload_trace
+
+    def entries(self) -> List[dict]:
+        """Manifest entries for everything stored."""
+        return [dict(v) for v in self._manifest.values()]
+
+    def __len__(self) -> int:
+        return len(self._manifest)
+
+    def __iter__(self) -> Iterator[Tuple[str, int, int]]:
+        for entry in self._manifest.values():
+            yield (
+                entry["benchmark"],
+                entry["input_index"],
+                entry["instructions"],
+            )

@@ -1,0 +1,339 @@
+"""SPECint-2017-like synthetic benchmarks.
+
+Each benchmark composes the kernels of :mod:`repro.workloads.kernels` with a
+parameter set chosen to land near the corresponding row of the paper's
+Table I (scaled; see :mod:`repro.experiments.config`): aggregate accuracy,
+how many H2P branches a slice contains, and what share of mispredictions
+they cause.  mcf-like is tiny and H2P-dominated; leela-like is the least
+predictable with the most H2Ps; xalancbmk-like is large but highly
+predictable; and so on.  The mapping is qualitative — the goal is the
+paper's *structure* (orderings, proportions), not its exact values.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.isa.program import Program, ProgramBuilder
+from repro.workloads.base import (
+    R_SEGMENT,
+    WorkloadSpec,
+    build_driver,
+    make_input_data,
+)
+from repro.workloads.kernels import (
+    build_cold_check_kernel,
+    build_h2p_kernel,
+    build_loop_nest_kernel,
+    build_pointer_chase_kernel,
+    build_rare_dispatch_kernel,
+    build_scan_kernel,
+)
+
+_DATA_LEN = 4093  # prime-ish: strided streams cycle through all elements
+
+
+@dataclass(frozen=True)
+class SpecBenchParams:
+    """Composition knobs for one SPECint-like benchmark."""
+
+    name: str
+    seed: int
+    data_style: str = "uniform"
+    num_inputs: int = 4
+    # H2P kernels: (threshold, xor_correlated, iterations-per-round) or
+    # (threshold, xor_correlated, iterations, dep_a_threshold, dep_b_threshold)
+    # — the dep thresholds (of 16) set the dependency branches' bias.
+    h2p_kernels: Tuple[Tuple, ...] = ((128, False, 400),)
+    pointer_chases: Tuple[int, ...] = ()  # iterations per round each
+    # Easy work per round.
+    loop_nest_iters: int = 200
+    loop_inner_trips: int = 12
+    scan_iters: int = 800
+    scan_bias: int = 52000  # of 65536: ~80% taken
+    # Rare-branch dispatch.
+    dispatch_handlers: int = 0
+    dispatch_branches_per_handler: int = 2
+    dispatch_iters: int = 0
+    dispatch_hard_fraction: float = 0.35
+    handlers_per_segment: int = 0
+    cold_checks: int = 8
+    num_segments: int = 5
+    rounds_per_segment: int = 8
+
+
+def build_spec_benchmark(params: SpecBenchParams, input_index: int) -> Program:
+    """Construct the program for one input of a SPECint-like benchmark.
+
+    The *structure* (blocks, biases, thresholds) depends only on
+    ``params.seed``, so every input exposes identical static branch IPs; the
+    *data* depends on the input index.
+    """
+    b = ProgramBuilder(params.name)
+    structure_rng = random.Random(params.seed)
+
+    b.data("input_data", make_input_data(params.seed, input_index, _DATA_LEN, params.data_style))
+    # The scan kernel sweeps a *sorted* copy: its branch direction changes
+    # only at the threshold crossing once per sweep, so it is easy work.
+    b.data(
+        "scan_data",
+        np.sort(make_input_data(params.seed + 2, input_index, _DATA_LEN, "uniform")),
+    )
+    # Pointer-chase substrate: a random permutation (input-dependent) and values.
+    perm_rng = random.Random(params.seed * 31 + input_index)
+    perm = list(range(_DATA_LEN))
+    perm_rng.shuffle(perm)
+    b.data("chase_perm", perm)
+    b.data(
+        "chase_vals",
+        make_input_data(params.seed + 1, input_index, _DATA_LEN, params.data_style),
+    )
+
+    kernels: List[Tuple[str, int]] = []  # (entry label, iterations/round)
+
+    loops = build_loop_nest_kernel(
+        b, "loops", inner_trips=params.loop_inner_trips
+    )
+    kernels.append((loops.entry, params.loop_nest_iters))
+
+    scan = build_scan_kernel(
+        b, "scan", "scan_data", _DATA_LEN, bias_threshold=params.scan_bias
+    )
+    kernels.append((scan.entry, params.scan_iters))
+
+    h2p_entries: List[Tuple[str, int]] = []
+    for k, spec in enumerate(params.h2p_kernels):
+        threshold, xor_corr, iters = spec[0], spec[1], spec[2]
+        dep_a, dep_b = (spec[3], spec[4]) if len(spec) > 3 else (4, 4)
+        h = build_h2p_kernel(
+            b,
+            f"h2p{k}",
+            "input_data",
+            _DATA_LEN,
+            h2p_threshold=threshold,
+            dep_a_threshold=dep_a,
+            dep_b_threshold=dep_b,
+            xor_correlated=xor_corr,
+            stride_a=1 + 2 * k,
+            stride_b=7 + 4 * k,
+        )
+        h2p_entries.append((h.entry, iters))
+
+    chase_entries: List[Tuple[str, int]] = []
+    for k, iters in enumerate(params.pointer_chases):
+        c = build_pointer_chase_kernel(
+            b, f"chase{k}", "chase_perm", "chase_vals", _DATA_LEN,
+            threshold=96 + 16 * k,
+        )
+        chase_entries.append((c.entry, iters))
+
+    dispatch_entry = None
+    if params.dispatch_handlers > 0 and params.dispatch_iters > 0:
+        d = build_rare_dispatch_kernel(
+            b,
+            "dispatch",
+            num_handlers=params.dispatch_handlers,
+            branches_per_handler=params.dispatch_branches_per_handler,
+            rng=structure_rng,
+            handlers_per_segment=params.handlers_per_segment or None,
+            segment_reg=R_SEGMENT if params.handlers_per_segment else None,
+            hard_fraction=params.dispatch_hard_fraction,
+        )
+        dispatch_entry = (d.entry, params.dispatch_iters)
+
+    cold = build_cold_check_kernel(b, "cold", num_checks=params.cold_checks)
+    cold_entry = (cold.entry, 40)
+
+    # Segments shift the mix: even segments emphasize the H2P/chase kernels,
+    # odd segments the easy work, and the dispatch kernel (when present)
+    # touches a different handler subset each segment via R_SEGMENT.
+    segments: List[List[Tuple[str, int]]] = []
+    for s in range(params.num_segments):
+        plan: List[Tuple[str, int]] = []
+        hot = s % 2 == 0
+        for entry, iters in kernels:
+            scaled = iters if not hot else max(1, int(iters * 0.6))
+            plan.append((entry, scaled))
+        for entry, iters in h2p_entries:
+            scaled = max(1, int(iters * (1.3 if hot else 0.7)))
+            plan.append((entry, scaled))
+        for entry, iters in chase_entries:
+            scaled = max(1, int(iters * (1.3 if hot else 0.7)))
+            plan.append((entry, scaled))
+        if dispatch_entry is not None:
+            plan.append(dispatch_entry)
+        plan.append(cold_entry)
+        segments.append(plan)
+
+    build_driver(b, segments, rounds_per_segment=params.rounds_per_segment)
+    return b.build()
+
+
+#: Default SPECint-like trace length: 10 slices of the scaled slice size
+#: (see repro.experiments.config.SLICE_INSTRUCTIONS).
+SPEC_TRACE_INSTRUCTIONS = 3_000_000
+
+_SPEC_PARAMS: Tuple[SpecBenchParams, ...] = (
+    SpecBenchParams(
+        name="600.perlbench_s",
+        seed=600,
+        data_style="lowcard",
+        h2p_kernels=((40, False, 260, 1, 1),),
+        loop_nest_iters=300,
+        scan_iters=2200,
+        dispatch_handlers=360,
+        dispatch_branches_per_handler=2,
+        dispatch_iters=320,
+        dispatch_hard_fraction=0.30,
+        handlers_per_segment=90,
+        num_segments=6,
+    ),
+    SpecBenchParams(
+        name="605.mcf_s",
+        seed=605,
+        data_style="uniform",
+        h2p_kernels=(
+            (128, False, 420, 2, 3),
+            (96, False, 300, 3, 2),
+            (144, True, 260, 2, 2),
+        ),
+        pointer_chases=(340, 260),
+        loop_nest_iters=70,
+        scan_iters=700,
+        cold_checks=4,
+        num_segments=4,
+    ),
+    SpecBenchParams(
+        name="620.omnetpp_s",
+        seed=620,
+        data_style="bimodal",
+        h2p_kernels=(
+            (128, False, 180, 1, 2),
+            (80, False, 140, 2, 1),
+            (112, True, 120, 1, 1),
+        ),
+        loop_nest_iters=260,
+        scan_iters=1400,
+        dispatch_handlers=180,
+        dispatch_iters=70,
+        dispatch_hard_fraction=0.25,
+        handlers_per_segment=45,
+        num_segments=6,
+    ),
+    SpecBenchParams(
+        name="623.xalancbmk_s",
+        seed=623,
+        data_style="lowcard",
+        h2p_kernels=((10, False, 150, 1, 1), (8, False, 120, 1, 1)),
+        loop_nest_iters=600,
+        scan_iters=3600,
+        scan_bias=63000,
+        dispatch_handlers=300,
+        dispatch_iters=50,
+        dispatch_hard_fraction=0.05,
+        handlers_per_segment=75,
+        num_segments=5,
+    ),
+    SpecBenchParams(
+        name="625.x264_s",
+        seed=625,
+        data_style="bimodal",
+        h2p_kernels=((120, False, 800, 3, 3),),
+        loop_nest_iters=500,
+        loop_inner_trips=16,
+        scan_iters=1400,
+        num_segments=7,
+    ),
+    SpecBenchParams(
+        name="631.deepsjeng_s",
+        seed=631,
+        data_style="uniform",
+        h2p_kernels=(
+            (104, False, 240, 2, 2),
+            (120, True, 210, 2, 2),
+            (88, False, 180, 2, 3),
+            (136, False, 165, 3, 2),
+        ),
+        loop_nest_iters=260,
+        scan_iters=1300,
+        dispatch_handlers=220,
+        dispatch_iters=110,
+        dispatch_hard_fraction=0.40,
+        handlers_per_segment=55,
+        num_segments=5,
+    ),
+    SpecBenchParams(
+        name="641.leela_s",
+        seed=641,
+        data_style="uniform",
+        h2p_kernels=(
+            (128, False, 360, 3, 4),
+            (112, False, 330, 4, 3),
+            (140, True, 300, 3, 3),
+            (96, False, 280, 4, 4),
+            (120, False, 260, 3, 4),
+            (132, True, 250, 4, 3),
+        ),
+        pointer_chases=(220,),
+        loop_nest_iters=160,
+        scan_iters=700,
+        dispatch_handlers=140,
+        dispatch_iters=80,
+        dispatch_hard_fraction=0.5,
+        handlers_per_segment=35,
+        num_segments=5,
+    ),
+    SpecBenchParams(
+        name="648.exchange2_s",
+        seed=648,
+        data_style="lowcard",
+        h2p_kernels=((96, True, 170, 1, 1), (72, True, 150, 1, 1)),
+        loop_nest_iters=550,
+        loop_inner_trips=20,
+        scan_iters=2000,
+        num_segments=6,
+    ),
+    SpecBenchParams(
+        name="657.xz_s",
+        seed=657,
+        data_style="zipf",
+        h2p_kernels=(
+            (144, False, 520, 4, 4),
+            (120, False, 460, 4, 3),
+            (104, False, 400, 3, 4),
+        ),
+        pointer_chases=(200,),
+        loop_nest_iters=110,
+        scan_iters=500,
+        dispatch_handlers=120,
+        dispatch_iters=60,
+        dispatch_hard_fraction=0.4,
+        handlers_per_segment=30,
+        num_segments=5,
+    ),
+)
+
+
+def _make_spec(params: SpecBenchParams) -> WorkloadSpec:
+    return WorkloadSpec(
+        name=params.name,
+        category="specint",
+        build=lambda input_index, p=params: build_spec_benchmark(p, input_index),
+        num_inputs=params.num_inputs,
+        default_instructions=SPEC_TRACE_INSTRUCTIONS,
+        description=f"SPECint-2017-like synthetic benchmark ({params.name})",
+    )
+
+
+#: The nine SPECint-like benchmarks (Table I's rows).
+SPECINT_WORKLOADS: Tuple[WorkloadSpec, ...] = tuple(
+    _make_spec(p) for p in _SPEC_PARAMS
+)
+
+SPECINT_BY_NAME: Dict[str, WorkloadSpec] = {w.name: w for w in SPECINT_WORKLOADS}
+
+SPEC_PARAMS_BY_NAME: Dict[str, SpecBenchParams] = {p.name: p for p in _SPEC_PARAMS}

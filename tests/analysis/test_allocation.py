@@ -1,0 +1,52 @@
+"""Tests for the TAGE allocation study reduction."""
+
+import pytest
+
+from repro.analysis.allocation import allocation_study
+from repro.predictors.tage import AllocationStats
+
+
+def stats_from(events):
+    """events: list of (ip, table, index)."""
+    s = AllocationStats()
+    for ip, table, index in events:
+        s.record(ip, table, index)
+    return s
+
+
+class TestAllocationStudy:
+    def test_split_and_medians(self):
+        events = []
+        # H2P branch 1: 10 allocations over 4 unique entries.
+        for i in range(10):
+            events.append((1, 0, i % 4))
+        # Non-H2P branch 2: 2 allocations, 2 entries.
+        events += [(2, 1, 0), (2, 1, 1)]
+        study = allocation_study(stats_from(events), h2p_ips=[1])
+        assert study.h2p.num_branches == 1
+        assert study.h2p.median_allocations == 10
+        assert study.h2p.median_unique_entries == 4
+        assert study.h2p.reallocation_ratio == pytest.approx(2.5)
+        assert study.non_h2p.median_allocations == 2
+        assert study.total_allocations == 12
+        assert study.h2p_dominates
+
+    def test_share_computation(self):
+        events = [(1, 0, 0)] * 9 + [(2, 0, 1)]
+        study = allocation_study(stats_from(events), h2p_ips=[1])
+        assert study.h2p.mean_allocation_share == pytest.approx(0.9)
+        assert study.non_h2p.mean_allocation_share == pytest.approx(0.1)
+
+    def test_all_ips_includes_zero_allocators(self):
+        events = [(1, 0, 0)]
+        study = allocation_study(
+            stats_from(events), h2p_ips=[1], all_ips=[1, 2, 3]
+        )
+        assert study.non_h2p.num_branches == 2
+        assert study.non_h2p.median_allocations == 0
+
+    def test_empty_classes(self):
+        study = allocation_study(AllocationStats(), h2p_ips=[])
+        assert study.h2p.num_branches == 0
+        assert study.h2p.reallocation_ratio == 0.0
+        assert not study.h2p_dominates

@@ -1,0 +1,46 @@
+"""Tests for the one-call characterization API."""
+
+import pytest
+
+from repro.analysis.characterize import characterize_workload
+from repro.predictors.simple import AlwaysTaken
+
+
+class TestCharacterizeWorkload:
+    @pytest.fixture(scope="class")
+    def report(self, mcf_trace):
+        return characterize_workload(mcf_trace.trace)
+
+    def test_basic_counters(self, report, mcf_trace):
+        assert report.instructions == mcf_trace.trace.instr_count
+        assert report.conditional_branches == int(
+            mcf_trace.trace.conditional_mask.sum()
+        )
+        assert report.static_branches == len(
+            mcf_trace.trace.static_branch_ips()
+        )
+
+    def test_mcf_is_h2p_dominated(self, report):
+        # mcf-like: mispredictions concentrate in H2Ps.
+        assert report.h2p_dominated
+        assert report.h2ps_per_slice >= 5
+        assert report.top5_heavy_hitter_coverage > 0.1
+
+    def test_opportunity_grows_with_scale(self, report):
+        assert report.ipc_opportunity_8x > report.ipc_opportunity_1x > 0
+
+    def test_lcf_is_rare_branch_dominated(self, lcf_trace):
+        report = characterize_workload(lcf_trace.trace)
+        assert report.rare_branch_fraction > 0.5
+        assert report.rare_branch_accuracy < 0.95
+
+    def test_custom_predictor(self, mcf_trace):
+        report = characterize_workload(mcf_trace.trace, AlwaysTaken())
+        assert report.predictor_name == "always-taken"
+        assert report.accuracy < 0.8
+
+    def test_render_mentions_key_numbers(self, report):
+        text = report.render()
+        assert "H2Ps per slice" in text
+        assert "IPC opportunity" in text
+        assert f"{report.accuracy:.4f}" in text

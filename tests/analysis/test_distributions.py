@@ -1,0 +1,105 @@
+"""Tests for the rare-branch distribution analyses (Figs. 3-4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.distributions import (
+    Histogram,
+    accuracy_spread,
+    branch_distributions,
+)
+from repro.core.metrics import BranchStats
+
+
+def stats_with(branches):
+    s = BranchStats()
+    for ip, (e, m) in branches.items():
+        s.record_bulk(ip, e, m)
+    return s
+
+
+class TestBranchDistributions:
+    def test_fractions_sum_to_one(self):
+        s = stats_with({i: (10 * (i + 1), i) for i in range(20)})
+        d = branch_distributions([s])
+        for hist in (d.mispredictions, d.executions, d.accuracy):
+            assert sum(hist.fractions) == pytest.approx(1.0)
+            assert hist.num_branches == 20
+
+    def test_pools_multiple_apps(self):
+        a = stats_with({1: (10, 0)})
+        b = stats_with({1: (10, 5)})  # same IP in another app: separate
+        d = branch_distributions([a, b])
+        assert d.executions.num_branches == 2
+
+    def test_values_above_last_edge_clamped(self):
+        s = stats_with({1: (10**9, 0)})
+        d = branch_distributions([s])
+        assert d.executions.fractions[-1] == pytest.approx(1.0)
+
+    def test_accuracy_bins(self):
+        s = stats_with({
+            1: (100, 100),  # accuracy 0.0
+            2: (100, 0),  # accuracy 1.0
+            3: (100, 50),  # accuracy 0.5
+        })
+        d = branch_distributions([s])
+        assert d.accuracy.fractions[0] == pytest.approx(1 / 3)  # [0, .1)
+        assert d.accuracy.fractions[-1] == pytest.approx(1 / 3)  # [.99, 1]
+
+    def test_fraction_at_or_below(self):
+        h = Histogram(edges=(0, 1, 2, 3), fractions=(0.5, 0.3, 0.2),
+                      counts=(5, 3, 2))
+        assert h.fraction_at_or_below(1) == pytest.approx(0.5)
+        assert h.fraction_at_or_below(2) == pytest.approx(0.8)
+
+    @given(
+        branches=st.dictionaries(
+            st.integers(0, 50),
+            st.tuples(st.integers(1, 10_000), st.integers(0, 100)),
+            min_size=1, max_size=40,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_no_branch_lost_property(self, branches):
+        branches = {
+            ip: (e, min(m, e)) for ip, (e, m) in branches.items()
+        }
+        s = stats_with(branches)
+        d = branch_distributions([s])
+        assert d.executions.num_branches == len(branches)
+        assert d.mispredictions.num_branches == len(branches)
+        assert d.accuracy.num_branches == len(branches)
+
+
+class TestAccuracySpread:
+    def test_rare_branches_have_wider_spread(self):
+        rng = np.random.default_rng(0)
+        s = BranchStats()
+        # Rare branches: 5 executions, accuracy all over the place.
+        for i in range(200):
+            e = 5
+            m = int(rng.integers(0, 6))
+            s.record_bulk(1000 + i, e, m)
+        # Frequent branches: well predicted.
+        for i in range(200):
+            e = 500
+            m = int(rng.integers(0, 10))
+            s.record_bulk(5000 + i, e, m)
+        spread = accuracy_spread([s], bin_width=10)
+        assert spread.bin_std[0] > 0.15
+        frequent_bin = np.searchsorted(spread.bin_edges, 500) - 1
+        assert spread.bin_std[frequent_bin] < 0.05
+        assert spread.bin_std[0] > 3 * spread.bin_std[frequent_bin]
+
+    def test_counts_partition_branches(self):
+        s = stats_with({i: (i + 1, 0) for i in range(50)})
+        spread = accuracy_spread([s], bin_width=10)
+        assert spread.bin_counts.sum() == 50
+
+    def test_arrays_aligned(self):
+        s = stats_with({1: (10, 2), 2: (20, 3)})
+        spread = accuracy_spread([s], bin_width=5)
+        assert len(spread.executions) == len(spread.accuracies) == 2

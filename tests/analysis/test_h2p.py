@@ -1,0 +1,122 @@
+"""Tests for H2P screening and cross-input aggregation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.h2p import (
+    H2pCriteria,
+    screen_h2ps,
+    screen_workload,
+    summarize_across_inputs,
+)
+from repro.core.metrics import BranchStats
+
+
+def stats_with(branches):
+    """branches: {ip: (executions, mispredictions)}."""
+    s = BranchStats()
+    for ip, (e, m) in branches.items():
+        s.record_bulk(ip, e, m)
+    return s
+
+
+CRIT = H2pCriteria(accuracy_below=0.99, min_executions=150, min_mispredictions=10)
+
+
+class TestScreening:
+    def test_qualifying_branch(self):
+        s = stats_with({1: (1000, 100)})
+        assert screen_h2ps(s, CRIT) == [1]
+
+    def test_too_few_executions(self):
+        s = stats_with({1: (100, 50)})
+        assert screen_h2ps(s, CRIT) == []
+
+    def test_too_few_mispredictions(self):
+        s = stats_with({1: (1000, 9)})
+        assert screen_h2ps(s, CRIT) == []
+
+    def test_too_accurate(self):
+        s = stats_with({1: (10_000, 50)})  # accuracy 0.995
+        assert screen_h2ps(s, CRIT) == []
+
+    def test_boundary_accuracy(self):
+        # Exactly 0.99 accuracy does NOT qualify (< strictly).
+        s = stats_with({1: (1000, 10)})
+        assert screen_h2ps(s, CRIT) == []
+
+    def test_multiple_sorted(self):
+        s = stats_with({5: (1000, 100), 2: (1000, 200), 9: (100, 1)})
+        assert screen_h2ps(s, CRIT) == [2, 5]
+
+    def test_criteria_validation(self):
+        with pytest.raises(ValueError):
+            H2pCriteria(accuracy_below=0.0)
+        with pytest.raises(ValueError):
+            H2pCriteria(min_executions=0)
+
+    @given(
+        execs=st.integers(1, 100_000),
+        mis_frac=st.floats(0, 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_criteria_consistency_property(self, execs, mis_frac):
+        mis = int(execs * mis_frac)
+        s = stats_with({1: (execs, mis)})
+        selected = screen_h2ps(s, CRIT)
+        qualifies = (
+            execs >= CRIT.min_executions
+            and mis >= CRIT.min_mispredictions
+            and (execs - mis) / execs < CRIT.accuracy_below
+        )
+        assert (selected == [1]) == qualifies
+
+
+class TestWorkloadReport:
+    def test_per_slice_and_union(self):
+        slices = [
+            stats_with({1: (1000, 100), 2: (1000, 5)}),
+            stats_with({1: (1000, 100), 3: (1000, 100)}),
+        ]
+        rep = screen_workload("b", "i", slices, CRIT)
+        assert rep.slices[0].h2p_ips == [1]
+        assert rep.slices[1].h2p_ips == [1, 3]
+        assert rep.union_h2p_ips == frozenset({1, 3})
+        assert rep.mean_h2ps_per_slice == pytest.approx(1.5)
+
+    def test_misprediction_share(self):
+        slices = [stats_with({1: (1000, 100), 2: (1000, 100)})]
+        rep = screen_workload("b", "i", slices, CRIT)
+        assert rep.slices[0].misprediction_share == pytest.approx(1.0)
+
+    def test_empty_slices(self):
+        rep = screen_workload("b", "i", [], CRIT)
+        assert rep.mean_h2ps_per_slice == 0.0
+        assert rep.mean_misprediction_share == 0.0
+
+
+class TestCrossInput:
+    def _reports(self, per_input_h2ps):
+        reports = []
+        for i, ips in enumerate(per_input_h2ps):
+            slices = [stats_with({ip: (1000, 100) for ip in ips})]
+            reports.append(screen_workload("b", f"i{i}", slices, CRIT))
+        return reports
+
+    def test_recurring_3plus(self):
+        reports = self._reports([[1, 2], [1, 3], [1, 2], [4]])
+        summary = summarize_across_inputs("b", reports)
+        assert summary.total_h2ps == 4
+        assert summary.recurring_3plus == 1  # only branch 1 in >= 3 inputs
+        assert summary.appearance_counts[1] == 3
+        assert summary.appearance_counts[2] == 2
+
+    def test_mean_per_input(self):
+        reports = self._reports([[1, 2], [3]])
+        summary = summarize_across_inputs("b", reports)
+        assert summary.mean_per_input == pytest.approx(1.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_across_inputs("b", [])

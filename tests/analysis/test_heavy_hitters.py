@@ -1,0 +1,71 @@
+"""Tests for heavy-hitter ranking."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.heavy_hitters import (
+    coverage_at,
+    cumulative_curve,
+    rank_heavy_hitters,
+    top_heavy_hitter,
+)
+from repro.core.metrics import BranchStats
+
+
+def stats_with(branches):
+    s = BranchStats()
+    for ip, (e, m) in branches.items():
+        s.record_bulk(ip, e, m)
+    return s
+
+
+class TestRanking:
+    def test_ranked_by_executions(self):
+        s = stats_with({1: (100, 10), 2: (300, 5), 3: (200, 50)})
+        hitters = rank_heavy_hitters(s, [1, 2, 3])
+        assert [h.ip for h in hitters] == [2, 3, 1]
+        assert [h.rank for h in hitters] == [1, 2, 3]
+
+    def test_cumulative_fraction_over_all_mispredictions(self):
+        s = stats_with({1: (100, 40), 2: (300, 40), 3: (200, 20)})
+        hitters = rank_heavy_hitters(s, [1, 2])  # branch 3 not an H2P
+        # Total mispredictions = 100; top hitter (ip 2) covers 40%.
+        assert hitters[0].cumulative_misprediction_fraction == pytest.approx(0.4)
+        assert hitters[1].cumulative_misprediction_fraction == pytest.approx(0.8)
+
+    def test_tie_broken_by_mispredictions(self):
+        s = stats_with({1: (100, 10), 2: (100, 50)})
+        hitters = rank_heavy_hitters(s, [1, 2])
+        assert hitters[0].ip == 2
+
+    def test_top_heavy_hitter(self):
+        s = stats_with({1: (100, 10), 2: (300, 5)})
+        assert top_heavy_hitter(s, [1, 2]).ip == 2
+
+    def test_top_requires_h2ps(self):
+        with pytest.raises(ValueError):
+            top_heavy_hitter(stats_with({1: (10, 1)}), [])
+
+
+class TestCurve:
+    def test_curve_monotone_and_padded(self):
+        s = stats_with({1: (100, 30), 2: (300, 30), 3: (200, 40)})
+        curve = cumulative_curve(s, [1, 2, 3], max_rank=10)
+        assert len(curve) == 10
+        assert (np.diff(curve) >= -1e-12).all()
+        assert curve[-1] == pytest.approx(1.0)
+        assert curve[3] == curve[9]  # padded with the final value
+
+    def test_coverage_at(self):
+        s = stats_with({1: (100, 50), 2: (300, 50)})
+        curve = cumulative_curve(s, [1, 2], max_rank=5)
+        assert coverage_at(curve, 1) == pytest.approx(0.5)
+        assert coverage_at(curve, 2) == pytest.approx(1.0)
+        assert coverage_at(curve, 100) == pytest.approx(1.0)
+
+    def test_coverage_validation(self):
+        with pytest.raises(ValueError):
+            coverage_at([0.5], 0)
+
+    def test_empty_curve(self):
+        assert coverage_at([], 3) == 0.0

@@ -1,0 +1,107 @@
+"""Tests for the IPC-opportunity computations (Figs. 1/5/7/8)."""
+
+import pytest
+
+from repro.analysis.opportunity import (
+    h2p_share_of_opportunity,
+    ipc_opportunity,
+    mispredictions_excluding,
+    mispredictions_excluding_above,
+    opportunity_remaining,
+    scaling_curves,
+    storage_gap_closure,
+)
+from repro.core.metrics import BranchStats
+from repro.pipeline.config import SCALING_FACTORS
+
+
+def stats_with(branches):
+    s = BranchStats()
+    for ip, (e, m) in branches.items():
+        s.record_bulk(ip, e, m)
+    return s
+
+
+class TestExclusions:
+    def test_excluding_ips(self):
+        s = stats_with({1: (100, 40), 2: (100, 60)})
+        assert mispredictions_excluding(s, [1]) == 60
+        assert mispredictions_excluding(s, [1, 2]) == 0
+
+    def test_excluding_above_threshold(self):
+        s = stats_with({1: (2000, 40), 2: (50, 30)})
+        # Branches with > 100 executions predicted perfectly:
+        assert mispredictions_excluding_above(s, 100) == 30
+        # Threshold above everything: nothing idealized.
+        assert mispredictions_excluding_above(s, 10_000) == 70
+
+
+class TestScalingCurves:
+    def test_baseline_normalized_to_one(self):
+        curves = scaling_curves(
+            100_000, {"base": 500, "perfect": 0}, baseline_label="base"
+        )
+        base = next(c for c in curves if c.label == "base")
+        assert base.at(1) == pytest.approx(1.0)
+
+    def test_perfect_above_baseline_everywhere(self):
+        curves = scaling_curves(
+            100_000, {"base": 500, "perfect": 0}, baseline_label="base"
+        )
+        base = next(c for c in curves if c.label == "base")
+        perfect = next(c for c in curves if c.label == "perfect")
+        for s in SCALING_FACTORS:
+            assert perfect.at(s) > base.at(s)
+
+    def test_gap_widens_with_scale(self):
+        curves = scaling_curves(
+            100_000, {"base": 900, "perfect": 0}, baseline_label="base"
+        )
+        base = next(c for c in curves if c.label == "base")
+        perfect = next(c for c in curves if c.label == "perfect")
+        ratios = [perfect.at(s) / base.at(s) for s in SCALING_FACTORS]
+        assert ratios == sorted(ratios)
+
+    def test_missing_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            scaling_curves(1000, {"a": 1}, baseline_label="b")
+
+    def test_unknown_scale_lookup(self):
+        curves = scaling_curves(1000, {"a": 1}, baseline_label="a")
+        with pytest.raises(KeyError):
+            curves[0].at(3)
+
+
+class TestOpportunityMetrics:
+    def test_ipc_opportunity_positive(self):
+        assert ipc_opportunity(100_000, 900) > 0
+
+    def test_ipc_opportunity_zero_when_perfect(self):
+        assert ipc_opportunity(100_000, 0) == pytest.approx(0.0)
+
+    def test_h2p_share_bounds(self):
+        share = h2p_share_of_opportunity(
+            100_000, baseline_mispredictions=1000,
+            h2p_mispredictions_removed=400,
+        )
+        assert 0 < share < 1
+        full = h2p_share_of_opportunity(100_000, 1000, 0)
+        assert full == pytest.approx(1.0)
+
+    def test_opportunity_remaining_complementary(self):
+        remaining = opportunity_remaining(
+            100_000, baseline_mispredictions=1000, remaining_mispredictions=300
+        )
+        captured = h2p_share_of_opportunity(100_000, 1000, 300)
+        assert remaining + captured == pytest.approx(1.0)
+
+    def test_gap_closure_rows(self):
+        closures = storage_gap_closure(
+            100_000, 1000, {"64": 800, "1024": 500}, scales=(1, 4)
+        )
+        assert len(closures) == 4
+        by_key = {(c.label, c.scale): c.fraction_closed for c in closures}
+        assert by_key[("1024", 1)] > by_key[("64", 1)]
+        # Larger scale -> gap harder to close (same misprediction delta is a
+        # larger share of runtime).
+        assert by_key[("64", 4)] == pytest.approx(by_key[("64", 1)], rel=0.5)

@@ -1,0 +1,66 @@
+"""Tests for recurrence-interval analysis (Fig. 9)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.recurrence import (
+    median_recurrence_intervals,
+    recurrence_histogram,
+)
+from repro.core.types import BranchTrace
+
+
+def trace_from(events, instr_count=None):
+    """events: list of (ip, instr_index)."""
+    return BranchTrace(
+        ips=[ip for ip, _ in events],
+        taken=[True] * len(events),
+        instr_indices=[idx for _, idx in events],
+        instr_count=instr_count or (max(i for _, i in events) + 1),
+    )
+
+
+class TestMedianRecurrence:
+    def test_regular_interval(self):
+        t = trace_from([(1, 0), (1, 100), (1, 200), (1, 300)])
+        assert median_recurrence_intervals(t)[1] == pytest.approx(100)
+
+    def test_singleton_is_zero(self):
+        t = trace_from([(1, 0), (2, 50)])
+        mri = median_recurrence_intervals(t)
+        assert mri[1] == 0.0
+        assert mri[2] == 0.0
+
+    def test_median_of_mixed_gaps(self):
+        t = trace_from([(1, 0), (1, 10), (1, 20), (1, 1000)])
+        # gaps: 10, 10, 980 -> median 10
+        assert median_recurrence_intervals(t)[1] == pytest.approx(10)
+
+    def test_multiple_branches_independent(self):
+        t = trace_from([(1, 0), (2, 5), (1, 100), (2, 505)])
+        mri = median_recurrence_intervals(t)
+        assert mri[1] == pytest.approx(100)
+        assert mri[2] == pytest.approx(500)
+
+
+class TestHistogram:
+    def test_fractions_sum(self):
+        t = trace_from([(i, i * 37) for i in range(20)])
+        hist = recurrence_histogram([t])
+        assert sum(hist.fractions) == pytest.approx(1.0)
+
+    def test_custom_edges_and_peak(self):
+        t = trace_from(
+            [(1, 0), (1, 50), (1, 100)]  # MRI 50
+            + [(2, 0), (2, 5000), (2, 10_000)]  # MRI 5000
+            + [(3, 0), (3, 5200), (3, 10_400)]
+        )
+        hist = recurrence_histogram([t], edges=[0, 1, 100, 1000, 10_000])
+        assert hist.counts == (0, 1, 0, 2)
+        assert hist.peak_bin() == 3
+
+    def test_pools_traces(self):
+        t1 = trace_from([(1, 0), (1, 10)])
+        t2 = trace_from([(1, 0), (1, 10)])
+        hist = recurrence_histogram([t1, t2], edges=[0, 1, 100])
+        assert sum(hist.counts) == 2

@@ -1,0 +1,67 @@
+"""Tests for register-value profiling (Fig. 10)."""
+
+import pytest
+
+from repro.analysis.regvalues import (
+    profile_register_values,
+    profiles_differ,
+)
+
+
+class TestProfileRegisterValues:
+    def test_constant_register(self):
+        snaps = [(7, i) for i in range(100)]
+        prof = profile_register_values(0x40, snaps, tracked_registers=[5, 6])
+        p5 = prof.profile_for(5)
+        assert p5.num_distinct == 1
+        assert p5.entropy_bits == pytest.approx(0.0)
+        assert p5.concentration == pytest.approx(1.0)
+        assert p5.top_values[0] == (7, 100)
+
+    def test_uniform_register_entropy(self):
+        snaps = [(i % 16, 0) for i in range(160)]
+        prof = profile_register_values(0x40, snaps, tracked_registers=[1, 2])
+        p1 = prof.profile_for(1)
+        assert p1.num_distinct == 16
+        assert p1.entropy_bits == pytest.approx(4.0, abs=0.01)
+
+    def test_values_masked_to_32_bits(self):
+        snaps = [((1 << 40) + 3,)]
+        prof = profile_register_values(0x40, snaps, tracked_registers=[0])
+        assert prof.profile_for(0).top_values[0][0] == 3
+
+    def test_top_n_limits(self):
+        snaps = [(i,) for i in range(100)]
+        prof = profile_register_values(0x40, snaps, [0], top_n=10)
+        assert len(prof.profile_for(0).top_values) == 10
+
+    def test_scatter_points(self):
+        snaps = [(1, 2)] * 3
+        prof = profile_register_values(0x40, snaps, [0, 1])
+        pts = prof.scatter_points()
+        assert (0, 1, 3) in pts and (1, 2, 3) in pts
+
+    def test_missing_register_raises(self):
+        prof = profile_register_values(0x40, [(1,)], [0])
+        with pytest.raises(KeyError):
+            prof.profile_for(5)
+
+
+class TestProfilesDiffer:
+    def test_identical_profiles_do_not_differ(self):
+        snaps = [(i % 4, 7) for i in range(64)]
+        a = profile_register_values(0x40, snaps, [0, 1])
+        b = profile_register_values(0x80, snaps, [0, 1])
+        assert not profiles_differ(a, b)
+
+    def test_different_value_structure_detected(self):
+        a = profile_register_values(0x40, [(0, 0)] * 50, [0, 1])
+        b = profile_register_values(
+            0x80, [(i % 64, (i * 7) % 64) for i in range(640)], [0, 1]
+        )
+        assert profiles_differ(a, b)
+
+    def test_dominant_value_disagreement_detected(self):
+        a = profile_register_values(0x40, [(1, 1)] * 50, [0, 1])
+        b = profile_register_values(0x80, [(9, 9)] * 50, [0, 1])
+        assert profiles_differ(a, b)

@@ -1,0 +1,34 @@
+"""Shared fixtures.
+
+Expensive artifacts (workload traces, predictor simulations) are
+session-scoped and shared through a single :class:`repro.experiments.lab.Lab`
+so the experiment-level tests do not repeat simulations.
+"""
+
+import os
+
+import pytest
+
+os.environ.setdefault("REPRO_TIER", "quick")
+
+from repro.experiments.config import QUICK_TIER  # noqa: E402
+from repro.experiments.lab import Lab  # noqa: E402
+from repro.workloads import WORKLOADS_BY_NAME, trace_workload  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def lab():
+    """Shared quick-tier lab; simulations are cached per session."""
+    return Lab(tier=QUICK_TIER)
+
+
+@pytest.fixture(scope="session")
+def mcf_trace():
+    """A one-slice trace of the mcf-like benchmark (H2P-heavy, small)."""
+    return trace_workload(WORKLOADS_BY_NAME["605.mcf_s"], 0, instructions=300_000)
+
+
+@pytest.fixture(scope="session")
+def lcf_trace():
+    """A one-slice trace of an LCF application (rare-branch-heavy)."""
+    return trace_workload(WORKLOADS_BY_NAME["rdbms"], 0, instructions=300_000)

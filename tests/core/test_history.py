@@ -1,0 +1,145 @@
+"""Tests for the history registers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.history import (
+    GlobalHistory,
+    HistoryState,
+    LocalHistoryTable,
+    PathHistory,
+)
+
+
+class TestGlobalHistory:
+    def test_push_and_bit(self):
+        h = GlobalHistory(8)
+        for b in [1, 0, 1]:  # pushes: oldest first
+            h.push(bool(b))
+        # Most recent is position 0.
+        assert h.bit(0) == 1
+        assert h.bit(1) == 0
+        assert h.bit(2) == 1
+
+    def test_length_saturates_at_capacity(self):
+        h = GlobalHistory(4)
+        for _ in range(10):
+            h.push(True)
+        assert len(h) == 4
+
+    def test_low_bits(self):
+        h = GlobalHistory(8)
+        for b in [1, 1, 0, 1]:
+            h.push(bool(b))
+        assert h.low_bits(4) == 0b1101
+
+    def test_low_bits_bounds(self):
+        h = GlobalHistory(4)
+        with pytest.raises(ValueError):
+            h.low_bits(5)
+
+    def test_bit_out_of_range(self):
+        h = GlobalHistory(4)
+        with pytest.raises(IndexError):
+            h.bit(4)
+
+    def test_to_list_newest_first(self):
+        h = GlobalHistory(8)
+        for b in [0, 1, 1]:
+            h.push(bool(b))
+        assert h.to_list(3) == [1, 1, 0]
+
+    def test_capacity_mask_drops_old_bits(self):
+        h = GlobalHistory(2)
+        for b in [1, 1, 0, 0]:
+            h.push(bool(b))
+        assert h.low_bits(2) == 0
+
+    @given(bits=st.lists(st.booleans(), min_size=1, max_size=64),
+           width=st.integers(1, 12))
+    @settings(max_examples=60, deadline=None)
+    def test_fold_matches_naive(self, bits, width):
+        h = GlobalHistory(64)
+        for b in bits:
+            h.push(b)
+        n = len(bits)
+        raw = h.low_bits(n)
+        expected, tmp = 0, raw
+        while tmp:
+            expected ^= tmp & ((1 << width) - 1)
+            tmp >>= width
+        assert h.fold(n, width) == expected
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            GlobalHistory(0)
+
+
+class TestPathHistory:
+    def test_recent_order(self):
+        p = PathHistory(4)
+        for ip in [10, 20, 30]:
+            p.push(ip)
+        assert p.recent(2) == [30, 20]
+
+    def test_capacity_eviction(self):
+        p = PathHistory(2)
+        for ip in [1, 2, 3]:
+            p.push(ip)
+        assert p.recent(5) == [3, 2]
+
+    def test_hash_changes_with_path(self):
+        p1, p2 = PathHistory(8), PathHistory(8)
+        p1.push(0x100)
+        p2.push(0x104)
+        assert p1.hash_value(12) != p2.hash_value(12)
+
+    def test_hash_width_validation(self):
+        p = PathHistory(4)
+        with pytest.raises(ValueError):
+            p.hash_value(0)
+
+
+class TestLocalHistoryTable:
+    def test_per_ip_isolation(self):
+        t = LocalHistoryTable(16, 8)
+        t.push(0, True)
+        t.push(1, False)
+        assert t.get(0) == 1
+        assert t.get(1) == 0
+
+    def test_history_shift(self):
+        t = LocalHistoryTable(16, 4)
+        for b in [True, False, True]:
+            t.push(5, b)
+        assert t.get(5) == 0b101
+
+    def test_history_bits_mask(self):
+        t = LocalHistoryTable(16, 2)
+        for _ in range(5):
+            t.push(3, True)
+        assert t.get(3) == 0b11
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            LocalHistoryTable(10, 4)
+
+    def test_storage_bits(self):
+        t = LocalHistoryTable(16, 8)
+        assert t.storage_bits() == 128
+
+    def test_aliasing_by_low_bits(self):
+        t = LocalHistoryTable(4, 4)
+        t.push(0, True)
+        assert t.get(4) == t.get(0)  # ip 4 aliases ip 0
+
+
+class TestHistoryState:
+    def test_lockstep_update(self):
+        s = HistoryState(global_capacity=16, path_capacity=4)
+        s.update(0x40, True)
+        s.update(0x44, False)
+        assert s.global_history.to_list(2) == [0, 1]
+        assert s.path_history.recent(2) == [0x44, 0x40]
+        assert s.local_histories.get(0x40) == 1

@@ -1,0 +1,160 @@
+"""Tests for per-branch statistics and metrics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import BranchCounts, BranchStats, misprediction_fraction
+
+
+class TestBranchCounts:
+    def test_accuracy_empty_is_one(self):
+        assert BranchCounts().accuracy == 1.0
+
+    def test_accuracy(self):
+        c = BranchCounts(executions=10, mispredictions=3)
+        assert c.accuracy == pytest.approx(0.7)
+        assert c.correct == 7
+
+    def test_merge(self):
+        a = BranchCounts(5, 2)
+        a.merge(BranchCounts(5, 1))
+        assert (a.executions, a.mispredictions) == (10, 3)
+
+
+class TestBranchStats:
+    def test_record_accumulates(self):
+        s = BranchStats()
+        s.record(1, True)
+        s.record(1, False)
+        s.record(2, True)
+        assert s.total_executions == 3
+        assert s.total_mispredictions == 1
+        assert s.get(1).executions == 2
+        assert s.get(1).mispredictions == 1
+        assert len(s) == 2
+
+    def test_accuracy_aggregate(self):
+        s = BranchStats()
+        for _ in range(8):
+            s.record(1, True)
+        for _ in range(2):
+            s.record(1, False)
+        assert s.accuracy == pytest.approx(0.8)
+
+    def test_empty_accuracy(self):
+        assert BranchStats().accuracy == 1.0
+
+    def test_record_bulk_validation(self):
+        s = BranchStats()
+        with pytest.raises(ValueError):
+            s.record_bulk(1, executions=2, mispredictions=3)
+
+    def test_accuracy_excluding(self):
+        s = BranchStats()
+        s.record_bulk(1, 10, 5)  # hard branch
+        s.record_bulk(2, 90, 0)  # easy branch
+        assert s.accuracy == pytest.approx(0.95)
+        assert s.accuracy_excluding([1]) == pytest.approx(1.0)
+        assert s.accuracy_excluding([2]) == pytest.approx(0.5)
+
+    def test_accuracy_excluding_everything(self):
+        s = BranchStats()
+        s.record_bulk(1, 10, 5)
+        assert s.accuracy_excluding([1]) == 1.0
+
+    def test_mean_accuracy_per_branch_unweighted(self):
+        s = BranchStats()
+        s.record_bulk(1, 100, 0)  # acc 1.0
+        s.record_bulk(2, 2, 1)  # acc 0.5
+        assert s.mean_accuracy_per_branch() == pytest.approx(0.75)
+
+    def test_mean_executions_per_branch(self):
+        s = BranchStats()
+        s.record_bulk(1, 10, 0)
+        s.record_bulk(2, 30, 0)
+        assert s.mean_executions_per_branch() == pytest.approx(20.0)
+
+    def test_mpki(self):
+        s = BranchStats()
+        s.record_bulk(1, 100, 5)
+        assert s.mpki(10_000) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            s.mpki(0)
+
+    def test_contains(self):
+        s = BranchStats()
+        s.record(7, True)
+        assert 7 in s
+        assert 8 not in s
+
+    def test_merge_and_copy(self):
+        a, b = BranchStats(), BranchStats()
+        a.record_bulk(1, 10, 2)
+        b.record_bulk(1, 5, 1)
+        b.record_bulk(2, 3, 0)
+        a.merge(b)
+        assert a.get(1).executions == 15
+        assert a.get(2).executions == 3
+        c = a.copy()
+        c.record(1, False)
+        assert a.get(1).executions == 15  # copy is independent
+
+    @given(
+        events=st.lists(
+            st.tuples(st.integers(0, 5), st.booleans()), min_size=1, max_size=200
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_totals_consistent_property(self, events):
+        s = BranchStats()
+        for ip, correct in events:
+            s.record(ip, correct)
+        assert s.total_executions == len(events)
+        assert s.total_executions == sum(c.executions for _, c in s.items())
+        assert s.total_mispredictions == sum(
+            c.mispredictions for _, c in s.items()
+        )
+        assert 0.0 <= s.accuracy <= 1.0
+
+    @given(
+        a_events=st.lists(st.tuples(st.integers(0, 3), st.booleans()), max_size=50),
+        b_events=st.lists(st.tuples(st.integers(0, 3), st.booleans()), max_size=50),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_merge_commutative_property(self, a_events, b_events):
+        def build(events):
+            s = BranchStats()
+            for ip, correct in events:
+                s.record(ip, correct)
+            return s
+
+        ab = build(a_events)
+        ab.merge(build(b_events))
+        ba = build(b_events)
+        ba.merge(build(a_events))
+        assert ab.total_executions == ba.total_executions
+        assert ab.total_mispredictions == ba.total_mispredictions
+        assert dict(
+            (ip, (c.executions, c.mispredictions)) for ip, c in ab.items()
+        ) == dict((ip, (c.executions, c.mispredictions)) for ip, c in ba.items())
+
+
+class TestMispredictionFraction:
+    def test_basic(self):
+        s = BranchStats()
+        s.record_bulk(1, 10, 4)
+        s.record_bulk(2, 10, 6)
+        assert misprediction_fraction(s, [1]) == pytest.approx(0.4)
+        assert misprediction_fraction(s, [1, 2]) == pytest.approx(1.0)
+
+    def test_no_mispredictions(self):
+        s = BranchStats()
+        s.record_bulk(1, 10, 0)
+        assert misprediction_fraction(s, [1]) == 0.0
+
+    def test_duplicate_ips_counted_once(self):
+        s = BranchStats()
+        s.record_bulk(1, 10, 5)
+        s.record_bulk(2, 10, 5)
+        assert misprediction_fraction(s, [1, 1]) == pytest.approx(0.5)

@@ -1,0 +1,59 @@
+"""Tests for storage accounting."""
+
+import pytest
+
+from repro.core.storage import (
+    StorageBudget,
+    bits_to_kib,
+    kib_to_bits,
+    saturating_counter_bits,
+)
+
+
+class _Component:
+    def __init__(self, bits):
+        self._bits = bits
+
+    def storage_bits(self):
+        return self._bits
+
+
+class TestConversions:
+    def test_kib_to_bits(self):
+        assert kib_to_bits(8) == 65536
+
+    def test_bits_to_kib(self):
+        assert bits_to_kib(65536) == pytest.approx(8.0)
+
+    def test_round_trip(self):
+        assert bits_to_kib(kib_to_bits(64)) == pytest.approx(64.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kib_to_bits(0)
+        with pytest.raises(ValueError):
+            bits_to_kib(-1)
+
+
+class TestStorageBudget:
+    def test_fits_within_budget(self):
+        budget = StorageBudget(8)
+        assert budget.fits(_Component(65536))
+
+    def test_fits_with_slack(self):
+        budget = StorageBudget(8, slack=0.10)
+        assert budget.fits(_Component(int(65536 * 1.09)))
+        assert not budget.fits(_Component(int(65536 * 1.2)))
+
+    def test_utilization(self):
+        budget = StorageBudget(8)
+        assert budget.utilization(_Component(32768)) == pytest.approx(0.5)
+
+
+class TestCounterBits:
+    def test_counter_table(self):
+        assert saturating_counter_bits(1024, 2) == 2048
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            saturating_counter_bits(10, 0)

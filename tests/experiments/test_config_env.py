@@ -1,0 +1,45 @@
+"""Tests for tier selection and config consistency."""
+
+import repro.config as config
+
+
+class TestActiveTier:
+    def test_defaults_to_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TIER", raising=False)
+        assert config.active_tier() is config.QUICK_TIER
+
+    def test_full_selected_by_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TIER", "full")
+        assert config.active_tier() is config.FULL_TIER
+
+    def test_case_insensitive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TIER", "FULL")
+        assert config.active_tier() is config.FULL_TIER
+
+    def test_unknown_value_falls_back_to_quick(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TIER", "gigantic")
+        assert config.active_tier() is config.QUICK_TIER
+
+
+class TestDerivedConstants:
+    def test_rare_thresholds_ordered(self):
+        hi, lo = config.RARE_EXECUTION_THRESHOLDS
+        assert hi > lo > 0
+
+    def test_dependency_window_positive(self):
+        assert config.DEPENDENCY_WINDOW_INSTRUCTIONS > 0
+
+    def test_tier_instruction_math(self):
+        for tier in (config.QUICK_TIER, config.FULL_TIER):
+            assert tier.spec_instructions == (
+                tier.spec_slices * config.SLICE_INSTRUCTIONS
+            )
+            assert tier.lcf_instructions == (
+                tier.lcf_slices * config.SLICE_INSTRUCTIONS
+            )
+
+    def test_experiments_config_reexports(self):
+        import repro.experiments.config as legacy
+
+        assert legacy.SLICE_INSTRUCTIONS == config.SLICE_INSTRUCTIONS
+        assert legacy.H2P_MIN_EXECUTIONS == config.H2P_MIN_EXECUTIONS

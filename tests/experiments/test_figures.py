@@ -1,0 +1,218 @@
+"""Shape tests for the figure experiments (paper Figs. 1-10).
+
+Each test pins the qualitative claim the corresponding figure makes: who
+wins, in which direction the trend goes, and roughly where the crossovers
+fall — not the paper's absolute numbers (our substrate is a synthetic
+simulator, not the authors' testbed).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.allocation_study import compute_allocation_study
+from repro.experiments.cnn_study import compute_cnn_study
+from repro.experiments.fig1 import compute_fig1
+from repro.experiments.fig2 import compute_fig2
+from repro.experiments.fig3 import compute_fig3, compute_fig4
+from repro.experiments.fig5 import compute_fig5
+from repro.experiments.fig7 import compute_fig7
+from repro.experiments.fig8 import compute_fig8
+from repro.experiments.fig9 import compute_fig9
+from repro.experiments.fig10 import compute_fig10
+
+
+@pytest.fixture(scope="module")
+def fig1(lab):
+    return compute_fig1(lab)
+
+
+@pytest.fixture(scope="module")
+def fig5(lab):
+    return compute_fig5(lab)
+
+
+class TestFig1:
+    def test_variant_ordering_at_every_scale(self, fig1):
+        for s in fig1.curves[0].scales:
+            base = fig1.curve("tage-sc-l-8kb").at(s)
+            big = fig1.curve("tage-sc-l-64kb").at(s)
+            h2p = fig1.curve("perfect-h2ps").at(s)
+            perfect = fig1.curve("perfect").at(s)
+            assert base <= big <= perfect + 1e-9
+            assert h2p <= perfect + 1e-9
+            assert h2p >= base
+
+    def test_opportunity_grows_with_scale(self, fig1):
+        # Paper: 18.5% at 1x growing to 55.3% at 4x.
+        assert 0.1 <= fig1.opportunity_at(1) <= 0.45
+        assert fig1.opportunity_at(4) > fig1.opportunity_at(1) * 1.5
+
+    def test_storage_scaling_gains_little(self, fig1):
+        # Paper: 64KB returns just 2.7% additional IPC at 1x.
+        gain = (
+            fig1.curve("tage-sc-l-64kb").at(1)
+            / fig1.curve("tage-sc-l-8kb").at(1)
+            - 1
+        )
+        assert 0 <= gain < 0.12
+
+    def test_imperfect_bp_saturates(self, fig1):
+        curve = fig1.curve("tage-sc-l-8kb").relative_ipc
+        steps = np.diff(curve)
+        assert steps[-1] < steps[0]  # diminishing returns
+        # Perfect BP keeps scaling: a visibly wider gap at 32x than at 1x.
+        gap32 = fig1.curve("perfect").at(32) - fig1.curve("tage-sc-l-8kb").at(32)
+        gap1 = fig1.curve("perfect").at(1) - fig1.curve("tage-sc-l-8kb").at(1)
+        assert gap32 > 2 * gap1
+
+    def test_h2ps_dominate_spec_opportunity(self, fig1):
+        # Paper: H2Ps account for ~75.7% of the 1x opportunity on SPECint.
+        assert fig1.h2p_share_at(1) > 0.5
+
+
+class TestFig5:
+    def test_h2p_share_much_lower_than_spec(self, fig1, fig5):
+        # Paper's central contrast: 75.7% (SPECint) vs 37.8% (LCF) at 1x.
+        assert fig5.h2p_share_at(1) < fig1.h2p_share_at(1) - 0.2
+
+    def test_h2p_role_diminishes_with_scale(self, fig5):
+        # Paper: 37.8% at 1x dropping to 33.7% at 32x.
+        assert fig5.h2p_share_at(32) <= fig5.h2p_share_at(1) + 0.05
+
+    def test_rare_branch_gap_remains(self, fig5):
+        # Perfect-H2Ps stays far below perfect BP on LCF.
+        assert fig5.curve("perfect").at(32) > 1.5 * fig5.curve("perfect-h2ps").at(32)
+
+
+class TestFig2:
+    def test_heavy_hitters_concentrate_mispredictions(self, lab):
+        fig2 = compute_fig2(lab)
+        # Paper: top five heavy hitters cover 37% of mispredictions on
+        # average; ten H2Ps cover 55.3%.
+        assert fig2.mean_coverage_top(5) > 0.25
+        assert fig2.mean_coverage_top(10) >= fig2.mean_coverage_top(5)
+        for curve in fig2.curves.values():
+            assert (np.diff(curve) >= -1e-12).all()
+
+
+class TestFig3:
+    def test_rare_branch_distributions(self, lab):
+        fig3 = compute_fig3(lab)
+        d = fig3.distributions
+        # Paper: execution distribution skews left (85% below 100 execs,
+        # scaled to 10); misprediction distribution skews toward zero.
+        assert d.executions.fractions[0] > 0.4
+        assert d.executions.fractions[0] + d.executions.fractions[1] > 0.85
+        # Accuracy has mass at both extremes (well-predicted majority plus
+        # a significant badly-predicted fraction).
+        assert d.accuracy.fractions[-1] > 0.1
+        assert d.accuracy.fraction_at_or_below(0.2) > 0.02
+
+
+class TestFig4:
+    def test_rare_branch_accuracy_spread(self, lab):
+        fig4 = compute_fig4(lab)
+        spread = fig4.spread
+        # Paper: std 0.35 in the first bin, dropping off for frequent
+        # branches.
+        assert spread.bin_std[0] > 0.2
+        busy = spread.bin_counts[5:15].sum()
+        if busy:
+            later = np.average(
+                spread.bin_std[5:15], weights=np.maximum(spread.bin_counts[5:15], 1)
+            )
+            assert later < spread.bin_std[0]
+
+
+class TestFig7:
+    def test_storage_sweep_shape(self, lab):
+        fig7 = compute_fig7(lab)
+        # 8KB is the baseline: fraction closed is 0 by construction.
+        assert fig7.mean_fraction(8, 1) == pytest.approx(0.0)
+        # The biggest single step is 8KB -> 64KB.
+        step_64 = fig7.mean_fraction(64, 1) - fig7.mean_fraction(8, 1)
+        later_steps = [
+            fig7.mean_fraction(fig7.storages[i + 1], 1)
+            - fig7.mean_fraction(fig7.storages[i], 1)
+            for i in range(1, len(fig7.storages) - 1)
+        ]
+        assert step_64 > max(later_steps)
+        # Paper: even 1024KB captures less than half the opportunity.
+        assert fig7.mean_fraction(1024, 1) < 0.5
+        # Gains shrink as the pipeline scales up.
+        assert fig7.best_mean_fraction_at(32) < fig7.best_mean_fraction_at(1)
+
+
+class TestFig8:
+    def test_rare_branches_hold_substantial_opportunity(self, lab):
+        fig8 = compute_fig8(lab)
+        hi, lo = fig8.thresholds
+        # Idealizing more branches (lower threshold) leaves less remaining.
+        assert fig8.mean_remaining(lo) <= fig8.mean_remaining(hi)
+        # Paper: ~34.3% of the opportunity remains after perfecting all
+        # branches above the (scaled) 1000-execution threshold.
+        assert fig8.mean_remaining(hi) > 0.2
+        for app, vals in fig8.remaining.items():
+            assert 0.0 <= vals[hi] <= 1.0
+
+
+class TestFig9:
+    def test_phase_scale_recurrence(self, lab):
+        fig9 = compute_fig9(lab)
+        hist = fig9.histogram
+        assert sum(hist.fractions) == pytest.approx(1.0)
+        # Paper: the distribution peaks at long recurrence intervals
+        # (100K-1M instructions, scaled to 10K-100K), indicating
+        # exploitable phase behaviour — i.e. the peak is NOT in the
+        # shortest bins.
+        assert hist.peak_bin() >= 3
+
+
+class TestFig10:
+    def test_register_value_structure(self, lab):
+        fig10 = compute_fig10(lab, benchmarks=["605.mcf_s", "641.leela_s",
+                                               "657.xz_s"])
+        assert len(fig10.profiles) == 3
+        for prof in fig10.profiles.values():
+            # Observation 2: recognizable structure — entropy well below
+            # the 32-bit maximum, with repeated values.
+            assert 0 < prof.mean_entropy_bits < 16
+        # Observation 1: distributions differ drastically across branches.
+        assert fig10.distinct_pairs_fraction() > 0.5
+
+
+class TestAllocationStudy:
+    def test_h2ps_thrash_tage_tables(self, lab):
+        result = compute_allocation_study(lab, benchmarks=["605.mcf_s"])
+        study = result.studies["605.mcf_s"]
+        # Paper Sec. IV-A: H2Ps allocate orders of magnitude more than
+        # non-H2Ps, re-allocate the same entries, and consume an outsized
+        # share of all allocations.
+        assert study.h2p_dominates
+        assert study.h2p.median_allocations > 5 * study.non_h2p.median_allocations
+        assert study.h2p.reallocation_ratio >= 1.0
+        assert study.h2p.mean_allocation_share > 10 * max(
+            study.non_h2p.mean_allocation_share, 1e-6
+        )
+
+
+class TestCnnStudy:
+    @pytest.fixture(scope="class")
+    def cnn(self, lab):
+        return compute_cnn_study(lab)
+
+    def test_helper_beats_tage_on_h2p(self, cnn):
+        assert cnn.helper_cross_input_accuracy > cnn.tage_accuracy_on_h2p
+
+    def test_quantized_helper_retains_uplift(self, cnn):
+        assert cnn.helper_quantized_cross_input_accuracy > cnn.tage_accuracy_on_h2p
+
+    def test_generalizes_to_unseen_input(self, cnn):
+        # Offline training on other inputs transfers (companion paper claim).
+        assert cnn.helper_cross_input_accuracy > 0.9
+
+    def test_deployed_helper_improves_end_to_end(self, cnn):
+        assert cnn.augmented_accuracy_on_h2p > cnn.tage_accuracy_on_h2p
+
+    def test_helper_is_small(self, cnn):
+        assert cnn.helper_storage_kib_2bit < 4.0

@@ -1,0 +1,49 @@
+"""Shape tests for the Sec. V-B phase-aware rare-branch study."""
+
+import pytest
+
+from repro.core.metrics import BranchStats
+from repro.experiments.phase_study import (
+    compute_phase_study,
+    rare_branch_accuracy,
+)
+
+
+class TestRareBranchAccuracy:
+    def test_filters_by_executions(self):
+        s = BranchStats()
+        s.record_bulk(1, 10, 5)  # rare, poorly predicted
+        s.record_bulk(2, 1000, 0)  # frequent, perfect
+        assert rare_branch_accuracy(s, 100) == pytest.approx(0.5)
+        assert rare_branch_accuracy(s, 10_000) == pytest.approx(
+            1 - 5 / 1010
+        )
+
+    def test_empty_is_perfect(self):
+        assert rare_branch_accuracy(BranchStats(), 100) == 1.0
+
+
+class TestPhaseStudy:
+    @pytest.fixture(scope="class")
+    def study(self, lab):
+        return compute_phase_study(lab, applications=["game", "rdbms"])
+
+    def test_helper_improves_rare_branch_accuracy(self, study):
+        # The paper's claim: long-term phase-indexed statistics recover
+        # accuracy for rare branches that online structures keep forgetting.
+        assert study.mean_rare_accuracy_delta > 0
+
+    def test_helper_does_not_hurt_overall(self, study):
+        assert study.mean_accuracy_delta > -0.002
+
+    def test_overrides_are_mostly_correct(self, study):
+        for row in study.rows:
+            if row.overrides > 50:
+                assert row.override_hit_rate > 0.55
+
+    def test_phases_detected(self, study):
+        assert all(r.phases_detected >= 2 for r in study.rows)
+
+    def test_render(self, study):
+        text = study.render()
+        assert "game" in text and "rdbms" in text

@@ -1,0 +1,36 @@
+"""Tests for the CLI experiment runner."""
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, main, run_experiments
+
+
+class TestRunner:
+    def test_every_table_and_figure_registered(self):
+        for name in [
+            "table1", "table2", "table3",
+            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+            "fig8", "fig9", "fig10",
+            "allocation", "cnn", "phase",
+        ]:
+            assert name in EXPERIMENTS
+
+    def test_unknown_experiment_rejected(self, lab):
+        with pytest.raises(ValueError):
+            run_experiments(["nope"], lab)
+
+    def test_run_selected(self, lab):
+        lines = []
+        outputs = run_experiments(["fig9"], lab, echo=lines.append)
+        assert len(outputs) == 1
+        assert "recurrence" in outputs[0]
+        assert any("fig9" in line for line in lines)
+
+    def test_cli_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "fig10" in out
+
+    def test_cli_unknown_name_errors(self):
+        with pytest.raises(SystemExit):
+            main(["definitely-not-an-experiment"])

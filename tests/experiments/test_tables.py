@@ -1,0 +1,146 @@
+"""Shape tests for the table experiments (paper Tables I-III).
+
+These assert the paper's *qualitative structure* on the quick tier: which
+benchmarks are hardest, where H2Ps concentrate, and that dependency branches
+exist within history reach but smear across positions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.table1 import compute_table1
+from repro.experiments.table2 import compute_table2
+from repro.experiments.table3 import compute_table3
+
+
+@pytest.fixture(scope="module")
+def table1(lab):
+    return compute_table1(lab, with_phases=True)
+
+
+@pytest.fixture(scope="module")
+def table2(lab):
+    return compute_table2(lab)
+
+
+@pytest.fixture(scope="module")
+def table3(lab):
+    # Three representative benchmarks keep the dataflow-tracked runs cheap.
+    return compute_table3(lab, benchmarks=["605.mcf_s", "641.leela_s", "657.xz_s"])
+
+
+class TestTable1:
+    def test_all_benchmarks_present(self, table1):
+        assert len(table1.rows) == 9
+
+    def test_mean_accuracy_in_paper_band(self, table1):
+        # Paper: 0.952 mean under TAGE-SC-L 8KB.
+        assert 0.90 <= table1.mean_accuracy <= 0.99
+
+    def test_leela_least_predictable(self, table1):
+        accs = {r.benchmark: r.avg_accuracy for r in table1.rows}
+        assert min(accs, key=accs.get) == "641.leela_s"
+
+    def test_xalancbmk_most_predictable(self, table1):
+        accs = {r.benchmark: r.avg_accuracy for r in table1.rows}
+        assert accs["623.xalancbmk_s"] >= sorted(accs.values())[-2] - 1e-9
+
+    def test_excluding_h2ps_raises_accuracy(self, table1):
+        for r in table1.rows:
+            assert r.avg_accuracy_excl_h2ps >= r.avg_accuracy - 1e-9
+
+    def test_small_number_of_h2ps_per_slice(self, table1):
+        # Paper mean: 10 H2Ps per slice cause 55.3% of mispredictions.
+        assert 1 <= table1.mean_h2ps_per_slice <= 40
+        assert 0.3 <= table1.mean_mispred_share <= 0.95
+
+    def test_leela_has_most_h2ps(self, table1):
+        counts = {r.benchmark: r.h2ps_per_slice for r in table1.rows}
+        top3 = sorted(counts, key=counts.get, reverse=True)[:3]
+        assert "641.leela_s" in top3
+
+    def test_h2ps_recur_across_slices(self, table1):
+        for r in table1.rows:
+            if r.h2ps_total:
+                assert r.h2ps_per_input >= r.h2ps_per_slice * 0.5
+
+    def test_phase_structure_detected(self, table1):
+        assert any(r.avg_phases > 1 for r in table1.rows)
+
+    def test_h2p_executions_meet_screening_floor(self, table1):
+        from repro.config import H2P_MIN_EXECUTIONS
+
+        for r in table1.rows:
+            if r.h2ps_per_slice:
+                assert r.avg_dyn_execs_per_h2p_per_slice >= H2P_MIN_EXECUTIONS
+
+    def test_render_contains_all_rows(self, table1):
+        text = table1.render()
+        for r in table1.rows:
+            assert r.benchmark in text
+
+
+class TestTable2:
+    def test_all_applications_present(self, table2):
+        assert len(table2.rows) == 6
+
+    def test_lcf_static_populations_larger_than_spec_median(self, table2, table1):
+        spec_median = np.median(
+            [r.median_static_per_slice for r in table1.rows]
+        )
+        assert table2.mean_static_branches > spec_median
+
+    def test_game_extremes(self, table2):
+        rows = {r.application: r for r in table2.rows}
+        statics = {a: r.static_branch_ips for a, r in rows.items()}
+        execs = {a: r.avg_dyn_execs_per_branch for a, r in rows.items()}
+        assert max(statics, key=statics.get) == "game"
+        assert min(execs, key=execs.get) == "game"
+        assert max(execs, key=execs.get) == "streaming_server"
+
+    def test_per_branch_accuracy_below_spec_aggregate(self, table2, table1):
+        # Paper: LCF mean per-branch accuracy 0.85 vs SPECint 0.952.
+        assert table2.mean_accuracy < table1.mean_accuracy
+
+    def test_h2p_counts_small(self, table2):
+        # Paper: 1-8 H2Ps per LCF application.
+        for r in table2.rows:
+            assert 0 <= r.num_h2ps <= 25
+
+    def test_game_least_accurate(self, table2):
+        accs = {r.application: r.avg_accuracy_per_branch for r in table2.rows}
+        assert min(accs, key=accs.get) == "game"
+
+
+class TestTable3:
+    def test_dependency_branches_found(self, table3):
+        assert len(table3.entries) == 3
+        for e in table3.entries:
+            assert e.row.num_dependency_branches >= 1
+
+    def test_positions_within_tage_reach(self, table3):
+        # Paper: max history positions fall within TAGE-SC-L 64KB's 3000.
+        for e in table3.entries:
+            assert e.row.max_history_position is not None
+            assert e.row.max_history_position <= 3000
+
+    def test_dependencies_smear_across_positions(self, table3):
+        # The paper's key Fig. 6 observation: each dependency branch
+        # appears at many different history positions.
+        for e in table3.entries:
+            assert e.spread.mean_positions_per_dependency >= 3
+
+    def test_position_occurrence_nonuniform(self, table3):
+        # "the likelihood of it again appearing in the same position is
+        # highly non-uniform": entropy below the uniform bound.
+        for e in table3.entries:
+            n = len(e.profile.positions)
+            if n > 1:
+                assert e.spread.position_entropy_bits < np.log2(n)
+
+    def test_fig6_series_nonempty(self, table3):
+        series = table3.fig6_series()
+        for name, points in series.items():
+            assert points, f"no Fig. 6 points for {name}"
+            counts = [c for _, _, c in points]
+            assert counts == sorted(counts, reverse=True)

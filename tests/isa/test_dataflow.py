@@ -1,0 +1,147 @@
+"""Dataflow taint tracking and dependency-branch analysis tests."""
+
+import pytest
+
+from repro.isa.dataflow import analyze_dependencies, top_dependency_positions
+from repro.isa.executor import Executor
+from repro.isa.instructions import (
+    Alu,
+    AluImm,
+    AluOp,
+    ArrayBase,
+    Br,
+    Cond,
+    Imm,
+    Jmp,
+    Load,
+    Nop,
+    Rand,
+)
+from repro.isa.program import ProgramBuilder
+
+
+def dependency_pair_program(gap_blocks=0):
+    """Branch A tests data[i] & 1; branch B (the "H2P") tests data[i] < 50.
+    Both read the same element: A is a ground-truth dependency of B."""
+    b = ProgramBuilder("dep")
+    b.data("d", list(range(97)))
+    entry = b.block("entry")
+    entry.instructions = [ArrayBase(1, "d"), Imm(2, 0)]
+    entry.terminator = Jmp("loop")
+    loop = b.block("loop")
+    loop.instructions = [
+        Alu(AluOp.ADD, 3, 1, 2),
+        Load(4, 3),  # the shared datum
+        AluImm(AluOp.ADD, 2, 2, 1),
+        AluImm(AluOp.MOD, 2, 2, 97),
+        AluImm(AluOp.AND, 5, 4, 1),
+        Imm(6, 0),
+    ]
+    loop.terminator = Br(Cond.NE, 5, 6, "mid", "mid")  # branch A
+    prev = b.block("mid")
+    prev.instructions = [Nop()]
+    # Optional unrelated filler branches between A and B.
+    for g in range(gap_blocks):
+        blk = b.block(f"gap{g}")
+        blk.instructions = [Rand(10, 0, 2), Imm(11, 1)]
+        nxt = b.block(f"gapj{g}")
+        nxt.instructions = [Nop()]
+        blk.terminator = Br(Cond.EQ, 10, 11, f"gapj{g}", f"gapj{g}")
+        prev.terminator = Jmp(blk.label)
+        prev = nxt
+    h2p = b.block("h2p")
+    h2p.instructions = [Imm(7, 50)]
+    h2p.terminator = Br(Cond.LT, 4, 7, "tail", "tail")  # branch B
+    prev.terminator = Jmp("h2p")
+    tail = b.block("tail")
+    tail.instructions = [Nop()]
+    tail.terminator = Jmp("loop")
+    return b.build()
+
+
+class TestTaintTracking:
+    def test_dependency_found_at_expected_position(self):
+        prog = dependency_pair_program(gap_blocks=0)
+        res = Executor(prog, track_dataflow=True).run(5000)
+        h2p_ip = prog.terminator_ip("h2p")
+        dep_ip = prog.terminator_ip("loop")
+        profile = analyze_dependencies(res.cond_branch_events, h2p_ip, 500)
+        assert profile.num_dependency_branches >= 1
+        assert dep_ip in profile.dependency_branch_ips
+        # A immediately precedes B: position 1 dominates.
+        counter = profile.positions_for(dep_ip)
+        assert counter.most_common(1)[0][0] == 1
+
+    def test_gap_branches_shift_position(self):
+        prog = dependency_pair_program(gap_blocks=2)
+        res = Executor(prog, track_dataflow=True).run(5000)
+        h2p_ip = prog.terminator_ip("h2p")
+        dep_ip = prog.terminator_ip("loop")
+        profile = analyze_dependencies(res.cond_branch_events, h2p_ip, 500)
+        counter = profile.positions_for(dep_ip)
+        # Two unrelated branches sit between A and B -> position 3.
+        assert counter.most_common(1)[0][0] == 3
+
+    def test_unrelated_branches_not_dependencies(self):
+        prog = dependency_pair_program(gap_blocks=2)
+        res = Executor(prog, track_dataflow=True).run(5000)
+        h2p_ip = prog.terminator_ip("h2p")
+        gap_ip = prog.terminator_ip("gap0")
+        profile = analyze_dependencies(res.cond_branch_events, h2p_ip, 500)
+        assert gap_ip not in profile.dependency_branch_ips
+
+    def test_immediate_operands_carry_no_taint(self):
+        b = ProgramBuilder("t")
+        e = b.block("entry")
+        e.instructions = [Imm(1, 1), Imm(2, 1)]
+        e.terminator = Br(Cond.EQ, 1, 2, "entry", "entry")
+        res = Executor(b.build(), track_dataflow=True).run(200)
+        assert all(not ev.taint for ev in res.cond_branch_events)
+
+    def test_rand_draws_are_distinct_origins(self):
+        b = ProgramBuilder("t")
+        e = b.block("entry")
+        e.instructions = [Rand(1, 0, 2), Imm(2, 0)]
+        e.terminator = Br(Cond.EQ, 1, 2, "entry", "entry")
+        res = Executor(b.build(), track_dataflow=True).run(200)
+        taints = [ev.taint for ev in res.cond_branch_events]
+        # Each execution draws fresh input: all taints distinct.
+        assert len(set(taints)) == len(taints)
+
+    def test_window_limits_lookback(self):
+        prog = dependency_pair_program(gap_blocks=0)
+        res = Executor(prog, track_dataflow=True).run(5000)
+        h2p_ip = prog.terminator_ip("h2p")
+        # Window of 1 instruction: the dependency at the prior branch is
+        # outside it.
+        profile = analyze_dependencies(res.cond_branch_events, h2p_ip, 1)
+        assert profile.num_dependency_branches == 0
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            analyze_dependencies([], 0, 0)
+
+
+class TestProfileHelpers:
+    def test_top_positions_ordering(self):
+        prog = dependency_pair_program()
+        res = Executor(prog, track_dataflow=True).run(5000)
+        h2p_ip = prog.terminator_ip("h2p")
+        profile = analyze_dependencies(res.cond_branch_events, h2p_ip, 500)
+        top = top_dependency_positions(profile, top_n=5)
+        counts = [c for _, _, c in top]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_min_max_positions(self):
+        prog = dependency_pair_program(gap_blocks=1)
+        res = Executor(prog, track_dataflow=True).run(5000)
+        h2p_ip = prog.terminator_ip("h2p")
+        profile = analyze_dependencies(res.cond_branch_events, h2p_ip, 500)
+        assert profile.min_history_position is not None
+        assert profile.min_history_position <= profile.max_history_position
+
+    def test_empty_profile(self):
+        profile = analyze_dependencies([], 123, 100)
+        assert profile.executions_analyzed == 0
+        assert profile.min_history_position is None
+        assert profile.num_dependency_branches == 0

@@ -1,0 +1,332 @@
+"""Executor semantics tests: every instruction, control flow, budgets,
+instrumentation, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import BranchKind
+from repro.isa.executor import Executor
+from repro.isa.instructions import (
+    Alu,
+    AluImm,
+    AluOp,
+    ArrayBase,
+    Br,
+    Call,
+    Cond,
+    Halt,
+    Imm,
+    Jmp,
+    Load,
+    Nop,
+    Rand,
+    Ret,
+    Store,
+    Switch,
+    WORD_MASK,
+)
+from repro.isa.program import ProgramBuilder
+
+
+def run_straightline(instructions, data=None, max_instructions=10_000, seed=0):
+    """Run instructions once, then capture registers via a store loop."""
+    b = ProgramBuilder("t")
+    if data:
+        for name, values in data.items():
+            b.data(name, values)
+    out = b.data("out", [0] * 64) if not (data and "out" in data) else "out"
+    e = b.block("entry")
+    e.instructions = list(instructions)
+    # Store r0..r31 to out[]
+    e.instructions.append(ArrayBase(63, "out"))
+    for r in range(32):
+        e.instructions.append(Store(r, 63, r))
+    e.terminator = Halt()
+    prog = b.build()
+    ex = Executor(prog, seed=seed)
+    ex.run(max_instructions)
+    # Read back the stored registers from a fresh run's memory via result?
+    # Simpler: re-execute manually — instead we re-run and inspect memory by
+    # executing with max = len so memory persists... The executor does not
+    # expose memory, so read registers through branch behaviour is overkill;
+    # here we re-implement by returning the executor-internal state through
+    # loads in a second block is unnecessary: tests use branch outcomes
+    # instead.  This helper is retained for instruction-count checks only.
+    return prog
+
+
+def branch_outcome_program(instructions, cond, s1, s2):
+    """Build a program that runs ``instructions`` then branches once per
+    restart; the branch stream reveals the comparison outcome."""
+    b = ProgramBuilder("t")
+    b.data("scratch", [0] * 8)
+    e = b.block("entry")
+    e.instructions = list(instructions)
+    t = b.block("t")
+    t.instructions = [Nop()]
+    t.terminator = Halt()
+    f = b.block("f")
+    f.instructions = [Nop()]
+    f.terminator = Halt()
+    e.terminator = Br(cond, s1, s2, "t", "f")
+    return b.build()
+
+
+def first_branch_taken(prog, seed=0, n=64):
+    res = Executor(prog, seed=seed).run(n)
+    assert len(res.trace) >= 1
+    return bool(res.trace.taken[0])
+
+
+class TestAluSemantics:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            (AluOp.ADD, 7, 5, 12),
+            (AluOp.SUB, 7, 5, 2),
+            (AluOp.SUB, 5, 7, (5 - 7) & WORD_MASK),
+            (AluOp.XOR, 0b1100, 0b1010, 0b0110),
+            (AluOp.AND, 0b1100, 0b1010, 0b1000),
+            (AluOp.OR, 0b1100, 0b1010, 0b1110),
+            (AluOp.MUL, 100000, 100000, (100000 * 100000) & WORD_MASK),
+            (AluOp.SHL, 1, 5, 32),
+            (AluOp.SHR, 32, 5, 1),
+            (AluOp.MOD, 17, 5, 2),
+            (AluOp.MIN, 3, 9, 3),
+            (AluOp.MAX, 3, 9, 9),
+        ],
+    )
+    def test_alu_reg_reg(self, op, a, b, expected):
+        prog = branch_outcome_program(
+            [Imm(1, a), Imm(2, b), Alu(op, 3, 1, 2), Imm(4, expected)],
+            Cond.EQ, 3, 4,
+        )
+        assert first_branch_taken(prog)
+
+    @pytest.mark.parametrize(
+        "op,a,imm,expected",
+        [
+            (AluOp.ADD, 7, 5, 12),
+            (AluOp.MOD, 29, 8, 5),
+            (AluOp.SHR, 0b1000, 2, 0b10),
+            (AluOp.MIN, 9, 4, 4),
+        ],
+    )
+    def test_alu_imm(self, op, a, imm, expected):
+        prog = branch_outcome_program(
+            [Imm(1, a), AluImm(op, 3, 1, imm), Imm(4, expected)],
+            Cond.EQ, 3, 4,
+        )
+        assert first_branch_taken(prog)
+
+    def test_mod_by_zero_yields_zero(self):
+        prog = branch_outcome_program(
+            [Imm(1, 9), Imm(2, 0), Alu(AluOp.MOD, 3, 1, 2), Imm(4, 0)],
+            Cond.EQ, 3, 4,
+        )
+        assert first_branch_taken(prog)
+
+    def test_shift_amount_masked(self):
+        prog = branch_outcome_program(
+            [Imm(1, 1), Imm(2, 33), Alu(AluOp.SHL, 3, 1, 2), Imm(4, 2)],
+            Cond.EQ, 3, 4,  # shift by 33 & 31 = 1 -> value 2
+        )
+        assert first_branch_taken(prog)
+
+
+class TestMemory:
+    def test_load_initial_data(self):
+        prog = branch_outcome_program(
+            [ArrayBase(1, "d"), Load(3, 1, 2), Imm(4, 30)],
+            Cond.EQ, 3, 4,
+        )
+        # rebuild with data
+        b = ProgramBuilder("t")
+        b.data("d", [10, 20, 30])
+        e = b.block("entry")
+        e.instructions = [ArrayBase(1, "d"), Load(3, 1, 2), Imm(4, 30)]
+        t = b.block("t"); t.instructions = [Nop()]; t.terminator = Halt()
+        f = b.block("f"); f.instructions = [Nop()]; f.terminator = Halt()
+        e.terminator = Br(Cond.EQ, 3, 4, "t", "f")
+        assert first_branch_taken(b.build())
+
+    def test_store_then_load(self):
+        b = ProgramBuilder("t")
+        b.data("d", [0, 0])
+        e = b.block("entry")
+        e.instructions = [
+            ArrayBase(1, "d"), Imm(2, 42), Store(2, 1, 1), Load(3, 1, 1),
+            Imm(4, 42),
+        ]
+        t = b.block("t"); t.instructions = [Nop()]; t.terminator = Halt()
+        f = b.block("f"); f.instructions = [Nop()]; f.terminator = Halt()
+        e.terminator = Br(Cond.EQ, 3, 4, "t", "f")
+        assert first_branch_taken(b.build())
+
+    def test_out_of_segment_memory_defaults_zero(self):
+        b = ProgramBuilder("t")
+        e = b.block("entry")
+        e.instructions = [Imm(1, 999), Load(3, 1), Imm(4, 0)]
+        t = b.block("t"); t.instructions = [Nop()]; t.terminator = Halt()
+        f = b.block("f"); f.instructions = [Nop()]; f.terminator = Halt()
+        e.terminator = Br(Cond.EQ, 3, 4, "t", "f")
+        assert first_branch_taken(b.build())
+
+
+class TestConditions:
+    @pytest.mark.parametrize(
+        "cond,a,b,expected",
+        [
+            (Cond.EQ, 5, 5, True),
+            (Cond.EQ, 5, 6, False),
+            (Cond.NE, 5, 6, True),
+            (Cond.LT, 5, 6, True),
+            (Cond.LT, 6, 5, False),
+            (Cond.GE, 5, 5, True),
+            (Cond.LE, 5, 5, True),
+            (Cond.GT, 6, 5, True),
+            (Cond.GT, 5, 5, False),
+        ],
+    )
+    def test_compare(self, cond, a, b, expected):
+        prog = branch_outcome_program([Imm(1, a), Imm(2, b)], cond, 1, 2)
+        assert first_branch_taken(prog) == expected
+
+
+class TestControlFlow:
+    def test_call_and_ret(self):
+        b = ProgramBuilder("t")
+        main = b.block("main")
+        main.instructions = [Imm(1, 0)]
+        main.terminator = Call("sub", ret_to="after")
+        sub = b.block("sub")
+        sub.instructions = [Imm(1, 7)]
+        sub.terminator = Ret()
+        after = b.block("after")
+        after.instructions = [Imm(2, 7)]
+        t = b.block("t"); t.instructions = [Nop()]; t.terminator = Halt()
+        f = b.block("f"); f.instructions = [Nop()]; f.terminator = Halt()
+        after.terminator = Br(Cond.EQ, 1, 2, "t", "f")
+        res = Executor(b.build()).run(64)
+        kinds = list(res.trace.kinds)
+        assert int(BranchKind.CALL) in kinds
+        assert int(BranchKind.RETURN) in kinds
+        # The conditional confirms r1 == 7 after the call returned.
+        cond_idx = kinds.index(int(BranchKind.CONDITIONAL))
+        assert bool(res.trace.taken[cond_idx])
+
+    def test_switch_selects_by_register_mod(self):
+        b = ProgramBuilder("t")
+        e = b.block("entry")
+        e.instructions = [Imm(1, 5)]  # 5 % 3 == 2 -> target "c"
+        e.terminator = Switch(1, ("a", "b", "c"))
+        for label, val in (("a", 1), ("b", 2), ("c", 3)):
+            blk = b.block(label)
+            blk.instructions = [Imm(2, val)]
+            blk.terminator = Halt()
+        prog = b.build()
+        res = Executor(prog).run(8)
+        assert res.trace.kinds[0] == int(BranchKind.INDIRECT)
+        assert res.trace.targets[0] == prog.block_base_ip["c"]
+
+    def test_halt_restarts_from_entry(self):
+        b = ProgramBuilder("t")
+        e = b.block("entry")
+        e.instructions = [Nop()]
+        e.terminator = Jmp("second")
+        s = b.block("second")
+        s.instructions = [Nop()]
+        s.terminator = Halt()
+        res = Executor(b.build()).run(100)
+        # The jump appears repeatedly: program restarted many times.
+        assert (res.trace.kinds == int(BranchKind.UNCONDITIONAL)).sum() > 5
+
+    def test_ret_with_empty_stack_goes_to_entry(self):
+        b = ProgramBuilder("t")
+        e = b.block("entry")
+        e.instructions = [Nop()]
+        e.terminator = Ret()
+        res = Executor(b.build()).run(20)
+        assert (res.trace.kinds == int(BranchKind.RETURN)).sum() > 1
+
+
+class TestBudgetAndDeterminism:
+    def make_loop(self):
+        b = ProgramBuilder("t")
+        e = b.block("entry")
+        e.instructions = [Rand(1, 0, 2), Imm(2, 1)]
+        t = b.block("t"); t.instructions = [Nop()]; t.terminator = Jmp("entry")
+        f = b.block("f"); f.instructions = [Nop()]; f.terminator = Jmp("entry")
+        e.terminator = Br(Cond.EQ, 1, 2, "t", "f")
+        return b.build()
+
+    def test_instruction_budget_respected(self):
+        prog = self.make_loop()
+        res = Executor(prog).run(1000)
+        assert 1000 <= res.instr_count < 1000 + 16
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            Executor(self.make_loop()).run(0)
+
+    def test_same_seed_same_trace(self):
+        prog = self.make_loop()
+        r1 = Executor(prog, seed=5).run(2000)
+        r2 = Executor(prog, seed=5).run(2000)
+        np.testing.assert_array_equal(r1.trace.taken, r2.trace.taken)
+
+    def test_different_seed_different_outcomes(self):
+        prog = self.make_loop()
+        r1 = Executor(prog, seed=5).run(4000)
+        r2 = Executor(prog, seed=6).run(4000)
+        assert not np.array_equal(r1.trace.taken, r2.trace.taken)
+
+    def test_instr_indices_monotone(self):
+        prog = self.make_loop()
+        res = Executor(prog, seed=1).run(3000)
+        diffs = np.diff(res.trace.instr_indices)
+        assert (diffs > 0).all()
+
+
+class TestInstrumentation:
+    def make_prog(self):
+        b = ProgramBuilder("t")
+        e = b.block("entry")
+        e.instructions = [Rand(1, 0, 2), Imm(2, 1), Imm(5, 123)]
+        t = b.block("t"); t.instructions = [Nop()]; t.terminator = Jmp("entry")
+        f = b.block("f"); f.instructions = [Nop()]; f.terminator = Jmp("entry")
+        e.terminator = Br(Cond.EQ, 1, 2, "t", "f")
+        return b.build()
+
+    def test_register_snapshots(self):
+        prog = self.make_prog()
+        ip = prog.terminator_ip("entry")
+        ex = Executor(prog, snapshot_ips=[ip], tracked_registers=[5, 1])
+        res = ex.run(500)
+        snaps = res.register_snapshots[ip]
+        assert len(snaps) == (res.trace.kinds == 0).sum()
+        for snap in snaps:
+            assert snap[0] == 123  # r5 always 123 at the branch
+            assert snap[1] in (0, 1)  # r1 is the random draw
+
+    def test_bbv_collection(self):
+        prog = self.make_prog()
+        ex = Executor(prog, bbv_interval=100)
+        res = ex.run(1000)
+        assert res.bbvs is not None
+        assert res.bbvs.shape[1] == prog.num_static_blocks()
+        assert res.bbvs.shape[0] >= 9
+        # Each interval executed roughly interval/instr-per-round blocks.
+        assert (res.bbvs.sum(axis=1) > 0).all()
+
+    def test_bbv_interval_validation(self):
+        with pytest.raises(ValueError):
+            Executor(self.make_prog(), bbv_interval=0)
+
+    def test_dataflow_events_cover_conditionals(self):
+        prog = self.make_prog()
+        ex = Executor(prog, track_dataflow=True)
+        res = ex.run(500)
+        assert len(res.cond_branch_events) == (res.trace.kinds == 0).sum()
+        seqs = [e.seq for e in res.cond_branch_events]
+        assert seqs == sorted(seqs)

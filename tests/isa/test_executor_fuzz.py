@@ -1,0 +1,133 @@
+"""Executor robustness fuzzing: random-but-valid programs never crash and
+always produce structurally consistent traces."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.types import BranchKind
+from repro.isa.executor import Executor
+from repro.isa.instructions import (
+    Alu,
+    AluImm,
+    AluOp,
+    ArrayBase,
+    Br,
+    Call,
+    Cond,
+    Halt,
+    Imm,
+    Jmp,
+    Load,
+    Nop,
+    Rand,
+    Ret,
+    Store,
+    Switch,
+)
+from repro.isa.program import ProgramBuilder
+
+
+def random_program(seed: int, num_blocks: int = 12):
+    """Generate a random, structurally valid program."""
+    rng = random.Random(seed)
+    b = ProgramBuilder(f"fuzz{seed}")
+    b.data("arr", [rng.randrange(1 << 16) for _ in range(64)])
+    labels = [f"bb{i}" for i in range(num_blocks)]
+    blocks = [b.block(lbl) for lbl in labels]
+
+    def rand_reg():
+        return rng.randrange(0, 32)
+
+    for i, blk in enumerate(blocks):
+        for _ in range(rng.randrange(0, 6)):
+            choice = rng.randrange(7)
+            if choice == 0:
+                blk.instructions.append(Imm(rand_reg(), rng.randrange(1 << 16)))
+            elif choice == 1:
+                blk.instructions.append(
+                    Alu(AluOp(rng.randrange(11)), rand_reg(), rand_reg(), rand_reg())
+                )
+            elif choice == 2:
+                blk.instructions.append(
+                    AluImm(AluOp(rng.randrange(11)), rand_reg(), rand_reg(),
+                           rng.randrange(1, 64))
+                )
+            elif choice == 3:
+                blk.instructions.append(ArrayBase(rand_reg(), "arr",
+                                                  rng.randrange(64)))
+            elif choice == 4:
+                # Base register masked into the array by a prior MOD keeps
+                # addresses bounded (not required, but exercises loads).
+                r = rand_reg()
+                blk.instructions.append(AluImm(AluOp.MOD, r, r, 64))
+                blk.instructions.append(Load(rand_reg(), r))
+            elif choice == 5:
+                r = rand_reg()
+                blk.instructions.append(AluImm(AluOp.MOD, r, r, 64))
+                blk.instructions.append(Store(rand_reg(), r))
+            else:
+                blk.instructions.append(Rand(rand_reg(), 0, 16))
+
+        term_choice = rng.randrange(10)
+        if term_choice < 4:
+            blk.terminator = Br(
+                Cond(rng.randrange(6)), rand_reg(), rand_reg(),
+                rng.choice(labels), rng.choice(labels),
+            )
+        elif term_choice < 6:
+            blk.terminator = Jmp(rng.choice(labels))
+        elif term_choice == 6:
+            blk.terminator = Call(rng.choice(labels), ret_to=rng.choice(labels))
+        elif term_choice == 7:
+            blk.terminator = Ret()
+        elif term_choice == 8:
+            blk.terminator = Switch(
+                rand_reg(),
+                tuple(rng.choice(labels) for _ in range(rng.randrange(1, 5))),
+            )
+        else:
+            blk.terminator = Halt()
+    return b.build()
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_random_programs_execute_consistently(seed):
+    prog = random_program(seed)
+    res = Executor(prog, seed=seed).run(20_000)
+    trace = res.trace
+    # Budget respected (within one block of overshoot).
+    assert 20_000 <= res.instr_count < 20_000 + 64
+    # Instruction indices strictly increase.
+    if len(trace) > 1:
+        assert (np.diff(trace.instr_indices) > 0).all()
+    # Kinds are valid; non-conditional records are always "taken".
+    assert set(np.unique(trace.kinds)).issubset(
+        {int(k) for k in BranchKind}
+    )
+    non_cond = trace.kinds != int(BranchKind.CONDITIONAL)
+    assert trace.taken[non_cond].all()
+    # Every conditional IP is a real terminator IP of the program.
+    term_ips = {prog.terminator_ip(b.label) for b in prog.blocks}
+    assert set(trace.ips[trace.conditional_mask].tolist()).issubset(term_ips)
+
+
+@pytest.mark.parametrize("seed", [3, 7, 11])
+def test_random_programs_deterministic(seed):
+    prog = random_program(seed)
+    r1 = Executor(prog, seed=99).run(10_000)
+    r2 = Executor(prog, seed=99).run(10_000)
+    np.testing.assert_array_equal(r1.trace.ips, r2.trace.ips)
+    np.testing.assert_array_equal(r1.trace.taken, r2.trace.taken)
+
+
+@pytest.mark.parametrize("seed", [0, 5])
+def test_random_programs_with_instrumentation(seed):
+    prog = random_program(seed)
+    res = Executor(
+        prog, seed=seed, track_dataflow=True, bbv_interval=2_000
+    ).run(10_000)
+    assert res.cond_branch_events is not None
+    assert len(res.cond_branch_events) == int(res.trace.conditional_mask.sum())
+    assert res.bbvs is not None and res.bbvs.shape[1] == len(prog.blocks)

@@ -1,0 +1,61 @@
+"""Validation tests for the instruction dataclasses."""
+
+import pytest
+
+from repro.isa.instructions import (
+    Alu,
+    AluImm,
+    AluOp,
+    ArrayBase,
+    Br,
+    Cond,
+    Imm,
+    Load,
+    Rand,
+    Store,
+    Switch,
+    NUM_REGISTERS,
+)
+
+
+class TestRegisterValidation:
+    def test_imm_rejects_bad_register(self):
+        with pytest.raises(ValueError):
+            Imm(NUM_REGISTERS, 0)
+
+    def test_alu_rejects_bad_sources(self):
+        with pytest.raises(ValueError):
+            Alu(AluOp.ADD, 0, -1, 2)
+
+    def test_aluimm_valid(self):
+        AluImm(AluOp.XOR, 1, 2, 0xFF)  # no exception
+
+    def test_load_store(self):
+        Load(1, 2, 4)
+        Store(1, 2, 4)
+        with pytest.raises(ValueError):
+            Load(1, NUM_REGISTERS)
+
+    def test_array_base(self):
+        ArrayBase(3, "arr", 2)
+        with pytest.raises(ValueError):
+            ArrayBase(NUM_REGISTERS, "arr")
+
+
+class TestRand:
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            Rand(0, 5, 5)
+        Rand(0, 0, 2)
+
+
+class TestTerminators:
+    def test_branch_registers(self):
+        Br(Cond.LT, 1, 2, "a", "b")
+        with pytest.raises(ValueError):
+            Br(Cond.EQ, 64, 0, "a", "b")
+
+    def test_switch_needs_targets(self):
+        with pytest.raises(ValueError):
+            Switch(0, ())
+        Switch(0, ("a",))

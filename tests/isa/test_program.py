@@ -1,0 +1,112 @@
+"""Tests for program construction and layout."""
+
+import pytest
+
+from repro.isa.instructions import Br, Cond, Halt, Imm, Jmp, Nop
+from repro.isa.program import BasicBlock, Program, ProgramBuilder
+
+
+def tiny_builder():
+    b = ProgramBuilder("t")
+    e = b.block("entry")
+    e.instructions = [Imm(1, 5)]
+    e.terminator = Jmp("body")
+    body = b.block("body")
+    body.instructions = [Nop()]
+    body.terminator = Halt()
+    return b
+
+
+class TestProgramBuilder:
+    def test_entry_defaults_to_first_block(self):
+        prog = tiny_builder().build()
+        assert prog.entry == "entry"
+
+    def test_set_entry(self):
+        b = tiny_builder()
+        b.set_entry("body")
+        assert b.build().entry == "body"
+
+    def test_set_entry_unknown(self):
+        with pytest.raises(ValueError):
+            tiny_builder().set_entry("missing")
+
+    def test_duplicate_label_rejected(self):
+        b = tiny_builder()
+        with pytest.raises(ValueError):
+            b.block("entry")
+
+    def test_duplicate_data_rejected(self):
+        b = tiny_builder()
+        b.data("arr", [1, 2])
+        with pytest.raises(ValueError):
+            b.data("arr", [3])
+
+    def test_fresh_labels_unique(self):
+        b = ProgramBuilder("t")
+        labels = {b.fresh_label() for _ in range(100)}
+        assert len(labels) == 100
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ValueError):
+            ProgramBuilder("t").build()
+
+
+class TestProgram:
+    def test_unknown_target_rejected(self):
+        b = ProgramBuilder("t")
+        e = b.block("entry")
+        e.terminator = Jmp("nowhere")
+        with pytest.raises(ValueError):
+            b.build()
+
+    def test_branch_targets_validated(self):
+        b = ProgramBuilder("t")
+        e = b.block("entry")
+        e.terminator = Br(Cond.EQ, 0, 0, "entry", "missing")
+        with pytest.raises(ValueError):
+            b.build()
+
+    def test_ips_stable_and_distinct(self):
+        prog = tiny_builder().build()
+        ip_entry = prog.terminator_ip("entry")
+        ip_body = prog.terminator_ip("body")
+        assert ip_entry != ip_body
+        # Rebuilding the same structure assigns the same IPs.
+        prog2 = tiny_builder().build()
+        assert prog2.terminator_ip("entry") == ip_entry
+
+    def test_terminator_ip_accounts_for_instructions(self):
+        prog = tiny_builder().build()
+        base = prog.block_base_ip["entry"]
+        # One instruction before the terminator -> terminator at base + 4.
+        assert prog.terminator_ip("entry") == base + 4
+
+    def test_data_layout_concatenated(self):
+        b = tiny_builder()
+        b.data("a", [1, 2, 3])
+        b.data("b", [7])
+        prog = b.build()
+        assert prog.arrays["a"].base == 0
+        assert prog.arrays["a"].length == 3
+        assert prog.arrays["b"].base == 3
+        assert prog.initial_memory == [1, 2, 3, 7]
+        assert prog.memory_size == 4
+
+    def test_data_values_masked_to_32_bits(self):
+        b = tiny_builder()
+        b.data("a", [2**40 + 5])
+        prog = b.build()
+        assert prog.initial_memory[0] == 5
+
+    def test_static_branch_counts(self):
+        b = ProgramBuilder("t")
+        e = b.block("entry")
+        e.terminator = Br(Cond.EQ, 0, 0, "x", "y")
+        x = b.block("x")
+        x.terminator = Jmp("entry")
+        y = b.block("y")
+        y.terminator = Halt()
+        prog = b.build()
+        assert prog.num_static_conditional_branches() == 1
+        assert prog.num_static_blocks() == 3

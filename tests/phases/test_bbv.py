@@ -1,0 +1,60 @@
+"""Tests for BBV preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro.phases.bbv import normalize_bbvs, prepare_bbvs, random_project
+
+
+class TestNormalize:
+    def test_rows_sum_to_one(self):
+        bbvs = np.array([[2, 2, 4], [1, 0, 0]], dtype=float)
+        out = normalize_bbvs(bbvs)
+        np.testing.assert_allclose(out.sum(axis=1), [1.0, 1.0])
+
+    def test_zero_row_stays_zero(self):
+        out = normalize_bbvs(np.array([[0, 0], [1, 1]], dtype=float))
+        np.testing.assert_allclose(out[0], [0, 0])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            normalize_bbvs(np.zeros(5))
+
+
+class TestRandomProject:
+    def test_reduces_dimension(self):
+        v = np.random.default_rng(0).random((10, 100))
+        out = random_project(v, dimensions=15)
+        assert out.shape == (10, 15)
+
+    def test_small_input_passthrough(self):
+        v = np.random.default_rng(0).random((10, 8))
+        out = random_project(v, dimensions=15)
+        assert out.shape == (10, 8)
+
+    def test_deterministic(self):
+        v = np.random.default_rng(0).random((5, 50))
+        np.testing.assert_array_equal(
+            random_project(v, seed=1), random_project(v, seed=1)
+        )
+
+    def test_preserves_separation(self):
+        # Two well-separated clusters stay separated after projection.
+        rng = np.random.default_rng(0)
+        a = rng.normal(0, 0.01, (20, 200))
+        b = rng.normal(1, 0.01, (20, 200))
+        proj = random_project(np.vstack([a, b]), dimensions=10)
+        da = np.linalg.norm(proj[:20] - proj[:20].mean(axis=0), axis=1).mean()
+        cross = np.linalg.norm(proj[:20].mean(axis=0) - proj[20:].mean(axis=0))
+        assert cross > 5 * da
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_project(np.zeros((2, 10)), dimensions=0)
+
+
+class TestPrepare:
+    def test_pipeline(self):
+        bbvs = np.random.default_rng(0).integers(0, 100, (8, 300))
+        out = prepare_bbvs(bbvs, dimensions=15)
+        assert out.shape == (8, 15)

@@ -1,0 +1,63 @@
+"""Tests for SimPoint-style clustering."""
+
+import numpy as np
+import pytest
+
+from repro.phases.simpoint import cluster_phases
+
+
+def clustered_data(k, per_cluster=12, dim=5, spread=0.02, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(-5, 5, (k, dim))
+    rows = []
+    labels = []
+    for j in range(k):
+        rows.append(centers[j] + rng.normal(0, spread, (per_cluster, dim)))
+        labels.extend([j] * per_cluster)
+    return np.vstack(rows), np.array(labels)
+
+
+class TestClusterPhases:
+    @pytest.mark.parametrize("k", [2, 3, 5])
+    def test_recovers_well_separated_clusters(self, k):
+        data, truth = clustered_data(k)
+        result = cluster_phases(data, max_k=8)
+        assert result.num_phases == k
+        # Cluster assignments must be consistent with the ground truth
+        # (same-truth rows share a label).
+        for j in range(k):
+            member_labels = set(result.labels[truth == j].tolist())
+            assert len(member_labels) == 1
+
+    def test_single_cluster(self):
+        data, _ = clustered_data(1, per_cluster=20)
+        result = cluster_phases(data, max_k=6)
+        assert result.num_phases == 1
+
+    def test_simpoints_one_per_phase(self):
+        data, _ = clustered_data(3)
+        result = cluster_phases(data, max_k=6)
+        assert len(result.simpoints) == result.num_phases
+        # Each SimPoint belongs to its phase.
+        for j, sp in enumerate(result.simpoints):
+            assert 0 <= sp < len(data)
+
+    def test_phase_sizes_sum(self):
+        data, _ = clustered_data(4)
+        result = cluster_phases(data, max_k=8)
+        assert result.phase_sizes().sum() == len(data)
+
+    def test_max_k_clamped_to_data(self):
+        data = np.random.default_rng(0).random((3, 4))
+        result = cluster_phases(data, max_k=10)
+        assert result.num_phases <= 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cluster_phases(np.zeros((0, 3)))
+
+    def test_deterministic(self):
+        data, _ = clustered_data(3)
+        a = cluster_phases(data, max_k=6)
+        b = cluster_phases(data, max_k=6)
+        np.testing.assert_array_equal(a.labels, b.labels)

@@ -1,0 +1,75 @@
+"""Edge cases across the trace/simulation seam."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import BranchStats
+from repro.core.types import BranchKind, BranchTrace
+from repro.pipeline.simulator import simulate_trace
+from repro.predictors.simple import AlwaysTaken, Bimodal
+
+
+class TestEmptyAndDegenerateTraces:
+    def test_empty_trace_simulates(self):
+        trace = BranchTrace(ips=[], taken=[], instr_count=100)
+        res = simulate_trace(trace, Bimodal())
+        assert res.stats.total_executions == 0
+        assert res.accuracy == 1.0
+
+    def test_empty_trace_with_slices(self):
+        trace = BranchTrace(ips=[], taken=[], instr_count=100)
+        res = simulate_trace(trace, Bimodal(), slice_instructions=50)
+        assert len(res.slice_stats) >= 1
+        assert all(s.total_executions == 0 for s in res.slice_stats)
+
+    def test_all_non_conditional_trace(self):
+        trace = BranchTrace(
+            ips=[1, 2, 3], taken=[True] * 3,
+            kinds=[int(BranchKind.CALL)] * 3,
+        )
+        res = simulate_trace(trace, Bimodal())
+        assert res.stats.total_executions == 0
+
+    def test_single_branch_trace(self):
+        trace = BranchTrace(ips=[0x40], taken=[True])
+        res = simulate_trace(trace, AlwaysTaken())
+        assert res.stats.total_executions == 1
+        assert res.mispredictions == 0
+
+    def test_warmup_exceeding_trace_scores_nothing(self):
+        trace = BranchTrace(ips=[0x40] * 5, taken=[True] * 5)
+        res = simulate_trace(trace, AlwaysTaken(), warmup_branches=100)
+        assert res.stats.total_executions == 0
+
+    def test_empty_slices_of_empty_stats(self):
+        s = BranchStats()
+        assert len(s) == 0
+        assert s.mean_executions_per_branch() == 0.0
+        assert s.mean_accuracy_per_branch() == 1.0
+
+
+class TestSliceBoundaryPrecision:
+    def test_branch_exactly_on_boundary_goes_to_next_slice(self):
+        # Branch at instruction index 100 with slice length 100 belongs to
+        # slice 1 (instr_start=100), not slice 0.
+        trace = BranchTrace(
+            ips=[0x40, 0x40], taken=[True, True],
+            instr_indices=[99, 100], instr_count=200,
+        )
+        res = simulate_trace(trace, AlwaysTaken(), slice_instructions=100)
+        assert res.slice_stats[0].total_executions == 1
+        assert res.slice_stats[1].total_executions == 1
+
+    def test_multiple_empty_slices_skipped_correctly(self):
+        # A long gap of non-branch instructions spans several slices.
+        trace = BranchTrace(
+            ips=[0x40, 0x40], taken=[True, True],
+            instr_indices=[10, 450], instr_count=500,
+        )
+        res = simulate_trace(trace, AlwaysTaken(), slice_instructions=100)
+        assert len(res.slice_stats) == 5
+        assert res.slice_stats[0].total_executions == 1
+        assert res.slice_stats[4].total_executions == 1
+        assert all(
+            s.total_executions == 0 for s in res.slice_stats[1:4]
+        )

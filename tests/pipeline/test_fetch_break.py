@@ -1,0 +1,63 @@
+"""Tests for the fetch-break (taken-branch-density) IPC model."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import BranchKind, BranchTrace
+from repro.pipeline.config import SKYLAKE_LIKE
+from repro.pipeline.model import FetchBreakModel, IntervalIpcModel
+
+
+def trace_with_taken_density(n_branches, gap, taken_every):
+    """Branches every ``gap`` instructions; every ``taken_every``-th taken."""
+    ips = [0x40 + 16 * (i % 7) for i in range(n_branches)]
+    taken = [i % taken_every == 0 for i in range(n_branches)]
+    instr = [i * gap for i in range(n_branches)]
+    return BranchTrace(
+        ips=ips, taken=taken, instr_indices=instr,
+        instr_count=n_branches * gap,
+    )
+
+
+class TestFetchBreakModel:
+    def test_taken_dense_code_is_slower(self):
+        model = FetchBreakModel(SKYLAKE_LIKE)
+        dense = trace_with_taken_density(1000, gap=5, taken_every=1)
+        sparse = trace_with_taken_density(1000, gap=5, taken_every=10)
+        assert model.cycles(dense, 0) > model.cycles(sparse, 0)
+
+    def test_misprediction_penalty_applied(self):
+        model = FetchBreakModel(SKYLAKE_LIKE)
+        t = trace_with_taken_density(100, gap=5, taken_every=4)
+        assert model.cycles(t, 10) == pytest.approx(
+            model.cycles(t, 0) + 10 * SKYLAKE_LIKE.flush_penalty
+        )
+
+    def test_non_conditional_branches_break_fetch(self):
+        base = trace_with_taken_density(100, gap=5, taken_every=1000)
+        redirecting = BranchTrace(
+            ips=base.ips, taken=base.taken,
+            kinds=[int(BranchKind.CALL)] * len(base.ips),
+            instr_indices=base.instr_indices,
+            instr_count=base.instr_count,
+        )
+        model = FetchBreakModel(SKYLAKE_LIKE)
+        assert model.cycles(redirecting, 0) > model.cycles(base, 0)
+
+    def test_wider_pipeline_fewer_cycles(self):
+        t = trace_with_taken_density(500, gap=8, taken_every=3)
+        narrow = FetchBreakModel(SKYLAKE_LIKE).cycles(t, 0)
+        wide = FetchBreakModel(SKYLAKE_LIKE.scaled(4)).cycles(t, 0)
+        assert wide < narrow
+
+    def test_agrees_with_interval_model_order_of_magnitude(self):
+        t = trace_with_taken_density(1000, gap=6, taken_every=3)
+        fb = FetchBreakModel(SKYLAKE_LIKE).evaluate(t, 50)
+        iv = IntervalIpcModel(SKYLAKE_LIKE).evaluate(t.instr_count, 50)
+        assert 0.3 < fb.ipc / iv.ipc < 3.0
+
+    def test_validation(self):
+        t = trace_with_taken_density(10, gap=5, taken_every=2)
+        model = FetchBreakModel(SKYLAKE_LIKE)
+        with pytest.raises(ValueError):
+            model.cycles(t, -1)

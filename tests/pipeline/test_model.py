@@ -1,0 +1,159 @@
+"""Tests for the pipeline configuration and IPC models."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pipeline.config import SCALING_FACTORS, SKYLAKE_LIKE, PipelineConfig
+from repro.pipeline.model import (
+    EventFrontEndModel,
+    IntervalIpcModel,
+    ipc_gap_closed,
+    relative_ipc,
+)
+
+
+class TestPipelineConfig:
+    def test_scaled_changes_only_scale(self):
+        c = SKYLAKE_LIKE.scaled(4)
+        assert c.scale == 4
+        assert c.base_width == SKYLAKE_LIKE.base_width
+
+    def test_width_and_rob_scale(self):
+        c = SKYLAKE_LIKE.scaled(8)
+        assert c.width == 8 * SKYLAKE_LIKE.base_width
+        assert c.rob == 8 * SKYLAKE_LIKE.base_rob
+
+    def test_issue_cpi_scales_inverse(self):
+        assert SKYLAKE_LIKE.scaled(2).issue_cpi == pytest.approx(
+            SKYLAKE_LIKE.issue_cpi / 2
+        )
+
+    def test_mem_cpi_scales_sublinearly(self):
+        one = SKYLAKE_LIKE.scaled(1).mem_cpi
+        four = SKYLAKE_LIKE.scaled(4).mem_cpi
+        assert four < one
+        assert four > one / 4  # sub-linear improvement
+
+    def test_serial_cpi_scale_invariant(self):
+        assert SKYLAKE_LIKE.scaled(32).serial_cpi == SKYLAKE_LIKE.serial_cpi
+
+    def test_flush_penalty_grows_with_scale(self):
+        assert SKYLAKE_LIKE.scaled(32).flush_penalty > SKYLAKE_LIKE.flush_penalty
+
+    def test_base_cpi_decreases_with_scale(self):
+        cpis = [SKYLAKE_LIKE.scaled(s).base_cpi for s in SCALING_FACTORS]
+        assert cpis == sorted(cpis, reverse=True)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(scale=0)
+
+
+class TestIntervalModel:
+    def test_perfect_faster_than_imperfect(self):
+        m = IntervalIpcModel(SKYLAKE_LIKE)
+        assert m.ipc(10_000, 0) > m.ipc(10_000, 100)
+
+    def test_cycles_linear_in_mispredictions(self):
+        m = IntervalIpcModel(SKYLAKE_LIKE)
+        c0 = m.cycles(10_000, 0)
+        c1 = m.cycles(10_000, 10)
+        c2 = m.cycles(10_000, 20)
+        assert c2 - c1 == pytest.approx(c1 - c0)
+
+    def test_evaluate_result_fields(self):
+        r = IntervalIpcModel(SKYLAKE_LIKE).evaluate(10_000, 50)
+        assert r.mpki == pytest.approx(5.0)
+        assert r.ipc == pytest.approx(10_000 / r.cycles)
+        assert r.cpi == pytest.approx(1 / r.ipc)
+
+    def test_validation(self):
+        m = IntervalIpcModel(SKYLAKE_LIKE)
+        with pytest.raises(ValueError):
+            m.cycles(0, 0)
+        with pytest.raises(ValueError):
+            m.cycles(10, 20)
+
+    @given(
+        mispredictions=st.integers(0, 1000),
+        scale=st.sampled_from(SCALING_FACTORS),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_ipc_positive_and_bounded_property(self, mispredictions, scale):
+        m = IntervalIpcModel(SKYLAKE_LIKE.scaled(scale))
+        ipc = m.ipc(10_000, mispredictions)
+        assert 0 < ipc
+        # IPC cannot exceed the issue-width bound.
+        assert ipc <= SKYLAKE_LIKE.base_width * scale + 1e-9
+
+
+class TestDiminishingReturns:
+    """The qualitative content of Fig. 1: scaling the pipeline without
+    better branch prediction produces diminishing returns."""
+
+    def test_imperfect_bp_saturates(self):
+        n, mis = 1_000_000, 9_000  # ~0.9% misprediction-per-instruction
+        rel = [
+            relative_ipc(SKYLAKE_LIKE, s, n, mis) for s in SCALING_FACTORS
+        ]
+        gains = np.diff(rel)
+        assert (gains[1:] <= gains[:-1] + 1e-9).all()  # shrinking steps
+        # Perfect BP keeps scaling much further.
+        rel_perfect = relative_ipc(SKYLAKE_LIKE, 32, n, 0, baseline_mispredictions=mis)
+        assert rel_perfect > rel[-1] * 1.5
+
+    def test_opportunity_grows_with_scale(self):
+        n, mis = 1_000_000, 9_000
+        opp = []
+        for s in (1, 4):
+            perfect = relative_ipc(SKYLAKE_LIKE, s, n, 0, baseline_mispredictions=mis)
+            base = relative_ipc(SKYLAKE_LIKE, s, n, mis)
+            opp.append(perfect / base - 1)
+        assert opp[1] > opp[0]
+
+
+class TestEventModel:
+    def test_agrees_with_interval_when_no_mispredictions(self):
+        ev = EventFrontEndModel(SKYLAKE_LIKE)
+        iv = IntervalIpcModel(SKYLAKE_LIKE)
+        assert ev.cycles(10_000, []) == pytest.approx(iv.cycles(10_000, 0))
+
+    def test_charges_more_than_interval_model(self):
+        # The ramp cost makes the event model strictly more pessimistic.
+        positions = list(range(0, 10_000, 500))
+        ev = EventFrontEndModel(SKYLAKE_LIKE).cycles(10_000, positions)
+        iv = IntervalIpcModel(SKYLAKE_LIKE).cycles(10_000, len(positions))
+        assert ev > iv
+
+    def test_bursty_mispredictions_cheaper_than_spread(self):
+        # Clustered flushes overlap their ramps (segments shorter than the
+        # ramp charge less), so bursty placement costs fewer cycles.
+        n, k = 100_000, 20
+        spread = list(range(0, n, n // k))[:k]
+        bursty = list(range(0, k * 10, 10))
+        m = EventFrontEndModel(SKYLAKE_LIKE)
+        assert m.cycles(n, bursty) < m.cycles(n, spread)
+
+    def test_position_validation(self):
+        m = EventFrontEndModel(SKYLAKE_LIKE)
+        with pytest.raises(ValueError):
+            m.cycles(100, [200])
+
+
+class TestGapClosed:
+    def test_full_closure(self):
+        assert ipc_gap_closed(SKYLAKE_LIKE, 1, 10_000, 100, 0) == pytest.approx(1.0)
+
+    def test_no_closure(self):
+        assert ipc_gap_closed(SKYLAKE_LIKE, 1, 10_000, 100, 100) == pytest.approx(0.0)
+
+    def test_partial_monotone(self):
+        vals = [
+            ipc_gap_closed(SKYLAKE_LIKE, 1, 10_000, 100, m)
+            for m in (80, 50, 20)
+        ]
+        assert vals == sorted(vals)

@@ -1,0 +1,94 @@
+"""Tests for the trace-driven simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import BranchKind, BranchTrace
+from repro.pipeline.simulator import simulate_trace
+from repro.predictors.oracle import Perfect
+from repro.predictors.simple import AlwaysTaken, Bimodal, NeverTaken
+
+
+def alternating_trace(n=100, stride=4):
+    return BranchTrace(
+        ips=[0x40] * n,
+        taken=[i % 2 == 0 for i in range(n)],
+        instr_indices=[i * stride for i in range(n)],
+        instr_count=n * stride,
+    )
+
+
+class TestSimulateTrace:
+    def test_counts_every_conditional(self):
+        t = alternating_trace(100)
+        res = simulate_trace(t, AlwaysTaken())
+        assert res.stats.total_executions == 100
+        assert res.stats.total_mispredictions == 50
+
+    def test_perfect_predictor_never_mispredicts(self):
+        t = alternating_trace(100)
+        res = simulate_trace(t, Perfect())
+        assert res.mispredictions == 0
+        assert res.accuracy == 1.0
+
+    def test_non_conditional_not_scored(self):
+        t = BranchTrace(
+            ips=[1, 2, 3],
+            taken=[True] * 3,
+            kinds=[0, 2, 1],  # conditional, call, jump
+        )
+        res = simulate_trace(t, AlwaysTaken())
+        assert res.stats.total_executions == 1
+
+    def test_warmup_excluded_from_scoring(self):
+        t = alternating_trace(100)
+        res = simulate_trace(t, AlwaysTaken(), warmup_branches=20)
+        assert res.stats.total_executions == 80
+
+    def test_slice_stats_partition_totals(self):
+        t = alternating_trace(100, stride=4)  # 400 instructions
+        res = simulate_trace(t, AlwaysTaken(), slice_instructions=100)
+        assert len(res.slice_stats) == 4
+        assert sum(s.total_executions for s in res.slice_stats) == 100
+        assert (
+            sum(s.total_mispredictions for s in res.slice_stats)
+            == res.mispredictions
+        )
+
+    def test_mispredict_positions_recorded(self):
+        t = alternating_trace(10)
+        res = simulate_trace(t, AlwaysTaken(), record_mispredict_positions=True)
+        # Odd iterations are not-taken -> mispredicted by AlwaysTaken.
+        np.testing.assert_array_equal(
+            res.mispredict_positions, [4, 12, 20, 28, 36]
+        )
+
+    def test_positions_none_by_default(self):
+        res = simulate_trace(alternating_trace(10), AlwaysTaken())
+        assert res.mispredict_positions is None
+
+    def test_mpki(self):
+        t = alternating_trace(100, stride=10)  # 1000 instructions
+        res = simulate_trace(t, AlwaysTaken())
+        assert res.mpki == pytest.approx(50.0)
+
+    def test_predictor_actually_trains(self):
+        # A bimodal fed a constant branch converges: later slices have
+        # fewer mispredictions than the first.
+        n = 200
+        t = BranchTrace(
+            ips=[0x40] * n, taken=[True] * n,
+            instr_indices=list(range(0, 4 * n, 4)), instr_count=4 * n,
+        )
+        res = simulate_trace(t, Bimodal(), slice_instructions=200)
+        assert res.slice_stats[0].total_mispredictions >= \
+            res.slice_stats[-1].total_mispredictions
+        assert res.mispredictions <= 2
+
+    def test_invalid_slice_length(self):
+        with pytest.raises(ValueError):
+            simulate_trace(alternating_trace(10), AlwaysTaken(), slice_instructions=0)
+
+    def test_predictor_name_reported(self):
+        res = simulate_trace(alternating_trace(4), NeverTaken())
+        assert res.predictor_name == "never-taken"

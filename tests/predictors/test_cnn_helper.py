@@ -1,0 +1,163 @@
+"""Tests for the CNN helper predictor."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import BranchTrace
+from repro.predictors.cnn_helper import (
+    CnnHelperConfig,
+    CnnHelperPredictor,
+    HelperAugmentedPredictor,
+    encode_token,
+    extract_branch_dataset,
+)
+from repro.predictors.simple import NeverTaken
+
+
+def xor_dataset(n=3000, history=12, seed=0, jitter=0):
+    """Histories mimicking the noisy-xor H2P: two marker branches (tokens
+    10/11 and 20/21, low bit = direction) appear amid noise tokens, and the
+    outcome is the XOR of their direction bits.  Learnable by the conv+pool
+    architecture when the conv window spans the marker pair."""
+    rng = np.random.default_rng(seed)
+    noise = rng.choice([40, 42, 44, 46, 48], size=(n, history)).astype(np.uint8)
+    X = noise
+    a = rng.integers(0, 2, n)
+    b = rng.integers(0, 2, n)
+    pos_a = 3 + (rng.integers(0, jitter + 1, n) if jitter else 0)
+    pos_b = 7 + (rng.integers(0, jitter + 1, n) if jitter else 0)
+    X[np.arange(n), pos_a] = 10 + a
+    X[np.arange(n), pos_b] = 20 + b
+    y = (a ^ b).astype(np.int8)
+    return X, y
+
+
+class TestEncoding:
+    def test_token_range(self):
+        for ip in (0, 4, 0xFFF8):
+            for taken in (False, True):
+                t = encode_token(ip, taken)
+                assert 0 <= t < 256
+                assert t & 1 == int(taken)
+
+    def test_extract_dataset_shapes(self):
+        n = 50
+        ips = [0x40 if i % 2 else 0x80 for i in range(n)]
+        taken = [i % 3 == 0 for i in range(n)]
+        trace = BranchTrace(ips=ips, taken=taken)
+        X, y = extract_branch_dataset(trace, 0x40, history_length=8)
+        assert X.shape[1] == 8
+        assert len(X) == len(y)
+        assert len(X) > 0
+
+    def test_extract_skips_short_history(self):
+        trace = BranchTrace(ips=[0x40] * 5, taken=[True] * 5)
+        X, y = extract_branch_dataset(trace, 0x40, history_length=10)
+        assert len(X) == 0
+
+    def test_history_length_validation(self):
+        trace = BranchTrace(ips=[1], taken=[True])
+        with pytest.raises(ValueError):
+            extract_branch_dataset(trace, 1, history_length=0)
+
+
+class TestTraining:
+    def test_loss_decreases(self):
+        X, y = xor_dataset()
+        h = CnnHelperPredictor(0x40, CnnHelperConfig(
+            history_length=12, conv_width=6, num_filters=16, epochs=6))
+        losses = h.train(X, y)
+        assert losses[-1] < losses[0]
+
+    def test_learns_positional_xor(self):
+        X, y = xor_dataset(n=5000)
+        cfg = CnnHelperConfig(history_length=12, conv_width=6,
+                              num_filters=24, epochs=25)
+        h = CnnHelperPredictor(0x40, cfg)
+        h.train(X[:4000], y[:4000])
+        assert h.accuracy(X[4000:], y[4000:]) > 0.9
+
+    def test_empty_training_data_rejected(self):
+        h = CnnHelperPredictor(1, CnnHelperConfig(epochs=1))
+        with pytest.raises(ValueError):
+            h.train(np.zeros((0, 42), dtype=np.uint8), np.zeros(0))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CnnHelperConfig(history_length=2, conv_width=5)
+
+
+class TestQuantization:
+    def test_two_bit_levels(self):
+        X, y = xor_dataset(n=800)
+        h = CnnHelperPredictor(0x40, CnnHelperConfig(
+            history_length=12, conv_width=6, num_filters=8, epochs=3))
+        h.train(X, y)
+        h.quantize(2)
+        # Per output channel, at most 4 distinct levels.
+        for col in range(h.conv_w.shape[1]):
+            assert len(np.unique(h.conv_w[:, col])) <= 4
+        for col in range(h.embedding.shape[1]):
+            assert len(np.unique(h.embedding[:, col])) <= 4
+        assert h.quantized
+
+    def test_quantized_accuracy_with_finetune(self):
+        X, y = xor_dataset(n=5000)
+        cfg = CnnHelperConfig(history_length=12, conv_width=6,
+                              num_filters=24, epochs=25)
+        h = CnnHelperPredictor(0x40, cfg)
+        h.train(X[:4000], y[:4000])
+        h.quantize(2, finetune_histories=X[:4000], finetune_outcomes=y[:4000])
+        assert h.accuracy(X[4000:], y[4000:]) > 0.75
+
+    def test_bits_validation(self):
+        h = CnnHelperPredictor(1)
+        with pytest.raises(ValueError):
+            h.quantize(0)
+
+    def test_storage_scales_with_bits(self):
+        h = CnnHelperPredictor(1)
+        assert h.storage_bits(4) == 2 * h.storage_bits(2)
+
+
+class TestHelperAugmentedPredictor:
+    def _trained_helper(self, history=8):
+        cfg = CnnHelperConfig(history_length=history, conv_width=4,
+                              num_filters=8, epochs=4)
+        h = CnnHelperPredictor(0x40, cfg)
+        # Train "always taken" for its branch.
+        X = np.random.default_rng(0).integers(0, 256, (400, history), dtype=np.uint8)
+        y = np.ones(400)
+        h.train(X, y)
+        return h
+
+    def test_helper_owns_its_branch(self):
+        helper = self._trained_helper()
+        aug = HelperAugmentedPredictor(NeverTaken(), [helper])
+        # Warm the history window.
+        for i in range(10):
+            aug.predict(0x80)
+            aug.update(0x80, True)
+        assert aug.predict(0x40) is True  # helper says taken; base never
+
+    def test_base_used_before_history_warm(self):
+        helper = self._trained_helper()
+        aug = HelperAugmentedPredictor(NeverTaken(), [helper])
+        assert aug.predict(0x40) is False  # not enough history yet
+
+    def test_other_branches_use_base(self):
+        helper = self._trained_helper()
+        aug = HelperAugmentedPredictor(NeverTaken(), [helper])
+        for i in range(10):
+            aug.predict(0x80)
+            aug.update(0x80, True)
+        assert aug.predict(0x80) is False
+
+    def test_needs_helpers(self):
+        with pytest.raises(ValueError):
+            HelperAugmentedPredictor(NeverTaken(), [])
+
+    def test_storage_includes_helpers(self):
+        helper = self._trained_helper()
+        aug = HelperAugmentedPredictor(NeverTaken(), [helper])
+        assert aug.storage_bits() == helper.storage_bits()

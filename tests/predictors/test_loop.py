@@ -1,0 +1,110 @@
+"""Tests for the loop predictor and IMLI counter."""
+
+import pytest
+
+from repro.predictors.loop import ImliCounter, LoopPredictor
+
+
+def run_loop(predictor, trips, repetitions, ip=0x4000, score_after_rep=40):
+    mis = n = 0
+    for rep in range(repetitions):
+        for i in range(trips):
+            taken = i < trips - 1
+            pred = predictor.predict(ip)
+            if rep >= score_after_rep:
+                n += 1
+                mis += pred != taken
+            predictor.update(ip, taken, mispredicted=pred != taken)
+    return 1 - mis / n if n else 1.0
+
+
+class TestLoopPredictor:
+    def test_perfect_on_fixed_trip_loop(self):
+        assert run_loop(LoopPredictor(), trips=12, repetitions=120) == 1.0
+
+    def test_perfect_on_short_loop(self):
+        assert run_loop(LoopPredictor(), trips=3, repetitions=120) == 1.0
+
+    def test_adapts_to_changed_trip_count(self):
+        p = LoopPredictor()
+        run_loop(p, trips=10, repetitions=60, score_after_rep=60)
+        # Trip count changes: after re-learning, accuracy recovers.
+        acc = run_loop(p, trips=7, repetitions=80, score_after_rep=40)
+        assert acc > 0.9
+
+    def test_confidence_flag(self):
+        p = LoopPredictor()
+        run_loop(p, trips=8, repetitions=60, score_after_rep=60)
+        p.predict(0x4000)
+        assert p.is_confident
+
+    def test_not_confident_for_unknown_branch(self):
+        p = LoopPredictor()
+        p.predict(0x9999)
+        assert not p.is_confident
+
+    def test_irregular_branch_never_confident(self):
+        import random
+
+        rng = random.Random(0)
+        p = LoopPredictor()
+        confident_predictions = 0
+        for _ in range(2000):
+            pred = p.predict(0x4000)
+            confident_predictions += p.is_confident
+            t = rng.random() < 0.5
+            p.update(0x4000, t, mispredicted=pred != t)
+        assert confident_predictions < 200
+
+    def test_storage_bits(self):
+        p = LoopPredictor(log_entries=6)
+        assert p.storage_bits() == 64 * (14 + 28 + 2 + 3 + 1)
+
+    def test_reset(self):
+        p = LoopPredictor()
+        run_loop(p, trips=5, repetitions=60, score_after_rep=60)
+        p.reset()
+        p.predict(0x4000)
+        assert not p.is_confident
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            LoopPredictor(log_entries=0)
+
+
+class TestImliCounter:
+    def test_counts_backward_taken_runs(self):
+        c = ImliCounter()
+        for _ in range(5):
+            c.observe(ip=0x100, target=0x40, taken=True)  # backward taken
+        assert c.count == 5
+
+    def test_reset_on_exit(self):
+        c = ImliCounter()
+        for _ in range(3):
+            c.observe(ip=0x100, target=0x40, taken=True)
+        c.observe(ip=0x100, target=0x40, taken=False)
+        assert c.count == 0
+
+    def test_new_backward_branch_restarts(self):
+        c = ImliCounter()
+        for _ in range(3):
+            c.observe(ip=0x100, target=0x40, taken=True)
+        c.observe(ip=0x200, target=0x80, taken=True)
+        assert c.count == 1
+
+    def test_forward_branches_ignored(self):
+        c = ImliCounter()
+        c.observe(ip=0x100, target=0x40, taken=True)
+        c.observe(ip=0x100, target=0x200, taken=True)  # forward
+        assert c.count == 1
+
+    def test_saturation(self):
+        c = ImliCounter(max_count=8)
+        for _ in range(100):
+            c.observe(ip=0x100, target=0x40, taken=True)
+        assert c.count == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ImliCounter(max_count=0)

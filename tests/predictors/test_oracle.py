@@ -1,0 +1,72 @@
+"""Tests for the oracle predictors."""
+
+import pytest
+
+from repro.predictors.oracle import Perfect, PerfectFilter
+from repro.predictors.simple import NeverTaken
+
+
+class TestPerfect:
+    def test_always_correct(self):
+        p = Perfect()
+        for taken in [True, False, True, True]:
+            p.set_outcome(taken)
+            assert p.predict(0x40) == taken
+            p.update(0x40, taken)
+
+    def test_requires_outcome(self):
+        p = Perfect()
+        with pytest.raises(RuntimeError):
+            p.predict(0x40)
+
+    def test_outcome_consumed_by_update(self):
+        p = Perfect()
+        p.set_outcome(True)
+        p.predict(1)
+        p.update(1, True)
+        with pytest.raises(RuntimeError):
+            p.predict(1)
+
+    def test_zero_storage(self):
+        assert Perfect().storage_bits() == 0
+
+
+class TestPerfectFilter:
+    def test_idealized_ips_always_correct(self):
+        p = PerfectFilter(NeverTaken(), perfect_ips=[0x40])
+        p.set_outcome(True)
+        assert p.predict(0x40) is True  # inner would say False
+        p.update(0x40, True)
+
+    def test_other_ips_use_inner(self):
+        p = PerfectFilter(NeverTaken(), perfect_ips=[0x40])
+        p.set_outcome(True)
+        assert p.predict(0x80) is False  # NeverTaken
+        p.update(0x80, True)
+
+    def test_predicate_variant(self):
+        p = PerfectFilter(NeverTaken(), predicate=lambda ip: ip < 0x100)
+        p.set_outcome(True)
+        assert p.predict(0x80) is True
+        p.update(0x80, True)
+        p.set_outcome(True)
+        assert p.predict(0x200) is False
+        p.update(0x200, True)
+
+    def test_exactly_one_selector_required(self):
+        with pytest.raises(ValueError):
+            PerfectFilter(NeverTaken())
+        with pytest.raises(ValueError):
+            PerfectFilter(NeverTaken(), perfect_ips=[1], predicate=lambda ip: True)
+
+    def test_missing_outcome_raises_on_idealized_branch(self):
+        p = PerfectFilter(NeverTaken(), perfect_ips=[0x40])
+        with pytest.raises(RuntimeError):
+            p.predict(0x40)
+
+    def test_storage_delegates_to_inner(self):
+        from repro.predictors.simple import Bimodal
+
+        inner = Bimodal(log_entries=8)
+        p = PerfectFilter(inner, perfect_ips=[1])
+        assert p.storage_bits() == inner.storage_bits()

@@ -1,0 +1,113 @@
+"""Tests for the perceptron predictors."""
+
+import random
+
+import pytest
+
+from repro.core.types import BranchKind
+from repro.predictors.perceptron import PathPerceptron, Perceptron
+
+
+def drive(predictor, stream, score_after=0):
+    correct = total = 0
+    for i, (ip, taken) in enumerate(stream):
+        pred = predictor.predict(ip)
+        if i >= score_after:
+            total += 1
+            correct += pred == taken
+        predictor.update(ip, taken)
+    return correct / total if total else 1.0
+
+
+def correlated_stream(n, noise_branches=4, seed=0):
+    """Target branch = XOR of two specific earlier branches, with noise
+    branches in between — the case perceptrons handle by weighting
+    positions (noise positions get near-zero weights)."""
+    rng = random.Random(seed)
+    stream = []
+    for _ in range(n):
+        a = rng.random() < 0.5
+        b = rng.random() < 0.5
+        stream.append((0x100, a))
+        stream.append((0x200, b))
+        for j in range(noise_branches):
+            stream.append((0x300 + j * 16, rng.random() < 0.5))
+        stream.append((0x500, a))  # perfectly correlated with position k
+    return stream
+
+
+class TestPerceptron:
+    def test_learns_positional_correlation(self):
+        p = Perceptron(history_length=16)
+        stream = correlated_stream(1500)
+        # Score only the target branch.
+        correct = total = 0
+        for i, (ip, taken) in enumerate(stream):
+            pred = p.predict(ip)
+            if ip == 0x500 and i > len(stream) // 4:
+                total += 1
+                correct += pred == taken
+            p.update(ip, taken)
+        assert correct / total > 0.95
+
+    def test_learns_bias(self):
+        p = Perceptron()
+        stream = [(0x40, True)] * 500
+        assert drive(p, stream, score_after=50) == 1.0
+
+    def test_theta_formula(self):
+        p = Perceptron(history_length=32)
+        assert p.theta == int(1.93 * 32 + 14)
+
+    def test_storage_bits(self):
+        p = Perceptron(log_entries=9, history_length=32, weight_bits=8)
+        assert p.storage_bits() == (1 << 9) * 33 * 8 + 32
+
+    def test_weights_saturate(self):
+        p = Perceptron(log_entries=4, history_length=4, weight_bits=4)
+        for _ in range(1000):
+            p.predict(0)
+            p.update(0, True)
+        flat = [w for row in p._weights for w in row]
+        assert max(flat) <= 7 and min(flat) >= -8
+
+    def test_reset(self):
+        p = Perceptron()
+        p.predict(1)
+        p.update(1, True)
+        p.reset()
+        assert all(w == 0 for row in p._weights for w in row)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            Perceptron(weight_bits=1)
+
+
+class TestPathPerceptron:
+    def test_learns_correlation(self):
+        p = PathPerceptron(history_length=16)
+        stream = correlated_stream(1200)
+        correct = total = 0
+        for i, (ip, taken) in enumerate(stream):
+            pred = p.predict(ip)
+            if ip == 0x500 and i > len(stream) // 4:
+                total += 1
+                correct += pred == taken
+            p.update(ip, taken)
+        assert correct / total > 0.9
+
+    def test_note_branch_shifts_path(self):
+        p = PathPerceptron(history_length=4)
+        p.note_branch(0x40, 0x80, BranchKind.CALL)
+        assert p._path[0] == 0x40
+        assert p._dir_history[0] == 1
+
+    def test_storage_positive(self):
+        assert PathPerceptron().storage_bits() > 0
+
+    def test_reset(self):
+        p = PathPerceptron()
+        p.predict(1)
+        p.update(1, False)
+        p.reset()
+        assert all(v == 0 for v in p._dir_history)

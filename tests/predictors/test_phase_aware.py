@@ -1,0 +1,129 @@
+"""Tests for the phase recognizer and phase-bias helper (Sec. V-B)."""
+
+import random
+
+import pytest
+
+from repro.predictors.phase_aware import PhaseBiasHelper, PhaseRecognizer
+from repro.predictors.simple import Bimodal, NeverTaken
+
+
+def feed_footprint(rec, ips, repetitions=1):
+    for _ in range(repetitions):
+        for ip in ips:
+            rec.observe(ip)
+
+
+class TestPhaseRecognizer:
+    def test_distinct_footprints_get_distinct_phases(self):
+        rec = PhaseRecognizer(window=64)
+        region_a = [0x1000 + 16 * i for i in range(40)]
+        region_b = [0x9000 + 16 * i for i in range(40)]
+        feed_footprint(rec, region_a, repetitions=2)
+        phase_a = rec.current_phase
+        feed_footprint(rec, region_b, repetitions=2)
+        phase_b = rec.current_phase
+        assert phase_a != phase_b
+        assert rec.num_phases >= 2
+
+    def test_returning_phase_recognized(self):
+        # Window-aligned dwells: each region occupies whole windows, so
+        # signatures are not contaminated across the transition.
+        rec = PhaseRecognizer(window=80)
+        region_a = [0x1000 + 16 * i for i in range(40)]
+        region_b = [0x9000 + 16 * i for i in range(40)]
+        feed_footprint(rec, region_a, repetitions=4)
+        phase_a = rec.current_phase
+        feed_footprint(rec, region_b, repetitions=4)
+        feed_footprint(rec, region_a, repetitions=4)
+        assert rec.current_phase == phase_a
+        assert rec.num_phases == 2  # no duplicate phase allocated
+
+    def test_similar_footprints_share_phase(self):
+        rec = PhaseRecognizer(window=64)
+        region = [0x1000 + 16 * i for i in range(60)]
+        feed_footprint(rec, region, repetitions=2)
+        # Slightly perturbed footprint: same phase.
+        feed_footprint(rec, region[:55] + [0xFF00, 0xFF10], repetitions=2)
+        assert rec.num_phases == 1
+
+    def test_phase_capacity_bounded(self):
+        rec = PhaseRecognizer(window=16, max_phases=4)
+        rng = random.Random(0)
+        for k in range(20):
+            region = [rng.randrange(1 << 20) * 4 for _ in range(30)]
+            feed_footprint(rec, region)
+        assert rec.num_phases <= 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhaseRecognizer(window=4)
+        with pytest.raises(ValueError):
+            PhaseRecognizer(similarity_threshold=1.5)
+
+
+class TestPhaseBiasHelper:
+    def _phased_stream(self, reps=40, phase_len=80):
+        """Two phases: in phase A branch X is always taken; in phase B it is
+        always not-taken.  A per-IP base predictor keeps re-learning; the
+        phase-conditioned helper does not."""
+        stream = []
+        region_a = [0x1000 + 16 * i for i in range(phase_len)]
+        region_b = [0x9000 + 16 * i for i in range(phase_len)]
+        for rep in range(reps):
+            region, direction = (
+                (region_a, True) if rep % 2 == 0 else (region_b, False)
+            )
+            for _ in range(3):
+                for ip in region:
+                    stream.append((ip, True))  # phase footprint filler
+                stream.append((0x500, direction))  # the phase-flipping branch
+        return stream
+
+    def test_phase_conditioning_beats_flat_counters(self):
+        stream = self._phased_stream()
+        helper = PhaseBiasHelper(Bimodal(), PhaseRecognizer(window=64))
+        base = Bimodal()
+
+        def target_acc(p):
+            correct = total = 0
+            for i, (ip, taken) in enumerate(stream):
+                pred = p.predict(ip)
+                if ip == 0x500 and i > len(stream) // 2:
+                    total += 1
+                    correct += pred == taken
+                p.update(ip, taken)
+            return correct / total
+
+        acc_helper = target_acc(helper)
+        acc_base = target_acc(base)
+        assert acc_helper > acc_base
+        assert helper.overrides > 0
+        assert helper.override_correct / helper.overrides > 0.6
+
+    def test_no_overrides_without_utility(self):
+        # If the base predictor is already perfect, the helper never earns
+        # utility and never overrides.
+        helper = PhaseBiasHelper(NeverTaken())
+        for _ in range(2000):
+            helper.predict(0x40)
+            helper.update(0x40, False)
+        assert helper.overrides == 0
+
+    def test_storage_accounts_for_tables(self):
+        base = Bimodal(log_entries=8)
+        helper = PhaseBiasHelper(base, log_entries=10)
+        assert helper.storage_bits() > base.storage_bits() + (1 << 10) * 8
+
+    def test_reset(self):
+        helper = PhaseBiasHelper(Bimodal())
+        for i in range(500):
+            helper.predict(0x40)
+            helper.update(0x40, i % 2 == 0)
+        helper.reset()
+        assert helper.overrides == 0
+        assert all(c == 0 for c in helper._conf)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhaseBiasHelper(Bimodal(), log_entries=0)

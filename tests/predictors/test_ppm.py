@@ -1,0 +1,62 @@
+"""Tests for the PPM predictor."""
+
+import random
+
+import pytest
+
+from repro.predictors.ppm import PPM
+
+
+def drive(predictor, stream, score_after=0):
+    correct = total = 0
+    for i, (ip, taken) in enumerate(stream):
+        pred = predictor.predict(ip)
+        if i >= score_after:
+            total += 1
+            correct += pred == taken
+        predictor.update(ip, taken)
+    return correct / total if total else 1.0
+
+
+class TestPPM:
+    def test_learns_periodic_pattern(self):
+        stream = [(0x40, i % 5 != 4) for i in range(4000)]
+        assert drive(PPM(), stream, score_after=1000) > 0.97
+
+    def test_learns_long_period_with_long_tables(self):
+        # Period 24 needs a lookback >= 24; the default max length 64 covers it.
+        pattern = [True] * 23 + [False]
+        stream = [(0x40, pattern[i % 24]) for i in range(6000)]
+        assert drive(PPM(), stream, score_after=2000) > 0.9
+
+    def test_update_requires_predict(self):
+        p = PPM()
+        with pytest.raises(RuntimeError):
+            p.update(1, True)
+
+    def test_history_lengths_must_increase(self):
+        with pytest.raises(ValueError):
+            PPM(history_lengths=(4, 4, 8))
+        with pytest.raises(ValueError):
+            PPM(history_lengths=())
+
+    def test_storage_accounts_tables(self):
+        p = PPM(history_lengths=(2, 4), log_entries=6, tag_bits=8,
+                log_base_entries=8)
+        expected = (1 << 8) * 2 + 4 + 2 * (1 << 6) * (8 + 3)
+        assert p.storage_bits() == expected
+
+    def test_random_stream_near_chance(self):
+        rng = random.Random(0)
+        stream = [(0x40, rng.random() < 0.5) for _ in range(4000)]
+        acc = drive(PPM(), stream, score_after=1000)
+        assert 0.4 < acc < 0.6
+
+    def test_reset(self):
+        p = PPM()
+        for i in range(50):
+            p.predict(0x40)
+            p.update(0x40, i % 2 == 0)
+        p.reset()
+        assert p._history == 0
+        assert all(t == -1 for table in p.tables for t in table.tags)

@@ -1,0 +1,128 @@
+"""Tests for the baseline predictors."""
+
+import random
+
+import pytest
+
+from repro.predictors.simple import (
+    AlwaysTaken,
+    Bimodal,
+    GShare,
+    NeverTaken,
+    TwoLevelLocal,
+)
+
+
+def drive(predictor, stream, score_after=0):
+    """Feed (ip, taken) pairs; return accuracy after warmup."""
+    correct = total = 0
+    for i, (ip, taken) in enumerate(stream):
+        pred = predictor.predict(ip)
+        if i >= score_after:
+            total += 1
+            correct += pred == taken
+        predictor.update(ip, taken)
+    return correct / total if total else 1.0
+
+
+def biased_stream(ip, p_taken, n, seed=0):
+    rng = random.Random(seed)
+    return [(ip, rng.random() < p_taken) for _ in range(n)]
+
+
+class TestStaticPredictors:
+    def test_always_taken(self):
+        assert drive(AlwaysTaken(), [(1, True)] * 10) == 1.0
+        assert drive(AlwaysTaken(), [(1, False)] * 10) == 0.0
+
+    def test_never_taken(self):
+        assert drive(NeverTaken(), [(1, False)] * 10) == 1.0
+
+    def test_zero_storage(self):
+        assert AlwaysTaken().storage_bits() == 0
+        assert NeverTaken().storage_bits() == 0
+
+
+class TestBimodal:
+    def test_learns_bias(self):
+        acc = drive(Bimodal(), biased_stream(0x40, 0.9, 2000), score_after=100)
+        assert acc > 0.85
+
+    def test_learns_never_taken(self):
+        acc = drive(Bimodal(), [(0x40, False)] * 100, score_after=4)
+        assert acc == 1.0
+
+    def test_alternating_pattern_is_hard(self):
+        stream = [(0x40, i % 2 == 0) for i in range(200)]
+        acc = drive(Bimodal(), stream, score_after=10)
+        assert acc < 0.7  # counters cannot track alternation
+
+    def test_storage(self):
+        assert Bimodal(log_entries=10, counter_bits=2).storage_bits() == 2048
+
+    def test_reset(self):
+        p = Bimodal()
+        for _ in range(10):
+            p.predict(0x40)
+            p.update(0x40, True)
+        p.reset()
+        assert all(v == 0 for v in p._table)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            Bimodal(log_entries=0)
+
+
+class TestGShare:
+    def test_learns_history_pattern(self):
+        # Direction = previous direction of the same branch (period 2),
+        # which global-history indexing captures but bimodal cannot.
+        stream = [(0x40, (i // 2) % 2 == 0) for i in range(3000)]
+        acc = drive(GShare(), stream, score_after=500)
+        assert acc > 0.95
+
+    def test_beats_bimodal_on_correlated_branches(self):
+        rng = random.Random(1)
+        stream = []
+        last = True
+        for _ in range(3000):
+            last = rng.random() < 0.5
+            stream.append((0x100, last))
+            stream.append((0x200, not last))  # perfectly anti-correlated
+        g = drive(GShare(), stream, score_after=500)
+        b = drive(Bimodal(), stream, score_after=500)
+        assert g > b + 0.2
+
+    def test_history_bits_validation(self):
+        with pytest.raises(ValueError):
+            GShare(log_entries=8, history_bits=9)
+
+    def test_storage(self):
+        p = GShare(log_entries=13, history_bits=13)
+        assert p.storage_bits() == (1 << 13) * 2 + 13
+
+    def test_reset(self):
+        p = GShare()
+        p.predict(1)
+        p.update(1, True)
+        p.reset()
+        assert p._history == 0
+
+
+class TestTwoLevelLocal:
+    def test_learns_per_branch_period(self):
+        # Branch X: period 3 (T T N), branch Y: period 2 (T N) interleaved.
+        stream = []
+        for i in range(3000):
+            stream.append((0x40, i % 3 != 2))
+            stream.append((0x80, i % 2 == 0))
+        acc = drive(TwoLevelLocal(), stream, score_after=500)
+        assert acc > 0.95
+
+    def test_storage(self):
+        p = TwoLevelLocal(log_l1_entries=10, local_bits=10)
+        assert p.storage_bits() == (1 << 10) * 10 + (1 << 10) * 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TwoLevelLocal(log_l1_entries=0)

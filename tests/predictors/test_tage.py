@@ -1,0 +1,203 @@
+"""Tests for the TAGE predictor."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.types import BranchKind
+from repro.predictors.tage import (
+    Tage,
+    TageConfig,
+    _Folded,
+    geometric_history_lengths,
+)
+
+
+def small_tage(**kwargs):
+    cfg = TageConfig.uniform(
+        num_tables=6, log_entries=7, min_history=4, max_history=128, **kwargs
+    )
+    return Tage(cfg)
+
+
+def drive(predictor, stream, score_after=0):
+    correct = total = 0
+    for i, (ip, taken) in enumerate(stream):
+        pred = predictor.predict(ip)
+        if i >= score_after:
+            total += 1
+            correct += pred == taken
+        predictor.update(ip, taken)
+    return correct / total if total else 1.0
+
+
+class TestGeometricLengths:
+    def test_endpoints(self):
+        lengths = geometric_history_lengths(5, 1000, 10)
+        assert lengths[0] == 5
+        assert lengths[-1] == 1000
+
+    def test_strictly_increasing(self):
+        lengths = geometric_history_lengths(2, 64, 12)
+        assert all(b > a for a, b in zip(lengths, lengths[1:]))
+
+    def test_single_table(self):
+        assert geometric_history_lengths(7, 100, 1) == [7]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            geometric_history_lengths(0, 10, 3)
+        with pytest.raises(ValueError):
+            geometric_history_lengths(10, 5, 3)
+        with pytest.raises(ValueError):
+            geometric_history_lengths(5, 10, 0)
+
+
+class TestFoldedHistory:
+    @given(
+        bits=st.lists(st.integers(0, 1), min_size=1, max_size=300),
+        orig=st.integers(2, 60),
+        comp=st.integers(2, 12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_incremental_matches_naive(self, bits, orig, comp):
+        """The incrementally folded register equals folding the true last
+        ``orig`` history bits from scratch — for any push sequence."""
+        folded = _Folded(orig, comp)
+        window = []
+        for bit in bits:
+            outbit = window[orig - 1] if len(window) >= orig else 0
+            folded.update(bit, outbit)
+            window.insert(0, bit)
+            if len(window) > orig:
+                window.pop()
+        raw = 0
+        for bit in reversed(window):  # oldest first -> newest ends at LSB
+            raw = (raw << 1) | bit
+        expected, tmp = 0, raw
+        while tmp:
+            expected ^= tmp & ((1 << comp) - 1)
+            tmp >>= comp
+        assert folded.comp == expected
+
+
+class TestTageConfig:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            TageConfig(num_tables=3, log_entries=(8,) * 2, tag_bits=(8,) * 3)
+
+    def test_uniform_tag_widths_monotone(self):
+        cfg = TageConfig.uniform(8, 9, 4, 200)
+        assert list(cfg.tag_bits) == sorted(cfg.tag_bits)
+
+
+class TestTageLearning:
+    def test_learns_bias(self):
+        assert drive(small_tage(), [(0x40, True)] * 400, score_after=50) > 0.99
+
+    def test_learns_short_pattern(self):
+        pattern = [True, True, False, True, False]
+        stream = [(0x40, pattern[i % 5]) for i in range(4000)]
+        assert drive(small_tage(), stream, score_after=1000) > 0.98
+
+    def test_learns_long_pattern_via_long_tables(self):
+        pattern = [True] * 30 + [False] * 2
+        stream = [(0x40, pattern[i % 32]) for i in range(8000)]
+        assert drive(small_tage(), stream, score_after=3000) > 0.95
+
+    def test_random_stream_near_chance(self):
+        rng = random.Random(3)
+        stream = [(0x40, rng.random() < 0.5) for _ in range(6000)]
+        acc = drive(small_tage(), stream, score_after=1000)
+        assert 0.4 < acc < 0.62
+
+    def test_correlated_branches(self):
+        rng = random.Random(5)
+        stream = []
+        for _ in range(3000):
+            a = rng.random() < 0.5
+            stream.append((0x100, a))
+            stream.append((0x200, a))  # copies the previous outcome
+        p = small_tage()
+        correct = total = 0
+        for i, (ip, taken) in enumerate(stream):
+            pred = p.predict(ip)
+            if ip == 0x200 and i > 1000:
+                total += 1
+                correct += pred == taken
+            p.update(ip, taken)
+        assert correct / total > 0.95
+
+    def test_cold_branch_predicted_not_taken(self):
+        p = small_tage()
+        assert p.predict(0xABCD) is False
+
+    def test_note_branch_advances_history(self):
+        p = small_tage()
+        before = list(p._ci)
+        p.note_branch(0x44, 0x80, BranchKind.CALL)
+        after = list(p._ci)
+        assert before != after
+
+
+class TestAllocationInstrumentation:
+    def test_disabled_by_default(self):
+        assert small_tage().allocation_stats is None
+
+    def test_allocations_recorded_for_hard_branch(self):
+        cfg = TageConfig.uniform(6, 7, 4, 128)
+        p = Tage(cfg, track_allocations=True)
+        rng = random.Random(0)
+        for _ in range(3000):
+            t = rng.random() < 0.5
+            p.predict(0x40)
+            p.update(0x40, t)
+        stats = p.allocation_stats
+        assert stats.allocations_for(0x40) > 50
+        assert stats.unique_entries_for(0x40) > 10
+        # Reallocation: more allocation events than unique entries.
+        assert stats.allocations_for(0x40) >= stats.unique_entries_for(0x40)
+
+    def test_easy_branch_allocates_little(self):
+        cfg = TageConfig.uniform(6, 7, 4, 128)
+        p = Tage(cfg, track_allocations=True)
+        for _ in range(3000):
+            p.predict(0x40)
+            p.update(0x40, True)
+        assert p.allocation_stats.allocations_for(0x40) < 10
+
+
+class TestTageHousekeeping:
+    def test_storage_bits_formula(self):
+        cfg = TageConfig.uniform(4, 6, 4, 64, log_base_entries=8)
+        p = Tage(cfg)
+        expected = (1 << 8) * 2
+        for t in range(4):
+            expected += (1 << 6) * (cfg.tag_bits[t] + 3 + 2)
+        expected += cfg.max_history + 16 + 4 + 32
+        assert p.storage_bits() == expected
+
+    def test_reset_restores_cold_state(self):
+        p = small_tage()
+        for i in range(500):
+            p.predict(0x40)
+            p.update(0x40, i % 3 == 0)
+        p.reset()
+        assert p.predict(0x40) is False
+        assert all(t == -1 for table in p._tags for t in table)
+
+    def test_deterministic(self):
+        def run():
+            p = small_tage()
+            rng = random.Random(9)
+            out = []
+            for _ in range(1000):
+                ip = 0x40 + 16 * rng.randrange(8)
+                t = rng.random() < 0.5
+                out.append(p.predict(ip))
+                p.update(ip, t)
+            return out
+
+        assert run() == run()

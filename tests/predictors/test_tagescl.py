@@ -1,0 +1,162 @@
+"""Tests for the TAGE-SC-L composite and its size presets."""
+
+import random
+
+import pytest
+
+from repro.core.storage import StorageBudget
+from repro.predictors.statistical_corrector import StatisticalCorrector
+from repro.predictors.tagescl import (
+    STORAGE_PRESETS_KIB,
+    TageScL,
+    make_tage_sc_l,
+)
+
+
+def drive(predictor, stream, score_after=0):
+    correct = total = 0
+    for i, (ip, taken) in enumerate(stream):
+        pred = predictor.predict(ip)
+        if i >= score_after:
+            total += 1
+            correct += pred == taken
+        predictor.update(ip, taken)
+    return correct / total if total else 1.0
+
+
+class TestPresets:
+    @pytest.mark.parametrize("kib", STORAGE_PRESETS_KIB)
+    def test_fits_budget(self, kib):
+        p = make_tage_sc_l(kib)
+        assert StorageBudget(kib, slack=0.05).fits(p)
+
+    def test_storage_monotone_in_budget(self):
+        sizes = [make_tage_sc_l(kib).storage_bits() for kib in STORAGE_PRESETS_KIB]
+        assert sizes == sorted(sizes)
+
+    def test_names_embed_budget(self):
+        assert make_tage_sc_l(8).name == "tage-sc-l-8kb"
+
+    def test_history_reach(self):
+        assert make_tage_sc_l(8).tage.config.max_history == 1000
+        assert make_tage_sc_l(64).tage.config.max_history == 3000
+
+    def test_too_small_budget_rejected(self):
+        with pytest.raises(ValueError):
+            make_tage_sc_l(4)
+
+
+class TestComposite:
+    def test_loop_predictor_rescues_noisy_counted_loop(self):
+        # Random branches between loop iterations pollute the global
+        # history, defeating TAGE's pattern matching on the loop exit; the
+        # IP-keyed loop predictor is immune and rescues it.
+        rng = random.Random(0)
+        trips = 37
+        stream = []
+        for rep in range(120):
+            for i in range(trips):
+                stream.append((0x40, i != trips - 1))
+                for _ in range(4):
+                    stream.append((0x1000 + rng.randrange(50) * 16,
+                                   rng.random() < 0.5))
+        def loop_only_acc(p):
+            correct = total = 0
+            for i, (ip, taken) in enumerate(stream):
+                pred = p.predict(ip)
+                if ip == 0x40 and i > len(stream) // 2:
+                    total += 1
+                    correct += pred == taken
+                p.update(ip, taken)
+            return correct / total
+        acc_with = loop_only_acc(make_tage_sc_l(8))
+        acc_without = loop_only_acc(make_tage_sc_l(8, enable_loop=False))
+        assert acc_with > acc_without
+        assert acc_with > 0.99
+
+    def test_sc_can_be_disabled(self):
+        p = make_tage_sc_l(8, enable_sc=False)
+        assert p.sc is None
+        assert drive(p, [(0x40, True)] * 200, score_after=20) > 0.99
+
+    def test_component_flags_reduce_storage(self):
+        full = make_tage_sc_l(8).storage_bits()
+        no_sc = make_tage_sc_l(8, enable_sc=False).storage_bits()
+        no_loop = make_tage_sc_l(8, enable_loop=False).storage_bits()
+        assert no_sc < full
+        assert no_loop < full
+
+    def test_mixed_stream_learning(self):
+        p = make_tage_sc_l(8)
+        rng = random.Random(2)
+        stream = []
+        for i in range(4000):
+            stream.append((0x100, i % 4 != 3))  # periodic
+            stream.append((0x200, True))  # constant
+            stream.append((0x300, rng.random() < 0.9))  # biased
+        acc = drive(p, stream, score_after=3000)
+        assert acc > 0.92
+
+    def test_reset(self):
+        p = make_tage_sc_l(8)
+        for i in range(300):
+            p.predict(0x40)
+            p.update(0x40, True)
+        p.reset()
+        assert p.predict(0x40) is False
+
+    def test_predict_with_target_feeds_imli(self):
+        p = make_tage_sc_l(8)
+        for _ in range(5):
+            p.predict_with_target(0x100, 0x40)
+            p.update(0x100, True)
+        assert p.imli.count == 5
+
+    def test_allocation_tracking_passthrough(self):
+        p = make_tage_sc_l(8, track_allocations=True)
+        assert p.allocation_stats is not None
+
+
+class TestStatisticalCorrector:
+    def test_inverts_when_strongly_disagreeing(self):
+        sc = StatisticalCorrector(initial_threshold=4)
+        # Train: outcome always False while TAGE claims True.
+        for _ in range(300):
+            sc.classify(
+                0x40, tage_pred=True, tage_confident=False,
+                ghist_bits=0, local_hist=0, imli_count=0,
+            )
+            sc.train(False)
+        final = sc.classify(
+            0x40, tage_pred=True, tage_confident=False,
+            ghist_bits=0, local_hist=0, imli_count=0,
+        )
+        assert final is False
+
+    def test_respects_confident_tage(self):
+        sc = StatisticalCorrector()
+        pred = sc.classify(
+            0x40, tage_pred=True, tage_confident=True,
+            ghist_bits=0, local_hist=0, imli_count=0,
+        )
+        assert pred is True  # untrained SC does not override
+
+    def test_threshold_adapts_upward_on_bad_overrides(self):
+        sc = StatisticalCorrector(initial_threshold=4)
+        start = sc.threshold
+        # Make the SC confidently wrong repeatedly.
+        for _ in range(3000):
+            sc.classify(
+                0x40, tage_pred=False, tage_confident=False,
+                ghist_bits=0, local_hist=0, imli_count=0,
+            )
+            sc.train(sc._last_sum < 0)  # outcome always opposes the SC sum
+        assert sc.threshold >= start
+
+    def test_storage_bits(self):
+        sc = StatisticalCorrector(log_entries=8, history_folds=(4, 8))
+        assert sc.storage_bits() == 5 * (1 << 8) * 6 + 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StatisticalCorrector(initial_threshold=0)

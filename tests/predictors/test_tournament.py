@@ -1,0 +1,122 @@
+"""Tests for the tournament and O-GEHL predictors."""
+
+import random
+
+import pytest
+
+from repro.predictors.gehl import OGehl
+from repro.predictors.simple import Bimodal, GShare, NeverTaken, TwoLevelLocal
+from repro.predictors.tournament import Tournament
+
+
+def drive(predictor, stream, score_after=0):
+    correct = total = 0
+    for i, (ip, taken) in enumerate(stream):
+        pred = predictor.predict(ip)
+        if i >= score_after:
+            total += 1
+            correct += pred == taken
+        predictor.update(ip, taken)
+    return correct / total if total else 1.0
+
+
+class TestTournament:
+    def test_chooser_learns_better_component(self):
+        # Branch X is locally periodic (local two-level wins); branch Y is
+        # globally correlated (gshare wins).  The tournament should match
+        # the best component on each.
+        stream = []
+        rng = random.Random(0)
+        for i in range(4000):
+            stream.append((0x40, i % 3 != 2))
+            flip = rng.random() < 0.5
+            stream.append((0x80, flip))
+            stream.append((0xC0, flip))  # copies the previous outcome
+        t = Tournament()
+        acc_t = drive(t, stream, score_after=3000)
+        acc_first = drive(TwoLevelLocal(), stream, score_after=3000)
+        acc_second = drive(GShare(), stream, score_after=3000)
+        assert acc_t >= min(acc_first, acc_second)
+        assert acc_t >= max(acc_first, acc_second) - 0.05
+
+    def test_picks_correct_component_per_branch(self):
+        # First component always right, second always wrong for this branch.
+        class Fixed(NeverTaken):
+            def __init__(self, value):
+                self._value = value
+
+            def predict(self, ip):
+                return self._value
+
+        t = Tournament(first=Fixed(True), second=Fixed(False))
+        for _ in range(50):
+            t.predict(0x40)
+            t.update(0x40, True)
+        assert t.predict(0x40) is True
+
+    def test_storage_sums_components(self):
+        a, b = Bimodal(log_entries=8), GShare(log_entries=8, history_bits=8)
+        t = Tournament(first=a, second=b, log_chooser_entries=8)
+        assert t.storage_bits() == a.storage_bits() + b.storage_bits() + 512
+
+    def test_reset(self):
+        t = Tournament()
+        t.predict(1)
+        t.update(1, True)
+        t.reset()
+        assert all(c == 0 for c in t._chooser)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Tournament(log_chooser_entries=0)
+
+
+class TestOGehl:
+    def test_learns_bias(self):
+        assert drive(OGehl(), [(0x40, True)] * 500, score_after=50) > 0.99
+
+    def test_learns_history_correlation(self):
+        rng = random.Random(1)
+        stream = []
+        for _ in range(3000):
+            a = rng.random() < 0.5
+            stream.append((0x100, a))
+            stream.append((0x200, a))
+        p = OGehl()
+        correct = total = 0
+        for i, (ip, taken) in enumerate(stream):
+            pred = p.predict(ip)
+            if ip == 0x200 and i > 1500:
+                total += 1
+                correct += pred == taken
+            p.update(ip, taken)
+        assert correct / total > 0.9
+
+    def test_learns_long_period(self):
+        pattern = [True] * 20 + [False]
+        stream = [(0x40, pattern[i % 21]) for i in range(6000)]
+        assert drive(OGehl(), stream, score_after=2000) > 0.9
+
+    def test_adaptive_threshold_moves(self):
+        rng = random.Random(2)
+        p = OGehl()
+        start = p.threshold
+        for _ in range(5000):
+            p.predict(0x40)
+            p.update(0x40, rng.random() < 0.5)
+        assert p.threshold != start  # random stream exercises the TC loop
+
+    def test_storage_bits(self):
+        p = OGehl(num_tables=4, log_entries=8, counter_bits=5, max_history=100)
+        assert p.storage_bits() == 4 * 256 * 5 + 100 + 16
+
+    def test_reset(self):
+        p = OGehl()
+        p.predict(1)
+        p.update(1, True)
+        p.reset()
+        assert p._history == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OGehl(num_tables=1)

@@ -1,0 +1,106 @@
+"""End-to-end integration: the full measurement pipeline on a custom
+workload, exercising every subsystem seam outside the experiment drivers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    dependency_row,
+    rank_heavy_hitters,
+    screen_workload,
+)
+from repro.analysis.h2p import H2pCriteria
+from repro.config import SLICE_INSTRUCTIONS
+from repro.isa import Executor, ProgramBuilder
+from repro.phases import cluster_phases, prepare_bbvs
+from repro.pipeline import (
+    IntervalIpcModel,
+    SKYLAKE_LIKE,
+    simulate_trace,
+)
+from repro.predictors import Perfect, make_tage_sc_l
+from repro.workloads import (
+    build_driver,
+    build_h2p_kernel,
+    build_loop_nest_kernel,
+    build_scan_kernel,
+    make_input_data,
+)
+
+
+@pytest.fixture(scope="module")
+def pipeline_artifacts():
+    """Build, execute, and simulate a compact two-phase workload once."""
+    b = ProgramBuilder("integration")
+    b.data("input_data", make_input_data(123, 0, 4093, "uniform"))
+    b.data("scan_data", np.sort(make_input_data(124, 0, 4093, "uniform")))
+    h2p = build_h2p_kernel(b, "h2p", "input_data", 4093, h2p_threshold=120)
+    loops = build_loop_nest_kernel(b, "loops", inner_trips=9)
+    scan = build_scan_kernel(b, "scan", "scan_data", 4093, bias_threshold=52000)
+    build_driver(
+        b,
+        segments=[
+            [(h2p.entry, 300), (loops.entry, 80)],
+            [(scan.entry, 500), (loops.entry, 200)],
+        ],
+        rounds_per_segment=2,
+    )
+    program = b.build()
+    executor = Executor(program, seed=5, track_dataflow=True,
+                        bbv_interval=30_000)
+    execution = executor.run(240_000)
+    simulation = simulate_trace(
+        execution.trace, make_tage_sc_l(8), slice_instructions=60_000
+    )
+    return program, h2p, execution, simulation
+
+
+class TestFullPipeline:
+    def test_simulation_covers_all_conditionals(self, pipeline_artifacts):
+        _, _, execution, simulation = pipeline_artifacts
+        assert simulation.stats.total_executions == int(
+            execution.trace.conditional_mask.sum()
+        )
+
+    def test_h2p_screened_and_ranked(self, pipeline_artifacts):
+        program, h2p, execution, simulation = pipeline_artifacts
+        criteria = H2pCriteria(min_executions=100, min_mispredictions=10)
+        report = screen_workload(
+            "integration", "i0", simulation.slice_stats, criteria
+        )
+        assert report.union_h2p_ips
+        designed_ip = program.terminator_ip(h2p.h2p_labels[0])
+        assert designed_ip in report.union_h2p_ips
+        top = rank_heavy_hitters(simulation.stats, report.union_h2p_ips)[0]
+        assert top.executions >= 100
+
+    def test_dependency_analysis_finds_designed_deps(self, pipeline_artifacts):
+        program, h2p, execution, _ = pipeline_artifacts
+        designed_ip = program.terminator_ip(h2p.h2p_labels[0])
+        row, profile = dependency_row(
+            "integration", execution.cond_branch_events, designed_ip, 2_500
+        )
+        dep_ips = {
+            program.terminator_ip(lbl) for lbl in h2p.dependency_labels
+        }
+        assert dep_ips.issubset(set(profile.dependency_branch_ips))
+
+    def test_phase_clustering_recovers_segments(self, pipeline_artifacts):
+        _, _, execution, _ = pipeline_artifacts
+        vectors = prepare_bbvs(execution.bbvs)
+        clustering = cluster_phases(vectors, max_k=4)
+        assert clustering.num_phases >= 2  # two driver segments
+
+    def test_ipc_model_orders_predictors(self, pipeline_artifacts):
+        _, _, execution, simulation = pipeline_artifacts
+        perfect = simulate_trace(execution.trace, Perfect())
+        model = IntervalIpcModel(SKYLAKE_LIKE)
+        ipc_tage = model.ipc(simulation.instr_count, simulation.mispredictions)
+        ipc_perfect = model.ipc(perfect.instr_count, perfect.mispredictions)
+        assert ipc_perfect > ipc_tage
+
+    def test_storage_scaling_on_this_workload(self, pipeline_artifacts):
+        _, _, execution, simulation = pipeline_artifacts
+        big = simulate_trace(execution.trace, make_tage_sc_l(64))
+        # More storage never hurts materially on a mixed workload.
+        assert big.accuracy >= simulation.accuracy - 0.005

@@ -1,0 +1,113 @@
+"""Tests for the workload driver and spec plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import BranchKind
+from repro.isa.executor import Executor
+from repro.isa.instructions import Imm, Ret
+from repro.isa.program import ProgramBuilder
+from repro.workloads.base import (
+    R_SEGMENT,
+    WorkloadSpec,
+    build_driver,
+    make_input_data,
+    trace_workload,
+)
+from repro.workloads.kernels import R_ARG0, build_loop_nest_kernel
+
+
+def make_marker_kernel(b, name, marker_reg, value):
+    """A kernel that just records a marker value (visible in segments)."""
+    entry = b.block(f"{name}_entry")
+    entry.instructions = [Imm(marker_reg, value)]
+    entry.terminator = Ret()
+
+    class H:
+        pass
+
+    h = H()
+    h.entry = entry.label
+    return h
+
+
+class TestBuildDriver:
+    def test_segments_cycle(self):
+        b = ProgramBuilder("d")
+        k = build_loop_nest_kernel(b, "k", inner_trips=4)
+        segments = [[(k.entry, 3)], [(k.entry, 6)]]
+        build_driver(b, segments, rounds_per_segment=2)
+        prog = b.build()
+        res = Executor(prog).run(20_000)
+        # The segment switch is an indirect branch executed once per round.
+        indirect = (res.trace.kinds == int(BranchKind.INDIRECT)).sum()
+        assert indirect > 4
+
+    def test_segment_register_visible(self):
+        b = ProgramBuilder("d")
+        k = build_loop_nest_kernel(b, "k", inner_trips=4)
+        build_driver(b, [[(k.entry, 2)], [(k.entry, 2)], [(k.entry, 2)]],
+                     rounds_per_segment=1)
+        prog = b.build()
+        # Snapshot R_SEGMENT at the loop kernel's outer-tail branch.
+        ip = prog.terminator_ip("k_outer_tail")
+        ex = Executor(prog, snapshot_ips=[ip], tracked_registers=[R_SEGMENT])
+        res = ex.run(10_000)
+        seen = {s[0] for s in res.register_snapshots[ip]}
+        assert seen == {0, 1, 2}
+
+    def test_rounds_per_segment_power_of_two(self):
+        b = ProgramBuilder("d")
+        k = build_loop_nest_kernel(b, "k")
+        with pytest.raises(ValueError):
+            build_driver(b, [[(k.entry, 2)]], rounds_per_segment=3)
+
+    def test_empty_segment_rejected(self):
+        b = ProgramBuilder("d")
+        with pytest.raises(ValueError):
+            build_driver(b, [[]])
+
+    def test_zero_iterations_rejected(self):
+        b = ProgramBuilder("d")
+        k = build_loop_nest_kernel(b, "k")
+        with pytest.raises(ValueError):
+            build_driver(b, [[(k.entry, 0)]])
+
+
+class TestWorkloadSpec:
+    def test_trace_workload_validates_input_index(self):
+        from repro.workloads import SPECINT_WORKLOADS
+
+        with pytest.raises(ValueError):
+            trace_workload(SPECINT_WORKLOADS[0], 99, instructions=1000)
+
+    def test_input_name(self):
+        from repro.workloads import SPECINT_WORKLOADS
+
+        assert SPECINT_WORKLOADS[0].input_name(2) == "input2"
+
+
+class TestMakeInputData:
+    @pytest.mark.parametrize("style", ["uniform", "zipf", "bimodal", "lowcard"])
+    def test_styles_produce_valid_arrays(self, style):
+        arr = make_input_data(1, 0, 500, style)
+        assert len(arr) == 500
+        assert (arr >= 0).all()
+
+    def test_deterministic_per_input(self):
+        a = make_input_data(1, 0, 100)
+        b = make_input_data(1, 0, 100)
+        np.testing.assert_array_equal(a, b)
+
+    def test_inputs_differ(self):
+        a = make_input_data(1, 0, 100)
+        b = make_input_data(1, 1, 100)
+        assert not np.array_equal(a, b)
+
+    def test_lowcard_has_few_values(self):
+        arr = make_input_data(1, 0, 1000, "lowcard")
+        assert len(np.unique(arr)) <= 12
+
+    def test_unknown_style(self):
+        with pytest.raises(ValueError):
+            make_input_data(1, 0, 10, "nope")

@@ -1,0 +1,101 @@
+"""Tests for the SPECint-like and LCF synthetic benchmarks."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline.simulator import simulate_trace
+from repro.predictors.tagescl import make_tage_sc_l
+from repro.workloads import (
+    LCF_WORKLOADS,
+    SPECINT_WORKLOADS,
+    WORKLOADS_BY_NAME,
+    trace_workload,
+)
+from repro.workloads.helper_study import HELPER_STUDY_WORKLOAD, h2p_branch_ip
+
+
+class TestSpecintSuite:
+    def test_nine_benchmarks(self):
+        assert len(SPECINT_WORKLOADS) == 9
+        names = [w.name for w in SPECINT_WORKLOADS]
+        assert "605.mcf_s" in names and "641.leela_s" in names
+
+    @pytest.mark.parametrize("spec", SPECINT_WORKLOADS, ids=lambda w: w.name)
+    def test_builds_and_traces(self, spec):
+        wt = trace_workload(spec, 0, instructions=30_000)
+        assert wt.trace.instr_count >= 30_000
+        assert wt.trace.num_conditional() > 1000
+
+    def test_static_ips_identical_across_inputs(self):
+        spec = WORKLOADS_BY_NAME["641.leela_s"]
+        t0 = trace_workload(spec, 0, instructions=150_000)
+        t1 = trace_workload(spec, 1, instructions=150_000)
+        ips0 = set(t0.trace.static_branch_ips().tolist())
+        ips1 = set(t1.trace.static_branch_ips().tolist())
+        # The executed subsets overlap heavily (input-driven dispatch may
+        # touch different cold handlers)...
+        assert len(ips0 & ips1) / len(ips0 | ips1) > 0.7
+        # ...and the static program itself is identical across inputs.
+        p0, p1 = spec.build(0), spec.build(1)
+        assert p0.block_base_ip == p1.block_base_ip
+
+    def test_outcomes_differ_across_inputs(self):
+        spec = WORKLOADS_BY_NAME["605.mcf_s"]
+        t0 = trace_workload(spec, 0, instructions=100_000)
+        t1 = trace_workload(spec, 1, instructions=100_000)
+        n = min(len(t0.trace), len(t1.trace))
+        agree = (t0.trace.taken[:n] == t1.trace.taken[:n]).mean()
+        assert agree < 0.99  # data-dependent directions changed
+
+
+class TestLcfSuite:
+    def test_six_applications(self):
+        assert len(LCF_WORKLOADS) == 6
+
+    @pytest.mark.parametrize("spec", LCF_WORKLOADS, ids=lambda w: w.name)
+    def test_builds_and_traces(self, spec):
+        wt = trace_workload(spec, 0, instructions=30_000)
+        assert wt.trace.num_conditional() > 500
+
+    def test_game_has_largest_footprint(self, lab):
+        sizes = {}
+        for spec in LCF_WORKLOADS:
+            result = lab.simulate(spec.name, 0, "tage-sc-l-8kb")
+            sizes[spec.name] = len(result.stats)
+        assert max(sizes, key=sizes.get) == "game"
+        assert min(sizes, key=sizes.get) == "streaming_server"
+
+    def test_execs_per_branch_ordering(self, lab):
+        per_branch = {}
+        for spec in LCF_WORKLOADS:
+            result = lab.simulate(spec.name, 0, "tage-sc-l-8kb")
+            per_branch[spec.name] = result.stats.mean_executions_per_branch()
+        # Table II's extremes: streaming server hottest, game coldest.
+        assert max(per_branch, key=per_branch.get) == "streaming_server"
+        assert min(per_branch, key=per_branch.get) == "game"
+
+    def test_lcf_less_accurate_than_spec(self, lab):
+        lcf_acc = np.mean([
+            lab.simulate(s.name, 0, "tage-sc-l-8kb").accuracy
+            for s in LCF_WORKLOADS
+        ])
+        spec_acc = np.mean([
+            lab.simulate(s.name, 0, "tage-sc-l-8kb").accuracy
+            for s in SPECINT_WORKLOADS
+        ])
+        assert lcf_acc < spec_acc
+
+
+class TestHelperStudyWorkload:
+    def test_h2p_ip_resolvable(self):
+        wt = trace_workload(HELPER_STUDY_WORKLOAD, 0, instructions=50_000)
+        ip = h2p_branch_ip(wt.metadata["program"])
+        cond = wt.trace.conditional_mask
+        execs = (wt.trace.ips[cond] == ip).sum()
+        assert execs > 500
+
+    def test_study_h2p_is_hard_for_tage(self):
+        wt = trace_workload(HELPER_STUDY_WORKLOAD, 0, instructions=200_000)
+        ip = h2p_branch_ip(wt.metadata["program"])
+        res = simulate_trace(wt.trace, make_tage_sc_l(8))
+        assert res.stats.get(ip).accuracy < 0.97

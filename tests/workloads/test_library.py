@@ -1,0 +1,91 @@
+"""Tests for trace serialization and the trace library."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import BranchKind, BranchTrace
+from repro.workloads import WORKLOADS_BY_NAME
+from repro.workloads.library import TraceLibrary, load_trace, save_trace
+
+
+def sample_trace(n=200):
+    rng = np.random.default_rng(0)
+    return BranchTrace(
+        ips=rng.integers(0x1000, 0x9000, n),
+        taken=rng.integers(0, 2, n),
+        targets=rng.integers(0x1000, 0x9000, n),
+        kinds=rng.choice([0, 0, 0, 1, 2, 3, 4], n),
+        instr_indices=np.cumsum(rng.integers(1, 8, n)),
+        instr_count=10_000,
+    )
+
+
+class TestSerialization:
+    def test_round_trip(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "t.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        np.testing.assert_array_equal(loaded.ips, trace.ips)
+        np.testing.assert_array_equal(loaded.taken, trace.taken)
+        np.testing.assert_array_equal(loaded.targets, trace.targets)
+        np.testing.assert_array_equal(loaded.kinds, trace.kinds)
+        np.testing.assert_array_equal(loaded.instr_indices, trace.instr_indices)
+        assert loaded.instr_count == trace.instr_count
+
+    def test_creates_parent_dirs(self, tmp_path):
+        save_trace(sample_trace(), tmp_path / "a" / "b" / "t.npz")
+        assert (tmp_path / "a" / "b" / "t.npz").exists()
+
+    def test_version_check(self, tmp_path):
+        trace = sample_trace(10)
+        path = tmp_path / "t.npz"
+        np.savez_compressed(
+            path, version=np.int64(999), ips=trace.ips, taken=trace.taken,
+            targets=trace.targets, kinds=trace.kinds,
+            instr_indices=trace.instr_indices,
+            instr_count=np.int64(trace.instr_count),
+        )
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+
+class TestTraceLibrary:
+    def test_generate_then_reload(self, tmp_path):
+        lib = TraceLibrary(tmp_path)
+        wt1 = lib.get("605.mcf_s", 0, instructions=30_000)
+        assert not wt1.metadata.get("from_library")
+        assert lib.contains("605.mcf_s", 0, wt1.trace.instr_count)
+
+        lib2 = TraceLibrary(tmp_path)  # fresh instance reads the manifest
+        wt2 = lib2.get("605.mcf_s", 0, instructions=wt1.trace.instr_count)
+        assert wt2.metadata.get("from_library")
+        np.testing.assert_array_equal(wt1.trace.ips, wt2.trace.ips)
+        np.testing.assert_array_equal(wt1.trace.taken, wt2.trace.taken)
+
+    def test_distinct_inputs_stored_separately(self, tmp_path):
+        lib = TraceLibrary(tmp_path)
+        wt0 = lib.get("605.mcf_s", 0, instructions=20_000)
+        wt1 = lib.get("605.mcf_s", 1, instructions=20_000)
+        assert len(lib) == 2
+        keys = set(lib)
+        assert ("605.mcf_s", 0, wt0.trace.instr_count) in keys
+        assert ("605.mcf_s", 1, wt1.trace.instr_count) in keys
+
+    def test_manifest_entries(self, tmp_path):
+        lib = TraceLibrary(tmp_path)
+        wt = lib.get("rdbms", 0, instructions=20_000)
+        entries = lib.entries()
+        assert len(entries) == 1
+        assert entries[0]["benchmark"] == "rdbms"
+        assert entries[0]["branches"] == len(wt.trace)
+
+    def test_unknown_benchmark(self, tmp_path):
+        with pytest.raises(KeyError):
+            TraceLibrary(tmp_path).get("nope", 0)
+
+    def test_custom_spec(self, tmp_path):
+        spec = WORKLOADS_BY_NAME["nosql"]
+        lib = TraceLibrary(tmp_path)
+        wt = lib.get("nosql", 0, instructions=15_000, spec=spec)
+        assert wt.benchmark == "nosql"
