@@ -17,7 +17,9 @@ The library provides:
   distributions, dependency branches, TAGE allocation stats, recurrence
   intervals, register-value features;
 * :mod:`repro.phases` — SimPoint-style phase clustering;
-* :mod:`repro.experiments` — drivers reproducing every table and figure.
+* :mod:`repro.experiments` — drivers reproducing every table and figure;
+* :mod:`repro.obs` — observability: metrics registry, span tracing, and
+  the ``repro.*`` structured-logging hierarchy.
 """
 
 __version__ = "1.0.0"

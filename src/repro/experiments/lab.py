@@ -16,6 +16,7 @@ import pickle
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.core.metrics import BranchStats
 from repro.core.types import WorkloadTrace
 from repro.experiments.config import (
@@ -30,7 +31,11 @@ from repro.workloads import WORKLOADS_BY_NAME, WorkloadSpec, trace_workload
 from repro.workloads.helper_study import HELPER_STUDY_WORKLOAD
 
 #: Bump to invalidate on-disk caches after behavioural changes.
-CACHE_VERSION = 3
+#: (v4: payloads are now self-describing ``{"cache_version", "result"}``
+#: dicts so stale/corrupt files are detected instead of silently trusted.)
+CACHE_VERSION = 4
+
+_log = obs.get_logger("lab")
 
 #: Predictor registry: label -> factory.
 PREDICTOR_FACTORIES: Dict[str, Callable[[], BranchPredictor]] = {
@@ -91,8 +96,13 @@ class Lab:
         key = (name, input_index, n)
         cached = self._traces.get(key)
         if cached is None:
-            cached = trace_workload(_workload(name), input_index, instructions=n)
+            obs.counter("lab.trace.build")
+            _log.info("generating trace %s/input%d (%d instructions)", name, input_index, n)
+            with obs.timer("lab.trace.generate", extra=(f"lab.trace.generate.{name}",)):
+                cached = trace_workload(_workload(name), input_index, instructions=n)
             self._traces[key] = cached
+        else:
+            obs.counter("lab.trace.cache_hit")
         return cached
 
     # -- simulation --------------------------------------------------------
@@ -115,26 +125,63 @@ class Lab:
         key = (name, input_index, n, predictor, slice_instructions)
         cached = self._sims.get(key)
         if cached is not None:
+            obs.counter("lab.sim.cache_hit.memory")
             return cached
 
         disk = self._disk_path(key)
         if disk is not None and disk.exists():
-            with open(disk, "rb") as f:
-                cached = pickle.load(f)
-            self._sims[key] = cached
-            return cached
+            cached = self._load_disk(disk)
+            if cached is not None:
+                obs.counter("lab.sim.cache_hit.disk")
+                _log.debug("disk cache hit: %s", disk)
+                self._sims[key] = cached
+                return cached
 
-        trace = self.trace(name, input_index, n)
-        result = simulate_trace(
-            trace.trace,
-            PREDICTOR_FACTORIES[predictor](),
-            slice_instructions=slice_instructions,
+        obs.counter("lab.sim.cache_miss")
+        _log.info(
+            "simulating %s/input%d with %s (%d instructions)",
+            name, input_index, predictor, n,
         )
+        with obs.span(
+            "lab.simulate", workload=name, input=input_index, predictor=predictor
+        ):
+            trace = self.trace(name, input_index, n)
+            result = simulate_trace(
+                trace.trace,
+                PREDICTOR_FACTORIES[predictor](),
+                slice_instructions=slice_instructions,
+            )
         self._sims[key] = result
         if disk is not None:
             with open(disk, "wb") as f:
-                pickle.dump(result, f)
+                pickle.dump({"cache_version": CACHE_VERSION, "result": result}, f)
+            obs.counter("lab.sim.cache_store")
         return result
+
+    def _load_disk(self, disk: Path) -> Optional[SimulationResult]:
+        """Load one disk-cache entry, or ``None`` (with a warning) if it is
+        corrupt or from an incompatible :data:`CACHE_VERSION`."""
+        try:
+            with open(disk, "rb") as f:
+                payload = pickle.load(f)
+        except Exception as exc:
+            reason = f"unreadable ({type(exc).__name__}: {exc})"
+        else:
+            if (
+                isinstance(payload, dict)
+                and payload.get("cache_version") == CACHE_VERSION
+                and isinstance(payload.get("result"), SimulationResult)
+            ):
+                return payload["result"]
+            found = payload.get("cache_version") if isinstance(payload, dict) else None
+            reason = (
+                f"stale cache version {found!r} (want {CACHE_VERSION})"
+                if found is not None
+                else "unrecognized payload format"
+            )
+        obs.counter("lab.cache.invalid")
+        _log.warning("ignoring invalid disk cache %s: %s; recomputing", disk, reason)
+        return None
 
     def _disk_path(self, key: Tuple) -> Optional[Path]:
         if self.cache_dir is None:

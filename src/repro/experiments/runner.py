@@ -9,9 +9,9 @@ module.
 from __future__ import annotations
 
 import argparse
-import time
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.experiments.allocation_study import compute_allocation_study
 from repro.experiments.cnn_study import compute_cnn_study
 from repro.experiments.fig1 import compute_fig1
@@ -27,6 +27,8 @@ from repro.experiments.phase_study import compute_phase_study
 from repro.experiments.table1 import compute_table1
 from repro.experiments.table2 import compute_table2
 from repro.experiments.table3 import compute_table3
+
+_log = obs.get_logger("experiments")
 
 
 def _fig6(lab: Lab) -> str:
@@ -73,10 +75,13 @@ def run_experiments(
     outputs: List[str] = []
     echo(f"Running {len(selected)} experiment(s) at tier '{lab.tier.name}'\n")
     for name in selected:
-        start = time.time()
-        output = EXPERIMENTS[name](lab)
-        elapsed = time.time() - start
-        echo(f"{'=' * 72}\n{name} ({elapsed:.0f}s)\n{'=' * 72}")
+        _log.info("starting experiment %s", name)
+        # Span-based timing: the span lands in the exported tree (with lab
+        # simulate children) and also backs the elapsed display.
+        with obs.span(name, tier=lab.tier.name) as sp:
+            output = EXPERIMENTS[name](lab)
+        _log.info("finished %s in %s", name, obs.format_duration(sp.duration_s))
+        echo(f"{'=' * 72}\n{name} ({obs.format_duration(sp.duration_s)})\n{'=' * 72}")
         echo(output)
         echo("")
         outputs.append(output)
@@ -103,6 +108,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="directory for the on-disk simulation cache",
     )
     parser.add_argument(
+        "--log-level",
+        default=None,
+        choices=["debug", "info", "warning", "error"],
+        help="logging level for the repro.* hierarchy "
+        "(default: $REPRO_LOG_LEVEL or warning)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="enable metrics collection and write the registry + span trees "
+        "as JSON to PATH at end of run",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list experiment names and exit"
     )
     args = parser.parse_args(argv)
@@ -110,9 +129,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for name in EXPERIMENTS:
             print(name)
         return 0
+
+    obs.configure_logging(args.log_level)
+    if args.metrics_out:
+        obs.enable()
+
     lab = Lab(cache_dir=args.cache_dir)
     try:
         run_experiments(args.experiments or None, lab)
     except ValueError as exc:
         parser.error(str(exc))
+
+    if obs.is_enabled():
+        print(obs.render_summary())
+    if args.metrics_out:
+        path = obs.write_metrics_json(args.metrics_out)
+        _log.info("wrote metrics JSON to %s", path)
     return 0

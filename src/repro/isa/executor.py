@@ -18,12 +18,15 @@ around a million instructions per second.
 
 from __future__ import annotations
 
+import logging
 import random
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.types import BranchTrace
 from repro.isa.instructions import (
     Alu,
@@ -66,6 +69,8 @@ _MAX_TAINT = 16
 _MAX_CALL_DEPTH = 256
 
 _EMPTY_TAINT: FrozenSet[int] = frozenset()
+
+_log = obs.get_logger("exec")
 
 
 @dataclass
@@ -136,6 +141,7 @@ class Executor:
         if max_instructions <= 0:
             raise ValueError("max_instructions must be positive")
 
+        t_start = perf_counter()
         prog = self.program
         compiled = self._compiled
         entry_idx = prog.block_index[prog.entry]
@@ -353,6 +359,22 @@ class Executor:
                 bbvs.append(bbv_counts.copy())
                 bbv_counts[:] = 0
                 next_bbv_boundary += bbv_interval
+
+        elapsed = perf_counter() - t_start
+        if obs.is_enabled():
+            obs.observe_timer("exec.run", elapsed)
+            obs.counter("exec.instructions", icount)
+            obs.counter("exec.branches", len(out_ips))
+            if elapsed > 0:
+                obs.gauge("exec.instructions_per_sec", icount / elapsed)
+        if _log.isEnabledFor(logging.INFO):
+            _log.info(
+                "executed %d instructions (%d branches) in %s (%s)",
+                icount,
+                len(out_ips),
+                obs.format_duration(elapsed),
+                obs.format_rate(icount, elapsed, " instr/s"),
+            )
 
         trace = BranchTrace(
             ips=out_ips,

@@ -1,0 +1,67 @@
+"""``repro.obs``: observability for the reproduction's runtime layers.
+
+Three coordinated facilities, all process-wide and all off by default so
+the hot loops pay (at most) one attribute check:
+
+* a **metrics registry** — counters, gauges, and timing histograms
+  (``obs.counter("lab.sim.cache_miss")``, ``with obs.timer("sim.trace"):``)
+  with a no-op fast path when disabled and optional sampling for timers
+  that would otherwise fire in hot loops;
+* **span tracing** — nested ``with obs.span("fig7", storage_kib=64):``
+  blocks producing a per-experiment span tree with wall-time and
+  child/self attribution;
+* **structured logging** — a ``repro.*`` logger hierarchy configured from
+  ``--log-level`` / ``REPRO_LOG_LEVEL`` (default WARNING, so the library
+  stays silent unless asked).
+
+Exporters render the registry as a human summary (:func:`render_summary`)
+or a JSON document (:func:`write_metrics_json`, schema documented in
+``docs/observability.md``).  Enable collection with :func:`enable` or
+``REPRO_METRICS=1``; the experiment runner does this automatically when
+``--metrics-out`` is passed.
+"""
+
+from repro.obs.export import (
+    METRICS_SCHEMA_VERSION,
+    render_summary,
+    snapshot,
+    write_metrics_json,
+)
+from repro.obs.logconfig import configure_logging, get_logger
+from repro.obs.registry import (
+    counter,
+    disable,
+    enable,
+    gauge,
+    is_enabled,
+    observe_timer,
+    registry,
+    reset,
+    timer,
+)
+from repro.obs.spans import Span, current_span, span, span_trees
+from repro.obs.util import format_duration, format_rate
+
+__all__ = [
+    "METRICS_SCHEMA_VERSION",
+    "Span",
+    "configure_logging",
+    "counter",
+    "current_span",
+    "disable",
+    "enable",
+    "format_duration",
+    "format_rate",
+    "gauge",
+    "get_logger",
+    "is_enabled",
+    "observe_timer",
+    "registry",
+    "render_summary",
+    "reset",
+    "snapshot",
+    "span",
+    "span_trees",
+    "timer",
+    "write_metrics_json",
+]

@@ -1,0 +1,69 @@
+"""Structured logging for the ``repro.*`` logger hierarchy.
+
+Every module logs through ``obs.get_logger("lab")`` → ``repro.lab`` etc.,
+so one call to :func:`configure_logging` (driven by ``--log-level`` or
+``REPRO_LOG_LEVEL``) controls the whole reproduction.  The library never
+configures logging on import — silent by default, like any library.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import Optional
+
+#: Root of the hierarchy; every repro logger is a child of this.
+ROOT_LOGGER_NAME = "repro"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_DATE_FORMAT = "%H:%M:%S"
+
+#: Marker attribute identifying the handler we installed (idempotence).
+_HANDLER_FLAG = "_repro_obs_handler"
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """Logger under the ``repro.*`` hierarchy.
+
+    ``get_logger("lab")`` → ``repro.lab``; names already rooted at
+    ``repro`` are used as-is; the empty string returns the root.
+    """
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def resolve_level(level: Optional[str] = None) -> int:
+    """Numeric level from an explicit name, ``REPRO_LOG_LEVEL``, or WARNING."""
+    name = level or os.environ.get("REPRO_LOG_LEVEL") or "warning"
+    resolved = logging.getLevelName(str(name).upper())
+    if not isinstance(resolved, int):
+        raise ValueError(f"unknown log level {name!r}")
+    return resolved
+
+
+def configure_logging(
+    level: Optional[str] = None, stream=None
+) -> logging.Logger:
+    """Attach a stream handler to the ``repro`` root logger and set level.
+
+    Idempotent: re-invocation updates the level (and stream, if given)
+    rather than stacking handlers.  Returns the configured root logger.
+    """
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    root.setLevel(resolve_level(level))
+    root.propagate = False
+
+    existing = [h for h in root.handlers if getattr(h, _HANDLER_FLAG, False)]
+    if existing and stream is None:
+        return root
+    for h in existing:
+        root.removeHandler(h)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT, datefmt=_DATE_FORMAT))
+    setattr(handler, _HANDLER_FLAG, True)
+    root.addHandler(handler)
+    return root

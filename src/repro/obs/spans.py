@@ -1,0 +1,140 @@
+"""Span tracing: nested timed blocks forming per-experiment trees.
+
+A span is a named, attributed interval of wall-time; spans nest via a
+thread-local stack, so ``with obs.span("fig7"):`` around an experiment and
+``with obs.span("lab.simulate", workload=...):`` inside the lab yield a
+tree whose root is the experiment.  Each span knows its total duration and
+its *self time* (total minus direct children), which is what makes the
+trees useful for attribution: a ``fig7`` root whose children account for
+95% of its time says the experiment driver itself is cheap.
+
+Spans always measure themselves (the context manager yields a live
+:class:`Span` either way, so callers can read ``elapsed_s``), but they are
+only linked into the exported tree when collection is enabled — keeping
+the disabled path allocation-light and the exported data opt-in.
+"""
+
+from __future__ import annotations
+
+import threading
+from time import perf_counter
+from typing import Any, Dict, List, Optional
+
+from repro.obs.registry import is_enabled
+
+
+class Span:
+    """One timed, attributed, possibly-nested interval."""
+
+    __slots__ = ("name", "attrs", "children", "start_s", "end_s", "_recorded")
+
+    def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None) -> None:
+        self.name = name
+        self.attrs = attrs or {}
+        self.children: List["Span"] = []
+        self.start_s = 0.0
+        self.end_s: Optional[float] = None
+        self._recorded = False
+
+    @property
+    def duration_s(self) -> float:
+        end = self.end_s if self.end_s is not None else perf_counter()
+        return end - self.start_s
+
+    #: Alias used by callers that only care about the measured time.
+    elapsed_s = duration_s
+
+    @property
+    def self_s(self) -> float:
+        """Wall-time not attributed to direct children."""
+        return max(0.0, self.duration_s - sum(c.duration_s for c in self.children))
+
+    def to_dict(self) -> Dict[str, Any]:
+        d: Dict[str, Any] = {
+            "name": self.name,
+            "duration_s": self.duration_s,
+            "self_s": self.self_s,
+        }
+        if self.attrs:
+            d["attrs"] = dict(self.attrs)
+        if self.children:
+            d["children"] = [c.to_dict() for c in self.children]
+        return d
+
+
+class _SpanContext:
+    """Context manager running one span (recording decided at entry)."""
+
+    __slots__ = ("_span",)
+
+    def __init__(self, span: Span) -> None:
+        self._span = span
+
+    def __enter__(self) -> Span:
+        sp = self._span
+        if is_enabled():
+            sp._recorded = True
+            stack = _stack()
+            if stack:
+                stack[-1].children.append(sp)
+            stack.append(sp)
+        sp.start_s = perf_counter()
+        return sp
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        sp = self._span
+        sp.end_s = perf_counter()
+        if not sp._recorded:
+            return
+        stack = _stack()
+        # Tolerate enable/disable mid-flight: pop only our own frame.
+        if stack and stack[-1] is sp:
+            stack.pop()
+        elif sp in stack:
+            stack.remove(sp)
+        if not stack:
+            with _ROOTS_LOCK:
+                _ROOTS.append(sp)
+
+
+_LOCAL = threading.local()
+_ROOTS: List[Span] = []
+_ROOTS_LOCK = threading.Lock()
+
+
+def _stack() -> List[Span]:
+    stack = getattr(_LOCAL, "stack", None)
+    if stack is None:
+        stack = _LOCAL.stack = []
+    return stack
+
+
+def span(name: str, **attrs: Any) -> _SpanContext:
+    """Open a span named ``name`` with the given attributes.
+
+    Example::
+
+        with obs.span("fig7", storage_kib=64) as sp:
+            ...
+        print(sp.duration_s)
+    """
+    return _SpanContext(Span(name, attrs))
+
+
+def current_span() -> Optional[Span]:
+    """The innermost open recorded span on this thread, if any."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+def span_trees() -> List[Dict[str, Any]]:
+    """Completed root spans (this thread and others), as nested dicts."""
+    with _ROOTS_LOCK:
+        return [s.to_dict() for s in _ROOTS]
+
+
+def reset_spans() -> None:
+    """Drop all completed spans and any open stack on this thread."""
+    with _ROOTS_LOCK:
+        _ROOTS.clear()
+    _LOCAL.stack = []

@@ -1,0 +1,33 @@
+"""Small formatting helpers shared by exporters and the CLI."""
+
+from __future__ import annotations
+
+
+def format_duration(seconds: float) -> str:
+    """Adaptive human duration: ms below 1s, one decimal below 10s.
+
+    >>> format_duration(0.0412), format_duration(3.21), format_duration(45.2)
+    ('41ms', '3.2s', '45s')
+    """
+    if seconds < 0:
+        return f"-{format_duration(-seconds)}"
+    if seconds < 1.0:
+        ms = seconds * 1000.0
+        return f"{ms:.1f}ms" if ms < 10 else f"{ms:.0f}ms"
+    if seconds < 10.0:
+        return f"{seconds:.1f}s"
+    if seconds < 120.0:
+        return f"{seconds:.0f}s"
+    return f"{seconds / 60.0:.1f}min"
+
+
+def format_rate(count: float, seconds: float, unit: str = "/s") -> str:
+    """Human rate with k/M scaling: ``format_rate(2_400_000, 2)`` → '1.2M/s'."""
+    if seconds <= 0:
+        return f"?{unit}"
+    rate = count / seconds
+    if rate >= 1e6:
+        return f"{rate / 1e6:.2f}M{unit}"
+    if rate >= 1e3:
+        return f"{rate / 1e3:.1f}k{unit}"
+    return f"{rate:.1f}{unit}"

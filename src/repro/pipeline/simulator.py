@@ -10,11 +10,14 @@ trace".
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
+from time import perf_counter
 from typing import List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.core.metrics import BranchStats
 from repro.core.types import BranchKind, BranchTrace
 from repro.predictors.base import BranchPredictor
@@ -22,6 +25,8 @@ from repro.predictors.base import BranchPredictor
 _COND = int(BranchKind.CONDITIONAL)
 # Enum construction is surprisingly costly in the hot loop; index instead.
 _KINDS = {int(k): k for k in BranchKind}
+
+_log = obs.get_logger("sim")
 
 
 @dataclass
@@ -81,6 +86,12 @@ def simulate_trace(
 
     mis_positions: Optional[List[int]] = [] if record_mispredict_positions else None
 
+    # Observability: one enabled-check up front; per-branch work stays
+    # uninstrumented (counters are published in bulk after the loop) and the
+    # slice-boundary heartbeat only fires on the already-rare boundary path.
+    heartbeat = _log.isEnabledFor(logging.INFO) and slice_instructions is not None
+    t_start = perf_counter()
+
     ips = trace.ips.tolist()
     taken_arr = trace.taken.tolist()
     targets = trace.targets.tolist()
@@ -101,6 +112,16 @@ def simulate_trace(
 
         if next_boundary is not None:
             while pos >= next_boundary:
+                if heartbeat:
+                    _log.info(
+                        "%s: slice %d done (%d instructions, %d branches, "
+                        "acc so far %.4f)",
+                        predictor.name,
+                        len(slice_list),
+                        next_boundary,
+                        i,
+                        stats.accuracy,
+                    )
                 slice_list.append(cur_slice)
                 cur_slice = BranchStats()
                 next_boundary += slice_instructions
@@ -125,6 +146,30 @@ def simulate_trace(
 
     if slice_list is not None and (len(cur_slice) or not slice_list):
         slice_list.append(cur_slice)
+
+    elapsed = perf_counter() - t_start
+    if obs.is_enabled():
+        obs.observe_timer("sim.trace", elapsed)
+        obs.observe_timer(f"sim.predictor.{predictor.name}", elapsed)
+        obs.counter("sim.branches", len(ips))
+        obs.counter("sim.cond_branches", seen_cond)
+        obs.counter("sim.instructions", trace.instr_count)
+        obs.counter("sim.mispredictions", stats.total_mispredictions)
+        if elapsed > 0:
+            obs.gauge("sim.branches_per_sec", len(ips) / elapsed)
+        publish = getattr(predictor, "publish_obs_counters", None)
+        if publish is not None:
+            publish()
+    if _log.isEnabledFor(logging.INFO):
+        _log.info(
+            "%s: %d branches in %s (%s), accuracy %.4f, mpki %.2f",
+            predictor.name,
+            len(ips),
+            obs.format_duration(elapsed),
+            obs.format_rate(len(ips), elapsed, "/s"),
+            stats.accuracy,
+            stats.mpki(trace.instr_count),
+        )
 
     return SimulationResult(
         predictor_name=predictor.name,

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro import obs
 from repro.core.types import BranchKind
 from repro.predictors.base import BranchPredictor, counter_update, saturate
 
@@ -205,6 +206,15 @@ class Tage(BranchPredictor):
 
         self.allocation_stats = AllocationStats() if track_allocations else None
 
+        # Lightweight telemetry: plain int adds on already-heavy paths,
+        # harvested in bulk by publish_obs_counters() (see repro.obs).
+        self.alloc_count = 0
+        self.evict_count = 0
+        self.alloc_fail_count = 0
+        self.pred_provider_count = 0
+        self.pred_alt_count = 0
+        self.pred_base_count = 0
+
         # Per-prediction scratch (valid between predict() and update()).
         self._p_provider = -1
         self._p_idx = 0
@@ -259,6 +269,7 @@ class Tage(BranchPredictor):
 
         base_pred = self._base[self._base_index(ip)] >= 0
         if provider < 0:
+            self.pred_base_count += 1
             self._p_provider = -1
             self._p_pred = base_pred
             self._p_alt_pred = base_pred
@@ -270,7 +281,12 @@ class Tage(BranchPredictor):
         provider_pred = ctr >= 0
         alt_pred = self._ctrs[alt][self._p_indices[alt]] >= 0 if alt >= 0 else base_pred
         weak = ctr in (-1, 0) and self._useful[provider][idx] == 0
-        pred = alt_pred if (weak and self._use_alt_on_na >= 0) else provider_pred
+        if weak and self._use_alt_on_na >= 0:
+            pred = alt_pred
+            self.pred_alt_count += 1
+        else:
+            pred = provider_pred
+            self.pred_provider_count += 1
 
         self._p_provider = provider
         self._p_idx = idx
@@ -327,14 +343,18 @@ class Tage(BranchPredictor):
         for t in range(start, cfg.num_tables):
             idx = self._p_indices[t]
             if self._useful[t][idx] == 0:
+                if self._tags[t][idx] != -1:
+                    self.evict_count += 1
                 self._tags[t][idx] = self._p_tags[t]
                 self._ctrs[t][idx] = 0 if taken else -1
                 self._useful[t][idx] = 0
+                self.alloc_count += 1
                 if self.allocation_stats is not None:
                     self.allocation_stats.record(ip, t, idx)
                 allocated = True
                 break
         if not allocated:
+            self.alloc_fail_count += 1
             # No victim: age the candidates so a future allocation succeeds.
             for t in range(start, cfg.num_tables):
                 idx = self._p_indices[t]
@@ -379,6 +399,29 @@ class Tage(BranchPredictor):
         self._push_history(ip, 1)
 
     # -- accounting ------------------------------------------------------
+
+    def obs_counters(self) -> Dict[str, int]:
+        """Current telemetry counter values, keyed by registry metric name."""
+        return {
+            "tage.alloc": self.alloc_count,
+            "tage.evict": self.evict_count,
+            "tage.alloc_fail": self.alloc_fail_count,
+            "tage.pred.provider": self.pred_provider_count,
+            "tage.pred.alt": self.pred_alt_count,
+            "tage.pred.base": self.pred_base_count,
+        }
+
+    def reset_obs_counters(self) -> None:
+        self.alloc_count = self.evict_count = self.alloc_fail_count = 0
+        self.pred_provider_count = self.pred_alt_count = self.pred_base_count = 0
+
+    def publish_obs_counters(self) -> None:
+        """Flush telemetry into the obs registry and zero the local counts
+        (so incremental publishes — e.g. once per simulated trace — sum)."""
+        for name, value in self.obs_counters().items():
+            if value:
+                obs.counter(name, value)
+        self.reset_obs_counters()
 
     def storage_bits(self) -> int:
         cfg = self.config

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro import obs
 from repro.core.types import BranchKind
 from repro.predictors.base import BranchPredictor
 from repro.predictors.loop import ImliCounter, LoopPredictor
@@ -54,6 +55,7 @@ class TageScL(BranchPredictor):
         self._local: Dict[int, int] = {}
 
         self._ghist_bits = 0  # short global history mirror for the SC
+        self.pred_loop_count = 0  # telemetry: loop-predictor overrides
         self._last_loop_used = False
         self._last_pred = False
         self._last_target: Optional[int] = None
@@ -90,6 +92,7 @@ class TageScL(BranchPredictor):
             if self.loop.is_confident:
                 pred = loop_pred
                 self._last_loop_used = True
+                self.pred_loop_count += 1
 
         self._last_pred = pred
         return pred
@@ -124,6 +127,23 @@ class TageScL(BranchPredictor):
     ) -> None:
         self.tage.note_branch(ip, target, kind, taken)
 
+    def obs_counters(self) -> Dict[str, int]:
+        """TAGE telemetry plus ensemble-level counts (see ``repro.obs``)."""
+        counters = self.tage.obs_counters()
+        counters["tagescl.pred.loop"] = self.pred_loop_count
+        return counters
+
+    def reset_obs_counters(self) -> None:
+        self.tage.reset_obs_counters()
+        self.pred_loop_count = 0
+
+    def publish_obs_counters(self) -> None:
+        """Flush telemetry into the obs registry and zero the local counts."""
+        for name, value in self.obs_counters().items():
+            if value:
+                obs.counter(name, value)
+        self.reset_obs_counters()
+
     def storage_bits(self) -> int:
         bits = self.tage.storage_bits()
         if self.sc is not None:
@@ -144,6 +164,7 @@ class TageScL(BranchPredictor):
         self.imli.reset()
         self._local.clear()
         self._ghist_bits = 0
+        self.pred_loop_count = 0
 
 
 # -- Size presets ---------------------------------------------------------

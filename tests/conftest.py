@@ -22,6 +22,34 @@ def lab():
     return Lab(tier=QUICK_TIER)
 
 
+@pytest.fixture
+def obs_enabled():
+    """Clean, *enabled* obs registry for one test; prior state restored."""
+    from repro import obs
+
+    was_enabled = obs.is_enabled()
+    obs.reset()
+    obs.enable()
+    yield obs.registry()
+    obs.reset()
+    if not was_enabled:
+        obs.disable()
+
+
+@pytest.fixture
+def obs_disabled():
+    """Clean, *disabled* obs registry for one test; prior state restored."""
+    from repro import obs
+
+    was_enabled = obs.is_enabled()
+    obs.reset()
+    obs.disable()
+    yield obs.registry()
+    obs.reset()
+    if was_enabled:
+        obs.enable()
+
+
 @pytest.fixture(scope="session")
 def mcf_trace():
     """A one-slice trace of the mcf-like benchmark (H2P-heavy, small)."""

@@ -1,5 +1,8 @@
 """Tests for the CLI experiment runner."""
 
+import json
+import logging
+
 import pytest
 
 from repro.experiments.runner import EXPERIMENTS, main, run_experiments
@@ -34,3 +37,43 @@ class TestRunner:
     def test_cli_unknown_name_errors(self):
         with pytest.raises(SystemExit):
             main(["definitely-not-an-experiment"])
+
+    def test_elapsed_display_is_adaptive(self, lab):
+        # Sub-second experiments must not be shown as "(0s)".
+        lines = []
+        run_experiments(["fig9"], lab, echo=lines.append)
+        header = next(l for l in lines if "fig9 (" in l)
+        assert "(0s)" not in header
+        assert "ms)" in header or "s)" in header
+
+
+class TestRunnerObservability:
+    @pytest.fixture(autouse=True)
+    def _clean_obs(self):
+        from repro import obs
+
+        was_enabled = obs.is_enabled()
+        obs.reset()
+        yield
+        obs.reset()
+        (obs.enable if was_enabled else obs.disable)()
+
+    def test_metrics_out_writes_valid_json(self, tmp_path, capsys):
+        out = tmp_path / "m.json"
+        assert main(["fig9", "--metrics-out", str(out)]) == 0
+        with open(out) as f:
+            doc = json.load(f)
+        assert doc["schema"] == "repro.obs/v1"
+        assert doc["counters"]["lab.trace.build"] >= 1
+        assert [s["name"] for s in doc["spans"]] == ["fig9"]
+        assert "-- metrics" in capsys.readouterr().out
+
+    def test_log_level_flag_sets_hierarchy_level(self, tmp_path):
+        assert main(["fig9", "--log-level", "info"]) == 0
+        assert logging.getLogger("repro").level == logging.INFO
+        assert main(["fig9", "--log-level", "warning"]) == 0
+        assert logging.getLogger("repro").level == logging.WARNING
+
+    def test_no_metrics_flag_means_no_summary(self, capsys):
+        assert main(["fig9"]) == 0
+        assert "-- metrics" not in capsys.readouterr().out

@@ -1,0 +1,57 @@
+"""Logger hierarchy and configuration."""
+
+import logging
+
+import pytest
+
+from repro import obs
+from repro.obs.logconfig import _HANDLER_FLAG, resolve_level
+
+
+class TestGetLogger:
+    def test_prefixes_into_hierarchy(self):
+        assert obs.get_logger("lab").name == "repro.lab"
+        assert obs.get_logger("repro.sim").name == "repro.sim"
+        assert obs.get_logger("repro").name == "repro"
+        assert obs.get_logger().name == "repro"
+
+
+class TestResolveLevel:
+    def test_explicit_level(self):
+        assert resolve_level("debug") == logging.DEBUG
+        assert resolve_level("INFO") == logging.INFO
+
+    def test_env_level(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "info")
+        assert resolve_level() == logging.INFO
+
+    def test_default_is_warning(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOG_LEVEL", raising=False)
+        assert resolve_level() == logging.WARNING
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError):
+            resolve_level("chatty")
+
+
+class TestConfigureLogging:
+    @pytest.fixture(autouse=True)
+    def _restore_root(self):
+        root = logging.getLogger("repro")
+        before = (list(root.handlers), root.level, root.propagate)
+        yield
+        root.handlers, root.level, root.propagate = before[0], before[1], before[2]
+
+    def _our_handlers(self, root):
+        return [h for h in root.handlers if getattr(h, _HANDLER_FLAG, False)]
+
+    def test_sets_level_and_handler(self):
+        root = obs.configure_logging("info")
+        assert root.level == logging.INFO
+        assert len(self._our_handlers(root)) == 1
+
+    def test_idempotent(self):
+        root = obs.configure_logging("info")
+        obs.configure_logging("debug")
+        assert root.level == logging.DEBUG
+        assert len(self._our_handlers(root)) == 1

@@ -1,0 +1,111 @@
+"""Registry semantics: counters, gauges, timers, sampling, no-op paths."""
+
+import time
+
+from repro import obs
+from repro.obs.registry import MetricsRegistry
+
+
+class TestCounters:
+    def test_increment_defaults_to_one(self, obs_enabled):
+        obs.counter("x")
+        obs.counter("x")
+        assert obs_enabled.counters_dict() == {"x": 2}
+
+    def test_increment_amount(self, obs_enabled):
+        obs.counter("sim.branches", 500)
+        obs.counter("sim.branches", 250)
+        assert obs_enabled.counter("sim.branches").value == 750
+
+    def test_gauge_last_write_wins(self, obs_enabled):
+        obs.gauge("rate", 1.0)
+        obs.gauge("rate", 2.5)
+        assert obs_enabled.gauges_dict() == {"rate": 2.5}
+
+
+class TestTimers:
+    def test_timer_aggregates(self, obs_enabled):
+        for _ in range(3):
+            with obs.timer("op"):
+                time.sleep(0.001)
+        t = obs_enabled.timer("op")
+        assert t.calls == 3 and t.count == 3
+        assert t.total_s >= 0.003
+        assert 0 < t.min_s <= t.mean_s <= t.max_s
+        assert t.to_dict()["p50_s"] > 0
+
+    def test_timer_elapsed_exposed(self, obs_enabled):
+        with obs.timer("op") as tc:
+            time.sleep(0.001)
+        assert tc.elapsed_s >= 0.001
+
+    def test_sampling_counts_all_measures_some(self, obs_enabled):
+        for _ in range(8):
+            with obs.timer("hot", sample=4):
+                pass
+        t = obs_enabled.timer("hot")
+        assert t.calls == 8
+        assert t.count == 2  # one in four measured
+        assert t.est_total_s == t.mean_s * 8
+
+    def test_extra_names_share_duration(self, obs_enabled):
+        with obs.timer("sim.trace", extra=("sim.predictor.tage",)):
+            pass
+        timers = obs_enabled.timers_dict()
+        assert timers["sim.trace"]["calls"] == 1
+        assert timers["sim.predictor.tage"]["calls"] == 1
+
+    def test_observe_timer_records_external_duration(self, obs_enabled):
+        obs.observe_timer("ext", 0.5)
+        t = obs_enabled.timer("ext")
+        assert t.count == 1 and t.total_s == 0.5
+
+
+class TestDisabledFastPath:
+    def test_counter_noop(self, obs_disabled):
+        obs.counter("x", 10)
+        assert obs_disabled.counters_dict() == {}
+
+    def test_gauge_noop(self, obs_disabled):
+        obs.gauge("g", 1.0)
+        assert obs_disabled.gauges_dict() == {}
+
+    def test_timer_noop_and_shared(self, obs_disabled):
+        with obs.timer("op") as a:
+            pass
+        with obs.timer("op2") as b:
+            pass
+        assert a is b  # the shared no-op context manager
+        assert a.elapsed_s == 0.0
+        assert obs_disabled.timers_dict() == {}
+
+    def test_observe_timer_noop(self, obs_disabled):
+        obs.observe_timer("ext", 1.0)
+        assert obs_disabled.timers_dict() == {}
+
+
+class TestLifecycle:
+    def test_reset_clears_metrics(self, obs_enabled):
+        obs.counter("a")
+        obs.gauge("b", 2)
+        with obs.timer("c"):
+            pass
+        obs.reset()
+        assert obs_enabled.counters_dict() == {}
+        assert obs_enabled.gauges_dict() == {}
+        assert obs_enabled.timers_dict() == {}
+
+    def test_env_enables_registry(self, monkeypatch):
+        monkeypatch.setenv("REPRO_METRICS", "1")
+        assert MetricsRegistry().enabled
+        monkeypatch.setenv("REPRO_METRICS", "0")
+        assert not MetricsRegistry().enabled
+        monkeypatch.delenv("REPRO_METRICS")
+        assert not MetricsRegistry().enabled
+
+    def test_timer_ring_bounded(self, obs_enabled):
+        t = obs_enabled.timer("many")
+        for i in range(1000):
+            t.observe(0.001)
+        assert len(t._ring) <= 256
+        assert t.count == 1000

@@ -1,0 +1,75 @@
+"""Span tracing: nesting, attribution, disabled behaviour."""
+
+import time
+
+from repro import obs
+from repro.obs.spans import current_span, reset_spans, span_trees
+
+
+class TestSpans:
+    def test_nesting_builds_tree(self, obs_enabled):
+        with obs.span("table1", tier="quick"):
+            with obs.span("lab.simulate", workload="605.mcf_s"):
+                pass
+            with obs.span("lab.simulate", workload="641.leela_s"):
+                pass
+        trees = span_trees()
+        assert len(trees) == 1
+        root = trees[0]
+        assert root["name"] == "table1"
+        assert root["attrs"] == {"tier": "quick"}
+        assert [c["name"] for c in root["children"]] == ["lab.simulate"] * 2
+        assert root["children"][0]["attrs"]["workload"] == "605.mcf_s"
+
+    def test_self_time_excludes_children(self, obs_enabled):
+        with obs.span("outer") as outer:
+            with obs.span("inner"):
+                time.sleep(0.005)
+        assert outer.duration_s >= 0.005
+        assert outer.self_s <= outer.duration_s - 0.004
+
+    def test_current_span_tracks_stack(self, obs_enabled):
+        assert current_span() is None
+        with obs.span("a") as a:
+            assert current_span() is a
+            with obs.span("b") as b:
+                assert current_span() is b
+            assert current_span() is a
+        assert current_span() is None
+
+    def test_sequential_roots_accumulate(self, obs_enabled):
+        with obs.span("one"):
+            pass
+        with obs.span("two"):
+            pass
+        assert [t["name"] for t in span_trees()] == ["one", "two"]
+
+    def test_reset_clears_roots(self, obs_enabled):
+        with obs.span("x"):
+            pass
+        reset_spans()
+        assert span_trees() == []
+
+    def test_exception_still_closes_span(self, obs_enabled):
+        try:
+            with obs.span("boom"):
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        assert current_span() is None
+        assert [t["name"] for t in span_trees()] == ["boom"]
+
+
+class TestDisabledSpans:
+    def test_span_still_times_but_is_not_recorded(self, obs_disabled):
+        with obs.span("quiet") as sp:
+            time.sleep(0.001)
+        assert sp.duration_s >= 0.001  # callers can still read elapsed time
+        assert span_trees() == []
+
+    def test_no_stack_linkage_when_disabled(self, obs_disabled):
+        with obs.span("outer") as outer:
+            with obs.span("inner"):
+                pass
+            assert current_span() is None
+        assert outer.children == []

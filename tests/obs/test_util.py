@@ -1,0 +1,37 @@
+"""Adaptive duration/rate formatting (runner elapsed display)."""
+
+from repro.obs.util import format_duration, format_rate
+
+
+class TestFormatDuration:
+    def test_milliseconds_below_one_second(self):
+        assert format_duration(0.412) == "412ms"
+        assert format_duration(0.0005) == "0.5ms"
+        assert format_duration(0.0) == "0.0ms"
+
+    def test_one_decimal_below_ten_seconds(self):
+        assert format_duration(3.21) == "3.2s"
+        assert format_duration(1.0) == "1.0s"
+        assert format_duration(9.99) == "10.0s"
+
+    def test_whole_seconds_above_ten(self):
+        assert format_duration(45.4) == "45s"
+
+    def test_minutes_above_two(self):
+        assert format_duration(150.0) == "2.5min"
+
+    def test_negative(self):
+        assert format_duration(-0.5) == "-500ms"
+
+
+class TestFormatRate:
+    def test_scaling(self):
+        assert format_rate(2_400_000, 2.0) == "1.20M/s"
+        assert format_rate(5_000, 2.0) == "2.5k/s"
+        assert format_rate(10, 2.0) == "5.0/s"
+
+    def test_zero_elapsed(self):
+        assert format_rate(100, 0.0) == "?/s"
+
+    def test_unit_suffix(self):
+        assert format_rate(2_000_000, 1.0, " instr/s") == "2.00M instr/s"
