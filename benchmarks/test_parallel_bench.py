@@ -1,0 +1,53 @@
+"""Benchmark: parallel fan-out vs serial for a Fig. 7-style storage sweep.
+
+Runs the full fig7 request set (LCF suite x six TAGE-SC-L storage presets)
+twice — once through a serial Lab and once prefetched across worker
+processes — and records both wall clocks plus the speedup in
+``extra_info``.  On a single-core runner the parallel pass measures
+scheduler overhead rather than speedup; see ``docs/performance.md`` for
+the expected multi-core scaling.
+
+Set ``REPRO_BENCH_JOBS`` to pin the worker count (default: all cores).
+"""
+
+import os
+from time import perf_counter
+
+from conftest import run_once
+
+from repro.experiments.config import active_tier
+from repro.experiments.lab import Lab
+from repro.experiments.plans import EXPERIMENT_PLANS
+
+
+def _fig7_sweep(lab):
+    jobs = EXPERIMENT_PLANS["fig7"](lab)
+    lab.prefetch(jobs)
+    for job in jobs:
+        lab.simulate(
+            job.workload, job.input_index, job.predictor,
+            instructions=job.instructions,
+            slice_instructions=job.slice_instructions,
+        )
+    return len(jobs)
+
+
+def test_fig7_sweep_parallel_vs_serial(benchmark):
+    workers = int(os.environ.get("REPRO_BENCH_JOBS", "0") or 0) or (
+        os.cpu_count() or 1
+    )
+    serial = Lab(tier=active_tier(), jobs=1)
+    t0 = perf_counter()
+    n_jobs = _fig7_sweep(serial)
+    serial_s = perf_counter() - t0
+
+    with Lab(tier=active_tier(), jobs=workers) as parallel:
+        t0 = perf_counter()
+        run_once(benchmark, _fig7_sweep, parallel)
+        parallel_s = perf_counter() - t0
+
+    benchmark.extra_info["jobs_in_sweep"] = n_jobs
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["serial_s"] = round(serial_s, 2)
+    benchmark.extra_info["parallel_s"] = round(parallel_s, 2)
+    benchmark.extra_info["speedup"] = round(serial_s / parallel_s, 2)

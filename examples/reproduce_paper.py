@@ -10,6 +10,12 @@ Usage::
     python examples/reproduce_paper.py               # everything
     python examples/reproduce_paper.py fig1 table2   # a subset
     REPRO_TIER=full python examples/reproduce_paper.py
+    python examples/reproduce_paper.py fig7 --jobs 8 # parallel fan-out
+    REPRO_JOBS=0 python examples/reproduce_paper.py  # 0 = all cores
+
+``--jobs/-j N`` (or ``REPRO_JOBS``) fans the simulations of each
+experiment out across N worker processes; results are bit-identical to
+the default serial run (see ``docs/performance.md``).
 """
 
 import sys

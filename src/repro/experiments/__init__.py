@@ -29,7 +29,8 @@ from repro.experiments.fig7 import Fig7, compute_fig7
 from repro.experiments.fig8 import Fig8, compute_fig8
 from repro.experiments.fig9 import Fig9, compute_fig9
 from repro.experiments.fig10 import Fig10, compute_fig10
-from repro.experiments.lab import Lab, PREDICTOR_FACTORIES, default_lab
+from repro.experiments.lab import Lab, PREDICTOR_FACTORIES, default_lab, workload_spec
+from repro.experiments.plans import EXPERIMENT_PLANS
 from repro.experiments.phase_study import (
     PhaseStudyResult,
     PhaseStudyRow,
@@ -54,6 +55,7 @@ __all__ = [
     "Fig7",
     "Fig8",
     "Fig9",
+    "EXPERIMENT_PLANS",
     "H2P_ACCURACY_THRESHOLD",
     "H2P_MIN_EXECUTIONS",
     "H2P_MIN_MISPREDICTIONS",
@@ -93,4 +95,5 @@ __all__ = [
     "compute_table2",
     "compute_table3",
     "default_lab",
+    "workload_spec",
 ]

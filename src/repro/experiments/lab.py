@@ -13,8 +13,9 @@ from __future__ import annotations
 
 import os
 import pickle
+import tempfile
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro import obs
 from repro.core.metrics import BranchStats
@@ -24,11 +25,17 @@ from repro.experiments.config import (
     ExperimentTier,
     active_tier,
 )
+from repro.parallel.jobs import SimJob
+from repro.parallel.scheduler import ParallelScheduler, resolve_jobs
 from repro.pipeline.simulator import SimulationResult, simulate_trace
 from repro.predictors.base import BranchPredictor
 from repro.predictors.tagescl import STORAGE_PRESETS_KIB, make_tage_sc_l
 from repro.workloads import WORKLOADS_BY_NAME, WorkloadSpec, trace_workload
 from repro.workloads.helper_study import HELPER_STUDY_WORKLOAD
+
+#: A prefetch request: a full :class:`SimJob` or a (workload, input_index,
+#: predictor[, instructions[, slice_instructions]]) tuple.
+SimRequest = Union[SimJob, Tuple]
 
 #: Bump to invalidate on-disk caches after behavioural changes.
 #: (v4: payloads are now self-describing ``{"cache_version", "result"}``
@@ -44,7 +51,8 @@ PREDICTOR_FACTORIES: Dict[str, Callable[[], BranchPredictor]] = {
 }
 
 
-def _workload(name: str) -> WorkloadSpec:
+def workload_spec(name: str) -> WorkloadSpec:
+    """Resolve a workload name through the registries (raises KeyError)."""
     if name == HELPER_STUDY_WORKLOAD.name:
         return HELPER_STUDY_WORKLOAD
     try:
@@ -54,12 +62,21 @@ def _workload(name: str) -> WorkloadSpec:
 
 
 class Lab:
-    """Caching façade over workload execution and predictor simulation."""
+    """Caching façade over workload execution and predictor simulation.
+
+    With ``jobs > 1`` (or ``$REPRO_JOBS``), :meth:`prefetch` fans batches
+    of simulations out across worker processes; ``jobs == 1`` (the
+    default) keeps the exact serial behavior.  Labs sharing a
+    ``cache_dir`` — including concurrent processes — coexist safely: disk
+    writes are atomic (tempfile + rename) and corrupt or stale entries
+    are ignored and recomputed.
+    """
 
     def __init__(
         self,
         tier: Optional[ExperimentTier] = None,
         cache_dir: Optional[str] = None,
+        jobs: Optional[int] = None,
     ) -> None:
         self.tier = tier or active_tier()
         env_dir = os.environ.get("REPRO_CACHE_DIR")
@@ -68,14 +85,30 @@ class Lab:
         self.cache_dir = Path(cache_dir) if cache_dir else None
         if self.cache_dir:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.jobs = resolve_jobs(jobs)
+        self._scheduler: Optional[ParallelScheduler] = None
         self._traces: Dict[Tuple[str, int, int], WorkloadTrace] = {}
         self._sims: Dict[Tuple, SimulationResult] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the worker pool, if one was started (idempotent)."""
+        if self._scheduler is not None:
+            self._scheduler.close()
+            self._scheduler = None
+
+    def __enter__(self) -> "Lab":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # -- trace access ------------------------------------------------------
 
     def instructions_for(self, name: str) -> int:
         """Trace length for a workload under the active tier."""
-        spec = _workload(name)
+        spec = workload_spec(name)
         if spec.category == "specint":
             return self.tier.spec_instructions
         if spec.category == "lcf":
@@ -84,7 +117,7 @@ class Lab:
 
     def inputs_for(self, name: str) -> List[int]:
         """Input indices to use under the active tier."""
-        spec = _workload(name)
+        spec = workload_spec(name)
         if spec.category == "specint":
             return list(range(min(self.tier.spec_inputs, spec.num_inputs)))
         return list(range(spec.num_inputs))
@@ -99,7 +132,7 @@ class Lab:
             obs.counter("lab.trace.build")
             _log.info("generating trace %s/input%d (%d instructions)", name, input_index, n)
             with obs.timer("lab.trace.generate", extra=(f"lab.trace.generate.{name}",)):
-                cached = trace_workload(_workload(name), input_index, instructions=n)
+                cached = trace_workload(workload_spec(name), input_index, instructions=n)
             self._traces[key] = cached
         else:
             obs.counter("lab.trace.cache_hit")
@@ -153,10 +186,124 @@ class Lab:
             )
         self._sims[key] = result
         if disk is not None:
-            with open(disk, "wb") as f:
-                pickle.dump({"cache_version": CACHE_VERSION, "result": result}, f)
-            obs.counter("lab.sim.cache_store")
+            self._store_disk(disk, result)
         return result
+
+    # -- parallel fan-out --------------------------------------------------
+
+    def prefetch(self, requests: Iterable[SimRequest]) -> int:
+        """Plan a batch of simulations and fan the misses out over workers.
+
+        ``requests`` are :class:`SimJob`s or (workload, input_index,
+        predictor[, instructions[, slice_instructions]]) tuples; omitted
+        sizes default per the active tier, exactly like :meth:`simulate`.
+        Duplicate requests and requests already satisfied by the in-memory
+        or disk cache are planned away; the rest run on the process pool
+        and land in both caches, so the subsequent serial
+        :meth:`simulate` calls are cache hits.  Returns the number of jobs
+        dispatched.
+
+        With ``jobs == 1`` this returns immediately (exact serial
+        behavior, metric-for-metric).  Worker failures are logged and
+        dropped; the serial path recomputes those keys synchronously.
+        """
+        if self.jobs <= 1:
+            return 0
+        requested = 0
+        batch: List[SimJob] = []
+        seen = set()
+        for request in requests:
+            requested += 1
+            job = self._normalize_request(request)
+            if job.key() in seen:
+                continue
+            seen.add(job.key())
+            batch.append(job)
+        obs.counter("lab.parallel.jobs.requested", requested)
+        todo: List[SimJob] = []
+        planned = 0
+        for job in batch:
+            key = job.key()
+            if key in self._sims:
+                planned += 1
+                continue
+            disk = self._disk_path(key)
+            if disk is not None and disk.exists():
+                cached = self._load_disk(disk)
+                if cached is not None:
+                    obs.counter("lab.sim.cache_hit.disk")
+                    self._sims[key] = cached
+                    planned += 1
+                    continue
+            todo.append(job)
+        obs.counter("lab.parallel.jobs.cache_planned", planned)
+        if not todo:
+            return 0
+        _log.info(
+            "prefetch: %d requests -> %d jobs (%d cache-planned) on %d workers",
+            requested, len(todo), planned, self.jobs,
+        )
+        if self._scheduler is None:
+            self._scheduler = ParallelScheduler(self.jobs)
+        with obs.span("lab.prefetch", jobs=len(todo), workers=self.jobs):
+            self._scheduler.run(todo, self._store_job_result)
+        return len(todo)
+
+    def _store_job_result(self, job: SimJob, result: SimulationResult) -> None:
+        key = job.key()
+        self._sims[key] = result
+        disk = self._disk_path(key)
+        if disk is not None:
+            self._store_disk(disk, result)
+
+    def _normalize_request(self, request: SimRequest) -> SimJob:
+        """Fill tier defaults and validate names (KeyError like simulate)."""
+        if isinstance(request, SimJob):
+            name, input_index, n, predictor, slice_n = request.key()
+        else:
+            name, input_index, predictor = request[:3]
+            n = request[3] if len(request) > 3 else None
+            slice_n = request[4] if len(request) > 4 else SLICE_INSTRUCTIONS
+        if predictor not in PREDICTOR_FACTORIES:
+            raise KeyError(
+                f"unknown predictor {predictor!r}; register a factory in "
+                "PREDICTOR_FACTORIES"
+            )
+        workload_spec(name)  # raises for unknown workloads
+        if n is None:
+            n = self.instructions_for(name)
+        return SimJob(name, input_index, n, predictor, slice_n)
+
+    def _store_disk(self, disk: Path, result: SimulationResult) -> None:
+        """Atomically publish one cache entry.
+
+        The payload is written to a unique sibling tempfile and renamed
+        into place, so concurrent readers never observe a partial pickle
+        and concurrent writers of the same (deterministic) entry simply
+        race to an identical file.  I/O failures only cost the cache
+        entry, never the run.
+        """
+        try:
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(disk.parent), prefix=disk.name, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as f:
+                    pickle.dump(
+                        {"cache_version": CACHE_VERSION, "result": result}, f
+                    )
+                os.replace(tmp_name, disk)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError as exc:
+            obs.counter("lab.cache.store_failed")
+            _log.warning("could not write disk cache %s: %s", disk, exc)
+            return
+        obs.counter("lab.sim.cache_store")
 
     def _load_disk(self, disk: Path) -> Optional[SimulationResult]:
         """Load one disk-cache entry, or ``None`` (with a warning) if it is

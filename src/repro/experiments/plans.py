@@ -1,0 +1,110 @@
+"""Per-experiment simulation request sets for the parallel scheduler.
+
+Each planner enumerates — without computing anything — the (workload,
+input, predictor) simulations its ``compute_*`` driver will request from
+the :class:`~repro.experiments.lab.Lab`.  The runner hands the planned
+set to :meth:`Lab.prefetch` before invoking the driver, so by the time
+the serial render path asks for a simulation it is already a cache hit.
+
+Planners must stay in sync with their drivers; the parallel-equivalence
+tests exercise both paths against each other.  Experiments that only
+consume traces (fig9, allocation, cnn) or run ad-hoc predictors inline
+have nothing to fan out and no entry here — they simply run serially.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from repro.experiments.config import SLICE_INSTRUCTIONS
+from repro.experiments.lab import Lab
+from repro.parallel.jobs import SimJob
+from repro.predictors.tagescl import STORAGE_PRESETS_KIB
+from repro.workloads import LCF_WORKLOADS, SPECINT_WORKLOADS
+
+_SPEC = tuple(w.name for w in SPECINT_WORKLOADS)
+_LCF = tuple(w.name for w in LCF_WORKLOADS)
+_BASE = ("tage-sc-l-8kb",)
+_SCALING = ("tage-sc-l-8kb", "tage-sc-l-64kb")
+_STORAGE_SWEEP = tuple(f"tage-sc-l-{kib}kb" for kib in STORAGE_PRESETS_KIB)
+
+
+def suite_jobs(
+    lab: Lab,
+    names: Sequence[str],
+    predictors: Sequence[str],
+    all_inputs: bool = False,
+) -> List[SimJob]:
+    """Jobs for a workload suite at the lab's tier sizes."""
+    jobs: List[SimJob] = []
+    for name in names:
+        n = lab.instructions_for(name)
+        inputs = lab.inputs_for(name) if all_inputs else [0]
+        for input_index in inputs:
+            for predictor in predictors:
+                jobs.append(
+                    SimJob(name, input_index, n, predictor, SLICE_INSTRUCTIONS)
+                )
+    return jobs
+
+
+def plan_table1(lab: Lab) -> List[SimJob]:
+    return suite_jobs(lab, _SPEC, _BASE, all_inputs=True)
+
+
+def plan_table2(lab: Lab) -> List[SimJob]:
+    return suite_jobs(lab, _LCF, _BASE)
+
+
+def plan_table3(lab: Lab) -> List[SimJob]:
+    return suite_jobs(lab, _SPEC, _BASE)
+
+
+def plan_fig1(lab: Lab) -> List[SimJob]:
+    return suite_jobs(lab, _SPEC, _SCALING, all_inputs=True)
+
+
+def plan_fig2(lab: Lab) -> List[SimJob]:
+    return suite_jobs(lab, _SPEC, _BASE)
+
+
+def plan_fig3(lab: Lab) -> List[SimJob]:
+    return suite_jobs(lab, _LCF, _BASE)
+
+
+def plan_fig5(lab: Lab) -> List[SimJob]:
+    return suite_jobs(lab, _LCF, _SCALING, all_inputs=True)
+
+
+def plan_fig7(lab: Lab) -> List[SimJob]:
+    return suite_jobs(lab, _LCF, _STORAGE_SWEEP)
+
+
+def plan_fig8(lab: Lab) -> List[SimJob]:
+    return suite_jobs(lab, _LCF, ("tage-sc-l-1024kb",))
+
+
+def plan_fig10(lab: Lab) -> List[SimJob]:
+    return suite_jobs(lab, _SPEC, _BASE)
+
+
+def plan_phase(lab: Lab) -> List[SimJob]:
+    return suite_jobs(lab, _LCF, _BASE)
+
+
+#: Experiment name -> request-set planner (fig4/fig6 share fig3/table3 sims).
+EXPERIMENT_PLANS: Dict[str, Callable[[Lab], List[SimJob]]] = {
+    "table1": plan_table1,
+    "table2": plan_table2,
+    "table3": plan_table3,
+    "fig1": plan_fig1,
+    "fig2": plan_fig2,
+    "fig3": plan_fig3,
+    "fig4": plan_fig3,
+    "fig5": plan_fig5,
+    "fig6": plan_table3,
+    "fig7": plan_fig7,
+    "fig8": plan_fig8,
+    "fig10": plan_fig10,
+    "phase": plan_phase,
+}

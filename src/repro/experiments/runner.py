@@ -24,6 +24,7 @@ from repro.experiments.fig9 import compute_fig9
 from repro.experiments.fig10 import compute_fig10
 from repro.experiments.lab import Lab
 from repro.experiments.phase_study import compute_phase_study
+from repro.experiments.plans import EXPERIMENT_PLANS
 from repro.experiments.table1 import compute_table1
 from repro.experiments.table2 import compute_table2
 from repro.experiments.table3 import compute_table3
@@ -73,12 +74,19 @@ def run_experiments(
         )
     lab = lab or Lab()
     outputs: List[str] = []
-    echo(f"Running {len(selected)} experiment(s) at tier '{lab.tier.name}'\n")
+    workers = f" with {lab.jobs} workers" if lab.jobs > 1 else ""
+    echo(f"Running {len(selected)} experiment(s) at tier '{lab.tier.name}'{workers}\n")
     for name in selected:
         _log.info("starting experiment %s", name)
         # Span-based timing: the span lands in the exported tree (with lab
         # simulate children) and also backs the elapsed display.
         with obs.span(name, tier=lab.tier.name) as sp:
+            # Fan the experiment's planned simulations out across the
+            # worker pool first; the serial driver below then renders
+            # entirely from cache hits.
+            plan = EXPERIMENT_PLANS.get(name) if lab.jobs > 1 else None
+            if plan is not None:
+                lab.prefetch(plan(lab))
             output = EXPERIMENTS[name](lab)
         _log.info("finished %s in %s", name, obs.format_duration(sp.duration_s))
         echo(f"{'=' * 72}\n{name} ({obs.format_duration(sp.duration_s)})\n{'=' * 72}")
@@ -108,6 +116,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="directory for the on-disk simulation cache",
     )
     parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the simulation fan-out "
+        "(default: $REPRO_JOBS or 1 = serial; 0 means all cores)",
+    )
+    parser.add_argument(
         "--log-level",
         default=None,
         choices=["debug", "info", "warning", "error"],
@@ -134,11 +151,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.metrics_out:
         obs.enable()
 
-    lab = Lab(cache_dir=args.cache_dir)
+    lab = Lab(cache_dir=args.cache_dir, jobs=args.jobs)
     try:
         run_experiments(args.experiments or None, lab)
     except ValueError as exc:
         parser.error(str(exc))
+    finally:
+        lab.close()
 
     if obs.is_enabled():
         print(obs.render_summary())

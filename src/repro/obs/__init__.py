@@ -34,6 +34,7 @@ from repro.obs.registry import (
     enable,
     gauge,
     is_enabled,
+    merge_snapshot,
     observe_timer,
     registry,
     reset,
@@ -55,6 +56,7 @@ __all__ = [
     "gauge",
     "get_logger",
     "is_enabled",
+    "merge_snapshot",
     "observe_timer",
     "registry",
     "render_summary",

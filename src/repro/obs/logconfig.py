@@ -45,6 +45,13 @@ def resolve_level(level: Optional[str] = None) -> int:
     return resolved
 
 
+def is_configured() -> bool:
+    """Whether :func:`configure_logging` has installed our handler (used to
+    decide if worker processes should replicate the logging setup)."""
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    return any(getattr(h, _HANDLER_FLAG, False) for h in root.handlers)
+
+
 def configure_logging(
     level: Optional[str] = None, stream=None
 ) -> logging.Logger:

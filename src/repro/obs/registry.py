@@ -216,6 +216,50 @@ class MetricsRegistry:
         t.calls += 1
         t.observe(seconds)
 
+    # -- cross-process aggregation ----------------------------------------
+
+    def snapshot_for_merge(self) -> Dict[str, object]:
+        """Mergeable view of this registry: counters, gauges, and timer
+        aggregates.  Ring samples are not exported, so percentiles on the
+        receiving side reflect only locally observed durations."""
+        return {
+            "counters": self.counters_dict(),
+            "gauges": self.gauges_dict(),
+            "timers": {
+                name: {
+                    "calls": t.calls,
+                    "count": t.count,
+                    "total_s": t.total_s,
+                    "min_s": t.min_s if t.count else 0.0,
+                    "max_s": t.max_s,
+                }
+                for name, t in sorted(self._timers.items())
+            },
+        }
+
+    def merge_snapshot(self, snap: Dict[str, object]) -> None:
+        """Fold another registry's :meth:`snapshot_for_merge` into this one
+        (aggregating worker-process metrics into the parent).  Counters and
+        timer aggregates add; gauges are last-write-wins.  No-op when
+        disabled."""
+        if not self.enabled:
+            return
+        for name, value in (snap.get("counters") or {}).items():
+            self.counter(name).inc(value)
+        for name, value in (snap.get("gauges") or {}).items():
+            self.gauge(name).set(value)
+        for name, agg in (snap.get("timers") or {}).items():
+            t = self.timer(name)
+            t.calls += agg.get("calls", 0)
+            count = agg.get("count", 0)
+            if count:
+                t.count += count
+                t.total_s += agg.get("total_s", 0.0)
+                if agg.get("min_s", 0.0) < t.min_s:
+                    t.min_s = agg["min_s"]
+                if agg.get("max_s", 0.0) > t.max_s:
+                    t.max_s = agg["max_s"]
+
     # -- introspection ----------------------------------------------------
 
     def counters_dict(self) -> Dict[str, int]:
@@ -292,3 +336,9 @@ def timer(name: str, sample: int = 1, extra=()):
 def observe_timer(name: str, seconds: float) -> None:
     """Record an externally measured duration into timer ``name``."""
     _REGISTRY.observe(name, seconds)
+
+
+def merge_snapshot(snap: Dict[str, object]) -> None:
+    """Fold a :meth:`MetricsRegistry.snapshot_for_merge` dict (typically
+    from a worker process) into the process-wide registry."""
+    _REGISTRY.merge_snapshot(snap)

@@ -1,0 +1,29 @@
+"""``repro.parallel``: process-pool fan-out for the simulation engine.
+
+The paper's methodology is embarrassingly parallel — every table and
+figure aggregates independent (workload, input, predictor) simulations —
+so the :class:`~repro.experiments.lab.Lab` plans each experiment's full
+request set up front (:mod:`repro.experiments.plans`), dedupes it against
+its caches, and hands the remainder to a :class:`ParallelScheduler` that
+fans jobs out across worker processes.  Workers rebuild workloads and
+predictors from names via the existing registries; only small
+:class:`SimJob` tuples and ``SimulationResult`` payloads cross the
+process boundary, and all simulation is seeded, so parallel runs are
+bit-identical to serial ones.
+
+Select the worker count with ``--jobs/-j`` on the CLI, ``jobs=`` on
+``Lab``, or ``$REPRO_JOBS`` (default 1 = exact serial behavior; <= 0
+means all cores).  See ``docs/performance.md``.
+"""
+
+from repro.parallel.jobs import SimJob, WorkerReport, run_sim_job, worker_init
+from repro.parallel.scheduler import ParallelScheduler, resolve_jobs
+
+__all__ = [
+    "ParallelScheduler",
+    "SimJob",
+    "WorkerReport",
+    "resolve_jobs",
+    "run_sim_job",
+    "worker_init",
+]

@@ -1,0 +1,131 @@
+"""Job specs and the worker-process entry point for parallel simulation.
+
+Only small, picklable values cross the process boundary: a :class:`SimJob`
+names its workload and predictor, and the worker rebuilds both from the
+existing registries (:data:`repro.experiments.lab.PREDICTOR_FACTORIES`,
+:func:`repro.experiments.lab.workload_spec`).  Everything simulated is
+seeded per (workload, input) and per predictor construction, so a worker
+produces byte-identical :class:`SimulationResult`s to the serial path.
+
+Workers keep a small per-process LRU of generated traces so the jobs for
+one (workload, input) pair — e.g. the six storage presets of Fig. 7 —
+share a single trace generation when they land on the same worker.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from dataclasses import dataclass
+from time import monotonic
+from typing import Any, Dict, Optional, Tuple
+
+#: Traces retained per worker process (override: ``REPRO_WORKER_TRACE_CACHE``).
+TRACE_CACHE_CAP = max(1, int(os.environ.get("REPRO_WORKER_TRACE_CACHE", "4") or 4))
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One simulation request, fully described by names and sizes."""
+
+    workload: str
+    input_index: int
+    instructions: int
+    predictor: str
+    slice_instructions: int
+
+    def key(self) -> Tuple[str, int, int, str, int]:
+        """The Lab's simulation-cache key for this job."""
+        return (
+            self.workload,
+            self.input_index,
+            self.instructions,
+            self.predictor,
+            self.slice_instructions,
+        )
+
+
+@dataclass(frozen=True)
+class WorkerReport:
+    """Timing and metrics a worker returns alongside its result.
+
+    Timestamps are ``time.monotonic()`` values; on Linux that clock is
+    system-wide, so the parent can difference them against its own submit
+    times to estimate queue wait.  ``metrics`` is a
+    :meth:`MetricsRegistry.snapshot_for_merge` dict (or ``None`` when
+    collection is disabled) covering exactly this job.
+    """
+
+    t_start: float
+    t_end: float
+    metrics: Optional[Dict[str, Any]] = None
+
+    @property
+    def busy_s(self) -> float:
+        return self.t_end - self.t_start
+
+
+_worker_obs_enabled = False
+_trace_cache: "OrderedDict[Tuple[str, int, int], Any]" = OrderedDict()
+
+
+def worker_init(obs_enabled: bool, log_level: Optional[str]) -> None:
+    """Initialize one worker process to mirror the parent's observability.
+
+    Start-method agnostic: under ``fork`` this re-applies inherited state,
+    under ``spawn`` it creates it.  ``log_level`` is a level *name* (or
+    ``None`` when the parent never configured logging).
+    """
+    global _worker_obs_enabled
+    from repro import obs
+
+    _worker_obs_enabled = bool(obs_enabled)
+    if _worker_obs_enabled:
+        obs.enable()
+    else:
+        obs.disable()
+    if log_level is not None:
+        obs.configure_logging(log_level)
+
+
+def _worker_trace(workload: str, input_index: int, instructions: int):
+    """Per-process LRU over generated traces."""
+    from repro import obs
+    from repro.experiments.lab import workload_spec
+    from repro.workloads import trace_workload
+
+    key = (workload, input_index, instructions)
+    cached = _trace_cache.get(key)
+    if cached is not None:
+        _trace_cache.move_to_end(key)
+        obs.counter("lab.parallel.worker.trace_cache_hit")
+        return cached
+    obs.counter("lab.parallel.worker.trace_build")
+    trace = trace_workload(workload_spec(workload), input_index, instructions=instructions)
+    _trace_cache[key] = trace
+    while len(_trace_cache) > TRACE_CACHE_CAP:
+        _trace_cache.popitem(last=False)
+    return trace
+
+
+def run_sim_job(job: SimJob):
+    """Worker entry point: rebuild by name, simulate, snapshot metrics.
+
+    Returns ``(job, SimulationResult, WorkerReport)``.  When metrics are
+    enabled the worker registry is reset before the job, so the returned
+    snapshot is exactly this job's delta (workers execute jobs serially).
+    """
+    from repro import obs
+    from repro.experiments.lab import PREDICTOR_FACTORIES
+    from repro.pipeline.simulator import simulate_trace
+
+    t_start = monotonic()
+    if _worker_obs_enabled:
+        obs.reset()
+    trace = _worker_trace(job.workload, job.input_index, job.instructions)
+    predictor = PREDICTOR_FACTORIES[job.predictor]()
+    result = simulate_trace(
+        trace.trace, predictor, slice_instructions=job.slice_instructions
+    )
+    metrics = obs.registry().snapshot_for_merge() if _worker_obs_enabled else None
+    return job, result, WorkerReport(t_start=t_start, t_end=monotonic(), metrics=metrics)

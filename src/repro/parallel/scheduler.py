@@ -1,0 +1,140 @@
+"""Process-pool scheduler: dispatch :class:`SimJob`s, fold metrics back.
+
+The scheduler owns a lazily created :class:`ProcessPoolExecutor` that
+survives across batches (experiments running under one Lab reuse the same
+warm workers).  Per batch it records the ``lab.parallel.*`` metrics —
+jobs dispatched/completed/failed, queue wait, worker busy time, batch
+wall time, and worker utilization — and merges each worker's own metric
+snapshot into the parent registry, so ``--metrics-out`` reports one
+coherent view of the whole run.
+
+A job that fails in a worker is logged and *dropped*: its cache entry
+stays empty, and the serial path recomputes it synchronously, surfacing
+the error in context.  Simulation is deterministic, so the retry fails
+identically — nothing is silently lost.
+"""
+
+from __future__ import annotations
+
+import logging
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from time import monotonic
+from typing import Callable, List, Optional
+
+from repro import obs
+from repro.obs.logconfig import ROOT_LOGGER_NAME, is_configured
+from repro.parallel.jobs import SimJob, run_sim_job, worker_init
+
+_log = obs.get_logger("parallel")
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Worker-count policy: explicit value, else ``$REPRO_JOBS``, else 1.
+
+    Values <= 0 mean "all cores" (``os.cpu_count()``).
+    """
+    import os
+
+    if jobs is None:
+        raw = os.environ.get("REPRO_JOBS", "").strip()
+        try:
+            jobs = int(raw) if raw else 1
+        except ValueError:
+            raise ValueError(f"REPRO_JOBS must be an integer, got {raw!r}") from None
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return jobs
+
+
+class ParallelScheduler:
+    """Fan :class:`SimJob`s out over a persistent worker pool."""
+
+    def __init__(self, jobs: int) -> None:
+        if jobs < 1:
+            raise ValueError("scheduler needs at least one worker")
+        self.jobs = jobs
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            # Workers mirror the parent's logging configuration (when the
+            # parent configured any) and metrics-enabled state.
+            level_name = (
+                logging.getLevelName(logging.getLogger(ROOT_LOGGER_NAME).level)
+                if is_configured()
+                else None
+            )
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=worker_init,
+                initargs=(obs.is_enabled(), level_name),
+            )
+        return self._pool
+
+    def run(
+        self,
+        jobs: List[SimJob],
+        on_result: Callable[[SimJob, object], None],
+    ) -> int:
+        """Run one batch; invoke ``on_result(job, result)`` per success.
+
+        Returns the number of failed jobs.  Results are delivered in
+        completion order — callers key their caches by job, so ordering
+        never affects outputs.
+        """
+        if not jobs:
+            return 0
+        pool = self._ensure_pool()
+        t_batch = monotonic()
+        obs.counter("lab.parallel.batches")
+        obs.counter("lab.parallel.jobs.dispatched", len(jobs))
+        futures = {}
+        submit_t = {}
+        for job in jobs:
+            fut = pool.submit(run_sim_job, job)
+            futures[fut] = job
+            submit_t[fut] = monotonic()
+        busy_s = 0.0
+        failed = 0
+        broken = False
+        for fut in as_completed(futures):
+            job = futures[fut]
+            try:
+                _job, result, report = fut.result()
+            except Exception as exc:
+                failed += 1
+                broken = broken or isinstance(exc, BrokenProcessPool)
+                obs.counter("lab.parallel.jobs.failed")
+                _log.warning(
+                    "parallel job %s failed (%s: %s); the serial path will "
+                    "recompute it and surface the error in context",
+                    job, type(exc).__name__, exc,
+                )
+                continue
+            busy_s += report.busy_s
+            obs.observe_timer("lab.parallel.worker_busy", report.busy_s)
+            # monotonic() is system-wide on Linux; clamp for platforms
+            # where worker and parent clocks are not comparable.
+            obs.observe_timer(
+                "lab.parallel.queue_wait", max(0.0, report.t_start - submit_t[fut])
+            )
+            if report.metrics:
+                obs.merge_snapshot(report.metrics)
+            obs.counter("lab.parallel.jobs.completed")
+            on_result(job, result)
+        wall_s = monotonic() - t_batch
+        obs.observe_timer("lab.parallel.batch", wall_s)
+        if wall_s > 0:
+            obs.gauge("lab.parallel.worker_utilization", busy_s / (self.jobs * wall_s))
+        if broken:
+            # A dead worker poisons the whole executor; rebuild on next use.
+            _log.warning("worker pool broke; recreating it for the next batch")
+            self.close()
+        return failed
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent); a later batch recreates it."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None

@@ -93,56 +93,105 @@ def simulate_trace(
     t_start = perf_counter()
 
     ips = trace.ips.tolist()
-    taken_arr = trace.taken.tolist()
+    # astype(bool) makes tolist() yield Python bools, so the loop never
+    # converts per branch.
+    taken_arr = trace.taken.astype(bool).tolist()
     targets = trace.targets.tolist()
     kinds = trace.kinds.tolist()
     instr_idx = trace.instr_indices.tolist()
 
-    needs_outcome = hasattr(predictor, "set_outcome")
+    set_outcome = getattr(predictor, "set_outcome", None)
     predict = predictor.predict
     update = predictor.update
     note = predictor.note_branch
+    stats_record = stats.record
+    cur_slice_record = cur_slice.record if cur_slice is not None else None
+    # An infinite boundary keeps the per-branch test a plain comparison when
+    # slicing is off (the while body is unreachable then).
+    boundary = next_boundary if next_boundary is not None else float("inf")
     seen_cond = 0
 
-    for i in range(len(ips)):
-        kind = kinds[i]
-        ip = ips[i]
-        taken = bool(taken_arr[i])
-        pos = instr_idx[i]
+    # The loop body exists twice, specialized on whether the predictor wants
+    # the resolved outcome before predict() (only the oracle family does);
+    # the common case pays no per-branch set_outcome check.  Keep the two
+    # bodies in sync.
+    if set_outcome is None:
+        for i in range(len(ips)):
+            kind = kinds[i]
+            ip = ips[i]
+            taken = taken_arr[i]
+            pos = instr_idx[i]
 
-        if next_boundary is not None:
-            while pos >= next_boundary:
+            while pos >= boundary:
                 if heartbeat:
                     _log.info(
                         "%s: slice %d done (%d instructions, %d branches, "
                         "acc so far %.4f)",
                         predictor.name,
                         len(slice_list),
-                        next_boundary,
+                        boundary,
                         i,
                         stats.accuracy,
                     )
                 slice_list.append(cur_slice)
                 cur_slice = BranchStats()
-                next_boundary += slice_instructions
+                cur_slice_record = cur_slice.record
+                boundary += slice_instructions
 
-        if kind != _COND:
-            note(ip, targets[i], _KINDS[kind], taken)
-            continue
+            if kind != _COND:
+                note(ip, targets[i], _KINDS[kind], taken)
+                continue
 
-        if needs_outcome:
-            predictor.set_outcome(taken)
-        pred = predict(ip)
-        update(ip, taken)
-        seen_cond += 1
-        if seen_cond <= warmup_branches:
-            continue
-        correct = pred == taken
-        stats.record(ip, correct)
-        if cur_slice is not None:
-            cur_slice.record(ip, correct)
-        if not correct and mis_positions is not None:
-            mis_positions.append(pos)
+            pred = predict(ip)
+            update(ip, taken)
+            seen_cond += 1
+            if seen_cond <= warmup_branches:
+                continue
+            correct = pred == taken
+            stats_record(ip, correct)
+            if cur_slice_record is not None:
+                cur_slice_record(ip, correct)
+            if not correct and mis_positions is not None:
+                mis_positions.append(pos)
+    else:
+        for i in range(len(ips)):
+            kind = kinds[i]
+            ip = ips[i]
+            taken = taken_arr[i]
+            pos = instr_idx[i]
+
+            while pos >= boundary:
+                if heartbeat:
+                    _log.info(
+                        "%s: slice %d done (%d instructions, %d branches, "
+                        "acc so far %.4f)",
+                        predictor.name,
+                        len(slice_list),
+                        boundary,
+                        i,
+                        stats.accuracy,
+                    )
+                slice_list.append(cur_slice)
+                cur_slice = BranchStats()
+                cur_slice_record = cur_slice.record
+                boundary += slice_instructions
+
+            if kind != _COND:
+                note(ip, targets[i], _KINDS[kind], taken)
+                continue
+
+            set_outcome(taken)
+            pred = predict(ip)
+            update(ip, taken)
+            seen_cond += 1
+            if seen_cond <= warmup_branches:
+                continue
+            correct = pred == taken
+            stats_record(ip, correct)
+            if cur_slice_record is not None:
+                cur_slice_record(ip, correct)
+            if not correct and mis_positions is not None:
+                mis_positions.append(pos)
 
     if slice_list is not None and (len(cur_slice) or not slice_list):
         slice_list.append(cur_slice)

@@ -1,0 +1,243 @@
+"""Parallel simulation engine: serial equivalence, picklability, and
+concurrent shared-cache behavior."""
+
+import os
+import pickle
+import threading
+
+import pytest
+
+from repro.config import ExperimentTier
+from repro.experiments.lab import CACHE_VERSION, Lab, PREDICTOR_FACTORIES
+from repro.experiments.plans import EXPERIMENT_PLANS
+from repro.parallel.jobs import SimJob, run_sim_job
+from repro.parallel.scheduler import resolve_jobs
+from repro.workloads import WORKLOADS_BY_NAME
+
+#: One input, one slice: the equivalence sweeps stay fast even though every
+#: job is simulated twice (serial reference + parallel).
+TEST_TIER = ExperimentTier(name="ptest", spec_inputs=1, spec_slices=1, lcf_slices=1)
+
+#: Shrunk trace/slice lengths for the fork-heavy tests.
+TINY_INSTRUCTIONS = 20_000
+TINY_SLICE = 10_000
+
+
+def _tiny(jobs):
+    return [
+        SimJob(j.workload, j.input_index, TINY_INSTRUCTIONS, j.predictor, TINY_SLICE)
+        for j in jobs
+    ]
+
+
+def _stats_tuple(result):
+    """Everything the experiments read, in comparable form."""
+    return (
+        result.predictor_name,
+        result.accuracy,
+        result.mpki,
+        result.instr_count,
+        sorted(
+            (ip, c.executions, c.mispredictions) for ip, c in result.stats.items()
+        ),
+        [
+            sorted((ip, c.executions, c.mispredictions) for ip, c in s.items())
+            for s in result.slice_stats
+        ],
+    )
+
+
+class TestParallelSerialEquivalence:
+    @pytest.mark.parametrize("experiment", ["table1", "fig7"])
+    def test_jobs4_matches_jobs1(self, experiment):
+        serial = Lab(tier=TEST_TIER, jobs=1)
+        with Lab(tier=TEST_TIER, jobs=4) as parallel:
+            jobs = _tiny(EXPERIMENT_PLANS[experiment](parallel))
+            dispatched = parallel.prefetch(jobs)
+            assert dispatched == len(jobs)
+            for job in jobs:
+                a = serial.simulate(
+                    job.workload, job.input_index, job.predictor,
+                    instructions=job.instructions,
+                    slice_instructions=job.slice_instructions,
+                )
+                b = parallel.simulate(
+                    job.workload, job.input_index, job.predictor,
+                    instructions=job.instructions,
+                    slice_instructions=job.slice_instructions,
+                )
+                assert _stats_tuple(a) == _stats_tuple(b)
+
+    def test_prefetch_results_come_from_cache(self, obs_enabled):
+        with Lab(tier=TEST_TIER, jobs=2) as lab:
+            jobs = _tiny(EXPERIMENT_PLANS["fig8"](lab))[:2]
+            lab.prefetch(jobs)
+            before = obs_enabled.counter("lab.sim.cache_miss").value
+            for job in jobs:
+                lab.simulate(
+                    job.workload, job.input_index, job.predictor,
+                    instructions=job.instructions,
+                    slice_instructions=job.slice_instructions,
+                )
+            assert obs_enabled.counter("lab.sim.cache_miss").value == before
+            assert obs_enabled.counter("lab.sim.cache_hit.memory").value >= len(jobs)
+
+
+class TestPicklability:
+    def test_job_specs_picklable_for_every_registry_entry(self):
+        for workload in WORKLOADS_BY_NAME:
+            for predictor in PREDICTOR_FACTORIES:
+                job = SimJob(workload, 0, 1_000, predictor, 500)
+                assert pickle.loads(pickle.dumps(job)) == job
+
+    def test_run_sim_job_payload_round_trips(self):
+        # Same entry point the workers execute, run in-process: the
+        # returned SimulationResult must survive the pickle boundary.
+        job = SimJob("605.mcf_s", 0, 5_000, "tage-sc-l-8kb", 2_500)
+        returned_job, result, report = run_sim_job(job)
+        assert returned_job == job
+        assert report.busy_s >= 0
+        clone = pickle.loads(pickle.dumps(result))
+        assert _stats_tuple(clone) == _stats_tuple(result)
+
+
+class TestSharedDiskCache:
+    def test_two_labs_one_cache_dir_concurrent(self, tmp_path):
+        labs = [Lab(tier=TEST_TIER, cache_dir=str(tmp_path)) for _ in range(2)]
+        results = {}
+        errors = []
+
+        def work(i):
+            try:
+                results[i] = labs[i].simulate(
+                    "game", 0, "tage-sc-l-8kb",
+                    instructions=TINY_INSTRUCTIONS,
+                    slice_instructions=TINY_SLICE,
+                )
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert _stats_tuple(results[0]) == _stats_tuple(results[1])
+        # Atomic writes: the entry is complete and no tempfiles remain.
+        assert not list(tmp_path.glob("*.tmp"))
+        fresh = Lab(tier=TEST_TIER, cache_dir=str(tmp_path))
+        reloaded = fresh.simulate(
+            "game", 0, "tage-sc-l-8kb",
+            instructions=TINY_INSTRUCTIONS,
+            slice_instructions=TINY_SLICE,
+        )
+        assert _stats_tuple(reloaded) == _stats_tuple(results[0])
+
+    def test_parallel_lab_shares_cache_with_serial_lab(self, tmp_path):
+        with Lab(tier=TEST_TIER, cache_dir=str(tmp_path), jobs=2) as writer:
+            jobs = _tiny(EXPERIMENT_PLANS["table2"](writer))[:2]
+            assert writer.prefetch(jobs) == len(jobs)
+            assert not list(tmp_path.glob("*.tmp"))
+        reader = Lab(tier=TEST_TIER, cache_dir=str(tmp_path), jobs=2)
+        # Everything is cache-planned now; nothing should be dispatched.
+        assert reader.prefetch(jobs) == 0
+
+    def test_truncated_entry_from_crashed_writer_is_recomputed(self, tmp_path):
+        lab = Lab(tier=TEST_TIER, cache_dir=str(tmp_path))
+        key = ("game", 0, TINY_INSTRUCTIONS, "tage-sc-l-8kb", TINY_SLICE)
+        disk = lab._disk_path(key)
+        disk.write_bytes(b"\x80\x04partial-pickle-from-a-crashed-writer")
+        # A stray tempfile (crashed writer mid-publish) must also be inert.
+        (tmp_path / (disk.name + ".12345.tmp")).write_bytes(b"garbage")
+        result = lab.simulate(
+            "game", 0, "tage-sc-l-8kb",
+            instructions=TINY_INSTRUCTIONS,
+            slice_instructions=TINY_SLICE,
+        )
+        assert result.stats.total_executions > 0
+        # The recompute atomically replaced the truncated entry.
+        with open(disk, "rb") as f:
+            payload = pickle.load(f)
+        assert payload["cache_version"] == CACHE_VERSION
+
+
+class TestPlanner:
+    def test_serial_lab_prefetch_is_noop(self):
+        lab = Lab(tier=TEST_TIER, jobs=1)
+        jobs = _tiny(EXPERIMENT_PLANS["fig7"](lab))
+        assert lab.prefetch(jobs) == 0
+        assert lab._scheduler is None
+        assert not lab._sims  # nothing computed eagerly
+
+    def test_prefetch_dedupes_requests_and_cached_keys(self, obs_enabled):
+        with Lab(tier=TEST_TIER, jobs=2) as lab:
+            job = _tiny(EXPERIMENT_PLANS["table2"](lab))[0]
+            # Warm one key through the serial path first.
+            lab.simulate(
+                job.workload, job.input_index, job.predictor,
+                instructions=job.instructions,
+                slice_instructions=job.slice_instructions,
+            )
+            dispatched = lab.prefetch([job, job, job])
+            assert dispatched == 0
+            assert obs_enabled.counter("lab.parallel.jobs.requested").value == 3
+            assert obs_enabled.counter("lab.parallel.jobs.cache_planned").value == 1
+
+    def test_prefetch_accepts_tuples_with_tier_defaults(self):
+        lab = Lab(tier=TEST_TIER, jobs=1)
+        normalized = lab._normalize_request(("game", 0, "tage-sc-l-8kb"))
+        assert normalized.instructions == lab.instructions_for("game")
+        short = lab._normalize_request(("game", 0, "tage-sc-l-8kb", 123, 45))
+        assert (short.instructions, short.slice_instructions) == (123, 45)
+
+    def test_prefetch_rejects_unknown_names(self):
+        lab = Lab(tier=TEST_TIER, jobs=2)
+        with pytest.raises(KeyError):
+            lab.prefetch([("game", 0, "not-a-predictor")])
+        with pytest.raises(KeyError):
+            lab.prefetch([("not-a-workload", 0, "tage-sc-l-8kb")])
+
+    def test_every_plan_names_registered_entries(self):
+        lab = Lab(tier=TEST_TIER, jobs=1)
+        for name, plan in EXPERIMENT_PLANS.items():
+            jobs = plan(lab)
+            assert jobs, name
+            for job in jobs:
+                assert job.predictor in PREDICTOR_FACTORIES
+                assert job.workload in WORKLOADS_BY_NAME
+
+
+class TestWorkerObservability:
+    def test_worker_metrics_merge_into_parent(self, obs_enabled):
+        with Lab(tier=TEST_TIER, jobs=2) as lab:
+            jobs = _tiny(EXPERIMENT_PLANS["fig8"](lab))[:2]
+            lab.prefetch(jobs)
+        counters = obs_enabled.counters_dict()
+        assert counters["lab.parallel.jobs.dispatched"] == 2
+        assert counters["lab.parallel.jobs.completed"] == 2
+        assert counters["sim.branches"] > 0  # merged from workers
+        assert obs_enabled.timer("lab.parallel.worker_busy").calls == 2
+        assert obs_enabled.timer("lab.parallel.queue_wait").calls == 2
+        assert 0 < obs_enabled.gauge("lab.parallel.worker_utilization").value <= 1
+
+
+class TestResolveJobs:
+    def test_explicit_value_wins(self):
+        assert resolve_jobs(3) == 3
+
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs(None) == 5
+
+    def test_zero_means_all_cores(self):
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_invalid_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ValueError):
+            resolve_jobs(None)

@@ -38,6 +38,19 @@ class TestRunner:
         with pytest.raises(SystemExit):
             main(["definitely-not-an-experiment"])
 
+    def test_cli_jobs_flag(self, capsys):
+        # fig9 is trace-only (no planned simulations), so this exercises
+        # the full CLI path with a worker-enabled Lab without forking.
+        assert main(["fig9", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 workers" in out
+
+    def test_run_experiments_serial_header_unchanged(self, lab):
+        # jobs == 1 must keep the historical header byte-for-byte.
+        lines = []
+        run_experiments(["fig9"], lab, echo=lines.append)
+        assert lines[0] == f"Running 1 experiment(s) at tier '{lab.tier.name}'\n"
+
     def test_elapsed_display_is_adaptive(self, lab):
         # Sub-second experiments must not be shown as "(0s)".
         lines = []

@@ -109,3 +109,37 @@ class TestLifecycle:
             t.observe(0.001)
         assert len(t._ring) <= 256
         assert t.count == 1000
+
+
+class TestCrossProcessMerge:
+    def _worker_like_snapshot(self):
+        worker = MetricsRegistry(enabled=True)
+        worker.inc("sim.branches", 100)
+        worker.set_gauge("sim.branches_per_sec", 5.0)
+        worker.observe("sim.trace", 2.0)
+        worker.observe("sim.trace", 4.0)
+        return worker.snapshot_for_merge()
+
+    def test_snapshot_round_trips_through_merge(self, obs_enabled):
+        obs.counter("sim.branches", 7)
+        obs.observe_timer("sim.trace", 1.0)
+        obs_enabled.merge_snapshot(self._worker_like_snapshot())
+        assert obs_enabled.counters_dict()["sim.branches"] == 107
+        assert obs_enabled.gauges_dict()["sim.branches_per_sec"] == 5.0
+        t = obs_enabled.timer("sim.trace")
+        assert t.calls == 3 and t.count == 3
+        assert t.total_s == 7.0
+        assert t.min_s == 1.0 and t.max_s == 4.0
+
+    def test_snapshot_is_json_serializable(self, obs_enabled):
+        import json
+
+        obs.counter("a")
+        with obs.timer("b"):
+            pass
+        json.dumps(obs_enabled.snapshot_for_merge())
+
+    def test_merge_is_noop_when_disabled(self, obs_disabled):
+        obs_disabled.merge_snapshot(self._worker_like_snapshot())
+        assert obs_disabled.counters_dict() == {}
+        assert obs_disabled.timers_dict() == {}
