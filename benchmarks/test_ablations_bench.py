@@ -5,7 +5,6 @@ models — the kind of evidence a reviewer would ask for when judging the
 substitutions the reproduction makes.
 """
 
-import numpy as np
 import pytest
 from conftest import run_once
 

@@ -312,6 +312,11 @@ class Lab:
             with open(disk, "rb") as f:
                 payload = pickle.load(f)
         except Exception as exc:
+            # Fail-soft by design: a corrupt/truncated entry (e.g. a torn
+            # write from a killed worker) must cost a recompute, never the
+            # run.  The dedicated counter separates I/O-level failures from
+            # well-formed-but-stale payloads (both also count as invalid).
+            obs.counter("lab.cache.load_error")
             reason = f"unreadable ({type(exc).__name__}: {exc})"
         else:
             if (

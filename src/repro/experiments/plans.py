@@ -92,6 +92,14 @@ def plan_phase(lab: Lab) -> List[SimJob]:
     return suite_jobs(lab, _LCF, _BASE)
 
 
+def plan_staticcheck(lab: Lab) -> List[SimJob]:
+    # The static/dynamic cross-check screens H2Ps over every SPECint input
+    # and reads each LCF app's branch population from its first input.
+    return suite_jobs(lab, _SPEC, _BASE, all_inputs=True) + suite_jobs(
+        lab, _LCF, _BASE
+    )
+
+
 #: Experiment name -> request-set planner (fig4/fig6 share fig3/table3 sims).
 EXPERIMENT_PLANS: Dict[str, Callable[[Lab], List[SimJob]]] = {
     "table1": plan_table1,
@@ -107,4 +115,5 @@ EXPERIMENT_PLANS: Dict[str, Callable[[Lab], List[SimJob]]] = {
     "fig8": plan_fig8,
     "fig10": plan_fig10,
     "phase": plan_phase,
+    "staticcheck": plan_staticcheck,
 }

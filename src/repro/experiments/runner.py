@@ -25,6 +25,7 @@ from repro.experiments.fig10 import compute_fig10
 from repro.experiments.lab import Lab
 from repro.experiments.phase_study import compute_phase_study
 from repro.experiments.plans import EXPERIMENT_PLANS
+from repro.experiments.staticcheck_check import compute_staticcheck_report
 from repro.experiments.table1 import compute_table1
 from repro.experiments.table2 import compute_table2
 from repro.experiments.table3 import compute_table3
@@ -57,6 +58,7 @@ EXPERIMENTS: Dict[str, Callable[[Lab], str]] = {
     "allocation": lambda lab: compute_allocation_study(lab).render(),
     "cnn": lambda lab: compute_cnn_study(lab).render(),
     "phase": lambda lab: compute_phase_study(lab).render(),
+    "staticcheck": lambda lab: compute_staticcheck_report(lab).render(),
 }
 
 

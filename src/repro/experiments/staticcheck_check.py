@@ -1,0 +1,144 @@
+"""Cross-check: static branch classification vs. dynamic findings.
+
+Two agreement properties tie :mod:`repro.staticcheck` to the paper's
+dynamic methodology at the active tier:
+
+* **SPECint / H2P** — every branch the dynamic screen flags as H2P
+  (Sec. III-A criteria under TAGE-SC-L 8KB) must be classified
+  *data-dependent* statically: H2Ps are by construction conditioned on
+  loaded input data, so a loop-back or guard classification for one means
+  either a generator or an analysis regression.
+* **LCF / population** — every conditional-branch IP observed dynamically
+  must exist in the static CFG's classified conditional-branch set (the
+  static footprint is a superset of any trace's branch population).
+
+The result renders alongside the lint summary as the ``staticcheck``
+experiment (``python -m repro staticcheck``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.h2p import screen_workload
+from repro.experiments.lab import Lab, default_lab
+from repro.staticcheck.classify import BranchClass, branch_class_by_ip
+from repro.staticcheck.diagnostics import Report
+from repro.staticcheck.engine import analyze_program, lint_registry
+from repro.workloads import LCF_WORKLOADS, SPECINT_WORKLOADS
+
+_SCREEN_PREDICTOR = "tage-sc-l-8kb"
+
+
+@dataclass(frozen=True)
+class WorkloadCrossCheck:
+    """Agreement result for one workload."""
+
+    benchmark: str
+    category: str
+    dynamic_ips: int  # H2P IPs (specint) or conditional-branch IPs (lcf)
+    agreeing: int
+    mismatches: Tuple[str, ...]  # rendered disagreement descriptions
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+@dataclass(frozen=True)
+class StaticCheckReport:
+    """Lint report + static/dynamic cross-check for the runner."""
+
+    lint: Report
+    checks: Tuple[WorkloadCrossCheck, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.lint.has_errors() and all(c.ok for c in self.checks)
+
+    def render(self) -> str:
+        lines = [self.lint.render(), ""]
+        lines.append("static/dynamic agreement (active tier):")
+        for c in self.checks:
+            status = "ok" if c.ok else "MISMATCH"
+            what = "H2P IPs" if c.category == "specint" else "branch IPs"
+            lines.append(
+                f"  {c.benchmark:<20} {c.agreeing}/{c.dynamic_ips} {what} "
+                f"agree [{status}]"
+            )
+            lines.extend(f"    {m}" for m in c.mismatches)
+        verdict = "agree" if self.ok else "DISAGREE"
+        lines.append(f"staticcheck and dynamic measurements {verdict}")
+        return "\n".join(lines)
+
+
+def crosscheck_specint_h2ps(lab: Lab) -> List[WorkloadCrossCheck]:
+    """Check every dynamically screened H2P IP is statically data-dependent."""
+    out: List[WorkloadCrossCheck] = []
+    for spec in SPECINT_WORKLOADS:
+        classes: Dict[int, Tuple[str, BranchClass]] = {}
+        h2p_ips: set = set()
+        for input_index in lab.inputs_for(spec.name):
+            result = lab.simulate(spec.name, input_index, _SCREEN_PREDICTOR)
+            report = screen_workload(
+                spec.name, spec.input_name(input_index), result.slice_stats
+            )
+            h2p_ips.update(report.union_h2p_ips)
+            if not classes:
+                analysis = analyze_program(spec.build(input_index))
+                classes = branch_class_by_ip(list(analysis.branches))
+        mismatches = []
+        for ip in sorted(h2p_ips):
+            entry = classes.get(ip)
+            if entry is None:
+                mismatches.append(f"H2P ip 0x{ip:x} has no static classification")
+            elif entry[1] is not BranchClass.DATA:
+                mismatches.append(
+                    f"H2P ip 0x{ip:x} (block {entry[0]}) classified "
+                    f"{entry[1].value}, expected data"
+                )
+        out.append(
+            WorkloadCrossCheck(
+                benchmark=spec.name,
+                category="specint",
+                dynamic_ips=len(h2p_ips),
+                agreeing=len(h2p_ips) - len(mismatches),
+                mismatches=tuple(mismatches),
+            )
+        )
+    return out
+
+
+def crosscheck_lcf_populations(lab: Lab) -> List[WorkloadCrossCheck]:
+    """Check dynamic branch populations are subsets of the static CFG's."""
+    out: List[WorkloadCrossCheck] = []
+    for spec in LCF_WORKLOADS:
+        input_index = lab.inputs_for(spec.name)[0]
+        result = lab.simulate(spec.name, input_index, _SCREEN_PREDICTOR)
+        dynamic_ips = set(result.stats.ips())
+        analysis = analyze_program(spec.build(input_index))
+        static_ips = {p.ip for p in analysis.branches}
+        missing = sorted(dynamic_ips - static_ips)
+        mismatches = tuple(
+            f"dynamic branch ip 0x{ip:x} missing from the static CFG"
+            for ip in missing[:5]
+        )
+        out.append(
+            WorkloadCrossCheck(
+                benchmark=spec.name,
+                category="lcf",
+                dynamic_ips=len(dynamic_ips),
+                agreeing=len(dynamic_ips) - len(missing),
+                mismatches=mismatches,
+            )
+        )
+    return out
+
+
+def compute_staticcheck_report(lab: Optional[Lab] = None) -> StaticCheckReport:
+    """Lint every registered workload, then cross-check against dynamics."""
+    lab = lab or default_lab()
+    lint = lint_registry()
+    checks = crosscheck_specint_h2ps(lab) + crosscheck_lcf_populations(lab)
+    return StaticCheckReport(lint=lint, checks=tuple(checks))

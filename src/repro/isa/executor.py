@@ -400,12 +400,12 @@ class Executor:
         )
 
 
-def _compile(program: Program):
+def _compile(program: Program) -> List[Tuple[Tuple[tuple, ...], tuple, int]]:
     """Lower a program to tuple bytecode with direct block indices."""
     index = program.block_index
-    compiled = []
+    compiled: List[Tuple[Tuple[tuple, ...], tuple, int]] = []
     for block in program.blocks:
-        code = []
+        code: List[tuple] = []
         for ins in block.instructions:
             if isinstance(ins, Imm):
                 code.append((_OP_IMM, ins.dst, ins.value & WORD_MASK))
@@ -431,6 +431,7 @@ def _compile(program: Program):
 
         term = block.terminator
         ip = program.terminator_ip(block.label)
+        ct: tuple
         if isinstance(term, Br):
             ct = (
                 _T_BR,

@@ -10,7 +10,7 @@ the property the paper's cross-input H2P analysis (Table I) relies on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -97,7 +97,7 @@ class Program:
 
     def _validate_targets(self) -> None:
         for block in self.blocks:
-            for target in _terminator_targets(block.terminator):
+            for target in terminator_targets(block.terminator):
                 if target not in self.block_index:
                     raise ValueError(
                         f"block {block.label!r} targets unknown block {target!r}"
@@ -114,8 +114,30 @@ class Program:
     def num_static_blocks(self) -> int:
         return len(self.blocks)
 
+    # -- CFG accessors (used by repro.staticcheck; no execution involved) --
 
-def _terminator_targets(term: Terminator) -> Iterable[str]:
+    def block(self, label: str) -> BasicBlock:
+        """The block with the given label (KeyError if undefined)."""
+        return self.blocks[self.block_index[label]]
+
+    def successors(self, label: str) -> Tuple[str, ...]:
+        """Direct successor labels encoded in the block's terminator.
+
+        ``Ret`` and ``Halt`` report no static successors here; the
+        interprocedural edges (return sites, restart-at-entry) are a
+        client-side policy — see ``repro.staticcheck.cfg``.
+        """
+        return tuple(terminator_targets(self.block(label).terminator))
+
+    def conditional_branches(self) -> Iterator[Tuple[str, int, Br]]:
+        """Yield ``(label, terminator_ip, Br)`` for every conditional branch."""
+        for block in self.blocks:
+            if isinstance(block.terminator, Br):
+                yield block.label, self.terminator_ip(block.label), block.terminator
+
+
+def terminator_targets(term: Terminator) -> Tuple[str, ...]:
+    """Raw target labels of a terminator (``Ret``/``Halt`` have none)."""
     if isinstance(term, Br):
         return (term.taken, term.not_taken)
     if isinstance(term, Jmp):
@@ -123,7 +145,7 @@ def _terminator_targets(term: Terminator) -> Iterable[str]:
     if isinstance(term, Call):
         return (term.target, term.ret_to)
     if isinstance(term, Switch):
-        return term.targets
+        return tuple(term.targets)
     return ()
 
 

@@ -40,10 +40,10 @@ def geometric_history_lengths(
     ratio = (max_history / min_history) ** (1.0 / (num_tables - 1))
     lengths = []
     for i in range(num_tables):
-        l = int(round(min_history * ratio**i))
-        if lengths and l <= lengths[-1]:
-            l = lengths[-1] + 1
-        lengths.append(l)
+        length = int(round(min_history * ratio**i))
+        if lengths and length <= lengths[-1]:
+            length = lengths[-1] + 1
+        lengths.append(length)
     return lengths
 
 

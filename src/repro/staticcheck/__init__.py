@@ -1,0 +1,55 @@
+"""``repro.staticcheck``: static program analysis over the mini-ISA.
+
+The paper's Table I / Table II claims rest on the *static* structure of the
+synthetic workloads — a handful of data-dependent H2P branches versus
+thousands of rare cold branches — yet that structure is otherwise only
+validated dynamically, after paying for a full simulation.  This package
+analyzes finalized :class:`repro.isa.Program` objects **without executing
+them**:
+
+* :mod:`repro.staticcheck.cfg` — interprocedural control-flow graph and
+  reachability;
+* :mod:`repro.staticcheck.dominators` — dominator tree, back edges, and
+  natural loops;
+* :mod:`repro.staticcheck.dataflow` — must-assigned registers
+  (use-before-def) and may-taint (input-data / address provenance);
+* :mod:`repro.staticcheck.classify` — static branch classification
+  (loop-back vs. data-dependent vs. guard) and the per-program footprint;
+* :mod:`repro.staticcheck.contracts` — declared footprint contracts and
+  drift checking;
+* :mod:`repro.staticcheck.diagnostics` — the rule registry (stable IDs
+  ``SC1xx``/``SC2xx``/``SC3xx``), diagnostics, and report rendering;
+* :mod:`repro.staticcheck.engine` — the passes wired together into
+  program- and workload-level linting;
+* ``python -m repro.staticcheck`` — the CLI (see
+  :mod:`repro.staticcheck.cli` and ``docs/static-analysis.md``).
+"""
+
+from repro.staticcheck.classify import BranchClass, StaticBranchProfile, StaticFootprint
+from repro.staticcheck.contracts import StaticContract, contract_from_footprint
+from repro.staticcheck.diagnostics import RULES, Diagnostic, Report, Rule, Severity
+from repro.staticcheck.engine import (
+    ProgramAnalysis,
+    analyze_program,
+    lint_program,
+    lint_registry,
+    lint_workload,
+)
+
+__all__ = [
+    "BranchClass",
+    "Diagnostic",
+    "ProgramAnalysis",
+    "RULES",
+    "Report",
+    "Rule",
+    "Severity",
+    "StaticBranchProfile",
+    "StaticContract",
+    "StaticFootprint",
+    "analyze_program",
+    "contract_from_footprint",
+    "lint_program",
+    "lint_registry",
+    "lint_workload",
+]

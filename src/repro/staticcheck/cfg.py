@@ -1,0 +1,111 @@
+"""Interprocedural control-flow graph construction and reachability.
+
+The mini-ISA's terminators encode most edges directly; the two policies a
+client must choose live here:
+
+* ``Call`` transfers control to the callee only — the ``ret_to`` block is
+  reached through the callee's ``Ret``, not by a fall-through edge (so
+  callee effects are visible to the dataflow analyses on the return path);
+* ``Ret`` is resolved without a call-stack: it may return to **any**
+  ``ret_to`` site of any ``Call`` in the program, plus the entry block
+  (the executor's empty-stack fallback).  This over-approximates dynamic
+  behaviour, which is the safe direction for both reachability (may) and
+  must-assigned (intersection) analyses.
+
+``Halt`` is terminal: the executor's restart-at-entry models a fresh
+invocation, not an intra-program edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.isa.instructions import Br, Call, Jmp, Ret, Switch
+from repro.isa.program import Program
+
+
+@dataclass(frozen=True)
+class Cfg:
+    """A finalized program's control-flow graph.
+
+    ``rpo`` is a reverse postorder over the *reachable* blocks (entry
+    first), the iteration order the dataflow fixed points use.
+    """
+
+    entry: str
+    succs: Dict[str, Tuple[str, ...]]
+    preds: Dict[str, Tuple[str, ...]]
+    reachable: FrozenSet[str]
+    rpo: Tuple[str, ...]
+
+    @property
+    def rpo_index(self) -> Dict[str, int]:
+        return {label: i for i, label in enumerate(self.rpo)}
+
+
+def _successors(program: Program) -> Dict[str, Tuple[str, ...]]:
+    ret_sites: List[str] = [
+        block.terminator.ret_to
+        for block in program.blocks
+        if isinstance(block.terminator, Call)
+    ]
+    ret_targets = tuple(dict.fromkeys(ret_sites + [program.entry]))
+    succs: Dict[str, Tuple[str, ...]] = {}
+    for block in program.blocks:
+        term = block.terminator
+        if isinstance(term, Br):
+            targets: Tuple[str, ...] = (term.taken, term.not_taken)
+        elif isinstance(term, Jmp):
+            targets = (term.target,)
+        elif isinstance(term, Call):
+            targets = (term.target,)
+        elif isinstance(term, Switch):
+            targets = tuple(dict.fromkeys(term.targets))
+        elif isinstance(term, Ret):
+            targets = ret_targets
+        else:  # Halt
+            targets = ()
+        succs[block.label] = targets
+    return succs
+
+
+def build_cfg(program: Program) -> Cfg:
+    """Build the interprocedural CFG and compute reachability + RPO."""
+    succs = _successors(program)
+    preds_acc: Dict[str, List[str]] = {block.label: [] for block in program.blocks}
+    for label, targets in succs.items():
+        for target in targets:
+            preds_acc[target].append(label)
+
+    # Iterative postorder DFS (recursion would overflow on the ~14k-block
+    # LCF dispatch programs).
+    postorder: List[str] = []
+    visited = {program.entry}
+    stack: List[Tuple[str, int]] = [(program.entry, 0)]
+    while stack:
+        label, child = stack[-1]
+        targets = succs[label]
+        if child < len(targets):
+            stack[-1] = (label, child + 1)
+            nxt = targets[child]
+            if nxt not in visited:
+                visited.add(nxt)
+                stack.append((nxt, 0))
+        else:
+            stack.pop()
+            postorder.append(label)
+
+    reachable = frozenset(visited)
+    return Cfg(
+        entry=program.entry,
+        succs=succs,
+        preds={label: tuple(p) for label, p in preds_acc.items()},
+        reachable=reachable,
+        rpo=tuple(reversed(postorder)),
+    )
+
+
+def unreachable_blocks(program: Program, cfg: Cfg) -> List[str]:
+    """Labels of blocks no path from entry reaches, in program order."""
+    return [b.label for b in program.blocks if b.label not in cfg.reachable]

@@ -1,0 +1,194 @@
+"""Static branch classification and the per-program footprint.
+
+Every conditional branch is placed into exactly one class:
+
+* ``DATA`` — the branch is exposed to program input.  Either a condition
+  operand may carry ``DATA`` taint (a value flowed — explicitly or via an
+  implicit control-dependence flow — from a :class:`Load` or
+  :class:`Rand`), or the branch closes a loop whose body contains
+  input-steered control flow (a ``DATA``-conditioned branch or switch):
+  such a loop exit predicts through a history shaped by data, the
+  mechanism behind the paper's loop-tail H2Ps.  Every H2P the dynamic
+  screen finds should land here;
+* ``LOOP`` — a loop back edge (one of its targets dominates the branch's
+  block) with an untainted condition and no input-steered control in its
+  body: a plain induction-style loop-closing branch;
+* ``GUARD`` — neither: a forward branch over induction/constant state
+  (mode checks, unrolled periodic patterns).
+
+The **footprint** aggregates the classification into the per-workload
+shape Table I / Table II depend on; contracts pin it (``SC301``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+import enum
+
+from repro.isa.instructions import ArrayBase, Br, Call, Switch
+from repro.isa.program import Program
+from repro.staticcheck.cfg import Cfg
+from repro.staticcheck.dataflow import (
+    TaintResult,
+    taint_at_terminator,
+    terminator_reads,
+)
+from repro.staticcheck.dominators import NaturalLoop, dominates, loop_body
+
+
+class BranchClass(enum.Enum):
+    LOOP = "loop"
+    DATA = "data"
+    GUARD = "guard"
+
+
+@dataclass(frozen=True)
+class StaticBranchProfile:
+    """Classification of one static conditional branch."""
+
+    block: str
+    ip: int
+    branch_class: BranchClass
+    cond: str
+    src1: int
+    src2: int
+
+
+@dataclass(frozen=True)
+class StaticFootprint:
+    """The static shape of one program, as checked by contracts."""
+
+    blocks: int
+    reachable_blocks: int
+    conditional_branches: int
+    loop_branches: int
+    data_branches: int
+    guard_branches: int
+    switches: int
+    calls: int
+    natural_loops: int
+    data_arrays: int
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "blocks": self.blocks,
+            "reachable_blocks": self.reachable_blocks,
+            "conditional_branches": self.conditional_branches,
+            "loop_branches": self.loop_branches,
+            "data_branches": self.data_branches,
+            "guard_branches": self.guard_branches,
+            "switches": self.switches,
+            "calls": self.calls,
+            "natural_loops": self.natural_loops,
+            "data_arrays": self.data_arrays,
+        }
+
+
+def _data_steered_blocks(
+    program: Program, cfg: Cfg, taint: TaintResult
+) -> FrozenSet[str]:
+    """Blocks whose branch/switch condition may carry ``DATA`` taint."""
+    steered = set()
+    for label in cfg.rpo:
+        term = program.block(label).terminator
+        if not isinstance(term, (Br, Switch)):
+            continue
+        data, _addr = taint_at_terminator(program, taint, label)
+        if any((data >> reg) & 1 for reg in terminator_reads(term)):
+            steered.add(label)
+    return frozenset(steered)
+
+
+def classify_branches(
+    program: Program,
+    cfg: Cfg,
+    idoms: Dict[str, Optional[str]],
+    taint: TaintResult,
+) -> List[StaticBranchProfile]:
+    """Classify every reachable conditional branch (stable IP order)."""
+    steered = _data_steered_blocks(program, cfg, taint)
+    out: List[StaticBranchProfile] = []
+    for label, ip, br in program.conditional_branches():
+        if label not in cfg.reachable:
+            continue
+        data, _addr = taint_at_terminator(program, taint, label)
+        operands = (1 << br.src1) | (1 << br.src2)
+        headers = {
+            target
+            for target in (br.taken, br.not_taken)
+            if dominates(idoms, target, label)
+        }
+        if data & operands:
+            cls = BranchClass.DATA
+        elif headers:
+            # Loop exit: DATA when the loop body embeds input-steered
+            # control flow (its history is shaped by data), LOOP otherwise.
+            body: set = set()
+            for header in headers:
+                body |= loop_body(cfg, label, header)
+            body.discard(label)
+            cls = BranchClass.DATA if body & steered else BranchClass.LOOP
+        else:
+            cls = BranchClass.GUARD
+        out.append(
+            StaticBranchProfile(
+                block=label,
+                ip=ip,
+                branch_class=cls,
+                cond=br.cond.name,
+                src1=br.src1,
+                src2=br.src2,
+            )
+        )
+    out.sort(key=lambda p: p.ip)
+    return out
+
+
+def referenced_arrays(program: Program) -> FrozenSet[str]:
+    """Names of data arrays some :class:`ArrayBase` references."""
+    return frozenset(
+        ins.name
+        for block in program.blocks
+        for ins in block.instructions
+        if isinstance(ins, ArrayBase)
+    )
+
+
+def compute_footprint(
+    program: Program,
+    cfg: Cfg,
+    branches: List[StaticBranchProfile],
+    loops: List[NaturalLoop],
+) -> StaticFootprint:
+    counts = {cls: 0 for cls in BranchClass}
+    for profile in branches:
+        counts[profile.branch_class] += 1
+    switches = calls = 0
+    for block in program.blocks:
+        if block.label not in cfg.reachable:
+            continue
+        if isinstance(block.terminator, Switch):
+            switches += 1
+        elif isinstance(block.terminator, Call):
+            calls += 1
+    return StaticFootprint(
+        blocks=len(program.blocks),
+        reachable_blocks=len(cfg.reachable),
+        conditional_branches=len(branches),
+        loop_branches=counts[BranchClass.LOOP],
+        data_branches=counts[BranchClass.DATA],
+        guard_branches=counts[BranchClass.GUARD],
+        switches=switches,
+        calls=calls,
+        natural_loops=len(loops),
+        data_arrays=len(program.arrays),
+    )
+
+
+def branch_class_by_ip(
+    branches: List[StaticBranchProfile],
+) -> Dict[int, Tuple[str, BranchClass]]:
+    """Index classified branches by IP: ``ip -> (block label, class)``."""
+    return {p.ip: (p.block, p.branch_class) for p in branches}

@@ -1,0 +1,115 @@
+"""``python -m repro.staticcheck``: the static-analysis command line.
+
+Exit status: 0 when no ERROR diagnostics were produced (warnings allowed
+unless ``--strict``), 1 otherwise, 2 for usage errors.  See
+``docs/static-analysis.md`` for the rule catalogue.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro import obs
+from repro.staticcheck.classify import StaticFootprint
+from repro.staticcheck.contracts import contract_from_footprint, render_contract
+from repro.staticcheck.diagnostics import Report
+from repro.staticcheck.engine import lint_program, lint_registry
+from repro.staticcheck.fixtures import FIXTURES
+
+_log = obs.get_logger("staticcheck.cli")
+
+
+def _emit_contracts(names: Optional[List[str]]) -> int:
+    """Print registry stanzas pinned to the current footprints."""
+    report = lint_registry(names)
+    print("WORKLOAD_CONTRACTS: Dict[str, StaticContract] = {")
+    for workload, footprint_dict in sorted(report.footprints.items()):
+        footprint = StaticFootprint(**dict(footprint_dict))
+        print(render_contract(contract_from_footprint(workload, footprint)))
+    print("}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.staticcheck",
+        description=(
+            "Statically analyze mini-ISA workload programs: CFG and "
+            "reachability, dominators and loops, use-before-def, branch "
+            "classification, and footprint-contract checking."
+        ),
+    )
+    parser.add_argument(
+        "workloads",
+        nargs="*",
+        metavar="NAME",
+        help="registered workload names to lint (default: none; use --all)",
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="lint every registered workload"
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list registered workload names and exit"
+    )
+    parser.add_argument(
+        "--fixture",
+        choices=sorted(FIXTURES),
+        help="lint a committed fixture program instead of registered workloads",
+    )
+    parser.add_argument(
+        "--emit-contracts",
+        action="store_true",
+        help="print contract-registry stanzas pinned to the current footprints",
+    )
+    parser.add_argument(
+        "--report-out",
+        metavar="PATH",
+        help="write the machine-readable JSON report to PATH",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as errors for the exit status",
+    )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        choices=["debug", "info", "warning", "error"],
+        help="logging level for the repro.* hierarchy",
+    )
+    args = parser.parse_args(argv)
+    obs.configure_logging(args.log_level)
+
+    if args.list:
+        from repro.workloads import WORKLOADS_BY_NAME
+
+        for name in sorted(WORKLOADS_BY_NAME):
+            print(name)
+        return 0
+
+    if args.emit_contracts:
+        return _emit_contracts(args.workloads or None)
+
+    if args.fixture:
+        program = FIXTURES[args.fixture]()
+        _analysis, diagnostics = lint_program(program, workload=args.fixture)
+        report = Report(diagnostics=diagnostics, programs_checked=1)
+    elif args.workloads or args.all:
+        try:
+            report = lint_registry(args.workloads or None)
+        except ValueError as exc:
+            parser.error(str(exc))
+    else:
+        parser.error("nothing to lint: name workloads, or pass --all / --fixture")
+
+    print(report.render())
+    if args.report_out:
+        path = report.write_json(args.report_out)
+        _log.info("wrote staticcheck report to %s", path)
+    return 1 if report.has_errors(strict=args.strict) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""Static-footprint contracts: declared bounds on a workload's shape.
+
+A contract pins inclusive ``(lo, hi)`` bounds on footprint keys (see
+:meth:`repro.staticcheck.classify.StaticFootprint.as_dict`).  The workload
+generators are seed-deterministic, so the registered contracts in
+:mod:`repro.workloads.contracts` use exact bounds (``lo == hi``); the range
+form exists so a future stochastic generator can declare tolerances.
+
+This module holds only pure data and checking logic — the per-workload
+registry lives with the workloads themselves, keeping the import graph
+acyclic (workloads never import the analysis engine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
+
+from repro.staticcheck.classify import StaticFootprint
+
+#: Footprint keys a generated contract pins by default.
+DEFAULT_CONTRACT_KEYS: Tuple[str, ...] = (
+    "blocks",
+    "conditional_branches",
+    "loop_branches",
+    "data_branches",
+    "guard_branches",
+)
+
+
+@dataclass(frozen=True)
+class StaticContract:
+    """Declared static-footprint bounds for one workload."""
+
+    workload: str
+    bounds: Mapping[str, Tuple[int, int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for key, (lo, hi) in self.bounds.items():
+            if lo > hi:
+                raise ValueError(
+                    f"{self.workload}: contract bound {key} has lo {lo} > hi {hi}"
+                )
+
+    def violations(self, footprint: StaticFootprint) -> List[str]:
+        """Human-readable violation messages (empty when satisfied)."""
+        actual = footprint.as_dict()
+        out: List[str] = []
+        for key, (lo, hi) in sorted(self.bounds.items()):
+            if key not in actual:
+                out.append(f"contract references unknown footprint key {key!r}")
+                continue
+            value = actual[key]
+            if not lo <= value <= hi:
+                expected = str(lo) if lo == hi else f"{lo}..{hi}"
+                out.append(f"{key} is {value}, contract expects {expected}")
+        return out
+
+
+def contract_from_footprint(
+    workload: str,
+    footprint: StaticFootprint,
+    keys: Tuple[str, ...] = DEFAULT_CONTRACT_KEYS,
+) -> StaticContract:
+    """Pin a contract exactly to an observed footprint (``--emit-contracts``)."""
+    actual = footprint.as_dict()
+    bounds: Dict[str, Tuple[int, int]] = {
+        key: (actual[key], actual[key]) for key in keys
+    }
+    return StaticContract(workload=workload, bounds=bounds)
+
+
+def render_contract(contract: StaticContract) -> str:
+    """A Python stanza for the workload contract registry."""
+    lines = [f'    "{contract.workload}": StaticContract(']
+    lines.append(f'        workload="{contract.workload}",')
+    lines.append("        bounds={")
+    for key, (lo, hi) in contract.bounds.items():
+        lines.append(f'            "{key}": ({lo}, {hi}),')
+    lines.append("        },")
+    lines.append("    ),")
+    return "\n".join(lines)

@@ -1,0 +1,336 @@
+"""Register dataflow over the CFG: must-assigned and may-taint analyses.
+
+Both analyses represent per-block register sets as **integer bitmasks**
+(one bit per architectural register), so the fixed points over the
+~14k-block LCF dispatch programs stay cheap pure-Python.
+
+* **Must-assigned** (forward, intersection at joins): a register bit is set
+  at a program point iff *every* path from entry writes it first.  Reads of
+  registers outside the set are use-before-def candidates (``SC201``).  The
+  executor zero-initializes registers, so this is a hygiene rule, not a
+  soundness one — and the generators' pervasive self-accumulator idiom
+  (``r22 <- r22 + 1`` with no prior def, deliberately relying on zero-init)
+  is exempted: a read by an instruction that also *writes* the same
+  register does not count.
+
+* **May-taint** (forward, union at joins): two bits per register track
+  value provenance — ``DATA`` (flowed from a :class:`Load` or
+  :class:`Rand`, i.e. from program input) and ``ADDR`` (flowed from an
+  :class:`ArrayBase`).  ``Imm`` kills both (compile-time constants carry no
+  taint), matching the executor's dynamic taint semantics.  The branch
+  classifier uses ``DATA`` on branch operands; ``SC202`` uses ``ADDR`` on
+  load/store bases.
+
+  ``DATA`` additionally propagates through **implicit flows**: a write
+  inside a block *control-dependent* on a ``DATA``-conditioned branch or
+  switch is itself ``DATA``-tainted (the written value reveals the data
+  the branch tested — e.g. the H2P kernels' ``r25/r26`` outcome flags,
+  plain ``Imm`` constants whose selection depends on loaded data).
+  Control dependence is approximated by dominance: the blocks dominated
+  by one of the tainted terminator's targets, i.e. properly inside one
+  arm.  Because implicit taint can create newly tainted conditions, the
+  analysis iterates the (explicit fixed point, control-region expansion)
+  pair until stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.isa.instructions import (
+    NUM_REGISTERS,
+    Alu,
+    AluImm,
+    ArrayBase,
+    Br,
+    Imm,
+    Instruction,
+    Load,
+    Rand,
+    Store,
+    Switch,
+    Terminator,
+)
+from repro.isa.program import Program
+from repro.staticcheck.cfg import Cfg
+from repro.staticcheck.dominators import dominates
+
+_ALL_REGS = (1 << NUM_REGISTERS) - 1
+
+
+def instruction_reads(ins: Instruction) -> Tuple[int, ...]:
+    """Registers an instruction reads, in operand order."""
+    if isinstance(ins, Alu):
+        return (ins.src1, ins.src2)
+    if isinstance(ins, AluImm):
+        return (ins.src,)
+    if isinstance(ins, Load):
+        return (ins.base,)
+    if isinstance(ins, Store):
+        return (ins.src, ins.base)
+    return ()
+
+
+def instruction_writes(ins: Instruction) -> Optional[int]:
+    """The register an instruction writes, if any."""
+    if isinstance(ins, (Imm, Alu, AluImm, Load, Rand, ArrayBase)):
+        return ins.dst
+    return None
+
+
+def terminator_reads(term: Terminator) -> Tuple[int, ...]:
+    """Registers a terminator reads."""
+    if isinstance(term, Br):
+        return (term.src1, term.src2)
+    if isinstance(term, Switch):
+        return (term.index,)
+    return ()
+
+
+@dataclass(frozen=True)
+class UseBeforeDef:
+    """A read of a register no path from entry has written."""
+
+    block: str
+    slot: int  # instruction index within the block; -1 for the terminator
+    register: int
+
+
+@dataclass(frozen=True)
+class MustAssigned:
+    """Result of the must-assigned analysis."""
+
+    block_in: Dict[str, int]  # label -> bitmask at block entry
+    uses_before_def: Tuple[UseBeforeDef, ...]
+
+
+def compute_must_assigned(program: Program, cfg: Cfg) -> MustAssigned:
+    """Forward must-analysis plus the per-instruction use-before-def scan."""
+    gen: Dict[str, int] = {}
+    for label in cfg.rpo:
+        mask = 0
+        for ins in program.block(label).instructions:
+            dst = instruction_writes(ins)
+            if dst is not None:
+                mask |= 1 << dst
+        gen[label] = mask
+
+    block_in = {label: 0 if label == cfg.entry else _ALL_REGS for label in cfg.rpo}
+    changed = True
+    while changed:
+        changed = False
+        for label in cfg.rpo:
+            if label == cfg.entry:
+                continue
+            acc = _ALL_REGS
+            for p in cfg.preds[label]:
+                if p in cfg.reachable:
+                    acc &= block_in[p] | gen[p]
+            if acc != block_in[label]:
+                block_in[label] = acc
+                changed = True
+
+    finds: List[UseBeforeDef] = []
+    for label in cfg.rpo:
+        block = program.block(label)
+        assigned = block_in[label]
+        for slot, ins in enumerate(block.instructions):
+            dst = instruction_writes(ins)
+            for reg in instruction_reads(ins):
+                # Self-accumulator exemption: the instruction both reads and
+                # writes ``reg`` (deliberate zero-init reliance).
+                if reg != dst and not (assigned >> reg) & 1:
+                    finds.append(UseBeforeDef(block=label, slot=slot, register=reg))
+            if dst is not None:
+                assigned |= 1 << dst
+        for reg in terminator_reads(block.terminator):
+            if not (assigned >> reg) & 1:
+                finds.append(UseBeforeDef(block=label, slot=-1, register=reg))
+    return MustAssigned(block_in=block_in, uses_before_def=tuple(finds))
+
+
+#: Taint bits (per register, two parallel bitmasks).
+DATA = "data"
+ADDR = "addr"
+
+
+@dataclass(frozen=True)
+class TaintResult:
+    """May-taint masks at block entry, per reachable block.
+
+    ``control`` holds the blocks whose writes carry implicit ``DATA``
+    taint (control-dependent on a ``DATA``-conditioned terminator);
+    empty when the analysis ran without implicit flows.
+    """
+
+    data_in: Dict[str, int]
+    addr_in: Dict[str, int]
+    control: FrozenSet[str] = frozenset()
+
+
+def _taint_transfer(
+    instructions: List[Instruction], data: int, addr: int, implicit: bool = False
+) -> Tuple[int, int]:
+    """Propagate the two taint masks through one block's instructions.
+
+    With ``implicit`` the block is control-dependent on a tainted branch,
+    so every register it writes also picks up ``DATA``.
+    """
+    for ins in instructions:
+        if isinstance(ins, Imm):
+            bit = 1 << ins.dst
+            data &= ~bit
+            addr &= ~bit
+        elif isinstance(ins, ArrayBase):
+            bit = 1 << ins.dst
+            addr |= bit
+            data &= ~bit
+        elif isinstance(ins, (Load, Rand)):
+            bit = 1 << ins.dst
+            data |= bit
+            addr &= ~bit
+        elif isinstance(ins, Alu):
+            bit = 1 << ins.dst
+            src = (1 << ins.src1) | (1 << ins.src2)
+            data = (data | bit) if data & src else (data & ~bit)
+            addr = (addr | bit) if addr & src else (addr & ~bit)
+        elif isinstance(ins, AluImm):
+            bit = 1 << ins.dst
+            src = 1 << ins.src
+            data = (data | bit) if data & src else (data & ~bit)
+            addr = (addr | bit) if addr & src else (addr & ~bit)
+        # Store / Nop: no register effects.
+        if implicit:
+            dst = instruction_writes(ins)
+            if dst is not None:
+                data |= 1 << dst
+    return data, addr
+
+
+def _taint_fixpoint(
+    program: Program, cfg: Cfg, control: Set[str]
+) -> Tuple[Dict[str, int], Dict[str, int]]:
+    """Forward may-taint fixed point (union at joins; entry starts clean)."""
+    data_in = {label: 0 for label in cfg.rpo}
+    addr_in = {label: 0 for label in cfg.rpo}
+    changed = True
+    while changed:
+        changed = False
+        for label in cfg.rpo:
+            data, addr = _taint_transfer(
+                program.block(label).instructions,
+                data_in[label],
+                addr_in[label],
+                implicit=label in control,
+            )
+            for s in cfg.succs[label]:
+                if data | data_in[s] != data_in[s]:
+                    data_in[s] |= data
+                    changed = True
+                if addr | addr_in[s] != addr_in[s]:
+                    addr_in[s] |= addr
+                    changed = True
+    return data_in, addr_in
+
+
+def _control_dependent_blocks(
+    program: Program,
+    cfg: Cfg,
+    idoms: Dict[str, Optional[str]],
+    taint: TaintResult,
+) -> Set[str]:
+    """Blocks properly inside one arm of a ``DATA``-conditioned terminator.
+
+    The dominance approximation of control dependence: for each tainted
+    :class:`Br`/:class:`Switch`, each target that is *private* to the
+    branch (single predecessor) roots an arm; everything the target
+    dominates is control-dependent.  Join blocks have multiple
+    predecessors, so the region stops exactly at the merge.  When the
+    branch closes a loop (a target dominates it), the other targets are
+    the loop's exits — the inevitable continuation, which post-dominates
+    the branch — so they do not root arms.
+    """
+    arm_roots: Set[str] = set()
+    for label in cfg.rpo:
+        term = program.block(label).terminator
+        if not isinstance(term, (Br, Switch)):
+            continue
+        data, _addr = taint_at_terminator(program, taint, label)
+        if not any((data >> reg) & 1 for reg in terminator_reads(term)):
+            continue
+        closes_loop = any(
+            dominates(idoms, target, label) for target in cfg.succs[label]
+        )
+        for target in cfg.succs[label]:
+            if closes_loop and not dominates(idoms, target, label):
+                continue
+            if tuple(cfg.preds[target]) == (label,):
+                arm_roots.add(target)
+    # One RPO pass marks whole dominator subtrees (idoms appear earlier).
+    dominated: Dict[str, bool] = {}
+    for label in cfg.rpo:
+        parent = idoms.get(label)
+        dominated[label] = label in arm_roots or bool(
+            parent is not None and dominated.get(parent)
+        )
+    return {label for label, inside in dominated.items() if inside}
+
+
+def compute_taint(
+    program: Program,
+    cfg: Cfg,
+    idoms: Optional[Dict[str, Optional[str]]] = None,
+) -> TaintResult:
+    """May-taint over the CFG; with ``idoms``, implicit flows included.
+
+    Without dominators this is the plain explicit fixed point.  With
+    them, the analysis alternates (explicit fixed point, expand the
+    control-dependent region) until no new region appears — newly
+    tainted conditions can create new implicit flows.
+    """
+    control: Set[str] = set()
+    while True:
+        data_in, addr_in = _taint_fixpoint(program, cfg, control)
+        taint = TaintResult(
+            data_in=data_in, addr_in=addr_in, control=frozenset(control)
+        )
+        if idoms is None:
+            return taint
+        expanded = _control_dependent_blocks(program, cfg, idoms, taint)
+        if expanded <= control:
+            return taint
+        control |= expanded
+
+
+def taint_at_terminator(
+    program: Program, taint: TaintResult, label: str
+) -> Tuple[int, int]:
+    """The ``(data, addr)`` masks in effect at a block's terminator."""
+    return _taint_transfer(
+        program.block(label).instructions,
+        taint.data_in[label],
+        taint.addr_in[label],
+        implicit=label in taint.control,
+    )
+
+
+def suspicious_memory_ops(
+    program: Program, cfg: Cfg, taint: TaintResult
+) -> List[Tuple[str, int, int]]:
+    """Load/store sites whose base register carries no ``ADDR`` taint.
+
+    Returns ``(block label, slot, base register)`` tuples — candidates for
+    ``SC202`` (an address computed from raw data or constants, not from an
+    :class:`ArrayBase`).
+    """
+    out: List[Tuple[str, int, int]] = []
+    for label in cfg.rpo:
+        block = program.block(label)
+        data, addr = taint.data_in[label], taint.addr_in[label]
+        implicit = label in taint.control
+        for slot, ins in enumerate(block.instructions):
+            if isinstance(ins, (Load, Store)) and not (addr >> ins.base) & 1:
+                out.append((label, slot, ins.base))
+            data, addr = _taint_transfer([ins], data, addr, implicit=implicit)
+    return out

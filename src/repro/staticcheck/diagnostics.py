@@ -1,0 +1,182 @@
+"""Diagnostics: the rule registry, individual findings, and reports.
+
+Every finding carries a **stable rule ID** (``SC101``, ``SC201``, ...) so
+CI gates and downstream tooling can match on IDs rather than message text.
+Severity decides the exit code: ERROR diagnostics fail a lint run, WARNING
+diagnostics fail only under ``--strict``.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity (ordering matters: higher is worse)."""
+
+    WARNING = 1
+    ERROR = 2
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered static-analysis rule."""
+
+    rule_id: str
+    name: str
+    severity: Severity
+    summary: str
+
+
+#: The rule registry.  IDs are stable: 1xx = CFG shape, 2xx = dataflow,
+#: 3xx = contract/footprint.  Never renumber; retire IDs instead.
+RULES: Dict[str, Rule] = {
+    r.rule_id: r
+    for r in (
+        Rule(
+            "SC101",
+            "unreachable-block",
+            Severity.ERROR,
+            "a basic block is unreachable from the program entry",
+        ),
+        Rule(
+            "SC102",
+            "dead-data-array",
+            Severity.WARNING,
+            "a declared data array is never referenced by any ArrayBase",
+        ),
+        Rule(
+            "SC103",
+            "degenerate-branch",
+            Severity.WARNING,
+            "a conditional branch has identical taken / not-taken targets",
+        ),
+        Rule(
+            "SC201",
+            "use-before-def",
+            Severity.ERROR,
+            "a register is read before any definition on some path "
+            "(self-accumulator reads relying on zero-init are exempt)",
+        ),
+        Rule(
+            "SC202",
+            "non-array-address",
+            Severity.WARNING,
+            "a load/store base register cannot hold an array address here",
+        ),
+        Rule(
+            "SC301",
+            "footprint-drift",
+            Severity.ERROR,
+            "the program's static footprint violates its declared contract",
+        ),
+        Rule(
+            "SC302",
+            "missing-contract",
+            Severity.WARNING,
+            "a registered workload has no declared static-footprint contract",
+        ),
+        Rule(
+            "SC303",
+            "input-variant-footprint",
+            Severity.ERROR,
+            "the static footprint differs across application inputs",
+        ),
+    )
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding, locatable by workload / block / instruction pointer."""
+
+    rule_id: str
+    message: str
+    workload: Optional[str] = None
+    block: Optional[str] = None
+    ip: Optional[int] = None
+
+    @property
+    def rule(self) -> Rule:
+        return RULES[self.rule_id]
+
+    @property
+    def severity(self) -> Severity:
+        return self.rule.severity
+
+    def render(self) -> str:
+        where = []
+        if self.workload:
+            where.append(self.workload)
+        if self.block:
+            where.append(f"block {self.block}")
+        if self.ip is not None:
+            where.append(f"ip 0x{self.ip:x}")
+        location = f" [{', '.join(where)}]" if where else ""
+        return (
+            f"{self.rule_id} {self.rule.name} "
+            f"({self.severity.name.lower()}): {self.message}{location}"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule_id": self.rule_id,
+            "rule": self.rule.name,
+            "severity": self.severity.name.lower(),
+            "message": self.message,
+            "workload": self.workload,
+            "block": self.block,
+            "ip": self.ip,
+        }
+
+
+#: Schema tag for ``--report-out`` JSON documents.
+REPORT_SCHEMA_VERSION = "repro.staticcheck/v1"
+
+
+@dataclass
+class Report:
+    """Aggregated lint results over one or more programs."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: workload name -> input-invariant footprint dict (as_dict form).
+    footprints: Dict[str, Mapping[str, int]] = field(default_factory=dict)
+    programs_checked: int = 0
+
+    def extend(self, diagnostics: List[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def count(self, severity: Severity) -> int:
+        return sum(1 for d in self.diagnostics if d.severity == severity)
+
+    def has_errors(self, strict: bool = False) -> bool:
+        floor = Severity.WARNING if strict else Severity.ERROR
+        return any(d.severity >= floor for d in self.diagnostics)
+
+    def render(self) -> str:
+        lines = [d.render() for d in self.diagnostics]
+        lines.append(
+            f"{self.programs_checked} program(s) checked: "
+            f"{self.count(Severity.ERROR)} error(s), "
+            f"{self.count(Severity.WARNING)} warning(s)"
+        )
+        return "\n".join(lines)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": REPORT_SCHEMA_VERSION,
+            "programs_checked": self.programs_checked,
+            "errors": self.count(Severity.ERROR),
+            "warnings": self.count(Severity.WARNING),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "footprints": {k: dict(v) for k, v in sorted(self.footprints.items())},
+        }
+
+    def write_json(self, path: str) -> str:
+        with open(path, "w") as fh:
+            json.dump(self.to_json_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return path

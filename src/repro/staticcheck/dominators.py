@@ -1,0 +1,118 @@
+"""Dominator tree, back edges, and natural loops.
+
+Implements the Cooper–Harvey–Kennedy iterative algorithm ("A Simple, Fast
+Dominance Algorithm") over the reachable subgraph in reverse postorder.
+It converges in a handful of passes on reducible graphs and its intersect
+step is two pointer walks — comfortably fast even for the ~14k-block LCF
+dispatch programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.staticcheck.cfg import Cfg
+
+
+def compute_idoms(cfg: Cfg) -> Dict[str, Optional[str]]:
+    """Immediate dominators for every reachable block (entry maps to None)."""
+    rpo = cfg.rpo
+    index = {label: i for i, label in enumerate(rpo)}
+    idom: List[Optional[int]] = [None] * len(rpo)
+    if rpo:
+        idom[0] = 0  # entry: self, by convention during iteration
+
+    preds_idx: List[List[int]] = [
+        [index[p] for p in cfg.preds[label] if p in index] for label in rpo
+    ]
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while a > b:
+                a = idom[a]  # type: ignore[assignment]
+            while b > a:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for i in range(1, len(rpo)):
+            new_idom: Optional[int] = None
+            for p in preds_idx[i]:
+                if idom[p] is None:
+                    continue
+                new_idom = p if new_idom is None else intersect(p, new_idom)
+            if new_idom is not None and idom[i] != new_idom:
+                idom[i] = new_idom
+                changed = True
+
+    out: Dict[str, Optional[str]] = {}
+    for i, label in enumerate(rpo):
+        out[label] = None if i == 0 else rpo[idom[i]] if idom[i] is not None else None
+    return out
+
+
+def dominates(idoms: Dict[str, Optional[str]], a: str, b: str) -> bool:
+    """True iff block ``a`` dominates block ``b`` (every block dominates
+    itself)."""
+    node: Optional[str] = b
+    while node is not None:
+        if node == a:
+            return True
+        node = idoms.get(node)
+    return False
+
+
+@dataclass(frozen=True)
+class NaturalLoop:
+    """A natural loop: the header plus the body of one or more back edges."""
+
+    header: str
+    body: FrozenSet[str]  # includes the header
+
+
+def back_edges(cfg: Cfg, idoms: Dict[str, Optional[str]]) -> List[Tuple[str, str]]:
+    """Edges ``(tail, header)`` where the header dominates the tail."""
+    out: List[Tuple[str, str]] = []
+    for label in cfg.rpo:
+        for target in cfg.succs[label]:
+            if target in cfg.reachable and dominates(idoms, target, label):
+                out.append((label, target))
+    return out
+
+
+def loop_body(cfg: Cfg, tail: str, header: str) -> FrozenSet[str]:
+    """The natural-loop body of one back edge ``tail -> header``.
+
+    All blocks that can reach the tail without passing through the
+    header, plus the header itself.
+    """
+    body = {header}
+    stack = [tail]
+    while stack:
+        node = stack.pop()
+        if node in body:
+            continue
+        body.add(node)
+        stack.extend(p for p in cfg.preds[node] if p in cfg.reachable)
+    return frozenset(body)
+
+
+def natural_loops(cfg: Cfg, edges: List[Tuple[str, str]]) -> List[NaturalLoop]:
+    """Natural loops, one per header (back edges sharing a header merge)."""
+    by_header: Dict[str, set] = {}
+    for tail, header in edges:
+        body = by_header.setdefault(header, {header})
+        stack = [tail]
+        while stack:
+            node = stack.pop()
+            if node in body:
+                continue
+            body.add(node)
+            stack.extend(p for p in cfg.preds[node] if p in cfg.reachable)
+    return [
+        NaturalLoop(header=h, body=frozenset(body))
+        for h, body in sorted(by_header.items())
+    ]

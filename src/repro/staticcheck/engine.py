@@ -1,0 +1,269 @@
+"""The analysis passes wired into program- and workload-level linting.
+
+Three levels:
+
+* :func:`analyze_program` — run every pass over one finalized program and
+  return the raw results (CFG, dominators, dataflow, classification,
+  footprint);
+* :func:`lint_program` — turn an analysis into diagnostics (``SC1xx`` /
+  ``SC2xx``);
+* :func:`lint_workload` / :func:`lint_registry` — build each registered
+  workload across its inputs, add the contract rules (``SC3xx``), and
+  aggregate into a :class:`~repro.staticcheck.diagnostics.Report`.
+
+Everything here is static: no program is ever executed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.isa.program import Program
+from repro.staticcheck.cfg import Cfg, build_cfg, unreachable_blocks
+from repro.staticcheck.classify import (
+    StaticBranchProfile,
+    StaticFootprint,
+    classify_branches,
+    compute_footprint,
+    referenced_arrays,
+)
+from repro.staticcheck.contracts import StaticContract
+from repro.staticcheck.dataflow import (
+    MustAssigned,
+    TaintResult,
+    compute_must_assigned,
+    compute_taint,
+    suspicious_memory_ops,
+)
+from repro.staticcheck.diagnostics import Diagnostic, Report
+from repro.staticcheck.dominators import (
+    NaturalLoop,
+    back_edges,
+    compute_idoms,
+    natural_loops,
+)
+
+if TYPE_CHECKING:  # runtime import stays lazy: workloads import this package
+    from repro.workloads.base import WorkloadSpec
+
+_log = obs.get_logger("staticcheck")
+
+
+@dataclass(frozen=True)
+class ProgramAnalysis:
+    """Every pass result for one program."""
+
+    program: Program
+    cfg: Cfg
+    idoms: Dict[str, Optional[str]]
+    back_edges: Tuple[Tuple[str, str], ...]
+    loops: Tuple[NaturalLoop, ...]
+    must: MustAssigned
+    taint: TaintResult
+    branches: Tuple[StaticBranchProfile, ...]
+    footprint: StaticFootprint
+
+
+def analyze_program(program: Program) -> ProgramAnalysis:
+    """Run all static passes over one finalized program."""
+    with obs.timer("staticcheck.analyze"):
+        cfg = build_cfg(program)
+        idoms = compute_idoms(cfg)
+        edges = back_edges(cfg, idoms)
+        loops = natural_loops(cfg, edges)
+        must = compute_must_assigned(program, cfg)
+        taint = compute_taint(program, cfg, idoms)
+        branches = classify_branches(program, cfg, idoms, taint)
+        footprint = compute_footprint(program, cfg, branches, loops)
+    obs.counter("staticcheck.programs_analyzed")
+    return ProgramAnalysis(
+        program=program,
+        cfg=cfg,
+        idoms=idoms,
+        back_edges=tuple(edges),
+        loops=tuple(loops),
+        must=must,
+        taint=taint,
+        branches=tuple(branches),
+        footprint=footprint,
+    )
+
+
+def _program_diagnostics(
+    analysis: ProgramAnalysis, workload: Optional[str]
+) -> List[Diagnostic]:
+    program, cfg = analysis.program, analysis.cfg
+    out: List[Diagnostic] = []
+
+    for label in unreachable_blocks(program, cfg):
+        out.append(
+            Diagnostic(
+                rule_id="SC101",
+                message=f"block {label!r} is unreachable from entry {cfg.entry!r}",
+                workload=workload,
+                block=label,
+            )
+        )
+
+    live_arrays = referenced_arrays(program)
+    for name in program.arrays:
+        if name not in live_arrays:
+            out.append(
+                Diagnostic(
+                    rule_id="SC102",
+                    message=f"data array {name!r} is never referenced",
+                    workload=workload,
+                )
+            )
+
+    for label, ip, br in program.conditional_branches():
+        if br.taken == br.not_taken:
+            out.append(
+                Diagnostic(
+                    rule_id="SC103",
+                    message=(
+                        f"branch in {label!r} targets {br.taken!r} on both outcomes"
+                    ),
+                    workload=workload,
+                    block=label,
+                    ip=ip,
+                )
+            )
+
+    for use in analysis.must.uses_before_def:
+        site = "terminator" if use.slot == -1 else f"instruction {use.slot}"
+        out.append(
+            Diagnostic(
+                rule_id="SC201",
+                message=(
+                    f"r{use.register} read by {site} of block {use.block!r} "
+                    "before any definition"
+                ),
+                workload=workload,
+                block=use.block,
+            )
+        )
+
+    for label, slot, base in suspicious_memory_ops(program, cfg, analysis.taint):
+        out.append(
+            Diagnostic(
+                rule_id="SC202",
+                message=(
+                    f"memory access at instruction {slot} of block {label!r} "
+                    f"uses base r{base} that never derives from an ArrayBase"
+                ),
+                workload=workload,
+                block=label,
+            )
+        )
+    return out
+
+
+def lint_program(
+    program: Program, workload: Optional[str] = None
+) -> Tuple[ProgramAnalysis, List[Diagnostic]]:
+    """Analyze one program and return it with its diagnostics."""
+    analysis = analyze_program(program)
+    diagnostics = _program_diagnostics(analysis, workload)
+    for d in diagnostics:
+        obs.counter(f"staticcheck.diagnostics.{d.severity.name.lower()}")
+    return analysis, diagnostics
+
+
+def lint_workload(
+    spec: "WorkloadSpec",
+    contract: Optional[StaticContract] = None,
+    input_indices: Optional[Sequence[int]] = None,
+) -> Tuple[Optional[StaticFootprint], List[Diagnostic]]:
+    """Lint one workload across its application inputs.
+
+    Adds the contract rules on top of the per-program diagnostics:
+    ``SC303`` when the static footprint varies across inputs (the
+    cross-input H2P methodology requires identical static structure),
+    ``SC301`` when it violates the declared contract, ``SC302`` when no
+    contract is declared.
+    """
+    indices = list(input_indices) if input_indices is not None else list(
+        range(spec.num_inputs)
+    )
+    diagnostics: List[Diagnostic] = []
+    footprint: Optional[StaticFootprint] = None
+    with obs.span(f"staticcheck.{spec.name}", inputs=len(indices)):
+        for input_index in indices:
+            program = spec.build(input_index)
+            _analysis, diags = lint_program(program, workload=spec.name)
+            diagnostics.extend(diags)
+            if footprint is None:
+                footprint = _analysis.footprint
+            elif _analysis.footprint != footprint:
+                drifted = [
+                    key
+                    for key, value in _analysis.footprint.as_dict().items()
+                    if footprint.as_dict()[key] != value
+                ]
+                diagnostics.append(
+                    Diagnostic(
+                        rule_id="SC303",
+                        message=(
+                            f"input {input_index} changes the static footprint "
+                            f"(keys: {', '.join(drifted)})"
+                        ),
+                        workload=spec.name,
+                    )
+                )
+    if footprint is not None:
+        if contract is None:
+            diagnostics.append(
+                Diagnostic(
+                    rule_id="SC302",
+                    message="no static-footprint contract declared",
+                    workload=spec.name,
+                )
+            )
+        else:
+            for violation in contract.violations(footprint):
+                diagnostics.append(
+                    Diagnostic(
+                        rule_id="SC301", message=violation, workload=spec.name
+                    )
+                )
+    for d in diagnostics:
+        if d.rule_id.startswith("SC3"):
+            obs.counter(f"staticcheck.diagnostics.{d.severity.name.lower()}")
+    _log.info(
+        "linted %s over %d input(s): %d finding(s)",
+        spec.name,
+        len(indices),
+        len(diagnostics),
+    )
+    return footprint, diagnostics
+
+
+def lint_registry(
+    names: Optional[Sequence[str]] = None,
+    contracts: Optional[Mapping[str, StaticContract]] = None,
+) -> Report:
+    """Lint registered workloads (all of them by default) into a report."""
+    from repro.workloads import WORKLOADS_BY_NAME
+    from repro.workloads.contracts import WORKLOAD_CONTRACTS
+
+    if contracts is None:
+        contracts = WORKLOAD_CONTRACTS
+    selected = list(names) if names else sorted(WORKLOADS_BY_NAME)
+    unknown = [n for n in selected if n not in WORKLOADS_BY_NAME]
+    if unknown:
+        raise ValueError(
+            f"unknown workloads: {unknown}; choose from {sorted(WORKLOADS_BY_NAME)}"
+        )
+    report = Report()
+    with obs.span("staticcheck", workloads=len(selected)):
+        for name in selected:
+            spec = WORKLOADS_BY_NAME[name]
+            footprint, diagnostics = lint_workload(spec, contracts.get(name))
+            report.extend(diagnostics)
+            report.programs_checked += spec.num_inputs
+            if footprint is not None:
+                report.footprints[name] = footprint.as_dict()
+    return report

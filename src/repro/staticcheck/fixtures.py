@@ -1,0 +1,66 @@
+"""Committed negative fixtures: programs the linter must reject.
+
+CI runs ``python -m repro.staticcheck --fixture negative`` and requires a
+non-zero exit with the expected rule IDs — pinning the analyzer's ability
+to actually catch generator bugs, not just pass clean code.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import (
+    Alu,
+    AluImm,
+    AluOp,
+    Br,
+    Cond,
+    Halt,
+    Imm,
+    Jmp,
+    Load,
+    Nop,
+    Rand,
+)
+from repro.isa.program import Program, ProgramBuilder
+
+
+def build_negative_fixture() -> Program:
+    """A small program with one unreachable block (``SC101``) and one
+    use-before-def (``SC201``), plus warning-level findings: a dead data
+    array (``SC102``), a degenerate branch (``SC103``), and a load through
+    a non-address base (``SC202``)."""
+    b = ProgramBuilder("negative_fixture")
+    b.data("dead_array", [1, 2, 3])
+
+    entry = b.block("entry")
+    body = b.block("body")
+    exit_blk = b.block("exit")
+    orphan = b.block("orphan")  # SC101: nothing targets this block
+
+    entry.instructions = [
+        Imm(1, 5),
+        Rand(2, 0, 16),
+        # SC201: r9 is read before any path defines it (and this is not the
+        # exempt self-accumulator form, since the destination differs).
+        Alu(AluOp.ADD, 3, 1, 9),
+    ]
+    entry.terminator = Jmp(body.label)
+
+    body.instructions = [AluImm(AluOp.AND, 4, 2, 1)]
+    # SC103: both outcomes land on the same block.
+    body.terminator = Br(Cond.EQ, 4, 1, exit_blk.label, exit_blk.label)
+
+    # SC202: r1 holds the constant 5, never an ArrayBase-derived address.
+    exit_blk.instructions = [Load(5, 1), Nop()]
+    exit_blk.terminator = Halt()
+
+    orphan.instructions = [Imm(6, 1)]
+    orphan.terminator = Halt()
+
+    return b.build()
+
+
+FIXTURES = {"negative": build_negative_fixture}
+
+#: Rule IDs the negative fixture is guaranteed to trip (tests + CI assert).
+NEGATIVE_FIXTURE_ERROR_RULES = ("SC101", "SC201")
+NEGATIVE_FIXTURE_WARNING_RULES = ("SC102", "SC103", "SC202")

@@ -18,6 +18,7 @@ from repro.workloads.kernels import (
     build_rare_dispatch_kernel,
     build_scan_kernel,
 )
+from repro.workloads.contracts import WORKLOAD_CONTRACTS
 from repro.workloads.library import TraceLibrary, load_trace, save_trace
 from repro.workloads.lcf import (
     LCF_BY_NAME,
@@ -52,6 +53,7 @@ __all__ = [
     "SpecBenchParams",
     "TraceLibrary",
     "WORKLOADS_BY_NAME",
+    "WORKLOAD_CONTRACTS",
     "WorkloadSpec",
     "build_cold_check_kernel",
     "build_driver",

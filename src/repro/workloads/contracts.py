@@ -1,0 +1,174 @@
+"""Declared static-footprint contracts for every registered workload.
+
+Each contract pins the workload's static shape — block count, conditional
+branch count, and the loop / data-dependent / guard class mix computed by
+:mod:`repro.staticcheck` — so a generator regression that silently changes
+the structure behind Table I / Table II fails the ``staticcheck`` gate
+(rule ``SC301``) before any simulation runs.
+
+The generators are seed-deterministic, so bounds are exact.  After an
+*intentional* structure change, regenerate this table with::
+
+    PYTHONPATH=src python -m repro.staticcheck --emit-contracts
+
+and review the diff like any other golden file.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.staticcheck.contracts import StaticContract
+
+WORKLOAD_CONTRACTS: Dict[str, StaticContract] = {
+    "600.perlbench_s": StaticContract(
+        workload="600.perlbench_s",
+        bounds={
+            "blocks": (2250, 2250),
+            "conditional_branches": (740, 740),
+            "loop_branches": (2, 2),
+            "data_branches": (738, 738),
+            "guard_branches": (0, 0),
+        },
+    ),
+    "602.gcc_s": StaticContract(
+        workload="602.gcc_s",
+        bounds={
+            "blocks": (3485, 3485),
+            "conditional_branches": (1149, 1149),
+            "loop_branches": (3, 3),
+            "data_branches": (596, 596),
+            "guard_branches": (550, 550),
+        },
+    ),
+    "605.mcf_s": StaticContract(
+        workload="605.mcf_s",
+        bounds={
+            "blocks": (116, 116),
+            "conditional_branches": (31, 31),
+            "loop_branches": (2, 2),
+            "data_branches": (29, 29),
+            "guard_branches": (0, 0),
+        },
+    ),
+    "620.omnetpp_s": StaticContract(
+        workload="620.omnetpp_s",
+        bounds={
+            "blocks": (1210, 1210),
+            "conditional_branches": (392, 392),
+            "loop_branches": (2, 2),
+            "data_branches": (390, 390),
+            "guard_branches": (0, 0),
+        },
+    ),
+    "623.xalancbmk_s": StaticContract(
+        workload="623.xalancbmk_s",
+        bounds={
+            "blocks": (1904, 1904),
+            "conditional_branches": (626, 626),
+            "loop_branches": (2, 2),
+            "data_branches": (624, 624),
+            "guard_branches": (0, 0),
+        },
+    ),
+    "625.x264_s": StaticContract(
+        workload="625.x264_s",
+        bounds={
+            "blocks": (84, 84),
+            "conditional_branches": (19, 19),
+            "loop_branches": (2, 2),
+            "data_branches": (17, 17),
+            "guard_branches": (0, 0),
+        },
+    ),
+    "631.deepsjeng_s": StaticContract(
+        workload="631.deepsjeng_s",
+        bounds={
+            "blocks": (1462, 1462),
+            "conditional_branches": (478, 478),
+            "loop_branches": (2, 2),
+            "data_branches": (476, 476),
+            "guard_branches": (0, 0),
+        },
+    ),
+    "641.leela_s": StaticContract(
+        workload="641.leela_s",
+        bounds={
+            "blocks": (1031, 1031),
+            "conditional_branches": (332, 332),
+            "loop_branches": (2, 2),
+            "data_branches": (330, 330),
+            "guard_branches": (0, 0),
+        },
+    ),
+    "648.exchange2_s": StaticContract(
+        workload="648.exchange2_s",
+        bounds={
+            "blocks": (100, 100),
+            "conditional_branches": (25, 25),
+            "loop_branches": (2, 2),
+            "data_branches": (23, 23),
+            "guard_branches": (0, 0),
+        },
+    ),
+    "657.xz_s": StaticContract(
+        workload="657.xz_s",
+        bounds={
+            "blocks": (854, 854),
+            "conditional_branches": (274, 274),
+            "loop_branches": (2, 2),
+            "data_branches": (272, 272),
+            "guard_branches": (0, 0),
+        },
+    ),
+    "game": StaticContract(
+        workload="game",
+        bounds={
+            "blocks": (13617, 13617),
+            "conditional_branches": (4523, 4523),
+            "loop_branches": (3, 3),
+            "data_branches": (4220, 4220),
+            "guard_branches": (300, 300),
+        },
+    ),
+    "nosql": StaticContract(
+        workload="nosql",
+        bounds={
+            "blocks": (3315, 3315),
+            "conditional_branches": (1093, 1093),
+            "loop_branches": (3, 3),
+            "data_branches": (740, 740),
+            "guard_branches": (350, 350),
+        },
+    ),
+    "rdbms": StaticContract(
+        workload="rdbms",
+        bounds={
+            "blocks": (6325, 6325),
+            "conditional_branches": (2095, 2095),
+            "loop_branches": (3, 3),
+            "data_branches": (1592, 1592),
+            "guard_branches": (500, 500),
+        },
+    ),
+    "rt_analytics": StaticContract(
+        workload="rt_analytics",
+        bounds={
+            "blocks": (3005, 3005),
+            "conditional_branches": (989, 989),
+            "loop_branches": (3, 3),
+            "data_branches": (566, 566),
+            "guard_branches": (420, 420),
+        },
+    ),
+    "streaming_server": StaticContract(
+        workload="streaming_server",
+        bounds={
+            "blocks": (1446, 1446),
+            "conditional_branches": (474, 474),
+            "loop_branches": (3, 3),
+            "data_branches": (311, 311),
+            "guard_branches": (160, 160),
+        },
+    ),
+}

@@ -83,15 +83,19 @@ def build_spec_benchmark(params: SpecBenchParams, input_index: int) -> Program:
         "scan_data",
         np.sort(make_input_data(params.seed + 2, input_index, _DATA_LEN, "uniform")),
     )
-    # Pointer-chase substrate: a random permutation (input-dependent) and values.
-    perm_rng = random.Random(params.seed * 31 + input_index)
-    perm = list(range(_DATA_LEN))
-    perm_rng.shuffle(perm)
-    b.data("chase_perm", perm)
-    b.data(
-        "chase_vals",
-        make_input_data(params.seed + 1, input_index, _DATA_LEN, params.data_style),
-    )
+    if params.pointer_chases:
+        # Pointer-chase substrate: a random permutation (input-dependent)
+        # and values.  Declared only when a chase kernel consumes them —
+        # every access resolves through ArrayBase, so the resulting base
+        # shift leaves the other kernels' traces unchanged.
+        perm_rng = random.Random(params.seed * 31 + input_index)
+        perm = list(range(_DATA_LEN))
+        perm_rng.shuffle(perm)
+        b.data("chase_perm", perm)
+        b.data(
+            "chase_vals",
+            make_input_data(params.seed + 1, input_index, _DATA_LEN, params.data_style),
+        )
 
     kernels: List[Tuple[str, int]] = []  # (entry label, iterations/round)
 

@@ -1,6 +1,5 @@
 """Tests for recurrence-interval analysis (Fig. 9)."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.recurrence import (

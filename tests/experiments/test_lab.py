@@ -83,7 +83,7 @@ class TestReporting:
         text = format_table(["a", "bb"], [[1, 2.5], [30, 4.0]], title="T")
         lines = text.splitlines()
         assert lines[0] == "T"
-        assert len({len(l) for l in lines[1:]}) == 1  # aligned widths
+        assert len({len(line) for line in lines[1:]}) == 1  # aligned widths
 
     def test_format_table_row_mismatch(self):
         with pytest.raises(ValueError):

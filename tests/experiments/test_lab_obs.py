@@ -99,7 +99,11 @@ class TestInvalidDiskCache:
         with caplog.at_level(logging.WARNING, logger="repro.lab"):
             result = _sim(lab)
         assert result.mispredictions == reference.mispredictions
-        assert obs_enabled.counters_dict()["lab.cache.invalid"] == 1
+        counters = obs_enabled.counters_dict()
+        assert counters["lab.cache.invalid"] == 1
+        # An unreadable entry also increments the dedicated I/O-failure
+        # counter (distinguishing it from well-formed-but-stale payloads).
+        assert counters["lab.cache.load_error"] == 1
         assert any(
             "invalid disk cache" in rec.message and "unreadable" in rec.message
             for rec in caplog.records
@@ -116,7 +120,10 @@ class TestInvalidDiskCache:
         with caplog.at_level(logging.WARNING, logger="repro.lab"):
             result = _sim(lab)
         assert result.mispredictions == reference.mispredictions
-        assert obs_enabled.counters_dict()["lab.cache.invalid"] == 1
+        counters = obs_enabled.counters_dict()
+        assert counters["lab.cache.invalid"] == 1
+        # Stale-but-readable payloads are not I/O failures.
+        assert "lab.cache.load_error" not in counters
         assert any("stale cache version" in rec.message for rec in caplog.records)
 
     def test_recompute_overwrites_bad_entry(self, obs_enabled, warm_cache):

@@ -1,6 +1,7 @@
 """Parallel simulation engine: serial equivalence, picklability, and
 concurrent shared-cache behavior."""
 
+import logging
 import os
 import pickle
 import threading
@@ -11,7 +12,7 @@ from repro.config import ExperimentTier
 from repro.experiments.lab import CACHE_VERSION, Lab, PREDICTOR_FACTORIES
 from repro.experiments.plans import EXPERIMENT_PLANS
 from repro.parallel.jobs import SimJob, run_sim_job
-from repro.parallel.scheduler import resolve_jobs
+from repro.parallel.scheduler import ParallelScheduler, resolve_jobs
 from repro.workloads import WORKLOADS_BY_NAME
 
 #: One input, one slice: the equivalence sweeps stay fast even though every
@@ -160,6 +161,37 @@ class TestSharedDiskCache:
         with open(disk, "rb") as f:
             payload = pickle.load(f)
         assert payload["cache_version"] == CACHE_VERSION
+
+
+class TestFailedJobs:
+    def test_failed_job_counts_and_warns_without_killing_batch(
+        self, obs_enabled, caplog
+    ):
+        # One job that raises in the worker (unknown workload) alongside a
+        # good one: the batch completes, the failure is counted and logged,
+        # and only the good result is delivered.
+        sched = ParallelScheduler(jobs=2)
+        bad = SimJob("not-a-workload", 0, 1_000, "tage-sc-l-8kb", 500)
+        good = SimJob("game", 0, TINY_INSTRUCTIONS, "tage-sc-l-8kb", TINY_SLICE)
+        delivered = []
+        root = logging.getLogger("repro")
+        before = root.propagate
+        root.propagate = True  # let caplog's root handler see the warning
+        try:
+            with caplog.at_level(logging.WARNING, logger="repro.parallel"):
+                failed = sched.run(
+                    [bad, good], lambda job, result: delivered.append(job)
+                )
+        finally:
+            root.propagate = before
+            sched.close()
+        assert failed == 1
+        assert delivered == [good]
+        assert obs_enabled.counters_dict()["lab.parallel.jobs.failed"] == 1
+        assert any(
+            "parallel job" in rec.message and "failed" in rec.message
+            for rec in caplog.records
+        )
 
 
 class TestPlanner:

@@ -55,7 +55,7 @@ class TestRunner:
         # Sub-second experiments must not be shown as "(0s)".
         lines = []
         run_experiments(["fig9"], lab, echo=lines.append)
-        header = next(l for l in lines if "fig9 (" in l)
+        header = next(line for line in lines if "fig9 (" in line)
         assert "(0s)" not in header
         assert "ms)" in header or "s)" in header
 

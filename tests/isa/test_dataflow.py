@@ -122,6 +122,46 @@ class TestTaintTracking:
             analyze_dependencies([], 0, 0)
 
 
+class TestWindowEdgeCases:
+    def test_h2p_as_first_branch_has_no_lookback(self):
+        # The very first execution of the H2P has no prior conditional
+        # branches at all; the scan must handle the empty history.
+        prog = dependency_pair_program(gap_blocks=0)
+        res = Executor(prog, track_dataflow=True).run(5000)
+        h2p_ip = prog.terminator_ip("h2p")
+        first = next(
+            i for i, ev in enumerate(res.cond_branch_events) if ev.ip == h2p_ip
+        )
+        events = res.cond_branch_events[first : first + 1]
+        profile = analyze_dependencies(events, h2p_ip, 500)
+        assert profile.executions_analyzed == 1
+        assert profile.num_dependency_branches == 0
+
+    def test_empty_event_window_between_executions(self):
+        # max_positions=0 caps the scan before any prior branch is
+        # considered: every execution sees an empty dependency window.
+        prog = dependency_pair_program(gap_blocks=0)
+        res = Executor(prog, track_dataflow=True).run(5000)
+        h2p_ip = prog.terminator_ip("h2p")
+        profile = analyze_dependencies(
+            res.cond_branch_events, h2p_ip, 500, max_positions=0
+        )
+        assert profile.executions_analyzed > 0
+        assert profile.num_dependency_branches == 0
+
+    def test_dependency_beyond_instruction_window(self):
+        # With filler branches between A and B, a window that covers the
+        # fillers but not A must not report A; widening the window finds it.
+        prog = dependency_pair_program(gap_blocks=3)
+        res = Executor(prog, track_dataflow=True).run(8000)
+        h2p_ip = prog.terminator_ip("h2p")
+        dep_ip = prog.terminator_ip("loop")
+        narrow = analyze_dependencies(res.cond_branch_events, h2p_ip, 8)
+        assert dep_ip not in narrow.dependency_branch_ips
+        wide = analyze_dependencies(res.cond_branch_events, h2p_ip, 500)
+        assert dep_ip in wide.dependency_branch_ips
+
+
 class TestProfileHelpers:
     def test_top_positions_ordering(self):
         prog = dependency_pair_program()

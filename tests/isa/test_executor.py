@@ -34,7 +34,8 @@ def run_straightline(instructions, data=None, max_instructions=10_000, seed=0):
     if data:
         for name, values in data.items():
             b.data(name, values)
-    out = b.data("out", [0] * 64) if not (data and "out" in data) else "out"
+    if not (data and "out" in data):
+        b.data("out", [0] * 64)
     e = b.block("entry")
     e.instructions = list(instructions)
     # Store r0..r31 to out[]
@@ -53,6 +54,14 @@ def run_straightline(instructions, data=None, max_instructions=10_000, seed=0):
     # loads in a second block is unnecessary: tests use branch outcomes
     # instead.  This helper is retained for instruction-count checks only.
     return prog
+
+
+def make_leaf(b, label, terminator):
+    """A one-Nop block ending in ``terminator`` (Br target boilerplate)."""
+    blk = b.block(label)
+    blk.instructions = [Nop()]
+    blk.terminator = terminator
+    return blk
 
 
 def branch_outcome_program(instructions, cond, s1, s2):
@@ -136,17 +145,12 @@ class TestAluSemantics:
 
 class TestMemory:
     def test_load_initial_data(self):
-        prog = branch_outcome_program(
-            [ArrayBase(1, "d"), Load(3, 1, 2), Imm(4, 30)],
-            Cond.EQ, 3, 4,
-        )
-        # rebuild with data
         b = ProgramBuilder("t")
         b.data("d", [10, 20, 30])
         e = b.block("entry")
         e.instructions = [ArrayBase(1, "d"), Load(3, 1, 2), Imm(4, 30)]
-        t = b.block("t"); t.instructions = [Nop()]; t.terminator = Halt()
-        f = b.block("f"); f.instructions = [Nop()]; f.terminator = Halt()
+        make_leaf(b, "t", Halt())
+        make_leaf(b, "f", Halt())
         e.terminator = Br(Cond.EQ, 3, 4, "t", "f")
         assert first_branch_taken(b.build())
 
@@ -158,8 +162,8 @@ class TestMemory:
             ArrayBase(1, "d"), Imm(2, 42), Store(2, 1, 1), Load(3, 1, 1),
             Imm(4, 42),
         ]
-        t = b.block("t"); t.instructions = [Nop()]; t.terminator = Halt()
-        f = b.block("f"); f.instructions = [Nop()]; f.terminator = Halt()
+        make_leaf(b, "t", Halt())
+        make_leaf(b, "f", Halt())
         e.terminator = Br(Cond.EQ, 3, 4, "t", "f")
         assert first_branch_taken(b.build())
 
@@ -167,8 +171,8 @@ class TestMemory:
         b = ProgramBuilder("t")
         e = b.block("entry")
         e.instructions = [Imm(1, 999), Load(3, 1), Imm(4, 0)]
-        t = b.block("t"); t.instructions = [Nop()]; t.terminator = Halt()
-        f = b.block("f"); f.instructions = [Nop()]; f.terminator = Halt()
+        make_leaf(b, "t", Halt())
+        make_leaf(b, "f", Halt())
         e.terminator = Br(Cond.EQ, 3, 4, "t", "f")
         assert first_branch_taken(b.build())
 
@@ -204,8 +208,8 @@ class TestControlFlow:
         sub.terminator = Ret()
         after = b.block("after")
         after.instructions = [Imm(2, 7)]
-        t = b.block("t"); t.instructions = [Nop()]; t.terminator = Halt()
-        f = b.block("f"); f.instructions = [Nop()]; f.terminator = Halt()
+        make_leaf(b, "t", Halt())
+        make_leaf(b, "f", Halt())
         after.terminator = Br(Cond.EQ, 1, 2, "t", "f")
         res = Executor(b.build()).run(64)
         kinds = list(res.trace.kinds)
@@ -255,8 +259,8 @@ class TestBudgetAndDeterminism:
         b = ProgramBuilder("t")
         e = b.block("entry")
         e.instructions = [Rand(1, 0, 2), Imm(2, 1)]
-        t = b.block("t"); t.instructions = [Nop()]; t.terminator = Jmp("entry")
-        f = b.block("f"); f.instructions = [Nop()]; f.terminator = Jmp("entry")
+        make_leaf(b, "t", Jmp("entry"))
+        make_leaf(b, "f", Jmp("entry"))
         e.terminator = Br(Cond.EQ, 1, 2, "t", "f")
         return b.build()
 
@@ -293,8 +297,8 @@ class TestInstrumentation:
         b = ProgramBuilder("t")
         e = b.block("entry")
         e.instructions = [Rand(1, 0, 2), Imm(2, 1), Imm(5, 123)]
-        t = b.block("t"); t.instructions = [Nop()]; t.terminator = Jmp("entry")
-        f = b.block("f"); f.instructions = [Nop()]; f.terminator = Jmp("entry")
+        make_leaf(b, "t", Jmp("entry"))
+        make_leaf(b, "f", Jmp("entry"))
         e.terminator = Br(Cond.EQ, 1, 2, "t", "f")
         return b.build()
 

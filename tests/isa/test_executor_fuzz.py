@@ -20,7 +20,6 @@ from repro.isa.instructions import (
     Imm,
     Jmp,
     Load,
-    Nop,
     Rand,
     Ret,
     Store,

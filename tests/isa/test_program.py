@@ -3,7 +3,7 @@
 import pytest
 
 from repro.isa.instructions import Br, Cond, Halt, Imm, Jmp, Nop
-from repro.isa.program import BasicBlock, Program, ProgramBuilder
+from repro.isa.program import ProgramBuilder
 
 
 def tiny_builder():

@@ -1,7 +1,5 @@
 """Edge cases across the trace/simulation seam."""
 
-import numpy as np
-import pytest
 
 from repro.core.metrics import BranchStats
 from repro.core.types import BranchKind, BranchTrace

@@ -1,6 +1,5 @@
 """Tests for the fetch-break (taken-branch-density) IPC model."""
 
-import numpy as np
 import pytest
 
 from repro.core.types import BranchKind, BranchTrace

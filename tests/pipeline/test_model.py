@@ -1,6 +1,5 @@
 """Tests for the pipeline configuration and IPC models."""
 
-import math
 
 import numpy as np
 import pytest

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.types import BranchKind, BranchTrace
+from repro.core.types import BranchTrace
 from repro.pipeline.simulator import simulate_trace
 from repro.predictors.oracle import Perfect
 from repro.predictors.simple import AlwaysTaken, Bimodal, NeverTaken

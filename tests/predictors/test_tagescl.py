@@ -6,11 +6,7 @@ import pytest
 
 from repro.core.storage import StorageBudget
 from repro.predictors.statistical_corrector import StatisticalCorrector
-from repro.predictors.tagescl import (
-    STORAGE_PRESETS_KIB,
-    TageScL,
-    make_tage_sc_l,
-)
+from repro.predictors.tagescl import STORAGE_PRESETS_KIB, make_tage_sc_l
 
 
 def drive(predictor, stream, score_after=0):

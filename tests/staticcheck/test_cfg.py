@@ -1,0 +1,101 @@
+"""CFG construction, edge policies, and reachability."""
+
+from repro.isa.instructions import (
+    Br,
+    Call,
+    Cond,
+    Halt,
+    Imm,
+    Jmp,
+    Nop,
+    Ret,
+    Switch,
+)
+from repro.isa.program import ProgramBuilder
+from repro.staticcheck.cfg import build_cfg, unreachable_blocks
+
+
+def interproc_program():
+    """entry -> Br(a, b); a -> Call(sub, ret_to=join); b -> Jmp join;
+    join -> Switch(a, a, b); sub -> Ret; dead block unreached."""
+    b = ProgramBuilder("cfgtest")
+    entry = b.block("entry")
+    a = b.block("a")
+    bb = b.block("b")
+    join = b.block("join")
+    sub = b.block("sub")
+    dead = b.block("dead")
+
+    entry.instructions = [Imm(1, 0), Imm(2, 1)]
+    entry.terminator = Br(Cond.EQ, 1, 2, "a", "b")
+    a.instructions = [Nop()]
+    a.terminator = Call("sub", "join")
+    bb.instructions = [Nop()]
+    bb.terminator = Jmp("join")
+    join.instructions = [Imm(3, 0)]
+    join.terminator = Switch(3, ("a", "a", "b"))
+    sub.instructions = [Nop()]
+    sub.terminator = Ret()
+    dead.instructions = [Nop()]
+    dead.terminator = Halt()
+    return b.build()
+
+
+class TestEdgePolicies:
+    def test_br_edges(self):
+        cfg = build_cfg(interproc_program())
+        assert cfg.succs["entry"] == ("a", "b")
+
+    def test_call_targets_callee_only(self):
+        cfg = build_cfg(interproc_program())
+        # The ret_to block is reached through the callee's Ret, not by a
+        # fall-through edge.
+        assert cfg.succs["a"] == ("sub",)
+
+    def test_ret_resolves_to_all_ret_sites_plus_entry(self):
+        cfg = build_cfg(interproc_program())
+        assert cfg.succs["sub"] == ("join", "entry")
+
+    def test_switch_targets_dedupe(self):
+        cfg = build_cfg(interproc_program())
+        assert cfg.succs["join"] == ("a", "b")
+
+    def test_halt_is_terminal(self):
+        cfg = build_cfg(interproc_program())
+        assert cfg.succs["dead"] == ()
+
+    def test_preds_mirror_succs(self):
+        cfg = build_cfg(interproc_program())
+        for label, targets in cfg.succs.items():
+            for target in targets:
+                assert label in cfg.preds[target]
+
+
+class TestReachability:
+    def test_unreachable_block_detected(self):
+        prog = interproc_program()
+        cfg = build_cfg(prog)
+        assert "dead" not in cfg.reachable
+        assert unreachable_blocks(prog, cfg) == ["dead"]
+
+    def test_rpo_starts_at_entry_and_covers_reachable(self):
+        cfg = build_cfg(interproc_program())
+        assert cfg.rpo[0] == "entry"
+        assert set(cfg.rpo) == set(cfg.reachable)
+
+    def test_rpo_orders_predecessors_first_on_dag_edges(self):
+        cfg = build_cfg(interproc_program())
+        index = cfg.rpo_index
+        assert index["entry"] < index["a"]
+        assert index["entry"] < index["b"]
+
+    def test_scales_to_large_programs(self):
+        # A long Jmp chain would overflow a recursive DFS.
+        b = ProgramBuilder("chain")
+        n = 5000
+        for i in range(n):
+            blk = b.block(f"n{i}")
+            blk.instructions = [Nop()]
+            blk.terminator = Jmp(f"n{i + 1}") if i < n - 1 else Halt()
+        cfg = build_cfg(b.build())
+        assert len(cfg.reachable) == n

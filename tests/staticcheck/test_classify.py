@@ -1,0 +1,141 @@
+"""Branch classification and the static footprint."""
+
+from repro.isa.instructions import (
+    Alu,
+    AluImm,
+    AluOp,
+    ArrayBase,
+    Br,
+    Cond,
+    Halt,
+    Imm,
+    Jmp,
+    Load,
+    Nop,
+)
+from repro.isa.program import ProgramBuilder
+from repro.staticcheck.classify import BranchClass, branch_class_by_ip
+from repro.staticcheck.engine import analyze_program
+
+
+def classes_by_block(analysis):
+    return {p.block: p.branch_class for p in analysis.branches}
+
+
+def three_class_program():
+    """A data-steered loop, a guard, and a clean counted self-loop."""
+    b = ProgramBuilder("classes")
+    b.data("d", list(range(16)))
+    e = b.block("entry")
+    e.instructions = [ArrayBase(1, "d"), Imm(2, 0), Imm(3, 10), Imm(4, 1)]
+    e.terminator = Jmp("loop")
+
+    loop = b.block("loop")  # condition reads a loaded value -> DATA
+    loop.instructions = [Alu(AluOp.ADD, 5, 1, 2), Load(6, 5), Imm(7, 8)]
+    loop.terminator = Br(Cond.LT, 6, 7, "hit", "miss")
+    hit = b.block("hit")
+    hit.instructions = [AluImm(AluOp.ADD, 9, 9, 1)]
+    hit.terminator = Jmp("tail")
+    miss = b.block("miss")
+    miss.instructions = [Nop()]
+    miss.terminator = Jmp("tail")
+
+    tail = b.block("tail")  # back edge; loop body contains the DATA branch
+    tail.instructions = [AluImm(AluOp.ADD, 2, 2, 1)]
+    tail.terminator = Br(Cond.LT, 2, 3, "loop", "guard")
+
+    guard = b.block("guard")  # forward branch over constant state
+    guard.instructions = [Nop()]
+    guard.terminator = Br(Cond.EQ, 4, 3, "g1", "g2")
+    g1 = b.block("g1")
+    g1.instructions = [Nop()]
+    g1.terminator = Jmp("counted")
+    g2 = b.block("g2")
+    g2.instructions = [Nop()]
+    g2.terminator = Jmp("counted")
+
+    counted = b.block("counted")  # pure counted self-loop, clean body
+    counted.instructions = [AluImm(AluOp.ADD, 8, 8, 1)]
+    counted.terminator = Br(Cond.LT, 8, 3, "counted", "done")
+
+    done = b.block("done")
+    done.terminator = Halt()
+    return b.build()
+
+
+class TestClassification:
+    def test_three_classes(self):
+        analysis = analyze_program(three_class_program())
+        by_block = classes_by_block(analysis)
+        assert by_block["loop"] is BranchClass.DATA
+        assert by_block["guard"] is BranchClass.GUARD
+        assert by_block["counted"] is BranchClass.LOOP
+
+    def test_loop_with_data_steered_body_is_data(self):
+        # tail's condition is a clean counter, but its loop body contains
+        # the data branch: the exit predicts through a data-shaped history.
+        analysis = analyze_program(three_class_program())
+        assert classes_by_block(analysis)["tail"] is BranchClass.DATA
+
+    def test_implicitly_tainted_loop_bound_is_data(self):
+        # The H2P kernels' noise loop: trip count selected by a
+        # data-dependent diamond, so the spin branch must classify DATA
+        # even though its operands only ever see Imm constants.
+        b = ProgramBuilder("noise")
+        b.data("d", [0, 1, 2, 3])
+        e = b.block("entry")
+        e.instructions = [ArrayBase(1, "d"), Load(2, 1), Imm(3, 2), Imm(8, 0)]
+        e.terminator = Br(Cond.LT, 2, 3, "small", "big")
+        small = b.block("small")
+        small.instructions = [Imm(7, 2)]
+        small.terminator = Jmp("spin")
+        big = b.block("big")
+        big.instructions = [Imm(7, 5)]
+        big.terminator = Jmp("spin")
+        spin = b.block("spin")
+        spin.instructions = [AluImm(AluOp.ADD, 8, 8, 1)]
+        spin.terminator = Br(Cond.LT, 8, 7, "spin", "done")
+        done = b.block("done")
+        done.terminator = Halt()
+        analysis = analyze_program(b.build())
+        assert classes_by_block(analysis)["spin"] is BranchClass.DATA
+
+    def test_profiles_sorted_by_ip(self):
+        analysis = analyze_program(three_class_program())
+        ips = [p.ip for p in analysis.branches]
+        assert ips == sorted(ips)
+
+    def test_branch_class_by_ip_roundtrip(self):
+        analysis = analyze_program(three_class_program())
+        index = branch_class_by_ip(list(analysis.branches))
+        for p in analysis.branches:
+            assert index[p.ip] == (p.block, p.branch_class)
+
+
+class TestFootprint:
+    def test_counts(self):
+        analysis = analyze_program(three_class_program())
+        fp = analysis.footprint
+        assert fp.conditional_branches == 4
+        assert fp.loop_branches == 1
+        assert fp.data_branches == 2
+        assert fp.guard_branches == 1
+        assert fp.blocks == 10
+        assert fp.reachable_blocks == 10
+        assert fp.natural_loops == 2
+        assert fp.data_arrays == 1
+
+    def test_as_dict_keys_are_stable(self):
+        fp = analyze_program(three_class_program()).footprint
+        assert set(fp.as_dict()) == {
+            "blocks",
+            "reachable_blocks",
+            "conditional_branches",
+            "loop_branches",
+            "data_branches",
+            "guard_branches",
+            "switches",
+            "calls",
+            "natural_loops",
+            "data_arrays",
+        }

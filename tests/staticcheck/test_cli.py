@@ -1,0 +1,74 @@
+"""CLI behaviour: exit codes, report output, and contract emission."""
+
+import json
+
+import pytest
+
+from repro.staticcheck.cli import main
+from repro.staticcheck.diagnostics import REPORT_SCHEMA_VERSION
+from repro.staticcheck.fixtures import NEGATIVE_FIXTURE_ERROR_RULES
+
+
+class TestExitCodes:
+    def test_clean_workloads_exit_zero(self, capsys):
+        assert main(["605.mcf_s", "625.x264_s"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_negative_fixture_exits_nonzero(self, capsys):
+        assert main(["--fixture", "negative"]) == 1
+        out = capsys.readouterr().out
+        for rule_id in NEGATIVE_FIXTURE_ERROR_RULES:
+            assert rule_id in out
+
+    def test_unknown_workload_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["no-such-workload"])
+        assert excinfo.value.code == 2
+
+    def test_no_selection_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([])
+        assert excinfo.value.code == 2
+
+
+class TestListAndReport:
+    def test_list_prints_registered_names(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert "605.mcf_s" in out
+        assert "game" in out
+
+    def test_report_out_writes_schema_json(self, tmp_path, capsys):
+        path = tmp_path / "report.json"
+        assert main(["605.mcf_s", "--report-out", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == REPORT_SCHEMA_VERSION
+        assert doc["errors"] == 0
+        assert "605.mcf_s" in doc["footprints"]
+        fp = doc["footprints"]["605.mcf_s"]
+        assert fp["conditional_branches"] == (
+            fp["loop_branches"] + fp["data_branches"] + fp["guard_branches"]
+        )
+
+    def test_report_out_records_fixture_diagnostics(self, tmp_path, capsys):
+        path = tmp_path / "report.json"
+        assert main(["--fixture", "negative", "--report-out", str(path)]) == 1
+        doc = json.loads(path.read_text())
+        assert doc["errors"] == 2
+        assert {d["rule_id"] for d in doc["diagnostics"]} >= set(
+            NEGATIVE_FIXTURE_ERROR_RULES
+        )
+
+
+class TestEmitContracts:
+    def test_emitted_stanza_matches_registered_contract(self, capsys):
+        assert main(["--emit-contracts", "605.mcf_s"]) == 0
+        out = capsys.readouterr().out
+        from repro.staticcheck.contracts import StaticContract
+        from repro.workloads import WORKLOAD_CONTRACTS
+
+        parsed = eval(  # noqa: S307 - test-only
+            out.partition("=")[2], {"StaticContract": StaticContract}
+        )
+        assert parsed["605.mcf_s"] == WORKLOAD_CONTRACTS["605.mcf_s"]

@@ -1,0 +1,86 @@
+"""Static-footprint contracts: bounds checking and generation."""
+
+import pytest
+
+from repro.staticcheck.classify import StaticFootprint
+from repro.staticcheck.contracts import (
+    DEFAULT_CONTRACT_KEYS,
+    StaticContract,
+    contract_from_footprint,
+    render_contract,
+)
+
+
+def footprint(**overrides):
+    base = dict(
+        blocks=10,
+        reachable_blocks=10,
+        conditional_branches=4,
+        loop_branches=1,
+        data_branches=2,
+        guard_branches=1,
+        switches=0,
+        calls=0,
+        natural_loops=2,
+        data_arrays=1,
+    )
+    base.update(overrides)
+    return StaticFootprint(**base)
+
+
+class TestStaticContract:
+    def test_satisfied(self):
+        contract = contract_from_footprint("w", footprint())
+        assert contract.violations(footprint()) == []
+
+    def test_violation_messages(self):
+        contract = contract_from_footprint("w", footprint())
+        msgs = contract.violations(footprint(data_branches=3, guard_branches=0))
+        assert msgs == [
+            "data_branches is 3, contract expects 2",
+            "guard_branches is 0, contract expects 1",
+        ]
+
+    def test_range_bounds(self):
+        contract = StaticContract("w", {"blocks": (8, 12)})
+        assert contract.violations(footprint()) == []
+        assert contract.violations(footprint(blocks=13)) == [
+            "blocks is 13, contract expects 8..12"
+        ]
+
+    def test_unknown_key_reported(self):
+        contract = StaticContract("w", {"nonsense": (0, 0)})
+        assert contract.violations(footprint()) == [
+            "contract references unknown footprint key 'nonsense'"
+        ]
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError, match="lo 3 > hi 1"):
+            StaticContract("w", {"blocks": (3, 1)})
+
+    def test_default_keys_pinned_exactly(self):
+        contract = contract_from_footprint("w", footprint())
+        assert set(contract.bounds) == set(DEFAULT_CONTRACT_KEYS)
+        actual = footprint().as_dict()
+        for key, (lo, hi) in contract.bounds.items():
+            assert lo == hi == actual[key]
+
+    def test_render_is_valid_registry_stanza(self):
+        text = render_contract(contract_from_footprint("w", footprint()))
+        namespace = {"StaticContract": StaticContract}
+        parsed = eval("{" + text + "}", namespace)  # noqa: S307 - test-only
+        assert parsed["w"].bounds["blocks"] == (10, 10)
+
+
+class TestRegisteredContracts:
+    def test_every_workload_has_a_contract(self):
+        from repro.workloads import WORKLOAD_CONTRACTS, WORKLOADS_BY_NAME
+
+        assert set(WORKLOAD_CONTRACTS) == set(WORKLOADS_BY_NAME)
+
+    def test_contracts_pin_default_keys(self):
+        from repro.workloads import WORKLOAD_CONTRACTS
+
+        for name, contract in WORKLOAD_CONTRACTS.items():
+            assert contract.workload == name
+            assert set(contract.bounds) == set(DEFAULT_CONTRACT_KEYS)

@@ -1,0 +1,43 @@
+"""Acceptance cross-check: static classification vs. dynamic findings.
+
+The issue's acceptance criterion: every dynamic H2P IP found on the quick
+tier must be classified *data-dependent* by the static analyzer, and every
+dynamically observed branch IP must exist in the static CFG.
+"""
+
+import pytest
+
+from repro.experiments.staticcheck_check import (
+    compute_staticcheck_report,
+    crosscheck_lcf_populations,
+    crosscheck_specint_h2ps,
+)
+
+
+@pytest.fixture(scope="module")
+def report(lab):
+    return compute_staticcheck_report(lab)
+
+
+class TestStaticDynamicAgreement:
+    def test_every_h2p_ip_is_statically_data_dependent(self, lab):
+        for check in crosscheck_specint_h2ps(lab):
+            assert check.ok, "\n".join(check.mismatches)
+            # The screen finds H2Ps on the quick tier; an empty set here
+            # would make the agreement vacuous.
+            assert check.dynamic_ips > 0, f"{check.benchmark}: no H2Ps screened"
+
+    def test_dynamic_branch_populations_subset_of_static(self, lab):
+        for check in crosscheck_lcf_populations(lab):
+            assert check.ok, "\n".join(check.mismatches)
+            assert check.dynamic_ips > 0
+
+    def test_report_aggregates_lint_and_checks(self, report):
+        assert report.ok
+        assert not report.lint.has_errors()
+        categories = {c.category for c in report.checks}
+        assert categories == {"specint", "lcf"}
+
+    def test_render_states_agreement(self, report):
+        text = report.render()
+        assert "staticcheck and dynamic measurements agree" in text

@@ -1,0 +1,221 @@
+"""Must-assigned / use-before-def and the may-taint analyses."""
+
+from repro.isa.instructions import (
+    Alu,
+    AluImm,
+    AluOp,
+    ArrayBase,
+    Br,
+    Cond,
+    Halt,
+    Imm,
+    Jmp,
+    Load,
+    Nop,
+    Rand,
+    Store,
+)
+from repro.isa.program import ProgramBuilder
+from repro.staticcheck.cfg import build_cfg
+from repro.staticcheck.dataflow import (
+    compute_must_assigned,
+    compute_taint,
+    suspicious_memory_ops,
+    taint_at_terminator,
+)
+from repro.staticcheck.dominators import compute_idoms
+
+
+def build(blocks_fn):
+    b = ProgramBuilder("dftest")
+    blocks_fn(b)
+    prog = b.build()
+    return prog, build_cfg(prog)
+
+
+class TestMustAssigned:
+    def test_use_before_def_detected(self):
+        def blocks(b):
+            e = b.block("entry")
+            e.instructions = [Imm(1, 2), Alu(AluOp.ADD, 3, 1, 9)]
+            e.terminator = Halt()
+
+        prog, cfg = build(blocks)
+        must = compute_must_assigned(prog, cfg)
+        assert [(u.block, u.slot, u.register) for u in must.uses_before_def] == [
+            ("entry", 1, 9)
+        ]
+
+    def test_one_armed_definition_is_still_use_before_def(self):
+        # r5 is defined on the left arm only; the join's read must flag.
+        def blocks(b):
+            e = b.block("entry")
+            e.instructions = [Imm(1, 0), Imm(2, 1)]
+            e.terminator = Br(Cond.EQ, 1, 2, "left", "right")
+            left = b.block("left")
+            left.instructions = [Imm(5, 7)]
+            left.terminator = Jmp("join")
+            right = b.block("right")
+            right.instructions = [Nop()]
+            right.terminator = Jmp("join")
+            join = b.block("join")
+            join.instructions = [AluImm(AluOp.ADD, 6, 5, 1)]
+            join.terminator = Halt()
+
+        prog, cfg = build(blocks)
+        must = compute_must_assigned(prog, cfg)
+        assert [(u.block, u.register) for u in must.uses_before_def] == [("join", 5)]
+
+    def test_self_accumulator_exempt(self):
+        def blocks(b):
+            e = b.block("entry")
+            e.instructions = [AluImm(AluOp.ADD, 22, 22, 1)]
+            e.terminator = Halt()
+
+        prog, cfg = build(blocks)
+        assert compute_must_assigned(prog, cfg).uses_before_def == ()
+
+    def test_terminator_read_flagged_with_slot_minus_one(self):
+        def blocks(b):
+            e = b.block("entry")
+            e.instructions = [Imm(1, 0)]
+            e.terminator = Br(Cond.LT, 1, 2, "entry", "entry")
+
+        prog, cfg = build(blocks)
+        finds = compute_must_assigned(prog, cfg).uses_before_def
+        assert [(u.block, u.slot, u.register) for u in finds] == [("entry", -1, 2)]
+
+
+class TestExplicitTaint:
+    def test_load_and_rand_are_data_sources(self):
+        def blocks(b):
+            b.data("d", [1, 2, 3])
+            e = b.block("entry")
+            e.instructions = [
+                ArrayBase(1, "d"),
+                Load(2, 1),
+                Rand(3, 0, 4),
+                Alu(AluOp.ADD, 4, 2, 3),
+            ]
+            e.terminator = Halt()
+
+        prog, cfg = build(blocks)
+        taint = compute_taint(prog, cfg)
+        data, addr = taint_at_terminator(prog, taint, "entry")
+        assert data & (1 << 2) and data & (1 << 3) and data & (1 << 4)
+        assert addr & (1 << 1) and not data & (1 << 1)
+
+    def test_imm_kills_taint(self):
+        def blocks(b):
+            b.data("d", [1])
+            e = b.block("entry")
+            e.instructions = [ArrayBase(1, "d"), Load(2, 1), Imm(2, 0)]
+            e.terminator = Halt()
+
+        prog, cfg = build(blocks)
+        data, _addr = taint_at_terminator(prog, compute_taint(prog, cfg), "entry")
+        assert not data & (1 << 2)
+
+    def test_taint_unions_at_joins(self):
+        def blocks(b):
+            b.data("d", [1])
+            e = b.block("entry")
+            e.instructions = [ArrayBase(1, "d"), Imm(2, 0), Imm(3, 1)]
+            e.terminator = Br(Cond.EQ, 2, 3, "left", "right")
+            left = b.block("left")
+            left.instructions = [Load(5, 1)]
+            left.terminator = Jmp("join")
+            right = b.block("right")
+            right.instructions = [Imm(5, 9)]
+            right.terminator = Jmp("join")
+            join = b.block("join")
+            join.instructions = [Nop()]
+            join.terminator = Halt()
+
+        prog, cfg = build(blocks)
+        taint = compute_taint(prog, cfg)
+        # May-analysis: the DATA definition on one arm survives the join.
+        assert taint.data_in["join"] & (1 << 5)
+
+    def test_suspicious_memory_ops(self):
+        def blocks(b):
+            b.data("d", [1])
+            e = b.block("entry")
+            e.instructions = [ArrayBase(1, "d"), Imm(2, 64), Load(3, 2), Store(3, 1)]
+            e.terminator = Halt()
+
+        prog, cfg = build(blocks)
+        finds = suspicious_memory_ops(prog, cfg, compute_taint(prog, cfg))
+        # Only the load through the constant base is suspicious.
+        assert finds == [("entry", 2, 2)]
+
+
+def arm_select_program():
+    """A DATA-conditioned diamond whose arms Imm-select r7; the loop bound
+    of a later self-loop reads r7 — the H2P kernels' noise-loop shape."""
+    b = ProgramBuilder("implicit")
+    b.data("d", [1, 2, 3, 4])
+    e = b.block("entry")
+    e.instructions = [ArrayBase(1, "d"), Load(2, 1), Imm(3, 2)]
+    e.terminator = Br(Cond.LT, 2, 3, "small", "big")
+    small = b.block("small")
+    small.instructions = [Imm(7, 2)]
+    small.terminator = Jmp("join")
+    big = b.block("big")
+    big.instructions = [Imm(7, 5)]
+    big.terminator = Jmp("join")
+    join = b.block("join")
+    join.instructions = [Imm(8, 0), Imm(9, 77)]
+    join.terminator = Jmp("spin")
+    spin = b.block("spin")
+    spin.instructions = [AluImm(AluOp.ADD, 8, 8, 1)]
+    spin.terminator = Br(Cond.LT, 8, 7, "spin", "done")
+    done = b.block("done")
+    done.terminator = Halt()
+    return b.build()
+
+
+class TestImplicitTaint:
+    def test_arm_writes_pick_up_data_taint(self):
+        prog = arm_select_program()
+        cfg = build_cfg(prog)
+        taint = compute_taint(prog, cfg, compute_idoms(cfg))
+        assert taint.control == frozenset({"small", "big"})
+        # r7 is a plain Imm constant, but *which* constant depends on data.
+        assert taint.data_in["join"] & (1 << 7)
+        data, _addr = taint_at_terminator(prog, taint, "spin")
+        assert data & (1 << 7)
+
+    def test_join_writes_stay_clean(self):
+        prog = arm_select_program()
+        cfg = build_cfg(prog)
+        taint = compute_taint(prog, cfg, compute_idoms(cfg))
+        # The merge block post-dominates the branch: not control-dependent.
+        data, _addr = taint_at_terminator(prog, taint, "join")
+        assert not data & (1 << 9)
+
+    def test_without_idoms_no_implicit_flow(self):
+        prog = arm_select_program()
+        cfg = build_cfg(prog)
+        taint = compute_taint(prog, cfg)
+        assert taint.control == frozenset()
+        assert not taint.data_in["join"] & (1 << 7)
+
+    def test_untainted_diamond_creates_no_region(self):
+        b = ProgramBuilder("clean")
+        e = b.block("entry")
+        e.instructions = [Imm(1, 0), Imm(2, 1)]
+        e.terminator = Br(Cond.EQ, 1, 2, "left", "right")
+        left = b.block("left")
+        left.instructions = [Imm(5, 1)]
+        left.terminator = Jmp("join")
+        right = b.block("right")
+        right.instructions = [Imm(5, 2)]
+        right.terminator = Jmp("join")
+        join = b.block("join")
+        join.terminator = Halt()
+        prog = b.build()
+        cfg = build_cfg(prog)
+        taint = compute_taint(prog, cfg, compute_idoms(cfg))
+        assert taint.control == frozenset()
+        assert not taint.data_in["join"] & (1 << 5)

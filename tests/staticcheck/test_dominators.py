@@ -1,0 +1,91 @@
+"""Dominator tree, back edges, and natural loops."""
+
+from repro.isa.instructions import AluImm, AluOp, Br, Cond, Halt, Imm, Jmp, Nop
+from repro.isa.program import ProgramBuilder
+from repro.staticcheck.cfg import build_cfg
+from repro.staticcheck.dominators import (
+    back_edges,
+    compute_idoms,
+    dominates,
+    loop_body,
+    natural_loops,
+)
+
+
+def diamond_loop_program():
+    """entry -> loop { head -> (left|right) -> tail -> head } -> done."""
+    b = ProgramBuilder("domtest")
+    entry = b.block("entry")
+    head = b.block("head")
+    left = b.block("left")
+    right = b.block("right")
+    tail = b.block("tail")
+    done = b.block("done")
+
+    entry.instructions = [Imm(1, 0), Imm(2, 10), Imm(3, 1)]
+    entry.terminator = Jmp("head")
+    head.instructions = [AluImm(AluOp.AND, 4, 1, 1)]
+    head.terminator = Br(Cond.EQ, 4, 3, "left", "right")
+    left.instructions = [Nop()]
+    left.terminator = Jmp("tail")
+    right.instructions = [Nop()]
+    right.terminator = Jmp("tail")
+    tail.instructions = [AluImm(AluOp.ADD, 1, 1, 1)]
+    tail.terminator = Br(Cond.LT, 1, 2, "head", "done")
+    done.terminator = Halt()
+    return b.build()
+
+
+class TestDominators:
+    def test_idoms(self):
+        cfg = build_cfg(diamond_loop_program())
+        idoms = compute_idoms(cfg)
+        assert idoms["entry"] is None
+        assert idoms["head"] == "entry"
+        assert idoms["left"] == "head"
+        assert idoms["right"] == "head"
+        # The join is dominated by the branch block, not by either arm.
+        assert idoms["tail"] == "head"
+        assert idoms["done"] == "tail"
+
+    def test_dominates_is_reflexive_and_transitive(self):
+        cfg = build_cfg(diamond_loop_program())
+        idoms = compute_idoms(cfg)
+        assert dominates(idoms, "tail", "tail")
+        assert dominates(idoms, "entry", "done")
+        assert not dominates(idoms, "left", "tail")
+
+
+class TestLoops:
+    def test_back_edge_found(self):
+        cfg = build_cfg(diamond_loop_program())
+        edges = back_edges(cfg, compute_idoms(cfg))
+        assert edges == [("tail", "head")]
+
+    def test_natural_loop_body(self):
+        cfg = build_cfg(diamond_loop_program())
+        edges = back_edges(cfg, compute_idoms(cfg))
+        loops = natural_loops(cfg, edges)
+        assert len(loops) == 1
+        assert loops[0].header == "head"
+        assert loops[0].body == frozenset({"head", "left", "right", "tail"})
+
+    def test_loop_body_single_edge_matches_natural_loop(self):
+        cfg = build_cfg(diamond_loop_program())
+        body = loop_body(cfg, "tail", "head")
+        assert body == frozenset({"head", "left", "right", "tail"})
+
+    def test_self_loop(self):
+        b = ProgramBuilder("selfloop")
+        entry = b.block("entry")
+        spin = b.block("spin")
+        done = b.block("done")
+        entry.instructions = [Imm(1, 0), Imm(2, 5)]
+        entry.terminator = Jmp("spin")
+        spin.instructions = [AluImm(AluOp.ADD, 1, 1, 1)]
+        spin.terminator = Br(Cond.LT, 1, 2, "spin", "done")
+        done.terminator = Halt()
+        cfg = build_cfg(b.build())
+        edges = back_edges(cfg, compute_idoms(cfg))
+        assert edges == [("spin", "spin")]
+        assert loop_body(cfg, "spin", "spin") == frozenset({"spin"})

@@ -1,0 +1,85 @@
+"""Engine-level linting: diagnostics, contract rules, and obs wiring."""
+
+import pytest
+
+from repro.staticcheck.contracts import StaticContract
+from repro.staticcheck.diagnostics import RULES, Severity
+from repro.staticcheck.engine import lint_program, lint_registry, lint_workload
+from repro.staticcheck.fixtures import (
+    NEGATIVE_FIXTURE_ERROR_RULES,
+    NEGATIVE_FIXTURE_WARNING_RULES,
+    build_negative_fixture,
+)
+from repro.workloads import WORKLOADS_BY_NAME
+
+
+class TestNegativeFixture:
+    def test_expected_rules_fire(self):
+        _analysis, diagnostics = lint_program(build_negative_fixture())
+        fired = {d.rule_id for d in diagnostics}
+        for rule_id in NEGATIVE_FIXTURE_ERROR_RULES:
+            assert rule_id in fired
+        for rule_id in NEGATIVE_FIXTURE_WARNING_RULES:
+            assert rule_id in fired
+
+    def test_severities_match_registry(self):
+        _analysis, diagnostics = lint_program(build_negative_fixture())
+        for d in diagnostics:
+            assert d.severity is RULES[d.rule_id].severity
+
+
+class TestLintWorkload:
+    def test_clean_workload_with_contract(self):
+        spec = WORKLOADS_BY_NAME["605.mcf_s"]
+        from repro.workloads import WORKLOAD_CONTRACTS
+
+        footprint, diagnostics = lint_workload(
+            spec, WORKLOAD_CONTRACTS[spec.name], input_indices=[0]
+        )
+        assert footprint is not None
+        assert diagnostics == []
+
+    def test_missing_contract_warns_sc302(self):
+        spec = WORKLOADS_BY_NAME["605.mcf_s"]
+        _fp, diagnostics = lint_workload(spec, None, input_indices=[0])
+        assert [d.rule_id for d in diagnostics] == ["SC302"]
+        assert diagnostics[0].severity is Severity.WARNING
+
+    def test_contract_violation_errors_sc301(self):
+        spec = WORKLOADS_BY_NAME["605.mcf_s"]
+        wrong = StaticContract(spec.name, {"blocks": (1, 1)})
+        _fp, diagnostics = lint_workload(spec, wrong, input_indices=[0])
+        assert [d.rule_id for d in diagnostics] == ["SC301"]
+        assert diagnostics[0].severity is Severity.ERROR
+
+    def test_footprint_invariant_across_inputs(self):
+        # The cross-input H2P methodology requires input-invariant
+        # structure; SC303 must not fire on a registered workload.
+        spec = WORKLOADS_BY_NAME["625.x264_s"]
+        _fp, diagnostics = lint_workload(
+            spec, None, input_indices=range(spec.num_inputs)
+        )
+        assert [d.rule_id for d in diagnostics] == ["SC302"]
+
+
+class TestLintRegistry:
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown workloads"):
+            lint_registry(["no-such-workload"])
+
+    def test_subset_is_clean(self):
+        report = lint_registry(["605.mcf_s", "625.x264_s"])
+        assert not report.has_errors(strict=True)
+        assert set(report.footprints) == {"605.mcf_s", "625.x264_s"}
+        assert report.programs_checked == sum(
+            WORKLOADS_BY_NAME[n].num_inputs for n in report.footprints
+        )
+
+
+class TestObsWiring:
+    def test_analysis_counters_fire(self, obs_enabled):
+        lint_program(build_negative_fixture())
+        counters = obs_enabled.counters_dict()
+        assert counters.get("staticcheck.programs_analyzed") == 1
+        assert counters.get("staticcheck.diagnostics.error") == 2
+        assert counters.get("staticcheck.diagnostics.warning") == 3

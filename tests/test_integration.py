@@ -10,7 +10,6 @@ from repro.analysis import (
     screen_workload,
 )
 from repro.analysis.h2p import H2pCriteria
-from repro.config import SLICE_INSTRUCTIONS
 from repro.isa import Executor, ProgramBuilder
 from repro.phases import cluster_phases, prepare_bbvs
 from repro.pipeline import (

@@ -9,12 +9,11 @@ from repro.isa.instructions import Imm, Ret
 from repro.isa.program import ProgramBuilder
 from repro.workloads.base import (
     R_SEGMENT,
-    WorkloadSpec,
     build_driver,
     make_input_data,
     trace_workload,
 )
-from repro.workloads.kernels import R_ARG0, build_loop_nest_kernel
+from repro.workloads.kernels import build_loop_nest_kernel
 
 
 def make_marker_kernel(b, name, marker_reg, value):

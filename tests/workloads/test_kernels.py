@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.isa.executor import Executor
-from repro.isa.instructions import Imm, Jmp, Call, Halt
+from repro.isa.instructions import Imm, Jmp, Call
 from repro.isa.program import ProgramBuilder
 from repro.pipeline.simulator import simulate_trace
 from repro.predictors.tagescl import make_tage_sc_l

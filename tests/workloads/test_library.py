@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.types import BranchKind, BranchTrace
+from repro.core.types import BranchTrace
 from repro.workloads import WORKLOADS_BY_NAME
 from repro.workloads.library import TraceLibrary, load_trace, save_trace
 
