@@ -1,0 +1,117 @@
+"""Benchmarks: vectorized kernel throughput and the on-disk trace store.
+
+Two measurements back the kernel work's acceptance bar:
+
+* scalar vs. vectorized branches/sec for bimodal and gshare over a
+  quick-tier trace (the kernels must clear a 5x speedup), and
+* cold vs. warm trace acquisition through a :class:`TraceStore` (the warm
+  path replaces interpreter execution with one ``.npz`` read).
+
+Headline numbers land in ``benchmark.extra_info`` so the pytest-benchmark
+JSON artifact (see the ``kernels`` CI job) records them per run.
+"""
+
+import os
+from time import perf_counter
+
+from conftest import run_once
+
+from repro.experiments.config import active_tier
+from repro.pipeline.simulator import simulate_trace
+from repro.predictors.simple import Bimodal, GShare
+from repro.workloads import WORKLOADS_BY_NAME, TraceStore, trace_workload
+
+WORKLOAD = "605.mcf_s"
+
+#: The acceptance bar for the vectorized path (see docs/performance.md).
+MIN_SPEEDUP = 5.0
+
+
+def _quick_trace():
+    tier = active_tier()
+    return trace_workload(
+        WORKLOADS_BY_NAME[WORKLOAD], 0, instructions=tier.spec_instructions
+    )
+
+
+def _best_of(n, fn):
+    times = []
+    for _ in range(n):
+        t0 = perf_counter()
+        fn()
+        times.append(perf_counter() - t0)
+    return min(times)
+
+
+def _speedup_for(benchmark, make_predictor, traced):
+    tier = active_tier()
+    trace = traced.trace
+    slice_instructions = tier.spec_instructions // tier.spec_slices
+
+    os.environ["REPRO_KERNELS"] = "0"
+    try:
+        scalar_s = _best_of(
+            2,
+            lambda: simulate_trace(
+                trace, make_predictor(), slice_instructions=slice_instructions
+            ),
+        )
+    finally:
+        os.environ["REPRO_KERNELS"] = "1"
+    kernel_s = _best_of(
+        3,
+        lambda: simulate_trace(
+            trace, make_predictor(), slice_instructions=slice_instructions
+        ),
+    )
+    run_once(
+        benchmark,
+        simulate_trace,
+        trace,
+        make_predictor(),
+        slice_instructions=slice_instructions,
+    )
+
+    speedup = scalar_s / kernel_s
+    benchmark.extra_info["workload"] = WORKLOAD
+    benchmark.extra_info["branches"] = len(trace)
+    benchmark.extra_info["scalar_branches_per_sec"] = round(len(trace) / scalar_s)
+    benchmark.extra_info["kernel_branches_per_sec"] = round(len(trace) / kernel_s)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    assert speedup >= MIN_SPEEDUP, (
+        f"vectorized {make_predictor().name} only {speedup:.2f}x over scalar "
+        f"(bar: {MIN_SPEEDUP}x)"
+    )
+
+
+def test_bimodal_kernel_speedup(benchmark):
+    _speedup_for(benchmark, Bimodal, _quick_trace())
+
+
+def test_gshare_kernel_speedup(benchmark):
+    _speedup_for(benchmark, GShare, _quick_trace())
+
+
+def test_trace_store_cold_vs_warm(benchmark, tmp_path):
+    tier = active_tier()
+    n = tier.spec_instructions
+    store = TraceStore(tmp_path)
+
+    t0 = perf_counter()
+    traced = trace_workload(WORKLOADS_BY_NAME[WORKLOAD], 0, instructions=n)
+    generate_s = perf_counter() - t0
+
+    t0 = perf_counter()
+    store.store(WORKLOAD, 0, n, traced.trace)
+    store_s = perf_counter() - t0
+
+    warm_s = _best_of(3, lambda: store.load(WORKLOAD, 0, n))
+    run_once(benchmark, store.load, WORKLOAD, 0, n)
+
+    benchmark.extra_info["workload"] = WORKLOAD
+    benchmark.extra_info["instructions"] = n
+    benchmark.extra_info["generate_s"] = round(generate_s, 3)
+    benchmark.extra_info["store_s"] = round(store_s, 3)
+    benchmark.extra_info["warm_load_s"] = round(warm_s, 4)
+    benchmark.extra_info["warm_speedup"] = round(generate_s / warm_s, 1)
+    assert store.load(WORKLOAD, 0, n) is not None

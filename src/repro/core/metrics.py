@@ -84,6 +84,22 @@ class BranchStats:
     def ips(self) -> List[int]:
         return list(self._counts.keys())
 
+    def counts_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Columnar view ``(ips, executions, mispredictions)`` in insertion
+        order — the operand order scalar accumulation established, which the
+        vectorized reductions below must preserve to stay bit-identical."""
+        n = len(self._counts)
+        ips = np.fromiter(self._counts.keys(), dtype=np.int64, count=n)
+        executions = np.fromiter(
+            (c.executions for c in self._counts.values()), dtype=np.int64, count=n
+        )
+        mispredictions = np.fromiter(
+            (c.mispredictions for c in self._counts.values()),
+            dtype=np.int64,
+            count=n,
+        )
+        return ips, executions, mispredictions
+
     @property
     def accuracy(self) -> float:
         """Aggregate accuracy over all recorded dynamic branches."""
@@ -109,10 +125,23 @@ class BranchStats:
         return 1.0 - mispreds / execs
 
     def mean_accuracy_per_branch(self) -> float:
-        """Unweighted mean of per-static-branch accuracy (Table II metric)."""
+        """Unweighted mean of per-static-branch accuracy (Table II metric).
+
+        Vectorized over :meth:`counts_arrays`; both the per-branch division
+        and the mean see the exact values/order a per-entry Python loop
+        would, so results match the scalar formulation bit-for-bit.
+        """
         if not self._counts:
             return 1.0
-        return float(np.mean([c.accuracy for c in self._counts.values()]))
+        _, executions, mispredictions = self.counts_arrays()
+        accuracy = np.ones(len(executions), dtype=np.float64)
+        np.divide(
+            executions - mispredictions,
+            executions,
+            out=accuracy,
+            where=executions > 0,
+        )
+        return float(np.mean(accuracy))
 
     def mean_executions_per_branch(self) -> float:
         if not self._counts:
@@ -144,5 +173,10 @@ def misprediction_fraction(
     """
     if stats.total_mispredictions == 0:
         return 0.0
-    subset = sum(stats.get(ip).mispredictions for ip in set(ips))
+    wanted = set(ips)
+    all_ips, _, mispredictions = stats.counts_arrays()
+    mask = np.isin(
+        all_ips, np.fromiter(wanted, dtype=np.int64, count=len(wanted))
+    )
+    subset = int(mispredictions[mask].sum())
     return subset / stats.total_mispredictions

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -64,7 +64,18 @@ class BranchTrace:
     non-branch instructions), which the IPC model and slicing logic need.
     """
 
-    __slots__ = ("ips", "taken", "targets", "kinds", "instr_indices", "instr_count")
+    __slots__ = (
+        "ips",
+        "taken",
+        "targets",
+        "kinds",
+        "instr_indices",
+        "instr_count",
+        "_lists",
+        "_cond_cols",
+        "_cond_codes",
+        "_plan_cache",
+    )
 
     def __init__(
         self,
@@ -102,6 +113,14 @@ class BranchTrace:
         if n and instr_count <= int(self.instr_indices[-1]):
             raise ValueError("instr_count must exceed the last instruction index")
         self.instr_count = int(instr_count)
+        self._lists: Optional[
+            Tuple[List[int], List[bool], List[int], List[int], List[int]]
+        ] = None
+        self._cond_cols: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        self._cond_codes: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        # Scoring-plan memo used by repro.kernels.engine: grouping work that
+        # depends only on (trace, warmup, slice length), not the predictor.
+        self._plan_cache: Optional[Dict[Any, Any]] = None
 
     def __len__(self) -> int:
         return len(self.ips)
@@ -129,6 +148,61 @@ class BranchTrace:
             instr_indices=[r.instr_index for r in recs],
             instr_count=instr_count,
         )
+
+    def columns_as_lists(
+        self,
+    ) -> Tuple[List[int], List[bool], List[int], List[int], List[int]]:
+        """The trace columns as plain Python lists, decoded once.
+
+        The scalar simulation loop iterates the columns element-wise, where
+        list indexing beats ``ndarray.__getitem__`` (no per-access boxing);
+        decoding via ``.tolist()`` is O(n), so the result is memoized on the
+        trace.  Columns are treated as immutable after construction — callers
+        must not mutate the returned lists (or the backing arrays).
+
+        Returns ``(ips, taken, targets, kinds, instr_indices)`` with
+        ``taken`` as real booleans.
+        """
+        if self._lists is None:
+            self._lists = (
+                self.ips.tolist(),
+                self.taken.astype(bool).tolist(),
+                self.targets.tolist(),
+                self.kinds.tolist(),
+                self.instr_indices.tolist(),
+            )
+        return self._lists
+
+    def conditional_columns(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(ips, taken, instr_indices)`` of the conditional subsequence.
+
+        Memoized: simulating several predictors over one trace (the normal
+        experiment shape) pays the boolean extraction once.  Same
+        immutability contract as :meth:`columns_as_lists`.
+        """
+        if self._cond_cols is None:
+            cond = self.conditional_mask
+            self._cond_cols = (
+                self.ips[cond],
+                self.taken[cond].astype(bool),
+                self.instr_indices[cond],
+            )
+        return self._cond_cols
+
+    def conditional_ip_codes(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Factorized conditional IPs: ``(unique_ips, codes)``, memoized.
+
+        ``unique_ips`` is sorted ascending and ``codes[i]`` indexes into it
+        for conditional branch ``i`` (int32: static branch counts are tiny).
+        The expensive sort over wide int64 IPs happens once per trace; the
+        vectorized scoring path re-derives per-call groupings from the
+        small codes instead.
+        """
+        if self._cond_codes is None:
+            ips_c = self.conditional_columns()[0]
+            uniq, inv = np.unique(ips_c, return_inverse=True)
+            self._cond_codes = (uniq, inv.reshape(ips_c.shape).astype(np.int32))
+        return self._cond_codes
 
     @property
     def conditional_mask(self) -> np.ndarray:

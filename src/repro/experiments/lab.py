@@ -29,9 +29,17 @@ from repro.parallel.jobs import SimJob
 from repro.parallel.scheduler import ParallelScheduler, resolve_jobs
 from repro.pipeline.simulator import SimulationResult, simulate_trace
 from repro.predictors.base import BranchPredictor
+from repro.predictors.simple import Bimodal, GShare, TwoLevelLocal
 from repro.predictors.tagescl import STORAGE_PRESETS_KIB, make_tage_sc_l
-from repro.workloads import WORKLOADS_BY_NAME, WorkloadSpec, trace_workload
+from repro.phases import cluster_phases, prepare_bbvs
+from repro.workloads import (
+    WORKLOADS_BY_NAME,
+    WorkloadSpec,
+    execute_workload,
+    trace_workload,
+)
 from repro.workloads.helper_study import HELPER_STUDY_WORKLOAD
+from repro.workloads.trace_store import TraceStore
 
 #: A prefetch request: a full :class:`SimJob` or a (workload, input_index,
 #: predictor[, instructions[, slice_instructions]]) tuple.
@@ -49,6 +57,11 @@ PREDICTOR_FACTORIES: Dict[str, Callable[[], BranchPredictor]] = {
     f"tage-sc-l-{kib}kb": (lambda kib=kib: make_tage_sc_l(kib))
     for kib in STORAGE_PRESETS_KIB
 }
+# Kernel-bearing baselines (default configurations), so experiments and
+# benchmarks can request them by label like the TAGE-SC-L presets.
+PREDICTOR_FACTORIES["bimodal"] = Bimodal
+PREDICTOR_FACTORIES["gshare"] = GShare
+PREDICTOR_FACTORIES["two-level-local"] = TwoLevelLocal
 
 
 def workload_spec(name: str) -> WorkloadSpec:
@@ -85,10 +98,15 @@ class Lab:
         self.cache_dir = Path(cache_dir) if cache_dir else None
         if self.cache_dir:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
+        # Generated traces share the cache directory with simulation
+        # results; the store's filenames are content-addressed, so the two
+        # kinds of entry coexist.
+        self.trace_store = TraceStore(self.cache_dir) if self.cache_dir else None
         self.jobs = resolve_jobs(jobs)
         self._scheduler: Optional[ParallelScheduler] = None
         self._traces: Dict[Tuple[str, int, int], WorkloadTrace] = {}
         self._sims: Dict[Tuple, SimulationResult] = {}
+        self._phase_counts: Dict[Tuple[str, int, int, int], int] = {}
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -129,10 +147,41 @@ class Lab:
         key = (name, input_index, n)
         cached = self._traces.get(key)
         if cached is None:
-            obs.counter("lab.trace.build")
-            _log.info("generating trace %s/input%d (%d instructions)", name, input_index, n)
-            with obs.timer("lab.trace.generate", extra=(f"lab.trace.generate.{name}",)):
-                cached = trace_workload(workload_spec(name), input_index, instructions=n)
+            spec = workload_spec(name)
+            stored = (
+                self.trace_store.load(name, input_index, n)
+                if self.trace_store is not None
+                else None
+            )
+            if stored is not None:
+                _log.info(
+                    "loaded trace %s/input%d (%d instructions) from trace store",
+                    name, input_index, n,
+                )
+                # The program is rebuilt (cheap, no execution) so consumers
+                # of ``metadata["program"]`` — e.g. the CNN study's static
+                # analysis — work identically on store hits.
+                cached = WorkloadTrace(
+                    benchmark=spec.name,
+                    input_name=spec.input_name(input_index),
+                    trace=stored,
+                    metadata={
+                        "program": spec.build(input_index),
+                        "instructions": n,
+                        "from_trace_store": True,
+                    },
+                )
+            else:
+                obs.counter("lab.trace.build")
+                _log.info(
+                    "generating trace %s/input%d (%d instructions)", name, input_index, n
+                )
+                with obs.timer(
+                    "lab.trace.generate", extra=(f"lab.trace.generate.{name}",)
+                ):
+                    cached = trace_workload(spec, input_index, instructions=n)
+                if self.trace_store is not None:
+                    self.trace_store.store(name, input_index, n, cached.trace)
             self._traces[key] = cached
         else:
             obs.counter("lab.trace.cache_hit")
@@ -189,6 +238,58 @@ class Lab:
             self._store_disk(disk, result)
         return result
 
+    # -- phase analysis ----------------------------------------------------
+
+    def phase_count(
+        self,
+        name: str,
+        input_index: int,
+        instructions: Optional[int] = None,
+        bbv_interval: int = SLICE_INSTRUCTIONS,
+    ) -> int:
+        """Number of execution phases (SimPoint-style BBV clustering).
+
+        Deterministic in ``(workload, input, instructions, bbv_interval)``,
+        so the result is cached in memory and — with a ``cache_dir`` — on
+        disk, sparing the warm path a full interpreter execution (Table I's
+        phases column is otherwise its only remaining execution).
+        """
+        n = instructions if instructions is not None else self.instructions_for(name)
+        key = (name, input_index, n, bbv_interval)
+        cached = self._phase_counts.get(key)
+        if cached is not None:
+            obs.counter("lab.phases.cache_hit.memory")
+            return cached
+        disk: Optional[Path] = None
+        if self.cache_dir is not None:
+            fname = (
+                f"v{CACHE_VERSION}_phases_{name}_{input_index}_{n}_{bbv_interval}.pkl"
+            )
+            disk = self.cache_dir / fname.replace("/", "_")
+            if disk.exists():
+                loaded = self._load_disk(disk, want=int)
+                if loaded is not None:
+                    obs.counter("lab.phases.cache_hit.disk")
+                    self._phase_counts[key] = loaded
+                    return loaded
+        obs.counter("lab.phases.cache_miss")
+        _log.info(
+            "clustering phases for %s/input%d (%d instructions)",
+            name, input_index, n,
+        )
+        result = execute_workload(
+            workload_spec(name), input_index, instructions=n, bbv_interval=bbv_interval
+        )
+        if result.bbvs is None or len(result.bbvs) < 2:
+            count = 1
+        else:
+            vectors = prepare_bbvs(result.bbvs)
+            count = cluster_phases(vectors, max_k=min(10, len(vectors))).num_phases
+        self._phase_counts[key] = count
+        if disk is not None:
+            self._store_disk(disk, count)
+        return count
+
     # -- parallel fan-out --------------------------------------------------
 
     def prefetch(self, requests: Iterable[SimRequest]) -> int:
@@ -244,7 +345,10 @@ class Lab:
             requested, len(todo), planned, self.jobs,
         )
         if self._scheduler is None:
-            self._scheduler = ParallelScheduler(self.jobs)
+            self._scheduler = ParallelScheduler(
+                self.jobs,
+                trace_store_dir=str(self.cache_dir) if self.cache_dir else None,
+            )
         with obs.span("lab.prefetch", jobs=len(todo), workers=self.jobs):
             self._scheduler.run(todo, self._store_job_result)
         return len(todo)
@@ -274,7 +378,7 @@ class Lab:
             n = self.instructions_for(name)
         return SimJob(name, input_index, n, predictor, slice_n)
 
-    def _store_disk(self, disk: Path, result: SimulationResult) -> None:
+    def _store_disk(self, disk: Path, result: object) -> None:
         """Atomically publish one cache entry.
 
         The payload is written to a unique sibling tempfile and renamed
@@ -305,9 +409,10 @@ class Lab:
             return
         obs.counter("lab.sim.cache_store")
 
-    def _load_disk(self, disk: Path) -> Optional[SimulationResult]:
-        """Load one disk-cache entry, or ``None`` (with a warning) if it is
-        corrupt or from an incompatible :data:`CACHE_VERSION`."""
+    def _load_disk(self, disk: Path, want: type = SimulationResult):
+        """Load one disk-cache entry holding a ``want`` instance, or
+        ``None`` (with a warning) if it is corrupt or from an incompatible
+        :data:`CACHE_VERSION`."""
         try:
             with open(disk, "rb") as f:
                 payload = pickle.load(f)
@@ -322,7 +427,7 @@ class Lab:
             if (
                 isinstance(payload, dict)
                 and payload.get("cache_version") == CACHE_VERSION
-                and isinstance(payload.get("result"), SimulationResult)
+                and isinstance(payload.get("result"), want)
             ):
                 return payload["result"]
             found = payload.get("cache_version") if isinstance(payload, dict) else None

@@ -19,11 +19,9 @@ from repro.analysis.h2p import (
     screen_workload,
     summarize_across_inputs,
 )
-from repro.experiments.config import SLICE_INSTRUCTIONS
 from repro.experiments.lab import Lab, default_lab
 from repro.experiments.reporting import format_table
-from repro.phases import cluster_phases, prepare_bbvs
-from repro.workloads import SPECINT_WORKLOADS, execute_workload
+from repro.workloads import SPECINT_WORKLOADS
 
 
 @dataclass(frozen=True)
@@ -86,24 +84,6 @@ class Table1:
         return format_table(headers, rows, title="Table I (TAGE-SC-L 8KB, scaled)")
 
 
-def _phase_count(name: str, input_index: int, instructions: int) -> int:
-    result = execute_workload(
-        name_to_spec(name), input_index,
-        instructions=instructions,
-        bbv_interval=SLICE_INSTRUCTIONS,
-    )
-    if result.bbvs is None or len(result.bbvs) < 2:
-        return 1
-    vectors = prepare_bbvs(result.bbvs)
-    return cluster_phases(vectors, max_k=min(10, len(vectors))).num_phases
-
-
-def name_to_spec(name: str):
-    from repro.workloads import WORKLOADS_BY_NAME
-
-    return WORKLOADS_BY_NAME[name]
-
-
 def compute_table1(
     lab: Optional[Lab] = None, with_phases: bool = True
 ) -> Table1:
@@ -130,9 +110,7 @@ def compute_table1(
             static_total.update(result.stats.ips())
             static_per_slice.extend(len(s) for s in result.slice_stats)
             if with_phases:
-                phase_counts.append(
-                    _phase_count(spec.name, input_index, lab.instructions_for(spec.name))
-                )
+                phase_counts.append(lab.phase_count(spec.name, input_index))
         summary: CrossInputH2pSummary = summarize_across_inputs(spec.name, reports)
         rows.append(
             Table1Row(

@@ -1,0 +1,55 @@
+"""``repro.kernels``: numpy-vectorized trace-driven simulation.
+
+For *trace-driven* simulation the global and per-branch histories are fully
+determined by the recorded ``taken`` stream, so history-indexed table
+predictors (bimodal, gshare, two-level-local) and the oracle family reduce
+to precomputed index streams followed by a grouped per-table-entry
+saturating-counter replay — no per-branch Python dispatch.  Predictors
+advertise a kernel via :meth:`repro.predictors.base.BranchPredictor.
+vectorized_kernel`; :func:`repro.pipeline.simulator.simulate_trace` routes
+to it when available and falls back to the scalar loop otherwise
+(allocation-feedback predictors like TAGE/TAGE-SC-L stay scalar).
+
+The vectorized path is **bit-identical** to the scalar path: same
+:class:`~repro.core.metrics.BranchStats` contents and insertion order, same
+slice lists, warmup semantics, and ``mispredict_positions``, and the
+predictor's tables/history are left in the same final state.  Set
+``REPRO_KERNELS=0`` to force the scalar loop everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.kernels.engine import VectorizedScore, score_with_kernel
+from repro.kernels.scan import (
+    CounterScan,
+    LocalHistory,
+    final_history,
+    local_history,
+    packed_history,
+    saturating_counter_scan,
+)
+
+__all__ = [
+    "CounterScan",
+    "LocalHistory",
+    "VectorizedScore",
+    "final_history",
+    "kernels_enabled",
+    "local_history",
+    "packed_history",
+    "saturating_counter_scan",
+    "score_with_kernel",
+]
+
+
+def kernels_enabled() -> bool:
+    """Whether the vectorized fast path may be used (``REPRO_KERNELS``).
+
+    Enabled by default; set ``REPRO_KERNELS=0`` (or ``false``/``no``/``off``)
+    to force the scalar loop — the escape hatch restores the pre-kernel
+    behavior byte-for-byte.
+    """
+    raw = os.environ.get("REPRO_KERNELS", "1").strip().lower()
+    return raw not in ("0", "false", "no", "off")

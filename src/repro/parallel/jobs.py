@@ -66,17 +66,24 @@ class WorkerReport:
 
 
 _worker_obs_enabled = False
+_worker_trace_store: Optional[Any] = None
 _trace_cache: "OrderedDict[Tuple[str, int, int], Any]" = OrderedDict()
 
 
-def worker_init(obs_enabled: bool, log_level: Optional[str]) -> None:
+def worker_init(
+    obs_enabled: bool,
+    log_level: Optional[str],
+    trace_store_dir: Optional[str] = None,
+) -> None:
     """Initialize one worker process to mirror the parent's observability.
 
     Start-method agnostic: under ``fork`` this re-applies inherited state,
     under ``spawn`` it creates it.  ``log_level`` is a level *name* (or
-    ``None`` when the parent never configured logging).
+    ``None`` when the parent never configured logging).  When the parent
+    Lab has a cache directory, ``trace_store_dir`` points the worker at
+    the shared on-disk trace store.
     """
-    global _worker_obs_enabled
+    global _worker_obs_enabled, _worker_trace_store
     from repro import obs
 
     _worker_obs_enabled = bool(obs_enabled)
@@ -86,11 +93,19 @@ def worker_init(obs_enabled: bool, log_level: Optional[str]) -> None:
         obs.disable()
     if log_level is not None:
         obs.configure_logging(log_level)
+    if trace_store_dir is not None:
+        from repro.workloads.trace_store import TraceStore
+
+        _worker_trace_store = TraceStore(trace_store_dir)
+    else:
+        _worker_trace_store = None
 
 
 def _worker_trace(workload: str, input_index: int, instructions: int):
-    """Per-process LRU over generated traces."""
+    """Per-process LRU over generated traces, read through the shared
+    on-disk trace store when the parent Lab configured one."""
     from repro import obs
+    from repro.core.types import WorkloadTrace
     from repro.experiments.lab import workload_spec
     from repro.workloads import trace_workload
 
@@ -100,8 +115,26 @@ def _worker_trace(workload: str, input_index: int, instructions: int):
         _trace_cache.move_to_end(key)
         obs.counter("lab.parallel.worker.trace_cache_hit")
         return cached
+    if _worker_trace_store is not None:
+        stored = _worker_trace_store.load(workload, input_index, instructions)
+        if stored is not None:
+            spec = workload_spec(workload)
+            # Workers only ever feed ``.trace`` to the simulator, so the
+            # program is not rebuilt here (unlike Lab.trace store hits).
+            cached = WorkloadTrace(
+                benchmark=spec.name,
+                input_name=spec.input_name(input_index),
+                trace=stored,
+                metadata={"instructions": instructions, "from_trace_store": True},
+            )
+            _trace_cache[key] = cached
+            while len(_trace_cache) > TRACE_CACHE_CAP:
+                _trace_cache.popitem(last=False)
+            return cached
     obs.counter("lab.parallel.worker.trace_build")
     trace = trace_workload(workload_spec(workload), input_index, instructions=instructions)
+    if _worker_trace_store is not None:
+        _worker_trace_store.store(workload, input_index, instructions, trace.trace)
     _trace_cache[key] = trace
     while len(_trace_cache) > TRACE_CACHE_CAP:
         _trace_cache.popitem(last=False)

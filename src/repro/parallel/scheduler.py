@@ -50,10 +50,11 @@ def resolve_jobs(jobs: Optional[int]) -> int:
 class ParallelScheduler:
     """Fan :class:`SimJob`s out over a persistent worker pool."""
 
-    def __init__(self, jobs: int) -> None:
+    def __init__(self, jobs: int, trace_store_dir: Optional[str] = None) -> None:
         if jobs < 1:
             raise ValueError("scheduler needs at least one worker")
         self.jobs = jobs
+        self.trace_store_dir = trace_store_dir
         self._pool: Optional[ProcessPoolExecutor] = None
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
@@ -68,7 +69,7 @@ class ParallelScheduler:
             self._pool = ProcessPoolExecutor(
                 max_workers=self.jobs,
                 initializer=worker_init,
-                initargs=(obs.is_enabled(), level_name),
+                initargs=(obs.is_enabled(), level_name, self.trace_store_dir),
             )
         return self._pool
 

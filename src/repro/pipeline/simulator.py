@@ -20,6 +20,8 @@ import numpy as np
 from repro import obs
 from repro.core.metrics import BranchStats
 from repro.core.types import BranchKind, BranchTrace
+from repro.kernels import kernels_enabled
+from repro.kernels.engine import TraceKernel, score_with_kernel
 from repro.predictors.base import BranchPredictor
 
 _COND = int(BranchKind.CONDITIONAL)
@@ -72,14 +74,31 @@ def simulate_trace(
 
     The predictor is *not* reset; callers own lifecycle (this allows
     deliberate cross-slice training, as on real hardware).
+
+    When the predictor advertises a :meth:`~repro.predictors.base.
+    BranchPredictor.vectorized_kernel` (and ``REPRO_KERNELS`` is not
+    disabled), the trace is scored through the numpy kernel path instead of
+    the per-branch loop; results are bit-identical either way.
     """
+    if slice_instructions is not None and slice_instructions <= 0:
+        raise ValueError("slice_instructions must be positive")
+
+    kernel = predictor.vectorized_kernel() if kernels_enabled() else None
+    if kernel is not None:
+        return _simulate_with_kernel(
+            trace,
+            predictor,
+            kernel,
+            slice_instructions,
+            record_mispredict_positions,
+            warmup_branches,
+        )
+
     stats = BranchStats()
     slice_list: Optional[List[BranchStats]] = None
     cur_slice: Optional[BranchStats] = None
     next_boundary = None
     if slice_instructions is not None:
-        if slice_instructions <= 0:
-            raise ValueError("slice_instructions must be positive")
         slice_list = []
         cur_slice = BranchStats()
         next_boundary = slice_instructions
@@ -92,13 +111,9 @@ def simulate_trace(
     heartbeat = _log.isEnabledFor(logging.INFO) and slice_instructions is not None
     t_start = perf_counter()
 
-    ips = trace.ips.tolist()
-    # astype(bool) makes tolist() yield Python bools, so the loop never
-    # converts per branch.
-    taken_arr = trace.taken.astype(bool).tolist()
-    targets = trace.targets.tolist()
-    kinds = trace.kinds.tolist()
-    instr_idx = trace.instr_indices.tolist()
+    # Decoded once per trace (and memoized on it): list indexing beats
+    # ndarray indexing in the loop, and ``taken`` arrives as Python bools.
+    ips, taken_arr, targets, kinds, instr_idx = trace.columns_as_lists()
 
     set_outcome = getattr(predictor, "set_outcome", None)
     predict = predictor.predict
@@ -204,6 +219,7 @@ def simulate_trace(
         obs.counter("sim.cond_branches", seen_cond)
         obs.counter("sim.instructions", trace.instr_count)
         obs.counter("sim.mispredictions", stats.total_mispredictions)
+        obs.counter("kernels.fallback_scalar", seen_cond)
         if elapsed > 0:
             obs.gauge("sim.branches_per_sec", len(ips) / elapsed)
         publish = getattr(predictor, "publish_obs_counters", None)
@@ -228,4 +244,60 @@ def simulate_trace(
         mispredict_positions=(
             np.asarray(mis_positions, dtype=np.int64) if mis_positions is not None else None
         ),
+    )
+
+
+def _simulate_with_kernel(
+    trace: BranchTrace,
+    predictor: BranchPredictor,
+    kernel: TraceKernel,
+    slice_instructions: Optional[int],
+    record_mispredict_positions: bool,
+    warmup_branches: int,
+) -> SimulationResult:
+    """Score ``predictor``'s vectorized kernel over ``trace``.
+
+    Publishes the same observability surface as the scalar loop (plus the
+    ``kernels.branches`` counter) and returns a bit-identical result.
+    """
+    t_start = perf_counter()
+    score = score_with_kernel(
+        trace,
+        kernel,
+        slice_instructions=slice_instructions,
+        record_mispredict_positions=record_mispredict_positions,
+        warmup_branches=warmup_branches,
+    )
+    elapsed = perf_counter() - t_start
+
+    if obs.is_enabled():
+        obs.observe_timer("sim.trace", elapsed)
+        obs.observe_timer(f"sim.predictor.{predictor.name}", elapsed)
+        obs.counter("sim.branches", len(trace))
+        obs.counter("sim.cond_branches", score.cond_branches)
+        obs.counter("sim.instructions", trace.instr_count)
+        obs.counter("sim.mispredictions", score.stats.total_mispredictions)
+        obs.counter("kernels.branches", score.cond_branches)
+        if elapsed > 0:
+            obs.gauge("sim.branches_per_sec", len(trace) / elapsed)
+        publish = getattr(predictor, "publish_obs_counters", None)
+        if publish is not None:
+            publish()
+    if _log.isEnabledFor(logging.INFO):
+        _log.info(
+            "%s: %d branches in %s (%s, vectorized), accuracy %.4f, mpki %.2f",
+            predictor.name,
+            len(trace),
+            obs.format_duration(elapsed),
+            obs.format_rate(len(trace), elapsed, "/s"),
+            score.stats.accuracy,
+            score.stats.mpki(trace.instr_count),
+        )
+
+    return SimulationResult(
+        predictor_name=predictor.name,
+        stats=score.stats,
+        instr_count=trace.instr_count,
+        slice_stats=score.slice_stats,
+        mispredict_positions=score.mispredict_positions,
     )

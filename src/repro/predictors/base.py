@@ -14,8 +14,12 @@ from 8KB to 1024KB.
 from __future__ import annotations
 
 import abc
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.types import BranchKind
+
+if TYPE_CHECKING:
+    from repro.kernels.engine import TraceKernel
 
 
 def saturate(value: int, lo: int, hi: int) -> int:
@@ -56,6 +60,26 @@ class BranchPredictor(abc.ABC):
 
         Default: ignored.  Predictors with path histories override this.
         """
+
+    def vectorized_kernel(self) -> "Optional[TraceKernel]":
+        """Optional numpy fast path for trace-driven simulation.
+
+        A predictor may return a :data:`repro.kernels.engine.TraceKernel` —
+        a callable mapping the trace's conditional (ips, taken) columns to
+        the exact prediction sequence the scalar predict/update loop would
+        emit — and ``simulate_trace`` will use it instead of the per-branch
+        loop (unless ``REPRO_KERNELS=0``).
+
+        The contract is strict: the kernel must be bit-identical to the
+        scalar path, must leave the predictor's state (tables, histories)
+        as the scalar loop would, and is only sound for predictors whose
+        ``note_branch`` is a no-op (non-conditional branches never reach
+        the kernel).  Implementations should also refuse to serve
+        subclasses (``type(self) is not Cls``) so an overridden
+        ``predict``/``update`` silently falls back to the scalar loop.
+        Default: ``None`` (scalar loop).
+        """
+        return None
 
     @abc.abstractmethod
     def storage_bits(self) -> int:

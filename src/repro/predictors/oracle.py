@@ -14,10 +14,15 @@ inside ChampSim.
 
 from __future__ import annotations
 
-from typing import Callable, FrozenSet, Iterable, Optional
+from typing import TYPE_CHECKING, Callable, FrozenSet, Iterable, Optional
+
+import numpy as np
 
 from repro.core.types import BranchKind
 from repro.predictors.base import BranchPredictor
+
+if TYPE_CHECKING:
+    from repro.kernels.engine import TraceKernel
 
 
 class Perfect(BranchPredictor):
@@ -39,6 +44,17 @@ class Perfect(BranchPredictor):
 
     def update(self, ip: int, taken: bool) -> None:
         self._next_outcome = None
+
+    def vectorized_kernel(self) -> "Optional[TraceKernel]":
+        if type(self) is not Perfect:
+            return None
+
+        def kernel(ips: np.ndarray, taken: np.ndarray) -> np.ndarray:
+            # The scalar loop's final update() leaves no pending outcome.
+            self._next_outcome = None
+            return np.asarray(taken, dtype=bool).copy()
+
+        return kernel
 
     def storage_bits(self) -> int:
         return 0
@@ -98,6 +114,30 @@ class PerfectFilter(BranchPredictor):
         self, ip: int, target: int, kind: BranchKind, taken: bool = True
     ) -> None:
         self.inner.note_branch(ip, target, kind, taken)
+
+    def vectorized_kernel(self) -> "Optional[TraceKernel]":
+        # Composes with the inner predictor's kernel: the inner kernel
+        # trains on (and predicts) every branch exactly as scalar
+        # PerfectFilter.update does, and the idealized subset's emitted
+        # predictions are overridden afterwards.  Predicate-based filters
+        # stay scalar (the callable may be arbitrary Python).
+        if type(self) is not PerfectFilter or self._predicate is not None:
+            return None
+        inner_kernel = self.inner.vectorized_kernel()
+        if inner_kernel is None:
+            return None
+
+        def kernel(ips: np.ndarray, taken: np.ndarray) -> np.ndarray:
+            inner_preds = np.asarray(inner_kernel(ips, taken), dtype=bool)
+            perfect = np.fromiter(
+                self._perfect, dtype=np.int64, count=len(self._perfect)
+            )
+            self._next_outcome = None
+            return np.where(
+                np.isin(ips, perfect), np.asarray(taken, dtype=bool), inner_preds
+            )
+
+        return kernel
 
     def storage_bits(self) -> int:
         return self.inner.storage_bits()

@@ -7,9 +7,20 @@ XOR-indexed counters, McFarling 1993).
 
 from __future__ import annotations
 
-from typing import List
+from typing import TYPE_CHECKING, List, Optional
 
+import numpy as np
+
+from repro.kernels.scan import (
+    final_history,
+    local_history,
+    packed_history,
+    saturating_counter_scan,
+)
 from repro.predictors.base import BranchPredictor, counter_update
+
+if TYPE_CHECKING:
+    from repro.kernels.engine import TraceKernel
 
 
 class AlwaysTaken(BranchPredictor):
@@ -22,6 +33,11 @@ class AlwaysTaken(BranchPredictor):
 
     def update(self, ip: int, taken: bool) -> None:
         pass
+
+    def vectorized_kernel(self) -> "Optional[TraceKernel]":
+        if type(self) is not AlwaysTaken:
+            return None
+        return lambda ips, taken: np.ones(len(ips), dtype=bool)
 
     def storage_bits(self) -> int:
         return 0
@@ -40,6 +56,11 @@ class NeverTaken(BranchPredictor):
 
     def update(self, ip: int, taken: bool) -> None:
         pass
+
+    def vectorized_kernel(self) -> "Optional[TraceKernel]":
+        if type(self) is not NeverTaken:
+            return None
+        return lambda ips, taken: np.zeros(len(ips), dtype=bool)
 
     def storage_bits(self) -> int:
         return 0
@@ -72,6 +93,22 @@ class Bimodal(BranchPredictor):
     def update(self, ip: int, taken: bool) -> None:
         i = self._index(ip)
         self._table[i] = counter_update(self._table[i], taken, self._lo, self._hi)
+
+    def vectorized_kernel(self) -> "Optional[TraceKernel]":
+        if type(self) is not Bimodal:
+            return None
+
+        def kernel(ips: np.ndarray, taken: np.ndarray) -> np.ndarray:
+            idx = (ips ^ (ips >> self.log_entries)) & self._mask
+            table = np.asarray(self._table, dtype=np.int64)
+            scan = saturating_counter_scan(
+                idx, taken, self._lo, self._hi, table[idx]
+            )
+            table[scan.final_groups] = scan.final_states
+            self._table = table.tolist()
+            return scan.states_before >= 0
+
+        return kernel
 
     def storage_bits(self) -> int:
         return len(self._table) * self.counter_bits
@@ -107,6 +144,26 @@ class GShare(BranchPredictor):
         i = self._index(ip)
         self._table[i] = counter_update(self._table[i], taken, -2, 1)
         self._history = ((self._history << 1) | int(taken)) & self._hist_mask
+
+    def vectorized_kernel(self) -> "Optional[TraceKernel]":
+        if type(self) is not GShare:
+            return None
+
+        def kernel(ips: np.ndarray, taken: np.ndarray) -> np.ndarray:
+            # History before each branch is a pure function of the recorded
+            # outcomes, so the whole index stream exists before the scan.
+            hist = packed_history(taken, self.history_bits, init=self._history)
+            idx = ((ips ^ (ips >> self.log_entries)) ^ hist) & self._mask
+            table = np.asarray(self._table, dtype=np.int64)
+            scan = saturating_counter_scan(idx, taken, -2, 1, table[idx])
+            table[scan.final_groups] = scan.final_states
+            self._table = table.tolist()
+            self._history = final_history(
+                taken, self.history_bits, init=self._history
+            )
+            return scan.states_before >= 0
+
+        return kernel
 
     def storage_bits(self) -> int:
         return len(self._table) * 2 + self.history_bits
@@ -147,6 +204,30 @@ class TwoLevelLocal(BranchPredictor):
         hist = self._l1[i1]
         self._l2[hist] = counter_update(self._l2[hist], taken, -2, 1)
         self._l1[i1] = ((hist << 1) | int(taken)) & self._hist_mask
+
+    def vectorized_kernel(self) -> "Optional[TraceKernel]":
+        if type(self) is not TwoLevelLocal:
+            return None
+
+        def kernel(ips: np.ndarray, taken: np.ndarray) -> np.ndarray:
+            i1 = (ips ^ (ips >> self.log_l1_entries)) & self._l1_mask
+            l1 = np.asarray(self._l1, dtype=np.int64)
+            # Each L1 register's content is a pure function of its own
+            # branches' outcomes, so the L2 pattern stream (what each
+            # predict/update pair indexes with) is computable up front; the
+            # shared L2 counters then replay as one grouped scan.
+            lh = local_history(i1, taken, self.local_bits, l1)
+            l2 = np.asarray(self._l2, dtype=np.int64)
+            scan = saturating_counter_scan(
+                lh.history, taken, -2, 1, l2[lh.history]
+            )
+            l2[scan.final_groups] = scan.final_states
+            l1[lh.final_groups] = lh.final_registers
+            self._l1 = l1.tolist()
+            self._l2 = l2.tolist()
+            return scan.states_before >= 0
+
+        return kernel
 
     def storage_bits(self) -> int:
         return len(self._l1) * self.local_bits + len(self._l2) * 2

@@ -7,7 +7,9 @@ from repro.workloads.base import (
     execute_workload,
     make_input_data,
     trace_workload,
+    workload_seed,
 )
+from repro.workloads.trace_store import TRACE_VERSION, TraceStore
 from repro.workloads.kernels import (
     KernelHandles,
     R_ARG0,
@@ -51,7 +53,9 @@ __all__ = [
     "SPECINT_WORKLOADS",
     "SPEC_TRACE_INSTRUCTIONS",
     "SpecBenchParams",
+    "TRACE_VERSION",
     "TraceLibrary",
+    "TraceStore",
     "WORKLOADS_BY_NAME",
     "WORKLOAD_CONTRACTS",
     "WorkloadSpec",
@@ -69,4 +73,5 @@ __all__ = [
     "make_input_data",
     "save_trace",
     "trace_workload",
+    "workload_seed",
 ]

@@ -115,6 +115,16 @@ class WorkloadSpec:
         return f"input{input_index}"
 
 
+def workload_seed(input_index: int) -> int:
+    """Executor seed for one application input.
+
+    Shared by trace generation and the trace-store key
+    (:mod:`repro.workloads.trace_store`), so the two can never disagree
+    about which execution a stored trace reproduces.
+    """
+    return 1000 * input_index + 17
+
+
 def trace_workload(
     spec: WorkloadSpec,
     input_index: int,
@@ -127,7 +137,7 @@ def trace_workload(
             f"{spec.name} has inputs 0..{spec.num_inputs - 1}, got {input_index}"
         )
     program = spec.build(input_index)
-    executor = Executor(program, seed=1000 * input_index + 17, **executor_kwargs)
+    executor = Executor(program, seed=workload_seed(input_index), **executor_kwargs)
     n = instructions if instructions is not None else spec.default_instructions
     result = executor.run(n)
     return WorkloadTrace(
@@ -151,7 +161,7 @@ def execute_workload(
             f"{spec.name} has inputs 0..{spec.num_inputs - 1}, got {input_index}"
         )
     program = spec.build(input_index)
-    executor = Executor(program, seed=1000 * input_index + 17, **executor_kwargs)
+    executor = Executor(program, seed=workload_seed(input_index), **executor_kwargs)
     n = instructions if instructions is not None else spec.default_instructions
     return executor.run(n)
 

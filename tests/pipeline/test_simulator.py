@@ -92,3 +92,67 @@ class TestSimulateTrace:
     def test_predictor_name_reported(self):
         res = simulate_trace(alternating_trace(4), NeverTaken())
         assert res.predictor_name == "never-taken"
+
+
+class TestWarmupSliceInteraction:
+    """Warmup exclusion composes with slicing; the kernel path must agree.
+
+    Each case is parametrized over both simulation paths — scalar loop and
+    vectorized kernels — so the semantics are pinned once and enforced on
+    every implementation.
+    """
+
+    @pytest.fixture(params=["0", "1"], ids=["scalar", "kernels"])
+    def sim(self, request, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", request.param)
+        return simulate_trace
+
+    def test_warmup_spans_slice_boundary(self, sim):
+        # 100 branches at stride 4; slices of 100 instructions hold 25
+        # branches each.  A 30-branch warmup empties slice 0 and eats the
+        # first 5 scored branches of slice 1.
+        t = alternating_trace(100, stride=4)
+        res = sim(t, AlwaysTaken(), slice_instructions=100, warmup_branches=30)
+        assert len(res.slice_stats) == 4
+        assert res.slice_stats[0].total_executions == 0
+        assert res.slice_stats[1].total_executions == 20
+        assert res.slice_stats[2].total_executions == 25
+        assert res.slice_stats[3].total_executions == 25
+        assert res.stats.total_executions == 70
+
+    def test_warmup_trains_but_does_not_score(self, sim):
+        # All-taken stream: Bimodal mispredicts at most its cold start.
+        # With warmup covering the cold counters, scored accuracy is 1.0.
+        n = 50
+        t = BranchTrace(ips=[0x40] * n, taken=[True] * n)
+        res = sim(t, Bimodal(), warmup_branches=4)
+        assert res.stats.total_executions == n - 4
+        assert res.stats.total_mispredictions == 0
+
+    def test_warmup_exceeding_trace_scores_nothing(self, sim):
+        t = alternating_trace(20, stride=4)
+        res = sim(t, AlwaysTaken(), slice_instructions=40, warmup_branches=10_000)
+        assert res.stats.total_executions == 0
+        # Boundary crossings still close (empty) slices.
+        assert len(res.slice_stats) >= 1
+        assert all(s.total_executions == 0 for s in res.slice_stats)
+
+    def test_mispredict_positions_respect_warmup(self, sim):
+        t = alternating_trace(10)  # odd iterations mispredicted
+        res = sim(
+            t, AlwaysTaken(), warmup_branches=3, record_mispredict_positions=True
+        )
+        np.testing.assert_array_equal(res.mispredict_positions, [12, 20, 28, 36])
+
+    def test_slice_totals_partition_scored_stream(self, sim):
+        t = alternating_trace(97, stride=5)
+        res = sim(t, Bimodal(), slice_instructions=111, warmup_branches=13)
+        assert (
+            sum(s.total_executions for s in res.slice_stats)
+            == res.stats.total_executions
+            == 97 - 13
+        )
+        assert (
+            sum(s.total_mispredictions for s in res.slice_stats)
+            == res.stats.total_mispredictions
+        )
