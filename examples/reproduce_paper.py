@@ -15,7 +15,12 @@ Usage::
 
 ``--jobs/-j N`` (or ``REPRO_JOBS``) fans the simulations of each
 experiment out across N worker processes; results are bit-identical to
-the default serial run (see ``docs/performance.md``).
+the default serial run (see ``docs/performance.md``).  With a cache
+directory configured, ``--resume`` checkpoints completed simulations so
+an interrupted sweep can be rerun and only the missing work is
+re-dispatched (see ``docs/resilience.md``)::
+
+    REPRO_CACHE_DIR=cache python examples/reproduce_paper.py --jobs 8 --resume
 """
 
 import sys

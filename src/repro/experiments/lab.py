@@ -11,8 +11,10 @@ affects simulation outcomes.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
+import re
 import tempfile
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
@@ -31,6 +33,9 @@ from repro.pipeline.simulator import SimulationResult, simulate_trace
 from repro.predictors.base import BranchPredictor
 from repro.predictors.simple import Bimodal, GShare, TwoLevelLocal
 from repro.predictors.tagescl import STORAGE_PRESETS_KIB, make_tage_sc_l
+from repro.resilience import faults
+from repro.resilience.manifest import ResumeManifest
+from repro.resilience.quarantine import quarantine_file
 from repro.phases import cluster_phases, prepare_bbvs
 from repro.workloads import (
     WORKLOADS_BY_NAME,
@@ -47,8 +52,16 @@ SimRequest = Union[SimJob, Tuple]
 
 #: Bump to invalidate on-disk caches after behavioural changes.
 #: (v4: payloads are now self-describing ``{"cache_version", "result"}``
-#: dicts so stale/corrupt files are detected instead of silently trusted.)
-CACHE_VERSION = 4
+#: dicts so stale/corrupt files are detected instead of silently trusted.
+#: v5: injective cache filenames — the old ``replace("/", "_")`` scheme
+#: aliased distinct keys like ``a/b`` and ``a_b`` onto one file; names now
+#: carry a digest of the raw key.)
+CACHE_VERSION = 5
+
+
+def _slug(part: str) -> str:
+    """Filesystem-safe (but non-injective) rendering of one key part."""
+    return re.sub(r"[^A-Za-z0-9_.-]", "_", part)
 
 _log = obs.get_logger("lab")
 
@@ -90,6 +103,7 @@ class Lab:
         tier: Optional[ExperimentTier] = None,
         cache_dir: Optional[str] = None,
         jobs: Optional[int] = None,
+        resume: Optional[bool] = None,
     ) -> None:
         self.tier = tier or active_tier()
         env_dir = os.environ.get("REPRO_CACHE_DIR")
@@ -107,14 +121,38 @@ class Lab:
         self._traces: Dict[Tuple[str, int, int], WorkloadTrace] = {}
         self._sims: Dict[Tuple, SimulationResult] = {}
         self._phase_counts: Dict[Tuple[str, int, int, int], int] = {}
+        self._experiment: Optional[str] = None
+        # Checkpoint/resume: completed requests are recorded in an
+        # append-only manifest so an interrupted sweep restarted with
+        # --resume re-dispatches only the missing work.
+        if resume is None:
+            resume = os.environ.get("REPRO_RESUME", "") not in ("", "0", "false")
+        self.manifest: Optional[ResumeManifest] = None
+        if resume:
+            if self.cache_dir is None:
+                _log.warning(
+                    "resume requested without a cache directory; ignoring "
+                    "(set --cache-dir or REPRO_CACHE_DIR)"
+                )
+            else:
+                self.manifest = ResumeManifest(
+                    ResumeManifest.default_path(self.cache_dir), CACHE_VERSION
+                )
+                self.manifest.load()
 
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
-        """Release the worker pool, if one was started (idempotent)."""
+        """Release the worker pool and manifest, if open (idempotent)."""
         if self._scheduler is not None:
             self._scheduler.close()
             self._scheduler = None
+        if self.manifest is not None:
+            self.manifest.close()
+
+    def begin_experiment(self, name: Optional[str]) -> None:
+        """Label subsequent checkpoint records with the running experiment."""
+        self._experiment = name
 
     def __enter__(self) -> "Lab":
         return self
@@ -217,6 +255,7 @@ class Lab:
                 obs.counter("lab.sim.cache_hit.disk")
                 _log.debug("disk cache hit: %s", disk)
                 self._sims[key] = cached
+                self._mark_complete(key)
                 return cached
 
         obs.counter("lab.sim.cache_miss")
@@ -234,8 +273,8 @@ class Lab:
                 slice_instructions=slice_instructions,
             )
         self._sims[key] = result
-        if disk is not None:
-            self._store_disk(disk, result)
+        if disk is not None and self._store_disk(disk, result):
+            self._mark_complete(key)
         return result
 
     # -- phase analysis ----------------------------------------------------
@@ -262,10 +301,7 @@ class Lab:
             return cached
         disk: Optional[Path] = None
         if self.cache_dir is not None:
-            fname = (
-                f"v{CACHE_VERSION}_phases_{name}_{input_index}_{n}_{bbv_interval}.pkl"
-            )
-            disk = self.cache_dir / fname.replace("/", "_")
+            disk = self.cache_dir / self._cache_filename("phases", key)
             if disk.exists():
                 loaded = self._load_disk(disk, want=int)
                 if loaded is not None:
@@ -328,6 +364,14 @@ class Lab:
             if key in self._sims:
                 planned += 1
                 continue
+            if self.manifest is not None and key in self.manifest:
+                # Checkpointed as durably published: plan it away without
+                # even touching the disk entry.  The manifest is advisory —
+                # if the entry is gone or corrupt, the serial render path
+                # recomputes it, so results stay bit-identical.
+                obs.counter("lab.resume.planned")
+                planned += 1
+                continue
             disk = self._disk_path(key)
             if disk is not None and disk.exists():
                 cached = self._load_disk(disk)
@@ -357,8 +401,13 @@ class Lab:
         key = job.key()
         self._sims[key] = result
         disk = self._disk_path(key)
-        if disk is not None:
-            self._store_disk(disk, result)
+        if disk is not None and self._store_disk(disk, result):
+            self._mark_complete(key)
+
+    def _mark_complete(self, key: Tuple) -> None:
+        """Checkpoint one durably published request (no-op without --resume)."""
+        if self.manifest is not None:
+            self.manifest.mark(key, self._experiment)
 
     def _normalize_request(self, request: SimRequest) -> SimJob:
         """Fill tier defaults and validate names (KeyError like simulate)."""
@@ -378,8 +427,8 @@ class Lab:
             n = self.instructions_for(name)
         return SimJob(name, input_index, n, predictor, slice_n)
 
-    def _store_disk(self, disk: Path, result: object) -> None:
-        """Atomically publish one cache entry.
+    def _store_disk(self, disk: Path, result: object) -> bool:
+        """Atomically publish one cache entry; True on durable success.
 
         The payload is written to a unique sibling tempfile and renamed
         into place, so concurrent readers never observe a partial pickle
@@ -388,6 +437,7 @@ class Lab:
         entry, never the run.
         """
         try:
+            faults.check_enospc("cache.enospc")
             fd, tmp_name = tempfile.mkstemp(
                 dir=str(disk.parent), prefix=disk.name, suffix=".tmp"
             )
@@ -406,13 +456,17 @@ class Lab:
         except OSError as exc:
             obs.counter("lab.cache.store_failed")
             _log.warning("could not write disk cache %s: %s", disk, exc)
-            return
+            return False
+        faults.corrupt_file("cache.corrupt", disk)
         obs.counter("lab.sim.cache_store")
+        return True
 
     def _load_disk(self, disk: Path, want: type = SimulationResult):
         """Load one disk-cache entry holding a ``want`` instance, or
         ``None`` (with a warning) if it is corrupt or from an incompatible
-        :data:`CACHE_VERSION`."""
+        :data:`CACHE_VERSION`.  Bad entries are *quarantined* — moved to
+        ``quarantine/`` under the cache directory — so they are recomputed
+        once instead of re-read and re-warned on every load."""
         try:
             with open(disk, "rb") as f:
                 payload = pickle.load(f)
@@ -438,14 +492,24 @@ class Lab:
             )
         obs.counter("lab.cache.invalid")
         _log.warning("ignoring invalid disk cache %s: %s; recomputing", disk, reason)
+        if self.cache_dir is not None:
+            quarantine_file(disk, self.cache_dir, reason)
         return None
+
+    def _cache_filename(self, kind: str, key: Tuple) -> str:
+        """Injective cache filename for ``key``: a human-readable slug plus
+        a digest of the raw key.  (The pre-v5 ``replace("/", "_")`` scheme
+        aliased distinct keys — e.g. ``a/b`` and ``a_b`` — onto one file,
+        silently serving one key's payload for the other.)"""
+        raw = "\x1f".join(str(part) for part in (kind, *key))
+        digest = hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]
+        human = "_".join(_slug(str(part)) for part in (kind, *key))
+        return f"v{CACHE_VERSION}_{human}_{digest}.pkl"
 
     def _disk_path(self, key: Tuple) -> Optional[Path]:
         if self.cache_dir is None:
             return None
-        name, input_index, n, predictor, slice_n = key
-        fname = f"v{CACHE_VERSION}_{name}_{input_index}_{n}_{predictor}_{slice_n}.pkl"
-        return self.cache_dir / fname.replace("/", "_")
+        return self.cache_dir / self._cache_filename("sim", key)
 
     # -- aggregates --------------------------------------------------------
 

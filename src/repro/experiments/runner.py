@@ -80,6 +80,7 @@ def run_experiments(
     echo(f"Running {len(selected)} experiment(s) at tier '{lab.tier.name}'{workers}\n")
     for name in selected:
         _log.info("starting experiment %s", name)
+        lab.begin_experiment(name)
         # Span-based timing: the span lands in the exported tree (with lab
         # simulate children) and also backs the elapsed display.
         with obs.span(name, tier=lab.tier.name) as sp:
@@ -90,6 +91,7 @@ def run_experiments(
             if plan is not None:
                 lab.prefetch(plan(lab))
             output = EXPERIMENTS[name](lab)
+        lab.begin_experiment(None)
         _log.info("finished %s in %s", name, obs.format_duration(sp.duration_s))
         echo(f"{'=' * 72}\n{name} ({obs.format_duration(sp.duration_s)})\n{'=' * 72}")
         echo(output)
@@ -127,6 +129,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "(default: $REPRO_JOBS or 1 = serial; 0 means all cores)",
     )
     parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="checkpoint completed simulations in the cache directory and, "
+        "on restart, re-dispatch only the missing ones "
+        "(requires --cache-dir or REPRO_CACHE_DIR; see docs/resilience.md)",
+    )
+    parser.add_argument(
         "--log-level",
         default=None,
         choices=["debug", "info", "warning", "error"],
@@ -153,7 +162,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.metrics_out:
         obs.enable()
 
-    lab = Lab(cache_dir=args.cache_dir, jobs=args.jobs)
+    lab = Lab(cache_dir=args.cache_dir, jobs=args.jobs, resume=args.resume or None)
     try:
         run_experiments(args.experiments or None, lab)
     except ValueError as exc:

@@ -74,6 +74,7 @@ def worker_init(
     obs_enabled: bool,
     log_level: Optional[str],
     trace_store_dir: Optional[str] = None,
+    faults_spec: Optional[str] = None,
 ) -> None:
     """Initialize one worker process to mirror the parent's observability.
 
@@ -81,7 +82,9 @@ def worker_init(
     under ``spawn`` it creates it.  ``log_level`` is a level *name* (or
     ``None`` when the parent never configured logging).  When the parent
     Lab has a cache directory, ``trace_store_dir`` points the worker at
-    the shared on-disk trace store.
+    the shared on-disk trace store.  ``faults_spec`` replicates the
+    parent's programmatically installed fault plan (worker-side storage
+    fault sites count opportunities per process).
     """
     global _worker_obs_enabled, _worker_trace_store
     from repro import obs
@@ -93,6 +96,10 @@ def worker_init(
         obs.disable()
     if log_level is not None:
         obs.configure_logging(log_level)
+    if faults_spec is not None:
+        from repro.resilience import faults
+
+        faults.install(faults_spec)
     if trace_store_dir is not None:
         from repro.workloads.trace_store import TraceStore
 
@@ -141,12 +148,14 @@ def _worker_trace(workload: str, input_index: int, instructions: int):
     return trace
 
 
-def run_sim_job(job: SimJob):
+def run_sim_job(job: SimJob, fault: Optional[Any] = None):
     """Worker entry point: rebuild by name, simulate, snapshot metrics.
 
     Returns ``(job, SimulationResult, WorkerReport)``.  When metrics are
     enabled the worker registry is reset before the job, so the returned
     snapshot is exactly this job's delta (workers execute jobs serially).
+    ``fault`` is a parent-side :class:`repro.resilience.InjectedFault`
+    decision (crash/raise/delay) applied before the simulation starts.
     """
     from repro import obs
     from repro.experiments.lab import PREDICTOR_FACTORIES
@@ -155,6 +164,10 @@ def run_sim_job(job: SimJob):
     t_start = monotonic()
     if _worker_obs_enabled:
         obs.reset()
+    if fault is not None:
+        from repro.resilience.faults import apply_worker_fault
+
+        apply_worker_fault(fault)
     trace = _worker_trace(job.workload, job.input_index, job.instructions)
     predictor = PREDICTOR_FACTORIES[job.predictor]()
     result = simulate_trace(
@@ -162,3 +175,38 @@ def run_sim_job(job: SimJob):
     )
     metrics = obs.registry().snapshot_for_merge() if _worker_obs_enabled else None
     return job, result, WorkerReport(t_start=t_start, t_end=monotonic(), metrics=metrics)
+
+
+def run_job_inline(job: SimJob, trace_store_dir: Optional[str] = None):
+    """Serial-fallback execution of one job in the *calling* process.
+
+    Used when the worker pool has failed past its retry budget.  Unlike
+    :func:`run_sim_job` it never touches the worker-process globals or
+    resets the metrics registry (which in the parent would wipe the run's
+    collected metrics).  Traces read through the shared on-disk store
+    when one is configured; simulation is deterministic, so the result is
+    bit-identical to what a healthy worker would have produced.
+    """
+    from repro.experiments.lab import PREDICTOR_FACTORIES, workload_spec
+    from repro.pipeline.simulator import simulate_trace
+    from repro.workloads import trace_workload
+
+    trace_cols = None
+    store = None
+    if trace_store_dir is not None:
+        from repro.workloads.trace_store import TraceStore
+
+        store = TraceStore(trace_store_dir)
+        trace_cols = store.load(job.workload, job.input_index, job.instructions)
+    if trace_cols is None:
+        generated = trace_workload(
+            workload_spec(job.workload), job.input_index, instructions=job.instructions
+        )
+        trace_cols = generated.trace
+        if store is not None:
+            store.store(job.workload, job.input_index, job.instructions, trace_cols)
+    return simulate_trace(
+        trace_cols,
+        PREDICTOR_FACTORIES[job.predictor](),
+        slice_instructions=job.slice_instructions,
+    )

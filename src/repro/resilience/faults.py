@@ -1,0 +1,309 @@
+"""Deterministic fault injection for resilience testing.
+
+Long sweeps (Fig. 7's storage grid, Fig. 8's execution-count limit study)
+must survive worker crashes, corrupt cache entries, and full disks.  This
+module lets tests — and CI smoke runs — *inject* exactly those faults at
+named sites, reproducibly, so recovery behavior can be asserted instead
+of hoped for.
+
+A :class:`FaultPlan` is a set of :class:`FaultRule`\\ s, one per site,
+activated either programmatically (:func:`install`) or through the
+``REPRO_FAULTS`` environment variable.  The spec grammar::
+
+    REPRO_FAULTS="seed=42;worker.crash:n=1;job.delay:p=0.5:secs=0.2"
+
+is ``;``-separated clauses; ``seed=N`` seeds the per-site PRNGs, every
+other clause is a site name followed by ``:``-separated parameters:
+
+``n=K``
+    fire on the first K eligible opportunities (exact, deterministic);
+``p=F``
+    fire each opportunity with probability F (seeded, reproducible);
+``after=K``
+    skip the first K opportunities before the rule becomes eligible;
+``secs=F``
+    duration parameter (``job.delay`` sleep seconds).
+
+A clause with neither ``n`` nor ``p`` fires on every opportunity.
+
+Sites
+-----
+
+Worker-job faults are decided in the *parent* at submit time (one global,
+deterministic sequence regardless of worker count) and shipped to the
+worker as an :class:`InjectedFault`:
+
+``worker.crash``     the worker process exits hard (``os._exit``) mid-job
+``worker.oserror``   the job raises a transient ``OSError`` (retryable)
+``job.error``        the job raises ``RuntimeError`` (deterministic, fail-fast)
+``job.delay``        the job sleeps ``secs`` before simulating (timeouts)
+
+Storage faults fire in whichever process performs the store, with
+per-process opportunity counters:
+
+``cache.corrupt``        a just-published sim/phase cache entry is overwritten
+``cache.enospc``         the sim/phase cache write raises ``ENOSPC``
+``trace_store.corrupt``  a just-published trace-store entry is overwritten
+``trace_store.enospc``   the trace-store write raises ``ENOSPC``
+
+Every injection is WARNING-logged and counted under
+``resilience.faults.injected`` (plus a per-site counter), so a faulty run
+is always distinguishable from a clean one in the metrics JSON.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import random
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Tuple, Union
+
+from repro import obs
+
+_log = obs.get_logger("resilience")
+
+#: Bytes written over an entry by the ``*.corrupt`` sites.  Short enough to
+#: truncate any real payload, and an invalid pickle/npz header.
+CORRUPT_PAYLOAD = b"\x00REPRO-FAULT-CORRUPTED\x00"
+
+#: Worker-job fault sites, in decision-priority order (parent-side).
+WORKER_SITES: Tuple[str, ...] = (
+    "worker.crash",
+    "worker.oserror",
+    "job.error",
+    "job.delay",
+)
+
+#: Storage fault sites (decided in the storing process).
+STORAGE_SITES: Tuple[str, ...] = (
+    "cache.corrupt",
+    "cache.enospc",
+    "trace_store.corrupt",
+    "trace_store.enospc",
+)
+
+KNOWN_SITES: Tuple[str, ...] = WORKER_SITES + STORAGE_SITES
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """When (and how) one site misbehaves."""
+
+    site: str
+    times: Optional[int] = None  # fire on this many opportunities (None = no cap)
+    probability: Optional[float] = None  # per-opportunity chance (None = certain)
+    after: int = 0  # opportunities to skip before becoming eligible
+    secs: float = 0.0  # duration parameter (job.delay)
+
+    def to_clause(self) -> str:
+        parts = [self.site]
+        if self.times is not None:
+            parts.append(f"n={self.times}")
+        if self.probability is not None:
+            parts.append(f"p={self.probability}")
+        if self.after:
+            parts.append(f"after={self.after}")
+        if self.secs:
+            parts.append(f"secs={self.secs}")
+        return ":".join(parts)
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """A parent-side fault decision shipped to a worker with its job."""
+
+    site: str
+    secs: float = 0.0
+
+
+class FaultPlan:
+    """A seeded, thread-safe set of fault rules with per-site counters."""
+
+    def __init__(self, rules: Iterable[FaultRule], seed: int = 0) -> None:
+        self.seed = seed
+        self._rules: Dict[str, FaultRule] = {}
+        for rule in rules:
+            if rule.site not in KNOWN_SITES:
+                raise ValueError(
+                    f"unknown fault site {rule.site!r}; choose from {KNOWN_SITES}"
+                )
+            if rule.site in self._rules:
+                raise ValueError(f"duplicate fault site {rule.site!r}")
+            self._rules[rule.site] = rule
+        self._lock = threading.Lock()
+        self._opportunities: Dict[str, int] = {s: 0 for s in self._rules}
+        self._fired: Dict[str, int] = {s: 0 for s in self._rules}
+        self._rngs: Dict[str, random.Random] = {
+            s: random.Random(f"{seed}:{s}") for s in self._rules
+        }
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse a ``REPRO_FAULTS`` spec string (see module docstring)."""
+        seed = 0
+        rules = []
+        for clause in spec.split(";"):
+            clause = clause.strip()
+            if not clause:
+                continue
+            if clause.startswith("seed="):
+                seed = int(clause[len("seed="):])
+                continue
+            site, _, tail = clause.partition(":")
+            site = site.strip()
+            kwargs: Dict[str, Union[int, float]] = {}
+            for param in tail.split(":") if tail else []:
+                key, eq, value = param.partition("=")
+                key = key.strip()
+                if not eq:
+                    raise ValueError(f"malformed fault parameter {param!r} in {clause!r}")
+                if key == "n":
+                    kwargs["times"] = int(value)
+                elif key == "p":
+                    kwargs["probability"] = float(value)
+                elif key == "after":
+                    kwargs["after"] = int(value)
+                elif key == "secs":
+                    kwargs["secs"] = float(value)
+                else:
+                    raise ValueError(f"unknown fault parameter {key!r} in {clause!r}")
+            rules.append(FaultRule(site=site, **kwargs))  # type: ignore[arg-type]
+        return cls(rules, seed=seed)
+
+    def spec(self) -> str:
+        """Re-serialize (counters excluded) — shippable to worker processes."""
+        clauses = [f"seed={self.seed}"]
+        clauses.extend(rule.to_clause() for rule in self._rules.values())
+        return ";".join(clauses)
+
+    # -- decisions ---------------------------------------------------------
+
+    def decide(self, site: str) -> Optional[FaultRule]:
+        """Count one opportunity at ``site``; return the rule iff it fires."""
+        rule = self._rules.get(site)
+        if rule is None:
+            return None
+        with self._lock:
+            self._opportunities[site] += 1
+            if self._opportunities[site] <= rule.after:
+                return None
+            if rule.times is not None and self._fired[site] >= rule.times:
+                return None
+            if rule.probability is not None:
+                if self._rngs[site].random() >= rule.probability:
+                    return None
+            self._fired[site] += 1
+        return rule
+
+    def fired(self, site: str) -> int:
+        """How many times ``site`` has fired in this process."""
+        return self._fired.get(site, 0)
+
+
+# -- process-wide activation ----------------------------------------------
+
+_installed: Optional[FaultPlan] = None
+_env_cache: Tuple[Optional[str], Optional[FaultPlan]] = (None, None)
+_state_lock = threading.Lock()
+
+
+def install(plan: Union[FaultPlan, str]) -> FaultPlan:
+    """Activate a fault plan for this process (overrides ``REPRO_FAULTS``)."""
+    global _installed
+    if isinstance(plan, str):
+        plan = FaultPlan.parse(plan)
+    _installed = plan
+    return plan
+
+
+def uninstall() -> None:
+    """Deactivate any installed plan (``REPRO_FAULTS`` applies again)."""
+    global _installed, _env_cache
+    _installed = None
+    _env_cache = (None, None)
+
+
+def active() -> Optional[FaultPlan]:
+    """The in-effect plan: installed one, else parsed from ``REPRO_FAULTS``."""
+    global _env_cache
+    if _installed is not None:
+        return _installed
+    spec = os.environ.get("REPRO_FAULTS", "").strip()
+    if not spec:
+        return None
+    with _state_lock:
+        if _env_cache[0] != spec:
+            _env_cache = (spec, FaultPlan.parse(spec))
+        return _env_cache[1]
+
+
+def active_spec() -> Optional[str]:
+    """Serialized active plan (for shipping to spawned workers), or None."""
+    plan = active()
+    return plan.spec() if plan is not None else None
+
+
+def fire(site: str) -> Optional[FaultRule]:
+    """One opportunity at ``site``: returns the rule iff a fault fires
+    (counted and WARNING-logged); None with no active plan."""
+    plan = active()
+    if plan is None:
+        return None
+    rule = plan.decide(site)
+    if rule is not None:
+        obs.counter("resilience.faults.injected")
+        obs.counter(f"resilience.faults.{site}")
+        _log.warning("injecting fault at site %s", site)
+    return rule
+
+
+# -- instrumentation helpers ----------------------------------------------
+
+
+def next_worker_fault() -> Optional[InjectedFault]:
+    """Parent-side decision for one job submission (first firing site wins)."""
+    plan = active()
+    if plan is None:
+        return None
+    for site in WORKER_SITES:
+        rule = fire(site)
+        if rule is not None:
+            return InjectedFault(site=site, secs=rule.secs)
+    return None
+
+
+def apply_worker_fault(fault: Optional[InjectedFault]) -> None:
+    """Execute a shipped fault decision inside the worker process."""
+    if fault is None:
+        return
+    if fault.site == "worker.crash":
+        # A hard exit, not an exception: the parent sees BrokenProcessPool,
+        # exactly like an OOM kill or segfault would look.
+        os._exit(13)
+    elif fault.site == "worker.oserror":
+        raise OSError(errno.EIO, "injected transient I/O fault")
+    elif fault.site == "job.error":
+        raise RuntimeError("injected deterministic job fault")
+    elif fault.site == "job.delay":
+        time.sleep(fault.secs)
+
+
+def check_enospc(site: str) -> None:
+    """Raise ``OSError(ENOSPC)`` if a fault fires at ``site``."""
+    if fire(site) is not None:
+        raise OSError(errno.ENOSPC, "injected: no space left on device")
+
+
+def corrupt_file(site: str, path: Union[str, Path]) -> bool:
+    """Overwrite ``path`` with garbage if a fault fires at ``site``."""
+    if fire(site) is None:
+        return False
+    with open(path, "wb") as f:
+        f.write(CORRUPT_PAYLOAD)
+    return True

@@ -1,0 +1,164 @@
+"""Checkpoint/resume manifest for interrupted experiment sweeps.
+
+The paper's sweeps are hours of independent (workload, input, predictor)
+simulations; a killed run should not forfeit the completed ones.  The
+:class:`ResumeManifest` is an append-only JSONL file under the cache
+directory recording every simulation request whose result was durably
+published to the disk cache.  A restarted run (``--resume``) loads it and
+plans those requests away during :meth:`Lab.prefetch`, so only the
+missing work is re-dispatched — asserted in tests via the
+``lab.parallel.jobs.dispatched`` counter.
+
+Format (``repro.resilience.manifest/v1``)::
+
+    {"schema": "repro.resilience.manifest/v1", "cache_version": 5}
+    {"key": ["605.mcf_s", 0, 2000000, "tage-sc-l-8kb", 100000], "experiment": "table1"}
+    ...
+
+The header pins the Lab's :data:`~repro.experiments.lab.CACHE_VERSION`:
+a manifest written against a different cache format is discarded (and
+rewritten) rather than trusted.  Records are flushed per append, and a
+truncated final line — the signature of a mid-write kill — is skipped on
+load.  The manifest is advisory only: if a listed disk entry turns out
+missing or corrupt, the serial path recomputes it, so resumed runs stay
+bit-identical to clean ones.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import FrozenSet, Optional, Tuple, Union
+
+from repro import obs
+
+MANIFEST_SCHEMA = "repro.resilience.manifest/v1"
+
+#: Default manifest filename inside a Lab cache directory.
+MANIFEST_FILENAME = "resume_manifest.jsonl"
+
+_log = obs.get_logger("resilience")
+
+#: A Lab simulation-cache key: (workload, input, instructions, predictor,
+#: slice_instructions).
+SimKey = Tuple[str, int, int, str, int]
+
+
+class ResumeManifest:
+    """Append-only record of completed simulation requests."""
+
+    def __init__(self, path: Union[str, Path], cache_version: int) -> None:
+        self.path = Path(path)
+        self.cache_version = cache_version
+        self._completed: set = set()
+        self._fh = None
+
+    @classmethod
+    def default_path(cls, cache_dir: Union[str, Path]) -> Path:
+        return Path(cache_dir) / MANIFEST_FILENAME
+
+    # -- loading -----------------------------------------------------------
+
+    def load(self) -> int:
+        """Read completed keys from disk; returns how many were loaded.
+
+        Missing file, stale header, or a corrupt header line all reset the
+        manifest (rewritten header, empty completed set).  Corrupt *record*
+        lines — e.g. the torn tail of a killed append — are skipped.
+        """
+        self._completed.clear()
+        lines = []
+        try:
+            lines = self.path.read_text().splitlines()
+        except OSError:
+            pass
+        header_ok = False
+        if lines:
+            try:
+                header = json.loads(lines[0])
+                header_ok = (
+                    header.get("schema") == MANIFEST_SCHEMA
+                    and header.get("cache_version") == self.cache_version
+                )
+            except (ValueError, AttributeError):
+                header_ok = False
+        if not header_ok:
+            if lines:
+                obs.counter("lab.resume.reset")
+                _log.warning(
+                    "discarding incompatible resume manifest %s "
+                    "(want %s at cache version %d)",
+                    self.path, MANIFEST_SCHEMA, self.cache_version,
+                )
+            self._rewrite_header()
+            return 0
+        for line in lines[1:]:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                key = tuple(record["key"])
+            except (ValueError, KeyError, TypeError):
+                # Torn tail from a killed writer: skip, keep the rest.
+                obs.counter("lab.resume.invalid_line")
+                continue
+            self._completed.add(key)
+        obs.counter("lab.resume.loaded", len(self._completed))
+        _log.info(
+            "resume manifest %s: %d completed requests", self.path, len(self._completed)
+        )
+        return len(self._completed)
+
+    def _rewrite_header(self) -> None:
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "w") as f:
+                f.write(
+                    json.dumps(
+                        {"schema": MANIFEST_SCHEMA, "cache_version": self.cache_version}
+                    )
+                    + "\n"
+                )
+        except OSError as exc:
+            _log.warning("could not initialize resume manifest %s: %s", self.path, exc)
+
+    # -- recording ---------------------------------------------------------
+
+    def mark(self, key: SimKey, experiment: Optional[str] = None) -> None:
+        """Record one completed request (idempotent, flushed per append)."""
+        if key in self._completed:
+            return
+        self._completed.add(key)
+        try:
+            if self._fh is None:
+                self._fh = open(self.path, "a")
+            self._fh.write(
+                json.dumps({"key": list(key), "experiment": experiment}) + "\n"
+            )
+            self._fh.flush()
+        except OSError as exc:
+            # Checkpointing is best-effort: a full disk costs resume
+            # granularity, never the run.
+            _log.warning("could not append to resume manifest %s: %s", self.path, exc)
+            return
+        obs.counter("lab.resume.marked")
+
+    # -- queries -----------------------------------------------------------
+
+    def __contains__(self, key: SimKey) -> bool:
+        return key in self._completed
+
+    def __len__(self) -> int:
+        return len(self._completed)
+
+    def completed(self) -> FrozenSet[SimKey]:
+        return frozenset(self._completed)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+            self._fh = None

@@ -1,0 +1,46 @@
+"""Quarantine for corrupt or stale on-disk cache entries.
+
+A bad payload — torn write, foreign file, stale :data:`CACHE_VERSION` —
+used to be WARNING-logged and left in place, so every subsequent run
+re-read and re-warned about the same bytes.  Quarantining moves the file
+into a ``quarantine/`` subdirectory of its cache root instead: the next
+load is a clean miss, the evidence is preserved for inspection, and the
+``lab.cache.quarantined`` counter makes the event visible in metrics.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional
+
+from repro import obs
+
+_log = obs.get_logger("resilience")
+
+#: Subdirectory (under the cache root) holding quarantined entries.
+QUARANTINE_DIRNAME = "quarantine"
+
+
+def quarantine_file(path: Path, root: Path, reason: str = "") -> Optional[Path]:
+    """Move a bad cache entry under ``root/quarantine/``; fail-soft.
+
+    Returns the new path, or ``None`` when the move itself failed (the
+    entry is left in place — a read-only cache directory must not break
+    the run).  Same-named earlier quarantined files are overwritten: the
+    latest corrupt payload is the interesting one.
+    """
+    qdir = root / QUARANTINE_DIRNAME
+    try:
+        qdir.mkdir(parents=True, exist_ok=True)
+        dest = qdir / path.name
+        os.replace(path, dest)
+    except OSError as exc:
+        _log.warning("could not quarantine %s: %s", path, exc)
+        return None
+    obs.counter("lab.cache.quarantined")
+    _log.warning(
+        "quarantined bad cache entry %s -> %s%s",
+        path, dest, f" ({reason})" if reason else "",
+    )
+    return dest

@@ -34,6 +34,8 @@ import numpy as np
 
 from repro import obs
 from repro.core.types import BranchTrace
+from repro.resilience import faults
+from repro.resilience.quarantine import quarantine_file
 from repro.workloads.base import workload_seed
 
 #: Bump after any change that alters generated trace content for an
@@ -101,11 +103,14 @@ class TraceStore:
         except Exception as exc:
             # Fail-soft: a torn write, a foreign file landing on our name,
             # or a column mismatch must cost a re-execution, never the run.
+            # The bad entry is quarantined so the *next* run gets a clean
+            # miss instead of re-reading and re-warning about it.
             obs.counter("lab.trace_store.load_error")
             _log.warning(
                 "ignoring unreadable trace-store entry %s (%s: %s); regenerating",
                 path, type(exc).__name__, exc,
             )
+            quarantine_file(path, self.root, f"{type(exc).__name__}: {exc}")
             return None
         obs.counter("lab.trace_store.hit")
         _log.debug("trace store hit: %s", path)
@@ -118,6 +123,7 @@ class TraceStore:
         path = self.path_for(workload, input_index, instructions)
         key = self.key(workload, input_index, instructions)
         try:
+            faults.check_enospc("trace_store.enospc")
             fd, tmp_name = tempfile.mkstemp(
                 dir=str(self.root), prefix=path.name, suffix=".tmp"
             )
@@ -145,6 +151,7 @@ class TraceStore:
             obs.counter("lab.trace_store.store_failed")
             _log.warning("could not write trace-store entry %s: %s", path, exc)
             return None
+        faults.corrupt_file("trace_store.corrupt", path)
         obs.counter("lab.trace_store.store")
         _log.debug("trace store publish: %s", path)
         return path
