@@ -1,0 +1,25 @@
+#!/usr/bin/env python3
+"""Perf-trajectory driver: record the repo's pinned performance numbers.
+
+Thin wrapper over ``python -m repro.bench`` for people browsing the
+``benchmarks/`` directory; both entry points run the same scenarios and
+write the same schema-versioned ``BENCH_core.json`` at the repo root.
+
+    PYTHONPATH=src python benchmarks/perf_trajectory.py [--only SCENARIO] ...
+
+The committed ``benchmarks/baseline.json`` is simply a previous output of
+this driver, promoted; refresh it by copying a new ``BENCH_core.json``
+over it when a performance change is intentional.  CI runs this on every
+push and fails only on schema errors or a regression beyond the tolerance
+band — see docs/benchmarking.md.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench.__main__ import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

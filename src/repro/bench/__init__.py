@@ -1,0 +1,378 @@
+"""``repro.bench``: the pinned perf-trajectory harness.
+
+The repo's performance story (vectorized kernels, the on-disk trace store,
+the parallel fan-out) has so far been asserted by one-off benchmark tests
+but never *recorded*, so regressions between PRs are invisible.  This
+harness runs a small set of pinned quick-tier scenarios and writes a
+schema-versioned ``BENCH_core.json`` (``repro.bench/v1``) at the repo
+root, with full run metadata (git SHA, date, tier, host), so every commit
+can be compared against the committed ``benchmarks/baseline.json``:
+
+* ``sim_throughput`` — scalar vs. kernel branches/sec per predictor
+  family (plus TAGE-SC-L, scalar only);
+* ``trace_store`` — cold (generate + publish) vs. warm (one ``.npz``
+  read) trace acquisition;
+* ``jobs_scaling`` — wall clock for a fixed simulation batch at
+  ``--jobs 1/2/4`` over a pre-warmed trace store;
+* ``table1`` — cold and warm wall clock for the ``table1`` experiment
+  (the warm render is the pinned metric).
+
+Run with ``python -m repro.bench`` (or ``benchmarks/perf_trajectory.py``);
+CI runs it on every push, uploads the artifact, and soft-fails only on
+schema errors or a > ``DEFAULT_TOLERANCE`` regression vs. the baseline —
+the wide band absorbs shared-runner noise while still catching order-of-
+magnitude slips.  See ``docs/benchmarking.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+BENCH_SCHEMA_VERSION = "repro.bench/v1"
+
+#: Relative regression band for the baseline comparison (CI fails past it).
+DEFAULT_TOLERANCE = 0.40
+
+#: Wall-clock metrics where both sides sit under this many seconds are
+#: recorded but not compared: a 20 ms cache read can swing 2x run to run
+#: on a shared machine, and a relative band on it would only flap CI.
+MIN_COMPARABLE_SECONDS = 0.25
+
+#: Repo root (…/src/repro/bench/__init__.py -> three levels up).
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+#: Default artifact/baseline locations.
+DEFAULT_OUT = REPO_ROOT / "BENCH_core.json"
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baseline.json"
+
+
+@dataclass
+class BenchConfig:
+    """Pinned scenario parameters (tests shrink these; the CLI never does)."""
+
+    workload: str = "605.mcf_s"
+    extra_workload: str = "625.x264_s"  # second trace for the scaling batch
+    input_index: int = 0
+    instructions: Optional[int] = None  # None = active tier's spec length
+    repeats: int = 2  # best-of-N for the throughput timings
+    kernel_predictors: Tuple[str, ...] = ("bimodal", "gshare", "two-level-local")
+    scalar_predictors: Tuple[str, ...] = ("tage-sc-l-8kb",)
+    jobs_levels: Tuple[int, ...] = (1, 2, 4)
+    # The scaling batch wants sims heavy enough to amortize pool startup;
+    # the cheap kernel predictors finish in ~50ms and would *anti*-scale.
+    scaling_predictor: str = "tage-sc-l-8kb"
+    scaling_inputs: Tuple[int, ...] = (0, 1)
+    table1_cold_jobs: int = 4
+
+
+#: Scenario registry: name -> fn(config, metrics, echo).
+SCENARIOS: Dict[str, Callable[[BenchConfig, Dict[str, Dict[str, Any]], Callable], None]] = {}
+
+
+def scenario(name: str):
+    def register(fn):
+        SCENARIOS[name] = fn
+        return fn
+
+    return register
+
+
+def _metric(
+    metrics: Dict[str, Dict[str, Any]],
+    name: str,
+    value: float,
+    unit: str,
+    direction: str,
+) -> None:
+    """Record one metric.  ``direction`` is ``higher``/``lower`` (better)
+    or ``info`` (excluded from the baseline comparison)."""
+    metrics[name] = {"value": float(value), "unit": unit, "direction": direction}
+
+
+def _best_of(n: int, fn: Callable[[], Any]) -> Tuple[float, Any]:
+    """Minimum wall time over ``n`` runs (and the last return value)."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, n)):
+        t0 = perf_counter()
+        result = fn()
+        best = min(best, perf_counter() - t0)
+    return best, result
+
+
+def _instructions(config: BenchConfig) -> int:
+    if config.instructions is not None:
+        return config.instructions
+    from repro.config import active_tier
+
+    return active_tier().spec_instructions
+
+
+def _pinned_trace(
+    config: BenchConfig,
+    workload: Optional[str] = None,
+    input_index: Optional[int] = None,
+):
+    from repro.experiments.lab import workload_spec
+    from repro.workloads import trace_workload
+
+    return trace_workload(
+        workload_spec(workload or config.workload),
+        config.input_index if input_index is None else input_index,
+        instructions=_instructions(config),
+    )
+
+
+@scenario("sim_throughput")
+def _bench_sim_throughput(config: BenchConfig, metrics, echo) -> None:
+    """Scalar vs. kernel branches/sec for each predictor family."""
+    from repro.experiments.lab import PREDICTOR_FACTORIES
+    from repro.pipeline.simulator import simulate_trace
+
+    trace = _pinned_trace(config)
+    branches = len(trace.trace)
+    saved = os.environ.get("REPRO_KERNELS")
+
+    def run(label: str):
+        return simulate_trace(trace.trace, PREDICTOR_FACTORIES[label]())
+
+    try:
+        for label in config.kernel_predictors:
+            os.environ["REPRO_KERNELS"] = "0"
+            t_scalar, _ = _best_of(config.repeats, lambda: run(label))
+            os.environ["REPRO_KERNELS"] = "1"
+            t_kernel, _ = _best_of(config.repeats, lambda: run(label))
+            _metric(metrics, f"sim.{label}.scalar.branches_per_sec",
+                    branches / t_scalar, "branches/s", "higher")
+            _metric(metrics, f"sim.{label}.kernel.branches_per_sec",
+                    branches / t_kernel, "branches/s", "higher")
+            _metric(metrics, f"sim.{label}.kernel_speedup",
+                    t_scalar / t_kernel, "x", "info")
+            echo(f"  {label}: scalar {branches / t_scalar:,.0f}/s, "
+                 f"kernel {branches / t_kernel:,.0f}/s "
+                 f"({t_scalar / t_kernel:.1f}x)")
+        for label in config.scalar_predictors:
+            os.environ["REPRO_KERNELS"] = "0"
+            t_scalar, _ = _best_of(1, lambda: run(label))
+            _metric(metrics, f"sim.{label}.scalar.branches_per_sec",
+                    branches / t_scalar, "branches/s", "higher")
+            echo(f"  {label}: scalar {branches / t_scalar:,.0f}/s")
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_KERNELS", None)
+        else:
+            os.environ["REPRO_KERNELS"] = saved
+
+
+@scenario("trace_store")
+def _bench_trace_store(config: BenchConfig, metrics, echo) -> None:
+    """Cold (generate + publish) vs. warm (.npz read) trace acquisition."""
+    from repro.workloads.trace_store import TraceStore
+
+    n = _instructions(config)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as d:
+        store = TraceStore(d)
+
+        t0 = perf_counter()
+        generated = _pinned_trace(config)
+        store.store(config.workload, config.input_index, n, generated.trace)
+        cold_s = perf_counter() - t0
+
+        warm_s, loaded = _best_of(
+            config.repeats,
+            lambda: store.load(config.workload, config.input_index, n),
+        )
+        assert loaded is not None
+    _metric(metrics, "trace_store.cold_s", cold_s, "s", "lower")
+    _metric(metrics, "trace_store.warm_s", warm_s, "s", "lower")
+    _metric(metrics, "trace_store.speedup", cold_s / warm_s if warm_s else 0.0,
+            "x", "info")
+    echo(f"  cold {cold_s:.3f}s, warm {warm_s:.4f}s")
+
+
+@scenario("jobs_scaling")
+def _bench_jobs_scaling(config: BenchConfig, metrics, echo) -> None:
+    """Wall clock for one fixed simulation batch at each --jobs level.
+
+    Every level gets a fresh cache directory (so simulations are really
+    recomputed) pre-warmed with the generated traces (so trace generation
+    is excluded and workers read through the shared store).
+    """
+    from repro.experiments.lab import Lab
+    from repro.workloads.trace_store import TraceStore
+
+    n = _instructions(config)
+    workloads = [config.workload, config.extra_workload]
+    pairs = [(w, i) for w in workloads for i in config.scaling_inputs]
+    traces = {(w, i): _pinned_trace(config, w, i) for w, i in pairs}
+    requests = [(w, i, config.scaling_predictor, n) for w, i in pairs]
+    base_s: Optional[float] = None
+    for jobs in config.jobs_levels:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-jobs-") as d:
+            store = TraceStore(d)
+            for (w, i), tr in traces.items():
+                store.store(w, i, n, tr.trace)
+            lab = Lab(cache_dir=d, jobs=jobs)
+            try:
+                t0 = perf_counter()
+                lab.prefetch(requests)
+                for w, i, p, size in requests:
+                    lab.simulate(w, i, p, instructions=size)
+                wall_s = perf_counter() - t0
+            finally:
+                lab.close()
+        _metric(metrics, f"parallel.jobs{jobs}.wall_s", wall_s, "s", "lower")
+        if base_s is None:
+            base_s = wall_s
+        else:
+            _metric(metrics, f"parallel.jobs{jobs}.speedup", base_s / wall_s,
+                    "x", "info")
+        echo(f"  jobs={jobs}: {wall_s:.2f}s")
+
+
+@scenario("table1")
+def _bench_table1(config: BenchConfig, metrics, echo) -> None:
+    """Cold and warm wall clock for the ``table1`` experiment."""
+    from repro.experiments.lab import Lab
+    from repro.experiments.runner import run_experiments
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-table1-") as d:
+        lab = Lab(cache_dir=d, jobs=config.table1_cold_jobs)
+        try:
+            t0 = perf_counter()
+            run_experiments(["table1"], lab, echo=lambda _line: None)
+            cold_s = perf_counter() - t0
+        finally:
+            lab.close()
+        lab = Lab(cache_dir=d, jobs=1)
+        try:
+            t0 = perf_counter()
+            run_experiments(["table1"], lab, echo=lambda _line: None)
+            warm_s = perf_counter() - t0
+        finally:
+            lab.close()
+    _metric(metrics, "table1.cold_s", cold_s, "s", "info")
+    _metric(metrics, "table1.warm_s", warm_s, "s", "lower")
+    echo(f"  cold {cold_s:.1f}s (jobs={config.table1_cold_jobs}), warm {warm_s:.2f}s")
+
+
+def run_benchmarks(
+    config: Optional[BenchConfig] = None,
+    only: Optional[Sequence[str]] = None,
+    echo: Callable[[str], None] = print,
+) -> Dict[str, Any]:
+    """Run the pinned scenarios; returns the ``repro.bench/v1`` document."""
+    from repro.config import active_tier
+    from repro.obs.runmeta import run_metadata
+
+    config = config or BenchConfig()
+    selected = list(only) if only else list(SCENARIOS)
+    unknown = [s for s in selected if s not in SCENARIOS]
+    if unknown:
+        raise ValueError(f"unknown scenarios: {unknown}; choose from {list(SCENARIOS)}")
+
+    metrics: Dict[str, Dict[str, Any]] = {}
+    timings: Dict[str, float] = {}
+    for name in selected:
+        echo(f"[bench] {name}")
+        t0 = perf_counter()
+        SCENARIOS[name](config, metrics, echo)
+        timings[name] = perf_counter() - t0
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "meta": run_metadata(),
+        "config": {
+            "tier": active_tier().name,
+            "workload": config.workload,
+            "instructions": _instructions(config),
+            "repeats": config.repeats,
+            "scenarios": selected,
+        },
+        "scenario_seconds": {k: round(v, 3) for k, v in timings.items()},
+        "metrics": metrics,
+    }
+
+
+def validate_bench_doc(doc: Dict[str, Any]) -> None:
+    """Schema check for a bench document; raises ``ValueError`` on errors."""
+    if doc.get("schema") != BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported bench schema {doc.get('schema')!r}; "
+            f"expected {BENCH_SCHEMA_VERSION}"
+        )
+    for key in ("meta", "config", "metrics"):
+        if key not in doc:
+            raise ValueError(f"bench document missing {key!r}")
+    if not isinstance(doc["metrics"], dict) or not doc["metrics"]:
+        raise ValueError("bench document has no metrics")
+    for name, m in doc["metrics"].items():
+        if not isinstance(m, dict):
+            raise ValueError(f"metric {name!r} is not an object")
+        for key in ("value", "unit", "direction"):
+            if key not in m:
+                raise ValueError(f"metric {name!r} missing {key!r}")
+        if m["direction"] not in ("higher", "lower", "info"):
+            raise ValueError(f"metric {name!r} has bad direction {m['direction']!r}")
+        if not isinstance(m["value"], (int, float)):
+            raise ValueError(f"metric {name!r} value is not numeric")
+
+
+def compare_to_baseline(
+    doc: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> List[Dict[str, Any]]:
+    """Direction-aware comparison; returns the out-of-band regressions.
+
+    Only metrics present in *both* documents with a better-direction
+    (``higher``/``lower``) participate; ``info`` metrics, metrics added or
+    removed between versions, and sub-:data:`MIN_COMPARABLE_SECONDS`
+    wall-clock metrics never fail the comparison.
+    """
+    regressions: List[Dict[str, Any]] = []
+    base_metrics = baseline.get("metrics", {})
+    for name, m in doc.get("metrics", {}).items():
+        base = base_metrics.get(name)
+        direction = m.get("direction")
+        if base is None or direction not in ("higher", "lower"):
+            continue
+        cur_v, base_v = float(m["value"]), float(base["value"])
+        if base_v <= 0:
+            continue
+        if m.get("unit") == "s" and max(cur_v, base_v) < MIN_COMPARABLE_SECONDS:
+            continue
+        ratio = cur_v / base_v
+        bad = ratio < (1.0 - tolerance) if direction == "higher" else ratio > (
+            1.0 + tolerance
+        )
+        if bad:
+            regressions.append(
+                {
+                    "metric": name,
+                    "direction": direction,
+                    "current": cur_v,
+                    "baseline": base_v,
+                    "ratio": ratio,
+                }
+            )
+    return regressions
+
+
+def write_bench_json(doc: Dict[str, Any], path) -> Path:
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with open(out, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return out
+
+
+def load_bench_json(path) -> Dict[str, Any]:
+    with open(path) as f:
+        return json.load(f)

@@ -1,0 +1,103 @@
+"""``python -m repro.bench``: run the pinned perf-trajectory scenarios.
+
+Writes a ``repro.bench/v1`` document (default: ``BENCH_core.json`` at the
+repo root) and, when a baseline exists, reports direction-aware
+regressions beyond the tolerance band.  Exit status: 0 clean, 1 schema
+error or out-of-band regression (with ``--check``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.bench import (
+    DEFAULT_BASELINE,
+    DEFAULT_OUT,
+    DEFAULT_TOLERANCE,
+    SCENARIOS,
+    BenchConfig,
+    compare_to_baseline,
+    load_bench_json,
+    run_benchmarks,
+    validate_bench_doc,
+    write_bench_json,
+)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench",
+        description="Run the pinned perf-trajectory benchmark scenarios.",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(DEFAULT_OUT),
+        metavar="PATH",
+        help=f"output document (default: {DEFAULT_OUT})",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE),
+        metavar="PATH",
+        help=f"baseline document to compare against (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        metavar="FRAC",
+        help="relative regression band for the comparison "
+        f"(default: {DEFAULT_TOLERANCE})",
+    )
+    parser.add_argument(
+        "--only",
+        action="append",
+        metavar="SCENARIO",
+        help=f"run only this scenario (repeatable). Choices: {', '.join(SCENARIOS)}",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if any metric regresses beyond the tolerance vs. the "
+        "baseline (schema errors always exit 1)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list scenario names and exit"
+    )
+    args = parser.parse_args(argv)
+    if args.list:
+        for name in SCENARIOS:
+            print(name)
+        return 0
+
+    try:
+        doc = run_benchmarks(only=args.only)
+    except ValueError as exc:
+        parser.error(str(exc))
+    validate_bench_doc(doc)
+    out = write_bench_json(doc, args.out)
+    print(f"\nwrote {out} ({len(doc['metrics'])} metrics, "
+          f"schema {doc['schema']})")
+
+    try:
+        baseline = load_bench_json(args.baseline)
+    except (OSError, ValueError):
+        print(f"no readable baseline at {args.baseline}; comparison skipped")
+        return 0
+    regressions = compare_to_baseline(doc, baseline, tolerance=args.tolerance)
+    if not regressions:
+        print(f"baseline comparison clean (tolerance {args.tolerance:.0%})")
+        return 0
+    print(f"{len(regressions)} metric(s) beyond the {args.tolerance:.0%} band:")
+    for r in regressions:
+        print(
+            f"  {r['metric']}: {r['current']:.4g} vs baseline "
+            f"{r['baseline']:.4g} ({r['ratio']:.2f}x, want {r['direction']})"
+        )
+    return 1 if args.check else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

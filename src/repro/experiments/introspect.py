@@ -1,0 +1,179 @@
+"""The ``introspect`` experiment: provider attribution for a workload's H2Ps.
+
+Reproduces the paper's Table-III-style *where do the predictions come
+from* breakdown using the :mod:`repro.obs.introspect` channel instead of
+aggregate counters: for each benchmark, the H2P set is screened the usual
+way (accuracy < 99%, execution/misprediction floors) and each H2P's
+predictions are attributed to the TAGE structure that produced them —
+bimodal base, alternate prediction, or a specific tagged table — alongside
+loop-predictor overrides, SC flips, allocation churn, and a per-slice
+mispredict heatmap row.
+
+Simulations here deliberately bypass the Lab's simulation cache: the
+channel only sees branches that are actually simulated, and the predictor
+is built fresh with allocation tracking on.  Traces still come from the
+Lab (memory/disk/trace-store cached as usual).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.h2p import screen_workload
+from repro.config import SLICE_INSTRUCTIONS
+from repro.experiments.lab import PREDICTOR_FACTORIES, Lab, default_lab
+from repro.experiments.reporting import format_table
+from repro.obs import introspect
+from repro.pipeline.simulator import simulate_trace
+from repro.predictors.tagescl import make_tage_sc_l
+from repro.workloads import SPECINT_WORKLOADS
+
+#: Heavy hitters shown per benchmark.
+TOP_BRANCHES = 3
+
+#: Width of the rendered per-slice mispredict sparkline.
+HEATMAP_CELLS = 10
+
+_PRESET_RE = re.compile(r"^tage-sc-l-(\d+)kb$")
+
+
+@dataclass(frozen=True)
+class IntrospectRow:
+    """One H2P's attribution summary."""
+
+    benchmark: str
+    ip: int
+    executions: int
+    mispredictions: int
+    accuracy: float
+    top_source: str  # dominant provider key, e.g. "table7" / "alt" / "base"
+    top_source_frac: float
+    alt_frac: float
+    loop_used: int
+    sc_flipped: int
+    allocations: int
+    unique_entries: int
+    heat: str  # per-slice mispredict sparkline
+
+
+@dataclass(frozen=True)
+class IntrospectStudy:
+    predictor: str
+    rows: Tuple[IntrospectRow, ...]
+    reports: Tuple[Dict, ...]  # raw channel reports, one per benchmark
+
+    def render(self) -> str:
+        headers = [
+            "benchmark", "ip", "execs", "mispred", "acc",
+            "top source", "alt%", "loop", "sc flip", "allocs", "entries",
+            "mispredicts/slice",
+        ]
+        table_rows = [
+            (
+                r.benchmark,
+                f"0x{r.ip:x}",
+                r.executions,
+                r.mispredictions,
+                round(r.accuracy, 4),
+                f"{r.top_source} ({r.top_source_frac:.0%})",
+                f"{r.alt_frac:.0%}",
+                r.loop_used,
+                r.sc_flipped,
+                r.allocations,
+                r.unique_entries,
+                r.heat,
+            )
+            for r in self.rows
+        ]
+        return format_table(
+            headers,
+            table_rows,
+            title=f"Prediction introspection: H2P provider attribution ({self.predictor})",
+        )
+
+
+def _sparkline(slice_mis: Dict[str, int]) -> str:
+    """Fixed-width per-slice mispredict density as 0-9 digits."""
+    if not slice_mis:
+        return "-" * HEATMAP_CELLS
+    n = max(int(k) for k in slice_mis) + 1
+    counts = [0] * max(n, 1)
+    for k, v in slice_mis.items():
+        counts[int(k)] = v
+    # Re-bin to HEATMAP_CELLS columns.
+    cells = [0] * HEATMAP_CELLS
+    for i, c in enumerate(counts):
+        cells[i * HEATMAP_CELLS // len(counts)] += c
+    peak = max(cells) or 1
+    return "".join(str(min(9, (9 * c) // peak)) for c in cells)
+
+
+def _build_predictor(predictor: str):
+    """Factory lookup with allocation tracking forced on for the presets."""
+    m = _PRESET_RE.match(predictor)
+    if m:
+        return make_tage_sc_l(int(m.group(1)), track_allocations=True)
+    return PREDICTOR_FACTORIES[predictor]()
+
+
+def compute_introspect(
+    lab: Optional[Lab] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    predictor: str = "tage-sc-l-8kb",
+    top_branches: int = TOP_BRANCHES,
+) -> IntrospectStudy:
+    lab = lab or default_lab()
+    names = list(benchmarks) if benchmarks else [w.name for w in SPECINT_WORKLOADS]
+    rows: List[IntrospectRow] = []
+    reports: List[Dict] = []
+    was_enabled = introspect.is_enabled()
+    introspect.enable_introspection()
+    try:
+        for name in names:
+            trace = lab.trace(name, 0)
+            introspect.set_context(workload=name, input_name=0)
+            result = simulate_trace(
+                trace.trace,
+                _build_predictor(predictor),
+                slice_instructions=SLICE_INSTRUCTIONS,
+            )
+            report = introspect.reports()[-1]
+            reports.append(report)
+            screened = screen_workload(name, "input0", result.slice_stats)
+            h2p_ips = screened.union_h2p_ips
+            shown = 0
+            for entry in report["branches"]:
+                if entry["ip"] not in h2p_ips:
+                    continue
+                providers = entry.get("provider", {})
+                total = sum(providers.values()) or 1
+                top_key, top_n = ("-", 0)
+                if providers:
+                    top_key, top_n = max(providers.items(), key=lambda kv: kv[1])
+                rows.append(
+                    IntrospectRow(
+                        benchmark=name,
+                        ip=entry["ip"],
+                        executions=entry["executions"],
+                        mispredictions=entry["mispredictions"],
+                        accuracy=entry["accuracy"],
+                        top_source=top_key,
+                        top_source_frac=top_n / total,
+                        alt_frac=providers.get("alt", 0) / total,
+                        loop_used=entry.get("loop_used", 0),
+                        sc_flipped=entry.get("sc_flipped", 0),
+                        allocations=entry.get("allocations", 0),
+                        unique_entries=entry.get("unique_entries", 0),
+                        heat=_sparkline(entry.get("slice_mispredicts", {})),
+                    )
+                )
+                shown += 1
+                if shown >= top_branches:
+                    break
+    finally:
+        if not was_enabled:
+            introspect.disable_introspection()
+        introspect.set_context(None, None)
+    return IntrospectStudy(predictor=predictor, rows=tuple(rows), reports=tuple(reports))

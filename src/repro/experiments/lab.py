@@ -20,6 +20,7 @@ from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro import obs
+from repro.obs import introspect
 from repro.core.metrics import BranchStats
 from repro.core.types import WorkloadTrace
 from repro.experiments.config import (
@@ -267,6 +268,11 @@ class Lab:
             "lab.simulate", workload=name, input=input_index, predictor=predictor
         ):
             trace = self.trace(name, input_index, n)
+            if introspect.is_enabled():
+                # Label the simulation's introspection report; note that
+                # cache hits above never reach this point, so reports only
+                # exist for actually-simulated (workload, input) pairs.
+                introspect.set_context(workload=name, input_name=input_index)
             result = simulate_trace(
                 trace.trace,
                 PREDICTOR_FACTORIES[predictor](),

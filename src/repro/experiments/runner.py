@@ -12,6 +12,7 @@ import argparse
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro import obs
+from repro.obs.trace import trace_out_path
 from repro.experiments.allocation_study import compute_allocation_study
 from repro.experiments.cnn_study import compute_cnn_study
 from repro.experiments.fig1 import compute_fig1
@@ -22,6 +23,7 @@ from repro.experiments.fig7 import compute_fig7
 from repro.experiments.fig8 import compute_fig8
 from repro.experiments.fig9 import compute_fig9
 from repro.experiments.fig10 import compute_fig10
+from repro.experiments.introspect import compute_introspect
 from repro.experiments.lab import Lab
 from repro.experiments.phase_study import compute_phase_study
 from repro.experiments.plans import EXPERIMENT_PLANS
@@ -55,6 +57,7 @@ EXPERIMENTS: Dict[str, Callable[[Lab], str]] = {
     "fig8": lambda lab: compute_fig8(lab).render(),
     "fig9": lambda lab: compute_fig9(lab).render(),
     "fig10": lambda lab: compute_fig10(lab).render(),
+    "introspect": lambda lab: compute_introspect(lab).render(),
     "allocation": lambda lab: compute_allocation_study(lab).render(),
     "cnn": lambda lab: compute_cnn_study(lab).render(),
     "phase": lambda lab: compute_phase_study(lab).render(),
@@ -150,6 +153,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "as JSON to PATH at end of run",
     )
     parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome-trace-event/Perfetto timeline of the run to "
+        "PATH (also enabled by REPRO_TRACE_OUT; implies metrics collection)",
+    )
+    parser.add_argument(
+        "--introspect-out",
+        default=None,
+        metavar="PATH",
+        help="enable per-branch prediction introspection (REPRO_INTROSPECT=1) "
+        "and write the collected reports as JSON to PATH",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list experiment names and exit"
     )
     args = parser.parse_args(argv)
@@ -161,6 +178,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     obs.configure_logging(args.log_level)
     if args.metrics_out:
         obs.enable()
+    trace_out = args.trace_out or trace_out_path()
+    if trace_out:
+        # Spans only record while metrics collection is on, so the timeline
+        # implies it; the collector itself starts here (epoch = run start).
+        obs.enable()
+        obs.enable_tracing()
+    if args.introspect_out:
+        obs.enable_introspection()
 
     lab = Lab(cache_dir=args.cache_dir, jobs=args.jobs, resume=args.resume or None)
     try:
@@ -175,4 +200,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.metrics_out:
         path = obs.write_metrics_json(args.metrics_out)
         _log.info("wrote metrics JSON to %s", path)
+    if trace_out:
+        path = obs.write_trace_json(trace_out)
+        print(f"timeline trace written to {path} "
+              "(open in chrome://tracing or https://ui.perfetto.dev)")
+    if args.introspect_out:
+        path = obs.write_introspect_json(args.introspect_out)
+        _log.info("wrote introspection JSON to %s", path)
     return 0

@@ -36,12 +36,19 @@ TraceKernel = Callable[[np.ndarray, np.ndarray], np.ndarray]
 
 @dataclass
 class VectorizedScore:
-    """What the vectorized path accumulated for one (trace, predictor)."""
+    """What the vectorized path accumulated for one (trace, predictor).
+
+    The ``intro_*`` arrays (the scored mispredictions' IPs and instruction
+    positions) are populated only when scoring was asked to collect
+    introspection data; normal callers see ``None``.
+    """
 
     stats: BranchStats
     slice_stats: Optional[List[BranchStats]]
     mispredict_positions: Optional[np.ndarray]
     cond_branches: int
+    intro_mis_ips: Optional[np.ndarray] = None
+    intro_mis_pos: Optional[np.ndarray] = None
 
 
 @dataclass(frozen=True)
@@ -169,8 +176,15 @@ def score_with_kernel(
     slice_instructions: Optional[int] = None,
     record_mispredict_positions: bool = False,
     warmup_branches: int = 0,
+    collect_introspection: bool = False,
 ) -> VectorizedScore:
-    """Drive ``kernel`` over ``trace`` and score it like the scalar loop."""
+    """Drive ``kernel`` over ``trace`` and score it like the scalar loop.
+
+    ``collect_introspection`` additionally exposes the mispredicted
+    branches' IPs and positions (``intro_mis_ips``/``intro_mis_pos``) —
+    nearly free here, since the wrongness mask already exists — without
+    changing the scored result.
+    """
     if slice_instructions is not None and slice_instructions <= 0:
         raise ValueError("slice_instructions must be positive")
     ips_c, taken_c, pos_c = trace.conditional_columns()
@@ -216,9 +230,16 @@ def score_with_kernel(
     if record_mispredict_positions:
         mis_positions = pos_c[w:][s_wrong].astype(np.int64, copy=True)
 
+    intro_mis_ips = intro_mis_pos = None
+    if collect_introspection:
+        intro_mis_ips = ips_c[w:][s_wrong]
+        intro_mis_pos = pos_c[w:][s_wrong]
+
     return VectorizedScore(
         stats=stats,
         slice_stats=slice_list,
         mispredict_positions=mis_positions,
         cond_branches=int(len(ips_c)),
+        intro_mis_ips=intro_mis_ips,
+        intro_mis_pos=intro_mis_pos,
     )

@@ -1,10 +1,12 @@
 """Exporters: human end-of-run summary and JSON metrics dump.
 
-The JSON schema (``repro.obs/v1``) is documented in
+The JSON schema (``repro.obs/v2``) is documented in
 ``docs/observability.md``; briefly::
 
     {
-      "schema": "repro.obs/v1",
+      "schema": "repro.obs/v2",
+      "meta":     {"git_sha": "...", "date": "...", "tier": "quick",
+                   "seed": 0, "python": "...", "numpy": "...", ...},
       "counters": {"sim.branches": 123, ...},
       "gauges":   {"sim.branches_per_sec": 1.2e6, ...},
       "timers":   {"sim.trace": {"calls":..,"count":..,"total_s":..,
@@ -13,6 +15,10 @@ The JSON schema (``repro.obs/v1``) is documented in
       "spans":    [{"name":"table1","duration_s":..,"self_s":..,
                     "attrs":{...},"children":[...]}, ...]
     }
+
+v1 files (no ``meta`` header) are still readable: :func:`read_metrics_json`
+accepts both versions and returns a v2-shaped document (v1 gets an empty
+``meta``).
 """
 
 from __future__ import annotations
@@ -22,10 +28,14 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from repro.obs.registry import registry
+from repro.obs.runmeta import run_metadata
 from repro.obs.spans import span_trees
 from repro.obs.util import format_duration
 
-METRICS_SCHEMA_VERSION = "repro.obs/v1"
+METRICS_SCHEMA_VERSION = "repro.obs/v2"
+
+#: Schema versions :func:`read_metrics_json` accepts.
+READABLE_SCHEMA_VERSIONS = ("repro.obs/v1", "repro.obs/v2")
 
 
 def snapshot(extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
@@ -33,6 +43,7 @@ def snapshot(extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
     reg = registry()
     doc: Dict[str, Any] = {
         "schema": METRICS_SCHEMA_VERSION,
+        "meta": run_metadata(),
         "counters": reg.counters_dict(),
         "gauges": reg.gauges_dict(),
         "timers": reg.timers_dict(),
@@ -40,6 +51,25 @@ def snapshot(extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
     }
     if extra:
         doc.update(extra)
+    return doc
+
+
+def read_metrics_json(path) -> Dict[str, Any]:
+    """Load a metrics file written by any supported schema version.
+
+    v1 files (pre run-metadata) are upgraded in memory to the v2 shape:
+    they gain an empty ``meta`` dict, so readers can rely on the key being
+    present.  Unknown schemas raise ``ValueError``.
+    """
+    with open(path) as f:
+        doc = json.load(f)
+    schema = doc.get("schema")
+    if schema not in READABLE_SCHEMA_VERSIONS:
+        raise ValueError(
+            f"unsupported metrics schema {schema!r} in {path}; "
+            f"expected one of {READABLE_SCHEMA_VERSIONS}"
+        )
+    doc.setdefault("meta", {})
     return doc
 
 

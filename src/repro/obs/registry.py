@@ -220,8 +220,8 @@ class MetricsRegistry:
 
     def snapshot_for_merge(self) -> Dict[str, object]:
         """Mergeable view of this registry: counters, gauges, and timer
-        aggregates.  Ring samples are not exported, so percentiles on the
-        receiving side reflect only locally observed durations."""
+        aggregates plus the (bounded) duration-sample ring, so percentiles
+        survive cross-process merges instead of collapsing to zero."""
         return {
             "counters": self.counters_dict(),
             "gauges": self.gauges_dict(),
@@ -232,6 +232,7 @@ class MetricsRegistry:
                     "total_s": t.total_s,
                     "min_s": t.min_s if t.count else 0.0,
                     "max_s": t.max_s,
+                    "samples": list(t._ring),
                 }
                 for name, t in sorted(self._timers.items())
             },
@@ -259,6 +260,14 @@ class MetricsRegistry:
                     t.min_s = agg["min_s"]
                 if agg.get("max_s", 0.0) > t.max_s:
                     t.max_s = agg["max_s"]
+                ring = t._ring
+                slot = t.count
+                for seconds in agg.get("samples", ()):
+                    if len(ring) < _TIMER_RING:
+                        ring.append(seconds)
+                    else:
+                        ring[slot % _TIMER_RING] = seconds
+                        slot += 1
 
     # -- introspection ----------------------------------------------------
 
@@ -302,11 +311,14 @@ def is_enabled() -> bool:
 
 
 def reset() -> None:
-    """Clear all collected metrics and spans (enabled state unchanged)."""
-    from repro.obs import spans  # local import: spans depends on this module
+    """Clear all collected metrics, spans, trace events, and introspection
+    reports (enabled states unchanged)."""
+    from repro.obs import introspect, spans, trace  # local: avoid cycles
 
     _REGISTRY.reset()
     spans.reset_spans()
+    trace.reset_trace()
+    introspect.reset_introspection()
 
 
 def counter(name: str, amount: int = 1) -> None:

@@ -20,6 +20,7 @@ import threading
 from time import perf_counter
 from typing import Any, Dict, List, Optional
 
+from repro.obs import trace
 from repro.obs.registry import is_enabled
 
 
@@ -95,6 +96,9 @@ class _SpanContext:
         if not stack:
             with _ROOTS_LOCK:
                 _ROOTS.append(sp)
+        # Mirror the finished interval onto the timeline (no-op fast path
+        # inside when tracing is off).
+        trace.span_event(sp.name, sp.start_s, sp.end_s, sp.attrs)
 
 
 _LOCAL = threading.local()

@@ -1,0 +1,323 @@
+"""Timeline trace export in the Chrome trace-event format.
+
+Where the metrics registry answers "how much" and span trees answer "what
+nested inside what", a *timeline* answers "when, and on which lane": a
+``table1 --jobs 4`` run renders as one lane per worker process plus the
+parent's experiment spans, with queue wait, retries, pool rebuilds, serial
+fallbacks, and injected faults visible as events.  The exported file is
+plain `Chrome trace-event JSON`__ — open it directly in ``chrome://tracing``
+or https://ui.perfetto.dev.
+
+__ https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+Collection follows the ``repro.obs`` contract: **off by default, one
+attribute check when disabled**.  Enable with :func:`enable_tracing` (the
+runner does this for ``--trace-out`` / ``REPRO_TRACE_OUT``); events
+accumulate in memory and :func:`write_trace_json` renders them.
+
+Event sources
+-------------
+
+* every recorded **span** becomes a complete (``ph: "X"``) event on its
+  thread's lane;
+* the parallel scheduler emits one complete event per **worker job** on a
+  per-worker-process lane (plus a ``queue_wait`` event covering submit →
+  start), reconstructed in the parent from each job's
+  :class:`~repro.parallel.jobs.WorkerReport` — workers never write to the
+  collector themselves;
+* **instant** (``ph: "i"``) events mark scheduler recoveries (retry, pool
+  rebuild, job timeout, serial fallback) and every injected fault from
+  :mod:`repro.resilience.faults`.
+
+Two clocks feed the timeline: spans carry ``perf_counter`` timestamps,
+worker reports carry ``monotonic`` ones.  Both epochs are captured at
+:func:`enable_tracing` time and each event kind is converted against its
+own epoch (on Linux the two clocks share CLOCK_MONOTONIC, so the lanes
+line up exactly).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from time import monotonic, perf_counter
+from typing import Any, Dict, List, Optional
+
+#: Hard cap on retained events; a runaway sweep degrades to dropping
+#: events (counted in ``dropped_events``) instead of exhausting memory.
+MAX_TRACE_EVENTS = 200_000
+
+#: Lane (``tid``) reserved for the main thread.
+MAIN_LANE = 0
+
+
+class TraceCollector:
+    """In-memory store of trace events for one process."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._lock = threading.Lock()
+        self._events: List[Dict[str, Any]] = []
+        self._lanes: Dict[str, int] = {}
+        self._next_lane = 1
+        self._pc0 = 0.0
+        self._mono0 = 0.0
+        self._pid = 0
+        self.dropped_events = 0
+        self._main_thread = threading.main_thread().ident
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def enable(self) -> None:
+        """Start collecting; both clock epochs are captured now."""
+        self._pc0 = perf_counter()
+        self._mono0 = monotonic()
+        self._pid = os.getpid()
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self._lanes.clear()
+            self._next_lane = 1
+            self.dropped_events = 0
+
+    # -- lanes -------------------------------------------------------------
+
+    def lane(self, name: str) -> int:
+        """Stable ``tid`` for a named lane (allocated on first use)."""
+        with self._lock:
+            tid = self._lanes.get(name)
+            if tid is None:
+                tid = self._lanes[name] = self._next_lane
+                self._next_lane += 1
+            return tid
+
+    def _thread_lane(self) -> int:
+        ident = threading.get_ident()
+        if ident == self._main_thread:
+            return MAIN_LANE
+        return self.lane(f"thread-{ident}")
+
+    # -- event recording ---------------------------------------------------
+
+    def _append(self, event: Dict[str, Any]) -> None:
+        with self._lock:
+            if len(self._events) >= MAX_TRACE_EVENTS:
+                self.dropped_events += 1
+                return
+            self._events.append(event)
+
+    def complete_pc(
+        self,
+        name: str,
+        start_pc: float,
+        end_pc: float,
+        tid: Optional[int] = None,
+        args: Optional[Dict[str, Any]] = None,
+        cat: str = "span",
+    ) -> None:
+        """Complete event from ``perf_counter`` timestamps."""
+        if not self.enabled:
+            return
+        event: Dict[str, Any] = {
+            "name": name,
+            "ph": "X",
+            "cat": cat,
+            "ts": (start_pc - self._pc0) * 1e6,
+            "dur": max(0.0, (end_pc - start_pc)) * 1e6,
+            "pid": self._pid,
+            "tid": self._thread_lane() if tid is None else tid,
+        }
+        if args:
+            event["args"] = args
+        self._append(event)
+
+    def complete_monotonic(
+        self,
+        name: str,
+        start_mono: float,
+        end_mono: float,
+        lane: str,
+        args: Optional[Dict[str, Any]] = None,
+        cat: str = "job",
+    ) -> None:
+        """Complete event from ``monotonic`` timestamps on a named lane."""
+        if not self.enabled:
+            return
+        event: Dict[str, Any] = {
+            "name": name,
+            "ph": "X",
+            "cat": cat,
+            "ts": (start_mono - self._mono0) * 1e6,
+            "dur": max(0.0, (end_mono - start_mono)) * 1e6,
+            "pid": self._pid,
+            "tid": self.lane(lane),
+        }
+        if args:
+            event["args"] = args
+        self._append(event)
+
+    def instant(
+        self,
+        name: str,
+        lane: Optional[str] = None,
+        args: Optional[Dict[str, Any]] = None,
+        cat: str = "event",
+    ) -> None:
+        """Instant event stamped "now"; global scope unless a lane is given."""
+        if not self.enabled:
+            return
+        event: Dict[str, Any] = {
+            "name": name,
+            "ph": "i",
+            "cat": cat,
+            "ts": (perf_counter() - self._pc0) * 1e6,
+            "pid": self._pid,
+            "tid": self._thread_lane() if lane is None else self.lane(lane),
+            "s": "g" if lane is None else "t",
+        }
+        if args:
+            event["args"] = args
+        self._append(event)
+
+    # -- export ------------------------------------------------------------
+
+    def events(self) -> List[Dict[str, Any]]:
+        """Copy of the collected events plus lane-name metadata events."""
+        with self._lock:
+            events = list(self._events)
+            lanes = dict(self._lanes)
+        meta: List[Dict[str, Any]] = [
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": self._pid,
+                "tid": MAIN_LANE,
+                "args": {"name": "main"},
+            }
+        ]
+        for lane_name, tid in sorted(lanes.items(), key=lambda kv: kv[1]):
+            meta.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": self._pid,
+                    "tid": tid,
+                    "args": {"name": lane_name},
+                }
+            )
+        return meta + events
+
+    def document(self, extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """The full trace-event JSON document (``traceEvents`` container)."""
+        from repro.obs.runmeta import run_metadata
+
+        other: Dict[str, Any] = dict(run_metadata())
+        if self.dropped_events:
+            other["dropped_events"] = self.dropped_events
+        if extra:
+            other.update(extra)
+        return {
+            "traceEvents": self.events(),
+            "displayTimeUnit": "ms",
+            "otherData": other,
+        }
+
+
+#: The process-wide collector instance.
+_COLLECTOR = TraceCollector()
+
+
+def collector() -> TraceCollector:
+    """The process-wide :class:`TraceCollector` singleton."""
+    return _COLLECTOR
+
+
+def enable_tracing() -> None:
+    """Start timeline collection for this process."""
+    _COLLECTOR.enable()
+
+
+def disable_tracing() -> None:
+    """Stop timeline collection (collected events are kept until reset)."""
+    _COLLECTOR.disable()
+
+
+def is_tracing() -> bool:
+    return _COLLECTOR.enabled
+
+
+def reset_trace() -> None:
+    """Drop all collected events and lane assignments."""
+    _COLLECTOR.reset()
+
+
+def trace_out_path() -> Optional[str]:
+    """The ``REPRO_TRACE_OUT`` destination, if configured."""
+    path = os.environ.get("REPRO_TRACE_OUT", "").strip()
+    return path or None
+
+
+# -- emit helpers (each starts with the one-attribute disabled check) ------
+
+
+def span_event(name: str, start_pc: float, end_pc: float, attrs=None) -> None:
+    """Record a completed span interval on the calling thread's lane."""
+    if not _COLLECTOR.enabled:
+        return
+    _COLLECTOR.complete_pc(name, start_pc, end_pc, args=attrs or None, cat="span")
+
+
+def worker_job_event(
+    name: str, worker_pid: int, t_start: float, t_end: float, args=None
+) -> None:
+    """Record one worker job on its worker-process lane (monotonic clock)."""
+    if not _COLLECTOR.enabled:
+        return
+    _COLLECTOR.complete_monotonic(
+        name, t_start, t_end, lane=f"worker-{worker_pid}", args=args, cat="job"
+    )
+
+
+def queue_wait_event(worker_pid: int, t_submit: float, t_start: float, args=None) -> None:
+    """Record submit → start queue wait on the worker's lane."""
+    if not _COLLECTOR.enabled:
+        return
+    if t_start < t_submit:  # cross-clock skew: drop rather than lie
+        return
+    _COLLECTOR.complete_monotonic(
+        "queue_wait", t_submit, t_start, lane=f"worker-{worker_pid}",
+        args=args, cat="queue",
+    )
+
+
+def serial_job_event(name: str, t_start: float, t_end: float, args=None) -> None:
+    """Record a degraded in-process job on the dedicated fallback lane."""
+    if not _COLLECTOR.enabled:
+        return
+    _COLLECTOR.complete_monotonic(
+        name, t_start, t_end, lane="serial-fallback", args=args, cat="job"
+    )
+
+
+def instant_event(name: str, args=None, lane: Optional[str] = None) -> None:
+    """Record an instant marker (retry, rebuild, fault, fallback...)."""
+    if not _COLLECTOR.enabled:
+        return
+    _COLLECTOR.instant(name, lane=lane, args=args)
+
+
+def write_trace_json(path, extra: Optional[Dict[str, Any]] = None) -> Path:
+    """Dump the collected timeline to ``path`` (parent dirs created)."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with open(out, "w") as f:
+        json.dump(_COLLECTOR.document(extra), f, indent=1)
+        f.write("\n")
+    return out

@@ -53,12 +53,15 @@ class WorkerReport:
     system-wide, so the parent can difference them against its own submit
     times to estimate queue wait.  ``metrics`` is a
     :meth:`MetricsRegistry.snapshot_for_merge` dict (or ``None`` when
-    collection is disabled) covering exactly this job.
+    collection is disabled) covering exactly this job.  ``pid`` names the
+    executing worker process — the parent's timeline export keys one lane
+    per worker off it.
     """
 
     t_start: float
     t_end: float
     metrics: Optional[Dict[str, Any]] = None
+    pid: int = 0
 
     @property
     def busy_s(self) -> float:
@@ -94,6 +97,11 @@ def worker_init(
         obs.enable()
     else:
         obs.disable()
+    # Timeline collection is parent-only: the parent reconstructs worker
+    # lanes from WorkerReports, so any collector state inherited via fork
+    # is discarded (a worker writing its own file would race the parent's).
+    obs.disable_tracing()
+    obs.reset()
     if log_level is not None:
         obs.configure_logging(log_level)
     if faults_spec is not None:
@@ -174,7 +182,9 @@ def run_sim_job(job: SimJob, fault: Optional[Any] = None):
         trace.trace, predictor, slice_instructions=job.slice_instructions
     )
     metrics = obs.registry().snapshot_for_merge() if _worker_obs_enabled else None
-    return job, result, WorkerReport(t_start=t_start, t_end=monotonic(), metrics=metrics)
+    return job, result, WorkerReport(
+        t_start=t_start, t_end=monotonic(), metrics=metrics, pid=os.getpid()
+    )
 
 
 def run_job_inline(job: SimJob, trace_store_dir: Optional[str] = None):

@@ -40,6 +40,7 @@ from time import monotonic, sleep
 from typing import Callable, Dict, List, Optional
 
 from repro import obs
+from repro.obs import trace as obstrace
 from repro.obs.logconfig import ROOT_LOGGER_NAME, is_configured
 from repro.parallel.jobs import SimJob, run_job_inline, run_sim_job, worker_init
 from repro.resilience import faults
@@ -206,6 +207,9 @@ class ParallelScheduler:
                     attempt + 1, len(remaining),
                 )
                 obs.counter("lab.parallel.serial_fallback", len(remaining))
+                obstrace.instant_event(
+                    "parallel.serial_fallback", args={"jobs": len(remaining)}
+                )
                 failed += self._run_serial(remaining, on_result)
                 remaining = []
                 break
@@ -213,6 +217,10 @@ class ParallelScheduler:
             delay = self.backoff_s * (2 ** (attempt - 1))
             obs.counter("lab.parallel.retries")
             obs.counter("lab.parallel.jobs.resubmitted", len(remaining))
+            obstrace.instant_event(
+                "parallel.retry",
+                args={"attempt": attempt, "jobs": len(remaining)},
+            )
             _log.warning(
                 "pool fault: resubmitting %d job(s), attempt %d/%d%s",
                 len(remaining), attempt, self.retries,
@@ -282,6 +290,16 @@ class ParallelScheduler:
                 if report.metrics:
                     obs.merge_snapshot(report.metrics)
                 obs.counter("lab.parallel.jobs.completed")
+                # Timeline lanes: one per worker pid, job + queue-wait
+                # intervals reconstructed from the report's monotonic
+                # timestamps (no-op fast path when tracing is off).
+                job_args = {"workload": job.workload, "input": job.input_index,
+                            "predictor": job.predictor}
+                obstrace.worker_job_event(
+                    f"{job.workload}/{job.predictor}",
+                    report.pid, report.t_start, report.t_end, args=job_args,
+                )
+                obstrace.queue_wait_event(report.pid, submit_t[fut], report.t_start)
                 on_result(job, result)
             if pending and self._expire_overdue(pending, submit_t, futures, outcome):
                 break
@@ -316,6 +334,9 @@ class ParallelScheduler:
             return False
         for fut in overdue:
             obs.counter("lab.parallel.timeouts")
+            obstrace.instant_event(
+                "parallel.timeout", args={"job": str(futures[fut])}
+            )
             _log.warning(
                 "parallel job %s exceeded its %.1fs timeout; rebuilding the "
                 "pool and resubmitting every unfinished job",
@@ -345,6 +366,7 @@ class ParallelScheduler:
         """Last-resort degradation: run jobs in-process, bit-identically."""
         failed = 0
         for job in jobs:
+            t_job = monotonic()
             try:
                 result = run_job_inline(job, self.trace_store_dir)
             except Exception as exc:
@@ -357,6 +379,13 @@ class ParallelScheduler:
                 )
                 continue
             obs.counter("lab.parallel.jobs.completed")
+            obstrace.serial_job_event(
+                f"{job.workload}/{job.predictor}",
+                t_job,
+                monotonic(),
+                args={"workload": job.workload, "input": job.input_index,
+                      "predictor": job.predictor},
+            )
             on_result(job, result)
         return failed
 
@@ -385,6 +414,7 @@ class ParallelScheduler:
             return
         self._pool = None
         _log.warning("worker pool broke; recreating it for the next batch")
+        obstrace.instant_event("parallel.pool_rebuild")
         procs = list(getattr(pool, "_processes", {}).values())
         pool.shutdown(wait=False, cancel_futures=True)
         for proc in procs:

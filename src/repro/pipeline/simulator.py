@@ -22,6 +22,7 @@ from repro.core.metrics import BranchStats
 from repro.core.types import BranchKind, BranchTrace
 from repro.kernels import kernels_enabled
 from repro.kernels.engine import TraceKernel, score_with_kernel
+from repro.obs import introspect
 from repro.predictors.base import BranchPredictor
 
 _COND = int(BranchKind.CONDITIONAL)
@@ -83,12 +84,26 @@ def simulate_trace(
     if slice_instructions is not None and slice_instructions <= 0:
         raise ValueError("slice_instructions must be positive")
 
+    # One introspection check per call: the disabled hot loops below stay
+    # exactly as they are; enabling routes through dedicated paths that
+    # observe without changing any simulated outcome.
+    introspecting = introspect.is_enabled()
+
     kernel = predictor.vectorized_kernel() if kernels_enabled() else None
     if kernel is not None:
         return _simulate_with_kernel(
             trace,
             predictor,
             kernel,
+            slice_instructions,
+            record_mispredict_positions,
+            warmup_branches,
+            introspecting,
+        )
+    if introspecting:
+        return _simulate_scalar_introspect(
+            trace,
+            predictor,
             slice_instructions,
             record_mispredict_positions,
             warmup_branches,
@@ -247,6 +262,106 @@ def simulate_trace(
     )
 
 
+def _simulate_scalar_introspect(
+    trace: BranchTrace,
+    predictor: BranchPredictor,
+    slice_instructions: Optional[int],
+    record_mispredict_positions: bool,
+    warmup_branches: int,
+) -> SimulationResult:
+    """Scalar loop with per-branch introspection recording.
+
+    A separate (generic, unspecialized) loop so the normal scalar paths pay
+    nothing for introspection.  Every accumulation feeding the returned
+    :class:`SimulationResult` matches the plain loops exactly — the channel
+    only *observes* — so results stay bit-identical with telemetry on.
+    """
+    stats = BranchStats()
+    slice_list: Optional[List[BranchStats]] = None
+    cur_slice: Optional[BranchStats] = None
+    if slice_instructions is not None:
+        slice_list = []
+        cur_slice = BranchStats()
+    mis_positions: Optional[List[int]] = [] if record_mispredict_positions else None
+
+    chan = introspect.begin(predictor.name, slice_instructions, path="scalar")
+    t_start = perf_counter()
+
+    ips, taken_arr, targets, kinds, instr_idx = trace.columns_as_lists()
+
+    set_outcome = getattr(predictor, "set_outcome", None)
+    introspect_last = getattr(predictor, "introspect_last", None)
+    predict = predictor.predict
+    update = predictor.update
+    note = predictor.note_branch
+    stats_record = stats.record
+    cur_slice_record = cur_slice.record if cur_slice is not None else None
+    record = chan.record
+    boundary = slice_instructions if slice_instructions is not None else float("inf")
+    seen_cond = 0
+
+    for i in range(len(ips)):
+        kind = kinds[i]
+        ip = ips[i]
+        taken = taken_arr[i]
+        pos = instr_idx[i]
+
+        while pos >= boundary:
+            slice_list.append(cur_slice)
+            cur_slice = BranchStats()
+            cur_slice_record = cur_slice.record
+            boundary += slice_instructions
+
+        if kind != _COND:
+            note(ip, targets[i], _KINDS[kind], taken)
+            continue
+
+        if set_outcome is not None:
+            set_outcome(taken)
+        pred = predict(ip)
+        attr = introspect_last() if introspect_last is not None else None
+        update(ip, taken)
+        seen_cond += 1
+        if seen_cond <= warmup_branches:
+            continue
+        correct = pred == taken
+        stats_record(ip, correct)
+        if cur_slice_record is not None:
+            cur_slice_record(ip, correct)
+        if not correct and mis_positions is not None:
+            mis_positions.append(pos)
+        record(ip, pos, correct, attr)
+
+    if slice_list is not None and (len(cur_slice) or not slice_list):
+        slice_list.append(cur_slice)
+
+    elapsed = perf_counter() - t_start
+    chan.finish(predictor)
+    if obs.is_enabled():
+        obs.observe_timer("sim.trace", elapsed)
+        obs.observe_timer(f"sim.predictor.{predictor.name}", elapsed)
+        obs.counter("sim.branches", len(ips))
+        obs.counter("sim.cond_branches", seen_cond)
+        obs.counter("sim.instructions", trace.instr_count)
+        obs.counter("sim.mispredictions", stats.total_mispredictions)
+        obs.counter("kernels.fallback_scalar", seen_cond)
+        if elapsed > 0:
+            obs.gauge("sim.branches_per_sec", len(ips) / elapsed)
+        publish = getattr(predictor, "publish_obs_counters", None)
+        if publish is not None:
+            publish()
+
+    return SimulationResult(
+        predictor_name=predictor.name,
+        stats=stats,
+        instr_count=trace.instr_count,
+        slice_stats=slice_list,
+        mispredict_positions=(
+            np.asarray(mis_positions, dtype=np.int64) if mis_positions is not None else None
+        ),
+    )
+
+
 def _simulate_with_kernel(
     trace: BranchTrace,
     predictor: BranchPredictor,
@@ -254,6 +369,7 @@ def _simulate_with_kernel(
     slice_instructions: Optional[int],
     record_mispredict_positions: bool,
     warmup_branches: int,
+    introspecting: bool = False,
 ) -> SimulationResult:
     """Score ``predictor``'s vectorized kernel over ``trace``.
 
@@ -267,8 +383,13 @@ def _simulate_with_kernel(
         slice_instructions=slice_instructions,
         record_mispredict_positions=record_mispredict_positions,
         warmup_branches=warmup_branches,
+        collect_introspection=introspecting,
     )
     elapsed = perf_counter() - t_start
+    if introspecting:
+        chan = introspect.begin(predictor.name, slice_instructions, path="kernel")
+        chan.record_kernel(score.stats, score.intro_mis_ips, score.intro_mis_pos)
+        chan.finish(predictor)
 
     if obs.is_enabled():
         obs.observe_timer("sim.trace", elapsed)

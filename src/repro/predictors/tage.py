@@ -400,6 +400,16 @@ class Tage(BranchPredictor):
 
     # -- accounting ------------------------------------------------------
 
+    def introspect_last(self) -> Tuple[int, bool, bool, bool]:
+        """Attribution of the most recent :meth:`predict`, valid until
+        :meth:`update` runs: ``(provider_table, used_alt, loop_used,
+        sc_flipped)``.  ``provider_table`` is -1 for the bimodal base; the
+        last two slots are always False for plain TAGE.  Derived entirely
+        from existing per-prediction scratch, so the hot path is untouched.
+        """
+        used_alt = self._p_provider >= 0 and self._p_weak and self._use_alt_on_na >= 0
+        return (self._p_provider, used_alt, False, False)
+
     def obs_counters(self) -> Dict[str, int]:
         """Current telemetry counter values, keyed by registry metric name."""
         return {

@@ -14,7 +14,7 @@ be verified against their budgets (see ``tests/predictors/test_storage.py``).
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro import obs
 from repro.core.types import BranchKind
@@ -57,6 +57,7 @@ class TageScL(BranchPredictor):
         self._ghist_bits = 0  # short global history mirror for the SC
         self.pred_loop_count = 0  # telemetry: loop-predictor overrides
         self._last_loop_used = False
+        self._last_sc_flipped = False
         self._last_pred = False
         self._last_target: Optional[int] = None
         if label:
@@ -85,6 +86,7 @@ class TageScL(BranchPredictor):
                 self._local_hist(ip),
                 self.imli.count,
             )
+        self._last_sc_flipped = pred != tage_pred
 
         self._last_loop_used = False
         if self.loop is not None:
@@ -126,6 +128,14 @@ class TageScL(BranchPredictor):
         self, ip: int, target: int, kind: BranchKind, taken: bool = True
     ) -> None:
         self.tage.note_branch(ip, target, kind, taken)
+
+    def introspect_last(self) -> Tuple[int, bool, bool, bool]:
+        """Attribution of the most recent :meth:`predict` (see
+        :meth:`repro.predictors.tage.Tage.introspect_last`): the TAGE
+        provider/alt slots plus whether the loop predictor overrode and
+        whether the SC flipped TAGE's direction."""
+        provider, used_alt, _, _ = self.tage.introspect_last()
+        return (provider, used_alt, self._last_loop_used, self._last_sc_flipped)
 
     def obs_counters(self) -> Dict[str, int]:
         """TAGE telemetry plus ensemble-level counts (see ``repro.obs``)."""

@@ -260,6 +260,11 @@ def fire(site: str) -> Optional[FaultRule]:
         obs.counter("resilience.faults.injected")
         obs.counter(f"resilience.faults.{site}")
         _log.warning("injecting fault at site %s", site)
+        # Instant marker on the timeline (no-op when tracing is off) so a
+        # fault-injected run shows *where* each fault landed.
+        from repro.obs import trace as obstrace
+
+        obstrace.instant_event(f"fault.{site}")
     return rule
 
 

@@ -1,0 +1,142 @@
+"""Perf-trajectory harness: document schema, direction-aware baseline
+comparison, a shrunken end-to-end scenario run, and the CLI exit codes."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA_VERSION,
+    MIN_COMPARABLE_SECONDS,
+    BenchConfig,
+    compare_to_baseline,
+    load_bench_json,
+    run_benchmarks,
+    validate_bench_doc,
+    write_bench_json,
+)
+from repro.bench import __main__ as bench_cli
+
+TINY = BenchConfig(
+    instructions=20_000,
+    repeats=1,
+    kernel_predictors=("bimodal",),
+    scalar_predictors=(),
+    jobs_levels=(1,),
+    scaling_inputs=(0,),
+)
+
+
+def _doc(metrics):
+    return {"schema": BENCH_SCHEMA_VERSION, "meta": {}, "config": {},
+            "metrics": metrics}
+
+
+def _metric(value, direction="lower", unit="s"):
+    return {"value": value, "unit": unit, "direction": direction}
+
+
+class TestValidation:
+    def test_accepts_minimal_doc(self):
+        validate_bench_doc(_doc({"a": _metric(1.0)}))
+
+    def test_rejects_wrong_schema(self):
+        with pytest.raises(ValueError, match="schema"):
+            validate_bench_doc({"schema": "repro.bench/v0", "meta": {},
+                                "config": {}, "metrics": {"a": _metric(1.0)}})
+
+    def test_rejects_empty_metrics(self):
+        with pytest.raises(ValueError, match="no metrics"):
+            validate_bench_doc(_doc({}))
+
+    def test_rejects_bad_direction_and_missing_fields(self):
+        with pytest.raises(ValueError, match="direction"):
+            validate_bench_doc(_doc({"a": _metric(1.0, direction="sideways")}))
+        with pytest.raises(ValueError, match="missing"):
+            validate_bench_doc(_doc({"a": {"value": 1.0, "unit": "s"}}))
+
+
+class TestComparison:
+    def test_detects_regressions_in_both_directions(self):
+        base = _doc({
+            "throughput": _metric(100.0, "higher", "branches/s"),
+            "wall": _metric(10.0, "lower"),
+        })
+        cur = _doc({
+            "throughput": _metric(50.0, "higher", "branches/s"),  # halved
+            "wall": _metric(15.0, "lower"),  # 1.5x slower
+        })
+        names = {r["metric"] for r in compare_to_baseline(cur, base, 0.40)}
+        assert names == {"throughput", "wall"}
+
+    def test_within_band_is_clean(self):
+        base = _doc({"wall": _metric(10.0, "lower")})
+        cur = _doc({"wall": _metric(13.0, "lower")})  # +30% < 40%
+        assert compare_to_baseline(cur, base, 0.40) == []
+
+    def test_info_and_unmatched_metrics_ignored(self):
+        base = _doc({"ratio": _metric(4.0, "info", "x")})
+        cur = _doc({
+            "ratio": _metric(1.0, "info", "x"),
+            "brand_new": _metric(99.0, "lower"),
+        })
+        assert compare_to_baseline(cur, base, 0.40) == []
+
+    def test_tiny_wall_clock_metrics_not_compared(self):
+        v = MIN_COMPARABLE_SECONDS / 10
+        base = _doc({"warm": _metric(v, "lower")})
+        cur = _doc({"warm": _metric(v * 5, "lower")})  # 5x, but sub-floor
+        assert compare_to_baseline(cur, base, 0.40) == []
+        # Same ratio above the floor does regress.
+        base = _doc({"warm": _metric(1.0, "lower")})
+        cur = _doc({"warm": _metric(5.0, "lower")})
+        assert len(compare_to_baseline(cur, base, 0.40)) == 1
+
+
+class TestScenarios:
+    def test_shrunken_run_produces_valid_doc(self, tmp_path):
+        doc = run_benchmarks(
+            config=TINY,
+            only=["sim_throughput", "trace_store", "jobs_scaling"],
+            echo=lambda _line: None,
+        )
+        validate_bench_doc(doc)
+        metrics = doc["metrics"]
+        assert "sim.bimodal.scalar.branches_per_sec" in metrics
+        assert "sim.bimodal.kernel.branches_per_sec" in metrics
+        assert "trace_store.cold_s" in metrics
+        assert "parallel.jobs1.wall_s" in metrics
+        assert doc["meta"]["tier"] == "quick"
+        assert doc["config"]["instructions"] == 20_000
+        # Round-trips through the writer/loader unchanged.
+        out = write_bench_json(doc, tmp_path / "bench.json")
+        assert load_bench_json(out) == json.loads(json.dumps(doc))
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenarios"):
+            run_benchmarks(config=TINY, only=["nope"], echo=lambda _line: None)
+
+
+class TestCli:
+    def test_check_exit_codes(self, tmp_path, monkeypatch):
+        doc = _doc({"wall": _metric(5.0, "lower")})
+        monkeypatch.setattr(bench_cli, "run_benchmarks", lambda only=None: doc)
+        baseline = tmp_path / "baseline.json"
+        write_bench_json(_doc({"wall": _metric(1.0, "lower")}), baseline)
+        out = tmp_path / "out.json"
+        argv = ["--out", str(out), "--baseline", str(baseline)]
+        # Regression reported, but only --check turns it into a failure.
+        assert bench_cli.main(argv) == 0
+        assert bench_cli.main(argv + ["--check"]) == 1
+        # A matching baseline is clean under --check.
+        write_bench_json(doc, baseline)
+        assert bench_cli.main(argv + ["--check"]) == 0
+        assert json.loads(out.read_text())["schema"] == BENCH_SCHEMA_VERSION
+
+    def test_missing_baseline_is_soft(self, tmp_path, monkeypatch):
+        doc = _doc({"wall": _metric(5.0, "lower")})
+        monkeypatch.setattr(bench_cli, "run_benchmarks", lambda only=None: doc)
+        assert bench_cli.main(
+            ["--out", str(tmp_path / "o.json"),
+             "--baseline", str(tmp_path / "absent.json"), "--check"]
+        ) == 0

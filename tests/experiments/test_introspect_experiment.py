@@ -1,0 +1,49 @@
+"""The ``introspect`` runner experiment: H2P provider attribution study."""
+
+from repro.experiments.introspect import (
+    HEATMAP_CELLS,
+    IntrospectStudy,
+    _sparkline,
+    compute_introspect,
+)
+from repro.obs import introspect
+
+
+class TestSparkline:
+    def test_empty_is_placeholder(self):
+        assert _sparkline({}) == "-" * HEATMAP_CELLS
+
+    def test_rebins_to_fixed_width_with_peak_at_nine(self):
+        heat = _sparkline({"0": 10, "1": 1, "19": 5})
+        assert len(heat) == HEATMAP_CELLS
+        assert "9" in heat
+        assert all(c.isdigit() for c in heat)
+
+
+class TestStudy:
+    def test_single_benchmark_attribution(self, lab):
+        was_enabled = introspect.is_enabled()
+        study = compute_introspect(lab, benchmarks=["605.mcf_s"], top_branches=2)
+        # The experiment restores the effective introspection state.
+        assert introspect.is_enabled() == was_enabled
+        assert isinstance(study, IntrospectStudy)
+        assert study.predictor == "tage-sc-l-8kb"
+        (report,) = study.reports
+        assert report["workload"] == "605.mcf_s"
+        assert report["path"] == "scalar"
+        assert report["static_branches"] > 0
+        # Presets are built with allocation tracking forced on.
+        assert report["total_allocations"] > 0
+        # mcf is H2P-heavy: the screen yields rows at the quick tier.
+        assert study.rows
+        assert len(study.rows) <= 2
+        for row in study.rows:
+            assert row.benchmark == "605.mcf_s"
+            assert 0.0 <= row.accuracy < 1.0
+            assert row.top_source == "base" or row.top_source == "alt" \
+                or row.top_source.startswith("table")
+            assert 0.0 <= row.alt_frac <= 1.0
+            assert len(row.heat) == HEATMAP_CELLS
+        rendered = study.render()
+        assert "Prediction introspection" in rendered
+        assert "605.mcf_s" in rendered

@@ -76,7 +76,8 @@ class TestRunnerObservability:
         assert main(["fig9", "--metrics-out", str(out)]) == 0
         with open(out) as f:
             doc = json.load(f)
-        assert doc["schema"] == "repro.obs/v1"
+        assert doc["schema"] == "repro.obs/v2"
+        assert doc["meta"]["tier"] == "quick"
         assert doc["counters"]["lab.trace.build"] >= 1
         assert [s["name"] for s in doc["spans"]] == ["fig9"]
         assert "-- metrics" in capsys.readouterr().out
@@ -90,3 +91,47 @@ class TestRunnerObservability:
     def test_no_metrics_flag_means_no_summary(self, capsys):
         assert main(["fig9"]) == 0
         assert "-- metrics" not in capsys.readouterr().out
+
+    def test_trace_out_writes_timeline_json(self, tmp_path, capsys):
+        from repro.obs import trace
+
+        out = tmp_path / "t.json"
+        try:
+            assert main(["fig9", "--trace-out", str(out)]) == 0
+        finally:
+            trace.disable_tracing()
+            trace.reset_trace()
+        doc = json.loads(out.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        assert "tier" in doc["otherData"]
+        names = [e["name"] for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert "fig9" in names  # the experiment span landed on the timeline
+        assert "timeline trace written" in capsys.readouterr().out
+
+    def test_trace_out_env_var_equivalent(self, tmp_path, monkeypatch):
+        from repro.obs import trace
+
+        out = tmp_path / "env.json"
+        monkeypatch.setenv("REPRO_TRACE_OUT", str(out))
+        try:
+            assert main(["fig9"]) == 0
+        finally:
+            trace.disable_tracing()
+            trace.reset_trace()
+        assert json.loads(out.read_text())["traceEvents"]
+
+    def test_introspect_out_writes_reports_json(self, tmp_path):
+        from repro.obs import introspect
+
+        out = tmp_path / "i.json"
+        saved = introspect._ENABLED
+        try:
+            # fig9 is trace-only, so this exercises the flag plumbing and
+            # the (empty-report) export without paying for a simulation.
+            assert main(["fig9", "--introspect-out", str(out)]) == 0
+        finally:
+            introspect._ENABLED = saved
+            introspect.reset_introspection()
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == "repro.obs.introspect/v1"
+        assert doc["reports"] == []

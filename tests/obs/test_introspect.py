@@ -1,0 +1,266 @@
+"""Prediction introspection: bit-identity across the scalar, kernel, and
+parallel paths, report structure, sampling/caps, and gating."""
+
+import json
+
+import pytest
+
+from repro.config import ExperimentTier
+from repro.experiments.lab import PREDICTOR_FACTORIES, Lab
+from repro.obs import introspect, trace
+from repro.parallel.jobs import SimJob
+from repro.pipeline.simulator import simulate_trace
+from repro.workloads import WORKLOADS_BY_NAME, trace_workload
+
+TEST_TIER = ExperimentTier(name="itest", spec_inputs=1, spec_slices=1, lcf_slices=1)
+
+TINY_INSTRUCTIONS = 20_000
+TINY_SLICE = 10_000
+
+JOBS = [
+    SimJob("game", 0, TINY_INSTRUCTIONS, predictor, TINY_SLICE)
+    for predictor in ("bimodal", "gshare", "two-level-local")
+]
+
+
+def _stats_tuple(result):
+    return (
+        result.accuracy,
+        result.mpki,
+        result.instr_count,
+        sorted(
+            (ip, c.executions, c.mispredictions) for ip, c in result.stats.items()
+        ),
+        [
+            sorted((ip, c.executions, c.mispredictions) for ip, c in s.items())
+            for s in result.slice_stats
+        ],
+    )
+
+
+@pytest.fixture
+def introspecting():
+    """Introspection forced on for one test; prior state restored."""
+    saved = introspect._ENABLED
+    introspect.reset_introspection()
+    introspect.enable_introspection()
+    yield introspect
+    introspect._ENABLED = saved
+    introspect.reset_introspection()
+
+
+@pytest.fixture(scope="module")
+def game_trace():
+    return trace_workload(
+        WORKLOADS_BY_NAME["game"], 0, instructions=TINY_INSTRUCTIONS
+    )
+
+
+@pytest.fixture(scope="module")
+def tage_runs(mcf_trace):
+    """TAGE-SC-L scalar runs, introspection off vs. on, plus the report."""
+    saved = introspect._ENABLED
+    try:
+        introspect._ENABLED = False
+        off = simulate_trace(
+            mcf_trace.trace,
+            PREDICTOR_FACTORIES["tage-sc-l-8kb"](),
+            slice_instructions=100_000,
+        )
+        introspect._ENABLED = True
+        introspect.reset_introspection()
+        on = simulate_trace(
+            mcf_trace.trace,
+            PREDICTOR_FACTORIES["tage-sc-l-8kb"](),
+            slice_instructions=100_000,
+        )
+        report = introspect.reports()[-1]
+    finally:
+        introspect._ENABLED = saved
+        introspect.reset_introspection()
+    return off, on, report
+
+
+class TestGating:
+    def test_disabled_by_default(self, monkeypatch):
+        saved = introspect._ENABLED
+        try:
+            introspect._ENABLED = None
+            monkeypatch.delenv("REPRO_INTROSPECT", raising=False)
+            assert not introspect.is_enabled()
+            monkeypatch.setenv("REPRO_INTROSPECT", "1")
+            assert introspect.is_enabled()
+            monkeypatch.setenv("REPRO_INTROSPECT", "0")
+            assert not introspect.is_enabled()
+        finally:
+            introspect._ENABLED = saved
+
+    def test_programmatic_override_beats_env(self, monkeypatch):
+        saved = introspect._ENABLED
+        try:
+            monkeypatch.setenv("REPRO_INTROSPECT", "1")
+            introspect.disable_introspection()
+            assert not introspect.is_enabled()
+        finally:
+            introspect._ENABLED = saved
+
+
+class TestScalarPath:
+    def test_bit_identity(self, tage_runs):
+        off, on, _report = tage_runs
+        assert _stats_tuple(off) == _stats_tuple(on)
+
+    def test_report_totals_match_simulation(self, tage_runs):
+        _off, on, report = tage_runs
+        assert report["path"] == "scalar"
+        assert report["predictor"] == "tage-sc-l-8kb"
+        assert report["static_branches"] == len(on.stats)
+        assert report["cond_branches"] == on.stats.total_executions
+        assert report["mispredictions"] == on.stats.total_mispredictions
+
+    def test_entries_ranked_and_attributed(self, tage_runs):
+        _off, _on, report = tage_runs
+        branches = report["branches"]
+        assert branches
+        mis = [b["mispredictions"] for b in branches]
+        assert mis == sorted(mis, reverse=True)
+        for entry in branches:
+            assert entry["accuracy"] == pytest.approx(
+                1.0 - entry["mispredictions"] / entry["executions"]
+            )
+            for key in entry.get("provider", {}):
+                assert key == "base" or key == "alt" or key.startswith("table")
+            # TAGE attribution covers every prediction of the branch.
+            if "provider" in entry:
+                assert sum(entry["provider"].values()) == entry["executions"]
+            if "slice_mispredicts" in entry:
+                assert (
+                    sum(entry["slice_mispredicts"].values())
+                    == entry["mispredictions"]
+                )
+            if "mispredict_positions" in entry:
+                assert len(entry["mispredict_positions"]) <= report["stream_cap"]
+
+    def test_h2p_flags_follow_thresholds(self, tage_runs):
+        from repro.config import (
+            H2P_ACCURACY_THRESHOLD,
+            H2P_MIN_EXECUTIONS,
+            H2P_MIN_MISPREDICTIONS,
+        )
+
+        _off, _on, report = tage_runs
+        for entry in report["branches"]:
+            expected = (
+                entry["accuracy"] < H2P_ACCURACY_THRESHOLD
+                and entry["executions"] >= H2P_MIN_EXECUTIONS
+                and entry["mispredictions"] >= H2P_MIN_MISPREDICTIONS
+            )
+            assert entry["h2p"] == expected
+
+
+class TestKernelPath:
+    def test_bit_identity_and_report(self, game_trace, introspecting, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "1")
+        on = simulate_trace(
+            game_trace.trace,
+            PREDICTOR_FACTORIES["bimodal"](),
+            slice_instructions=TINY_SLICE,
+        )
+        report = introspect.reports()[-1]
+        introspect.disable_introspection()
+        off = simulate_trace(
+            game_trace.trace,
+            PREDICTOR_FACTORIES["bimodal"](),
+            slice_instructions=TINY_SLICE,
+        )
+        assert _stats_tuple(off) == _stats_tuple(on)
+        assert report["path"] == "kernel"
+        assert report["static_branches"] == len(on.stats)
+        assert report["mispredictions"] == on.stats.total_mispredictions
+        # The kernel path reuses the wrongness mask for position streams.
+        streamed = sum(
+            len(b.get("mispredict_positions", ())) for b in report["branches"]
+        )
+        assert streamed > 0
+
+    def test_kernel_and_scalar_reports_agree(self, game_trace, introspecting, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "1")
+        simulate_trace(game_trace.trace, PREDICTOR_FACTORIES["gshare"]())
+        kernel_report = introspect.reports()[-1]
+        monkeypatch.setenv("REPRO_KERNELS", "0")
+        simulate_trace(game_trace.trace, PREDICTOR_FACTORIES["gshare"]())
+        scalar_report = introspect.reports()[-1]
+        assert kernel_report["path"] == "kernel"
+        assert scalar_report["path"] == "scalar"
+        for key in ("static_branches", "cond_branches", "mispredictions"):
+            assert kernel_report[key] == scalar_report[key]
+
+
+class TestCapsAndSampling:
+    def test_stream_cap_topk_and_sampling(
+        self, game_trace, introspecting, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_KERNELS", "0")
+        monkeypatch.setenv("REPRO_INTROSPECT_STREAM", "4")
+        monkeypatch.setenv("REPRO_INTROSPECT_SAMPLE", "2")
+        monkeypatch.setenv("REPRO_INTROSPECT_TOPK", "3")
+        simulate_trace(game_trace.trace, PREDICTOR_FACTORIES["bimodal"]())
+        report = introspect.reports()[-1]
+        assert report["sample"] == 2 and report["stream_cap"] == 4
+        assert len(report["branches"]) <= 3
+        if report["static_branches"] > 3:
+            assert report["branches_truncated"] == report["static_branches"] - 3
+        hot = report["branches"][0]
+        assert len(hot.get("mispredict_positions", ())) <= 4
+        if hot["mispredictions"] > 2 * (4 + 1):
+            assert hot["positions_dropped"] > 0
+
+
+class TestParallelPath:
+    def test_jobs2_bit_identity_with_telemetry_on(self, obs_enabled, introspecting):
+        trace.reset_trace()
+        trace.enable_tracing()
+        try:
+            lab = Lab(tier=TEST_TIER, jobs=2)
+            try:
+                lab.prefetch(JOBS)
+                with_telemetry = [
+                    _stats_tuple(
+                        lab.simulate(
+                            j.workload, j.input_index, j.predictor,
+                            instructions=j.instructions,
+                            slice_instructions=j.slice_instructions,
+                        )
+                    )
+                    for j in JOBS
+                ]
+            finally:
+                lab.close()
+        finally:
+            trace.disable_tracing()
+            trace.reset_trace()
+        introspect.disable_introspection()
+        serial = Lab(tier=TEST_TIER, jobs=1)
+        reference = [
+            _stats_tuple(
+                serial.simulate(
+                    j.workload, j.input_index, j.predictor,
+                    instructions=j.instructions,
+                    slice_instructions=j.slice_instructions,
+                )
+            )
+            for j in JOBS
+        ]
+        assert with_telemetry == reference
+
+
+class TestExport:
+    def test_write_introspect_json(self, game_trace, introspecting, tmp_path):
+        simulate_trace(game_trace.trace, PREDICTOR_FACTORIES["bimodal"]())
+        out = tmp_path / "intro.json"
+        introspect.write_introspect_json(out)
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == introspect.INTROSPECT_SCHEMA_VERSION
+        assert "meta" in doc and "tier" in doc["meta"]
+        assert len(doc["reports"]) == 1
+        assert doc["reports"][0]["predictor"] == "bimodal"

@@ -1,0 +1,186 @@
+"""Timeline trace export: Chrome trace-event schema, lane separation under
+``--jobs 2``, recovery/fault instants, and the disabled fast path."""
+
+import json
+from time import monotonic
+
+import pytest
+
+from repro import obs
+from repro.config import ExperimentTier
+from repro.experiments.lab import Lab
+from repro.obs import trace
+from repro.parallel.jobs import SimJob
+from repro.resilience import faults as fault_mod
+
+TEST_TIER = ExperimentTier(name="ttest", spec_inputs=1, spec_slices=1, lcf_slices=1)
+
+TINY_INSTRUCTIONS = 20_000
+TINY_SLICE = 10_000
+
+#: Cheap independent jobs (kernel-bearing predictors) for pool runs.
+JOBS = [
+    SimJob("game", 0, TINY_INSTRUCTIONS, predictor, TINY_SLICE)
+    for predictor in ("bimodal", "gshare", "two-level-local")
+]
+
+
+@pytest.fixture
+def tracing(obs_enabled):
+    """Metrics + timeline collection on, clean collector, state restored."""
+    trace.reset_trace()
+    trace.enable_tracing()
+    yield trace.collector()
+    trace.disable_tracing()
+    trace.reset_trace()
+
+
+@pytest.fixture
+def clean_faults(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0")
+    fault_mod.uninstall()
+    yield fault_mod
+    fault_mod.uninstall()
+
+
+def _events_by_phase(doc):
+    groups = {}
+    for event in doc["traceEvents"]:
+        groups.setdefault(event["ph"], []).append(event)
+    return groups
+
+
+class TestSchema:
+    def test_document_shape_and_event_fields(self, tracing, tmp_path):
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        trace.instant_event("marker", args={"k": 1})
+        now = monotonic()
+        trace.worker_job_event("game/bimodal", 4242, now, now + 0.001)
+        out = tmp_path / "trace.json"
+        obs.write_trace_json(out)
+        doc = json.loads(out.read_text())
+
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert doc["displayTimeUnit"] == "ms"
+        # Run metadata is embedded for artifact provenance.
+        for key in ("date", "tier", "python", "host"):
+            assert key in doc["otherData"]
+
+        groups = _events_by_phase(doc)
+        # Complete events: the two spans + the worker job.
+        assert len(groups["X"]) == 3
+        for event in groups["X"]:
+            assert {"name", "ph", "ts", "dur", "pid", "tid"} <= set(event)
+            assert event["ts"] >= 0 and event["dur"] >= 0
+        # Instant events carry a scope.
+        (instant,) = groups["i"]
+        assert instant["name"] == "marker"
+        assert {"ts", "pid", "tid", "s"} <= set(instant)
+        assert instant["args"] == {"k": 1}
+        # Metadata events name the lanes; they have no ts by design.
+        assert all(m["name"] == "thread_name" for m in groups["M"])
+        lane_names = {m["args"]["name"] for m in groups["M"]}
+        assert {"main", "worker-4242"} <= lane_names
+        # One pid throughout (lanes are tids within the parent process).
+        assert len({e["pid"] for e in doc["traceEvents"]}) == 1
+
+    def test_span_nesting_preserved_on_one_lane(self, tracing):
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        events = {e["name"]: e for e in tracing.events() if e["ph"] == "X"}
+        outer, inner = events["outer"], events["inner"]
+        assert outer["tid"] == inner["tid"]
+        assert outer["ts"] <= inner["ts"]
+        assert outer["ts"] + outer["dur"] >= inner["ts"] + inner["dur"]
+
+    def test_queue_wait_dropped_on_clock_skew(self, tracing):
+        trace.queue_wait_event(1, t_submit=5.0, t_start=4.0)  # start < submit
+        assert [e for e in tracing.events() if e["ph"] == "X"] == []
+
+    def test_event_cap_counts_drops(self, tracing, tmp_path):
+        tracing._events = [{}] * trace.MAX_TRACE_EVENTS
+        trace.instant_event("overflow")
+        assert tracing.dropped_events == 1
+        doc = tracing.document()
+        assert doc["otherData"]["dropped_events"] == 1
+
+
+class TestDisabledFastPath:
+    def test_emitters_are_noops_when_off(self, obs_enabled):
+        trace.disable_tracing()
+        trace.reset_trace()
+        trace.span_event("s", 0.0, 1.0)
+        trace.worker_job_event("j", 1, 0.0, 1.0)
+        trace.queue_wait_event(1, 0.0, 1.0)
+        trace.serial_job_event("j", 0.0, 1.0)
+        trace.instant_event("i")
+        assert [e for e in trace.collector().events() if e["ph"] != "M"] == []
+
+    def test_spans_do_not_emit_without_tracing(self, obs_enabled):
+        trace.disable_tracing()
+        trace.reset_trace()
+        with obs.span("quiet"):
+            pass
+        assert [e for e in trace.collector().events() if e["ph"] == "X"] == []
+
+
+class TestParallelLanes:
+    def test_jobs2_run_separates_worker_lanes(self, tracing):
+        lab = Lab(tier=TEST_TIER, jobs=2)
+        try:
+            lab.prefetch(JOBS)
+        finally:
+            lab.close()
+        events = trace.collector().events()
+        job_events = [e for e in events if e.get("cat") == "job"]
+        assert len(job_events) == len(JOBS)
+        waits = [e for e in events if e.get("cat") == "queue"]
+        assert all(w["name"] == "queue_wait" for w in waits)
+        # Worker lanes are reconstructed parent-side from WorkerReport.pid.
+        lanes = {
+            m["args"]["name"]
+            for m in events
+            if m["ph"] == "M" and m["args"]["name"].startswith("worker-")
+        }
+        assert 1 <= len(lanes) <= 2
+        # Every job/queue event sits on a worker lane, not the main lane.
+        worker_tids = {
+            m["tid"]
+            for m in events
+            if m["ph"] == "M" and m["args"]["name"].startswith("worker-")
+        }
+        assert {e["tid"] for e in job_events} <= worker_tids
+
+    def test_fault_injected_run_emits_recovery_instants(
+        self, tracing, clean_faults
+    ):
+        # Crash every worker opportunity: retries exhaust, the scheduler
+        # rebuilds the pool and finally degrades to the serial path.
+        clean_faults.install("worker.crash")
+        lab = Lab(tier=TEST_TIER, jobs=2)
+        try:
+            lab.prefetch(JOBS)
+        finally:
+            lab.close()
+        events = trace.collector().events()
+        names = [e["name"] for e in events if e["ph"] == "i"]
+        assert "fault.worker.crash" in names
+        assert "parallel.retry" in names
+        assert "parallel.serial_fallback" in names
+        # The degraded jobs land on the dedicated serial-fallback lane.
+        serial_tids = {
+            m["tid"]
+            for m in events
+            if m["ph"] == "M" and m["args"]["name"] == "serial-fallback"
+        }
+        assert serial_tids
+        serial_jobs = [
+            e
+            for e in events
+            if e.get("cat") == "job" and e["tid"] in serial_tids
+        ]
+        assert len(serial_jobs) == len(JOBS)
