@@ -15,7 +15,10 @@ can be compared against the committed ``benchmarks/baseline.json``:
 * ``jobs_scaling`` — wall clock for a fixed simulation batch at
   ``--jobs 1/2/4`` over a pre-warmed trace store;
 * ``table1`` — cold and warm wall clock for the ``table1`` experiment
-  (the warm render is the pinned metric).
+  (the warm render is the pinned metric);
+* ``fig7_quick`` — cold and warm wall clock for the fig. 7 storage sweep
+  over a warm trace store, plus the pinned scalar-vs-batched replay
+  ratio for one workload's full preset sweep (CI gates on ≥ 3x).
 
 Run with ``python -m repro.bench`` (or ``benchmarks/perf_trajectory.py``);
 CI runs it on every push, uploads the artifact, and soft-fails only on
@@ -61,8 +64,12 @@ class BenchConfig:
     input_index: int = 0
     instructions: Optional[int] = None  # None = active tier's spec length
     repeats: int = 2  # best-of-N for the throughput timings
-    kernel_predictors: Tuple[str, ...] = ("bimodal", "gshare", "two-level-local")
+    kernel_predictors: Tuple[str, ...] = (
+        "bimodal", "gshare", "two-level-local",
+        "perceptron", "path-perceptron", "o-gehl",
+    )
     scalar_predictors: Tuple[str, ...] = ("tage-sc-l-8kb",)
+    fig7_workload: str = "nosql"  # one-workload scalar-vs-batched ratio
     jobs_levels: Tuple[int, ...] = (1, 2, 4)
     # The scaling batch wants sims heavy enough to amortize pool startup;
     # the cheap kernel predictors finish in ~50ms and would *anti*-scale.
@@ -260,6 +267,68 @@ def _bench_table1(config: BenchConfig, metrics, echo) -> None:
     _metric(metrics, "table1.cold_s", cold_s, "s", "info")
     _metric(metrics, "table1.warm_s", warm_s, "s", "lower")
     echo(f"  cold {cold_s:.1f}s (jobs={config.table1_cold_jobs}), warm {warm_s:.2f}s")
+
+
+@scenario("fig7_quick")
+def _bench_fig7_quick(config: BenchConfig, metrics, echo) -> None:
+    """The batched TAGE-SC-L storage sweep: fig7 wall clock + replay ratio.
+
+    ``fig7.cold_s`` times the whole experiment over a pre-warmed trace
+    store (every preset simulated through the multi-config replay);
+    ``fig7.warm_s`` re-renders from the simulation cache.  The pinned
+    ``fig7.batched_speedup`` replays one workload's full preset sweep
+    scalar vs. batched on the same trace — the honest kernel ratio, with
+    trace acquisition and caching excluded.  CI gates on it staying ≥ 3x.
+    """
+    from repro.experiments.fig7 import compute_fig7
+    from repro.experiments.lab import PREDICTOR_FACTORIES, Lab
+    from repro.pipeline.simulator import simulate_trace, simulate_trace_batch
+    from repro.predictors.tagescl import STORAGE_PRESETS_KIB
+    from repro.workloads import LCF_WORKLOADS
+
+    sweep = [f"tage-sc-l-{kib}kb" for kib in STORAGE_PRESETS_KIB]
+    with tempfile.TemporaryDirectory(prefix="repro-bench-fig7-") as d:
+        lab = Lab(cache_dir=d, jobs=1)
+        try:
+            for spec in LCF_WORKLOADS:
+                lab.trace(spec.name, 0)
+            t0 = perf_counter()
+            compute_fig7(lab)
+            cold_s = perf_counter() - t0
+            t0 = perf_counter()
+            compute_fig7(lab)
+            warm_s = perf_counter() - t0
+            pinned = lab.trace(config.fig7_workload, 0)
+        finally:
+            lab.close()
+    _metric(metrics, "fig7.cold_s", cold_s, "s", "lower")
+    _metric(metrics, "fig7.warm_s", warm_s, "s", "lower")
+    echo(f"  fig7: cold {cold_s:.2f}s, warm {warm_s:.3f}s")
+
+    saved = os.environ.get("REPRO_KERNELS")
+    try:
+        os.environ["REPRO_KERNELS"] = "0"
+        t0 = perf_counter()
+        for name in sweep:
+            simulate_trace(pinned.trace, PREDICTOR_FACTORIES[name]())
+        scalar_s = perf_counter() - t0
+        os.environ["REPRO_KERNELS"] = "1"
+        t0 = perf_counter()
+        simulate_trace_batch(
+            pinned.trace, [PREDICTOR_FACTORIES[name]() for name in sweep]
+        )
+        batched_s = perf_counter() - t0
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_KERNELS", None)
+        else:
+            os.environ["REPRO_KERNELS"] = saved
+    _metric(metrics, "fig7.scalar_sweep_s", scalar_s, "s", "info")
+    _metric(metrics, "fig7.batched_sweep_s", batched_s, "s", "lower")
+    _metric(metrics, "fig7.batched_speedup",
+            scalar_s / batched_s if batched_s else 0.0, "x", "higher")
+    echo(f"  {config.fig7_workload} sweep: scalar {scalar_s:.2f}s, "
+         f"batched {batched_s:.2f}s ({scalar_s / batched_s:.1f}x)")
 
 
 def run_benchmarks(

@@ -58,7 +58,13 @@ def compute_fig7(
 ) -> Fig7:
     lab = lab or default_lab()
     fractions: Dict[str, Dict[Tuple[int, float], float]] = {}
+    # The whole storage sweep for one workload is a single batched trace
+    # pass; the per-preset simulate() calls below then hit the cache.
+    sweep = list(
+        dict.fromkeys(["tage-sc-l-8kb"] + [f"tage-sc-l-{kib}kb" for kib in storages])
+    )
     for spec in LCF_WORKLOADS:
+        lab.simulate_batch(spec.name, 0, sweep)
         base = lab.simulate(spec.name, 0, "tage-sc-l-8kb")
         config_mis = {}
         for kib in storages:

@@ -59,6 +59,10 @@ def compute_fig8(
     lab = lab or default_lab()
     remaining: Dict[str, Dict[int, float]] = {}
     for spec in LCF_WORKLOADS:
+        # A batch of one still routes through the batched TAGE-SC-L replay
+        # (several-fold faster than the scalar loop); the simulate() call
+        # below is then a cache hit.
+        lab.simulate_batch(spec.name, 0, [predictor])
         result = lab.simulate(spec.name, 0, predictor)
         per_app: Dict[int, float] = {}
         for t in thresholds:

@@ -17,7 +17,7 @@ import pickle
 import re
 import tempfile
 from pathlib import Path
-from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro import obs
 from repro.obs import introspect
@@ -28,10 +28,16 @@ from repro.experiments.config import (
     ExperimentTier,
     active_tier,
 )
-from repro.parallel.jobs import SimJob
+from repro.parallel.jobs import BatchSimJob, SimJob
 from repro.parallel.scheduler import ParallelScheduler, resolve_jobs
-from repro.pipeline.simulator import SimulationResult, simulate_trace
+from repro.pipeline.simulator import (
+    SimulationResult,
+    simulate_trace,
+    simulate_trace_batch,
+)
 from repro.predictors.base import BranchPredictor
+from repro.predictors.gehl import OGehl
+from repro.predictors.perceptron import PathPerceptron, Perceptron
 from repro.predictors.simple import Bimodal, GShare, TwoLevelLocal
 from repro.predictors.tagescl import STORAGE_PRESETS_KIB, make_tage_sc_l
 from repro.resilience import faults
@@ -47,9 +53,10 @@ from repro.workloads import (
 from repro.workloads.helper_study import HELPER_STUDY_WORKLOAD
 from repro.workloads.trace_store import TraceStore
 
-#: A prefetch request: a full :class:`SimJob` or a (workload, input_index,
-#: predictor[, instructions[, slice_instructions]]) tuple.
-SimRequest = Union[SimJob, Tuple]
+#: A prefetch request: a full :class:`SimJob`, a multi-config
+#: :class:`BatchSimJob`, or a (workload, input_index, predictor[,
+#: instructions[, slice_instructions]]) tuple.
+SimRequest = Union[SimJob, BatchSimJob, Tuple]
 
 #: Bump to invalidate on-disk caches after behavioural changes.
 #: (v4: payloads are now self-describing ``{"cache_version", "result"}``
@@ -76,6 +83,11 @@ PREDICTOR_FACTORIES: Dict[str, Callable[[], BranchPredictor]] = {
 PREDICTOR_FACTORIES["bimodal"] = Bimodal
 PREDICTOR_FACTORIES["gshare"] = GShare
 PREDICTOR_FACTORIES["two-level-local"] = TwoLevelLocal
+# The dot-product family (numpy replay kernels), for benchmarks and
+# ad-hoc comparisons against the tabular baselines.
+PREDICTOR_FACTORIES["perceptron"] = Perceptron
+PREDICTOR_FACTORIES["path-perceptron"] = PathPerceptron
+PREDICTOR_FACTORIES["o-gehl"] = OGehl
 
 
 def workload_spec(name: str) -> WorkloadSpec:
@@ -283,6 +295,78 @@ class Lab:
             self._mark_complete(key)
         return result
 
+    def simulate_batch(
+        self,
+        name: str,
+        input_index: int,
+        predictors: Sequence[str],
+        instructions: Optional[int] = None,
+        slice_instructions: int = SLICE_INSTRUCTIONS,
+    ) -> List[SimulationResult]:
+        """Simulate several predictors over one workload input, cached.
+
+        Cache misses are replayed together by
+        :func:`~repro.pipeline.simulator.simulate_trace_batch`, which
+        shares the trace pass (and, for the TAGE-SC-L family, the folded
+        history index streams) across configurations.  Every result lands
+        in the memory/disk caches under the same per-predictor key
+        :meth:`simulate` uses, so subsequent serial lookups are hits.
+        Results come back in ``predictors`` order, bit-identical to what
+        per-predictor :meth:`simulate` calls would have produced.
+        """
+        for predictor in predictors:
+            if predictor not in PREDICTOR_FACTORIES:
+                raise KeyError(
+                    f"unknown predictor {predictor!r}; register a factory in "
+                    "PREDICTOR_FACTORIES"
+                )
+        n = instructions if instructions is not None else self.instructions_for(name)
+        keys = [
+            (name, input_index, n, predictor, slice_instructions)
+            for predictor in predictors
+        ]
+        missing: List[Tuple[str, Tuple]] = []
+        for predictor, key in zip(predictors, keys):
+            if key in self._sims:
+                obs.counter("lab.sim.cache_hit.memory")
+                continue
+            disk = self._disk_path(key)
+            if disk is not None and disk.exists():
+                cached = self._load_disk(disk)
+                if cached is not None:
+                    obs.counter("lab.sim.cache_hit.disk")
+                    self._sims[key] = cached
+                    self._mark_complete(key)
+                    continue
+            obs.counter("lab.sim.cache_miss")
+            missing.append((predictor, key))
+        if missing:
+            _log.info(
+                "batch-simulating %s/input%d with %d predictor(s) "
+                "(%d instructions)",
+                name, input_index, len(missing), n,
+            )
+            with obs.span(
+                "lab.simulate_batch",
+                workload=name,
+                input=input_index,
+                predictors=len(missing),
+            ):
+                trace = self.trace(name, input_index, n)
+                if introspect.is_enabled():
+                    introspect.set_context(workload=name, input_name=input_index)
+                results = simulate_trace_batch(
+                    trace.trace,
+                    [PREDICTOR_FACTORIES[p]() for p, _ in missing],
+                    slice_instructions=slice_instructions,
+                )
+            for (_, key), result in zip(missing, results):
+                self._sims[key] = result
+                disk = self._disk_path(key)
+                if disk is not None and self._store_disk(disk, result):
+                    self._mark_complete(key)
+        return [self._sims[key] for key in keys]
+
     # -- phase analysis ----------------------------------------------------
 
     def phase_count(
@@ -353,7 +437,7 @@ class Lab:
         if self.jobs <= 1:
             return 0
         requested = 0
-        batch: List[SimJob] = []
+        batch: List[Union[SimJob, BatchSimJob]] = []
         seen = set()
         for request in requests:
             requested += 1
@@ -363,29 +447,31 @@ class Lab:
             seen.add(job.key())
             batch.append(job)
         obs.counter("lab.parallel.jobs.requested", requested)
-        todo: List[SimJob] = []
+        todo: List[Union[SimJob, BatchSimJob]] = []
         planned = 0
         for job in batch:
-            key = job.key()
-            if key in self._sims:
-                planned += 1
-                continue
-            if self.manifest is not None and key in self.manifest:
-                # Checkpointed as durably published: plan it away without
-                # even touching the disk entry.  The manifest is advisory —
-                # if the entry is gone or corrupt, the serial render path
-                # recomputes it, so results stay bit-identical.
-                obs.counter("lab.resume.planned")
-                planned += 1
-                continue
-            disk = self._disk_path(key)
-            if disk is not None and disk.exists():
-                cached = self._load_disk(disk)
-                if cached is not None:
-                    obs.counter("lab.sim.cache_hit.disk")
-                    self._sims[key] = cached
+            if isinstance(job, BatchSimJob):
+                # Batch jobs are planned per member key; a partially cached
+                # batch is narrowed to its missing predictors before
+                # dispatch, so workers never redo cached configurations.
+                missing = []
+                for predictor, key in zip(job.predictors, job.sim_keys()):
+                    if self._plan_one(key):
+                        continue
+                    missing.append(predictor)
+                if not missing:
                     planned += 1
                     continue
+                if len(missing) < len(job.predictors):
+                    job = BatchSimJob(
+                        job.workload, job.input_index, job.instructions,
+                        tuple(missing), job.slice_instructions,
+                    )
+                todo.append(job)
+                continue
+            if self._plan_one(job.key()):
+                planned += 1
+                continue
             todo.append(job)
         obs.counter("lab.parallel.jobs.cache_planned", planned)
         if not todo:
@@ -403,7 +489,38 @@ class Lab:
             self._scheduler.run(todo, self._store_job_result)
         return len(todo)
 
-    def _store_job_result(self, job: SimJob, result: SimulationResult) -> None:
+    def _plan_one(self, key: Tuple) -> bool:
+        """True when one cache key needs no dispatch (memory/manifest/disk).
+
+        The manifest check is advisory: a checkpointed entry is planned
+        away without even touching the disk file — if it is gone or
+        corrupt, the serial render path recomputes it, so results stay
+        bit-identical.
+        """
+        if key in self._sims:
+            return True
+        if self.manifest is not None and key in self.manifest:
+            obs.counter("lab.resume.planned")
+            return True
+        disk = self._disk_path(key)
+        if disk is not None and disk.exists():
+            cached = self._load_disk(disk)
+            if cached is not None:
+                obs.counter("lab.sim.cache_hit.disk")
+                self._sims[key] = cached
+                return True
+        return False
+
+    def _store_job_result(
+        self, job: Union[SimJob, BatchSimJob], result
+    ) -> None:
+        if isinstance(job, BatchSimJob):
+            for key, member in zip(job.sim_keys(), result):
+                self._sims[key] = member
+                disk = self._disk_path(key)
+                if disk is not None and self._store_disk(disk, member):
+                    self._mark_complete(key)
+            return
         key = job.key()
         self._sims[key] = result
         disk = self._disk_path(key)
@@ -415,8 +532,17 @@ class Lab:
         if self.manifest is not None:
             self.manifest.mark(key, self._experiment)
 
-    def _normalize_request(self, request: SimRequest) -> SimJob:
+    def _normalize_request(self, request: SimRequest) -> Union[SimJob, BatchSimJob]:
         """Fill tier defaults and validate names (KeyError like simulate)."""
+        if isinstance(request, BatchSimJob):
+            for predictor in request.predictors:
+                if predictor not in PREDICTOR_FACTORIES:
+                    raise KeyError(
+                        f"unknown predictor {predictor!r}; register a factory "
+                        "in PREDICTOR_FACTORIES"
+                    )
+            workload_spec(request.workload)
+            return request
         if isinstance(request, SimJob):
             name, input_index, n, predictor, slice_n = request.key()
         else:

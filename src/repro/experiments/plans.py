@@ -14,13 +14,15 @@ have nothing to fan out and no entry here — they simply run serially.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Sequence, Union
 
 from repro.experiments.config import SLICE_INSTRUCTIONS
 from repro.experiments.lab import Lab
-from repro.parallel.jobs import SimJob
+from repro.parallel.jobs import BatchSimJob, SimJob
 from repro.predictors.tagescl import STORAGE_PRESETS_KIB
 from repro.workloads import LCF_WORKLOADS, SPECINT_WORKLOADS
+
+AnySimJob = Union[SimJob, BatchSimJob]
 
 _SPEC = tuple(w.name for w in SPECINT_WORKLOADS)
 _LCF = tuple(w.name for w in LCF_WORKLOADS)
@@ -76,12 +78,30 @@ def plan_fig5(lab: Lab) -> List[SimJob]:
     return suite_jobs(lab, _LCF, _SCALING, all_inputs=True)
 
 
-def plan_fig7(lab: Lab) -> List[SimJob]:
-    return suite_jobs(lab, _LCF, _STORAGE_SWEEP)
+def batch_suite_jobs(
+    lab: Lab, names: Sequence[str], predictors: Sequence[str]
+) -> List[BatchSimJob]:
+    """One multi-config job per workload: every predictor in one trace pass.
+
+    The TAGE-SC-L storage sweeps are where the batched kernel pays off —
+    the presets differ only in geometry, so history reconstruction and the
+    folded index streams are shared across the whole sweep.
+    """
+    return [
+        BatchSimJob(
+            name, 0, lab.instructions_for(name), tuple(predictors),
+            SLICE_INSTRUCTIONS,
+        )
+        for name in names
+    ]
 
 
-def plan_fig8(lab: Lab) -> List[SimJob]:
-    return suite_jobs(lab, _LCF, ("tage-sc-l-1024kb",))
+def plan_fig7(lab: Lab) -> List[AnySimJob]:
+    return batch_suite_jobs(lab, _LCF, _STORAGE_SWEEP)
+
+
+def plan_fig8(lab: Lab) -> List[AnySimJob]:
+    return batch_suite_jobs(lab, _LCF, ("tage-sc-l-1024kb",))
 
 
 def plan_fig10(lab: Lab) -> List[SimJob]:
@@ -101,7 +121,7 @@ def plan_staticcheck(lab: Lab) -> List[SimJob]:
 
 
 #: Experiment name -> request-set planner (fig4/fig6 share fig3/table3 sims).
-EXPERIMENT_PLANS: Dict[str, Callable[[Lab], List[SimJob]]] = {
+EXPERIMENT_PLANS: Dict[str, Callable[[Lab], List[AnySimJob]]] = {
     "table1": plan_table1,
     "table2": plan_table2,
     "table3": plan_table3,

@@ -21,12 +21,22 @@ from __future__ import annotations
 
 import os
 
-from repro.kernels.engine import VectorizedScore, score_with_kernel
+from repro.kernels.engine import (
+    VectorizedScore,
+    cond_positions,
+    plan_memo,
+    score_predictions,
+    score_with_kernel,
+    signed_history_lists,
+    signed_history_matrix,
+    stream_bits,
+)
 from repro.kernels.scan import (
     CounterScan,
     LocalHistory,
     final_history,
     local_history,
+    packed_bit_windows,
     packed_history,
     saturating_counter_scan,
 )
@@ -35,12 +45,19 @@ __all__ = [
     "CounterScan",
     "LocalHistory",
     "VectorizedScore",
+    "cond_positions",
     "final_history",
     "kernels_enabled",
     "local_history",
+    "packed_bit_windows",
     "packed_history",
+    "plan_memo",
     "saturating_counter_scan",
+    "score_predictions",
     "score_with_kernel",
+    "signed_history_lists",
+    "signed_history_matrix",
+    "stream_bits",
 ]
 
 

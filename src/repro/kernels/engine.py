@@ -31,7 +31,12 @@ from repro.core.types import BranchTrace
 #: trace, in temporal order; the kernel must treat them as read-only and is
 #: responsible for leaving the predictor's own state (tables, histories) as
 #: the scalar loop would.
-TraceKernel = Callable[[np.ndarray, np.ndarray], np.ndarray]
+#:
+#: A kernel with a truthy ``wants_trace`` attribute is instead invoked as
+#: ``kernel(ips_c, taken_c, trace)`` — the full trace lets predictors whose
+#: ``note_branch`` is *not* a no-op (path/global-history predictors that
+#: observe unconditional branches) reconstruct their history streams.
+TraceKernel = Callable[..., np.ndarray]
 
 
 @dataclass
@@ -185,11 +190,40 @@ def score_with_kernel(
     nearly free here, since the wrongness mask already exists — without
     changing the scored result.
     """
+    ips_c, taken_c, _ = trace.conditional_columns()
+    if getattr(kernel, "wants_trace", False):
+        preds = kernel(ips_c, taken_c, trace)
+    else:
+        preds = kernel(ips_c, taken_c)
+    return score_predictions(
+        trace,
+        preds,
+        slice_instructions=slice_instructions,
+        record_mispredict_positions=record_mispredict_positions,
+        warmup_branches=warmup_branches,
+        collect_introspection=collect_introspection,
+    )
+
+
+def score_predictions(
+    trace: BranchTrace,
+    preds: np.ndarray,
+    slice_instructions: Optional[int] = None,
+    record_mispredict_positions: bool = False,
+    warmup_branches: int = 0,
+    collect_introspection: bool = False,
+) -> VectorizedScore:
+    """Score a ready-made vector of per-conditional-branch predictions.
+
+    The predictor-independent half of :func:`score_with_kernel`, shared
+    with the batched multi-config replay (``repro.kernels.batched``) whose
+    one pass over the trace produces a prediction vector per preset.
+    """
     if slice_instructions is not None and slice_instructions <= 0:
         raise ValueError("slice_instructions must be positive")
     ips_c, taken_c, pos_c = trace.conditional_columns()
 
-    preds = np.asarray(kernel(ips_c, taken_c), dtype=bool)
+    preds = np.asarray(preds, dtype=bool)
     if preds.shape != taken_c.shape:
         raise ValueError(
             f"kernel returned {preds.shape} predictions for "
@@ -242,4 +276,115 @@ def score_with_kernel(
         cond_branches=int(len(ips_c)),
         intro_mis_ips=intro_mis_ips,
         intro_mis_pos=intro_mis_pos,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Per-trace memoized reconstructions
+#
+# Kernels for history predictors all start from the same raw materials —
+# the trace's push-bit stream, its conditional positions, a signed-history
+# window matrix — so these live on the same per-trace cache as the scoring
+# plan.  The normal experiment shape (several predictors / presets replayed
+# over one trace) pays each reconstruction once.
+
+
+def plan_memo(trace: BranchTrace, key: Tuple, build: Callable[[], object]):
+    """Memoize ``build()`` on ``trace._plan_cache`` under ``key``.
+
+    Cached values are shared across predictors and must be treated as
+    immutable by every consumer.
+    """
+    cache = trace._plan_cache
+    if cache is None:
+        cache = trace._plan_cache = {}
+    val = cache.get(key)
+    if val is None:
+        val = cache[key] = build()
+    return val
+
+
+def cond_positions(trace: BranchTrace) -> np.ndarray:
+    """Full-stream record index of each conditional branch (memoized)."""
+    return plan_memo(
+        trace,
+        ("cond_positions",),
+        lambda: np.flatnonzero(trace.conditional_mask),
+    )
+
+
+def stream_bits(trace: BranchTrace) -> np.ndarray:
+    """The full-stream history push bits, as ``note_branch``-style
+    predictors see them: conditional records push their outcome,
+    every other kind pushes 1 (memoized, uint8)."""
+
+    def build() -> np.ndarray:
+        cond = trace.conditional_mask
+        bits = np.ones(len(trace), dtype=np.uint8)
+        np.copyto(bits, trace.taken != 0, where=cond)
+        return bits
+
+    return plan_memo(trace, ("stream_bits",), build)
+
+
+def signed_history_matrix(
+    trace: BranchTrace,
+    h: int,
+    init_signs: Tuple[int, ...],
+    full_stream: bool = False,
+) -> np.ndarray:
+    """The rolling ±1 history matrix for dot-product predictors (memoized).
+
+    Row ``i`` describes conditional branch ``i`` *before* it resolves:
+    column 0 is the bias (+1), column ``j+1`` the sign of the ``j``-th
+    newest history entry.  ``init_signs[j]`` seeds entries older than the
+    trace (sign of the predictor's ``j``-th newest pre-trace entry; length
+    ``h``).  With ``full_stream`` the history advances on *every* record —
+    unconditional kinds contribute +1, matching ``note_branch`` pushes —
+    instead of only on conditional outcomes.
+    """
+    init_signs = tuple(init_signs)
+    if len(init_signs) != h:
+        raise ValueError(f"init_signs must have length {h}")
+
+    def build() -> np.ndarray:
+        one, neg = np.int8(1), np.int8(-1)
+        if full_stream:
+            signs = np.where(
+                trace.conditional_mask, np.where(trace.taken != 0, one, neg), one
+            )
+            pos = cond_positions(trace)
+        else:
+            signs = np.where(trace.conditional_columns()[1], one, neg)
+            pos = np.arange(len(signs))
+        # ext[p + h - a] is the sign ``a`` steps back from record ``p``;
+        # the init block is oldest-first so a > p reads pre-trace signs.
+        ext = np.concatenate([np.asarray(init_signs, dtype=np.int8)[::-1], signs])
+        X = np.empty((len(pos), h + 1), dtype=np.int8)
+        X[:, 0] = 1
+        if h:
+            offsets = (h - 1 - np.arange(h))[None, :]
+            X[:, 1:] = ext[pos[:, None] + offsets]
+        return X
+
+    return plan_memo(trace, ("signed_hist", h, init_signs, bool(full_stream)), build)
+
+
+def signed_history_lists(
+    trace: BranchTrace,
+    h: int,
+    init_signs: Tuple[int, ...],
+    full_stream: bool = False,
+) -> List[List[int]]:
+    """:func:`signed_history_matrix` decoded to plain lists (memoized).
+
+    The sequential parts of the dot-product kernels walk the matrix row by
+    row, where list indexing beats ndarray access; decoding is O(n·h), so
+    replays of the same trace share one conversion.
+    """
+    init_signs = tuple(init_signs)
+    return plan_memo(
+        trace,
+        ("signed_hist_list", h, init_signs, bool(full_stream)),
+        lambda: signed_history_matrix(trace, h, init_signs, full_stream).tolist(),
     )

@@ -249,6 +249,26 @@ def local_history(
     return LocalHistory(out, g[start_idx], final_regs)
 
 
+def packed_bit_windows(bits: np.ndarray, width: int) -> np.ndarray:
+    """Sliding ``width``-bit windows over a 0/1 stream, packed LSB-first.
+
+    ``P[m] = sum_{u < width} bits[m-1-u] << u`` — the ``width`` newest bits
+    *before* position ``m``, newest in the LSB; positions before the stream
+    read as 0.  One such array per distinct compressed length is all a
+    folded-history reconstruction needs: the fold register of a
+    geometric-history predictor before record ``k`` is the XOR of masked
+    chunks ``P[k - q*width]`` (see ``repro.kernels.batched``).
+    """
+    n = len(bits)
+    P = np.zeros(n + 1, dtype=_INT)
+    b = np.asarray(bits, dtype=_INT)
+    for u in range(width):
+        if u >= n:
+            break
+        P[u + 1 :] += b[: n - u] << u
+    return P
+
+
 def first_appearance_counts(
     keys: np.ndarray, weights_mask: np.ndarray
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:

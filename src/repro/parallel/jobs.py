@@ -46,6 +46,49 @@ class SimJob:
 
 
 @dataclass(frozen=True)
+class BatchSimJob:
+    """A multi-configuration simulation request: one trace, many predictors.
+
+    The worker replays all ``predictors`` over a single trace pass via
+    :func:`repro.pipeline.simulator.simulate_trace_batch` (the batched
+    TAGE-SC-L kernel shares history reconstruction and folded-history
+    index streams across configurations) and returns one
+    :class:`SimulationResult` per label, in order.  Each result lands in
+    the Lab's cache under the same per-predictor key an equivalent
+    :class:`SimJob` would have used, so render paths stay oblivious.
+    """
+
+    workload: str
+    input_index: int
+    instructions: int
+    predictors: Tuple[str, ...]
+    slice_instructions: int
+
+    @property
+    def predictor(self) -> str:
+        """Synthetic label for logs and timeline lanes."""
+        return "batch[" + "+".join(self.predictors) + "]"
+
+    def key(self) -> Tuple[str, int, int, Tuple[str, ...], int]:
+        """Scheduling-dedup key (not a Lab cache key; see sim_keys)."""
+        return (
+            self.workload,
+            self.input_index,
+            self.instructions,
+            self.predictors,
+            self.slice_instructions,
+        )
+
+    def sim_keys(self) -> Tuple[Tuple[str, int, int, str, int], ...]:
+        """The per-predictor Lab cache keys this job populates."""
+        return tuple(
+            (self.workload, self.input_index, self.instructions, p,
+             self.slice_instructions)
+            for p in self.predictors
+        )
+
+
+@dataclass(frozen=True)
 class WorkerReport:
     """Timing and metrics a worker returns alongside its result.
 
@@ -167,7 +210,7 @@ def run_sim_job(job: SimJob, fault: Optional[Any] = None):
     """
     from repro import obs
     from repro.experiments.lab import PREDICTOR_FACTORIES
-    from repro.pipeline.simulator import simulate_trace
+    from repro.pipeline.simulator import simulate_trace, simulate_trace_batch
 
     t_start = monotonic()
     if _worker_obs_enabled:
@@ -177,10 +220,17 @@ def run_sim_job(job: SimJob, fault: Optional[Any] = None):
 
         apply_worker_fault(fault)
     trace = _worker_trace(job.workload, job.input_index, job.instructions)
-    predictor = PREDICTOR_FACTORIES[job.predictor]()
-    result = simulate_trace(
-        trace.trace, predictor, slice_instructions=job.slice_instructions
-    )
+    if isinstance(job, BatchSimJob):
+        result = simulate_trace_batch(
+            trace.trace,
+            [PREDICTOR_FACTORIES[p]() for p in job.predictors],
+            slice_instructions=job.slice_instructions,
+        )
+    else:
+        predictor = PREDICTOR_FACTORIES[job.predictor]()
+        result = simulate_trace(
+            trace.trace, predictor, slice_instructions=job.slice_instructions
+        )
     metrics = obs.registry().snapshot_for_merge() if _worker_obs_enabled else None
     return job, result, WorkerReport(
         t_start=t_start, t_end=monotonic(), metrics=metrics, pid=os.getpid()
@@ -198,7 +248,7 @@ def run_job_inline(job: SimJob, trace_store_dir: Optional[str] = None):
     bit-identical to what a healthy worker would have produced.
     """
     from repro.experiments.lab import PREDICTOR_FACTORIES, workload_spec
-    from repro.pipeline.simulator import simulate_trace
+    from repro.pipeline.simulator import simulate_trace, simulate_trace_batch
     from repro.workloads import trace_workload
 
     trace_cols = None
@@ -215,6 +265,12 @@ def run_job_inline(job: SimJob, trace_store_dir: Optional[str] = None):
         trace_cols = generated.trace
         if store is not None:
             store.store(job.workload, job.input_index, job.instructions, trace_cols)
+    if isinstance(job, BatchSimJob):
+        return simulate_trace_batch(
+            trace_cols,
+            [PREDICTOR_FACTORIES[p]() for p in job.predictors],
+            slice_instructions=job.slice_instructions,
+        )
     return simulate_trace(
         trace_cols,
         PREDICTOR_FACTORIES[job.predictor](),

@@ -21,7 +21,7 @@ from repro import obs
 from repro.core.metrics import BranchStats
 from repro.core.types import BranchKind, BranchTrace
 from repro.kernels import kernels_enabled
-from repro.kernels.engine import TraceKernel, score_with_kernel
+from repro.kernels.engine import TraceKernel, score_predictions, score_with_kernel
 from repro.obs import introspect
 from repro.predictors.base import BranchPredictor
 
@@ -235,6 +235,7 @@ def simulate_trace(
         obs.counter("sim.instructions", trace.instr_count)
         obs.counter("sim.mispredictions", stats.total_mispredictions)
         obs.counter("kernels.fallback_scalar", seen_cond)
+        obs.counter(f"kernels.fallback_scalar.{predictor.name}", seen_cond)
         if elapsed > 0:
             obs.gauge("sim.branches_per_sec", len(ips) / elapsed)
         publish = getattr(predictor, "publish_obs_counters", None)
@@ -345,6 +346,7 @@ def _simulate_scalar_introspect(
         obs.counter("sim.instructions", trace.instr_count)
         obs.counter("sim.mispredictions", stats.total_mispredictions)
         obs.counter("kernels.fallback_scalar", seen_cond)
+        obs.counter(f"kernels.fallback_scalar.{predictor.name}", seen_cond)
         if elapsed > 0:
             obs.gauge("sim.branches_per_sec", len(ips) / elapsed)
         publish = getattr(predictor, "publish_obs_counters", None)
@@ -422,3 +424,114 @@ def _simulate_with_kernel(
         slice_stats=score.slice_stats,
         mispredict_positions=score.mispredict_positions,
     )
+
+
+def simulate_trace_batch(
+    trace: BranchTrace,
+    predictors: List[BranchPredictor],
+    slice_instructions: Optional[int] = None,
+    record_mispredict_positions: bool = False,
+    warmup_branches: int = 0,
+) -> List[SimulationResult]:
+    """Simulate several predictors over one trace, sharing one replay pass.
+
+    When every predictor is a batchable TAGE-SC-L configuration (see
+    :func:`repro.kernels.batched.batchable`) and kernels are enabled, the
+    multi-config replay reconstructs the trace's history/feature streams
+    once and replays all presets against them — the fig. 7/8 shape, where
+    the same workload is scored at every storage budget.  Results (and
+    each predictor's final state) are bit-identical to running
+    :func:`simulate_trace` per predictor; with ``REPRO_KERNELS=0`` or any
+    non-batchable predictor in the list, that is literally what happens.
+    """
+    if not predictors:
+        return []
+    from repro.kernels.batched import batchable, replay_tagescl_batch
+
+    if not kernels_enabled() or not all(batchable(p) for p in predictors):
+        return [
+            simulate_trace(
+                trace,
+                p,
+                slice_instructions=slice_instructions,
+                record_mispredict_positions=record_mispredict_positions,
+                warmup_branches=warmup_branches,
+            )
+            for p in predictors
+        ]
+
+    introspecting = introspect.is_enabled()
+    t_start = perf_counter()
+    replays = replay_tagescl_batch(
+        trace, predictors, collect_introspection=introspecting
+    )
+    results: List[SimulationResult] = []
+    for predictor, rep in zip(predictors, replays):
+        score = score_predictions(
+            trace,
+            rep.preds,
+            slice_instructions=slice_instructions,
+            record_mispredict_positions=record_mispredict_positions,
+            warmup_branches=warmup_branches,
+        )
+        results.append(
+            SimulationResult(
+                predictor_name=predictor.name,
+                stats=score.stats,
+                instr_count=trace.instr_count,
+                slice_stats=score.slice_stats,
+                mispredict_positions=score.mispredict_positions,
+            )
+        )
+    elapsed = perf_counter() - t_start
+
+    if introspecting:
+        # Mirror the scalar loop's per-branch attribution recording; the
+        # replay collected the ``introspect_last`` tuples in stream order.
+        ips_c, taken_c, pos_c = trace.conditional_columns()
+        w = max(0, warmup_branches)
+        ips_lw = ips_c[w:].tolist()
+        pos_lw = pos_c[w:].tolist()
+        for predictor, rep in zip(predictors, replays):
+            chan = introspect.begin(
+                predictor.name, slice_instructions, path="batched"
+            )
+            record = chan.record
+            correct_lw = (rep.preds[w:] == taken_c[w:]).tolist()
+            for ip, pos, correct, attr in zip(
+                ips_lw, pos_lw, correct_lw, rep.attrs[w:]
+            ):
+                record(ip, pos, correct, attr)
+            chan.finish(predictor)
+
+    if obs.is_enabled():
+        obs.observe_timer("sim.trace", elapsed)
+        per_pred = elapsed / len(predictors)
+        for predictor, res in zip(predictors, results):
+            obs.observe_timer(f"sim.predictor.{predictor.name}", per_pred)
+            cond = int(len(trace.conditional_columns()[0]))
+            obs.counter("sim.branches", len(trace))
+            obs.counter("sim.cond_branches", cond)
+            obs.counter("sim.instructions", trace.instr_count)
+            obs.counter("sim.mispredictions", res.stats.total_mispredictions)
+            obs.counter("kernels.branches", cond)
+            obs.counter("kernels.batched", cond)
+            publish = getattr(predictor, "publish_obs_counters", None)
+            if publish is not None:
+                publish()
+        if elapsed > 0:
+            obs.gauge(
+                "sim.branches_per_sec", len(trace) * len(predictors) / elapsed
+            )
+    if _log.isEnabledFor(logging.INFO):
+        _log.info(
+            "batched %d presets: %d branches in %s (%s), first %s acc %.4f",
+            len(predictors),
+            len(trace),
+            obs.format_duration(elapsed),
+            obs.format_rate(len(trace) * len(predictors), elapsed, "/s"),
+            results[0].predictor_name,
+            results[0].stats.accuracy,
+        )
+
+    return results

@@ -71,12 +71,16 @@ class BranchPredictor(abc.ABC):
         loop (unless ``REPRO_KERNELS=0``).
 
         The contract is strict: the kernel must be bit-identical to the
-        scalar path, must leave the predictor's state (tables, histories)
-        as the scalar loop would, and is only sound for predictors whose
-        ``note_branch`` is a no-op (non-conditional branches never reach
-        the kernel).  Implementations should also refuse to serve
-        subclasses (``type(self) is not Cls``) so an overridden
-        ``predict``/``update`` silently falls back to the scalar loop.
+        scalar path and must leave the predictor's state (tables,
+        histories) as the scalar loop would.  A plain kernel only sees the
+        conditional columns, which is sound when ``note_branch`` is a
+        no-op; predictors whose histories advance on unconditional
+        branches (path perceptron, GEHL) set ``wants_trace = True`` on the
+        kernel, which is then invoked as ``kernel(ips, taken, trace)`` and
+        reconstructs its full-stream history from the trace.
+        Implementations should also refuse to serve subclasses
+        (``type(self) is not Cls``) so an overridden ``predict``/``update``
+        silently falls back to the scalar loop.
         Default: ``None`` (scalar loop).
         """
         return None

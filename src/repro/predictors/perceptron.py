@@ -9,9 +9,12 @@ feature vector.
 
 from __future__ import annotations
 
-from typing import List
+import operator
+from typing import List, Optional
 
-from repro.core.types import BranchKind
+import numpy as np
+
+from repro.core.types import BranchKind, BranchTrace
 from repro.predictors.base import BranchPredictor, saturate
 
 
@@ -93,6 +96,110 @@ class Perceptron(BranchPredictor):
             for j in range(len(w)):
                 w[j] = 0
         self._history = [0] * self.history_length
+
+    def vectorized_kernel(self) -> Optional[object]:
+        if type(self) is not Perceptron:
+            return None
+
+        def kernel(ips: np.ndarray, taken: np.ndarray, trace: BranchTrace):
+            return _replay_perceptron(self, ips, taken, trace)
+
+        kernel.wants_trace = True  # type: ignore[attr-defined]
+        return kernel
+
+
+def _replay_perceptron(
+    p: "Perceptron", ips: np.ndarray, taken: np.ndarray, trace: BranchTrace
+) -> np.ndarray:
+    """Row-parallel perceptron replay, bit-identical to the scalar loop.
+
+    A perceptron's prediction depends only on its own weight row and the
+    (predictor-independent) signed history, so branches mapping to
+    *distinct* rows never interact.  Replay therefore proceeds in rounds:
+    round ``k`` scores the ``k``-th occurrence of every row at once — a
+    gather, one fused dot product, a masked training scatter — and the
+    per-row occurrence order preserves the scalar update sequence exactly.
+    """
+    from repro.kernels import signed_history_matrix
+
+    n = len(ips)
+    h = p.history_length
+    init_signs = tuple(1 if v > 0 else -1 for v in p._history)
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    X = signed_history_matrix(trace, h, init_signs)
+
+    rows = ((ips ^ (ips >> p.log_entries)) & p._mask).astype(np.int64)
+    taken_b = np.asarray(taken, dtype=bool)
+    t_sign = np.where(taken_b, np.int32(1), np.int32(-1))
+    W = np.array(p._weights, dtype=np.int32)
+    sums = np.empty(n, dtype=np.int64)
+
+    order = np.argsort(rows, kind="stable")
+    sorted_rows = rows[order]
+    starts = np.flatnonzero(np.r_[True, sorted_rows[1:] != sorted_rows[:-1]])
+    counts = np.diff(np.r_[starts, n])
+
+    # Wide rounds amortize beautifully, but a few hot rows would leave a
+    # long tail of near-empty rounds whose numpy dispatch overhead exceeds
+    # the work; once the active set narrows, the surviving rows finish
+    # with a per-row scalar walk over plain lists (rows are independent,
+    # so per-row occurrence order is the only order that matters).
+    round_min = 64
+    k = 0
+    max_occ = int(counts.max())
+    while k < max_occ:
+        live = counts > k
+        if int(live.sum()) < round_min:
+            break
+        idx = order[starts[live] + k]
+        r = rows[idx]
+        x = X[idx].astype(np.int32)
+        s = np.einsum("ij,ij->i", W[r], x)
+        sums[idx] = s
+        train = ((s >= 0) != taken_b[idx]) | (np.abs(s) <= p.theta)
+        if train.any():
+            sel = train.nonzero()[0]
+            rt = r[sel]
+            updated = W[rt] + t_sign[idx[sel]][:, None] * x[sel]
+            np.clip(updated, p._wlo, p._whi, out=updated)
+            W[rt] = updated
+        k += 1
+
+    if k < max_occ:
+        from repro.kernels import signed_history_lists
+
+        x_list = signed_history_lists(trace, h, init_signs)
+        theta, wlo, whi = p.theta, p._wlo, p._whi
+        width = h + 1
+        taken_list = taken_b.tolist()
+        mul = operator.mul
+        for g in np.flatnonzero(counts > k):
+            occ = order[starts[g] + k : starts[g] + counts[g]].tolist()
+            r = int(sorted_rows[starts[g]])
+            w = W[r].tolist()
+            for oi in occ:
+                x = x_list[oi]
+                s = sum(map(mul, w, x))
+                sums[oi] = s
+                tk = taken_list[oi]
+                if ((s >= 0) != tk) or (s if s >= 0 else -s) <= theta:
+                    t = 1 if tk else -1
+                    for j in range(width):
+                        v = w[j] + t * x[j]
+                        if v > whi:
+                            v = whi
+                        elif v < wlo:
+                            v = wlo
+                        w[j] = v
+            W[r] = w
+
+    p._weights = W.tolist()
+    pushed = [1 if b else -1 for b in taken_b[::-1][:h].tolist()]
+    p._history = pushed + p._history[: h - len(pushed)]
+    p._last_sum = int(sums[-1])
+    p._last_index = int(rows[-1])
+    return sums >= 0
 
 
 class PathPerceptron(BranchPredictor):
@@ -182,3 +289,100 @@ class PathPerceptron(BranchPredictor):
                 w[j] = 0
         self._dir_history = [0] * self.history_length
         self._path = [0] * self.history_length
+
+    def vectorized_kernel(self) -> Optional[object]:
+        if type(self) is not PathPerceptron:
+            return None
+
+        def kernel(ips: np.ndarray, taken: np.ndarray, trace: BranchTrace):
+            return _replay_path_perceptron(self, ips, taken, trace)
+
+        kernel.wants_trace = True  # type: ignore[attr-defined]
+        return kernel
+
+
+def _replay_path_perceptron(
+    p: "PathPerceptron", ips: np.ndarray, taken: np.ndarray, trace: BranchTrace
+) -> np.ndarray:
+    """Path-perceptron replay with vectorized feature extraction.
+
+    Unlike the global perceptron, one branch's weights spread over many
+    rows (one per path position), so nearby branches can share table cells
+    and the training order matters.  The expensive part — hashing every
+    path position of every branch — is hoisted into numpy: ``R`` holds the
+    per-position weight rows, ``D`` the ±1 direction signs, both derived
+    from the full record stream (``note_branch`` pushes calls/jumps into
+    the path).  The remaining sequential walk is a flat gather / dot /
+    conditional scatter per branch over distinct cells ``row*(h+1)+col``,
+    preserving scalar training order exactly.
+    """
+    from repro.kernels import cond_positions, plan_memo, signed_history_lists
+
+    h = p.history_length
+    ncols = h + 1
+    n = len(ips)
+    n_full = len(trace)
+    mask = p._mask
+
+    if n:
+        init_signs = tuple(1 if v > 0 else -1 for v in p._dir_history)
+        signs = signed_history_lists(trace, h, init_signs, full_stream=True)
+        path_init = tuple(p._path)
+
+        def build_cells() -> List[List[int]]:
+            pos = cond_positions(trace)
+            ext = np.concatenate(
+                [np.asarray(path_init[::-1], dtype=np.int64), trace.ips]
+            )
+            R = np.empty((n, ncols), dtype=np.int64)
+            R[:, 0] = (ips ^ (ips >> 4)) & mask
+            if h:
+                offsets = (h - 1 - np.arange(h))[None, :]
+                path_ips = ext[pos[:, None] + offsets]
+                mixes = (np.arange(1, ncols, dtype=np.int64) * 0x9E37)[None, :]
+                R[:, 1:] = (path_ips ^ (path_ips >> 4) ^ mixes) & mask
+            return (R * ncols + np.arange(ncols, dtype=np.int64)[None, :]).tolist()
+
+        cells = plan_memo(
+            trace, ("path_cells", p.log_entries, h, path_init), build_cells
+        )
+        taken_l = np.asarray(taken, dtype=bool).tolist()
+
+        flat = [w for row in p._weights for w in row]
+        lo, hi, theta = p._wlo, p._whi, p.theta
+        preds: List[bool] = []
+        append = preds.append
+        mul = operator.mul
+        getter = operator.itemgetter
+        s = 0
+        ci: List[int] = []
+        for ci, di, tk in zip(cells, signs, taken_l):
+            s = sum(map(mul, getter(*ci)(flat), di))
+            pred = s >= 0
+            append(pred)
+            if pred != tk or (s if s >= 0 else -s) <= theta:
+                t = 1 if tk else -1
+                for f, d in zip(ci, di):
+                    v = flat[f] + (t if d > 0 else -t)
+                    if v > hi:
+                        v = hi
+                    elif v < lo:
+                        v = lo
+                    flat[f] = v
+        p._weights = [flat[r * ncols : (r + 1) * ncols] for r in range(len(p._weights))]
+        p._last_sum = s
+        p._last_rows = [c // ncols for c in ci]
+        out = np.array(preds, dtype=bool)
+    else:
+        out = np.zeros(0, dtype=bool)
+
+    # The path and direction histories advance on *every* record.
+    m = min(h, n_full)
+    if m:
+        cond = trace.conditional_mask
+        sign_full = np.where(
+            cond, np.where(trace.taken != 0, 1, -1), 1
+        )
+        p._dir_history = sign_full[::-1][:m].tolist() + p._dir_history[: h - m]
+        p._path = trace.ips[::-1][:m].tolist() + p._path[: h - m]
+    return out

@@ -116,6 +116,13 @@ class TestScenarios:
         with pytest.raises(ValueError, match="unknown scenarios"):
             run_benchmarks(config=TINY, only=["nope"], echo=lambda _line: None)
 
+    def test_fig7_quick_registered(self):
+        # fig7_quick sweeps real quick-tier traces (too slow for this
+        # shrunken run); CI exercises it and gates fig7.batched_speedup.
+        from repro.bench import SCENARIOS
+
+        assert "fig7_quick" in SCENARIOS
+
 
 class TestCli:
     def test_check_exit_codes(self, tmp_path, monkeypatch):

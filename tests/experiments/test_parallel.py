@@ -11,7 +11,7 @@ import pytest
 from repro.config import ExperimentTier
 from repro.experiments.lab import CACHE_VERSION, Lab, PREDICTOR_FACTORIES
 from repro.experiments.plans import EXPERIMENT_PLANS
-from repro.parallel.jobs import SimJob, run_sim_job
+from repro.parallel.jobs import BatchSimJob, SimJob, run_sim_job
 from repro.parallel.scheduler import ParallelScheduler, resolve_jobs
 from repro.workloads import WORKLOADS_BY_NAME
 
@@ -26,9 +26,22 @@ TINY_SLICE = 10_000
 
 def _tiny(jobs):
     return [
-        SimJob(j.workload, j.input_index, TINY_INSTRUCTIONS, j.predictor, TINY_SLICE)
+        BatchSimJob(j.workload, j.input_index, TINY_INSTRUCTIONS, j.predictors, TINY_SLICE)
+        if isinstance(j, BatchSimJob)
+        else SimJob(j.workload, j.input_index, TINY_INSTRUCTIONS, j.predictor, TINY_SLICE)
         for j in jobs
     ]
+
+
+def _members(job):
+    """The per-predictor SimJobs a job populates (itself, for SimJob)."""
+    if isinstance(job, BatchSimJob):
+        return [
+            SimJob(job.workload, job.input_index, job.instructions, p,
+                   job.slice_instructions)
+            for p in job.predictors
+        ]
+    return [job]
 
 
 def _stats_tuple(result):
@@ -57,17 +70,18 @@ class TestParallelSerialEquivalence:
             dispatched = parallel.prefetch(jobs)
             assert dispatched == len(jobs)
             for job in jobs:
-                a = serial.simulate(
-                    job.workload, job.input_index, job.predictor,
-                    instructions=job.instructions,
-                    slice_instructions=job.slice_instructions,
-                )
-                b = parallel.simulate(
-                    job.workload, job.input_index, job.predictor,
-                    instructions=job.instructions,
-                    slice_instructions=job.slice_instructions,
-                )
-                assert _stats_tuple(a) == _stats_tuple(b)
+                for member in _members(job):
+                    a = serial.simulate(
+                        member.workload, member.input_index, member.predictor,
+                        instructions=member.instructions,
+                        slice_instructions=member.slice_instructions,
+                    )
+                    b = parallel.simulate(
+                        member.workload, member.input_index, member.predictor,
+                        instructions=member.instructions,
+                        slice_instructions=member.slice_instructions,
+                    )
+                    assert _stats_tuple(a) == _stats_tuple(b)
 
     def test_prefetch_results_come_from_cache(self, obs_enabled):
         with Lab(tier=TEST_TIER, jobs=2) as lab:
@@ -75,11 +89,12 @@ class TestParallelSerialEquivalence:
             lab.prefetch(jobs)
             before = obs_enabled.counter("lab.sim.cache_miss").value
             for job in jobs:
-                lab.simulate(
-                    job.workload, job.input_index, job.predictor,
-                    instructions=job.instructions,
-                    slice_instructions=job.slice_instructions,
-                )
+                for member in _members(job):
+                    lab.simulate(
+                        member.workload, member.input_index, member.predictor,
+                        instructions=member.instructions,
+                        slice_instructions=member.slice_instructions,
+                    )
             assert obs_enabled.counter("lab.sim.cache_miss").value == before
             assert obs_enabled.counter("lab.sim.cache_hit.memory").value >= len(jobs)
 
@@ -90,6 +105,33 @@ class TestPicklability:
             for predictor in PREDICTOR_FACTORIES:
                 job = SimJob(workload, 0, 1_000, predictor, 500)
                 assert pickle.loads(pickle.dumps(job)) == job
+
+    def test_batch_job_specs_picklable(self):
+        job = BatchSimJob(
+            "game", 0, 1_000, ("tage-sc-l-8kb", "tage-sc-l-64kb"), 500
+        )
+        assert pickle.loads(pickle.dumps(job)) == job
+        assert job.sim_keys() == (
+            ("game", 0, 1_000, "tage-sc-l-8kb", 500),
+            ("game", 0, 1_000, "tage-sc-l-64kb", 500),
+        )
+
+    def test_run_batch_sim_job_matches_members(self):
+        # The worker entry point with a BatchSimJob returns one result per
+        # predictor, bit-identical to running the member SimJobs.
+        batch = BatchSimJob(
+            "game", 0, 5_000, ("tage-sc-l-8kb", "tage-sc-l-64kb"), 2_500
+        )
+        _, results, report = run_sim_job(batch)
+        assert report.busy_s >= 0
+        assert len(results) == 2
+        for member, got in zip(_members(batch), results):
+            _, want, _ = run_sim_job(member)
+            assert _stats_tuple(got) == _stats_tuple(want)
+        clones = pickle.loads(pickle.dumps(results))
+        assert [_stats_tuple(c) for c in clones] == [
+            _stats_tuple(r) for r in results
+        ]
 
     def test_run_sim_job_payload_round_trips(self):
         # Same entry point the workers execute, run in-process: the
@@ -236,8 +278,9 @@ class TestPlanner:
             jobs = plan(lab)
             assert jobs, name
             for job in jobs:
-                assert job.predictor in PREDICTOR_FACTORIES
-                assert job.workload in WORKLOADS_BY_NAME
+                for member in _members(job):
+                    assert member.predictor in PREDICTOR_FACTORIES
+                    assert member.workload in WORKLOADS_BY_NAME
 
 
 class TestWorkerObservability:

@@ -254,6 +254,41 @@ class TestParallelPath:
         assert with_telemetry == reference
 
 
+class TestBatchedPath:
+    def test_batched_and_scalar_reports_identical(
+        self, game_trace, introspecting, monkeypatch
+    ):
+        """The multi-config replay's attribution stream (provider, alt,
+        loop, SC-flip per branch) must match the scalar loop exactly."""
+        from repro.pipeline.simulator import simulate_trace_batch
+
+        presets = ("tage-sc-l-8kb", "tage-sc-l-64kb")
+        monkeypatch.setenv("REPRO_KERNELS", "1")
+        batched = simulate_trace_batch(
+            game_trace.trace,
+            [PREDICTOR_FACTORIES[p]() for p in presets],
+            slice_instructions=TINY_SLICE,
+        )
+        batched_reports = introspect.reports()[-len(presets):]
+        monkeypatch.setenv("REPRO_KERNELS", "0")
+        scalar = [
+            simulate_trace(
+                game_trace.trace,
+                PREDICTOR_FACTORIES[p](),
+                slice_instructions=TINY_SLICE,
+            )
+            for p in presets
+        ]
+        scalar_reports = introspect.reports()[-len(presets):]
+        for b, s, rb, rs in zip(batched, scalar, batched_reports, scalar_reports):
+            assert _stats_tuple(b) == _stats_tuple(s)
+            assert rb["path"] == "batched"
+            assert rs["path"] == "scalar"
+            db = {k: v for k, v in rb.items() if k != "path"}
+            ds = {k: v for k, v in rs.items() if k != "path"}
+            assert db == ds
+
+
 class TestExport:
     def test_write_introspect_json(self, game_trace, introspecting, tmp_path):
         simulate_trace(game_trace.trace, PREDICTOR_FACTORIES["bimodal"]())

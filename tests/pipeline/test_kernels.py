@@ -14,6 +14,7 @@ import pytest
 
 from repro.core.types import BranchTrace
 from repro.kernels import kernels_enabled
+from repro.kernels.batched import batchable
 from repro.kernels.scan import (
     final_history,
     first_appearance_counts,
@@ -21,9 +22,11 @@ from repro.kernels.scan import (
     packed_history,
     saturating_counter_scan,
 )
-from repro.pipeline.simulator import simulate_trace
+from repro.pipeline.simulator import simulate_trace, simulate_trace_batch
 from repro.predictors.base import counter_update
+from repro.predictors.gehl import OGehl
 from repro.predictors.oracle import Perfect, PerfectFilter
+from repro.predictors.perceptron import PathPerceptron, Perceptron
 from repro.predictors.simple import (
     AlwaysTaken,
     Bimodal,
@@ -31,7 +34,7 @@ from repro.predictors.simple import (
     NeverTaken,
     TwoLevelLocal,
 )
-from repro.predictors.tagescl import make_tage_sc_l
+from repro.predictors.tagescl import TageScL, make_tage_sc_l
 from repro.workloads import WORKLOADS_BY_NAME, trace_workload
 
 SPECINT = [name for name, spec in WORKLOADS_BY_NAME.items() if spec.category == "specint"]
@@ -153,18 +156,59 @@ def kernel_predictors(trace):
         TwoLevelLocal(),
         Perfect(),
         PerfectFilter(GShare(), perfect_ips=perfect_ips),
+        Perceptron(),
+        PathPerceptron(),
+        OGehl(),
     ]
+
+
+_STATE_ATTRS = (
+    # tables / registers
+    "_table", "_history", "_l1", "_l2", "_weights", "_tables",
+    "_dir_history", "_path",
+    # adaptive thresholds and per-prediction scratch (stale-value
+    # semantics are part of the bit-identity contract)
+    "threshold", "_tc", "_last_sum", "_last_index", "_last_indices",
+    "_last_rows",
+)
 
 
 def predictor_state(p):
     state = {
-        attr: getattr(p, attr)
-        for attr in ("_table", "_history", "_l1", "_l2")
-        if hasattr(p, attr)
+        attr: getattr(p, attr) for attr in _STATE_ATTRS if hasattr(p, attr)
     }
     if getattr(p, "inner", None) is not None:
         state["inner"] = predictor_state(p.inner)
     return state
+
+
+def full_state(obj, _depth=0):
+    """Normalize an object graph for exact state comparison."""
+    if isinstance(obj, (bool, int, float, str, bytes, type(None))):
+        return obj
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (list, tuple)):
+        return [full_state(x, _depth + 1) for x in obj]
+    if isinstance(obj, dict):
+        # Key order is part of the contract (insertion-ordered tables).
+        return [(k, full_state(v, _depth + 1)) for k, v in obj.items()]
+    if isinstance(obj, (set, frozenset)):
+        return sorted(obj)
+    if _depth > 8:  # defensive: predictor graphs are shallow
+        return repr(obj)
+    if hasattr(obj, "__dict__"):
+        return {k: full_state(v, _depth + 1) for k, v in vars(obj).items()}
+    slots = [
+        s for klass in type(obj).__mro__ for s in getattr(klass, "__slots__", ())
+    ]
+    if slots:
+        return {
+            s: full_state(getattr(obj, s), _depth + 1)
+            for s in slots
+            if hasattr(obj, s)
+        }
+    return repr(obj)
 
 
 def assert_identical(scalar, vectorized):
@@ -224,28 +268,36 @@ class TestScalarKernelEquivalence:
             assert predictor_state(ps) == predictor_state(pv), ps.name
 
     @pytest.mark.parametrize(
+        "factory", [Bimodal, Perceptron, PathPerceptron, OGehl]
+    )
+    @pytest.mark.parametrize(
         "warmup,slices",
         [(0, None), (0, 7_777), (500, 10_000), (3, 10_000), (10**6, 10_000)],
     )
-    def test_warmup_slice_combinations(self, warmup, slices, small_traces, monkeypatch):
+    def test_warmup_slice_combinations(
+        self, factory, warmup, slices, small_traces, monkeypatch
+    ):
         trace = small_traces("605.mcf_s")
         monkeypatch.setenv("REPRO_KERNELS", "0")
+        ps = factory()
         rs = simulate_trace(
             trace,
-            Bimodal(),
+            ps,
             slice_instructions=slices,
             record_mispredict_positions=True,
             warmup_branches=warmup,
         )
         monkeypatch.setenv("REPRO_KERNELS", "1")
+        pv = factory()
         rv = simulate_trace(
             trace,
-            Bimodal(),
+            pv,
             slice_instructions=slices,
             record_mispredict_positions=True,
             warmup_branches=warmup,
         )
         assert_identical(rs, rv)
+        assert full_state(ps) == full_state(pv)
 
     def test_cross_call_state_carries_over(self, small_traces, monkeypatch):
         # Simulating twice without reset must train through, identically.
@@ -301,3 +353,113 @@ class TestDispatch:
     def test_perfect_filter_with_predicate_falls_back(self):
         p = PerfectFilter(GShare(), predicate=lambda ip: ip % 2 == 0)
         assert p.vectorized_kernel() is None
+
+    def test_fallback_counter_has_per_predictor_child(self, monkeypatch, obs_enabled):
+        trace = BranchTrace(ips=[0x40] * 10, taken=[True] * 10)
+        monkeypatch.setenv("REPRO_KERNELS", "0")
+        simulate_trace(trace, AlwaysTaken())
+        simulate_trace(trace, make_tage_sc_l(8))
+        counters = obs_enabled.counters_dict()
+        assert counters["kernels.fallback_scalar"] == 20
+        assert counters["kernels.fallback_scalar.always-taken"] == 10
+        assert counters["kernels.fallback_scalar.tage-sc-l-8kb"] == 10
+
+
+# ---------------------------------------------------------------------------
+# batched multi-config TAGE-SC-L replay
+
+
+BATCH_PRESETS = (8, 64)
+
+
+class TestBatchedTageScL:
+    def _run_pair(self, trace, monkeypatch, **kwargs):
+        """Scalar loop per preset vs. one batched replay over all presets."""
+        monkeypatch.setenv("REPRO_KERNELS", "0")
+        scalars = [make_tage_sc_l(k) for k in BATCH_PRESETS]
+        rs = [
+            simulate_trace(trace, p, **kwargs)
+            for p in scalars
+        ]
+        monkeypatch.setenv("REPRO_KERNELS", "1")
+        vectors = [make_tage_sc_l(k) for k in BATCH_PRESETS]
+        rv = simulate_trace_batch(trace, vectors, **kwargs)
+        return scalars, rs, vectors, rv
+
+    def test_batchable_guards(self):
+        assert batchable(make_tage_sc_l(8))
+
+        class Tweaked(TageScL):
+            pass
+
+        assert not batchable(Tweaked())
+
+    def test_stats_positions_and_full_state_identical(
+        self, small_traces, monkeypatch
+    ):
+        trace = small_traces("605.mcf_s")
+        scalars, rs, vectors, rv = self._run_pair(
+            trace,
+            monkeypatch,
+            slice_instructions=10_000,
+            record_mispredict_positions=True,
+        )
+        for ps, s, pv, v in zip(scalars, rs, vectors, rv):
+            assert_identical(s, v)
+            assert full_state(ps) == full_state(pv), ps.name
+            # Insertion order of the composite's local-history table is
+            # part of the contract (full_state already encodes it; this
+            # makes a failure legible).
+            assert list(ps._local) == list(pv._local)
+
+    def test_warmup_and_slice_semantics_match(self, small_traces, monkeypatch):
+        trace = small_traces("605.mcf_s")
+        _, rs, _, rv = self._run_pair(
+            trace,
+            monkeypatch,
+            slice_instructions=7_777,
+            record_mispredict_positions=True,
+            warmup_branches=500,
+        )
+        for s, v in zip(rs, rv):
+            assert_identical(s, v)
+
+    def test_batch_counts_batched_branches(self, small_traces, monkeypatch, obs_enabled):
+        trace = small_traces("605.mcf_s")
+        monkeypatch.setenv("REPRO_KERNELS", "1")
+        simulate_trace_batch(trace, [make_tage_sc_l(k) for k in BATCH_PRESETS])
+        counters = obs_enabled.counters_dict()
+        cond = int(len(trace.conditional_columns()[0]))
+        assert counters["kernels.batched"] == cond * len(BATCH_PRESETS)
+        assert counters["kernels.branches"] == cond * len(BATCH_PRESETS)
+
+    def test_disabled_kernels_fall_back_to_scalar_members(
+        self, small_traces, monkeypatch, obs_enabled
+    ):
+        trace = small_traces("605.mcf_s")
+        monkeypatch.setenv("REPRO_KERNELS", "0")
+        scalars = [make_tage_sc_l(k) for k in BATCH_PRESETS]
+        rs = [simulate_trace(trace, p) for p in scalars]
+        batch_preds = [make_tage_sc_l(k) for k in BATCH_PRESETS]
+        rv = simulate_trace_batch(trace, batch_preds)
+        for s, v in zip(rs, rv):
+            assert_identical(s, v)
+        counters = obs_enabled.counters_dict()
+        assert "kernels.batched" not in counters
+        assert counters["kernels.fallback_scalar.tage-sc-l-8kb"] > 0
+
+    def test_non_batchable_member_falls_back(self, small_traces, monkeypatch):
+        trace = small_traces("605.mcf_s")
+
+        class Tweaked(TageScL):
+            pass
+
+        monkeypatch.setenv("REPRO_KERNELS", "0")
+        want = simulate_trace(trace, TageScL())
+        monkeypatch.setenv("REPRO_KERNELS", "1")
+        got = simulate_trace_batch(trace, [Tweaked()])
+        assert len(got) == 1
+        assert_identical(want, got[0])
+
+    def test_empty_batch(self):
+        assert simulate_trace_batch(BranchTrace(ips=[], taken=[]), []) == []
