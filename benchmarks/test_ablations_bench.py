@@ -304,10 +304,7 @@ def test_indirect_target_prediction(benchmark):
             p = Ittage()
             correct = total = 0
             for i, t in enumerate(stream):
-                if predictor_kind == "last-target":
-                    pred = last
-                else:
-                    pred = p.predict(0x80)
+                pred = last if predictor_kind == "last-target" else p.predict(0x80)
                 if i > len(stream) // 2:
                     total += 1
                     correct += pred == t

@@ -29,6 +29,7 @@ magnitude slips.  See ``docs/benchmarking.md``.
 
 from __future__ import annotations
 
+import functools
 import json
 import os
 import tempfile
@@ -152,9 +153,9 @@ def _bench_sim_throughput(config: BenchConfig, metrics, echo) -> None:
     try:
         for label in config.kernel_predictors:
             os.environ["REPRO_KERNELS"] = "0"
-            t_scalar, _ = _best_of(config.repeats, lambda: run(label))
+            t_scalar, _ = _best_of(config.repeats, functools.partial(run, label))
             os.environ["REPRO_KERNELS"] = "1"
-            t_kernel, _ = _best_of(config.repeats, lambda: run(label))
+            t_kernel, _ = _best_of(config.repeats, functools.partial(run, label))
             _metric(metrics, f"sim.{label}.scalar.branches_per_sec",
                     branches / t_scalar, "branches/s", "higher")
             _metric(metrics, f"sim.{label}.kernel.branches_per_sec",
@@ -166,7 +167,7 @@ def _bench_sim_throughput(config: BenchConfig, metrics, echo) -> None:
                  f"({t_scalar / t_kernel:.1f}x)")
         for label in config.scalar_predictors:
             os.environ["REPRO_KERNELS"] = "0"
-            t_scalar, _ = _best_of(1, lambda: run(label))
+            t_scalar, _ = _best_of(1, functools.partial(run, label))
             _metric(metrics, f"sim.{label}.scalar.branches_per_sec",
                     branches / t_scalar, "branches/s", "higher")
             echo(f"  {label}: scalar {branches / t_scalar:,.0f}/s")

@@ -11,6 +11,7 @@ affects simulation outcomes.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import os
 import pickle
@@ -580,10 +581,8 @@ class Lab:
                     )
                 os.replace(tmp_name, disk)
             except BaseException:
-                try:
+                with contextlib.suppress(OSError):
                     os.unlink(tmp_name)
-                except OSError:
-                    pass
                 raise
         except OSError as exc:
             obs.counter("lab.cache.store_failed")

@@ -136,4 +136,7 @@ EXPERIMENT_PLANS: Dict[str, Callable[[Lab], List[AnySimJob]]] = {
     "fig10": plan_fig10,
     "phase": plan_phase,
     "staticcheck": plan_staticcheck,
+    # staticpred consumes exactly the same simulation set: SPECint H2P
+    # screens over every input, LCF screens from the first input.
+    "staticpred": plan_staticcheck,
 }

@@ -28,6 +28,7 @@ from repro.experiments.lab import Lab
 from repro.experiments.phase_study import compute_phase_study
 from repro.experiments.plans import EXPERIMENT_PLANS
 from repro.experiments.staticcheck_check import compute_staticcheck_report
+from repro.experiments.staticpred import compute_staticpred_report
 from repro.experiments.table1 import compute_table1
 from repro.experiments.table2 import compute_table2
 from repro.experiments.table3 import compute_table3
@@ -62,6 +63,7 @@ EXPERIMENTS: Dict[str, Callable[[Lab], str]] = {
     "cnn": lambda lab: compute_cnn_study(lab).render(),
     "phase": lambda lab: compute_phase_study(lab).render(),
     "staticcheck": lambda lab: compute_staticcheck_report(lab).render(),
+    "staticpred": lambda lab: compute_staticpred_report(lab).render(),
 }
 
 

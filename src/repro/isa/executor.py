@@ -249,10 +249,9 @@ class Executor:
                 elif op == _OP_LOAD:
                     _, dst, base, offset = ins
                     addr = (regs[base] + offset) & WORD_MASK
-                    if addr < mem_size:
-                        regs[dst] = mem[addr]
-                    else:
-                        regs[dst] = mem_extra.get(addr, 0)
+                    regs[dst] = (
+                        mem[addr] if addr < mem_size else mem_extra.get(addr, 0)
+                    )
                     if tracking:
                         t = mem_taint.get(addr)
                         reg_taint[dst] = t if t is not None else frozenset((addr,))

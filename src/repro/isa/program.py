@@ -73,6 +73,11 @@ class Program:
         if entry not in self.block_index:
             raise ValueError(f"entry block {entry!r} not defined")
         self.entry = entry
+        #: Memoized static-analysis bundle, owned by
+        #: ``repro.staticcheck.engine.analyze_program`` (keyed on program
+        #: identity: a finalized Program is immutable, so the first analysis
+        #: is valid for the instance's whole lifetime).
+        self.staticcheck_cache: Optional[object] = None
         self._assign_ips()
         self._layout_data(data)
         self._validate_targets()

@@ -28,13 +28,17 @@ kernels (the dispatch lives in ``repro.pipeline.simulator``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.types import BranchTrace
 from repro.kernels.engine import cond_positions, plan_memo, stream_bits
 from repro.kernels.scan import final_history, local_history, packed_history
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid predictor cycles
+    from repro.predictors.loop import ImliCounter
+    from repro.predictors.tagescl import TageScL
 
 _CHUNK = 1 << 16  # rows decoded to Python lists at a time (bounds memory)
 
@@ -52,7 +56,7 @@ class BatchedPrediction:
     attrs: Optional[List[Tuple[int, bool, bool, bool]]] = None
 
 
-def batchable(predictor) -> bool:
+def batchable(predictor: Any) -> bool:
     """Whether the batched replay reproduces ``predictor`` exactly.
 
     Exact types only — a subclass may override behavior the replay would
@@ -140,7 +144,7 @@ def _ghist_stream(trace: BranchTrace, taken_c: np.ndarray, init: int) -> np.ndar
 
 
 def _imli_stream(
-    trace: BranchTrace, ips_c: np.ndarray, taken_c: np.ndarray, imli
+    trace: BranchTrace, ips_c: np.ndarray, taken_c: np.ndarray, imli: "ImliCounter"
 ) -> Tuple[np.ndarray, Optional[int], int]:
     """IMLI count before each conditional branch, plus the final state.
 
@@ -153,7 +157,7 @@ def _imli_stream(
     init_ip = imli._last_backward_ip
     key = ("imli_stream", init_count, init_ip, imli.max_count)
 
-    def build():
+    def build() -> Tuple[np.ndarray, Optional[int], int]:
         t = np.asarray(taken_c, dtype=bool)
         t_ips = ips_c[t]
         m = len(t_ips)
@@ -205,7 +209,13 @@ class _Precomp:
     ghist_final: int
 
 
-def _precompute(p, trace: BranchTrace, ips_c, taken_c, pos) -> _Precomp:
+def _precompute(
+    p: "TageScL",
+    trace: BranchTrace,
+    ips_c: np.ndarray,
+    taken_c: np.ndarray,
+    pos: np.ndarray,
+) -> _Precomp:
     from repro.predictors.gehl import folded_stream_history
 
     tage = p.tage
@@ -320,7 +330,7 @@ def _precompute(p, trace: BranchTrace, ips_c, taken_c, pos) -> _Precomp:
 
 
 def _replay_preset(
-    p,
+    p: "TageScL",
     trace: BranchTrace,
     ips_c: np.ndarray,
     taken_c: np.ndarray,

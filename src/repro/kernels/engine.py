@@ -19,7 +19,7 @@ predictors over one trace) pays the sorts once.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Any, Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -191,10 +191,11 @@ def score_with_kernel(
     changing the scored result.
     """
     ips_c, taken_c, _ = trace.conditional_columns()
-    if getattr(kernel, "wants_trace", False):
-        preds = kernel(ips_c, taken_c, trace)
-    else:
-        preds = kernel(ips_c, taken_c)
+    preds = (
+        kernel(ips_c, taken_c, trace)
+        if getattr(kernel, "wants_trace", False)
+        else kernel(ips_c, taken_c)
+    )
     return score_predictions(
         trace,
         preds,
@@ -289,7 +290,7 @@ def score_predictions(
 # over one trace) pays each reconstruction once.
 
 
-def plan_memo(trace: BranchTrace, key: Tuple, build: Callable[[], object]):
+def plan_memo(trace: BranchTrace, key: Tuple, build: Callable[[], Any]) -> Any:
     """Memoize ``build()`` on ``trace._plan_cache`` under ``key``.
 
     Cached values are shared across predictors and must be treated as

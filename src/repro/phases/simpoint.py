@@ -59,10 +59,9 @@ def _kmeans(
         labels = new_labels
         for j in range(k):
             members = data[labels == j]
-            if len(members):
-                centroids[j] = members.mean(axis=0)
-            else:
-                centroids[j] = data[rng.integers(n)]
+            centroids[j] = (
+                members.mean(axis=0) if len(members) else data[rng.integers(n)]
+            )
     wcss = float(
         ((data - centroids[labels]) ** 2).sum()
     )

@@ -73,10 +73,9 @@ class LoopPredictor(BranchPredictor):
             self.is_confident = False
             self._last_pred = True
             return True
-        if entry.current_iter + 1 >= entry.past_iter:
-            pred = not entry.direction  # the exit
-        else:
-            pred = entry.direction
+        # Predict the exit direction on the final expected iteration.
+        exiting = entry.current_iter + 1 >= entry.past_iter
+        pred = (not entry.direction) if exiting else entry.direction
         self.is_confident = True
         self._last_pred = pred
         return pred

@@ -171,10 +171,11 @@ class PhaseBiasHelper(BranchPredictor):
         self.base.update(ip, taken)
         i = self._last_index
         entry_dir = self._dir[i] >= 0
-        if entry_dir == taken:
-            self._conf[i] = saturate(self._conf[i] + 1, 0, self.confidence_max)
-        else:
-            self._conf[i] = 0
+        self._conf[i] = (
+            saturate(self._conf[i] + 1, 0, self.confidence_max)
+            if entry_dir == taken
+            else 0
+        )
         if entry_dir == taken and self._last_base_pred != taken:
             self._util[i] = saturate(self._util[i] + 1, 0, 7)
         elif entry_dir != taken:

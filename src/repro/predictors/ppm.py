@@ -83,10 +83,11 @@ class PPM(BranchPredictor):
             if table.tags[i] == g:
                 provider, idx, tag = t, i, g
                 break
-        if provider is None:
-            pred = self._base[self._base_index(ip)] >= 0
-        else:
-            pred = self.tables[provider].ctrs[idx] >= 0
+        pred = (
+            self._base[self._base_index(ip)] >= 0
+            if provider is None
+            else self.tables[provider].ctrs[idx] >= 0
+        )
         self._last = (provider, idx, tag)
         return pred
 

@@ -307,18 +307,13 @@ class Tage(BranchPredictor):
             idx = self._p_idx
             ctrs = self._ctrs[provider]
             useful = self._useful[provider]
-            if self._p_weak:
-                # Track whether the alternate beats newly-allocated entries.
-                if self._p_provider_pred != self._p_alt_pred:
-                    if self._p_alt_pred == taken:
-                        self._use_alt_on_na = saturate(self._use_alt_on_na + 1, -8, 7)
-                    else:
-                        self._use_alt_on_na = saturate(self._use_alt_on_na - 1, -8, 7)
+            # Track whether the alternate beats newly-allocated entries.
+            if self._p_weak and self._p_provider_pred != self._p_alt_pred:
+                step = 1 if self._p_alt_pred == taken else -1
+                self._use_alt_on_na = saturate(self._use_alt_on_na + step, -8, 7)
             if self._p_provider_pred != self._p_alt_pred:
-                if self._p_provider_pred == taken:
-                    useful[idx] = saturate(useful[idx] + 1, 0, self._u_hi)
-                else:
-                    useful[idx] = saturate(useful[idx] - 1, 0, self._u_hi)
+                step = 1 if self._p_provider_pred == taken else -1
+                useful[idx] = saturate(useful[idx] + step, 0, self._u_hi)
             ctrs[idx] = counter_update(ctrs[idx], taken, self._ctr_lo, self._ctr_hi)
             # Keep the base predictor warm when the provider is fresh.
             if self._useful[provider][idx] == 0 and abs(2 * ctrs[idx] + 1) <= 1:

@@ -97,13 +97,14 @@ class Wormhole(BranchPredictor):
             agree = sum(
                 1 for a, b in zip(entry.prev_row, entry.cur_row) if a == b
             )
-            if n and agree >= 0.9 * n and len(entry.prev_row) == len(entry.cur_row):
-                entry.confidence = saturate(
-                    entry.confidence + 1, 0, self.confidence_max
-                )
-            else:
-                entry.confidence = saturate(entry.confidence - 1, 0,
-                                            self.confidence_max)
+            rows_agree = (
+                n and agree >= 0.9 * n
+                and len(entry.prev_row) == len(entry.cur_row)
+            )
+            step = 1 if rows_agree else -1
+            entry.confidence = saturate(
+                entry.confidence + step, 0, self.confidence_max
+            )
         if entry.cur_row:
             entry.row_length = len(entry.cur_row)
             entry.prev_row = entry.cur_row

@@ -195,9 +195,11 @@ class FaultPlan:
                 return None
             if rule.times is not None and self._fired[site] >= rule.times:
                 return None
-            if rule.probability is not None:
-                if self._rngs[site].random() >= rule.probability:
-                    return None
+            if (
+                rule.probability is not None
+                and self._rngs[site].random() >= rule.probability
+            ):
+                return None
             self._fired[site] += 1
         return rule
 

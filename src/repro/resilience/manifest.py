@@ -26,6 +26,7 @@ bit-identical to clean ones.
 
 from __future__ import annotations
 
+import contextlib
 import json
 from pathlib import Path
 from typing import FrozenSet, Optional, Tuple, Union
@@ -68,10 +69,8 @@ class ResumeManifest:
         """
         self._completed.clear()
         lines = []
-        try:
+        with contextlib.suppress(OSError):
             lines = self.path.read_text().splitlines()
-        except OSError:
-            pass
         header_ok = False
         if lines:
             try:
@@ -157,8 +156,6 @@ class ResumeManifest:
 
     def close(self) -> None:
         if self._fh is not None:
-            try:
+            with contextlib.suppress(OSError):
                 self._fh.close()
-            except OSError:
-                pass
             self._fh = None

@@ -23,7 +23,7 @@ shape Table I / Table II depend on; contracts pin it (``SC301``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import enum
 
@@ -36,6 +36,9 @@ from repro.staticcheck.dataflow import (
     terminator_reads,
 )
 from repro.staticcheck.dominators import NaturalLoop, dominates, loop_body
+
+if TYPE_CHECKING:  # avoid a classify <-> predictability import cycle risk
+    from repro.staticcheck.predictability import StaticPredictability
 
 
 class BranchClass(enum.Enum):
@@ -58,7 +61,14 @@ class StaticBranchProfile:
 
 @dataclass(frozen=True)
 class StaticFootprint:
-    """The static shape of one program, as checked by contracts."""
+    """The static shape of one program, as checked by contracts.
+
+    The six ``*_branches`` verdict counts partition the reachable
+    conditional branches by their
+    :class:`~repro.staticcheck.predictability.Verdict`; the class counts
+    (``loop/data/guard_branches``) partition the same set by
+    :class:`BranchClass` — both sum to ``conditional_branches``.
+    """
 
     blocks: int
     reachable_blocks: int
@@ -70,6 +80,12 @@ class StaticFootprint:
     calls: int
     natural_loops: int
     data_arrays: int
+    const_branches: int = 0
+    loop_exit_branches: int = 0
+    biased_branches: int = 0
+    correlated_branches: int = 0
+    h2p_candidate_branches: int = 0
+    rare_branches: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -83,6 +99,12 @@ class StaticFootprint:
             "calls": self.calls,
             "natural_loops": self.natural_loops,
             "data_arrays": self.data_arrays,
+            "const_branches": self.const_branches,
+            "loop_exit_branches": self.loop_exit_branches,
+            "biased_branches": self.biased_branches,
+            "correlated_branches": self.correlated_branches,
+            "h2p_candidate_branches": self.h2p_candidate_branches,
+            "rare_branches": self.rare_branches,
         }
 
 
@@ -160,11 +182,15 @@ def compute_footprint(
     program: Program,
     cfg: Cfg,
     branches: List[StaticBranchProfile],
-    loops: List[NaturalLoop],
+    loops: Sequence[NaturalLoop],
+    predictability: Sequence["StaticPredictability"] = (),
 ) -> StaticFootprint:
     counts = {cls: 0 for cls in BranchClass}
     for profile in branches:
         counts[profile.branch_class] += 1
+    verdicts: Dict[str, int] = {}
+    for entry in predictability:
+        verdicts[entry.verdict.value] = verdicts.get(entry.verdict.value, 0) + 1
     switches = calls = 0
     for block in program.blocks:
         if block.label not in cfg.reachable:
@@ -184,6 +210,12 @@ def compute_footprint(
         calls=calls,
         natural_loops=len(loops),
         data_arrays=len(program.arrays),
+        const_branches=verdicts.get("const", 0),
+        loop_exit_branches=verdicts.get("loop_exit", 0),
+        biased_branches=verdicts.get("biased", 0),
+        correlated_branches=verdicts.get("correlated", 0),
+        h2p_candidate_branches=verdicts.get("h2p_candidate", 0),
+        rare_branches=verdicts.get("rare", 0),
     )
 
 

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro import obs
 from repro.staticcheck.classify import StaticFootprint
@@ -30,6 +30,29 @@ def _emit_contracts(names: Optional[List[str]]) -> int:
         print(render_contract(contract_from_footprint(workload, footprint)))
     print("}")
     return 0
+
+
+def _render_predictability(report: Report) -> List[str]:
+    """One verdict-summary line per workload for the human-readable output."""
+    lines: List[str] = []
+    for workload, section in sorted(report.predictability.items()):
+        branches = section.get("branches")
+        if isinstance(branches, list):
+            counts: Dict[str, int] = {}
+            for entry in branches:
+                verdict = str(entry["verdict"])
+                counts[verdict] = counts.get(verdict, 0) + 1
+        else:
+            counts = {
+                key.replace("_branches", ""): int(value)
+                for key, value in section.items()
+                if isinstance(value, int)
+            }
+        summary = ", ".join(
+            f"{verdict}={count}" for verdict, count in sorted(counts.items())
+        )
+        lines.append(f"predictability {workload}: {summary}")
+    return lines
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -64,6 +87,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="print contract-registry stanzas pinned to the current footprints",
     )
     parser.add_argument(
+        "--predictability",
+        action="store_true",
+        help=(
+            "emit per-branch StaticPredictability verdicts: SC4xx INFO "
+            "diagnostics, per-branch report entries, and a verdict summary"
+        ),
+    )
+    parser.add_argument(
         "--report-out",
         metavar="PATH",
         help="write the machine-readable JSON report to PATH",
@@ -94,17 +125,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.fixture:
         program = FIXTURES[args.fixture]()
-        _analysis, diagnostics = lint_program(program, workload=args.fixture)
+        _analysis, diagnostics = lint_program(
+            program, workload=args.fixture, predictability=args.predictability
+        )
         report = Report(diagnostics=diagnostics, programs_checked=1)
+        if args.predictability:
+            report.predictability[args.fixture] = {
+                "branches": [e.as_dict() for e in _analysis.predictability]
+            }
     elif args.workloads or args.all:
         try:
-            report = lint_registry(args.workloads or None)
+            report = lint_registry(
+                args.workloads or None, predictability=args.predictability
+            )
         except ValueError as exc:
             parser.error(str(exc))
     else:
         parser.error("nothing to lint: name workloads, or pass --all / --fixture")
 
     print(report.render())
+    if args.predictability:
+        for line in _render_predictability(report):
+            print(line)
     if args.report_out:
         path = report.write_json(args.report_out)
         _log.info("wrote staticcheck report to %s", path)

@@ -18,6 +18,18 @@ from typing import Dict, List, Mapping, Tuple
 
 from repro.staticcheck.classify import StaticFootprint
 
+#: Predictability-verdict footprint keys (one per
+#: :class:`~repro.staticcheck.predictability.Verdict`); contracts that pin
+#: none of these trigger ``SC404`` under ``--predictability``.
+PREDICTABILITY_CONTRACT_KEYS: Tuple[str, ...] = (
+    "const_branches",
+    "loop_exit_branches",
+    "biased_branches",
+    "correlated_branches",
+    "h2p_candidate_branches",
+    "rare_branches",
+)
+
 #: Footprint keys a generated contract pins by default.
 DEFAULT_CONTRACT_KEYS: Tuple[str, ...] = (
     "blocks",
@@ -25,7 +37,7 @@ DEFAULT_CONTRACT_KEYS: Tuple[str, ...] = (
     "loop_branches",
     "data_branches",
     "guard_branches",
-)
+) + PREDICTABILITY_CONTRACT_KEYS
 
 
 @dataclass(frozen=True)

@@ -234,24 +234,29 @@ def _taint_fixpoint(
     return data_in, addr_in
 
 
-def _control_dependent_blocks(
+def control_dependence_map(
     program: Program,
     cfg: Cfg,
     idoms: Dict[str, Optional[str]],
     taint: TaintResult,
-) -> Set[str]:
-    """Blocks properly inside one arm of a ``DATA``-conditioned terminator.
+) -> Dict[str, str]:
+    """Nearest controlling terminator for each control-dependent block.
 
-    The dominance approximation of control dependence: for each tainted
-    :class:`Br`/:class:`Switch`, each target that is *private* to the
-    branch (single predecessor) roots an arm; everything the target
-    dominates is control-dependent.  Join blocks have multiple
-    predecessors, so the region stops exactly at the merge.  When the
-    branch closes a loop (a target dominates it), the other targets are
-    the loop's exits — the inevitable continuation, which post-dominates
-    the branch — so they do not root arms.
+    Maps every block properly inside one arm of a ``DATA``-conditioned
+    :class:`Br`/:class:`Switch` to the *nearest* such terminator's block
+    (the one whose outcome selects whether this block runs; outer
+    controllers are reached transitively through the inner one's own
+    condition and controller).
+
+    The dominance approximation of control dependence: each branch target
+    that is *private* to the branch (single predecessor) roots an arm;
+    everything the target dominates is control-dependent on the branch.
+    Join blocks have multiple predecessors, so the region stops exactly at
+    the merge.  When the branch closes a loop (a target dominates it), the
+    other targets are the loop's exits — the inevitable continuation,
+    which post-dominates the branch — so they do not root arms.
     """
-    arm_roots: Set[str] = set()
+    arm_roots: Dict[str, str] = {}
     for label in cfg.rpo:
         term = program.block(label).terminator
         if not isinstance(term, (Br, Switch)):
@@ -266,15 +271,29 @@ def _control_dependent_blocks(
             if closes_loop and not dominates(idoms, target, label):
                 continue
             if tuple(cfg.preds[target]) == (label,):
-                arm_roots.add(target)
-    # One RPO pass marks whole dominator subtrees (idoms appear earlier).
-    dominated: Dict[str, bool] = {}
+                arm_roots[target] = label
+    # One RPO pass marks whole dominator subtrees (idoms appear earlier);
+    # an arm root nested inside another arm keeps its own (nearer)
+    # controller for its subtree.
+    controller: Dict[str, str] = {}
     for label in cfg.rpo:
+        if label in arm_roots:
+            controller[label] = arm_roots[label]
+            continue
         parent = idoms.get(label)
-        dominated[label] = label in arm_roots or bool(
-            parent is not None and dominated.get(parent)
-        )
-    return {label for label, inside in dominated.items() if inside}
+        if parent is not None and parent in controller:
+            controller[label] = controller[parent]
+    return controller
+
+
+def _control_dependent_blocks(
+    program: Program,
+    cfg: Cfg,
+    idoms: Dict[str, Optional[str]],
+    taint: TaintResult,
+) -> Set[str]:
+    """Blocks with a controller per :func:`control_dependence_map`."""
+    return set(control_dependence_map(program, cfg, idoms, taint))
 
 
 def compute_taint(

@@ -15,8 +15,14 @@ from typing import Any, Dict, List, Mapping, Optional
 
 
 class Severity(enum.IntEnum):
-    """Diagnostic severity (ordering matters: higher is worse)."""
+    """Diagnostic severity (ordering matters: higher is worse).
 
+    ``INFO`` diagnostics never affect the exit code, even under
+    ``--strict`` — they surface analysis results (the ``SC4xx``
+    predictability verdicts), not defects.
+    """
+
+    INFO = 0
     WARNING = 1
     ERROR = 2
 
@@ -32,7 +38,8 @@ class Rule:
 
 
 #: The rule registry.  IDs are stable: 1xx = CFG shape, 2xx = dataflow,
-#: 3xx = contract/footprint.  Never renumber; retire IDs instead.
+#: 3xx = contract/footprint, 4xx = predictability.  Never renumber;
+#: retire IDs instead.
 RULES: Dict[str, Rule] = {
     r.rule_id: r
     for r in (
@@ -85,6 +92,33 @@ RULES: Dict[str, Rule] = {
             Severity.ERROR,
             "the static footprint differs across application inputs",
         ),
+        Rule(
+            "SC401",
+            "static-h2p-candidate",
+            Severity.INFO,
+            "a branch is statically flagged hard-to-predict (data-dependent "
+            "or its history requirement exceeds every TAGE table)",
+        ),
+        Rule(
+            "SC402",
+            "range-taint-conflict",
+            Severity.INFO,
+            "a DATA-classified branch is proven single-direction by the "
+            "range analysis (the taint is an over-approximation here)",
+        ),
+        Rule(
+            "SC403",
+            "missing-verdict",
+            Severity.ERROR,
+            "a reachable conditional branch received no predictability "
+            "verdict (internal analysis invariant violated)",
+        ),
+        Rule(
+            "SC404",
+            "predictability-contract-missing",
+            Severity.WARNING,
+            "a declared contract pins no predictability-verdict counts",
+        ),
     )
 }
 
@@ -133,8 +167,34 @@ class Diagnostic:
         }
 
 
-#: Schema tag for ``--report-out`` JSON documents.
-REPORT_SCHEMA_VERSION = "repro.staticcheck/v1"
+#: Schema tag for ``--report-out`` JSON documents.  ``v2`` adds the
+#: ``infos`` count and the ``predictability`` section (per-workload verdict
+#: counts, plus per-branch entries when ``--predictability`` is on).
+REPORT_SCHEMA_VERSION = "repro.staticcheck/v2"
+
+#: Schemas :func:`load_report` accepts.  ``v1`` documents (pre-
+#: predictability) are read with empty defaults for the new sections.
+ACCEPTED_SCHEMA_VERSIONS = ("repro.staticcheck/v1", "repro.staticcheck/v2")
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    """Read a ``--report-out`` JSON document, accepting v1 and v2.
+
+    Returns the raw dict normalized to the v2 shape: missing ``infos``,
+    ``predictability`` (v1 documents) are filled with empty defaults.
+    Raises ``ValueError`` on an unknown schema tag.
+    """
+    with open(path) as fh:
+        doc: Dict[str, Any] = json.load(fh)
+    schema = doc.get("schema")
+    if schema not in ACCEPTED_SCHEMA_VERSIONS:
+        raise ValueError(
+            f"unsupported staticcheck report schema {schema!r}; "
+            f"expected one of {ACCEPTED_SCHEMA_VERSIONS}"
+        )
+    doc.setdefault("infos", 0)
+    doc.setdefault("predictability", {})
+    return doc
 
 
 @dataclass
@@ -144,6 +204,9 @@ class Report:
     diagnostics: List[Diagnostic] = field(default_factory=list)
     #: workload name -> input-invariant footprint dict (as_dict form).
     footprints: Dict[str, Mapping[str, int]] = field(default_factory=dict)
+    #: workload name -> predictability section: verdict counts plus, in
+    #: ``--predictability`` mode, per-branch verdict entries.
+    predictability: Dict[str, Mapping[str, Any]] = field(default_factory=dict)
     programs_checked: int = 0
 
     def extend(self, diagnostics: List[Diagnostic]) -> None:
@@ -161,7 +224,8 @@ class Report:
         lines.append(
             f"{self.programs_checked} program(s) checked: "
             f"{self.count(Severity.ERROR)} error(s), "
-            f"{self.count(Severity.WARNING)} warning(s)"
+            f"{self.count(Severity.WARNING)} warning(s), "
+            f"{self.count(Severity.INFO)} info(s)"
         )
         return "\n".join(lines)
 
@@ -171,8 +235,12 @@ class Report:
             "programs_checked": self.programs_checked,
             "errors": self.count(Severity.ERROR),
             "warnings": self.count(Severity.WARNING),
+            "infos": self.count(Severity.INFO),
             "diagnostics": [d.to_dict() for d in self.diagnostics],
             "footprints": {k: dict(v) for k, v in sorted(self.footprints.items())},
+            "predictability": {
+                k: dict(v) for k, v in sorted(self.predictability.items())
+            },
         }
 
     def write_json(self, path: str) -> str:

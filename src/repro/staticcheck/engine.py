@@ -23,18 +23,23 @@ from repro import obs
 from repro.isa.program import Program
 from repro.staticcheck.cfg import Cfg, build_cfg, unreachable_blocks
 from repro.staticcheck.classify import (
+    BranchClass,
     StaticBranchProfile,
     StaticFootprint,
     classify_branches,
     compute_footprint,
     referenced_arrays,
 )
-from repro.staticcheck.contracts import StaticContract
+from repro.staticcheck.contracts import (
+    PREDICTABILITY_CONTRACT_KEYS,
+    StaticContract,
+)
 from repro.staticcheck.dataflow import (
     MustAssigned,
     TaintResult,
     compute_must_assigned,
     compute_taint,
+    control_dependence_map,
     suspicious_memory_ops,
 )
 from repro.staticcheck.diagnostics import Diagnostic, Report
@@ -44,6 +49,13 @@ from repro.staticcheck.dominators import (
     compute_idoms,
     natural_loops,
 )
+from repro.staticcheck.predictability import (
+    StaticPredictability,
+    Verdict,
+    compute_predictability,
+)
+from repro.staticcheck.ranges import RangeResult, compute_ranges
+from repro.staticcheck.trips import LoopTripInfo, analyze_loop_trips
 
 if TYPE_CHECKING:  # runtime import stays lazy: workloads import this package
     from repro.workloads.base import WorkloadSpec
@@ -63,11 +75,27 @@ class ProgramAnalysis:
     must: MustAssigned
     taint: TaintResult
     branches: Tuple[StaticBranchProfile, ...]
+    ranges: RangeResult
+    trips: Dict[str, LoopTripInfo]
+    controllers: Dict[str, str]
+    predictability: Tuple[StaticPredictability, ...]
     footprint: StaticFootprint
 
 
 def analyze_program(program: Program) -> ProgramAnalysis:
-    """Run all static passes over one finalized program."""
+    """Run all static passes over one finalized program.
+
+    Results are memoized on the :class:`Program` instance (a finalized
+    program is immutable), so repeated linting of the same built program —
+    the ``staticcheck`` and ``staticpred`` experiments share builds via
+    :func:`repro.workloads.base.build_cached` — pays for the CFG,
+    dominator, taint and predictability passes exactly once.
+    """
+    cached = program.staticcheck_cache
+    if isinstance(cached, ProgramAnalysis):
+        obs.counter("staticcheck.cache.hits")
+        return cached
+    obs.counter("staticcheck.cache.misses")
     with obs.timer("staticcheck.analyze"):
         cfg = build_cfg(program)
         idoms = compute_idoms(cfg)
@@ -76,9 +104,17 @@ def analyze_program(program: Program) -> ProgramAnalysis:
         must = compute_must_assigned(program, cfg)
         taint = compute_taint(program, cfg, idoms)
         branches = classify_branches(program, cfg, idoms, taint)
-        footprint = compute_footprint(program, cfg, branches, loops)
+        ranges = compute_ranges(program, cfg)
+        trips = analyze_loop_trips(program, cfg, idoms, ranges, taint)
+        controllers = control_dependence_map(program, cfg, idoms, taint)
+        predictability = compute_predictability(
+            program, cfg, taint, ranges, trips, controllers, tuple(loops)
+        )
+        footprint = compute_footprint(
+            program, cfg, branches, loops, predictability
+        )
     obs.counter("staticcheck.programs_analyzed")
-    return ProgramAnalysis(
+    analysis = ProgramAnalysis(
         program=program,
         cfg=cfg,
         idoms=idoms,
@@ -87,8 +123,50 @@ def analyze_program(program: Program) -> ProgramAnalysis:
         must=must,
         taint=taint,
         branches=tuple(branches),
+        ranges=ranges,
+        trips=trips,
+        controllers=controllers,
+        predictability=tuple(predictability),
         footprint=footprint,
     )
+    program.staticcheck_cache = analysis
+    return analysis
+
+
+def _predictability_diagnostics(
+    analysis: ProgramAnalysis, workload: Optional[str]
+) -> List[Diagnostic]:
+    """The opt-in ``SC401``/``SC402`` INFO findings (``--predictability``)."""
+    out: List[Diagnostic] = []
+    class_by_block = {p.block: p.branch_class for p in analysis.branches}
+    for entry in analysis.predictability:
+        if entry.verdict is Verdict.H2P_CANDIDATE:
+            out.append(
+                Diagnostic(
+                    rule_id="SC401",
+                    message=f"statically hard-to-predict: {entry.detail}",
+                    workload=workload,
+                    block=entry.block,
+                    ip=entry.ip,
+                )
+            )
+        elif (
+            entry.verdict is Verdict.CONST
+            and class_by_block.get(entry.block) is BranchClass.DATA
+        ):
+            out.append(
+                Diagnostic(
+                    rule_id="SC402",
+                    message=(
+                        "DATA-classified branch is range-proven "
+                        f"single-direction: {entry.detail}"
+                    ),
+                    workload=workload,
+                    block=entry.block,
+                    ip=entry.ip,
+                )
+            )
+    return out
 
 
 def _program_diagnostics(
@@ -96,6 +174,22 @@ def _program_diagnostics(
 ) -> List[Diagnostic]:
     program, cfg = analysis.program, analysis.cfg
     out: List[Diagnostic] = []
+
+    verdict_blocks = {entry.block for entry in analysis.predictability}
+    for label, ip, _br in program.conditional_branches():
+        if label in cfg.reachable and label not in verdict_blocks:
+            out.append(
+                Diagnostic(
+                    rule_id="SC403",
+                    message=(
+                        f"reachable conditional branch in {label!r} has no "
+                        "predictability verdict"
+                    ),
+                    workload=workload,
+                    block=label,
+                    ip=ip,
+                )
+            )
 
     for label in unreachable_blocks(program, cfg):
         out.append(
@@ -162,11 +256,19 @@ def _program_diagnostics(
 
 
 def lint_program(
-    program: Program, workload: Optional[str] = None
+    program: Program,
+    workload: Optional[str] = None,
+    predictability: bool = False,
 ) -> Tuple[ProgramAnalysis, List[Diagnostic]]:
-    """Analyze one program and return it with its diagnostics."""
+    """Analyze one program and return it with its diagnostics.
+
+    ``predictability`` adds the per-branch ``SC401``/``SC402`` INFO
+    findings; the ``SC403`` invariant check is always on.
+    """
     analysis = analyze_program(program)
     diagnostics = _program_diagnostics(analysis, workload)
+    if predictability:
+        diagnostics.extend(_predictability_diagnostics(analysis, workload))
     for d in diagnostics:
         obs.counter(f"staticcheck.diagnostics.{d.severity.name.lower()}")
     return analysis, diagnostics
@@ -176,6 +278,7 @@ def lint_workload(
     spec: "WorkloadSpec",
     contract: Optional[StaticContract] = None,
     input_indices: Optional[Sequence[int]] = None,
+    predictability: bool = False,
 ) -> Tuple[Optional[StaticFootprint], List[Diagnostic]]:
     """Lint one workload across its application inputs.
 
@@ -183,8 +286,11 @@ def lint_workload(
     ``SC303`` when the static footprint varies across inputs (the
     cross-input H2P methodology requires identical static structure),
     ``SC301`` when it violates the declared contract, ``SC302`` when no
-    contract is declared.
+    contract is declared, and — under ``predictability`` — ``SC404`` when
+    the contract pins no predictability-verdict counts.
     """
+    from repro.workloads.base import build_cached
+
     indices = list(input_indices) if input_indices is not None else list(
         range(spec.num_inputs)
     )
@@ -192,8 +298,10 @@ def lint_workload(
     footprint: Optional[StaticFootprint] = None
     with obs.span(f"staticcheck.{spec.name}", inputs=len(indices)):
         for input_index in indices:
-            program = spec.build(input_index)
-            _analysis, diags = lint_program(program, workload=spec.name)
+            program = build_cached(spec, input_index)
+            _analysis, diags = lint_program(
+                program, workload=spec.name, predictability=predictability
+            )
             diagnostics.extend(diags)
             if footprint is None:
                 footprint = _analysis.footprint
@@ -229,8 +337,23 @@ def lint_workload(
                         rule_id="SC301", message=violation, workload=spec.name
                     )
                 )
+            if predictability and not any(
+                key in contract.bounds for key in PREDICTABILITY_CONTRACT_KEYS
+            ):
+                diagnostics.append(
+                    Diagnostic(
+                        rule_id="SC404",
+                        message=(
+                            "contract pins no predictability-verdict counts "
+                            "(regenerate with --emit-contracts)"
+                        ),
+                        workload=spec.name,
+                    )
+                )
     for d in diagnostics:
-        if d.rule_id.startswith("SC3"):
+        # Only the workload-level rules: the per-program diagnostics were
+        # already counted inside lint_program.
+        if d.rule_id in ("SC301", "SC302", "SC303", "SC404"):
             obs.counter(f"staticcheck.diagnostics.{d.severity.name.lower()}")
     _log.info(
         "linted %s over %d input(s): %d finding(s)",
@@ -244,9 +367,17 @@ def lint_workload(
 def lint_registry(
     names: Optional[Sequence[str]] = None,
     contracts: Optional[Mapping[str, StaticContract]] = None,
+    predictability: bool = False,
 ) -> Report:
-    """Lint registered workloads (all of them by default) into a report."""
+    """Lint registered workloads (all of them by default) into a report.
+
+    The report's ``predictability`` section always carries the per-workload
+    verdict counts; with ``predictability`` it additionally carries one
+    entry per conditional branch (input 0 — the verdicts are input-
+    invariant, which ``SC303`` separately enforces).
+    """
     from repro.workloads import WORKLOADS_BY_NAME
+    from repro.workloads.base import build_cached
     from repro.workloads.contracts import WORKLOAD_CONTRACTS
 
     if contracts is None:
@@ -261,9 +392,23 @@ def lint_registry(
     with obs.span("staticcheck", workloads=len(selected)):
         for name in selected:
             spec = WORKLOADS_BY_NAME[name]
-            footprint, diagnostics = lint_workload(spec, contracts.get(name))
+            footprint, diagnostics = lint_workload(
+                spec, contracts.get(name), predictability=predictability
+            )
             report.extend(diagnostics)
             report.programs_checked += spec.num_inputs
             if footprint is not None:
                 report.footprints[name] = footprint.as_dict()
+                section: Dict[str, object] = {
+                    key: footprint.as_dict()[key]
+                    for key in PREDICTABILITY_CONTRACT_KEYS
+                }
+                if predictability:
+                    # The analysis is memoized on the cached build, so this
+                    # is a lookup, not a recomputation.
+                    analysis = analyze_program(build_cached(spec, 0))
+                    section["branches"] = [
+                        entry.as_dict() for entry in analysis.predictability
+                    ]
+                report.predictability[name] = section
     return report

@@ -1,0 +1,250 @@
+"""History-requirement analysis: how far back must a predictor look?
+
+The static analogue of the paper's Table III experiment.  For every
+branch, walk the dependency graph *backwards* from the condition
+registers to the sites that produce their values:
+
+* :class:`Load`/:class:`Rand` sites — the condition consumes raw program
+  input (or entropy).  No bounded branch history determines the outcome,
+  so unless an earlier structural verdict applies the branch is a static
+  H2P candidate ("the data that determines them is not contained in the
+  global history", Sec. III-C);
+* **implicit producers** — a write inside a block control-dependent on an
+  earlier branch.  The written value is a function of that branch's
+  *outcome*, which **is** in the global history: the earlier branch
+  *reveals* the value.  The branch under analysis is then correlated,
+  provided the revealing outcome sits a bounded number of branches back;
+* constants (``Imm``/``ArrayBase``/zero-init) — no producer at all: the
+  outcome is a deterministic function of induction state, i.e. perfectly
+  correlated with position (distance 0).
+
+The distance from a revealing branch R to the dependent branch B is the
+number of conditional-branch outcomes entering the global history between
+R's outcome and B's prediction, maximized over CFG paths — the static
+counterpart of the "dependency branch position" axis.  When some R→B
+path re-enters a cycle, the distance is unbounded (each extra iteration
+pushes R deeper into history — the paper's noise-loop mechanism), which
+we report as ``None``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.isa.instructions import Alu, AluImm, ArrayBase, Br, Load, Rand
+from repro.isa.program import Program
+from repro.staticcheck.cfg import Cfg
+from repro.staticcheck.dataflow import (
+    TaintResult,
+    instruction_writes,
+    terminator_reads,
+)
+
+#: A producer site: ``(block label, instruction slot)``.
+Site = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class ProducerSet:
+    """Everything that can produce a set of condition registers' values."""
+
+    data_sites: Tuple[Site, ...]  # Load/Rand instructions (raw input)
+    control_sources: Tuple[str, ...]  # controlling branch/switch blocks
+    array_refs: Tuple[str, ...]  # ArrayBase names flowing in (addresses)
+
+    @property
+    def has_data(self) -> bool:
+        return bool(self.data_sites)
+
+
+def collect_producers(
+    program: Program,
+    cfg: Cfg,
+    controllers: Dict[str, str],
+    label: str,
+    regs: Tuple[int, ...],
+) -> ProducerSet:
+    """Backward-slice ``regs`` as read by ``label``'s terminator.
+
+    The walk is path-sensitive per block (scanning instructions backwards)
+    and joins over predecessors, visiting each ``(block, register)``
+    live-at-entry state at most once, so it terminates on cyclic CFGs and
+    self-accumulator idioms.
+    """
+    data_sites: Set[Site] = set()
+    control_sources: Set[str] = set()
+    array_refs: Set[str] = set()
+    visited: Set[Tuple[str, int]] = set()
+    # Stack entries: (block, live registers at the block's *entry*).
+    stack: List[Tuple[str, Set[int]]] = []
+
+    def push_preds(block: str, live: Set[int]) -> None:
+        for pred in cfg.preds[block]:
+            if pred not in cfg.reachable:
+                continue
+            fresh = {r for r in live if (pred, r) not in visited}
+            if fresh:
+                visited.update((pred, r) for r in fresh)
+                stack.append((pred, fresh))
+
+    live0 = _scan_block(
+        program, controllers, label, set(regs), data_sites, control_sources, array_refs
+    )
+    push_preds(label, live0)
+    while stack:
+        block, live = stack.pop()
+        leftover = _scan_block(
+            program, controllers, block, live, data_sites, control_sources, array_refs
+        )
+        push_preds(block, leftover)
+
+    return ProducerSet(
+        data_sites=tuple(sorted(data_sites)),
+        control_sources=tuple(sorted(control_sources)),
+        array_refs=tuple(sorted(array_refs)),
+    )
+
+
+def _scan_block(
+    program: Program,
+    controllers: Dict[str, str],
+    label: str,
+    pending: Set[int],
+    data_sites: Set[Site],
+    control_sources: Set[str],
+    array_refs: Set[str],
+) -> Set[int]:
+    """Scan one block backwards, resolving ``pending`` registers' defs.
+
+    Records producer events as a side effect.  Returns the registers
+    still live at the block's entry (alu operands replace their results
+    as the scan proceeds, so the result can differ from the input set).
+    """
+    controller = controllers.get(label)
+    for slot in range(len(program.block(label).instructions) - 1, -1, -1):
+        if not pending:
+            break
+        ins = program.block(label).instructions[slot]
+        dst = instruction_writes(ins)
+        if dst is None or dst not in pending:
+            continue
+        pending = set(pending)
+        pending.discard(dst)
+        # The write's *selection* depends on the controlling branch.
+        if controller is not None:
+            control_sources.add(controller)
+        if isinstance(ins, (Load, Rand)):
+            data_sites.add((label, slot))
+        elif isinstance(ins, ArrayBase):
+            array_refs.add(ins.name)
+        elif isinstance(ins, Alu):
+            pending.add(ins.src1)
+            pending.add(ins.src2)
+        elif isinstance(ins, AluImm):
+            pending.add(ins.src)
+        # Imm: compile-time constant, no producer.
+    return pending
+
+
+@dataclass(frozen=True)
+class HistoryRequirement:
+    """Producer summary plus the bounded history distance, if any."""
+
+    block: str
+    producers: ProducerSet
+    #: Max branch-distance from the furthest revealing branch; ``None``
+    #: when some revealer's distance is unbounded (or it never reaches the
+    #: branch without re-entering a cycle).  Meaningless if ``has_data``.
+    distance: Optional[int]
+
+
+def branch_distance(program: Program, cfg: Cfg, src: str, dst: str) -> Optional[int]:
+    """Worst-case conditional-branch count along CFG paths ``src`` → ``dst``.
+
+    Counts the :class:`Br` terminators of the blocks on the path including
+    ``src``'s, excluding ``dst``'s.  Returns ``None`` when no path exists
+    or when the path region contains a cycle (unbounded distance).
+    """
+    fwd = _reach(cfg, src, forward=True)
+    if dst not in fwd:
+        return None
+    back = _reach(cfg, dst, forward=False)
+    region = fwd & back
+
+    # Kahn's algorithm over the region: leftovers mean a cycle.
+    indeg = {
+        b: sum(1 for p in cfg.preds[b] if p in region and b != src)
+        for b in region
+    }
+    order: List[str] = [b for b in region if indeg[b] == 0 or b == src]
+    seen = set(order)
+    queue = deque(order)
+    topo: List[str] = []
+    while queue:
+        b = queue.popleft()
+        topo.append(b)
+        if b == dst:
+            continue
+        for s in cfg.succs[b]:
+            if s not in region or s in seen:
+                continue
+            indeg[s] -= 1
+            if indeg[s] == 0:
+                seen.add(s)
+                queue.append(s)
+    if len(topo) != len(region):
+        return None  # cyclic region: distance grows with iteration count
+
+    def weight(b: str) -> int:
+        return 1 if isinstance(program.block(b).terminator, Br) else 0
+
+    dist: Dict[str, int] = {src: weight(src)}
+    for b in topo:
+        if b not in dist or b == dst:
+            continue
+        for s in cfg.succs[b]:
+            if s in region:
+                cand = dist[b] + (weight(s) if s != dst else 0)
+                if cand > dist.get(s, -1):
+                    dist[s] = cand
+    return dist.get(dst)
+
+
+def _reach(cfg: Cfg, start: str, forward: bool) -> FrozenSet[str]:
+    edges = cfg.succs if forward else cfg.preds
+    seen = {start}
+    queue = deque([start])
+    while queue:
+        b = queue.popleft()
+        for n in edges[b]:
+            if n in cfg.reachable and n not in seen:
+                seen.add(n)
+                queue.append(n)
+    return frozenset(seen)
+
+
+def history_requirement(
+    program: Program,
+    cfg: Cfg,
+    taint: TaintResult,
+    controllers: Dict[str, str],
+    label: str,
+) -> HistoryRequirement:
+    """Producers and revealing-branch distance for one branch block."""
+    term = program.block(label).terminator
+    producers = collect_producers(
+        program, cfg, controllers, label, terminator_reads(term)
+    )
+    distance: Optional[int] = 0 if not producers.control_sources else None
+    if not producers.has_data and producers.control_sources:
+        worst = 0
+        for source in producers.control_sources:
+            d = branch_distance(program, cfg, source, label)
+            if d is None:
+                worst = -1
+                break
+            worst = max(worst, d)
+        distance = None if worst < 0 else worst
+    return HistoryRequirement(block=label, producers=producers, distance=distance)

@@ -1,0 +1,725 @@
+"""Per-branch static predictability verdicts.
+
+Combines the range (:mod:`~repro.staticcheck.ranges`), trip-count
+(:mod:`~repro.staticcheck.trips`) and history-requirement
+(:mod:`~repro.staticcheck.historyreq`) passes into one
+:class:`StaticPredictability` verdict per conditional branch — the static
+counterpart of the paper's dynamic branch taxonomy:
+
+``RARE``
+    The branch sits behind a data-driven switch with a large fan-out: even
+    an optimistic static bound on its per-slice executions stays below the
+    dynamic H2P screen's execution floor, so it can never accumulate
+    statistics (Fig. 8's long tail).  Unreachable branches are the bound-0
+    degenerate case.
+``CONST``
+    The operand intervals decide the condition outright — the branch
+    resolves the same way on every execution.
+``LOOP_EXIT(N)``
+    A counted loop with an *untainted* trip bound: mispredicts about once
+    per loop entry, accuracy ``~1 - 1/N``.  (A data-derived bound
+    disqualifies the loop — its exit position re-randomizes per entry,
+    the paper's noise-loop mechanism — and falls through to the history
+    analysis.)
+``BIASED(p)``
+    A local value-distribution argument bounds the accuracy at ≥ 0.99
+    without needing history: a uniform :class:`Rand` tested against a
+    constant, or a strided walk over a *statically known* (never-stored)
+    data array whose direction sequence rarely changes (the sorted-scan
+    idiom).
+``CORRELATED(d)``
+    Every producer of the condition is either a constant or a value
+    *revealed* by an earlier branch's outcome at a bounded history
+    distance ``d`` ≤ the largest TAGE preset's history length.  A plain
+    induction-state branch has no producers at all: ``CORRELATED(0)``.
+``H2P_CANDIDATE``
+    None of the above: raw input data reaches the condition, or the
+    revealing outcome lies an unbounded / too-distant number of branches
+    back.  The static analogue of the paper's H2P definition.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.config import H2P_MIN_EXECUTIONS, SLICE_INSTRUCTIONS
+from repro.isa.instructions import (
+    Alu,
+    AluImm,
+    AluOp,
+    ArrayBase,
+    Br,
+    Cond,
+    Load,
+    Rand,
+    Store,
+    Switch,
+)
+from repro.isa.program import DataArray, Program
+from repro.staticcheck.cfg import Cfg
+from repro.staticcheck.dataflow import TaintResult, instruction_writes
+from repro.staticcheck.dominators import NaturalLoop
+from repro.staticcheck.historyreq import history_requirement
+from repro.staticcheck.ranges import RangeResult, RegIntervals, branch_outcome
+from repro.staticcheck.trips import LoopTripInfo, entry_interval
+
+#: Largest ``max_history`` across the TAGE-SC-L presets (the 64KB+
+#: configurations) — a correlation further back than this is invisible to
+#: every predictor in the suite.
+MAX_TAGE_HISTORY = 3000
+
+#: Accuracy a structural argument must guarantee for a BIASED verdict —
+#: aligned with the dynamic H2P screen's accuracy cut so BIASED statically
+#: implies "not H2P" dynamically.
+BIAS_VERDICT_ACCURACY = 0.99
+
+#: Switch fan-out from which arms count as candidate rare regions.
+RARE_SWITCH_FANOUT = 16
+
+#: Cap on the strided-walk simulation (cycle detection always fires well
+#: below this for the generators' power-of-two arrays).
+_MAX_WALK_STEPS = 1 << 16
+
+
+class Verdict(enum.Enum):
+    CONST = "const"
+    LOOP_EXIT = "loop_exit"
+    BIASED = "biased"
+    CORRELATED = "correlated"
+    H2P_CANDIDATE = "h2p_candidate"
+    RARE = "rare"
+
+
+@dataclass(frozen=True)
+class StaticPredictability:
+    """One branch's verdict plus the verdict-specific evidence."""
+
+    block: str
+    ip: int
+    verdict: Verdict
+    detail: str
+    #: Lower bound on achievable accuracy, when the verdict implies one.
+    predicted_accuracy: Optional[float] = None
+    direction: Optional[bool] = None  # CONST: the constant outcome
+    trip_lo: Optional[int] = None  # LOOP_EXIT
+    trip_hi: Optional[int] = None  # LOOP_EXIT
+    distance: Optional[int] = None  # CORRELATED: revealing distance
+    exec_bound: Optional[int] = None  # RARE: static per-slice bound
+
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "block": self.block,
+            "ip": self.ip,
+            "verdict": self.verdict.value,
+            "detail": self.detail,
+        }
+        for key in (
+            "predicted_accuracy",
+            "direction",
+            "trip_lo",
+            "trip_hi",
+            "distance",
+            "exec_bound",
+        ):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        return out
+
+
+# ---------------------------------------------------------------------------
+# RARE: static execution-count bounds behind wide data-driven switches.
+
+
+def _shortest_cycle_instructions(program: Program, cfg: Cfg, label: str) -> Optional[int]:
+    """Instruction weight of the shortest CFG cycle through ``label``.
+
+    Dijkstra over node weights (instructions + terminator); the cycle
+    bound is optimistic — real iterations interleave other work — which
+    makes the derived execution bound an *over*-estimate, so a RARE
+    verdict is only issued when even that over-estimate is tiny.
+    """
+
+    def weight(block: str) -> int:
+        return program.block(block).size
+
+    dist: Dict[str, int] = {}
+    heap: List[Tuple[int, str]] = []
+    for succ in cfg.succs[label]:
+        if succ in cfg.reachable:
+            w = weight(succ)
+            if w < dist.get(succ, 1 << 60):
+                dist[succ] = w
+                heapq.heappush(heap, (w, succ))
+    best: Optional[int] = None
+    while heap:
+        d, block = heapq.heappop(heap)
+        if d > dist.get(block, 1 << 60):
+            continue
+        for succ in cfg.succs[block]:
+            if succ == label:
+                cycle = d + weight(label)
+                if best is None or cycle < best:
+                    best = cycle
+            elif succ in cfg.reachable:
+                nd = d + weight(succ)
+                if nd < dist.get(succ, 1 << 60):
+                    dist[succ] = nd
+                    heapq.heappush(heap, (nd, succ))
+    return best
+
+
+def rare_execution_bounds(
+    program: Program, cfg: Cfg, controllers: Dict[str, str]
+) -> Dict[str, int]:
+    """Static per-slice execution bounds for blocks in wide switch arms.
+
+    For each block whose controller chain passes through a
+    :class:`Switch` with fan-out ``K ≥ RARE_SWITCH_FANOUT``, bound its
+    per-slice executions by ``SLICE_INSTRUCTIONS / (L * K)`` where ``L``
+    is the instruction weight of the shortest cycle through the switch:
+    even if the slice did nothing but spin this dispatch loop, a uniform
+    selector lands on any one arm at most that often.
+    """
+    cycle_cache: Dict[str, Optional[int]] = {}
+    bounds: Dict[str, int] = {}
+    for label in cfg.rpo:
+        node = label
+        hops = 0
+        while node in controllers and hops < 64:
+            ctrl = controllers[node]
+            term = program.block(ctrl).terminator
+            if isinstance(term, Switch):
+                fanout = len(set(term.targets))
+                if fanout >= RARE_SWITCH_FANOUT:
+                    if ctrl not in cycle_cache:
+                        cycle_cache[ctrl] = _shortest_cycle_instructions(
+                            program, cfg, ctrl
+                        )
+                    cycle = cycle_cache[ctrl]
+                    if cycle is not None:
+                        bound = SLICE_INSTRUCTIONS // (cycle * fanout)
+                        if bound < bounds.get(label, 1 << 60):
+                            bounds[label] = bound
+            node = ctrl
+            hops += 1
+    return bounds
+
+
+# ---------------------------------------------------------------------------
+# BIASED: local distribution arguments.
+
+
+def _reaching_def(
+    program: Program, cfg: Cfg, label: str, reg: int
+) -> Optional[Tuple[str, int]]:
+    """The unique reaching definition site of ``reg`` at ``label``'s
+    terminator, found by scanning backwards through the block and then
+    through *unique* predecessors; None at any ambiguity."""
+    block = label
+    visited = {label}
+    while True:
+        instructions = program.block(block).instructions
+        for slot in range(len(instructions) - 1, -1, -1):
+            if instruction_writes(instructions[slot]) == reg:
+                return (block, slot)
+        preds = [p for p in cfg.preds[block] if p in cfg.reachable]
+        if len(preds) != 1 or preds[0] in visited:
+            return None
+        block = preds[0]
+        visited.add(block)
+
+
+def _cond_probability(cond: Cond, lo: int, hi: int, c: int, rand_is_src1: bool) -> float:
+    """P(cond holds) for X uniform on ``[lo, hi)`` against constant ``c``,
+    with X on the side indicated by ``rand_is_src1``."""
+    n = hi - lo
+    below = min(max(c - lo, 0), n)  # |{x : x < c}|
+    at_or_below = min(max(c + 1 - lo, 0), n)  # |{x : x <= c}|
+    if not rand_is_src1:
+        # c OP X: mirror the comparison.
+        if cond is Cond.LT:  # c < X  <=>  X > c
+            return (n - at_or_below) / n
+        if cond is Cond.GE:
+            return at_or_below / n
+        if cond is Cond.LE:  # c <= X  <=>  X >= c
+            return (n - below) / n
+        if cond is Cond.GT:
+            return below / n
+    if cond is Cond.LT:
+        return below / n
+    if cond is Cond.GE:
+        return (n - below) / n
+    if cond is Cond.LE:
+        return at_or_below / n
+    if cond is Cond.GT:
+        return (n - at_or_below) / n
+    inside = 1 / n if lo <= c < hi else 0.0
+    if cond is Cond.EQ:
+        return inside
+    return 1.0 - inside  # NE
+
+
+def _rand_bias(
+    program: Program, cfg: Cfg, label: str, br: Br, state: RegIntervals
+) -> Optional[float]:
+    """P(branch taken) when one operand is a fresh uniform Rand and the
+    other a compile-time singleton; None when the idiom doesn't apply."""
+    for rand_reg, const_reg, rand_is_src1 in (
+        (br.src1, br.src2, True),
+        (br.src2, br.src1, False),
+    ):
+        clo, chi = state[const_reg]
+        if clo != chi:
+            continue
+        site = _reaching_def(program, cfg, label, rand_reg)
+        if site is None:
+            continue
+        ins = program.block(site[0]).instructions[site[1]]
+        if isinstance(ins, Rand) and ins.hi > ins.lo:
+            return _cond_probability(br.cond, ins.lo, ins.hi, clo, rand_is_src1)
+    return None
+
+
+def written_arrays(program: Program, cfg: Cfg) -> FrozenSet[str]:
+    """Arrays some :class:`Store`'s base address can derive from.
+
+    Anything outside this set keeps its initial contents for the whole
+    run, so its values are static facts the scan-bias analysis may read.
+    """
+    written: Set[str] = set()
+    all_names = frozenset(program.arrays)
+    for block in program.blocks:
+        if block.label not in cfg.reachable:
+            continue
+        for slot, ins in enumerate(block.instructions):
+            if isinstance(ins, Store):
+                written |= _store_array_candidates(
+                    program, cfg, block.label, slot, ins.base
+                )
+                if written >= all_names:
+                    return frozenset(written)
+    return frozenset(written)
+
+
+def _store_array_candidates(
+    program: Program, cfg: Cfg, label: str, slot: int, base: int
+) -> FrozenSet[str]:
+    """Arrays a store's base address may derive from.
+
+    A backward may-reaching walk over ``ArrayBase``/ALU chains, branching
+    into every predecessor at joins.  A path that resolves the base to a
+    non-address source (``Imm``/``Load``/``Rand``, or zero-init at program
+    entry) cannot be attributed and poisons every array — the store may
+    alias any of them.
+    """
+    every = frozenset(program.arrays)
+    names: Set[str] = set()
+    start = (label, slot, frozenset((base,)))
+    stack = [start]
+    seen = {start}
+    while stack:
+        block, stop, pending_key = stack.pop()
+        pending = set(pending_key)
+        instructions = program.block(block).instructions
+        resolved_here = False
+        for i in range(stop - 1, -1, -1):
+            ins = instructions[i]
+            dst = instruction_writes(ins)
+            if dst is None or dst not in pending:
+                continue
+            pending.discard(dst)
+            if isinstance(ins, ArrayBase):
+                names.add(ins.name)
+                resolved_here = True
+                break
+            if isinstance(ins, Alu):
+                pending.update((ins.src1, ins.src2))
+            elif isinstance(ins, AluImm):
+                pending.add(ins.src)
+            # Imm / Load / Rand resolve that operand as plain data (an
+            # index, not the address chain) — keep tracing the rest.
+            if not pending:
+                # Every operand resolved without any ArrayBase: the
+                # address is pure data, it may alias anything.
+                return every
+        if resolved_here or not pending:
+            continue
+        preds = [p for p in cfg.preds[block] if p in cfg.reachable]
+        if not preds:
+            return every  # reached entry: base register is zero-init
+        for pred in preds:
+            nxt = (
+                pred,
+                len(program.block(pred).instructions),
+                frozenset(pending),
+            )
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+    return names
+
+
+def _array_at(program: Program, address: int) -> Optional[DataArray]:
+    for arr in program.arrays.values():
+        if arr.base <= address < arr.base + arr.length:
+            return arr
+    return None
+
+
+def _eval_cond(cond: Cond, a: int, b: int) -> bool:
+    if cond is Cond.EQ:
+        return a == b
+    if cond is Cond.NE:
+        return a != b
+    if cond is Cond.LT:
+        return a < b
+    if cond is Cond.GE:
+        return a >= b
+    if cond is Cond.LE:
+        return a <= b
+    return a > b  # GT
+
+
+def _scan_bias(
+    program: Program,
+    cfg: Cfg,
+    ranges: RangeResult,
+    loops: Tuple[NaturalLoop, ...],
+    clean_arrays: FrozenSet[str],
+    label: str,
+    br: Br,
+    state: RegIntervals,
+) -> Optional[float]:
+    """Accuracy bound for the strided static-array scan idiom.
+
+    Matches ``Load(v, base + idx)`` feeding the condition directly, with
+    ``idx`` walked by exactly ``idx += s; idx %= m`` inside the enclosing
+    loop from a constant start.  The whole load sequence is then a static
+    fact: replay it over the array's initial contents and count direction
+    transitions per walk cycle — a two-level predictor mispredicts at most
+    at the transitions (accuracy ``1 - T / cycle``).
+    """
+    for value_reg, const_reg in ((br.src1, br.src2), (br.src2, br.src1)):
+        clo, chi = state[const_reg]
+        if clo != chi:
+            continue
+        site = _reaching_def(program, cfg, label, value_reg)
+        if site is None:
+            continue
+        load = program.block(site[0]).instructions[site[1]]
+        if not isinstance(load, Load):
+            continue
+        addr_site = _reaching_def_before(program, cfg, site[0], site[1], load.base)
+        if addr_site is None:
+            continue
+        addr_ins = program.block(addr_site[0]).instructions[addr_site[1]]
+        if not (isinstance(addr_ins, Alu) and addr_ins.op is AluOp.ADD):
+            continue
+        entry_state = ranges.block_in[label]
+        # One ADD operand must be a singleton address (the ArrayBase), the
+        # other the walked index.
+        for base_reg, idx_reg in (
+            (addr_ins.src1, addr_ins.src2),
+            (addr_ins.src2, addr_ins.src1),
+        ):
+            blo, bhi = entry_state[base_reg]
+            if blo != bhi:
+                continue
+            arr = _array_at(program, blo)
+            if arr is None or arr.name not in clean_arrays:
+                continue
+            walk = _affine_walk(program, cfg, ranges, loops, label, idx_reg)
+            if walk is None:
+                continue
+            init, step, mod = walk
+            acc = _walk_accuracy(
+                program, arr, blo - arr.base, init, step, mod, br.cond, clo,
+                value_is_src1=value_reg == br.src1,
+            )
+            if acc is not None:
+                return acc
+    return None
+
+
+def _reaching_def_before(
+    program: Program, cfg: Cfg, label: str, slot: int, reg: int
+) -> Optional[Tuple[str, int]]:
+    """Like :func:`_reaching_def` but starting just above ``slot``."""
+    instructions = program.block(label).instructions
+    for i in range(slot - 1, -1, -1):
+        if instruction_writes(instructions[i]) == reg:
+            return (label, i)
+    preds = [p for p in cfg.preds[label] if p in cfg.reachable]
+    if len(preds) == 1 and preds[0] != label:
+        return _reaching_def(program, cfg, preds[0], reg)
+    return None
+
+
+def _affine_walk(
+    program: Program,
+    cfg: Cfg,
+    ranges: RangeResult,
+    loops: Tuple[NaturalLoop, ...],
+    label: str,
+    reg: int,
+) -> Optional[Tuple[int, int, int]]:
+    """``(init, step, mod)`` when ``reg``'s only in-loop updates are one
+    ``+= step`` and one ``%= mod`` and its loop-entry value is constant."""
+    enclosing = [loop for loop in loops if label in loop.body]
+    if not enclosing:
+        return None
+    loop = min(enclosing, key=lambda lp: len(lp.body))
+    step = mod = None
+    for body_label in loop.body:
+        for ins in program.block(body_label).instructions:
+            if instruction_writes(ins) != reg:
+                continue
+            if isinstance(ins, AluImm) and ins.src == reg and ins.op is AluOp.ADD:
+                if step is not None:
+                    return None
+                step = ins.imm
+            elif isinstance(ins, AluImm) and ins.src == reg and ins.op is AluOp.MOD:
+                if mod is not None:
+                    return None
+                mod = ins.imm
+            else:
+                return None
+    if step is None or mod is None or step < 1 or mod < 1:
+        return None
+    init = entry_interval(program, cfg, ranges, loop.body, loop.header, reg)
+    if init is None or init[0] != init[1]:
+        return None
+    return (init[0], step, mod)
+
+
+def _walk_accuracy(
+    program: Program,
+    arr: DataArray,
+    offset: int,
+    init: int,
+    step: int,
+    mod: int,
+    cond: Cond,
+    const: int,
+    value_is_src1: bool,
+) -> Optional[float]:
+    """Transition-count accuracy of the deterministic walk's directions."""
+    directions: List[bool] = []
+    idx = init % mod
+    first = idx
+    for _ in range(_MAX_WALK_STEPS):
+        element = offset + idx
+        if not 0 <= element < arr.length:
+            return None
+        value = program.initial_memory[arr.base + element]
+        taken = (
+            _eval_cond(cond, value, const)
+            if value_is_src1
+            else _eval_cond(cond, const, value)
+        )
+        directions.append(taken)
+        idx = (idx + step) % mod
+        if idx == first:
+            break
+    else:
+        return None
+    transitions = sum(
+        directions[i] != directions[(i + 1) % len(directions)]
+        for i in range(len(directions))
+    )
+    return 1.0 - transitions / len(directions)
+
+
+# ---------------------------------------------------------------------------
+# Verdict assembly.
+
+
+def compute_predictability(
+    program: Program,
+    cfg: Cfg,
+    taint: TaintResult,
+    ranges: RangeResult,
+    trips: Dict[str, LoopTripInfo],
+    controllers: Dict[str, str],
+    loops: Tuple[NaturalLoop, ...],
+) -> List[StaticPredictability]:
+    """One verdict per static conditional branch (stable IP order)."""
+    rare_bounds = rare_execution_bounds(program, cfg, controllers)
+    clean = frozenset(program.arrays) - written_arrays(program, cfg)
+    out: List[StaticPredictability] = []
+    for label, ip, br in program.conditional_branches():
+        out.append(
+            _branch_verdict(
+                program,
+                cfg,
+                taint,
+                ranges,
+                trips,
+                controllers,
+                loops,
+                rare_bounds,
+                clean,
+                label,
+                ip,
+                br,
+            )
+        )
+    out.sort(key=lambda v: v.ip)
+    return out
+
+
+def _branch_verdict(
+    program: Program,
+    cfg: Cfg,
+    taint: TaintResult,
+    ranges: RangeResult,
+    trips: Dict[str, LoopTripInfo],
+    controllers: Dict[str, str],
+    loops: Tuple[NaturalLoop, ...],
+    rare_bounds: Dict[str, int],
+    clean_arrays: FrozenSet[str],
+    label: str,
+    ip: int,
+    br: Br,
+) -> StaticPredictability:
+    if label not in cfg.reachable:
+        return StaticPredictability(
+            block=label,
+            ip=ip,
+            verdict=Verdict.RARE,
+            detail="unreachable from entry: executes zero times",
+            exec_bound=0,
+        )
+
+    bound = rare_bounds.get(label)
+    if bound is not None and bound < H2P_MIN_EXECUTIONS:
+        return StaticPredictability(
+            block=label,
+            ip=ip,
+            verdict=Verdict.RARE,
+            detail=(
+                f"wide-switch arm: static bound {bound} executions/slice is "
+                f"below the H2P screen floor ({H2P_MIN_EXECUTIONS})"
+            ),
+            exec_bound=bound,
+        )
+
+    state = ranges.at_terminator(program, label)
+    outcome = branch_outcome(br, state)
+    if outcome is not None:
+        way = "taken" if outcome else "not-taken"
+        return StaticPredictability(
+            block=label,
+            ip=ip,
+            verdict=Verdict.CONST,
+            detail=f"operand intervals prove the branch always {way}",
+            predicted_accuracy=1.0,
+            direction=outcome,
+        )
+
+    trip = trips.get(label)
+    if trip is not None:
+        return StaticPredictability(
+            block=label,
+            ip=ip,
+            verdict=Verdict.LOOP_EXIT,
+            detail=(
+                f"counted loop over r{trip.iv_register} (step {trip.step}, "
+                f"untainted bound r{trip.bound_register}): "
+                f"{trip.trip_lo}..{trip.trip_hi} trips per entry"
+            ),
+            predicted_accuracy=1.0 - trip.exit_mispredict_rate,
+            trip_lo=trip.trip_lo,
+            trip_hi=trip.trip_hi,
+        )
+
+    p_taken = _rand_bias(program, cfg, label, br, state)
+    if p_taken is not None:
+        acc = max(p_taken, 1.0 - p_taken)
+        if acc >= BIAS_VERDICT_ACCURACY:
+            return StaticPredictability(
+                block=label,
+                ip=ip,
+                verdict=Verdict.BIASED,
+                detail=(
+                    f"uniform Rand vs constant: taken probability {p_taken:.4f}"
+                ),
+                predicted_accuracy=acc,
+            )
+
+    scan_acc = _scan_bias(
+        program, cfg, ranges, loops, clean_arrays, label, br, state
+    )
+    if scan_acc is not None and scan_acc >= BIAS_VERDICT_ACCURACY:
+        return StaticPredictability(
+            block=label,
+            ip=ip,
+            verdict=Verdict.BIASED,
+            detail=(
+                "strided walk over a static array: direction transitions "
+                f"bound accuracy at {scan_acc:.4f}"
+            ),
+            predicted_accuracy=scan_acc,
+        )
+
+    req = history_requirement(program, cfg, taint, controllers, label)
+    if req.producers.has_data:
+        sites = len(req.producers.data_sites)
+        return StaticPredictability(
+            block=label,
+            ip=ip,
+            verdict=Verdict.H2P_CANDIDATE,
+            detail=(
+                f"condition consumes raw input/entropy from {sites} "
+                "producer site(s): determining data is outside any "
+                "bounded branch history"
+            ),
+        )
+    if req.producers.control_sources:
+        if req.distance is None:
+            return StaticPredictability(
+                block=label,
+                ip=ip,
+                verdict=Verdict.H2P_CANDIDATE,
+                detail=(
+                    "revealing branch(es) "
+                    f"{list(req.producers.control_sources)} sit an unbounded "
+                    "number of branches back (cyclic revealing region)"
+                ),
+            )
+        if req.distance > MAX_TAGE_HISTORY:
+            return StaticPredictability(
+                block=label,
+                ip=ip,
+                verdict=Verdict.H2P_CANDIDATE,
+                detail=(
+                    f"revealing distance {req.distance} exceeds the largest "
+                    f"TAGE history ({MAX_TAGE_HISTORY})"
+                ),
+                distance=req.distance,
+            )
+        return StaticPredictability(
+            block=label,
+            ip=ip,
+            verdict=Verdict.CORRELATED,
+            detail=(
+                "outcome determined by earlier branch outcome(s) "
+                f"{list(req.producers.control_sources)} within "
+                f"{req.distance} branches of history"
+            ),
+            distance=req.distance,
+        )
+    return StaticPredictability(
+        block=label,
+        ip=ip,
+        verdict=Verdict.CORRELATED,
+        detail=(
+            "no data producer: outcome is a deterministic function of "
+            "induction state (distance 0)"
+        ),
+        distance=0,
+    )

@@ -1,0 +1,278 @@
+"""Interval value-range analysis over the CFG.
+
+A forward dataflow pass mapping every register to an unsigned 32-bit
+interval ``[lo, hi]`` at each reachable block's entry.  The lattice is the
+standard interval domain with join = convex hull and widening to the full
+word range after a fixed number of growths per block, so the fixed point
+terminates even on the counter-carrying loops of the synthetic kernels.
+
+Transfer functions mirror the executor exactly (see
+``repro.isa.executor``): all arithmetic is 32-bit unsigned with wraparound
+(an overflowing interval degrades to TOP rather than wrapping piecewise),
+``MOD`` by zero yields 0, and :class:`Rand` produces ``[lo, hi - 1]`` — the
+one instruction whose *distribution* (uniform) is also statically known,
+which :mod:`repro.staticcheck.predictability` exploits for bias verdicts.
+
+The predictability engine uses the intervals three ways: proving a branch
+condition always/never true (``CONST`` verdicts), bounding loop-invariant
+trip-count registers (``LOOP_EXIT`` verdicts), and bounding switch
+fan-out for the rare-branch execution-count analysis.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instructions import (
+    NUM_REGISTERS,
+    WORD_MASK,
+    Alu,
+    AluImm,
+    AluOp,
+    ArrayBase,
+    Br,
+    Cond,
+    Imm,
+    Instruction,
+    Load,
+    Rand,
+)
+from repro.isa.program import Program
+from repro.staticcheck.cfg import Cfg
+
+#: An unsigned interval; ``TOP`` is the full word range.
+Interval = Tuple[int, int]
+
+TOP: Interval = (0, WORD_MASK)
+
+#: How many times a block-entry interval may grow before widening to TOP.
+_WIDEN_AFTER = 3
+
+
+def _clip(lo: int, hi: int) -> Interval:
+    """An interval provided the bounds stay in-word; TOP on overflow."""
+    if 0 <= lo <= hi <= WORD_MASK:
+        return (lo, hi)
+    return TOP
+
+
+def _is_singleton(iv: Interval) -> bool:
+    return iv[0] == iv[1]
+
+
+def _bits_upper(hi: int) -> int:
+    """The largest value expressible in ``hi``'s bit width."""
+    return (1 << hi.bit_length()) - 1 if hi else 0
+
+
+def alu_interval(op: AluOp, a: Interval, b: Interval) -> Interval:
+    """Interval transfer for one ALU operation (both operand forms)."""
+    alo, ahi = a
+    blo, bhi = b
+    if op is AluOp.ADD:
+        return _clip(alo + blo, ahi + bhi)
+    if op is AluOp.SUB:
+        # Unsigned subtraction wraps; only a provably non-negative result
+        # keeps a useful interval.
+        if alo >= bhi:
+            return _clip(alo - bhi, ahi - blo)
+        return TOP
+    if op is AluOp.MUL:
+        return _clip(alo * blo, ahi * bhi)
+    if op is AluOp.XOR:
+        if _is_singleton(a) and _is_singleton(b):
+            return (alo ^ blo, alo ^ blo)
+        return (0, _bits_upper(ahi | bhi))
+    if op is AluOp.AND:
+        if _is_singleton(a) and _is_singleton(b):
+            return (alo & blo, alo & blo)
+        return (0, min(ahi, bhi))
+    if op is AluOp.OR:
+        if _is_singleton(a) and _is_singleton(b):
+            return (alo | blo, alo | blo)
+        return (max(alo, blo), _bits_upper(ahi | bhi))
+    if op is AluOp.SHL:
+        # The register form masks the shift amount to 0..31; the immediate
+        # form does not, but generators only emit in-range immediates, and
+        # an over-wide result degrades to TOP anyway.
+        if _is_singleton(b) and blo <= 31:
+            return _clip(alo << blo, ahi << blo)
+        return TOP
+    if op is AluOp.SHR:
+        if _is_singleton(b) and blo <= 31:
+            return (alo >> blo, ahi >> blo)
+        return (0, ahi)
+    if op is AluOp.MOD:
+        # x % 0 == 0 in the executor, so a divisor interval touching zero
+        # still admits 0 as a result (covered by the 0 lower bound below).
+        if blo >= 1 and ahi < blo:
+            return a  # x always below every divisor value: identity
+        if bhi >= 1:
+            return (0, min(ahi, bhi - 1))
+        return (0, 0)
+    if op is AluOp.MIN:
+        return (min(alo, blo), min(ahi, bhi))
+    if op is AluOp.MAX:
+        return (max(alo, blo), max(ahi, bhi))
+    return TOP
+
+
+#: Register intervals, indexed by register number.
+RegIntervals = Tuple[Interval, ...]
+
+_ENTRY_STATE: RegIntervals = tuple((0, 0) for _ in range(NUM_REGISTERS))
+
+
+def transfer_instruction(
+    ins: Instruction, state: List[Interval], program: Program
+) -> None:
+    """Apply one instruction's effect to a mutable register-interval state."""
+    if isinstance(ins, Imm):
+        state[ins.dst] = (ins.value & WORD_MASK, ins.value & WORD_MASK)
+    elif isinstance(ins, Rand):
+        state[ins.dst] = (ins.lo, ins.hi - 1)
+    elif isinstance(ins, Load):
+        state[ins.dst] = TOP
+    elif isinstance(ins, ArrayBase):
+        arr = program.arrays.get(ins.name)
+        if arr is None:
+            state[ins.dst] = TOP
+        else:
+            addr = (arr.base + ins.offset) & WORD_MASK
+            state[ins.dst] = (addr, addr)
+    elif isinstance(ins, Alu):
+        state[ins.dst] = alu_interval(ins.op, state[ins.src1], state[ins.src2])
+    elif isinstance(ins, AluImm):
+        imm = ins.imm & WORD_MASK
+        state[ins.dst] = alu_interval(ins.op, state[ins.src], (imm, imm))
+    # Store / Nop: no register effects.
+
+
+def block_exit_state(
+    program: Program, label: str, entry: RegIntervals
+) -> RegIntervals:
+    """The register intervals after a block's instructions (pre-terminator)."""
+    state = list(entry)
+    for ins in program.block(label).instructions:
+        transfer_instruction(ins, state, program)
+    return tuple(state)
+
+
+@dataclass(frozen=True)
+class RangeResult:
+    """Register intervals at every reachable block's entry."""
+
+    block_in: Dict[str, RegIntervals]
+
+    def at_terminator(self, program: Program, label: str) -> RegIntervals:
+        """Intervals in effect at a block's terminator."""
+        return block_exit_state(program, label, self.block_in[label])
+
+
+def compute_ranges(program: Program, cfg: Cfg) -> RangeResult:
+    """Forward interval fixed point with per-block widening.
+
+    The executor zero-initializes all registers, so the entry block starts
+    from ``[0, 0]`` everywhere; unreached joins contribute nothing (the
+    in-state starts as ``None`` = bottom).
+    """
+    block_in: Dict[str, Optional[RegIntervals]] = {
+        label: None for label in cfg.rpo
+    }
+    block_in[cfg.entry] = _ENTRY_STATE
+    growths: Dict[str, int] = {label: 0 for label in cfg.rpo}
+
+    worklist = deque(cfg.rpo)
+    in_list = set(worklist)
+    while worklist:
+        label = worklist.popleft()
+        in_list.discard(label)
+        entry = block_in[label]
+        if entry is None:
+            continue
+        exit_state = block_exit_state(program, label, entry)
+        for succ in cfg.succs[label]:
+            if succ not in cfg.reachable:
+                continue
+            old = block_in[succ]
+            if old is None:
+                new: Optional[RegIntervals] = exit_state
+            else:
+                joined = tuple(
+                    (min(o[0], n[0]), max(o[1], n[1]))
+                    for o, n in zip(old, exit_state)
+                )
+                if joined == old:
+                    new = None
+                else:
+                    growths[succ] += 1
+                    if growths[succ] > _WIDEN_AFTER:
+                        joined = tuple(
+                            (
+                                0 if j[0] < o[0] else j[0],
+                                WORD_MASK if j[1] > o[1] else j[1],
+                            )
+                            for o, j in zip(old, joined)
+                        )
+                    new = joined
+            if new is not None and new != old:
+                block_in[succ] = new
+                if succ not in in_list:
+                    worklist.append(succ)
+                    in_list.add(succ)
+
+    # Unreached-but-listed blocks (shouldn't happen: rpo covers reachable
+    # only, and everything in rpo is reachable from entry) fall back to TOP.
+    resolved: Dict[str, RegIntervals] = {}
+    for label in cfg.rpo:
+        state = block_in[label]
+        resolved[label] = (
+            state if state is not None else tuple(TOP for _ in range(NUM_REGISTERS))
+        )
+    return RangeResult(block_in=resolved)
+
+
+def branch_outcome(br: Br, state: RegIntervals) -> Optional[bool]:
+    """Statically decide a branch, if its operand intervals allow it.
+
+    Returns ``True`` (always taken), ``False`` (never taken), or ``None``
+    (undecidable from the intervals alone).
+    """
+    alo, ahi = state[br.src1]
+    blo, bhi = state[br.src2]
+    if br.cond is Cond.EQ:
+        if alo == ahi == blo == bhi:
+            return True
+        if ahi < blo or bhi < alo:
+            return False
+        return None
+    if br.cond is Cond.NE:
+        inv = branch_outcome(
+            Br(Cond.EQ, br.src1, br.src2, br.taken, br.not_taken), state
+        )
+        return None if inv is None else not inv
+    if br.cond is Cond.LT:
+        if ahi < blo:
+            return True
+        if alo >= bhi:
+            return False
+        return None
+    if br.cond is Cond.GE:
+        inv = branch_outcome(
+            Br(Cond.LT, br.src1, br.src2, br.taken, br.not_taken), state
+        )
+        return None if inv is None else not inv
+    if br.cond is Cond.LE:
+        if ahi <= blo:
+            return True
+        if alo > bhi:
+            return False
+        return None
+    if br.cond is Cond.GT:
+        inv = branch_outcome(
+            Br(Cond.LE, br.src1, br.src2, br.taken, br.not_taken), state
+        )
+        return None if inv is None else not inv
+    return None

@@ -1,0 +1,230 @@
+"""Loop analysis: affine induction variables and static trip counts.
+
+For every back-edge conditional branch, this pass tries to prove the
+canonical counted-loop shape the generators emit:
+
+* exactly one operand is an **affine induction variable** — a register
+  whose only writes inside the natural-loop body are a single
+  ``AluImm(ADD, r, r, step)`` with a positive constant step;
+* the other operand is a **loop-invariant bound** — never written in the
+  body, with a finite interval from the range analysis, and (crucially)
+  carrying no ``DATA`` taint: a data-derived trip count re-randomizes the
+  loop's exit position per entry, which is the paper's history-smearing
+  mechanism, *not* a predictable counted loop — those branches fall
+  through to the history-requirement analysis instead.
+
+When the shape holds, the trip-count interval follows from the induction
+variable's initial interval (joined over the loop's entry edges) and the
+bound's interval at the branch; the predicted loop-exit misprediction
+rate is ``~1/N`` (one exit surprise per ``N`` executions of the branch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.isa.instructions import AluImm, AluOp, Cond
+from repro.isa.program import Program
+from repro.staticcheck.cfg import Cfg
+from repro.staticcheck.dataflow import (
+    TaintResult,
+    instruction_writes,
+    taint_at_terminator,
+)
+from repro.staticcheck.dominators import dominates, loop_body
+from repro.staticcheck.ranges import RangeResult, block_exit_state
+
+#: Bounds above this are treated as unknown (widened) rather than counted.
+_MAX_FINITE_BOUND = 1 << 31
+
+
+@dataclass(frozen=True)
+class LoopTripInfo:
+    """A proven counted loop, keyed by its back-edge branch block."""
+
+    branch_block: str
+    header: str
+    iv_register: int
+    bound_register: int
+    step: int
+    trip_lo: int
+    trip_hi: int
+
+    @property
+    def exit_mispredict_rate(self) -> float:
+        """Predicted misprediction rate of the loop-exit branch (~1/N)."""
+        return 1.0 / max(1, self.trip_lo)
+
+
+def _iv_step(program: Program, body: FrozenSet[str], reg: int) -> Optional[int]:
+    """The affine step of ``reg`` over the loop body, if it has one.
+
+    Requires exactly one write in the body, of the form
+    ``reg <- reg + step`` with ``step >= 1``.
+    """
+    step: Optional[int] = None
+    writes = 0
+    for label in body:
+        for ins in program.block(label).instructions:
+            if instruction_writes(ins) != reg:
+                continue
+            writes += 1
+            if (
+                isinstance(ins, AluImm)
+                and ins.op is AluOp.ADD
+                and ins.src == reg
+                and ins.imm >= 1
+            ):
+                step = ins.imm
+            else:
+                return None
+    return step if writes == 1 else None
+
+
+def _is_invariant(program: Program, body: FrozenSet[str], reg: int) -> bool:
+    """True when no instruction in the loop body writes ``reg``."""
+    return all(
+        instruction_writes(ins) != reg
+        for label in body
+        for ins in program.block(label).instructions
+    )
+
+
+def entry_interval(
+    program: Program,
+    cfg: Cfg,
+    ranges: RangeResult,
+    body: FrozenSet[str],
+    header: str,
+    reg: int,
+) -> Optional[Tuple[int, int]]:
+    """Join ``reg``'s interval over the loop's entry edges (non-body
+    predecessors of the header); None when the loop is never entered from
+    outside (an unreachable or degenerate loop)."""
+    lo: Optional[int] = None
+    hi = 0
+    for pred in cfg.preds[header]:
+        if pred in body or pred not in cfg.reachable:
+            continue
+        state = block_exit_state(program, pred, ranges.block_in[pred])
+        plo, phi = state[reg]
+        lo = plo if lo is None else min(lo, plo)
+        hi = max(hi, phi)
+    if lo is None:
+        return None
+    return (lo, hi)
+
+
+def _trip_interval(
+    cond: Cond,
+    continue_on_taken: bool,
+    init: Tuple[int, int],
+    bound: Tuple[int, int],
+    step: int,
+) -> Optional[Tuple[int, int]]:
+    """Executions of the branch per loop entry, as an interval.
+
+    The canonical shape is an up-counting IV compared against the bound,
+    continuing while the comparison holds.  ``cond`` is normalized so the
+    IV is the left operand; the *continue* condition (the branch outcome
+    that stays in the loop) must be one of ``< <= !=`` — anything else is
+    not an up-counted loop and returns None.
+    """
+    cont = cond if continue_on_taken else _NEGATED[cond]
+    if cont not in (Cond.LT, Cond.LE, Cond.NE):
+        return None
+    extra = 1 if cont is Cond.LE else 0
+    if cont is Cond.NE and step != 1:
+        return None  # may step over the bound and never terminate
+    ilo, ihi = init
+    blo, bhi = bound
+
+    def trips(b: int, i: int) -> int:
+        return max(1, -(-(b + extra - i) // step))
+
+    return (trips(blo, ihi), trips(bhi, ilo))
+
+
+_NEGATED = {
+    Cond.EQ: Cond.NE,
+    Cond.NE: Cond.EQ,
+    Cond.LT: Cond.GE,
+    Cond.GE: Cond.LT,
+    Cond.LE: Cond.GT,
+    Cond.GT: Cond.LE,
+}
+
+#: Mirror of each condition under operand swap: ``a op b == b op' a``.
+_SWAPPED = {
+    Cond.EQ: Cond.EQ,
+    Cond.NE: Cond.NE,
+    Cond.LT: Cond.GT,
+    Cond.GT: Cond.LT,
+    Cond.LE: Cond.GE,
+    Cond.GE: Cond.LE,
+}
+
+
+def analyze_loop_trips(
+    program: Program,
+    cfg: Cfg,
+    idoms: Dict[str, Optional[str]],
+    ranges: RangeResult,
+    taint: TaintResult,
+) -> Dict[str, LoopTripInfo]:
+    """Prove trip counts for every counted back-edge branch.
+
+    Returns a mapping from branch block label to its :class:`LoopTripInfo`;
+    back-edge branches that don't fit the counted shape are simply absent.
+    """
+    out: Dict[str, LoopTripInfo] = {}
+    for label, _ip, br in program.conditional_branches():
+        if label not in cfg.reachable:
+            continue
+        headers = [
+            t for t in (br.taken, br.not_taken) if dominates(idoms, t, label)
+        ]
+        if not headers:
+            continue
+        # A degenerate both-targets-dominate branch (e.g. a self-loop with
+        # identical targets) still has a well-defined body per header; use
+        # the first, the loop never exits statically anyway.
+        header = headers[0]
+        body = loop_body(cfg, label, header)
+
+        data, _addr = taint_at_terminator(program, taint, label)
+        state = ranges.at_terminator(program, label)
+        for iv, bound_reg, cond in (
+            (br.src1, br.src2, br.cond),
+            (br.src2, br.src1, _SWAPPED[br.cond]),
+        ):
+            step = _iv_step(program, body, iv)
+            if step is None:
+                continue
+            if not _is_invariant(program, body, bound_reg):
+                continue
+            if (data >> bound_reg) & 1:
+                continue  # data-derived bound: not a counted loop
+            blo, bhi = state[bound_reg]
+            if bhi >= _MAX_FINITE_BOUND:
+                continue
+            init = entry_interval(program, cfg, ranges, body, header, iv)
+            if init is None or init[1] >= _MAX_FINITE_BOUND:
+                continue
+            trip = _trip_interval(
+                cond, br.taken == header, init, (blo, bhi), step
+            )
+            if trip is None:
+                continue
+            out[label] = LoopTripInfo(
+                branch_block=label,
+                header=header,
+                iv_register=iv,
+                bound_register=bound_reg,
+                step=step,
+                trip_lo=trip[0],
+                trip_hi=trip[1],
+            )
+            break
+    return out

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -113,6 +113,32 @@ class WorkloadSpec:
 
     def input_name(self, input_index: int) -> str:
         return f"input{input_index}"
+
+
+#: Finalized programs by ``(workload name, input index)``.  Builders are
+#: deterministic, so one build per pair serves every client — and sharing
+#: the *instance* lets ``repro.staticcheck`` reuse its per-``Program``
+#: analysis memo across the lint CLI and the ``staticpred`` experiment.
+_BUILD_CACHE: Dict[Tuple[str, int], Program] = {}
+
+
+def build_cached(spec: WorkloadSpec, input_index: int) -> Program:
+    """Build (or fetch the previously built) program for one input.
+
+    Execution never mutates a :class:`Program`, so the cached instance is
+    safe to share between tracing, linting, and cross-validation.
+    """
+    key = (spec.name, input_index)
+    program = _BUILD_CACHE.get(key)
+    if program is None:
+        program = spec.build(input_index)
+        _BUILD_CACHE[key] = program
+    return program
+
+
+def clear_build_cache() -> None:
+    """Drop all cached programs (frees their static-analysis memos too)."""
+    _BUILD_CACHE.clear()
 
 
 def workload_seed(input_index: int) -> int:

@@ -29,6 +29,12 @@ WORKLOAD_CONTRACTS: Dict[str, StaticContract] = {
             "loop_branches": (2, 2),
             "data_branches": (738, 738),
             "guard_branches": (0, 0),
+            "const_branches": (1, 1),
+            "loop_exit_branches": (6, 6),
+            "biased_branches": (9, 9),
+            "correlated_branches": (0, 0),
+            "h2p_candidate_branches": (4, 4),
+            "rare_branches": (720, 720),
         },
     ),
     "602.gcc_s": StaticContract(
@@ -39,6 +45,12 @@ WORKLOAD_CONTRACTS: Dict[str, StaticContract] = {
             "loop_branches": (3, 3),
             "data_branches": (596, 596),
             "guard_branches": (550, 550),
+            "const_branches": (2, 2),
+            "loop_exit_branches": (8, 8),
+            "biased_branches": (11, 11),
+            "correlated_branches": (550, 550),
+            "h2p_candidate_branches": (8, 8),
+            "rare_branches": (570, 570),
         },
     ),
     "605.mcf_s": StaticContract(
@@ -49,6 +61,12 @@ WORKLOAD_CONTRACTS: Dict[str, StaticContract] = {
             "loop_branches": (2, 2),
             "data_branches": (29, 29),
             "guard_branches": (0, 0),
+            "const_branches": (3, 3),
+            "loop_exit_branches": (9, 9),
+            "biased_branches": (5, 5),
+            "correlated_branches": (0, 0),
+            "h2p_candidate_branches": (14, 14),
+            "rare_branches": (0, 0),
         },
     ),
     "620.omnetpp_s": StaticContract(
@@ -59,6 +77,12 @@ WORKLOAD_CONTRACTS: Dict[str, StaticContract] = {
             "loop_branches": (2, 2),
             "data_branches": (390, 390),
             "guard_branches": (0, 0),
+            "const_branches": (3, 3),
+            "loop_exit_branches": (8, 8),
+            "biased_branches": (9, 9),
+            "correlated_branches": (0, 0),
+            "h2p_candidate_branches": (12, 12),
+            "rare_branches": (360, 360),
         },
     ),
     "623.xalancbmk_s": StaticContract(
@@ -69,6 +93,12 @@ WORKLOAD_CONTRACTS: Dict[str, StaticContract] = {
             "loop_branches": (2, 2),
             "data_branches": (624, 624),
             "guard_branches": (0, 0),
+            "const_branches": (2, 2),
+            "loop_exit_branches": (7, 7),
+            "biased_branches": (9, 9),
+            "correlated_branches": (0, 0),
+            "h2p_candidate_branches": (8, 8),
+            "rare_branches": (600, 600),
         },
     ),
     "625.x264_s": StaticContract(
@@ -79,6 +109,12 @@ WORKLOAD_CONTRACTS: Dict[str, StaticContract] = {
             "loop_branches": (2, 2),
             "data_branches": (17, 17),
             "guard_branches": (0, 0),
+            "const_branches": (1, 1),
+            "loop_exit_branches": (5, 5),
+            "biased_branches": (9, 9),
+            "correlated_branches": (0, 0),
+            "h2p_candidate_branches": (4, 4),
+            "rare_branches": (0, 0),
         },
     ),
     "631.deepsjeng_s": StaticContract(
@@ -89,6 +125,12 @@ WORKLOAD_CONTRACTS: Dict[str, StaticContract] = {
             "loop_branches": (2, 2),
             "data_branches": (476, 476),
             "guard_branches": (0, 0),
+            "const_branches": (4, 4),
+            "loop_exit_branches": (9, 9),
+            "biased_branches": (9, 9),
+            "correlated_branches": (0, 0),
+            "h2p_candidate_branches": (16, 16),
+            "rare_branches": (440, 440),
         },
     ),
     "641.leela_s": StaticContract(
@@ -99,6 +141,12 @@ WORKLOAD_CONTRACTS: Dict[str, StaticContract] = {
             "loop_branches": (2, 2),
             "data_branches": (330, 330),
             "guard_branches": (0, 0),
+            "const_branches": (6, 6),
+            "loop_exit_branches": (12, 12),
+            "biased_branches": (9, 9),
+            "correlated_branches": (0, 0),
+            "h2p_candidate_branches": (25, 25),
+            "rare_branches": (280, 280),
         },
     ),
     "648.exchange2_s": StaticContract(
@@ -109,6 +157,12 @@ WORKLOAD_CONTRACTS: Dict[str, StaticContract] = {
             "loop_branches": (2, 2),
             "data_branches": (23, 23),
             "guard_branches": (0, 0),
+            "const_branches": (2, 2),
+            "loop_exit_branches": (6, 6),
+            "biased_branches": (9, 9),
+            "correlated_branches": (0, 0),
+            "h2p_candidate_branches": (8, 8),
+            "rare_branches": (0, 0),
         },
     ),
     "657.xz_s": StaticContract(
@@ -119,6 +173,12 @@ WORKLOAD_CONTRACTS: Dict[str, StaticContract] = {
             "loop_branches": (2, 2),
             "data_branches": (272, 272),
             "guard_branches": (0, 0),
+            "const_branches": (3, 3),
+            "loop_exit_branches": (9, 9),
+            "biased_branches": (9, 9),
+            "correlated_branches": (0, 0),
+            "h2p_candidate_branches": (13, 13),
+            "rare_branches": (240, 240),
         },
     ),
     "game": StaticContract(
@@ -129,6 +189,12 @@ WORKLOAD_CONTRACTS: Dict[str, StaticContract] = {
             "loop_branches": (3, 3),
             "data_branches": (4220, 4220),
             "guard_branches": (300, 300),
+            "const_branches": (1, 1),
+            "loop_exit_branches": (7, 7),
+            "biased_branches": (11, 11),
+            "correlated_branches": (300, 300),
+            "h2p_candidate_branches": (4, 4),
+            "rare_branches": (4200, 4200),
         },
     ),
     "nosql": StaticContract(
@@ -139,6 +205,12 @@ WORKLOAD_CONTRACTS: Dict[str, StaticContract] = {
             "loop_branches": (3, 3),
             "data_branches": (740, 740),
             "guard_branches": (350, 350),
+            "const_branches": (1, 1),
+            "loop_exit_branches": (7, 7),
+            "biased_branches": (11, 11),
+            "correlated_branches": (350, 350),
+            "h2p_candidate_branches": (4, 4),
+            "rare_branches": (720, 720),
         },
     ),
     "rdbms": StaticContract(
@@ -149,6 +221,12 @@ WORKLOAD_CONTRACTS: Dict[str, StaticContract] = {
             "loop_branches": (3, 3),
             "data_branches": (1592, 1592),
             "guard_branches": (500, 500),
+            "const_branches": (3, 3),
+            "loop_exit_branches": (9, 9),
+            "biased_branches": (11, 11),
+            "correlated_branches": (500, 500),
+            "h2p_candidate_branches": (12, 12),
+            "rare_branches": (1560, 1560),
         },
     ),
     "rt_analytics": StaticContract(
@@ -159,6 +237,12 @@ WORKLOAD_CONTRACTS: Dict[str, StaticContract] = {
             "loop_branches": (3, 3),
             "data_branches": (566, 566),
             "guard_branches": (420, 420),
+            "const_branches": (2, 2),
+            "loop_exit_branches": (8, 8),
+            "biased_branches": (11, 11),
+            "correlated_branches": (420, 420),
+            "h2p_candidate_branches": (8, 8),
+            "rare_branches": (540, 540),
         },
     ),
     "streaming_server": StaticContract(
@@ -169,6 +253,12 @@ WORKLOAD_CONTRACTS: Dict[str, StaticContract] = {
             "loop_branches": (3, 3),
             "data_branches": (311, 311),
             "guard_branches": (160, 160),
+            "const_branches": (2, 2),
+            "loop_exit_branches": (8, 8),
+            "biased_branches": (11, 11),
+            "correlated_branches": (160, 160),
+            "h2p_candidate_branches": (8, 8),
+            "rare_branches": (285, 285),
         },
     ),
 }

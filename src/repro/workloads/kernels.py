@@ -237,10 +237,11 @@ def build_h2p_kernel(
     ]
     # Dependency branch A: tests low bits of v (bias = dep_a_threshold/16;
     # in xor mode it tests exactly v & 1 so it reveals the H2P's operand).
-    if xor_correlated:
-        loop.terminator = Br(Cond.NE, 18, 17, dep_a_t.label, dep_a_f.label)
-    else:
-        loop.terminator = Br(Cond.LT, 9, 10, dep_a_t.label, dep_a_f.label)
+    loop.terminator = (
+        Br(Cond.NE, 18, 17, dep_a_t.label, dep_a_f.label)
+        if xor_correlated
+        else Br(Cond.LT, 9, 10, dep_a_t.label, dep_a_f.label)
+    )
 
     dep_a_t.instructions = [Imm(25, 1)]  # r25 = depA outcome
     dep_a_t.terminator = Jmp(dep_b_pre.label)
@@ -253,10 +254,11 @@ def build_h2p_kernel(
         Imm(17, 0),
     ]
     # Dependency branch B: tests low bits of w.
-    if xor_correlated:
-        dep_b_pre.terminator = Br(Cond.NE, 19, 17, dep_b_t.label, dep_b_f.label)
-    else:
-        dep_b_pre.terminator = Br(Cond.LT, 11, 12, dep_b_t.label, dep_b_f.label)
+    dep_b_pre.terminator = (
+        Br(Cond.NE, 19, 17, dep_b_t.label, dep_b_f.label)
+        if xor_correlated
+        else Br(Cond.LT, 11, 12, dep_b_t.label, dep_b_f.label)
+    )
 
     dep_b_t.instructions = [Imm(26, 1)]  # r26 = depB outcome
     dep_b_t.terminator = Jmp(noise_head.label)
@@ -273,19 +275,20 @@ def build_h2p_kernel(
     # random — exact-pattern matchers must learn every (gap, outcome)
     # combination separately, while position-robust models need not (the
     # CNN-helper opportunity).
-    if noise_random:
-        noise_head.instructions = [
+    noise_head.instructions = (
+        [
             Rand(13, 0, 8),
             AluImm(AluOp.ADD, 13, 13, 2),
             Imm(14, 0),
         ]
-    else:
-        noise_head.instructions = [
+        if noise_random
+        else [
             AluImm(AluOp.MUL, 13, 26, 2),
             Alu(AluOp.ADD, 13, 13, 25),
             AluImm(AluOp.ADD, 13, 13, 2),
             Imm(14, 0),
         ]
+    )
     noise_head.terminator = Br(Cond.LT, 14, 13, noise_body.label, h2p_pre.label)
     noise_body.instructions = [Nop(), AluImm(AluOp.ADD, 14, 14, 1)]
     noise_body.terminator = Br(Cond.LT, 14, 13, noise_body.label, h2p_pre.label)
@@ -468,16 +471,17 @@ def build_rare_dispatch_kernel(
     entry.instructions = [Imm(2, 0)]  # counter
     entry.terminator = Jmp(loop.label)
 
-    if handlers_per_segment and segment_reg is not None:
+    loop.instructions = (
         # handler = segment * handlers_per_segment + rand % handlers_per_segment
-        loop.instructions = [
+        [
             Rand(23, 0, handlers_per_segment),
             AluImm(AluOp.MUL, 24, segment_reg, handlers_per_segment),
             Alu(AluOp.ADD, 23, 23, 24),
             AluImm(AluOp.MOD, 23, 23, num_handlers),
         ]
-    else:
-        loop.instructions = [Rand(23, 0, num_handlers)]
+        if handlers_per_segment and segment_reg is not None
+        else [Rand(23, 0, num_handlers)]
+    )
     loop.terminator = Switch(23, tuple(handler_labels))
 
     tail.instructions = [AluImm(AluOp.ADD, 2, 2, 1)]

@@ -23,6 +23,7 @@ the serialized column set.  (Pure performance changes don't qualify.)
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import os
 import re
@@ -142,10 +143,8 @@ class TraceStore:
                     )
                 os.replace(tmp_name, path)
             except BaseException:
-                try:
+                with contextlib.suppress(OSError):
                     os.unlink(tmp_name)
-                except OSError:
-                    pass
                 raise
         except OSError as exc:
             obs.counter("lab.trace_store.store_failed")

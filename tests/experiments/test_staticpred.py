@@ -1,0 +1,99 @@
+"""Static-vs-dynamic cross-validation: tallies, recall, and wiring."""
+
+from repro.experiments.staticpred import (
+    EASY,
+    EXPECTED_LABELS,
+    H2P,
+    H2P_RECALL_GATE,
+    ClassTally,
+    StaticPredReport,
+    WorkloadValidation,
+    validate_workload,
+)
+from repro.staticcheck.predictability import Verdict
+
+
+def make_row(category, h2p_found, h2p_total, benchmark="bench", tested=10, matching=9):
+    return WorkloadValidation(
+        benchmark=benchmark,
+        category=category,
+        observed_ips=50,
+        tallies={
+            verdict: ClassTally(tested=tested, matching=matching)
+            for verdict in Verdict
+        },
+        h2p_found=h2p_found,
+        h2p_total=h2p_total,
+        missed_h2ps=(),
+    )
+
+
+class TestTallies:
+    def test_precision_over_tested(self):
+        assert ClassTally(tested=4, matching=3).precision == 0.75
+
+    def test_empty_class_is_vacuously_precise(self):
+        assert ClassTally(tested=0, matching=0).precision == 1.0
+
+    def test_recall_with_no_h2ps_is_one(self):
+        assert make_row("specint", 0, 0).recall == 1.0
+
+    def test_expected_labels_cover_every_verdict(self):
+        assert set(EXPECTED_LABELS) == set(Verdict)
+
+    def test_h2p_candidates_expect_dynamic_h2p(self):
+        assert EXPECTED_LABELS[Verdict.H2P_CANDIDATE] == (H2P,)
+        assert EASY in EXPECTED_LABELS[Verdict.CONST]
+
+
+class TestReport:
+    def test_gate_applies_to_specint_only(self):
+        report = StaticPredReport(
+            rows=(make_row("specint", 9, 10), make_row("lcf", 0, 10))
+        )
+        assert report.specint_recall == 0.9
+        assert report.ok  # the LCF misses must not trip the gate
+
+    def test_below_gate_fails(self):
+        report = StaticPredReport(rows=(make_row("specint", 1, 10),))
+        assert report.specint_recall < H2P_RECALL_GATE
+        assert not report.ok
+
+    def test_render_reports_both_categories(self):
+        report = StaticPredReport(
+            rows=(make_row("specint", 9, 10), make_row("lcf", 5, 10))
+        )
+        out = report.render()
+        assert "H2P-candidate recall, specint: 9/10" in out
+        assert "H2P-candidate recall, lcf: 5/10" in out
+        assert "not gated" in out
+        assert f"gate >= {H2P_RECALL_GATE}" in out
+
+    def test_render_lists_verdict_precision(self):
+        out = StaticPredReport(rows=(make_row("specint", 9, 10),)).render()
+        for verdict in Verdict:
+            assert verdict.value in out
+
+
+class TestValidateWorkload:
+    def test_quick_tier_game_workload(self, lab):
+        # The game kernel is the H2P showcase: the screen must find H2Ps
+        # and the static engine must flag them.
+        from repro.workloads import WORKLOADS_BY_NAME
+
+        spec = WORKLOADS_BY_NAME["game"]
+        row = validate_workload(lab, spec, [0])
+        assert row.category == "lcf"
+        assert row.observed_ips > 0
+        assert row.h2p_total > 0
+        tested = sum(t.tested for t in row.tallies.values())
+        assert tested > 0
+
+
+class TestWiring:
+    def test_registered_as_experiment(self):
+        from repro.experiments.plans import EXPERIMENT_PLANS
+        from repro.experiments.runner import EXPERIMENTS
+
+        assert "staticpred" in EXPERIMENTS
+        assert "staticpred" in EXPERIMENT_PLANS

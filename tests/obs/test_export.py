@@ -11,9 +11,10 @@ def _populate():
     obs.gauge("sim.branches_per_sec", 5e5)
     with obs.timer("sim.trace"):
         pass
-    with obs.span("fig7", storage_kib=64):
-        with obs.span("lab.simulate", workload="605.mcf_s"):
-            pass
+    with obs.span("fig7", storage_kib=64), obs.span(
+        "lab.simulate", workload="605.mcf_s"
+    ):
+        pass
 
 
 class TestJsonExport:

@@ -105,7 +105,7 @@ class TestLifecycle:
 
     def test_timer_ring_bounded(self, obs_enabled):
         t = obs_enabled.timer("many")
-        for i in range(1000):
+        for _i in range(1000):
             t.observe(0.001)
         assert len(t._ring) <= 256
         assert t.count == 1000

@@ -2,6 +2,8 @@
 
 import time
 
+import pytest
+
 from repro import obs
 from repro.obs.spans import current_span, reset_spans, span_trees
 
@@ -22,9 +24,8 @@ class TestSpans:
         assert root["children"][0]["attrs"]["workload"] == "605.mcf_s"
 
     def test_self_time_excludes_children(self, obs_enabled):
-        with obs.span("outer") as outer:
-            with obs.span("inner"):
-                time.sleep(0.005)
+        with obs.span("outer") as outer, obs.span("inner"):
+            time.sleep(0.005)
         assert outer.duration_s >= 0.005
         assert outer.self_s <= outer.duration_s - 0.004
 
@@ -51,11 +52,8 @@ class TestSpans:
         assert span_trees() == []
 
     def test_exception_still_closes_span(self, obs_enabled):
-        try:
-            with obs.span("boom"):
-                raise RuntimeError
-        except RuntimeError:
-            pass
+        with pytest.raises(RuntimeError), obs.span("boom"):
+            raise RuntimeError
         assert current_span() is None
         assert [t["name"] for t in span_trees()] == ["boom"]
 

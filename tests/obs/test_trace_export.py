@@ -53,9 +53,8 @@ def _events_by_phase(doc):
 
 class TestSchema:
     def test_document_shape_and_event_fields(self, tracing, tmp_path):
-        with obs.span("outer"):
-            with obs.span("inner"):
-                pass
+        with obs.span("outer"), obs.span("inner"):
+            pass
         trace.instant_event("marker", args={"k": 1})
         now = monotonic()
         trace.worker_job_event("game/bimodal", 4242, now, now + 0.001)
@@ -88,9 +87,8 @@ class TestSchema:
         assert len({e["pid"] for e in doc["traceEvents"]}) == 1
 
     def test_span_nesting_preserved_on_one_lane(self, tracing):
-        with obs.span("outer"):
-            with obs.span("inner"):
-                pass
+        with obs.span("outer"), obs.span("inner"):
+            pass
         events = {e["name"]: e for e in tracing.events() if e["ph"] == "X"}
         outer, inner = events["outer"], events["inner"]
         assert outer["tid"] == inner["tid"]

@@ -135,7 +135,7 @@ class TestHelperAugmentedPredictor:
         helper = self._trained_helper()
         aug = HelperAugmentedPredictor(NeverTaken(), [helper])
         # Warm the history window.
-        for i in range(10):
+        for _i in range(10):
             aug.predict(0x80)
             aug.update(0x80, True)
         assert aug.predict(0x40) is True  # helper says taken; base never
@@ -148,7 +148,7 @@ class TestHelperAugmentedPredictor:
     def test_other_branches_use_base(self):
         helper = self._trained_helper()
         aug = HelperAugmentedPredictor(NeverTaken(), [helper])
-        for i in range(10):
+        for _i in range(10):
             aug.predict(0x80)
             aug.update(0x80, True)
         assert aug.predict(0x80) is False

@@ -50,7 +50,7 @@ class TestPhaseRecognizer:
     def test_phase_capacity_bounded(self):
         rec = PhaseRecognizer(window=16, max_phases=4)
         rng = random.Random(0)
-        for k in range(20):
+        for _k in range(20):
             region = [rng.randrange(1 << 20) * 4 for _ in range(30)]
             feed_footprint(rec, region)
         assert rec.num_phases <= 4

@@ -50,7 +50,7 @@ class TestComposite:
         rng = random.Random(0)
         trips = 37
         stream = []
-        for rep in range(120):
+        for _rep in range(120):
             for i in range(trips):
                 stream.append((0x40, i != trips - 1))
                 for _ in range(4):
@@ -95,7 +95,7 @@ class TestComposite:
 
     def test_reset(self):
         p = make_tage_sc_l(8)
-        for i in range(300):
+        for _i in range(300):
             p.predict(0x40)
             p.update(0x40, True)
         p.reset()

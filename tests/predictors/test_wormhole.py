@@ -51,7 +51,7 @@ class TestWormhole:
         row = [rng.random() < 0.5 for _ in range(200)]
 
         def streams():
-            for rep in range(30):
+            for _rep in range(30):
                 for bit in row:
                     yield (0x40, bool(bit))
                     for _ in range(3):

@@ -138,4 +138,22 @@ class TestFootprint:
             "calls",
             "natural_loops",
             "data_arrays",
+            "const_branches",
+            "loop_exit_branches",
+            "biased_branches",
+            "correlated_branches",
+            "h2p_candidate_branches",
+            "rare_branches",
         }
+
+    def test_verdict_counts_partition_branches(self):
+        fp = analyze_program(three_class_program()).footprint
+        verdict_total = (
+            fp.const_branches
+            + fp.loop_exit_branches
+            + fp.biased_branches
+            + fp.correlated_branches
+            + fp.h2p_candidate_branches
+            + fp.rare_branches
+        )
+        assert verdict_total == fp.conditional_branches

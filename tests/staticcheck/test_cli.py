@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro.staticcheck.cli import main
-from repro.staticcheck.diagnostics import REPORT_SCHEMA_VERSION
+from repro.staticcheck.diagnostics import REPORT_SCHEMA_VERSION, load_report
 from repro.staticcheck.fixtures import NEGATIVE_FIXTURE_ERROR_RULES
 
 
@@ -72,3 +72,66 @@ class TestEmitContracts:
             out.partition("=")[2], {"StaticContract": StaticContract}
         )
         assert parsed["605.mcf_s"] == WORKLOAD_CONTRACTS["605.mcf_s"]
+
+
+class TestPredictabilityMode:
+    def test_report_carries_per_workload_verdicts(self, tmp_path, capsys):
+        path = tmp_path / "report.json"
+        assert main(["605.mcf_s", "--predictability", "--report-out", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == REPORT_SCHEMA_VERSION
+        section = doc["predictability"]["605.mcf_s"]
+        branches = section["branches"]
+        assert len(branches) == (
+            doc["footprints"]["605.mcf_s"]["conditional_branches"]
+        )
+        for entry in branches:
+            assert {"block", "ip", "verdict", "detail"} <= set(entry)
+
+    def test_summary_line_prints_verdict_counts(self, capsys):
+        assert main(["605.mcf_s", "--predictability"]) == 0
+        out = capsys.readouterr().out
+        assert "predictability 605.mcf_s:" in out
+
+    def test_without_flag_report_omits_branch_detail(self, tmp_path, capsys):
+        # Verdict *counts* always ride along (the footprint computes them);
+        # the per-branch detail list is predictability-mode only.
+        path = tmp_path / "report.json"
+        assert main(["605.mcf_s", "--report-out", str(path)]) == 0
+        section = json.loads(path.read_text())["predictability"]["605.mcf_s"]
+        assert "branches" not in section
+        assert section["h2p_candidate_branches"] >= 0
+
+
+class TestLoadReport:
+    def test_roundtrip_v2(self, tmp_path, capsys):
+        path = tmp_path / "report.json"
+        assert main(["605.mcf_s", "--predictability", "--report-out", str(path)]) == 0
+        doc = load_report(str(path))
+        assert doc["schema"] == REPORT_SCHEMA_VERSION
+        assert doc["errors"] == 0
+        assert "605.mcf_s" in doc["predictability"]
+
+    def test_v1_documents_normalize_to_v2_shape(self, tmp_path):
+        path = tmp_path / "v1.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "schema": "repro.staticcheck/v1",
+                    "errors": 0,
+                    "warnings": 1,
+                    "diagnostics": [],
+                    "footprints": {},
+                }
+            )
+        )
+        doc = load_report(str(path))
+        assert doc["infos"] == 0
+        assert doc["predictability"] == {}
+        assert doc["warnings"] == 1
+
+    def test_unknown_schema_is_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "repro.staticcheck/v9"}))
+        with pytest.raises(ValueError, match="unsupported staticcheck report"):
+            load_report(str(path))

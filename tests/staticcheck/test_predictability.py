@@ -1,0 +1,225 @@
+"""Static predictability verdicts: classes, edge cases, memoization."""
+
+import pytest
+
+from repro.isa.instructions import (
+    Alu,
+    AluImm,
+    AluOp,
+    ArrayBase,
+    Br,
+    Cond,
+    Halt,
+    Imm,
+    Jmp,
+    Load,
+    Rand,
+)
+from repro.isa.program import ProgramBuilder
+from repro.staticcheck.engine import analyze_program, lint_program
+from repro.staticcheck.predictability import Verdict
+
+
+def verdicts_by_block(program):
+    return {e.block: e for e in analyze_program(program).predictability}
+
+
+def counted_loop_program(bound=20):
+    b = ProgramBuilder("counted")
+    e = b.block("entry")
+    e.instructions = [Imm(2, bound)]
+    e.terminator = Jmp("loop")
+    loop = b.block("loop")
+    loop.instructions = [AluImm(AluOp.ADD, 1, 1, 1)]
+    loop.terminator = Br(Cond.LT, 1, 2, "loop", "done")
+    b.block("done").terminator = Halt()
+    return b.build()
+
+
+class TestVerdictClasses:
+    def test_const_from_operand_intervals(self):
+        # Never-written registers are provably [0, 0]: EQ always holds.
+        b = ProgramBuilder("const")
+        b.block("entry").terminator = Br(Cond.EQ, 5, 6, "a", "z")
+        b.block("a").terminator = Jmp("done")
+        b.block("z").terminator = Jmp("done")
+        b.block("done").terminator = Halt()
+        entry = verdicts_by_block(b.build())["entry"]
+        assert entry.verdict is Verdict.CONST
+        assert entry.direction is True
+        assert entry.predicted_accuracy == 1.0
+
+    def test_loop_exit_on_counted_self_loop(self):
+        info = verdicts_by_block(counted_loop_program(bound=20))["loop"]
+        assert info.verdict is Verdict.LOOP_EXIT
+        assert (info.trip_lo, info.trip_hi) == (20, 20)
+        assert info.predicted_accuracy == pytest.approx(1 - 1 / 20)
+
+    def test_biased_rand_vs_constant(self):
+        b = ProgramBuilder("biased")
+        e = b.block("entry")
+        e.instructions = [Imm(3, 400)]
+        e.terminator = Jmp("loop")
+        loop = b.block("loop")
+        loop.instructions = [Rand(5, 0, 100), Imm(6, 99)]
+        loop.terminator = Br(Cond.LT, 5, 6, "hit", "tail")
+        b.block("hit").terminator = Jmp("tail")
+        tail = b.block("tail")
+        tail.instructions = [AluImm(AluOp.ADD, 2, 2, 1)]
+        tail.terminator = Br(Cond.LT, 2, 3, "loop", "done")
+        b.block("done").terminator = Halt()
+        entry = verdicts_by_block(b.build())["loop"]
+        assert entry.verdict is Verdict.BIASED
+        assert entry.predicted_accuracy == pytest.approx(0.99)
+
+    def test_h2p_candidate_on_raw_data_consumer(self):
+        b = ProgramBuilder("data")
+        b.data("d", list(range(16)))
+        e = b.block("entry")
+        e.instructions = [ArrayBase(1, "d"), Imm(2, 0), Imm(3, 16)]
+        e.terminator = Jmp("loop")
+        loop = b.block("loop")
+        loop.instructions = [Alu(AluOp.ADD, 4, 1, 2), Load(5, 4), Imm(6, 8)]
+        loop.terminator = Br(Cond.LT, 5, 6, "hit", "tail")
+        b.block("hit").terminator = Jmp("tail")
+        tail = b.block("tail")
+        tail.instructions = [AluImm(AluOp.ADD, 2, 2, 1)]
+        tail.terminator = Br(Cond.LT, 2, 3, "loop", "done")
+        b.block("done").terminator = Halt()
+        by_block = verdicts_by_block(b.build())
+        assert by_block["loop"].verdict is Verdict.H2P_CANDIDATE
+        assert by_block["tail"].verdict is Verdict.LOOP_EXIT
+
+    def test_correlated_with_bounded_distance(self):
+        # The m-branch outcome replays the entry branch's outcome: one
+        # global-history bit back suffices.
+        b = ProgramBuilder("corr")
+        e = b.block("entry")
+        e.instructions = [Rand(5, 0, 2)]
+        e.terminator = Br(Cond.EQ, 5, 0, "a", "z")
+        a = b.block("a")
+        a.instructions = [Imm(7, 4)]
+        a.terminator = Jmp("m")
+        z = b.block("z")
+        z.instructions = [Imm(7, 8)]
+        z.terminator = Jmp("m")
+        m = b.block("m")
+        m.instructions = [Imm(8, 6)]
+        m.terminator = Br(Cond.LT, 7, 8, "t", "f")
+        b.block("t").terminator = Jmp("done")
+        b.block("f").terminator = Jmp("done")
+        b.block("done").terminator = Halt()
+        entry = verdicts_by_block(b.build())["m"]
+        assert entry.verdict is Verdict.CORRELATED
+        assert entry.distance == 1
+
+    def test_cyclic_revealing_region_is_h2p_candidate(self):
+        # Same correlation diamond, but inside a loop: the revealing branch
+        # sits an unbounded number of branches back.
+        b = ProgramBuilder("cyc")
+        e = b.block("entry")
+        e.instructions = [Imm(2, 0), Imm(3, 40)]
+        e.terminator = Jmp("loop")
+        loop = b.block("loop")
+        loop.instructions = [Rand(5, 0, 2)]
+        loop.terminator = Br(Cond.EQ, 5, 0, "a", "z")
+        a = b.block("a")
+        a.instructions = [Imm(7, 4)]
+        a.terminator = Jmp("m")
+        z = b.block("z")
+        z.instructions = [Imm(7, 8)]
+        z.terminator = Jmp("m")
+        m = b.block("m")
+        m.instructions = [Imm(8, 6)]
+        m.terminator = Br(Cond.LT, 7, 8, "t", "f")
+        b.block("t").terminator = Jmp("tail")
+        b.block("f").terminator = Jmp("tail")
+        tail = b.block("tail")
+        tail.instructions = [AluImm(AluOp.ADD, 2, 2, 1)]
+        tail.terminator = Br(Cond.LT, 2, 3, "loop", "done")
+        b.block("done").terminator = Halt()
+        assert verdicts_by_block(b.build())["m"].verdict is Verdict.H2P_CANDIDATE
+
+
+class TestEdgeCases:
+    def test_single_block_program_has_no_verdicts(self):
+        b = ProgramBuilder("single")
+        b.block("entry").terminator = Halt()
+        analysis = analyze_program(b.build())
+        assert analysis.predictability == ()
+        assert analysis.footprint.conditional_branches == 0
+
+    def test_unreachable_branch_is_rare_with_zero_bound(self):
+        b = ProgramBuilder("unreach")
+        b.block("entry").terminator = Jmp("done")
+        orphan = b.block("orphan")
+        orphan.instructions = [AluImm(AluOp.ADD, 1, 1, 1)]
+        orphan.terminator = Br(Cond.LT, 1, 2, "orphan", "done")
+        b.block("done").terminator = Halt()
+        entry = verdicts_by_block(b.build())["orphan"]
+        assert entry.verdict is Verdict.RARE
+        assert entry.exec_bound == 0
+
+    def test_every_conditional_branch_gets_exactly_one_verdict(self):
+        program = counted_loop_program()
+        analysis = analyze_program(program)
+        blocks = [e.block for e in analysis.predictability]
+        assert sorted(blocks) == sorted(
+            label for label, _ip, _br in program.conditional_branches()
+        )
+
+    def test_verdicts_sorted_by_ip(self):
+        analysis = analyze_program(counted_loop_program())
+        ips = [e.ip for e in analysis.predictability]
+        assert ips == sorted(ips)
+
+    def test_as_dict_drops_unset_evidence(self):
+        entry = verdicts_by_block(counted_loop_program())["loop"]
+        doc = entry.as_dict()
+        assert doc["verdict"] == "loop_exit"
+        assert "trip_lo" in doc
+        assert "distance" not in doc  # not a CORRELATED verdict
+        assert "exec_bound" not in doc  # not a RARE verdict
+
+
+class TestMemoization:
+    def test_analysis_cached_on_program_identity(self, obs_enabled):
+        program = counted_loop_program()
+        first = analyze_program(program)
+        second = analyze_program(program)
+        assert second is first
+        counters = obs_enabled.counters_dict()
+        assert counters["staticcheck.cache.misses"] == 1
+        assert counters["staticcheck.cache.hits"] == 1
+
+    def test_distinct_programs_do_not_share(self, obs_enabled):
+        a = analyze_program(counted_loop_program())
+        b = analyze_program(counted_loop_program())
+        assert a is not b
+        assert obs_enabled.counters_dict()["staticcheck.cache.misses"] == 2
+
+
+class TestPredictabilityDiagnostics:
+    def test_sc401_fires_on_h2p_candidate(self):
+        b = ProgramBuilder("data")
+        b.data("d", [3, 1, 2, 0])
+        e = b.block("entry")
+        e.instructions = [ArrayBase(1, "d"), Load(5, 1), Imm(6, 2)]
+        e.terminator = Br(Cond.LT, 5, 6, "a", "z")
+        b.block("a").terminator = Jmp("done")
+        b.block("z").terminator = Jmp("done")
+        b.block("done").terminator = Halt()
+        _analysis, diagnostics = lint_program(b.build(), predictability=True)
+        assert "SC401" in {d.rule_id for d in diagnostics}
+
+    def test_sc401_needs_predictability_mode(self):
+        b = ProgramBuilder("data")
+        b.data("d", [3, 1, 2, 0])
+        e = b.block("entry")
+        e.instructions = [ArrayBase(1, "d"), Load(5, 1), Imm(6, 2)]
+        e.terminator = Br(Cond.LT, 5, 6, "a", "z")
+        b.block("a").terminator = Jmp("done")
+        b.block("z").terminator = Jmp("done")
+        b.block("done").terminator = Halt()
+        _analysis, diagnostics = lint_program(b.build())
+        assert "SC401" not in {d.rule_id for d in diagnostics}

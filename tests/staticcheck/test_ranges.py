@@ -1,0 +1,126 @@
+"""Interval value-range dataflow: transfer functions, joins, outcomes."""
+
+from repro.isa.instructions import (
+    Alu,
+    AluImm,
+    AluOp,
+    Br,
+    Cond,
+    Halt,
+    Imm,
+    Jmp,
+    Rand,
+)
+from repro.isa.program import ProgramBuilder
+from repro.staticcheck.cfg import build_cfg
+from repro.staticcheck.ranges import (
+    alu_interval,
+    branch_outcome,
+    compute_ranges,
+)
+
+
+def build(b):
+    program = b.build()
+    return program, build_cfg(program)
+
+
+class TestAluInterval:
+    def test_add_is_exact_on_singletons(self):
+        assert alu_interval(AluOp.ADD, (3, 3), (4, 4)) == (7, 7)
+
+    def test_sub_can_wrap_to_full_range(self):
+        # 0 - 1 wraps in 32-bit unsigned arithmetic; the interval must
+        # widen rather than go negative.
+        lo, hi = alu_interval(AluOp.SUB, (0, 0), (1, 1))
+        assert lo == 0
+        assert hi == (1 << 32) - 1
+
+    def test_mod_bounds_by_divisor(self):
+        lo, hi = alu_interval(AluOp.MOD, (0, 1 << 20), (7, 7))
+        assert lo == 0
+        assert hi <= 6
+
+
+class TestComputeRanges:
+    def test_constants_propagate_through_straight_line(self):
+        b = ProgramBuilder("straight")
+        e = b.block("entry")
+        e.instructions = [Imm(1, 5), AluImm(AluOp.ADD, 2, 1, 3)]
+        e.terminator = Jmp("done")
+        done = b.block("done")
+        done.terminator = Halt()
+        program, cfg = build(b)
+        ranges = compute_ranges(program, cfg)
+        state = ranges.block_in["done"]
+        assert state[1] == (5, 5)
+        assert state[2] == (8, 8)
+
+    def test_join_widens_over_diamond(self):
+        b = ProgramBuilder("diamond")
+        e = b.block("entry")
+        e.instructions = [Rand(1, 0, 2)]
+        e.terminator = Br(Cond.EQ, 1, 0, "a", "z")
+        a = b.block("a")
+        a.instructions = [Imm(2, 10)]
+        a.terminator = Jmp("done")
+        z = b.block("z")
+        z.instructions = [Imm(2, 20)]
+        z.terminator = Jmp("done")
+        done = b.block("done")
+        done.terminator = Halt()
+        program, cfg = build(b)
+        state = compute_ranges(program, cfg).block_in["done"]
+        assert state[2] == (10, 20)
+
+    def test_rand_interval_is_half_open(self):
+        b = ProgramBuilder("rand")
+        e = b.block("entry")
+        e.instructions = [Rand(1, 3, 11)]
+        e.terminator = Jmp("done")
+        b.block("done").terminator = Halt()
+        program, cfg = build(b)
+        assert compute_ranges(program, cfg).block_in["done"][1] == (3, 10)
+
+    def test_loop_counter_widens_but_stays_bounded_below(self):
+        b = ProgramBuilder("loop")
+        e = b.block("entry")
+        e.instructions = [Imm(1, 0), Imm(2, 10)]
+        e.terminator = Jmp("loop")
+        loop = b.block("loop")
+        loop.instructions = [AluImm(AluOp.ADD, 1, 1, 1)]
+        loop.terminator = Br(Cond.LT, 1, 2, "loop", "done")
+        b.block("done").terminator = Halt()
+        program, cfg = build(b)
+        lo, _hi = compute_ranges(program, cfg).at_terminator(program, "loop")[1]
+        assert lo >= 0  # widening never invents negative values
+
+    def test_at_terminator_applies_block_instructions(self):
+        b = ProgramBuilder("term")
+        e = b.block("entry")
+        e.instructions = [Imm(1, 1), Alu(AluOp.ADD, 1, 1, 1)]
+        e.terminator = Jmp("done")
+        b.block("done").terminator = Halt()
+        program, cfg = build(b)
+        ranges = compute_ranges(program, cfg)
+        assert ranges.block_in["entry"][1] == (0, 0)
+        assert ranges.at_terminator(program, "entry")[1] == (2, 2)
+
+
+class TestBranchOutcome:
+    def test_constant_true(self):
+        br = Br(Cond.LT, 1, 2, "t", "f")
+        assert branch_outcome(br, {1: (0, 3), 2: (5, 9)}) is True
+
+    def test_constant_false(self):
+        br = Br(Cond.LT, 1, 2, "t", "f")
+        assert branch_outcome(br, {1: (5, 9), 2: (0, 5)}) is False
+
+    def test_overlap_is_undecidable(self):
+        br = Br(Cond.LT, 1, 2, "t", "f")
+        assert branch_outcome(br, {1: (0, 6), 2: (4, 9)}) is None
+
+    def test_eq_singletons(self):
+        br = Br(Cond.EQ, 1, 2, "t", "f")
+        assert branch_outcome(br, {1: (7, 7), 2: (7, 7)}) is True
+        assert branch_outcome(br, {1: (7, 7), 2: (8, 8)}) is False

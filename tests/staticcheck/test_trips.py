@@ -1,0 +1,150 @@
+"""Trip-count analysis: proven counted loops and the shapes it rejects."""
+
+from repro.isa.instructions import (
+    Alu,
+    AluImm,
+    AluOp,
+    ArrayBase,
+    Br,
+    Cond,
+    Halt,
+    Imm,
+    Jmp,
+    Load,
+)
+from repro.isa.program import ProgramBuilder
+from repro.staticcheck.engine import analyze_program
+
+
+def counted_loop(bound=10, step=1, cond=Cond.LT):
+    b = ProgramBuilder("counted")
+    e = b.block("entry")
+    e.instructions = [Imm(1, 0), Imm(2, bound)]
+    e.terminator = Jmp("loop")
+    loop = b.block("loop")
+    loop.instructions = [AluImm(AluOp.ADD, 1, 1, step)]
+    loop.terminator = Br(cond, 1, 2, "loop", "done")
+    b.block("done").terminator = Halt()
+    return b.build()
+
+
+class TestCountedLoops:
+    def test_exact_trip_count(self):
+        trips = analyze_program(counted_loop(bound=10)).trips
+        info = trips["loop"]
+        assert info.header == "loop"
+        assert info.step == 1
+        assert (info.trip_lo, info.trip_hi) == (10, 10)
+
+    def test_exit_mispredict_rate_is_one_over_n(self):
+        info = analyze_program(counted_loop(bound=50)).trips["loop"]
+        assert abs(info.exit_mispredict_rate - 1 / 50) < 1e-12
+
+    def test_step_divides_trip_count(self):
+        info = analyze_program(counted_loop(bound=10, step=2)).trips["loop"]
+        assert (info.trip_lo, info.trip_hi) == (5, 5)
+
+    def test_le_adds_one_iteration(self):
+        info = analyze_program(counted_loop(bound=10, cond=Cond.LE)).trips[
+            "loop"
+        ]
+        assert (info.trip_lo, info.trip_hi) == (11, 11)
+
+    def test_swapped_operands_still_prove(self):
+        # bound > iv continues the loop: the analysis must normalize the
+        # operand order rather than require the IV on the left.
+        b = ProgramBuilder("swapped")
+        e = b.block("entry")
+        e.instructions = [Imm(1, 0), Imm(2, 8)]
+        e.terminator = Jmp("loop")
+        loop = b.block("loop")
+        loop.instructions = [AluImm(AluOp.ADD, 1, 1, 1)]
+        loop.terminator = Br(Cond.GT, 2, 1, "loop", "done")
+        b.block("done").terminator = Halt()
+        info = analyze_program(b.build()).trips["loop"]
+        assert (info.trip_lo, info.trip_hi) == (8, 8)
+
+    def test_variable_bound_gives_interval(self):
+        # The bound joins to [4, 8] over an untainted diamond (interval
+        # analysis keeps both arms); the trip count must become an interval
+        # rather than be rejected.
+        b = ProgramBuilder("interval")
+        e = b.block("entry")
+        e.instructions = [Imm(1, 0), Imm(3, 1)]
+        e.terminator = Br(Cond.EQ, 3, 3, "a", "z")
+        a = b.block("a")
+        a.instructions = [Imm(2, 4)]
+        a.terminator = Jmp("loop")
+        z = b.block("z")
+        z.instructions = [Imm(2, 8)]
+        z.terminator = Jmp("loop")
+        loop = b.block("loop")
+        loop.instructions = [AluImm(AluOp.ADD, 1, 1, 1)]
+        loop.terminator = Br(Cond.LT, 1, 2, "loop", "done")
+        b.block("done").terminator = Halt()
+        info = analyze_program(b.build()).trips["loop"]
+        assert (info.trip_lo, info.trip_hi) == (4, 8)
+
+
+class TestRejectedShapes:
+    def test_data_tainted_bound_is_rejected(self):
+        # A loaded trip count re-randomizes the exit position: not counted.
+        b = ProgramBuilder("tainted")
+        b.data("d", [5, 6, 7, 8])
+        e = b.block("entry")
+        e.instructions = [Imm(1, 0), ArrayBase(3, "d"), Load(2, 3)]
+        e.terminator = Jmp("loop")
+        loop = b.block("loop")
+        loop.instructions = [AluImm(AluOp.ADD, 1, 1, 1)]
+        loop.terminator = Br(Cond.LT, 1, 2, "loop", "done")
+        b.block("done").terminator = Halt()
+        assert "loop" not in analyze_program(b.build()).trips
+
+    def test_non_affine_iv_is_rejected(self):
+        b = ProgramBuilder("nonaffine")
+        e = b.block("entry")
+        e.instructions = [Imm(1, 1), Imm(2, 100)]
+        e.terminator = Jmp("loop")
+        loop = b.block("loop")
+        loop.instructions = [AluImm(AluOp.MUL, 1, 1, 2)]  # geometric, not affine
+        loop.terminator = Br(Cond.LT, 1, 2, "loop", "done")
+        b.block("done").terminator = Halt()
+        assert "loop" not in analyze_program(b.build()).trips
+
+    def test_bound_written_in_body_is_rejected(self):
+        b = ProgramBuilder("movingbound")
+        e = b.block("entry")
+        e.instructions = [Imm(1, 0), Imm(2, 10)]
+        e.terminator = Jmp("loop")
+        loop = b.block("loop")
+        loop.instructions = [
+            AluImm(AluOp.ADD, 1, 1, 1),
+            AluImm(AluOp.ADD, 2, 2, 1),
+        ]
+        loop.terminator = Br(Cond.LT, 1, 2, "loop", "done")
+        b.block("done").terminator = Halt()
+        assert "loop" not in analyze_program(b.build()).trips
+
+    def test_two_writes_to_iv_is_rejected(self):
+        b = ProgramBuilder("twowrites")
+        e = b.block("entry")
+        e.instructions = [Imm(1, 0), Imm(2, 10)]
+        e.terminator = Jmp("loop")
+        loop = b.block("loop")
+        loop.instructions = [
+            AluImm(AluOp.ADD, 1, 1, 1),
+            Alu(AluOp.ADD, 1, 1, 1),
+        ]
+        loop.terminator = Br(Cond.LT, 1, 2, "loop", "done")
+        b.block("done").terminator = Halt()
+        assert "loop" not in analyze_program(b.build()).trips
+
+    def test_unreachable_loop_is_skipped(self):
+        b = ProgramBuilder("unreachable")
+        e = b.block("entry")
+        e.terminator = Jmp("done")
+        orphan = b.block("orphan")
+        orphan.instructions = [AluImm(AluOp.ADD, 1, 1, 1)]
+        orphan.terminator = Br(Cond.LT, 1, 2, "orphan", "done")
+        b.block("done").terminator = Halt()
+        assert "orphan" not in analyze_program(b.build()).trips
