@@ -9,13 +9,14 @@ root, with full run metadata (git SHA, date, tier, host), so every commit
 can be compared against the committed ``benchmarks/baseline.json``:
 
 * ``sim_throughput`` — scalar vs. kernel branches/sec per predictor
-  family (plus TAGE-SC-L, scalar only);
+  family, plus TAGE-SC-L scalar vs. the batch-of-one replay;
 * ``trace_store`` — cold (generate + publish) vs. warm (one ``.npz``
   read) trace acquisition;
 * ``jobs_scaling`` — wall clock for a fixed simulation batch at
-  ``--jobs 1/2/4`` over a pre-warmed trace store;
+  ``--jobs 1/2/4`` over a pre-warmed trace store; the speedups are
+  gated (direction ``higher``) whenever the machine has ≥ 2 cores;
 * ``table1`` — cold and warm wall clock for the ``table1`` experiment
-  (the warm render is the pinned metric);
+  (both pinned: the cold run now rides the batch-of-one replay);
 * ``fig7_quick`` — cold and warm wall clock for the fig. 7 storage sweep
   over a warm trace store, plus the pinned scalar-vs-batched replay
   ratio for one workload's full preset sweep (CI gates on ≥ 3x).
@@ -74,8 +75,11 @@ class BenchConfig:
     jobs_levels: Tuple[int, ...] = (1, 2, 4)
     # The scaling batch wants sims heavy enough to amortize pool startup;
     # the cheap kernel predictors finish in ~50ms and would *anti*-scale.
+    # Two workloads × four inputs = 8 jobs: more jobs than the deepest
+    # --jobs level, so the longest-job-first scheduler can actually pack
+    # workers instead of serializing behind a one-job-per-worker batch.
     scaling_predictor: str = "tage-sc-l-8kb"
-    scaling_inputs: Tuple[int, ...] = (0, 1)
+    scaling_inputs: Tuple[int, ...] = (0, 1, 2, 3)
     table1_cold_jobs: int = 4
 
 
@@ -166,11 +170,21 @@ def _bench_sim_throughput(config: BenchConfig, metrics, echo) -> None:
                  f"kernel {branches / t_kernel:,.0f}/s "
                  f"({t_scalar / t_kernel:.1f}x)")
         for label in config.scalar_predictors:
+            # TAGE-SC-L: the pure-Python scalar loop vs. the batch-of-one
+            # replay `simulate_trace` now dispatches by default.
             os.environ["REPRO_KERNELS"] = "0"
             t_scalar, _ = _best_of(1, functools.partial(run, label))
+            os.environ["REPRO_KERNELS"] = "1"
+            t_batched, _ = _best_of(config.repeats, functools.partial(run, label))
             _metric(metrics, f"sim.{label}.scalar.branches_per_sec",
                     branches / t_scalar, "branches/s", "higher")
-            echo(f"  {label}: scalar {branches / t_scalar:,.0f}/s")
+            _metric(metrics, f"sim.{label}.batched.branches_per_sec",
+                    branches / t_batched, "branches/s", "higher")
+            _metric(metrics, f"sim.{label}.batched_speedup",
+                    t_scalar / t_batched, "x", "higher")
+            echo(f"  {label}: scalar {branches / t_scalar:,.0f}/s, "
+                 f"batched {branches / t_batched:,.0f}/s "
+                 f"({t_scalar / t_batched:.1f}x)")
     finally:
         if saved is None:
             os.environ.pop("REPRO_KERNELS", None)
@@ -210,11 +224,20 @@ def _bench_jobs_scaling(config: BenchConfig, metrics, echo) -> None:
 
     Every level gets a fresh cache directory (so simulations are really
     recomputed) pre-warmed with the generated traces (so trace generation
-    is excluded and workers read through the shared store).
+    is excluded and workers read through the shared store).  The batch is
+    8 TAGE-SC-L jobs — more than the deepest ``--jobs`` level — so the
+    speedup metrics measure real packing, and they carry direction
+    ``higher`` (baseline-gated) whenever the machine has at least two
+    cores; on a single-core box they degrade to ``info`` because no
+    process pool can beat serial there.  ``parallel.cores`` records which
+    regime produced the numbers.
     """
     from repro.experiments.lab import Lab
     from repro.workloads.trace_store import TraceStore
 
+    cores = os.cpu_count() or 1
+    speedup_direction = "higher" if cores >= 2 else "info"
+    _metric(metrics, "parallel.cores", cores, "cores", "info")
     n = _instructions(config)
     workloads = [config.workload, config.extra_workload]
     pairs = [(w, i) for w in workloads for i in config.scaling_inputs]
@@ -240,7 +263,7 @@ def _bench_jobs_scaling(config: BenchConfig, metrics, echo) -> None:
             base_s = wall_s
         else:
             _metric(metrics, f"parallel.jobs{jobs}.speedup", base_s / wall_s,
-                    "x", "info")
+                    "x", speedup_direction)
         echo(f"  jobs={jobs}: {wall_s:.2f}s")
 
 
@@ -265,7 +288,7 @@ def _bench_table1(config: BenchConfig, metrics, echo) -> None:
             warm_s = perf_counter() - t0
         finally:
             lab.close()
-    _metric(metrics, "table1.cold_s", cold_s, "s", "info")
+    _metric(metrics, "table1.cold_s", cold_s, "s", "lower")
     _metric(metrics, "table1.warm_s", warm_s, "s", "lower")
     echo(f"  cold {cold_s:.1f}s (jobs={config.table1_cold_jobs}), warm {warm_s:.2f}s")
 
@@ -356,7 +379,9 @@ def run_benchmarks(
         timings[name] = perf_counter() - t0
     return {
         "schema": BENCH_SCHEMA_VERSION,
-        "meta": run_metadata(),
+        # fresh=True: the document must pin HEAD *as of this run*, not
+        # whatever a long-lived process cached at its first artifact export.
+        "meta": run_metadata(fresh=True),
         "config": {
             "tier": active_tier().name,
             "workload": config.workload,

@@ -18,7 +18,7 @@ from typing import Callable, Dict, List, Sequence, Union
 
 from repro.experiments.config import SLICE_INSTRUCTIONS
 from repro.experiments.lab import Lab
-from repro.parallel.jobs import BatchSimJob, SimJob
+from repro.parallel.jobs import BatchSimJob, SimJob, predictor_weight
 from repro.predictors.tagescl import STORAGE_PRESETS_KIB
 from repro.workloads import LCF_WORKLOADS, SPECINT_WORKLOADS
 
@@ -37,7 +37,14 @@ def suite_jobs(
     predictors: Sequence[str],
     all_inputs: bool = False,
 ) -> List[SimJob]:
-    """Jobs for a workload suite at the lab's tier sizes."""
+    """Jobs for a workload suite at the lab's tier sizes.
+
+    Already sharded per (workload, input, predictor) so the scheduler has
+    many more jobs than workers, and ordered heavy-family-first (TAGE
+    before kernel predictors) so the scheduler's stable longest-job-first
+    sort starts the slow jobs immediately instead of leaving one for the
+    tail of the batch.
+    """
     jobs: List[SimJob] = []
     for name in names:
         n = lab.instructions_for(name)
@@ -47,6 +54,7 @@ def suite_jobs(
                 jobs.append(
                     SimJob(name, input_index, n, predictor, SLICE_INSTRUCTIONS)
                 )
+    jobs.sort(key=lambda j: predictor_weight(j.predictor), reverse=True)
     return jobs
 
 

@@ -61,12 +61,17 @@ def batchable(predictor: Any) -> bool:
 
     Exact types only — a subclass may override behavior the replay would
     silently miss (same rule as the ``vectorized_kernel`` type guards).
+    Plain :class:`~repro.predictors.tage.Tage` replays too (the composite
+    stages are simply absent), so single-config TAGE runs also leave the
+    scalar loop.
     """
     from repro.predictors.loop import ImliCounter, LoopPredictor
     from repro.predictors.statistical_corrector import StatisticalCorrector
     from repro.predictors.tage import Tage
     from repro.predictors.tagescl import TageScL
 
+    if type(predictor) is Tage:
+        return True
     if type(predictor) is not TageScL:
         return False
     if type(predictor.tage) is not Tage:
@@ -96,8 +101,15 @@ def replay_tagescl_batch(
     plan per trace).
     """
     ips_c, taken_c, _ = trace.conditional_columns()
-    ips_l = ips_c.tolist()
-    taken_l = np.asarray(taken_c, dtype=bool).tolist()
+    # Decoded lists are memoized on the trace: batch-of-one dispatch calls
+    # this once per preset per experiment, and the decode would otherwise
+    # recur per call.
+    ips_l = plan_memo(trace, ("cond_ips_list",), ips_c.tolist)
+    taken_l = plan_memo(
+        trace,
+        ("cond_taken_list",),
+        lambda: np.asarray(taken_c, dtype=bool).tolist(),
+    )
     pos = cond_positions(trace)
     return [
         _replay_preset(p, trace, ips_c, taken_c, ips_l, taken_l, pos, collect_introspection)
@@ -210,15 +222,17 @@ class _Precomp:
 
 
 def _precompute(
-    p: "TageScL",
+    p: Any,
     trace: BranchTrace,
     ips_c: np.ndarray,
     taken_c: np.ndarray,
     pos: np.ndarray,
 ) -> _Precomp:
     from repro.predictors.gehl import folded_stream_history
+    from repro.predictors.tagescl import TageScL
 
-    tage = p.tage
+    ens = p if type(p) is TageScL else None
+    tage = p.tage if ens is not None else p
     cfg = tage.config
     T = cfg.num_tables
 
@@ -260,20 +274,26 @@ def _precompute(
         c1_final.append(int(c1_f[-1]))
 
     # Composite-level feature streams: always replayed for final-state
-    # writeback; decoded into SC index columns only when the SC exists.
-    keys = ips_c & p._local_mask_entries
-    init_tbl = np.zeros(p._local_mask_entries + 1, dtype=np.int64)
-    for k, v in p._local.items():
-        init_tbl[k] = v
-    lh = local_history(keys, taken_c, p._local_bits, init_tbl)
-    imli_before, imli_final_ip, imli_final_count = _imli_stream(
-        trace, ips_c, taken_c, p.imli
-    )
+    # writeback (when the composite exists); decoded into SC index columns
+    # only when the SC exists.  Plain TAGE skips all of them.
+    keys = np.empty(0, dtype=np.int64)
+    imli_final_ip: Optional[int] = None
+    imli_final_count = 0
+    lh = None
+    if ens is not None:
+        keys = ips_c & ens._local_mask_entries
+        init_tbl = np.zeros(ens._local_mask_entries + 1, dtype=np.int64)
+        for k, v in ens._local.items():
+            init_tbl[k] = v
+        lh = local_history(keys, taken_c, ens._local_bits, init_tbl)
+        imli_before, imli_final_ip, imli_final_count = _imli_stream(
+            trace, ips_c, taken_c, ens.imli
+        )
 
-    sc = p.sc
+    sc = ens.sc if ens is not None else None
     sc_packed = False
     if sc is not None:
-        g = _ghist_stream(trace, taken_c, p._ghist_bits)
+        g = _ghist_stream(trace, taken_c, ens._ghist_bits)
         comps = [sc._bias] + list(sc._ghist_components) + [sc._local, sc._imli]
         feats = [None] + [
             g & ((1 << fold) - 1) for fold in sc.history_folds
@@ -325,12 +345,16 @@ def _precompute(
         local_final=local_final,
         imli_final_ip=imli_final_ip,
         imli_final_count=imli_final_count,
-        ghist_final=final_history(taken_c, 32, init=p._ghist_bits),
+        ghist_final=(
+            final_history(taken_c, 32, init=ens._ghist_bits)
+            if ens is not None
+            else 0
+        ),
     )
 
 
 def _replay_preset(
-    p: "TageScL",
+    p: Any,
     trace: BranchTrace,
     ips_c: np.ndarray,
     taken_c: np.ndarray,
@@ -339,8 +363,11 @@ def _replay_preset(
     pos: np.ndarray,
     collect: bool,
 ) -> BatchedPrediction:
+    from repro.predictors.tagescl import TageScL
+
     n = len(ips_c)
-    tage = p.tage
+    ens = p if type(p) is TageScL else None
+    tage = p.tage if ens is not None else p
     cfg = tage.config
     T = cfg.num_tables
     pre_c = _precompute(p, trace, ips_c, taken_c, pos)
@@ -351,6 +378,13 @@ def _replay_preset(
     tags_l = tage._tags
     ctrs_l = tage._ctrs
     useful_l = tage._useful
+    # Longest-match scan order, with the per-table list lookups hoisted
+    # out of the per-branch walk: (table, packed column, tags, ctrs,
+    # useful) from the longest history down.
+    tables_rev = tuple(
+        (t, 1 + t, tags_l[t], ctrs_l[t], useful_l[t])
+        for t in range(cfg.num_tables - 1, -1, -1)
+    )
     base = tage._base
     ctr_lo, ctr_hi = tage._ctr_lo, tage._ctr_hi
     u_hi = tage._u_hi
@@ -359,6 +393,7 @@ def _replay_preset(
     tick = tage._tick
     reset_period = cfg.useful_reset_period
     alloc_stats = tage.allocation_stats
+    alloc_record = alloc_stats.record if alloc_stats is not None else None
     alloc_count = tage.alloc_count
     evict_count = tage.evict_count
     alloc_fail = tage.alloc_fail_count
@@ -371,7 +406,7 @@ def _replay_preset(
     p_idx = tage._p_idx
     p_provider_pred = tage._p_provider_pred
 
-    sc = p.sc
+    sc = ens.sc if ens is not None else None
     sc_on = sc is not None
     if sc_on:
         comps = [sc._bias] + list(sc._ghist_components) + [sc._local, sc._imli]
@@ -394,7 +429,7 @@ def _replay_preset(
     # entries cost two method calls plus attribute chains per branch in the
     # scalar path; the walk reads/writes flat lists and the entry objects
     # are refilled at the end (values, not identities, are the contract).
-    lp = p.loop
+    lp = ens.loop if ens is not None else None
     loop_on = lp is not None
     if loop_on:
         l_tag = [e.tag for e in lp._table]
@@ -411,20 +446,21 @@ def _replay_preset(
         l_lastpred = lp._last_pred
         l_have = lp._last_entry is not None
         l_slot = 0
-    pred_loop_count = p.pred_loop_count
+    pred_loop_count = ens.pred_loop_count if ens is not None else 0
 
     preds: List[bool] = []
     preds_append = preds.append
     attrs: Optional[List[Tuple[int, bool, bool, bool]]] = [] if collect else None
+    attrs_append = attrs.append if attrs is not None else None
 
     # Loop locals that outlive the walk feed the final-state writeback.
     provider = tage._p_provider
     tage_pred = tage._p_pred
     alt_pred = tage._p_alt_pred
     weak = tage._p_weak
-    pred = p._last_pred
-    sc_flipped = p._last_sc_flipped
-    loop_used = p._last_loop_used
+    pred = ens._last_pred if ens is not None else tage._p_pred
+    sc_flipped = ens._last_sc_flipped if ens is not None else False
+    loop_used = ens._last_loop_used if ens is not None else False
     row = None
     s = 0
     bi0 = 0
@@ -436,16 +472,19 @@ def _replay_preset(
             # ---- TAGE predict: longest/second-longest tag match.
             provider = -1
             alt = -1
-            t = T - 1
-            while t >= 0:
-                v = row[1 + t]
-                if tags_l[t][v >> 16] == v & 65535:
+            pv = 0
+            for t, col, tags_t, ctrs_t, useful_t in tables_rev:
+                v = row[col]
+                if tags_t[v >> 16] == v & 65535:
                     if provider < 0:
                         provider = t
+                        pv = v
+                        ctrs_p = ctrs_t
+                        useful_p = useful_t
                     else:
                         alt = t
+                        alt_ctrs = ctrs_t
                         break
-                t -= 1
             if provider < 0:
                 base_pred = base[row[0]] >= 0
                 n_base += 1
@@ -453,13 +492,11 @@ def _replay_preset(
                 alt_pred = base_pred
                 weak = False
             else:
-                idx = row[1 + provider] >> 16
-                ctrs_p = ctrs_l[provider]
-                useful_p = useful_l[provider]
+                idx = pv >> 16
                 ctr = ctrs_p[idx]
                 provider_pred = ctr >= 0
                 alt_pred = (
-                    ctrs_l[alt][v >> 16] >= 0
+                    alt_ctrs[v >> 16] >= 0
                     if alt >= 0
                     else base[row[0]] >= 0
                 )
@@ -535,8 +572,8 @@ def _replay_preset(
                     l_lastpred = True
 
             preds_append(pred)
-            if attrs is not None:
-                attrs.append(
+            if attrs_append is not None:
+                attrs_append(
                     (
                         provider,
                         provider >= 0 and weak and use_alt >= 0,
@@ -678,8 +715,8 @@ def _replay_preset(
                         tags_l[t][aidx] = v & 65535
                         ctrs_l[t][aidx] = 0 if tk else -1
                         alloc_count += 1
-                        if alloc_stats is not None:
-                            alloc_stats.record(ip, t, aidx)
+                        if alloc_record is not None:
+                            alloc_record(ip, t, aidx)
                         allocated = True
                         break
                     t += 1
@@ -771,15 +808,16 @@ def _replay_preset(
             lp.is_confident = l_confident
             lp._last_pred = l_lastpred
             lp._last_entry = lp._table[l_slot] if l_have else None
-    p.pred_loop_count = pred_loop_count
-    if n:
-        p._last_pred = pred
-        p._last_sc_flipped = sc_flipped
-        p._last_loop_used = loop_used
-        p._ghist_bits = pre_c.ghist_final
-        for k in pre_c.local_touch_order:
-            p._local[k] = pre_c.local_final[k]
-        p.imli.count = pre_c.imli_final_count
-        p.imli._last_backward_ip = pre_c.imli_final_ip
+    if ens is not None:
+        ens.pred_loop_count = pred_loop_count
+        if n:
+            ens._last_pred = pred
+            ens._last_sc_flipped = sc_flipped
+            ens._last_loop_used = loop_used
+            ens._ghist_bits = pre_c.ghist_final
+            for k in pre_c.local_touch_order:
+                ens._local[k] = pre_c.local_final[k]
+            ens.imli.count = pre_c.imli_final_count
+            ens.imli._last_backward_ip = pre_c.imli_final_ip
 
     return BatchedPrediction(preds=np.array(preds, dtype=bool), attrs=attrs)

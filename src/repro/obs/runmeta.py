@@ -23,10 +23,16 @@ from typing import Any, Dict, Optional, Tuple
 _git_cache: Optional[Tuple[Optional[str], bool]] = None
 
 
-def _git_state() -> Tuple[Optional[str], bool]:
-    """``(sha, dirty)`` for the enclosing git checkout, cached per process."""
+def _git_state(fresh: bool = False) -> Tuple[Optional[str], bool]:
+    """``(sha, dirty)`` for the enclosing git checkout, cached per process.
+
+    ``fresh=True`` bypasses (and refreshes) the cache: long-lived
+    processes that commit mid-run — or benchmark harnesses whose import
+    happened before a checkout moved — must resolve HEAD at export time,
+    not replay whatever the first artifact export saw.
+    """
     global _git_cache
-    if _git_cache is not None:
+    if _git_cache is not None and not fresh:
         return _git_cache
     sha: Optional[str] = None
     dirty = False
@@ -68,11 +74,16 @@ def _numpy_version() -> Optional[str]:
         return None
 
 
-def run_metadata() -> Dict[str, Any]:
-    """Provenance header for exported artifacts (fresh timestamp each call)."""
+def run_metadata(fresh: bool = False) -> Dict[str, Any]:
+    """Provenance header for exported artifacts (fresh timestamp each call).
+
+    ``fresh=True`` re-resolves the git state instead of reusing the
+    per-process cache — pass it when the artifact must pin the HEAD *at
+    export time* (e.g. ``repro.bench`` writing ``BENCH_core.json``).
+    """
     from repro.config import active_tier
 
-    sha, dirty = _git_state()
+    sha, dirty = _git_state(fresh=fresh)
     return {
         "git_sha": sha,
         "git_dirty": dirty,

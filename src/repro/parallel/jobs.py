@@ -88,6 +88,35 @@ class BatchSimJob:
         )
 
 
+#: Relative per-branch cost of the batched TAGE family walk vs. a fully
+#: vectorized kernel predictor.  The exact ratio varies with preset size
+#: and trace shape; scheduling only needs the order of magnitude so the
+#: longest-job-first sort puts TAGE work ahead of kernel work.
+TAGE_FAMILY_WEIGHT = 25.0
+
+
+def predictor_weight(name: str) -> float:
+    """Relative per-instruction simulation cost of a predictor label.
+
+    TAGE / TAGE-SC-L replays (batched or scalar) dominate every other
+    predictor by more than an order of magnitude, so a coarse two-level
+    weight is enough to keep a straggler off the tail of a batch.
+    """
+    return TAGE_FAMILY_WEIGHT if name.startswith("tage") else 1.0
+
+
+def estimated_cost(job: "SimJob | BatchSimJob") -> float:
+    """Scheduling estimate: instructions × summed predictor weight.
+
+    Used by :class:`repro.parallel.scheduler.ParallelScheduler` to order
+    submissions longest-first.  A :class:`BatchSimJob` pays once per
+    member configuration (the shared trace pass is cheap next to the
+    per-preset walks).
+    """
+    members = job.predictors if isinstance(job, BatchSimJob) else (job.predictor,)
+    return job.instructions * sum(predictor_weight(p) for p in members)
+
+
 @dataclass(frozen=True)
 class WorkerReport:
     """Timing and metrics a worker returns alongside its result.

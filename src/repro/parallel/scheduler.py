@@ -42,7 +42,13 @@ from typing import Callable, Dict, List, Optional
 from repro import obs
 from repro.obs import trace as obstrace
 from repro.obs.logconfig import ROOT_LOGGER_NAME, is_configured
-from repro.parallel.jobs import SimJob, run_job_inline, run_sim_job, worker_init
+from repro.parallel.jobs import (
+    SimJob,
+    estimated_cost,
+    run_job_inline,
+    run_sim_job,
+    worker_init,
+)
 from repro.resilience import faults
 
 _log = obs.get_logger("parallel")
@@ -181,13 +187,30 @@ class ParallelScheduler:
         in-process — see the module docstring.  Results are delivered in
         completion order — callers key their caches by job, so ordering
         never affects outputs.
+
+        Jobs are submitted **longest-first** by estimated cost
+        (instructions × predictor weight, :func:`estimated_cost`): a
+        straggler TAGE-SC-L job dispatched last would otherwise run alone
+        after every cheap kernel job has drained, capping the speedup at
+        1x no matter how many workers are idle.  The sort is stable, so
+        equal-cost jobs keep their plan order and scheduling stays
+        deterministic.
         """
         if not jobs:
             return 0
         t_batch = monotonic()
         obs.counter("lab.parallel.batches")
         obs.counter("lab.parallel.jobs.dispatched", len(jobs))
-        remaining = list(jobs)
+        remaining = sorted(jobs, key=estimated_cost, reverse=True)
+        obs.counter("lab.parallel.schedule.jobs", len(remaining))
+        obs.counter(
+            "lab.parallel.schedule.est_cost",
+            int(sum(estimated_cost(j) for j in remaining)),
+        )
+        obs.gauge(
+            "lab.parallel.schedule.est_cost_max",
+            float(estimated_cost(remaining[0])),
+        )
         failed = 0
         busy_s = 0.0
         attempt = 0

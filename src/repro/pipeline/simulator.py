@@ -79,7 +79,10 @@ def simulate_trace(
     When the predictor advertises a :meth:`~repro.predictors.base.
     BranchPredictor.vectorized_kernel` (and ``REPRO_KERNELS`` is not
     disabled), the trace is scored through the numpy kernel path instead of
-    the per-branch loop; results are bit-identical either way.
+    the per-branch loop.  A :func:`~repro.kernels.batched.batchable`
+    predictor (TAGE / TAGE-SC-L) without a kernel dispatches through the
+    multi-config replay engine as a batch of one, reusing the trace's
+    memoized feature streams.  Results are bit-identical on every path.
     """
     if slice_instructions is not None and slice_instructions <= 0:
         raise ValueError("slice_instructions must be positive")
@@ -89,17 +92,32 @@ def simulate_trace(
     # observe without changing any simulated outcome.
     introspecting = introspect.is_enabled()
 
-    kernel = predictor.vectorized_kernel() if kernels_enabled() else None
-    if kernel is not None:
-        return _simulate_with_kernel(
-            trace,
-            predictor,
-            kernel,
-            slice_instructions,
-            record_mispredict_positions,
-            warmup_branches,
-            introspecting,
-        )
+    if kernels_enabled():
+        kernel = predictor.vectorized_kernel()
+        if kernel is not None:
+            return _simulate_with_kernel(
+                trace,
+                predictor,
+                kernel,
+                slice_instructions,
+                record_mispredict_positions,
+                warmup_branches,
+                introspecting,
+            )
+        from repro.kernels.batched import batchable
+
+        if batchable(predictor):
+            # Batch of one: same replay engine as the fig. 7/8 sweeps; the
+            # precomputed feature streams are shared through the trace's
+            # plan cache, so single-config TAGE-SC-L runs (table1, fig1,
+            # h2p, introspect) skip the scalar loop entirely.
+            return simulate_trace_batch(
+                trace,
+                [predictor],
+                slice_instructions=slice_instructions,
+                record_mispredict_positions=record_mispredict_positions,
+                warmup_branches=warmup_branches,
+            )[0]
     if introspecting:
         return _simulate_scalar_introspect(
             trace,

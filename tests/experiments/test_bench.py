@@ -112,6 +112,62 @@ class TestScenarios:
         out = write_bench_json(doc, tmp_path / "bench.json")
         assert load_bench_json(out) == json.loads(json.dumps(doc))
 
+    def test_scalar_predictor_gets_batched_row(self):
+        cfg = BenchConfig(
+            instructions=20_000,
+            repeats=1,
+            kernel_predictors=(),
+            scalar_predictors=("tage-sc-l-8kb",),
+        )
+        doc = run_benchmarks(
+            config=cfg, only=["sim_throughput"], echo=lambda _line: None
+        )
+        metrics = doc["metrics"]
+        assert "sim.tage-sc-l-8kb.scalar.branches_per_sec" in metrics
+        assert "sim.tage-sc-l-8kb.batched.branches_per_sec" in metrics
+        assert metrics["sim.tage-sc-l-8kb.batched_speedup"]["direction"] == "higher"
+
+    def test_jobs_scaling_records_cores_and_gates_on_multicore(self):
+        import os
+
+        cfg = BenchConfig(
+            instructions=20_000,
+            repeats=1,
+            kernel_predictors=("bimodal",),
+            scalar_predictors=(),
+            jobs_levels=(1, 2),
+            scaling_inputs=(0,),
+        )
+        doc = run_benchmarks(
+            config=cfg, only=["jobs_scaling"], echo=lambda _line: None
+        )
+        metrics = doc["metrics"]
+        cores = os.cpu_count() or 1
+        assert metrics["parallel.cores"]["value"] == cores
+        assert metrics["parallel.cores"]["direction"] == "info"
+        want = "higher" if cores >= 2 else "info"
+        assert metrics["parallel.jobs2.speedup"]["direction"] == want
+
+    def test_meta_git_sha_resolved_at_bench_time(self, monkeypatch):
+        """Regression: a stale per-process git cache must not leak into
+        the bench document's provenance header."""
+        import subprocess
+
+        from repro.obs import runmeta
+
+        monkeypatch.setattr(runmeta, "_git_cache", ("0" * 40, True))
+        doc = run_benchmarks(
+            config=TINY, only=["trace_store"], echo=lambda _line: None
+        )
+        head = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(runmeta.__file__).rsplit("/", 1)[0],
+            capture_output=True, text=True,
+        ).stdout.strip()
+        if not head:
+            pytest.skip("not running inside a git checkout")
+        assert doc["meta"]["git_sha"] == head
+
     def test_unknown_scenario_rejected(self):
         with pytest.raises(ValueError, match="unknown scenarios"):
             run_benchmarks(config=TINY, only=["nope"], echo=lambda _line: None)

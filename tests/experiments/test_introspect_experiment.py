@@ -30,7 +30,8 @@ class TestStudy:
         assert study.predictor == "tage-sc-l-8kb"
         (report,) = study.reports
         assert report["workload"] == "605.mcf_s"
-        assert report["path"] == "scalar"
+        # TAGE-SC-L introspection rides the batch-of-one replay by default.
+        assert report["path"] == "batched"
         assert report["static_branches"] > 0
         # Presets are built with allocation tracking forced on.
         assert report["total_allocations"] > 0

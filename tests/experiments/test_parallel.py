@@ -11,8 +11,18 @@ import pytest
 from repro.config import ExperimentTier
 from repro.experiments.lab import CACHE_VERSION, Lab, PREDICTOR_FACTORIES
 from repro.experiments.plans import EXPERIMENT_PLANS
-from repro.parallel.jobs import BatchSimJob, SimJob, run_sim_job
-from repro.parallel.scheduler import ParallelScheduler, resolve_jobs
+from repro.parallel.jobs import (
+    BatchSimJob,
+    SimJob,
+    estimated_cost,
+    predictor_weight,
+    run_sim_job,
+)
+from repro.parallel.scheduler import (
+    ParallelScheduler,
+    _AttemptOutcome,
+    resolve_jobs,
+)
 from repro.workloads import WORKLOADS_BY_NAME
 
 #: One input, one slice: the equivalence sweeps stay fast even though every
@@ -97,6 +107,68 @@ class TestParallelSerialEquivalence:
                     )
             assert obs_enabled.counter("lab.sim.cache_miss").value == before
             assert obs_enabled.counter("lab.sim.cache_hit.memory").value >= len(jobs)
+
+
+class TestLongestJobFirst:
+    def test_predictor_weight_separates_families(self):
+        assert predictor_weight("tage-sc-l-8kb") > predictor_weight("bimodal")
+        assert predictor_weight("tage-sc-l-1024kb") == predictor_weight("tage-sc-l-8kb")
+
+    def test_estimated_cost_scales_with_instructions_and_members(self):
+        small = SimJob("game", 0, 1_000, "bimodal", 500)
+        big = SimJob("game", 0, 2_000, "bimodal", 500)
+        tage = SimJob("game", 0, 1_000, "tage-sc-l-8kb", 500)
+        batch = BatchSimJob(
+            "game", 0, 1_000, ("tage-sc-l-8kb", "tage-sc-l-64kb"), 500
+        )
+        assert estimated_cost(big) == 2 * estimated_cost(small)
+        assert estimated_cost(tage) > estimated_cost(big)
+        assert estimated_cost(batch) == 2 * estimated_cost(tage)
+
+    def test_run_submits_longest_first_and_records_estimate(
+        self, monkeypatch, obs_enabled
+    ):
+        seen = []
+
+        def fake_attempt(self, jobs, on_result):
+            seen.extend(jobs)
+            for job in jobs:
+                on_result(job, None)
+            return _AttemptOutcome()
+
+        monkeypatch.setattr(ParallelScheduler, "_run_attempt", fake_attempt)
+        jobs = [
+            SimJob("game", 0, 1_000, "bimodal", 500),
+            SimJob("game", 0, 1_000, "tage-sc-l-8kb", 500),
+            SimJob("game", 0, 2_000, "tage-sc-l-64kb", 500),
+            SimJob("game", 0, 1_000, "gshare", 500),
+        ]
+        sched = ParallelScheduler(jobs=2)
+        try:
+            failed = sched.run(jobs, lambda _j, _r: None)
+        finally:
+            sched.close()
+        assert failed == 0
+        assert [j.predictor for j in seen] == [
+            "tage-sc-l-64kb", "tage-sc-l-8kb", "bimodal", "gshare"
+        ]  # heavy first; equal-cost jobs keep their plan order (stable sort)
+        counters = obs_enabled.counters_dict()
+        assert counters["lab.parallel.schedule.jobs"] == 4
+        want_total = int(sum(estimated_cost(j) for j in jobs))
+        assert counters["lab.parallel.schedule.est_cost"] == want_total
+        assert obs_enabled.gauge("lab.parallel.schedule.est_cost_max").value == (
+            estimated_cost(jobs[2])
+        )
+
+    def test_suite_jobs_orders_heavy_families_first(self):
+        from repro.experiments.plans import suite_jobs
+
+        lab = Lab(tier=TEST_TIER, jobs=1)
+        jobs = suite_jobs(lab, ["game", "rdbms"], ["bimodal", "tage-sc-l-8kb"])
+        names = [j.predictor for j in jobs]
+        assert names == ["tage-sc-l-8kb", "tage-sc-l-8kb", "bimodal", "bimodal"]
+        # Within a family the workload-major plan order is preserved.
+        assert [j.workload for j in jobs] == ["game", "rdbms", "game", "rdbms"]
 
 
 class TestPicklability:

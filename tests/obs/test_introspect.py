@@ -58,8 +58,17 @@ def game_trace():
 
 @pytest.fixture(scope="module")
 def tage_runs(mcf_trace):
-    """TAGE-SC-L scalar runs, introspection off vs. on, plus the report."""
+    """TAGE-SC-L scalar runs, introspection off vs. on, plus the report.
+
+    Pinned to ``REPRO_KERNELS=0``: TAGE-SC-L normally dispatches through
+    the batch-of-one replay now, and this fixture exists to keep the
+    scalar introspection loop (the escape-hatch path) covered.
+    """
+    import os
+
     saved = introspect._ENABLED
+    saved_kernels = os.environ.get("REPRO_KERNELS")
+    os.environ["REPRO_KERNELS"] = "0"
     try:
         introspect._ENABLED = False
         off = simulate_trace(
@@ -76,6 +85,10 @@ def tage_runs(mcf_trace):
         )
         report = introspect.reports()[-1]
     finally:
+        if saved_kernels is None:
+            os.environ.pop("REPRO_KERNELS", None)
+        else:
+            os.environ["REPRO_KERNELS"] = saved_kernels
         introspect._ENABLED = saved
         introspect.reset_introspection()
     return off, on, report

@@ -35,6 +35,28 @@ class TestRunMetadata:
         assert meta["tier"] == "quick"
         assert meta["date"].endswith("+00:00") or "T" in meta["date"]
 
+    def test_fresh_overrides_stale_cache(self, monkeypatch):
+        """``fresh=True`` must re-resolve HEAD instead of replaying the
+        per-process cache (the BENCH_core.json stale-SHA bug)."""
+        import subprocess
+
+        from repro.obs import runmeta
+
+        stale_sha = "0" * 40
+        monkeypatch.setattr(runmeta, "_git_cache", (stale_sha, True))
+        assert run_metadata()["git_sha"] == stale_sha
+        fresh = run_metadata(fresh=True)
+        head = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(runmeta.__file__).rsplit("/", 1)[0],
+            capture_output=True, text=True,
+        ).stdout.strip()
+        if not head:
+            pytest.skip("not running inside a git checkout")
+        assert fresh["git_sha"] == head
+        # The refreshed state becomes the new cache for later callers.
+        assert runmeta._git_cache[0] == head
+
     def test_snapshot_carries_v2_header(self, obs_enabled):
         obs.counter("sim.branches", 1)
         doc = obs.snapshot()

@@ -34,7 +34,8 @@ from repro.predictors.simple import (
     NeverTaken,
     TwoLevelLocal,
 )
-from repro.predictors.tagescl import TageScL, make_tage_sc_l
+from repro.predictors.tage import Tage
+from repro.predictors.tagescl import STORAGE_PRESETS_KIB, TageScL, make_tage_sc_l
 from repro.workloads import WORKLOADS_BY_NAME, trace_workload
 
 SPECINT = [name for name, spec in WORKLOADS_BY_NAME.items() if spec.category == "specint"]
@@ -463,3 +464,120 @@ class TestBatchedTageScL:
 
     def test_empty_batch(self):
         assert simulate_trace_batch(BranchTrace(ips=[], taken=[]), []) == []
+
+
+#: warmup × slice configurations for the batch-of-one equivalence sweep.
+BATCH_OF_ONE_CONFIGS = [
+    {},
+    {"slice_instructions": 10_000},
+    {"warmup_branches": 500},
+    {
+        "slice_instructions": 7_777,
+        "warmup_branches": 1_000,
+        "record_mispredict_positions": True,
+    },
+]
+
+
+class TestBatchOfOne:
+    """``simulate_trace`` routes batchable predictors through the batched
+    replay as a batch of one — stats, slices, positions, final predictor
+    state, introspection, and counters must all match the scalar loop."""
+
+    def _pair(self, trace, factory, monkeypatch, **kwargs):
+        monkeypatch.setenv("REPRO_KERNELS", "0")
+        ps = factory()
+        rs = simulate_trace(trace, ps, **kwargs)
+        monkeypatch.setenv("REPRO_KERNELS", "1")
+        pv = factory()
+        rv = simulate_trace(trace, pv, **kwargs)
+        return ps, rs, pv, rv
+
+    def test_plain_tage_is_batchable(self):
+        assert batchable(Tage())
+
+        class Tweaked(Tage):
+            pass
+
+        assert not batchable(Tweaked())
+
+    @pytest.mark.parametrize("kib", STORAGE_PRESETS_KIB)
+    def test_tagescl_every_preset_bit_identical(
+        self, small_traces, monkeypatch, kib
+    ):
+        trace = small_traces("605.mcf_s")
+        ps, rs, pv, rv = self._pair(
+            trace,
+            lambda: make_tage_sc_l(kib),
+            monkeypatch,
+            slice_instructions=10_000,
+            record_mispredict_positions=True,
+        )
+        assert_identical(rs, rv)
+        assert full_state(ps) == full_state(pv)
+
+    @pytest.mark.parametrize("config", BATCH_OF_ONE_CONFIGS)
+    def test_tagescl_warmup_slice_grid(self, small_traces, monkeypatch, config):
+        trace = small_traces("641.leela_s")
+        ps, rs, pv, rv = self._pair(
+            trace, lambda: make_tage_sc_l(8), monkeypatch, **config
+        )
+        assert_identical(rs, rv)
+        assert full_state(ps) == full_state(pv)
+
+    @pytest.mark.parametrize("config", BATCH_OF_ONE_CONFIGS)
+    def test_plain_tage_warmup_slice_grid(self, small_traces, monkeypatch, config):
+        trace = small_traces("605.mcf_s")
+        ps, rs, pv, rv = self._pair(trace, Tage, monkeypatch, **config)
+        assert_identical(rs, rv)
+        assert full_state(ps) == full_state(pv)
+
+    def test_batched_path_counters(self, small_traces, monkeypatch, obs_enabled):
+        trace = small_traces("605.mcf_s")
+        monkeypatch.setenv("REPRO_KERNELS", "1")
+        simulate_trace(trace, make_tage_sc_l(8))
+        counters = obs_enabled.counters_dict()
+        cond = int(len(trace.conditional_columns()[0]))
+        assert counters["kernels.batched"] == cond
+        assert counters["kernels.branches"] == cond
+        assert not any(k.startswith("kernels.fallback_scalar") for k in counters)
+
+    def test_escape_hatch_counts_scalar_fallback(
+        self, small_traces, monkeypatch, obs_enabled
+    ):
+        trace = small_traces("605.mcf_s")
+        monkeypatch.setenv("REPRO_KERNELS", "0")
+        simulate_trace(trace, make_tage_sc_l(8))
+        counters = obs_enabled.counters_dict()
+        assert "kernels.batched" not in counters
+        assert counters["kernels.fallback_scalar.tage-sc-l-8kb"] > 0
+
+    def test_introspection_report_rides_batched_path(
+        self, small_traces, monkeypatch
+    ):
+        from repro.obs import introspect
+
+        trace = small_traces("605.mcf_s")
+        saved = introspect._ENABLED
+        introspect.reset_introspection()
+        introspect.enable_introspection()
+        try:
+            monkeypatch.setenv("REPRO_KERNELS", "1")
+            simulate_trace(trace, make_tage_sc_l(8))
+            batched_report = introspect.reports()[-1]
+            monkeypatch.setenv("REPRO_KERNELS", "0")
+            simulate_trace(trace, make_tage_sc_l(8))
+            scalar_report = introspect.reports()[-1]
+        finally:
+            introspect._ENABLED = saved
+            introspect.reset_introspection()
+        assert batched_report["path"] == "batched"
+        assert scalar_report["path"] == "scalar"
+        db = {k: v for k, v in batched_report.items() if k != "path"}
+        ds = {k: v for k, v in scalar_report.items() if k != "path"}
+        assert db == ds
+
+    def test_empty_trace_batch_of_one(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "1")
+        result = simulate_trace(BranchTrace(ips=[], taken=[]), make_tage_sc_l(8))
+        assert result.stats.total_executions == 0
