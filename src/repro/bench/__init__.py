@@ -145,51 +145,45 @@ def _pinned_trace(
 def _bench_sim_throughput(config: BenchConfig, metrics, echo) -> None:
     """Scalar vs. kernel branches/sec for each predictor family."""
     from repro.experiments.lab import PREDICTOR_FACTORIES
+    from repro.kernels import kernels_disabled, kernels_override
     from repro.pipeline.simulator import simulate_trace
 
     trace = _pinned_trace(config)
     branches = len(trace.trace)
-    saved = os.environ.get("REPRO_KERNELS")
 
     def run(label: str):
         return simulate_trace(trace.trace, PREDICTOR_FACTORIES[label]())
 
-    try:
-        for label in config.kernel_predictors:
-            os.environ["REPRO_KERNELS"] = "0"
+    for label in config.kernel_predictors:
+        with kernels_disabled():
             t_scalar, _ = _best_of(config.repeats, functools.partial(run, label))
-            os.environ["REPRO_KERNELS"] = "1"
+        with kernels_override(True):
             t_kernel, _ = _best_of(config.repeats, functools.partial(run, label))
-            _metric(metrics, f"sim.{label}.scalar.branches_per_sec",
-                    branches / t_scalar, "branches/s", "higher")
-            _metric(metrics, f"sim.{label}.kernel.branches_per_sec",
-                    branches / t_kernel, "branches/s", "higher")
-            _metric(metrics, f"sim.{label}.kernel_speedup",
-                    t_scalar / t_kernel, "x", "info")
-            echo(f"  {label}: scalar {branches / t_scalar:,.0f}/s, "
-                 f"kernel {branches / t_kernel:,.0f}/s "
-                 f"({t_scalar / t_kernel:.1f}x)")
-        for label in config.scalar_predictors:
-            # TAGE-SC-L: the pure-Python scalar loop vs. the batch-of-one
-            # replay `simulate_trace` now dispatches by default.
-            os.environ["REPRO_KERNELS"] = "0"
+        _metric(metrics, f"sim.{label}.scalar.branches_per_sec",
+                branches / t_scalar, "branches/s", "higher")
+        _metric(metrics, f"sim.{label}.kernel.branches_per_sec",
+                branches / t_kernel, "branches/s", "higher")
+        _metric(metrics, f"sim.{label}.kernel_speedup",
+                t_scalar / t_kernel, "x", "info")
+        echo(f"  {label}: scalar {branches / t_scalar:,.0f}/s, "
+             f"kernel {branches / t_kernel:,.0f}/s "
+             f"({t_scalar / t_kernel:.1f}x)")
+    for label in config.scalar_predictors:
+        # TAGE-SC-L: the pure-Python scalar loop vs. the batch-of-one
+        # replay `simulate_trace` now dispatches by default.
+        with kernels_disabled():
             t_scalar, _ = _best_of(1, functools.partial(run, label))
-            os.environ["REPRO_KERNELS"] = "1"
+        with kernels_override(True):
             t_batched, _ = _best_of(config.repeats, functools.partial(run, label))
-            _metric(metrics, f"sim.{label}.scalar.branches_per_sec",
-                    branches / t_scalar, "branches/s", "higher")
-            _metric(metrics, f"sim.{label}.batched.branches_per_sec",
-                    branches / t_batched, "branches/s", "higher")
-            _metric(metrics, f"sim.{label}.batched_speedup",
-                    t_scalar / t_batched, "x", "higher")
-            echo(f"  {label}: scalar {branches / t_scalar:,.0f}/s, "
-                 f"batched {branches / t_batched:,.0f}/s "
-                 f"({t_scalar / t_batched:.1f}x)")
-    finally:
-        if saved is None:
-            os.environ.pop("REPRO_KERNELS", None)
-        else:
-            os.environ["REPRO_KERNELS"] = saved
+        _metric(metrics, f"sim.{label}.scalar.branches_per_sec",
+                branches / t_scalar, "branches/s", "higher")
+        _metric(metrics, f"sim.{label}.batched.branches_per_sec",
+                branches / t_batched, "branches/s", "higher")
+        _metric(metrics, f"sim.{label}.batched_speedup",
+                t_scalar / t_batched, "x", "higher")
+        echo(f"  {label}: scalar {branches / t_scalar:,.0f}/s, "
+             f"batched {branches / t_batched:,.0f}/s "
+             f"({t_scalar / t_batched:.1f}x)")
 
 
 @scenario("trace_store")
@@ -306,6 +300,7 @@ def _bench_fig7_quick(config: BenchConfig, metrics, echo) -> None:
     """
     from repro.experiments.fig7 import compute_fig7
     from repro.experiments.lab import PREDICTOR_FACTORIES, Lab
+    from repro.kernels import kernels_disabled, kernels_override
     from repro.pipeline.simulator import simulate_trace, simulate_trace_batch
     from repro.predictors.tagescl import STORAGE_PRESETS_KIB
     from repro.workloads import LCF_WORKLOADS
@@ -329,24 +324,17 @@ def _bench_fig7_quick(config: BenchConfig, metrics, echo) -> None:
     _metric(metrics, "fig7.warm_s", warm_s, "s", "lower")
     echo(f"  fig7: cold {cold_s:.2f}s, warm {warm_s:.3f}s")
 
-    saved = os.environ.get("REPRO_KERNELS")
-    try:
-        os.environ["REPRO_KERNELS"] = "0"
+    with kernels_disabled():
         t0 = perf_counter()
         for name in sweep:
             simulate_trace(pinned.trace, PREDICTOR_FACTORIES[name]())
         scalar_s = perf_counter() - t0
-        os.environ["REPRO_KERNELS"] = "1"
+    with kernels_override(True):
         t0 = perf_counter()
         simulate_trace_batch(
             pinned.trace, [PREDICTOR_FACTORIES[name]() for name in sweep]
         )
         batched_s = perf_counter() - t0
-    finally:
-        if saved is None:
-            os.environ.pop("REPRO_KERNELS", None)
-        else:
-            os.environ["REPRO_KERNELS"] = saved
     _metric(metrics, "fig7.scalar_sweep_s", scalar_s, "s", "info")
     _metric(metrics, "fig7.batched_sweep_s", batched_s, "s", "lower")
     _metric(metrics, "fig7.batched_speedup",

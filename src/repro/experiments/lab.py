@@ -12,13 +12,27 @@ affects simulation outcomes.
 from __future__ import annotations
 
 import contextlib
+import contextvars
 import hashlib
 import os
 import pickle
 import re
 import tempfile
+import threading
+from collections import OrderedDict
 from pathlib import Path
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+    Union,
+)
 
 from repro import obs
 from repro.obs import introspect
@@ -74,6 +88,73 @@ def _slug(part: str) -> str:
 
 _log = obs.get_logger("lab")
 
+#: The experiment label for checkpoint-manifest records.  A context
+#: variable — not Lab instance state — so concurrent daemon requests
+#: (threads, asyncio tasks) each see their own label instead of
+#: mislabeling each other's records and spans.
+_CURRENT_EXPERIMENT: contextvars.ContextVar[Optional[str]] = contextvars.ContextVar(
+    "repro_lab_experiment", default=None
+)
+
+
+def _env_cap(name: str, default: int) -> int:
+    """Positive cache bound from the environment (<= 0 disables the bound)."""
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be an integer, got {raw!r}") from None
+
+
+#: Default in-memory cache bounds.  Generous — a full quick-tier run of
+#: every experiment fits — but finite, so a long-lived service process
+#: does not grow without limit.  Override with the environment variables
+#: of the same names; values <= 0 disable the bound entirely.
+DEFAULT_TRACE_CACHE_CAP = 64      # REPRO_LAB_TRACE_CACHE (traces are large)
+DEFAULT_SIM_CACHE_CAP = 4096      # REPRO_LAB_SIM_CACHE
+
+_V = TypeVar("_V")
+
+
+class _LruCache(Dict[Tuple, _V]):
+    """An insertion/access-ordered bounded dict (LRU-evicting).
+
+    Lookups through :meth:`get` refresh recency; inserting past ``cap``
+    evicts the least recently used entry and counts it under
+    ``lab.mem.evicted`` (plus a per-kind child counter).  A ``cap <= 0``
+    means unbounded.  Not itself locked — the owning :class:`Lab`
+    serializes access.
+    """
+
+    def __init__(self, cap: int, kind: str) -> None:
+        super().__init__()
+        self.cap = cap
+        self.kind = kind
+        self._order: "OrderedDict[Tuple, None]" = OrderedDict()
+
+    def get(self, key: Tuple, default: Optional[_V] = None) -> Optional[_V]:
+        value = super().get(key, default)
+        if key in self._order:
+            self._order.move_to_end(key)
+        return value
+
+    def __setitem__(self, key: Tuple, value: _V) -> None:
+        super().__setitem__(key, value)
+        self._order[key] = None
+        self._order.move_to_end(key)
+        if self.cap > 0:
+            while len(self._order) > self.cap:
+                oldest, _ = self._order.popitem(last=False)
+                super().__delitem__(oldest)
+                obs.counter("lab.mem.evicted")
+                obs.counter(f"lab.mem.evicted.{self.kind}")
+
+    def __delitem__(self, key: Tuple) -> None:
+        super().__delitem__(key)
+        self._order.pop(key, None)
+
 #: Predictor registry: label -> factory.
 PREDICTOR_FACTORIES: Dict[str, Callable[[], BranchPredictor]] = {
     f"tage-sc-l-{kib}kb": (lambda kib=kib: make_tage_sc_l(kib))
@@ -110,6 +191,16 @@ class Lab:
     ``cache_dir`` — including concurrent processes — coexist safely: disk
     writes are atomic (tempfile + rename) and corrupt or stale entries
     are ignored and recomputed.
+
+    One Lab is also safe to share across *threads* (the ``repro.service``
+    daemon keeps a single long-lived instance warm): the in-memory caches
+    are lock-guarded and every expensive computation runs under a per-key
+    single-flight, so concurrent requests for the same key compute it
+    exactly once (the rest wait, counted by ``lab.singleflight.wait``).
+    The caches are LRU-bounded (``REPRO_LAB_TRACE_CACHE`` /
+    ``REPRO_LAB_SIM_CACHE``; evictions count under ``lab.mem.evicted``) so
+    a long-lived process does not grow without limit.  Serial behavior is
+    bit-identical to previous releases.
     """
 
     def __init__(
@@ -132,10 +223,21 @@ class Lab:
         self.trace_store = TraceStore(self.cache_dir) if self.cache_dir else None
         self.jobs = resolve_jobs(jobs)
         self._scheduler: Optional[ParallelScheduler] = None
-        self._traces: Dict[Tuple[str, int, int], WorkloadTrace] = {}
-        self._sims: Dict[Tuple, SimulationResult] = {}
-        self._phase_counts: Dict[Tuple[str, int, int, int], int] = {}
-        self._experiment: Optional[str] = None
+        # In-memory caches: LRU-bounded (a long-lived daemon must not grow
+        # without limit) and guarded by one reentrant lock.  Expensive work
+        # happens outside the lock under a per-key single-flight, so two
+        # concurrent requests for the same key compute it exactly once.
+        self._lock = threading.RLock()
+        self._inflight: Dict[Tuple, threading.Event] = {}
+        self._traces: _LruCache[WorkloadTrace] = _LruCache(
+            _env_cap("REPRO_LAB_TRACE_CACHE", DEFAULT_TRACE_CACHE_CAP), "traces"
+        )
+        self._sims: _LruCache[SimulationResult] = _LruCache(
+            _env_cap("REPRO_LAB_SIM_CACHE", DEFAULT_SIM_CACHE_CAP), "sims"
+        )
+        self._phase_counts: _LruCache[int] = _LruCache(
+            _env_cap("REPRO_LAB_SIM_CACHE", DEFAULT_SIM_CACHE_CAP), "phases"
+        )
         # Checkpoint/resume: completed requests are recorded in an
         # append-only manifest so an interrupted sweep restarted with
         # --resume re-dispatches only the missing work.
@@ -164,15 +266,61 @@ class Lab:
         if self.manifest is not None:
             self.manifest.close()
 
+    @contextlib.contextmanager
+    def experiment(self, name: Optional[str]) -> Iterator[None]:
+        """Label checkpoint records made inside the block with ``name``.
+
+        The label lives in a :mod:`contextvars` variable, not instance
+        state, so concurrent requests (daemon threads / asyncio tasks)
+        each carry their own label instead of overwriting a shared field.
+        """
+        token = _CURRENT_EXPERIMENT.set(name)
+        try:
+            yield
+        finally:
+            _CURRENT_EXPERIMENT.reset(token)
+
     def begin_experiment(self, name: Optional[str]) -> None:
-        """Label subsequent checkpoint records with the running experiment."""
-        self._experiment = name
+        """Label subsequent checkpoint records with the running experiment.
+
+        Imperative variant of :meth:`experiment` for call sites without a
+        natural ``with`` block; the label is still context-local.
+        """
+        _CURRENT_EXPERIMENT.set(name)
+
+    @staticmethod
+    def current_experiment() -> Optional[str]:
+        """The experiment label active in this context (or ``None``)."""
+        return _CURRENT_EXPERIMENT.get()
 
     def __enter__(self) -> "Lab":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
+
+    # -- single-flight -----------------------------------------------------
+
+    def _join_flight(self, flight_key: Tuple) -> Optional[threading.Event]:
+        """Become the leader for ``flight_key`` (returns ``None``) or get
+        the current leader's completion event to wait on.
+
+        Callers must hold :attr:`_lock`.  The leader computes the value,
+        publishes it to the cache, and calls :meth:`_leave_flight`;
+        followers wait, then re-check the cache (looping, since a failed
+        leader publishes nothing and a follower takes over)."""
+        event = self._inflight.get(flight_key)
+        if event is None:
+            self._inflight[flight_key] = threading.Event()
+            return None
+        return event
+
+    def _leave_flight(self, flight_key: Tuple) -> None:
+        """Release leadership of ``flight_key`` and wake every follower."""
+        with self._lock:
+            event = self._inflight.pop(flight_key, None)
+        if event is not None:
+            event.set()
 
     # -- trace access ------------------------------------------------------
 
@@ -197,8 +345,19 @@ class Lab:
     ) -> WorkloadTrace:
         n = instructions if instructions is not None else self.instructions_for(name)
         key = (name, input_index, n)
-        cached = self._traces.get(key)
-        if cached is None:
+        flight_key = ("trace", *key)
+        while True:
+            with self._lock:
+                cached = self._traces.get(key)
+                if cached is not None:
+                    obs.counter("lab.trace.cache_hit")
+                    return cached
+                event = self._join_flight(flight_key)
+            if event is None:
+                break
+            obs.counter("lab.singleflight.wait")
+            event.wait()
+        try:
             spec = workload_spec(name)
             stored = (
                 self.trace_store.load(name, input_index, n)
@@ -234,9 +393,10 @@ class Lab:
                     cached = trace_workload(spec, input_index, instructions=n)
                 if self.trace_store is not None:
                     self.trace_store.store(name, input_index, n, cached.trace)
-            self._traces[key] = cached
-        else:
-            obs.counter("lab.trace.cache_hit")
+            with self._lock:
+                self._traces[key] = cached
+        finally:
+            self._leave_flight(flight_key)
         return cached
 
     # -- simulation --------------------------------------------------------
@@ -257,43 +417,55 @@ class Lab:
             )
         n = instructions if instructions is not None else self.instructions_for(name)
         key = (name, input_index, n, predictor, slice_instructions)
-        cached = self._sims.get(key)
-        if cached is not None:
-            obs.counter("lab.sim.cache_hit.memory")
-            return cached
+        flight_key = ("sim", *key)
+        while True:
+            with self._lock:
+                cached = self._sims.get(key)
+                if cached is not None:
+                    obs.counter("lab.sim.cache_hit.memory")
+                    return cached
+                event = self._join_flight(flight_key)
+            if event is None:
+                break
+            obs.counter("lab.singleflight.wait")
+            event.wait()
+        try:
+            disk = self._disk_path(key)
+            if disk is not None and disk.exists():
+                cached = self._load_disk(disk)
+                if cached is not None:
+                    obs.counter("lab.sim.cache_hit.disk")
+                    _log.debug("disk cache hit: %s", disk)
+                    with self._lock:
+                        self._sims[key] = cached
+                    self._mark_complete(key)
+                    return cached
 
-        disk = self._disk_path(key)
-        if disk is not None and disk.exists():
-            cached = self._load_disk(disk)
-            if cached is not None:
-                obs.counter("lab.sim.cache_hit.disk")
-                _log.debug("disk cache hit: %s", disk)
-                self._sims[key] = cached
-                self._mark_complete(key)
-                return cached
-
-        obs.counter("lab.sim.cache_miss")
-        _log.info(
-            "simulating %s/input%d with %s (%d instructions)",
-            name, input_index, predictor, n,
-        )
-        with obs.span(
-            "lab.simulate", workload=name, input=input_index, predictor=predictor
-        ):
-            trace = self.trace(name, input_index, n)
-            if introspect.is_enabled():
-                # Label the simulation's introspection report; note that
-                # cache hits above never reach this point, so reports only
-                # exist for actually-simulated (workload, input) pairs.
-                introspect.set_context(workload=name, input_name=input_index)
-            result = simulate_trace(
-                trace.trace,
-                PREDICTOR_FACTORIES[predictor](),
-                slice_instructions=slice_instructions,
+            obs.counter("lab.sim.cache_miss")
+            _log.info(
+                "simulating %s/input%d with %s (%d instructions)",
+                name, input_index, predictor, n,
             )
-        self._sims[key] = result
-        if disk is not None and self._store_disk(disk, result):
-            self._mark_complete(key)
+            with obs.span(
+                "lab.simulate", workload=name, input=input_index, predictor=predictor
+            ):
+                trace = self.trace(name, input_index, n)
+                if introspect.is_enabled():
+                    # Label the simulation's introspection report; note that
+                    # cache hits above never reach this point, so reports only
+                    # exist for actually-simulated (workload, input) pairs.
+                    introspect.set_context(workload=name, input_name=input_index)
+                result = simulate_trace(
+                    trace.trace,
+                    PREDICTOR_FACTORIES[predictor](),
+                    slice_instructions=slice_instructions,
+                )
+            with self._lock:
+                self._sims[key] = result
+            if disk is not None and self._store_disk(disk, result):
+                self._mark_complete(key)
+        finally:
+            self._leave_flight(flight_key)
         return result
 
     def simulate_batch(
@@ -326,47 +498,74 @@ class Lab:
             (name, input_index, n, predictor, slice_instructions)
             for predictor in predictors
         ]
-        missing: List[Tuple[str, Tuple]] = []
-        for predictor, key in zip(predictors, keys):
-            if key in self._sims:
-                obs.counter("lab.sim.cache_hit.memory")
-                continue
-            disk = self._disk_path(key)
-            if disk is not None and disk.exists():
-                cached = self._load_disk(disk)
-                if cached is not None:
-                    obs.counter("lab.sim.cache_hit.disk")
-                    self._sims[key] = cached
-                    self._mark_complete(key)
-                    continue
-            obs.counter("lab.sim.cache_miss")
-            missing.append((predictor, key))
-        if missing:
-            _log.info(
-                "batch-simulating %s/input%d with %d predictor(s) "
-                "(%d instructions)",
-                name, input_index, len(missing), n,
-            )
-            with obs.span(
-                "lab.simulate_batch",
-                workload=name,
-                input=input_index,
-                predictors=len(missing),
-            ):
-                trace = self.trace(name, input_index, n)
-                if introspect.is_enabled():
-                    introspect.set_context(workload=name, input_name=input_index)
-                results = simulate_trace_batch(
-                    trace.trace,
-                    [PREDICTOR_FACTORIES[p]() for p, _ in missing],
-                    slice_instructions=slice_instructions,
-                )
-            for (_, key), result in zip(missing, results):
-                self._sims[key] = result
+        resolved: Dict[Tuple, SimulationResult] = {}
+        missing: List[Tuple[str, Tuple]] = []   # keys this call leads
+        deferred: List[Tuple[str, Tuple]] = []  # keys another caller leads
+        led: set = set()  # flights this call still owns (released in finally)
+        try:
+            for predictor, key in zip(predictors, keys):
+                with self._lock:
+                    cached = self._sims.get(key)
+                    if cached is not None:
+                        obs.counter("lab.sim.cache_hit.memory")
+                        resolved[key] = cached
+                        continue
+                    if self._join_flight(("sim", *key)) is not None:
+                        # Another request is already computing this key —
+                        # don't redo it here; wait for it at the end.
+                        deferred.append((predictor, key))
+                        continue
+                    led.add(key)
                 disk = self._disk_path(key)
-                if disk is not None and self._store_disk(disk, result):
-                    self._mark_complete(key)
-        return [self._sims[key] for key in keys]
+                if disk is not None and disk.exists():
+                    cached = self._load_disk(disk)
+                    if cached is not None:
+                        obs.counter("lab.sim.cache_hit.disk")
+                        with self._lock:
+                            self._sims[key] = cached
+                        resolved[key] = cached
+                        self._mark_complete(key)
+                        led.discard(key)
+                        self._leave_flight(("sim", *key))
+                        continue
+                obs.counter("lab.sim.cache_miss")
+                missing.append((predictor, key))
+            if missing:
+                _log.info(
+                    "batch-simulating %s/input%d with %d predictor(s) "
+                    "(%d instructions)",
+                    name, input_index, len(missing), n,
+                )
+                with obs.span(
+                    "lab.simulate_batch",
+                    workload=name,
+                    input=input_index,
+                    predictors=len(missing),
+                ):
+                    trace = self.trace(name, input_index, n)
+                    if introspect.is_enabled():
+                        introspect.set_context(workload=name, input_name=input_index)
+                    results = simulate_trace_batch(
+                        trace.trace,
+                        [PREDICTOR_FACTORIES[p]() for p, _ in missing],
+                        slice_instructions=slice_instructions,
+                    )
+                for (_, key), result in zip(missing, results):
+                    with self._lock:
+                        self._sims[key] = result
+                    resolved[key] = result
+                    disk = self._disk_path(key)
+                    if disk is not None and self._store_disk(disk, result):
+                        self._mark_complete(key)
+        finally:
+            for key in led:
+                self._leave_flight(("sim", *key))
+        for predictor, key in deferred:
+            resolved[key] = self.simulate(
+                name, input_index, predictor,
+                instructions=n, slice_instructions=slice_instructions,
+            )
+        return [resolved[key] for key in keys]
 
     # -- phase analysis ----------------------------------------------------
 
@@ -386,35 +585,49 @@ class Lab:
         """
         n = instructions if instructions is not None else self.instructions_for(name)
         key = (name, input_index, n, bbv_interval)
-        cached = self._phase_counts.get(key)
-        if cached is not None:
-            obs.counter("lab.phases.cache_hit.memory")
-            return cached
-        disk: Optional[Path] = None
-        if self.cache_dir is not None:
-            disk = self.cache_dir / self._cache_filename("phases", key)
-            if disk.exists():
-                loaded = self._load_disk(disk, want=int)
-                if loaded is not None:
-                    obs.counter("lab.phases.cache_hit.disk")
-                    self._phase_counts[key] = loaded
-                    return loaded
-        obs.counter("lab.phases.cache_miss")
-        _log.info(
-            "clustering phases for %s/input%d (%d instructions)",
-            name, input_index, n,
-        )
-        result = execute_workload(
-            workload_spec(name), input_index, instructions=n, bbv_interval=bbv_interval
-        )
-        if result.bbvs is None or len(result.bbvs) < 2:
-            count = 1
-        else:
-            vectors = prepare_bbvs(result.bbvs)
-            count = cluster_phases(vectors, max_k=min(10, len(vectors))).num_phases
-        self._phase_counts[key] = count
-        if disk is not None:
-            self._store_disk(disk, count)
+        flight_key = ("phases", *key)
+        while True:
+            with self._lock:
+                cached = self._phase_counts.get(key)
+                if cached is not None:
+                    obs.counter("lab.phases.cache_hit.memory")
+                    return cached
+                event = self._join_flight(flight_key)
+            if event is None:
+                break
+            obs.counter("lab.singleflight.wait")
+            event.wait()
+        try:
+            disk: Optional[Path] = None
+            if self.cache_dir is not None:
+                disk = self.cache_dir / self._cache_filename("phases", key)
+                if disk.exists():
+                    loaded = self._load_disk(disk, want=int)
+                    if loaded is not None:
+                        obs.counter("lab.phases.cache_hit.disk")
+                        with self._lock:
+                            self._phase_counts[key] = loaded
+                        return loaded
+            obs.counter("lab.phases.cache_miss")
+            _log.info(
+                "clustering phases for %s/input%d (%d instructions)",
+                name, input_index, n,
+            )
+            result = execute_workload(
+                workload_spec(name), input_index, instructions=n,
+                bbv_interval=bbv_interval,
+            )
+            if result.bbvs is None or len(result.bbvs) < 2:
+                count = 1
+            else:
+                vectors = prepare_bbvs(result.bbvs)
+                count = cluster_phases(vectors, max_k=min(10, len(vectors))).num_phases
+            with self._lock:
+                self._phase_counts[key] = count
+            if disk is not None:
+                self._store_disk(disk, count)
+        finally:
+            self._leave_flight(flight_key)
         return count
 
     # -- parallel fan-out --------------------------------------------------
@@ -498,8 +711,9 @@ class Lab:
         corrupt, the serial render path recomputes it, so results stay
         bit-identical.
         """
-        if key in self._sims:
-            return True
+        with self._lock:
+            if key in self._sims:
+                return True
         if self.manifest is not None and key in self.manifest:
             obs.counter("lab.resume.planned")
             return True
@@ -508,7 +722,8 @@ class Lab:
             cached = self._load_disk(disk)
             if cached is not None:
                 obs.counter("lab.sim.cache_hit.disk")
-                self._sims[key] = cached
+                with self._lock:
+                    self._sims[key] = cached
                 return True
         return False
 
@@ -517,13 +732,15 @@ class Lab:
     ) -> None:
         if isinstance(job, BatchSimJob):
             for key, member in zip(job.sim_keys(), result):
-                self._sims[key] = member
+                with self._lock:
+                    self._sims[key] = member
                 disk = self._disk_path(key)
                 if disk is not None and self._store_disk(disk, member):
                     self._mark_complete(key)
             return
         key = job.key()
-        self._sims[key] = result
+        with self._lock:
+            self._sims[key] = result
         disk = self._disk_path(key)
         if disk is not None and self._store_disk(disk, result):
             self._mark_complete(key)
@@ -531,7 +748,7 @@ class Lab:
     def _mark_complete(self, key: Tuple) -> None:
         """Checkpoint one durably published request (no-op without --resume)."""
         if self.manifest is not None:
-            self.manifest.mark(key, self._experiment)
+            self.manifest.mark(key, _CURRENT_EXPERIMENT.get())
 
     def _normalize_request(self, request: SimRequest) -> Union[SimJob, BatchSimJob]:
         """Fill tier defaults and validate names (KeyError like simulate)."""

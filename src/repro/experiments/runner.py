@@ -85,10 +85,12 @@ def run_experiments(
     echo(f"Running {len(selected)} experiment(s) at tier '{lab.tier.name}'{workers}\n")
     for name in selected:
         _log.info("starting experiment %s", name)
-        lab.begin_experiment(name)
         # Span-based timing: the span lands in the exported tree (with lab
-        # simulate children) and also backs the elapsed display.
-        with obs.span(name, tier=lab.tier.name) as sp:
+        # simulate children) and also backs the elapsed display.  The
+        # experiment label is context-local (``Lab.experiment``), so
+        # checkpoint records written inside the block carry it without
+        # mutating shared Lab state.
+        with lab.experiment(name), obs.span(name, tier=lab.tier.name) as sp:
             # Fan the experiment's planned simulations out across the
             # worker pool first; the serial driver below then renders
             # entirely from cache hits.
@@ -96,7 +98,6 @@ def run_experiments(
             if plan is not None:
                 lab.prefetch(plan(lab))
             output = EXPERIMENTS[name](lab)
-        lab.begin_experiment(None)
         _log.info("finished %s in %s", name, obs.format_duration(sp.duration_s))
         echo(f"{'=' * 72}\n{name} ({obs.format_duration(sp.duration_s)})\n{'=' * 72}")
         echo(output)

@@ -19,7 +19,7 @@ from repro.analysis.h2p import (
     screen_workload,
     summarize_across_inputs,
 )
-from repro.experiments.lab import Lab, default_lab
+from repro.experiments.lab import Lab, default_lab, workload_spec
 from repro.experiments.reporting import format_table
 from repro.workloads import SPECINT_WORKLOADS
 
@@ -89,48 +89,61 @@ def compute_table1(
 ) -> Table1:
     """Build Table I from the SPECint workloads under the active tier."""
     lab = lab or default_lab()
-    rows: List[Table1Row] = []
-    for spec in SPECINT_WORKLOADS:
-        inputs = lab.inputs_for(spec.name)
-        reports = []
-        accs, accs_excl = [], []
-        static_total: set = set()
-        static_per_slice: List[int] = []
-        phase_counts: List[float] = []
-        for input_index in inputs:
-            result = lab.simulate(spec.name, input_index, "tage-sc-l-8kb")
-            report = screen_workload(
-                spec.name, spec.input_name(input_index), result.slice_stats
-            )
-            reports.append(report)
-            accs.append(result.stats.accuracy)
-            accs_excl.append(
-                result.stats.accuracy_excluding(report.union_h2p_ips)
-            )
-            static_total.update(result.stats.ips())
-            static_per_slice.extend(len(s) for s in result.slice_stats)
-            if with_phases:
-                phase_counts.append(lab.phase_count(spec.name, input_index))
-        summary: CrossInputH2pSummary = summarize_across_inputs(spec.name, reports)
-        rows.append(
-            Table1Row(
-                benchmark=spec.name,
-                avg_phases=float(np.mean(phase_counts)) if phase_counts else 1.0,
-                total_static_branches=len(static_total),
-                median_static_per_slice=float(np.median(static_per_slice)),
-                avg_accuracy=float(np.mean(accs)),
-                avg_accuracy_excl_h2ps=float(np.mean(accs_excl)),
-                num_inputs=len(inputs),
-                h2ps_total=summary.total_h2ps,
-                h2ps_in_3plus_inputs=summary.recurring_3plus,
-                h2ps_per_input=summary.mean_per_input,
-                h2ps_per_slice=summary.mean_per_slice,
-                avg_dyn_execs_per_h2p_per_slice=float(
-                    np.mean([r.mean_h2p_executions_per_slice for r in reports])
-                ),
-                mispred_share_from_h2ps=float(
-                    np.mean([r.mean_misprediction_share for r in reports])
-                ),
-            )
+    return Table1(
+        rows=tuple(
+            compute_table1_row(lab, spec.name, with_phases=with_phases)
+            for spec in SPECINT_WORKLOADS
         )
-    return Table1(rows=tuple(rows))
+    )
+
+
+def compute_table1_row(
+    lab: Lab, benchmark: str, with_phases: bool = True
+) -> Table1Row:
+    """One benchmark's Table I row (all its inputs under the active tier).
+
+    Factored out of :func:`compute_table1` so a single cell can be served
+    (e.g. by the ``repro.service`` daemon) without computing the whole
+    table; results are bit-identical to the corresponding full-table row.
+    """
+    spec = workload_spec(benchmark)
+    inputs = lab.inputs_for(spec.name)
+    reports = []
+    accs, accs_excl = [], []
+    static_total: set = set()
+    static_per_slice: List[int] = []
+    phase_counts: List[float] = []
+    for input_index in inputs:
+        result = lab.simulate(spec.name, input_index, "tage-sc-l-8kb")
+        report = screen_workload(
+            spec.name, spec.input_name(input_index), result.slice_stats
+        )
+        reports.append(report)
+        accs.append(result.stats.accuracy)
+        accs_excl.append(
+            result.stats.accuracy_excluding(report.union_h2p_ips)
+        )
+        static_total.update(result.stats.ips())
+        static_per_slice.extend(len(s) for s in result.slice_stats)
+        if with_phases:
+            phase_counts.append(lab.phase_count(spec.name, input_index))
+    summary: CrossInputH2pSummary = summarize_across_inputs(spec.name, reports)
+    return Table1Row(
+        benchmark=spec.name,
+        avg_phases=float(np.mean(phase_counts)) if phase_counts else 1.0,
+        total_static_branches=len(static_total),
+        median_static_per_slice=float(np.median(static_per_slice)),
+        avg_accuracy=float(np.mean(accs)),
+        avg_accuracy_excl_h2ps=float(np.mean(accs_excl)),
+        num_inputs=len(inputs),
+        h2ps_total=summary.total_h2ps,
+        h2ps_in_3plus_inputs=summary.recurring_3plus,
+        h2ps_per_input=summary.mean_per_input,
+        h2ps_per_slice=summary.mean_per_slice,
+        avg_dyn_execs_per_h2p_per_slice=float(
+            np.mean([r.mean_h2p_executions_per_slice for r in reports])
+        ),
+        mispred_share_from_h2ps=float(
+            np.mean([r.mean_misprediction_share for r in reports])
+        ),
+    )

@@ -420,9 +420,15 @@ class ParallelScheduler:
         Waiting on the clean path is what guarantees no child process
         outlives the owning :class:`Lab`; the no-wait/cancel teardown is
         reserved for broken or hung pools (:meth:`_abort_pool`).
+
+        Queued-but-unstarted futures are *cancelled* first: after a
+        ``KeyboardInterrupt``/SIGTERM mid-``run`` the pool still holds the
+        rest of the batch, and a plain waiting shutdown would silently
+        execute all of it before returning — teardown must only wait for
+        the jobs already on a worker, then join every child.
         """
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
 
     def _abort_pool(self) -> None:

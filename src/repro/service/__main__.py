@@ -1,0 +1,87 @@
+"""``python -m repro.service``: run the Lab daemon.
+
+Prints one parseable line once the socket is bound::
+
+    repro.service listening on 127.0.0.1:43817
+
+(harnesses spawn the daemon with ``--port 0`` and scrape the bound port
+from that line).  SIGTERM/SIGINT drain gracefully: in-flight requests
+finish, responses flush, the Lab's worker pool shuts down, then the
+process exits 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from typing import List, Optional
+
+from repro import obs
+from repro.service.daemon import LabService, ServiceConfig
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="JSON-over-socket daemon around one long-lived Lab.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=0, help="0 binds an ephemeral port (default)"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, help="Lab worker processes (default REPRO_JOBS)"
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, help="Lab disk cache (default REPRO_CACHE_DIR)"
+    )
+    parser.add_argument(
+        "--queue", type=int, default=None,
+        help="admission bound before 503 shedding (default REPRO_SERVICE_QUEUE)",
+    )
+    parser.add_argument(
+        "--window", type=float, default=None,
+        help="batch dispatch window, seconds (default REPRO_SERVICE_WINDOW)",
+    )
+    parser.add_argument(
+        "--threads", type=int, default=None,
+        help="compute thread-pool width (default REPRO_SERVICE_THREADS)",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="enable the obs registry so the metrics method reports counters",
+    )
+    return parser
+
+
+async def _serve(config: ServiceConfig) -> None:
+    service = LabService(config)
+    await service.start()
+    host, port = service.address
+    print(f"repro.service listening on {host}:{port}", flush=True)
+    await service.wait_closed()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.metrics:
+        obs.enable()
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+    )
+    if args.queue is not None:
+        config.queue_limit = args.queue
+    if args.window is not None:
+        config.batch_window = args.window
+    if args.threads is not None:
+        config.threads = args.threads
+    asyncio.run(_serve(config))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

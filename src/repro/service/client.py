@@ -1,0 +1,76 @@
+"""Blocking client for the Lab daemon.
+
+Synchronous on purpose: callers are test threads, the load harness, and
+small scripts — none of which want an event loop.  One client per thread;
+instances are not thread-safe (each holds one socket and one read
+buffer).  Requests may be pipelined with :meth:`ServiceClient.submit` /
+:meth:`ServiceClient.result`; :meth:`ServiceClient.call` is the
+submit-and-wait convenience.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import socket
+from typing import Any, Dict, Optional, Tuple
+
+from repro.service import INTERNAL_ERROR, ServiceError
+from repro.service.protocol import dump_line
+
+
+class ServiceClient:
+    def __init__(
+        self, host: str, port: int, timeout: float = 120.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+        self._ids = itertools.count(1)
+        #: responses read from the socket but not yet claimed by result().
+        self._responses: Dict[Any, Dict[str, Any]] = {}
+
+    @classmethod
+    def connect(cls, address: Tuple[str, int], timeout: float = 120.0) -> "ServiceClient":
+        return cls(address[0], address[1], timeout=timeout)
+
+    def submit(self, method: str, params: Optional[Dict[str, Any]] = None) -> int:
+        """Send one request without waiting; returns its id (pipelining)."""
+        rid = next(self._ids)
+        self._sock.sendall(
+            dump_line({"id": rid, "method": method, "params": params or {}})
+        )
+        return rid
+
+    def result(self, rid: int) -> Any:
+        """Wait for the response to ``rid``; raises ServiceError on ok=false."""
+        while rid not in self._responses:
+            line = self._rfile.readline()
+            if not line:
+                raise ConnectionError("server closed the connection")
+            message = json.loads(line)
+            self._responses[message.get("id")] = message
+        message = self._responses.pop(rid)
+        if message.get("ok"):
+            return message.get("result")
+        error = message.get("error") or {}
+        raise ServiceError(
+            error.get("code", INTERNAL_ERROR), error.get("message", "unknown error")
+        )
+
+    def call(self, method: str, params: Optional[Dict[str, Any]] = None) -> Any:
+        return self.result(self.submit(method, params))
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = ["ServiceClient"]

@@ -1,0 +1,72 @@
+"""Interrupting an in-flight prefetch must leave zero orphan workers.
+
+Run in a subprocess so the test can deliver a real SIGINT mid-prefetch:
+the interrupted process catches KeyboardInterrupt, closes the Lab, and
+then reports how many worker processes are still alive.  Before the
+teardown-ordering fix, ``ParallelScheduler.close()`` could leave queued
+jobs running to completion on the pool after the user had already
+interrupted the batch.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+INTERRUPT_SCRIPT = r"""
+import multiprocessing
+import os
+import signal
+import sys
+import threading
+
+from repro.config import ExperimentTier
+from repro.experiments.lab import Lab
+from repro.parallel.jobs import SimJob
+
+tier = ExperimentTier(name="intr", spec_inputs=1, spec_slices=1, lcf_slices=1)
+lab = Lab(tier=tier, jobs=2)
+jobs = [
+    SimJob("game", 0, 400_000, predictor, 100_000)
+    for predictor in (
+        "tage-sc-l-8kb", "tage-sc-l-64kb", "gshare", "bimodal",
+        "two-level-local", "perceptron",
+    )
+]
+
+# Interrupt the batch while workers are mid-job.
+timer = threading.Timer(0.5, lambda: os.kill(os.getpid(), signal.SIGINT))
+timer.start()
+interrupted = False
+try:
+    lab.prefetch(jobs)
+except KeyboardInterrupt:
+    interrupted = True
+timer.cancel()
+try:
+    lab.close()
+except KeyboardInterrupt:
+    # The signal landed between prefetch and close; close() is idempotent.
+    interrupted = True
+    lab.close()
+orphans = multiprocessing.active_children()
+print(f"INTERRUPTED {interrupted}")
+print(f"ORPHANS {len(orphans)}")
+sys.exit(0 if not orphans else 3)
+"""
+
+
+def test_sigint_during_prefetch_leaves_no_orphan_workers():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", INTERRUPT_SCRIPT],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "ORPHANS 0" in proc.stdout

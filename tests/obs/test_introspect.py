@@ -7,6 +7,7 @@ import pytest
 
 from repro.config import ExperimentTier
 from repro.experiments.lab import PREDICTOR_FACTORIES, Lab
+from repro.kernels import kernels_disabled
 from repro.obs import introspect, trace
 from repro.parallel.jobs import SimJob
 from repro.pipeline.simulator import simulate_trace
@@ -60,35 +61,29 @@ def game_trace():
 def tage_runs(mcf_trace):
     """TAGE-SC-L scalar runs, introspection off vs. on, plus the report.
 
-    Pinned to ``REPRO_KERNELS=0``: TAGE-SC-L normally dispatches through
-    the batch-of-one replay now, and this fixture exists to keep the
-    scalar introspection loop (the escape-hatch path) covered.
+    Pinned to the scalar loop via ``kernels_disabled()``: TAGE-SC-L
+    normally dispatches through the batch-of-one replay now, and this
+    fixture exists to keep the scalar introspection loop (the
+    escape-hatch path) covered.
     """
-    import os
-
     saved = introspect._ENABLED
-    saved_kernels = os.environ.get("REPRO_KERNELS")
-    os.environ["REPRO_KERNELS"] = "0"
     try:
-        introspect._ENABLED = False
-        off = simulate_trace(
-            mcf_trace.trace,
-            PREDICTOR_FACTORIES["tage-sc-l-8kb"](),
-            slice_instructions=100_000,
-        )
-        introspect._ENABLED = True
-        introspect.reset_introspection()
-        on = simulate_trace(
-            mcf_trace.trace,
-            PREDICTOR_FACTORIES["tage-sc-l-8kb"](),
-            slice_instructions=100_000,
-        )
-        report = introspect.reports()[-1]
+        with kernels_disabled():
+            introspect._ENABLED = False
+            off = simulate_trace(
+                mcf_trace.trace,
+                PREDICTOR_FACTORIES["tage-sc-l-8kb"](),
+                slice_instructions=100_000,
+            )
+            introspect._ENABLED = True
+            introspect.reset_introspection()
+            on = simulate_trace(
+                mcf_trace.trace,
+                PREDICTOR_FACTORIES["tage-sc-l-8kb"](),
+                slice_instructions=100_000,
+            )
+            report = introspect.reports()[-1]
     finally:
-        if saved_kernels is None:
-            os.environ.pop("REPRO_KERNELS", None)
-        else:
-            os.environ["REPRO_KERNELS"] = saved_kernels
         introspect._ENABLED = saved
         introspect.reset_introspection()
     return off, on, report

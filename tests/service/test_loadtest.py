@@ -1,0 +1,63 @@
+"""Load harness: measurement plumbing and the bench-document contract."""
+
+import json
+
+import pytest
+
+from repro.bench import validate_bench_doc
+from repro.config import ExperimentTier
+from repro.experiments.lab import Lab
+from repro.service.daemon import ServiceConfig, ServiceThread
+from repro.service.loadtest import LoadResult, build_doc, default_mix, run_load
+
+TIER = ExperimentTier(name="lttest", spec_inputs=1, spec_slices=1, lcf_slices=1)
+
+
+@pytest.fixture(scope="module")
+def warm_daemon():
+    lab = Lab(tier=TIER, jobs=1)
+    with ServiceThread(ServiceConfig(), lab=lab) as service_thread:
+        yield service_thread
+    lab.close()
+
+
+def test_run_load_collects_latencies(warm_daemon):
+    mix = default_mix(instructions=20_000, slice_instructions=10_000)
+    result = run_load(warm_daemon.address, clients=2, requests_per_client=4, mix=mix)
+    assert result.errors == 0
+    assert result.requests == 8
+    assert len(result.latencies_ms) == 8
+    assert result.rps > 0
+    assert result.percentile_ms(0.99) >= result.percentile_ms(0.50) > 0
+
+
+def test_build_doc_is_valid_bench_schema(tmp_path):
+    results = [
+        LoadResult(clients=1, requests=10, seconds=1.0,
+                   latencies_ms=[5.0] * 10, errors=0),
+        LoadResult(clients=8, requests=80, seconds=2.0,
+                   latencies_ms=[9.0] * 80, errors=0),
+    ]
+    doc = build_doc(results, mix_size=5, requests_per_client=10, instructions=20_000)
+    validate_bench_doc(doc)  # raises on schema violations
+    out = tmp_path / "BENCH_service.json"
+    out.write_text(json.dumps(doc))
+    assert json.loads(out.read_text())["schema"] == doc["schema"]
+    speedup = doc["metrics"]["service.speedup.c8_over_c1"]
+    assert speedup["direction"] == "higher"
+    assert speedup["value"] == pytest.approx(4.0)  # 40 rps over 10 rps
+    # Absolute numbers never participate in the baseline comparison.
+    assert doc["metrics"]["service.rps.c1"]["direction"] == "info"
+    assert doc["metrics"]["service.p99_ms.c8"]["direction"] == "info"
+
+
+def test_percentile_edges():
+    result = LoadResult(
+        clients=1, requests=4, seconds=1.0,
+        latencies_ms=[1.0, 2.0, 3.0, 100.0], errors=0,
+    )
+    assert result.percentile_ms(0.0) == 1.0
+    assert result.percentile_ms(1.0) == 100.0
+    empty = LoadResult(clients=1, requests=0, seconds=0.0, latencies_ms=[], errors=0)
+    assert empty.percentile_ms(0.99) == 0.0
+    assert empty.rps == 0.0
